@@ -1,0 +1,25 @@
+//! Evaluation applications and baseline drivers (paper §8.1.3).
+//!
+//! Every algorithm the paper evaluates, each with drivers for every
+//! competing engine so the benchmark harness can regenerate the paper's
+//! comparisons:
+//!
+//! | algorithm | dependency | drivers |
+//! |---|---|---|
+//! | [`pagerank`] | one-to-one | plainMR, HaLoop (2 jobs/iter), iterMR, i2MR (±CPC), memflow |
+//! | [`sssp`] | one-to-one | plainMR, iterMR, i2MR (FT = 0 exact) |
+//! | [`kmeans`] | all-to-one | plainMR, HaLoop-style, iterMR, i2MR (MRBG off) |
+//! | [`gimv`] | many-to-one | plainMR (2 jobs/iter), iterMR (1 job/iter), i2MR |
+//! | [`apriori`] | one-step | plainMR recompute, i2MR accumulator, task-level (Incoop-style) |
+//!
+//! Drivers return [`report::EngineRun`] values: total metrics plus wall
+//! time, which the bench harness feeds through the cluster cost model.
+
+pub mod apriori;
+pub mod gimv;
+pub mod kmeans;
+pub mod pagerank;
+pub mod report;
+pub mod sssp;
+
+pub use report::EngineRun;

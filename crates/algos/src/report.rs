@@ -1,0 +1,60 @@
+//! Uniform driver reports consumed by the benchmark harness.
+
+use i2mr_common::costmodel::ClusterCostModel;
+use i2mr_common::metrics::JobMetrics;
+use std::time::Duration;
+
+/// The outcome of running one engine on one workload.
+#[derive(Clone, Debug, Default)]
+pub struct EngineRun {
+    /// Engine label as used in the paper's figures (e.g. "PlainMR recomp").
+    pub name: String,
+    /// Aggregated engine metrics across all jobs/iterations.
+    pub metrics: JobMetrics,
+    /// Measured wall time of the whole computation.
+    pub wall: Duration,
+    /// Number of iterations executed (0 for one-step jobs).
+    pub iterations: u64,
+}
+
+impl EngineRun {
+    /// Assemble a report.
+    pub fn new(name: impl Into<String>, metrics: JobMetrics, wall: Duration, iterations: u64) -> Self {
+        EngineRun {
+            name: name.into(),
+            metrics,
+            wall,
+            iterations,
+        }
+    }
+
+    /// Modeled cluster runtime: measured wall + the additive cost model
+    /// (job startups + shuffle bytes + job-input reads). See
+    /// `i2mr-common::costmodel`.
+    pub fn modeled(&self, model: &ClusterCostModel) -> Duration {
+        self.wall
+            + model.startup_cost(self.metrics.jobs_started)
+            + model.shuffle_cost(self.metrics.shuffled_bytes)
+            + model.input_read_cost(self.metrics.dfs_io.bytes_read)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn modeled_adds_startup_and_shuffle() {
+        let mut m = JobMetrics::default();
+        m.jobs_started = 10;
+        m.shuffled_bytes = 64 * 1024 * 1024;
+        let run = EngineRun::new("x", m, Duration::from_millis(100), 5);
+        let model = ClusterCostModel {
+            job_startup: Duration::from_millis(10),
+            disk_bytes_per_sec: u64::MAX,
+            network_bytes_per_sec: 64 * 1024 * 1024,
+        };
+        let want = Duration::from_millis(100 + 100 + 1000);
+        assert_eq!(run.modeled(&model), want);
+    }
+}

@@ -1,0 +1,87 @@
+//! Fig. 12: Spark vs iterMR vs plainMR across dataset sizes.
+//!
+//! PageRank over the ClueWeb-{xs,s,m,l} presets (Table 5 ratios at 1/1000
+//! scale). The memflow comparator gets a fixed memory budget sized so the
+//! three smaller datasets fit in RAM and ClueWeb-l does not — reproducing
+//! the paper's crossover: "Spark is really fast when processing small data
+//! sets … However, when processing the ClueWeb-l data set, Spark is not as
+//! good as iterMR."
+
+use i2mr_algos::pagerank::{self, PageRank};
+use i2mr_bench::{banner, default_model, ms, scratch};
+use i2mr_mapred::{JobConfig, WorkerPool};
+
+fn main() {
+    let iters = 10u64;
+    banner(
+        "Fig. 12",
+        "PageRank runtime: plainMR vs iterMR vs Spark(memflow) across data sizes",
+        "ClueWeb presets xs/s/m/l (Table 5 ratios, 1/1000 scale), memflow budget fits xs/s/m only",
+    );
+    let cfg = JobConfig::symmetric(4);
+    let pool = WorkerPool::new(4);
+    let model = default_model();
+    let spec = PageRank::default();
+
+    // Budget chosen so xs/s/m stay resident and l spills. The l preset's
+    // intermediate datasets (links + ranks + contribs per iteration) exceed
+    // this comfortably.
+    let budget: usize = 3 * 1024 * 1024;
+
+    println!(
+        "\n   {:<12} {:>14} {:>14} {:>16} {:>8}",
+        "dataset", "plainMR(ms)", "iterMR(ms)", "memflow(ms)", "spilled"
+    );
+
+    let mut crossover_ok_small = true;
+    let mut crossover_ok_large = false;
+    for preset in i2mr_datagen::graph::GraphPreset::ALL {
+        let graph = i2mr_datagen::graph::GraphGen::preset(preset, 0x12).generate();
+
+        let (_, plain) = pagerank::plainmr(&pool, &cfg, &graph, 0.85, iters, 0.0).unwrap();
+        let (_, iter) = pagerank::itermr(&pool, &cfg, &graph, &spec, iters, 0.0).unwrap();
+
+        let ctx = i2mr_memflow::MemFlowCtx::new(budget, scratch(&format!("fig12-{}", preset.name())))
+            .unwrap();
+        let (_, spark) = pagerank::memflow(&ctx, &graph, cfg.n_reduce, 0.85, iters).unwrap();
+        let spilled = ctx.metrics().spills;
+
+        let p = plain.modeled(&model);
+        let i = iter.modeled(&model);
+        let s = spark.modeled(&model);
+        println!(
+            "   {:<12} {:>14} {:>14} {:>16} {:>8}",
+            preset.name(),
+            ms(p),
+            ms(i),
+            ms(s),
+            spilled
+        );
+
+        match preset {
+            i2mr_datagen::graph::GraphPreset::ClueWebXs => {
+                // Small data: in-memory processing wins (or at least matches).
+                crossover_ok_small &= s <= i.max(p);
+            }
+            i2mr_datagen::graph::GraphPreset::ClueWebL => {
+                // Large data: spills happen and iterMR beats memflow.
+                crossover_ok_large = spilled > 0 && i < s;
+            }
+            _ => {}
+        }
+    }
+
+    println!();
+    println!(
+        "   shape: memflow fastest on ClueWeb-xs : {}",
+        if crossover_ok_small { "OK" } else { "MISMATCH" }
+    );
+    println!(
+        "   shape: iterMR beats memflow on ClueWeb-l (spilling) : {}",
+        if crossover_ok_large { "OK" } else { "MISMATCH" }
+    );
+    assert!(
+        crossover_ok_small && crossover_ok_large,
+        "Fig. 12 crossover not reproduced"
+    );
+}

@@ -1,0 +1,62 @@
+//! Criterion microbenchmarks for the engine substrate: stable hashing,
+//! shuffle sort, and a full small word-count job.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use i2mr_common::hash::{stable_hash64, MapKey};
+use i2mr_mapred::partition::HashPartitioner;
+use i2mr_mapred::shuffle::sort_run;
+use i2mr_mapred::types::Emitter;
+use i2mr_mapred::{JobConfig, MapReduceJob, WorkerPool};
+
+fn bench_hash(c: &mut Criterion) {
+    let key = b"a-representative-intermediate-key";
+    c.bench_function("engine/xxhash64_33B", |b| b.iter(|| stable_hash64(key)));
+    c.bench_function("engine/mk_for_record", |b| {
+        b.iter(|| MapKey::for_record(b"vertex-1234", b"neighbor-list-payload"))
+    });
+}
+
+fn bench_sort(c: &mut Criterion) {
+    let run: Vec<(u64, MapKey, f64)> = (0..50_000u64)
+        .map(|i| ((i * 2654435761) % 10_000, MapKey(i as u128), i as f64))
+        .collect();
+    c.bench_function("engine/sort_run_50k", |b| {
+        b.iter_batched(
+            || run.clone(),
+            |mut r| {
+                sort_run(&mut r);
+                r
+            },
+            criterion::BatchSize::LargeInput,
+        )
+    });
+}
+
+fn bench_wordcount_job(c: &mut Criterion) {
+    let input: Vec<(u64, String)> = (0..2000u64)
+        .map(|i| (i, format!("w{} w{} w{} common", i % 97, i % 31, i % 7)))
+        .collect();
+    let cfg = JobConfig::symmetric(4);
+    let pool = WorkerPool::new(4);
+    let mapper = |_k: &u64, text: &String, out: &mut Emitter<String, u64>| {
+        for w in text.split_whitespace() {
+            out.emit(w.to_string(), 1);
+        }
+    };
+    let reducer = |k: &String, vs: &[u64], out: &mut Emitter<String, u64>| {
+        out.emit(k.clone(), vs.iter().sum());
+    };
+    c.bench_function("engine/wordcount_job_2k_records", |b| {
+        b.iter(|| {
+            let job = MapReduceJob::new(&cfg, &mapper, &reducer, &HashPartitioner);
+            job.run(&pool, &input, 0).unwrap()
+        })
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_hash, bench_sort, bench_wordcount_job
+}
+criterion_main!(benches);

@@ -1,0 +1,97 @@
+//! Criterion microbenchmarks for the MRBG-Store: chunk codec, point
+//! lookups, and merge passes under each query strategy.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use i2mr_common::hash::MapKey;
+use i2mr_store::format::{Chunk, ChunkEntry};
+use i2mr_store::merge::{DeltaChunk, DeltaEntry};
+use i2mr_store::query::QueryStrategy;
+use i2mr_store::store::{MrbgStore, StoreConfig};
+
+fn chunk(k: u64, entries: usize) -> Chunk {
+    Chunk::new(
+        format!("key-{k:08}").into_bytes(),
+        (0..entries as u128)
+            .map(|m| ChunkEntry {
+                mk: MapKey(m),
+                value: vec![7u8; 48],
+            })
+            .collect(),
+    )
+}
+
+fn bench_chunk_codec(c: &mut Criterion) {
+    let ch = chunk(1, 16);
+    let mut buf = Vec::new();
+    ch.encode(&mut buf);
+    c.bench_function("store/chunk_encode_16x48B", |b| {
+        b.iter(|| {
+            let mut out = Vec::with_capacity(buf.len());
+            ch.encode(&mut out);
+            out
+        })
+    });
+    c.bench_function("store/chunk_decode_16x48B", |b| {
+        b.iter(|| {
+            let mut cur = buf.as_slice();
+            Chunk::decode(&mut cur).unwrap()
+        })
+    });
+}
+
+fn build_store(tag: &str, n: u64) -> MrbgStore {
+    let dir = std::env::temp_dir().join(format!("i2mr-micro-store-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let mut s = MrbgStore::create(dir, StoreConfig::default()).unwrap();
+    s.append_batch((0..n).map(|k| chunk(k, 8)).collect()).unwrap();
+    s
+}
+
+fn bench_point_get(c: &mut Criterion) {
+    let mut s = build_store("get", 2000);
+    let mut k = 0u64;
+    c.bench_function("store/point_get", |b| {
+        b.iter(|| {
+            k = (k + 7) % 2000;
+            s.get(format!("key-{k:08}").as_bytes()).unwrap()
+        })
+    });
+}
+
+fn bench_merge_strategies(c: &mut Criterion) {
+    let mut group = c.benchmark_group("store/merge_500_of_2000");
+    for (name, strategy) in [
+        ("index_only", QueryStrategy::IndexOnly),
+        (
+            "multi_dynamic",
+            QueryStrategy::MultiDynamicWindow { gap_threshold: 4096 },
+        ),
+    ] {
+        group.bench_with_input(BenchmarkId::from_parameter(name), &strategy, |b, strat| {
+            b.iter_batched(
+                || {
+                    let mut s = build_store(&format!("merge-{name}"), 2000);
+                    s.set_strategy(*strat);
+                    let deltas: Vec<DeltaChunk> = (0..2000u64)
+                        .step_by(4)
+                        .map(|k| DeltaChunk {
+                            key: format!("key-{k:08}").into_bytes(),
+                            entries: vec![DeltaEntry::Insert(MapKey(999), vec![1u8; 48])],
+                        })
+                        .collect();
+                    (s, deltas)
+                },
+                |(mut s, deltas)| s.merge_apply(deltas).unwrap(),
+                criterion::BatchSize::LargeInput,
+            )
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_chunk_codec, bench_point_get, bench_merge_strategies
+}
+criterion_main!(benches);

@@ -1,0 +1,158 @@
+//! Table 4: performance optimizations in the MRBG-Store.
+//!
+//! Four query strategies, enabled one by one, during a multi-batch
+//! incremental merge workload (iterative PageRank-style access pattern):
+//!
+//! | strategy | paper result |
+//! |---|---|
+//! | index-only | smallest bytes read, most reads (seeks) |
+//! | single-fix-window | catastrophic bytes read (window thrashes between batches) |
+//! | multi-fix-window | far fewer reads, moderate bytes |
+//! | multi-dynamic-window | fewest wasted bytes, best time |
+
+use i2mr_bench::{banner, sized};
+use i2mr_common::hash::MapKey;
+use i2mr_store::format::{Chunk, ChunkEntry};
+use i2mr_store::merge::{DeltaChunk, DeltaEntry};
+use i2mr_store::query::QueryStrategy;
+use i2mr_store::store::{MrbgStore, StoreConfig};
+use std::time::Instant;
+
+/// Build a store with `n_keys` chunks and `batches` merge rounds touching
+/// alternating halves — the multi-batch layout of §5.2.
+fn build(tag: &str, n_keys: u64, batches: u32) -> MrbgStore {
+    let dir = std::env::temp_dir().join(format!(
+        "i2mr-table4-{tag}-{}",
+        std::process::id()
+    ));
+    let _ = std::fs::remove_dir_all(&dir);
+    let mut store = MrbgStore::create(&dir, StoreConfig::default()).unwrap();
+    let initial: Vec<Chunk> = (0..n_keys)
+        .map(|k| {
+            Chunk::new(
+                key_bytes(k),
+                (0..8u128)
+                    .map(|m| ChunkEntry {
+                        mk: MapKey(m),
+                        value: vec![0u8; 64],
+                    })
+                    .collect(),
+            )
+        })
+        .collect();
+    store.append_batch(initial).unwrap();
+    for round in 1..batches {
+        let deltas: Vec<DeltaChunk> = (0..n_keys)
+            .filter(|k| k % 2 == (round % 2) as u64)
+            .map(|k| DeltaChunk {
+                key: key_bytes(k),
+                entries: vec![DeltaEntry::Insert(MapKey(100 + round as u128), vec![1u8; 64])],
+            })
+            .collect();
+        store.merge_apply(deltas).unwrap();
+    }
+    store
+}
+
+fn key_bytes(k: u64) -> Vec<u8> {
+    format!("k{k:08}").into_bytes()
+}
+
+fn main() {
+    let n_keys = sized(4000);
+    let batches = 6u32;
+    banner(
+        "Table 4",
+        "MRBG-Store query strategies during one merge pass",
+        &format!("{n_keys} chunks, {batches} batches of sorted chunks, ~30% of keys queried"),
+    );
+
+    // The merge workload: clustered updates — runs of ~33 adjacent keys
+    // separated by unqueried gaps (deltas cluster on hot regions of the
+    // key space), arriving in the sorted order the shuffle produces. This
+    // is the access pattern where window choice matters: dynamic windows
+    // batch each run into one I/O and stop at the gap, while fixed windows
+    // read past the run's end into useless bytes.
+    let make_deltas = || -> Vec<DeltaChunk> {
+        (0..n_keys)
+            .filter(|k| (k / 33) % 3 == 0)
+            .map(|k| DeltaChunk {
+                key: key_bytes(k),
+                entries: vec![DeltaEntry::Insert(MapKey(999), vec![2u8; 64])],
+            })
+            .collect()
+    };
+
+    println!(
+        "   {:<24} {:>9} {:>12} {:>10}",
+        "technique", "# reads", "read KB", "time (ms)"
+    );
+    let mut results = Vec::new();
+    for (name, strategy) in [
+        ("index-only", QueryStrategy::IndexOnly),
+        (
+            "single-fix-window",
+            QueryStrategy::SingleFixWindow { window: 16 * 1024 },
+        ),
+        (
+            "multi-fix-window",
+            QueryStrategy::MultiFixWindow { window: 16 * 1024 },
+        ),
+        (
+            "multi-dynamic-window",
+            QueryStrategy::MultiDynamicWindow {
+                gap_threshold: 2048,
+            },
+        ),
+    ] {
+        let mut store = build(name, n_keys, batches);
+        store.set_strategy(strategy);
+        store.reset_io_stats();
+        let t = Instant::now();
+        store.merge_apply(make_deltas()).unwrap();
+        let elapsed = t.elapsed();
+        let io = store.io_stats();
+        println!(
+            "   {:<24} {:>9} {:>12.1} {:>10.1}",
+            name,
+            io.reads,
+            io.bytes_read as f64 / 1024.0,
+            elapsed.as_secs_f64() * 1e3
+        );
+        results.push((name, io.reads, io.bytes_read, elapsed));
+    }
+
+    // Shape checks (paper Table 4).
+    let get = |n: &str| results.iter().find(|r| r.0 == n).unwrap().clone();
+    let index_only = get("index-only");
+    let single = get("single-fix-window");
+    let multi_fix = get("multi-fix-window");
+    let dynamic = get("multi-dynamic-window");
+
+    let mut ok = true;
+    let mut shape = |cond: bool, msg: &str| {
+        println!("   shape: {msg} : {}", if cond { "OK" } else { "MISMATCH" });
+        ok &= cond;
+    };
+    shape(
+        index_only.1 > dynamic.1,
+        "index-only issues the most reads",
+    );
+    shape(
+        index_only.2 <= dynamic.2,
+        "index-only reads the fewest bytes",
+    );
+    shape(
+        single.2 > multi_fix.2,
+        "single-fix-window wastes more bytes than multi-fix-window",
+    );
+    shape(
+        dynamic.2 <= multi_fix.2,
+        "dynamic windows read no more than fixed windows",
+    );
+    shape(
+        dynamic.1 < index_only.1,
+        "dynamic windows batch reads (fewer seeks than index-only)",
+    );
+    assert!(ok, "Table 4 shape checks failed");
+}

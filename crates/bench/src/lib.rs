@@ -1,0 +1,166 @@
+//! Shared harness utilities for the per-figure/table bench targets.
+//!
+//! Every bench target under `benches/` regenerates one table or figure of
+//! the paper's §8 (see `DESIGN.md` §3 for the full index) and prints:
+//!
+//! 1. a header naming the experiment and the scaled workload,
+//! 2. the same rows/series the paper reports (measured **and** modeled
+//!    cluster time — see `i2mr-common::costmodel`),
+//! 3. a `shape:` line asserting the paper's qualitative result
+//!    (orderings / crossovers), marked `OK` or `MISMATCH`.
+//!
+//! Absolute numbers are *not* expected to match the paper (32-node EC2
+//! cluster vs one machine at ~1/1000 data scale); shapes are.
+
+use i2mr_algos::report::EngineRun;
+use i2mr_common::costmodel::ClusterCostModel;
+use std::time::Duration;
+
+/// Default cost model used by all benches (documented in DESIGN.md §1).
+pub fn default_model() -> ClusterCostModel {
+    ClusterCostModel::default()
+}
+
+/// Print the experiment banner.
+pub fn banner(id: &str, title: &str, workload: &str) {
+    println!();
+    println!("== {id}: {title} ==");
+    println!("   workload: {workload}");
+    let m = default_model();
+    println!(
+        "   cost model: job startup {:?}, network {} MiB/s",
+        m.job_startup,
+        m.network_bytes_per_sec / (1024 * 1024)
+    );
+}
+
+/// Format a duration in milliseconds with 1 decimal.
+pub fn ms(d: Duration) -> String {
+    format!("{:.1}", d.as_secs_f64() * 1e3)
+}
+
+/// Print one engine-comparison table with runtimes normalized to the first
+/// row's modeled time (the paper's Fig. 8 presentation).
+pub fn print_engine_table(rows: &[EngineRun], model: &ClusterCostModel) {
+    let base = rows
+        .first()
+        .map(|r| r.modeled(model).as_secs_f64())
+        .unwrap_or(1.0);
+    println!(
+        "   {:<26} {:>9} {:>9} {:>11} {:>7} {:>12} {:>10}",
+        "engine", "wall(ms)", "model(ms)", "normalized", "iters", "shuffled(KB)", "jobs"
+    );
+    for r in rows {
+        let modeled = r.modeled(model);
+        println!(
+            "   {:<26} {:>9} {:>9} {:>11.3} {:>7} {:>12.1} {:>10}",
+            r.name,
+            ms(r.wall),
+            ms(modeled),
+            modeled.as_secs_f64() / base,
+            r.iterations,
+            r.metrics.shuffled_bytes as f64 / 1024.0,
+            r.metrics.jobs_started,
+        );
+    }
+}
+
+/// Check a strictly-descending ordering of modeled runtimes and print the
+/// `shape:` verdict. `expected` lists engine names from slowest to fastest.
+pub fn check_shape(label: &str, rows: &[EngineRun], expected_slowest_to_fastest: &[&str]) -> bool {
+    let model = default_model();
+    let time_of = |name: &str| -> Option<f64> {
+        rows.iter()
+            .find(|r| r.name == name)
+            .map(|r| r.modeled(&model).as_secs_f64())
+    };
+    let mut ok = true;
+    let mut prev: Option<(f64, &str)> = None;
+    for name in expected_slowest_to_fastest {
+        let Some(t) = time_of(name) else {
+            println!("   shape: {label}: engine {name} missing : MISMATCH");
+            return false;
+        };
+        if let Some((pt, pname)) = prev {
+            if t > pt {
+                println!(
+                    "   shape: {label}: expected {name} ({t:.3}s) <= {pname} ({pt:.3}s) : MISMATCH"
+                );
+                ok = false;
+            }
+        }
+        prev = Some((t, name));
+    }
+    if ok {
+        println!(
+            "   shape: {label}: {} : OK",
+            expected_slowest_to_fastest.join(" >= ")
+        );
+    }
+    ok
+}
+
+/// A fresh scratch directory for a bench run.
+pub fn scratch(tag: &str) -> std::path::PathBuf {
+    let d = std::env::temp_dir().join(format!("i2mr-bench-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&d);
+    std::fs::create_dir_all(&d).expect("scratch dir");
+    d
+}
+
+/// True when the caller asked for a quick run (`I2MR_BENCH_QUICK=1`),
+/// shrinking workloads ~10× so `cargo bench` stays fast in CI.
+pub fn quick() -> bool {
+    std::env::var("I2MR_BENCH_QUICK").map_or(false, |v| v != "0")
+}
+
+/// Scale a size down in quick mode.
+pub fn sized(full: u64) -> u64 {
+    if quick() {
+        (full / 8).max(16)
+    } else {
+        full
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use i2mr_common::metrics::JobMetrics;
+
+    fn run(name: &str, wall_ms: u64, jobs: u64) -> EngineRun {
+        EngineRun::new(
+            name,
+            JobMetrics {
+                jobs_started: jobs,
+                ..Default::default()
+            },
+            Duration::from_millis(wall_ms),
+            1,
+        )
+    }
+
+    #[test]
+    fn shape_check_accepts_correct_order() {
+        let rows = vec![run("slow", 1000, 0), run("fast", 10, 0)];
+        assert!(check_shape("t", &rows, &["slow", "fast"]));
+    }
+
+    #[test]
+    fn shape_check_rejects_wrong_order() {
+        let rows = vec![run("slow", 10, 0), run("fast", 1000, 0)];
+        assert!(!check_shape("t", &rows, &["slow", "fast"]));
+    }
+
+    #[test]
+    fn shape_check_rejects_missing_engine() {
+        let rows = vec![run("only", 10, 0)];
+        assert!(!check_shape("t", &rows, &["only", "missing"]));
+    }
+
+    #[test]
+    fn modeled_time_includes_job_startup() {
+        let rows = vec![run("many-jobs", 10, 100), run("one-job", 10, 1)];
+        assert!(check_shape("t", &rows, &["many-jobs", "one-job"]));
+    }
+}

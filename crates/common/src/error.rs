@@ -1,0 +1,114 @@
+//! Common error type shared by every crate in the workspace.
+
+use std::fmt;
+
+/// Workspace-wide result alias.
+pub type Result<T> = std::result::Result<T, Error>;
+
+/// Errors that can surface from the substrates or engines.
+///
+/// The set is intentionally small: the engines convert everything they can
+/// recover from (e.g. an injected task fault) into scheduling decisions, so
+/// only genuinely fatal conditions reach the caller.
+#[derive(Debug)]
+pub enum Error {
+    /// Underlying filesystem / block-store failure.
+    Io(std::io::Error),
+    /// A byte payload could not be decoded with the expected schema.
+    Codec(String),
+    /// Invalid configuration detected before a job started.
+    Config(String),
+    /// A task exhausted its retry budget.
+    TaskFailed {
+        /// Human-readable task identifier, e.g. `map-3@iter-2`.
+        task: String,
+        /// Number of attempts made (including the first).
+        attempts: u32,
+        /// Description of the last failure.
+        reason: String,
+    },
+    /// The requested file/key does not exist in the mini-DFS or a store.
+    NotFound(String),
+    /// An invariant the engine relies on was violated (a bug or corrupt state).
+    Corrupt(String),
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Error::Io(e) => write!(f, "io error: {e}"),
+            Error::Codec(m) => write!(f, "codec error: {m}"),
+            Error::Config(m) => write!(f, "config error: {m}"),
+            Error::TaskFailed {
+                task,
+                attempts,
+                reason,
+            } => write!(f, "task {task} failed after {attempts} attempts: {reason}"),
+            Error::NotFound(m) => write!(f, "not found: {m}"),
+            Error::Corrupt(m) => write!(f, "corrupt state: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for Error {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            Error::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<std::io::Error> for Error {
+    fn from(e: std::io::Error) -> Self {
+        Error::Io(e)
+    }
+}
+
+impl Error {
+    /// Shorthand for a codec error with a formatted message.
+    pub fn codec(msg: impl Into<String>) -> Self {
+        Error::Codec(msg.into())
+    }
+
+    /// Shorthand for a config error with a formatted message.
+    pub fn config(msg: impl Into<String>) -> Self {
+        Error::Config(msg.into())
+    }
+
+    /// Shorthand for a corruption error with a formatted message.
+    pub fn corrupt(msg: impl Into<String>) -> Self {
+        Error::Corrupt(msg.into())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_formats_are_stable() {
+        let e = Error::codec("bad varint");
+        assert_eq!(e.to_string(), "codec error: bad varint");
+        let e = Error::TaskFailed {
+            task: "map-3".into(),
+            attempts: 2,
+            reason: "injected".into(),
+        };
+        assert_eq!(e.to_string(), "task map-3 failed after 2 attempts: injected");
+    }
+
+    #[test]
+    fn io_error_converts_and_sources() {
+        let io = std::io::Error::new(std::io::ErrorKind::Other, "disk on fire");
+        let e: Error = io.into();
+        assert!(matches!(e, Error::Io(_)));
+        assert!(std::error::Error::source(&e).is_some());
+    }
+
+    #[test]
+    fn non_io_errors_have_no_source() {
+        let e = Error::config("bad");
+        assert!(std::error::Error::source(&e).is_none());
+    }
+}

@@ -1,0 +1,278 @@
+//! Stable hashing.
+//!
+//! Two distinct needs are served here:
+//!
+//! 1. **Partitioning** (`hash(K2) % m`, `hash(project(SK)) % n`): must be
+//!    deterministic across *runs of the same binary and across jobs*, because
+//!    job `A'` must route a key to the same reduce task whose MRBG-Store
+//!    holds that key's preserved chunk from job `A`. `std::hash` makes no
+//!    stability promise, so we carry our own xxhash64.
+//! 2. **Map-instance keys** (`MK`, paper §3.2): a globally-unique identifier
+//!    for each Map function call instance. The incremental engine cancels a
+//!    deleted record's MRBGraph edges by re-running Map on the *old* record
+//!    and emitting tombstones carrying the same MK the initial run produced —
+//!    so MK must be a pure function of the map input. We use a 128-bit hash
+//!    (two independently-seeded xxhash64 lanes) to make collisions
+//!    practically impossible.
+//!
+//! The implementation is the reference XXH64 algorithm (public domain),
+//! transcribed so the repository has no external hashing dependency and the
+//! on-disk format is self-contained.
+
+const PRIME64_1: u64 = 0x9E3779B185EBCA87;
+const PRIME64_2: u64 = 0xC2B2AE3D27D4EB4F;
+const PRIME64_3: u64 = 0x165667B19E3779F9;
+const PRIME64_4: u64 = 0x85EBCA77C2B2AE63;
+const PRIME64_5: u64 = 0x27D4EB2F165667C5;
+
+#[inline]
+fn read_u64_le(b: &[u8]) -> u64 {
+    u64::from_le_bytes(b[..8].try_into().unwrap())
+}
+
+#[inline]
+fn read_u32_le(b: &[u8]) -> u32 {
+    u32::from_le_bytes(b[..4].try_into().unwrap())
+}
+
+#[inline]
+fn round(acc: u64, input: u64) -> u64 {
+    acc.wrapping_add(input.wrapping_mul(PRIME64_2))
+        .rotate_left(31)
+        .wrapping_mul(PRIME64_1)
+}
+
+#[inline]
+fn merge_round(acc: u64, val: u64) -> u64 {
+    (acc ^ round(0, val))
+        .wrapping_mul(PRIME64_1)
+        .wrapping_add(PRIME64_4)
+}
+
+/// Reference XXH64 over `data` with the given `seed`.
+///
+/// Stable across runs, platforms, and Rust versions; suitable for both
+/// partitioning and persistent identifiers.
+pub fn xxhash64(data: &[u8], seed: u64) -> u64 {
+    let len = data.len() as u64;
+    let mut rest = data;
+
+    let mut h64: u64 = if data.len() >= 32 {
+        let mut v1 = seed.wrapping_add(PRIME64_1).wrapping_add(PRIME64_2);
+        let mut v2 = seed.wrapping_add(PRIME64_2);
+        let mut v3 = seed;
+        let mut v4 = seed.wrapping_sub(PRIME64_1);
+        while rest.len() >= 32 {
+            v1 = round(v1, read_u64_le(&rest[0..]));
+            v2 = round(v2, read_u64_le(&rest[8..]));
+            v3 = round(v3, read_u64_le(&rest[16..]));
+            v4 = round(v4, read_u64_le(&rest[24..]));
+            rest = &rest[32..];
+        }
+        let mut h = v1
+            .rotate_left(1)
+            .wrapping_add(v2.rotate_left(7))
+            .wrapping_add(v3.rotate_left(12))
+            .wrapping_add(v4.rotate_left(18));
+        h = merge_round(h, v1);
+        h = merge_round(h, v2);
+        h = merge_round(h, v3);
+        h = merge_round(h, v4);
+        h
+    } else {
+        seed.wrapping_add(PRIME64_5)
+    };
+
+    h64 = h64.wrapping_add(len);
+
+    while rest.len() >= 8 {
+        h64 = (h64 ^ round(0, read_u64_le(rest)))
+            .rotate_left(27)
+            .wrapping_mul(PRIME64_1)
+            .wrapping_add(PRIME64_4);
+        rest = &rest[8..];
+    }
+    if rest.len() >= 4 {
+        h64 = (h64 ^ (read_u32_le(rest) as u64).wrapping_mul(PRIME64_1))
+            .rotate_left(23)
+            .wrapping_mul(PRIME64_2)
+            .wrapping_add(PRIME64_3);
+        rest = &rest[4..];
+    }
+    for &byte in rest {
+        h64 = (h64 ^ (byte as u64).wrapping_mul(PRIME64_5))
+            .rotate_left(11)
+            .wrapping_mul(PRIME64_1);
+    }
+
+    h64 ^= h64 >> 33;
+    h64 = h64.wrapping_mul(PRIME64_2);
+    h64 ^= h64 >> 29;
+    h64 = h64.wrapping_mul(PRIME64_3);
+    h64 ^= h64 >> 32;
+    h64
+}
+
+/// Stable 64-bit hash with the default seed; used for partitioning.
+#[inline]
+pub fn stable_hash64(data: &[u8]) -> u64 {
+    xxhash64(data, 0)
+}
+
+/// Stable 128-bit hash: two independently-seeded xxhash64 lanes.
+#[inline]
+pub fn stable_hash128(data: &[u8]) -> u128 {
+    let lo = xxhash64(data, 0x0b50_1e7e_0000_0001);
+    let hi = xxhash64(data, 0xfeed_face_cafe_beef);
+    ((hi as u128) << 64) | lo as u128
+}
+
+/// The globally-unique Map-instance key (paper §3.2).
+///
+/// `(K2, MK)` uniquely identifies an MRBGraph edge. Derived deterministically
+/// from the map input so that re-executions and delta cancellations reproduce
+/// the identifier (see module docs).
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct MapKey(pub u128);
+
+impl MapKey {
+    /// Derive the MK for a one-step map instance from its full input record.
+    ///
+    /// One-step inputs may have non-unique K1 (paper §3.2), so both key and
+    /// value participate.
+    pub fn for_record(k1: &[u8], v1: &[u8]) -> Self {
+        // Length prefix prevents ambiguity between (k1="ab", v1="c") and
+        // (k1="a", v1="bc").
+        let mut buf = Vec::with_capacity(8 + k1.len() + v1.len());
+        buf.extend_from_slice(&(k1.len() as u64).to_le_bytes());
+        buf.extend_from_slice(k1);
+        buf.extend_from_slice(v1);
+        MapKey(stable_hash128(&buf))
+    }
+
+    /// Derive the MK for an iterative map instance from its structure key.
+    ///
+    /// Structure keys are unique per structure record; the interdependent
+    /// state value changes between iterations but the instance identity (and
+    /// hence MK) must not, so only SK participates.
+    pub fn for_structure(sk: &[u8]) -> Self {
+        MapKey(stable_hash128(sk))
+    }
+
+    /// Raw little-endian bytes, used by the store's chunk format.
+    pub fn to_bytes(self) -> [u8; 16] {
+        self.0.to_le_bytes()
+    }
+
+    /// Rebuild from the store's chunk format.
+    pub fn from_bytes(b: [u8; 16]) -> Self {
+        MapKey(u128::from_le_bytes(b))
+    }
+}
+
+impl std::fmt::Debug for MapKey {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "MK({:032x})", self.0)
+    }
+}
+
+/// A fast, stable `BuildHasher` for in-memory maps keyed by byte strings.
+///
+/// `std::collections::HashMap` with SipHash dominates profile time in the
+/// store's index lookups; this wrapper plugs xxhash64 in instead. It is *not*
+/// DoS-resistant, which is acceptable for trusted, in-process data.
+#[derive(Default, Clone, Copy)]
+pub struct StableHashBuilder;
+
+pub struct StableHasher {
+    buf: Vec<u8>,
+}
+
+impl std::hash::Hasher for StableHasher {
+    fn finish(&self) -> u64 {
+        xxhash64(&self.buf, 0)
+    }
+    fn write(&mut self, bytes: &[u8]) {
+        self.buf.extend_from_slice(bytes);
+    }
+}
+
+impl std::hash::BuildHasher for StableHashBuilder {
+    type Hasher = StableHasher;
+    fn build_hasher(&self) -> StableHasher {
+        StableHasher {
+            buf: Vec::with_capacity(16),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    // Reference vectors generated with the canonical xxhash C implementation.
+    #[test]
+    fn xxh64_reference_vectors() {
+        assert_eq!(xxhash64(b"", 0), 0xEF46DB3751D8E999);
+        assert_eq!(xxhash64(b"a", 0), 0xD24EC4F1A98C6E5B);
+        assert_eq!(xxhash64(b"abc", 0), 0x44BC2CF5AD770999);
+        assert_eq!(
+            xxhash64(b"xxhash is a fast non-cryptographic hash", 0),
+            xxhash64(b"xxhash is a fast non-cryptographic hash", 0)
+        );
+    }
+
+    #[test]
+    fn xxh64_seed_changes_output() {
+        assert_ne!(xxhash64(b"abc", 0), xxhash64(b"abc", 1));
+    }
+
+    #[test]
+    fn xxh64_covers_all_tail_paths() {
+        // Lengths chosen to exercise: <4 bytes, 4..8, 8..32, >=32 with tails.
+        for len in [0usize, 1, 3, 4, 5, 7, 8, 9, 15, 16, 31, 32, 33, 63, 64, 100] {
+            let data: Vec<u8> = (0..len).map(|i| (i * 7 + 13) as u8).collect();
+            let h1 = xxhash64(&data, 42);
+            let h2 = xxhash64(&data, 42);
+            assert_eq!(h1, h2, "len={len}");
+            if len > 0 {
+                let mut tweaked = data.clone();
+                tweaked[len / 2] ^= 0xFF;
+                assert_ne!(xxhash64(&tweaked, 42), h1, "len={len} tweak undetected");
+            }
+        }
+    }
+
+    #[test]
+    fn mk_is_deterministic_and_injective_on_length_split() {
+        let a = MapKey::for_record(b"ab", b"c");
+        let b = MapKey::for_record(b"a", b"bc");
+        assert_ne!(a, b, "length prefix must disambiguate the split");
+        assert_eq!(a, MapKey::for_record(b"ab", b"c"));
+    }
+
+    #[test]
+    fn mk_roundtrips_through_bytes() {
+        let mk = MapKey::for_structure(b"vertex-42");
+        assert_eq!(MapKey::from_bytes(mk.to_bytes()), mk);
+    }
+
+    #[test]
+    fn stable_hash128_lanes_are_independent() {
+        let h = stable_hash128(b"payload");
+        let lo = (h & u64::MAX as u128) as u64;
+        let hi = (h >> 64) as u64;
+        assert_ne!(lo, hi);
+    }
+
+    #[test]
+    fn stable_hashmap_works() {
+        use std::collections::HashMap;
+        let mut m: HashMap<Vec<u8>, u32, StableHashBuilder> =
+            HashMap::with_hasher(StableHashBuilder);
+        m.insert(b"k1".to_vec(), 1);
+        m.insert(b"k2".to_vec(), 2);
+        assert_eq!(m.get(b"k1".as_slice()), Some(&1));
+        assert_eq!(m.get(b"k2".as_slice()), Some(&2));
+    }
+}

@@ -1,0 +1,248 @@
+//! Per-stage timing, I/O counters, and job metrics.
+//!
+//! The paper's evaluation reports three kinds of numbers this module must be
+//! able to produce:
+//!
+//! * **Fig. 9**: wall time of the individual MapReduce stages (map, shuffle,
+//!   sort, reduce) summed across all iterations → [`StageTimes`].
+//! * **Table 4**: number of I/O reads and bytes read by the MRBG-Store's
+//!   query algorithm → [`IoStats`].
+//! * **Fig. 8/10/11/12**: end-to-end runtimes per engine → [`JobMetrics`],
+//!   optionally passed through the cluster cost model (see [`crate::costmodel`]).
+//!
+//! All counters are plain data; thread-safe accumulation is done by the
+//! engines with `parking_lot` locks around these structs.
+
+use std::ops::AddAssign;
+use std::time::Duration;
+
+/// One of the four MapReduce stages the paper's Fig. 9 breaks time into.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum Stage {
+    /// Running user Map functions over input / delta records.
+    Map,
+    /// Moving intermediate kv-pairs from map tasks to reduce partitions.
+    Shuffle,
+    /// Sorting intermediate kv-pairs within each reduce partition.
+    Sort,
+    /// Running user Reduce functions (including MRBG-Store access in i2MR).
+    Reduce,
+}
+
+impl Stage {
+    /// All stages in the paper's Fig. 9 presentation order.
+    pub const ALL: [Stage; 4] = [Stage::Map, Stage::Shuffle, Stage::Sort, Stage::Reduce];
+
+    /// Lowercase display name used by the bench harness.
+    pub fn name(self) -> &'static str {
+        match self {
+            Stage::Map => "map",
+            Stage::Shuffle => "shuffle",
+            Stage::Sort => "sort",
+            Stage::Reduce => "reduce",
+        }
+    }
+}
+
+/// Accumulated wall time per stage.
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct StageTimes {
+    pub map: Duration,
+    pub shuffle: Duration,
+    pub sort: Duration,
+    pub reduce: Duration,
+}
+
+impl StageTimes {
+    /// Add `d` to the accumulator for `stage`.
+    pub fn add(&mut self, stage: Stage, d: Duration) {
+        match stage {
+            Stage::Map => self.map += d,
+            Stage::Shuffle => self.shuffle += d,
+            Stage::Sort => self.sort += d,
+            Stage::Reduce => self.reduce += d,
+        }
+    }
+
+    /// Read the accumulator for `stage`.
+    pub fn get(&self, stage: Stage) -> Duration {
+        match stage {
+            Stage::Map => self.map,
+            Stage::Shuffle => self.shuffle,
+            Stage::Sort => self.sort,
+            Stage::Reduce => self.reduce,
+        }
+    }
+
+    /// Total across all four stages.
+    pub fn total(&self) -> Duration {
+        self.map + self.shuffle + self.sort + self.reduce
+    }
+}
+
+impl AddAssign for StageTimes {
+    fn add_assign(&mut self, rhs: Self) {
+        self.map += rhs.map;
+        self.shuffle += rhs.shuffle;
+        self.sort += rhs.sort;
+        self.reduce += rhs.reduce;
+    }
+}
+
+/// I/O counters in the shape of the paper's Table 4 columns.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct IoStats {
+    /// Number of distinct read syscall-equivalents issued (likely disk seeks).
+    pub reads: u64,
+    /// Total bytes read.
+    pub bytes_read: u64,
+    /// Number of write calls issued.
+    pub writes: u64,
+    /// Total bytes written.
+    pub bytes_written: u64,
+}
+
+impl IoStats {
+    /// Record one read of `bytes` bytes.
+    pub fn record_read(&mut self, bytes: u64) {
+        self.reads += 1;
+        self.bytes_read += bytes;
+    }
+
+    /// Record one write of `bytes` bytes.
+    pub fn record_write(&mut self, bytes: u64) {
+        self.writes += 1;
+        self.bytes_written += bytes;
+    }
+}
+
+impl AddAssign for IoStats {
+    fn add_assign(&mut self, rhs: Self) {
+        self.reads += rhs.reads;
+        self.bytes_read += rhs.bytes_read;
+        self.writes += rhs.writes;
+        self.bytes_written += rhs.bytes_written;
+    }
+}
+
+/// End-to-end metrics for one job (or one iteration of an iterative job).
+#[derive(Clone, Debug, Default)]
+pub struct JobMetrics {
+    /// Number of MapReduce jobs launched (plainMR PageRank: 1/iteration;
+    /// HaLoop PageRank: 2/iteration; iterMR/i2MR: jobs are reused → counted
+    /// once per computation).
+    pub jobs_started: u64,
+    /// Wall time per stage (measured, single machine).
+    pub stages: StageTimes,
+    /// Intermediate kv-pairs moved between map and reduce tasks.
+    pub shuffled_records: u64,
+    /// Bytes of intermediate data moved between map and reduce tasks.
+    pub shuffled_bytes: u64,
+    /// Map function call instances actually executed.
+    pub map_invocations: u64,
+    /// Reduce function call instances actually executed.
+    pub reduce_invocations: u64,
+    /// MRBG-Store I/O (zero for engines that do not maintain the store).
+    pub store_io: IoStats,
+    /// Checkpoint / DFS I/O.
+    pub dfs_io: IoStats,
+}
+
+impl JobMetrics {
+    /// Measured wall time across all stages.
+    pub fn measured(&self) -> Duration {
+        self.stages.total()
+    }
+
+    /// Merge another job's metrics into this one (used to sum iterations).
+    pub fn merge(&mut self, other: &JobMetrics) {
+        self.jobs_started += other.jobs_started;
+        self.stages += other.stages;
+        self.shuffled_records += other.shuffled_records;
+        self.shuffled_bytes += other.shuffled_bytes;
+        self.map_invocations += other.map_invocations;
+        self.reduce_invocations += other.reduce_invocations;
+        self.store_io += other.store_io;
+        self.dfs_io += other.dfs_io;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stage_times_accumulate_and_total() {
+        let mut st = StageTimes::default();
+        st.add(Stage::Map, Duration::from_millis(10));
+        st.add(Stage::Map, Duration::from_millis(5));
+        st.add(Stage::Reduce, Duration::from_millis(20));
+        assert_eq!(st.get(Stage::Map), Duration::from_millis(15));
+        assert_eq!(st.get(Stage::Shuffle), Duration::ZERO);
+        assert_eq!(st.total(), Duration::from_millis(35));
+    }
+
+    #[test]
+    fn stage_times_add_assign() {
+        let mut a = StageTimes::default();
+        a.add(Stage::Sort, Duration::from_millis(1));
+        let mut b = StageTimes::default();
+        b.add(Stage::Sort, Duration::from_millis(2));
+        b.add(Stage::Shuffle, Duration::from_millis(3));
+        a += b;
+        assert_eq!(a.get(Stage::Sort), Duration::from_millis(3));
+        assert_eq!(a.get(Stage::Shuffle), Duration::from_millis(3));
+    }
+
+    #[test]
+    fn io_stats_record_and_merge() {
+        let mut io = IoStats::default();
+        io.record_read(100);
+        io.record_read(50);
+        io.record_write(7);
+        assert_eq!(io.reads, 2);
+        assert_eq!(io.bytes_read, 150);
+        assert_eq!(io.writes, 1);
+        let mut other = IoStats::default();
+        other.record_read(1);
+        io += other;
+        assert_eq!(io.reads, 3);
+        assert_eq!(io.bytes_read, 151);
+    }
+
+    #[test]
+    fn job_metrics_merge_sums_everything() {
+        let mut a = JobMetrics {
+            jobs_started: 1,
+            shuffled_records: 10,
+            shuffled_bytes: 100,
+            map_invocations: 5,
+            reduce_invocations: 3,
+            ..Default::default()
+        };
+        a.stages.add(Stage::Map, Duration::from_millis(4));
+        let mut b = JobMetrics {
+            jobs_started: 2,
+            shuffled_records: 1,
+            shuffled_bytes: 2,
+            map_invocations: 1,
+            reduce_invocations: 1,
+            ..Default::default()
+        };
+        b.store_io.record_read(9);
+        a.merge(&b);
+        assert_eq!(a.jobs_started, 3);
+        assert_eq!(a.shuffled_records, 11);
+        assert_eq!(a.shuffled_bytes, 102);
+        assert_eq!(a.map_invocations, 6);
+        assert_eq!(a.reduce_invocations, 4);
+        assert_eq!(a.store_io.reads, 1);
+        assert_eq!(a.measured(), Duration::from_millis(4));
+    }
+
+    #[test]
+    fn stage_names_match_paper() {
+        let names: Vec<_> = Stage::ALL.iter().map(|s| s.name()).collect();
+        assert_eq!(names, ["map", "shuffle", "sort", "reduce"]);
+    }
+}

@@ -1,0 +1,353 @@
+//! The accumulator-Reduce optimization (paper §3.5).
+//!
+//! When the Reduce function is an accumulative operation `⊕` satisfying the
+//! distributive property `f(D ∪ ΔD) = f(D) ⊕ f(ΔD)` and the delta contains
+//! only insertions, there is no need to preserve the MRBGraph at all: the
+//! engine preserves only the final output kv-pairs `(K3, V3) = (K2, f(...))`
+//! and folds the delta's partial aggregates into them.
+//!
+//! WordCount's integer sum is the canonical example; APriori's pair counting
+//! (§8.1.3) is the one the paper evaluates. Max/min qualify directly;
+//! average qualifies after the usual (sum, count) reformulation.
+
+use crate::delta::Delta;
+use i2mr_common::codec::encode_to;
+use i2mr_common::error::{Error, Result};
+use i2mr_common::hash::MapKey;
+use i2mr_common::metrics::{JobMetrics, Stage};
+use i2mr_mapred::config::JobConfig;
+use i2mr_mapred::fault::{TaskId, TaskKind};
+use i2mr_mapred::partition::Partitioner;
+use i2mr_mapred::pool::{TaskSpec, WorkerPool};
+use i2mr_mapred::shuffle::{groups, sort_run, transpose, ShuffleBuffers};
+use i2mr_mapred::types::{Emitter, KeyData, Mapper, ValueData};
+use parking_lot::Mutex;
+use std::collections::HashMap;
+use std::marker::PhantomData;
+use std::time::Instant;
+
+/// The accumulative operation `⊕` (paper: `AccumulatorReducer` /
+/// `accumulate(V2_old, V2_new) -> V2`).
+///
+/// Must satisfy the distributive property: combining the aggregates of two
+/// disjoint datasets must equal the aggregate of their union.
+pub trait Accumulator<V>: Send + Sync {
+    /// `a ⊕ b`.
+    fn combine(&self, a: &V, b: &V) -> V;
+}
+
+impl<V, F> Accumulator<V> for F
+where
+    F: Fn(&V, &V) -> V + Send + Sync,
+{
+    fn combine(&self, a: &V, b: &V) -> V {
+        self(a, b)
+    }
+}
+
+/// Incremental one-step engine specialized for accumulator Reduce.
+///
+/// Output keys are the intermediate keys (K3 = K2) and output values are the
+/// folded aggregates (V3 = V2).
+pub struct AccumulatorEngine<K1, V1, K2, V2> {
+    config: JobConfig,
+    /// Preserved results per reduce partition: encoded K2 → (typed K2, agg).
+    results: Vec<Mutex<HashMap<Vec<u8>, (K2, V2)>>>,
+    initialized: bool,
+    _types: PhantomData<fn(K1, V1)>,
+}
+
+impl<K1, V1, K2, V2> AccumulatorEngine<K1, V1, K2, V2>
+where
+    K1: KeyData,
+    V1: ValueData,
+    K2: KeyData,
+    V2: ValueData,
+{
+    /// Create an engine. State is memory-resident (the preserved artifact is
+    /// just the output kv-pairs, which re-computation baselines also hold).
+    pub fn create(config: JobConfig) -> Result<Self> {
+        config.validate()?;
+        let results = (0..config.n_reduce).map(|_| Mutex::new(HashMap::new())).collect();
+        Ok(AccumulatorEngine {
+            config,
+            results,
+            initialized: false,
+            _types: PhantomData,
+        })
+    }
+
+    /// Complete current output, sorted by key.
+    pub fn output(&self) -> Vec<(K2, V2)> {
+        let mut out: Vec<(K2, V2)> = self
+            .results
+            .iter()
+            .flat_map(|m| m.lock().values().cloned().collect::<Vec<_>>())
+            .collect();
+        out.sort_by(|a, b| a.0.cmp(&b.0));
+        out
+    }
+
+    /// Shared phase driver: map records, shuffle, sort, fold per key, then
+    /// merge the per-key partials into the preserved results with `⊕`.
+    fn run_pass(
+        &self,
+        pool: &WorkerPool,
+        records: &[(K1, V1)],
+        mapper: &(impl Mapper<K1, V1, K2, V2> + ?Sized),
+        partitioner: &(impl Partitioner<K2> + ?Sized),
+        acc: &(impl Accumulator<V2> + ?Sized),
+    ) -> Result<JobMetrics> {
+        let n_reduce = self.config.n_reduce;
+        let mut metrics = JobMetrics {
+            jobs_started: 1,
+            ..Default::default()
+        };
+
+        let t = Instant::now();
+        let split_len = records.len().div_ceil(self.config.n_map).max(1);
+        let splits: Vec<&[(K1, V1)]> = records.chunks(split_len).collect();
+        let map_tasks: Vec<TaskSpec<'_, (ShuffleBuffers<K2, V2>, u64)>> = splits
+            .iter()
+            .enumerate()
+            .map(|(i, split)| {
+                let split: &[(K1, V1)] = split;
+                TaskSpec::new(
+                    TaskId {
+                        kind: TaskKind::Map,
+                        index: i,
+                        iteration: 0,
+                    },
+                    move |_| {
+                        let mut buffers = ShuffleBuffers::new(n_reduce);
+                        let mut emitter = Emitter::new();
+                        for (k1, v1) in split {
+                            mapper.map(k1, v1, &mut emitter);
+                            for (k2, v2) in emitter.drain() {
+                                // MK is irrelevant here (no MRBGraph), but the
+                                // shuffle record layout carries one.
+                                buffers.push(k2, MapKey(0), v2, partitioner);
+                            }
+                        }
+                        Ok((buffers, split.len() as u64))
+                    },
+                )
+            })
+            .collect();
+        let map_results = pool.run_tasks(map_tasks)?;
+        metrics.stages.add(Stage::Map, t.elapsed());
+        let mut map_outputs = Vec::with_capacity(map_results.len());
+        for (buffers, n) in map_results {
+            metrics.map_invocations += n;
+            map_outputs.push(buffers);
+        }
+
+        let t = Instant::now();
+        let (mut runs, recs, bytes) = transpose(map_outputs, n_reduce, false);
+        metrics.shuffled_records = recs;
+        metrics.shuffled_bytes = bytes;
+        metrics.stages.add(Stage::Shuffle, t.elapsed());
+
+        let t = Instant::now();
+        crossbeam::scope(|s| {
+            for run in runs.iter_mut() {
+                s.spawn(move |_| sort_run(run));
+            }
+        })
+        .expect("sort thread panicked");
+        metrics.stages.add(Stage::Sort, t.elapsed());
+
+        let t = Instant::now();
+        let results = &self.results;
+        let reduce_tasks: Vec<TaskSpec<'_, u64>> = runs
+            .iter()
+            .enumerate()
+            .map(|(p, run)| {
+                let run: &[(K2, MapKey, V2)] = run;
+                TaskSpec::new(
+                    TaskId {
+                        kind: TaskKind::Reduce,
+                        index: p,
+                        iteration: 0,
+                    },
+                    move |_| {
+                        let mut preserved = results[p].lock();
+                        let mut invocations = 0u64;
+                        for group in groups(run) {
+                            let k2 = &group[0].0;
+                            // Fold the partial aggregate f(ΔD) for this key…
+                            let mut partial = group[0].2.clone();
+                            for (_, _, v) in &group[1..] {
+                                partial = acc.combine(&partial, v);
+                            }
+                            invocations += 1;
+                            // …then ⊕ into the preserved result f(D).
+                            let key_bytes = encode_to(k2);
+                            match preserved.get_mut(&key_bytes) {
+                                Some((_, old)) => *old = acc.combine(old, &partial),
+                                None => {
+                                    preserved.insert(key_bytes, (k2.clone(), partial));
+                                }
+                            }
+                        }
+                        Ok(invocations)
+                    },
+                )
+            })
+            .collect();
+        let reduce_results = pool.run_tasks(reduce_tasks)?;
+        metrics.stages.add(Stage::Reduce, t.elapsed());
+        metrics.reduce_invocations = reduce_results.iter().sum();
+        Ok(metrics)
+    }
+
+    /// Initial run over the full input.
+    pub fn initial(
+        &mut self,
+        pool: &WorkerPool,
+        input: &[(K1, V1)],
+        mapper: &(impl Mapper<K1, V1, K2, V2> + ?Sized),
+        partitioner: &(impl Partitioner<K2> + ?Sized),
+        acc: &(impl Accumulator<V2> + ?Sized),
+    ) -> Result<JobMetrics> {
+        for m in &self.results {
+            m.lock().clear();
+        }
+        let metrics = self.run_pass(pool, input, mapper, partitioner, acc)?;
+        self.initialized = true;
+        Ok(metrics)
+    }
+
+    /// Incremental run over an insertion-only delta (paper §3.5 requires
+    /// "only insertions without deletions or updates").
+    pub fn incremental(
+        &mut self,
+        pool: &WorkerPool,
+        delta: &Delta<K1, V1>,
+        mapper: &(impl Mapper<K1, V1, K2, V2> + ?Sized),
+        partitioner: &(impl Partitioner<K2> + ?Sized),
+        acc: &(impl Accumulator<V2> + ?Sized),
+    ) -> Result<JobMetrics> {
+        if !self.initialized {
+            return Err(Error::config(
+                "incremental run requires a completed initial run",
+            ));
+        }
+        if !delta.is_insert_only() {
+            return Err(Error::config(
+                "accumulator reduce requires an insertion-only delta (paper §3.5)",
+            ));
+        }
+        let records: Vec<(K1, V1)> = delta
+            .records()
+            .iter()
+            .map(|r| (r.key.clone(), r.value.clone()))
+            .collect();
+        self.run_pass(pool, &records, mapper, partitioner, acc)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use i2mr_mapred::partition::HashPartitioner;
+    use std::collections::HashMap as StdHashMap;
+
+    fn wc_mapper(_k: &u64, text: &String, out: &mut Emitter<String, u64>) {
+        for w in text.split_whitespace() {
+            out.emit(w.to_string(), 1);
+        }
+    }
+
+    fn sum(a: &u64, b: &u64) -> u64 {
+        a + b
+    }
+
+    fn oracle(input: &[(u64, String)]) -> StdHashMap<String, u64> {
+        let mut m = StdHashMap::new();
+        for (_, text) in input {
+            for w in text.split_whitespace() {
+                *m.entry(w.to_string()).or_insert(0) += 1;
+            }
+        }
+        m
+    }
+
+    #[test]
+    fn wordcount_initial_plus_incremental_equals_full() {
+        let input = vec![
+            (0u64, "a b a c".to_string()),
+            (1, "b c d".to_string()),
+        ];
+        let mut eng: AccumulatorEngine<u64, String, String, u64> =
+            AccumulatorEngine::create(JobConfig::symmetric(2)).unwrap();
+        let pool = WorkerPool::new(2);
+        eng.initial(&pool, &input, &wc_mapper, &HashPartitioner, &sum)
+            .unwrap();
+
+        let mut delta = Delta::new();
+        delta.insert(2, "a d e".to_string());
+        delta.insert(3, "e e".to_string());
+        eng.incremental(&pool, &delta, &wc_mapper, &HashPartitioner, &sum)
+            .unwrap();
+
+        let full = delta.apply_to(&input);
+        let want = oracle(&full);
+        let got: StdHashMap<String, u64> = eng.output().into_iter().collect();
+        assert_eq!(got, want);
+    }
+
+    #[test]
+    fn deletion_in_delta_is_rejected() {
+        let mut eng: AccumulatorEngine<u64, String, String, u64> =
+            AccumulatorEngine::create(JobConfig::symmetric(2)).unwrap();
+        let pool = WorkerPool::new(2);
+        eng.initial(&pool, &[(0, "x".into())], &wc_mapper, &HashPartitioner, &sum)
+            .unwrap();
+        let mut delta = Delta::new();
+        delta.delete(0, "x".to_string());
+        let err = eng
+            .incremental(&pool, &delta, &wc_mapper, &HashPartitioner, &sum)
+            .unwrap_err();
+        assert!(err.to_string().contains("insertion-only"));
+    }
+
+    #[test]
+    fn incremental_work_scales_with_delta_not_dataset() {
+        let input: Vec<(u64, String)> = (0..500u64).map(|i| (i, format!("w{} base", i % 40))).collect();
+        let mut eng: AccumulatorEngine<u64, String, String, u64> =
+            AccumulatorEngine::create(JobConfig::symmetric(4)).unwrap();
+        let pool = WorkerPool::new(4);
+        let init = eng
+            .initial(&pool, &input, &wc_mapper, &HashPartitioner, &sum)
+            .unwrap();
+        let mut delta = Delta::new();
+        delta.insert(500, "base w1".to_string());
+        let incr = eng
+            .incremental(&pool, &delta, &wc_mapper, &HashPartitioner, &sum)
+            .unwrap();
+        assert_eq!(init.map_invocations, 500);
+        assert_eq!(incr.map_invocations, 1);
+        assert!(incr.shuffled_records <= 2);
+    }
+
+    #[test]
+    fn max_accumulator_works() {
+        let mapper = |_k: &u64, v: &u64, out: &mut Emitter<u64, u64>| out.emit(v % 3, *v);
+        let max = |a: &u64, b: &u64| *a.max(b);
+        let mut eng: AccumulatorEngine<u64, u64, u64, u64> =
+            AccumulatorEngine::create(JobConfig::symmetric(2)).unwrap();
+        let pool = WorkerPool::new(2);
+        let input: Vec<(u64, u64)> = (0..30).map(|i| (i, i)).collect();
+        eng.initial(&pool, &input, &mapper, &HashPartitioner, &max)
+            .unwrap();
+        let mut delta = Delta::new();
+        delta.insert(100, 99); // 99 % 3 == 0 → new max for key 0
+        eng.incremental(&pool, &delta, &mapper, &HashPartitioner, &max)
+            .unwrap();
+        let out: StdHashMap<u64, u64> = eng.output().into_iter().collect();
+        assert_eq!(out[&0], 99);
+        assert_eq!(out[&1], 28);
+        assert_eq!(out[&2], 29);
+    }
+}

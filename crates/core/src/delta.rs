@@ -1,0 +1,176 @@
+//! Delta input (paper §3.3).
+//!
+//! i2MapReduce expects *delta input* describing how the dataset changed
+//! since the last job: newly inserted kv-pairs marked `'+'`, deleted kv-pairs
+//! marked `'-'`, and a modification represented as a deletion of the old
+//! record followed by an insertion of the new one. (Identifying the changes
+//! is the data-acquisition layer's job — here, `i2mr-datagen`'s delta
+//! generators.)
+
+use i2mr_mapred::types::{KeyData, ValueData};
+
+/// `'+'` or `'-'` mark on a delta record.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum Op {
+    /// Newly inserted kv-pair.
+    Insert,
+    /// Deleted kv-pair (must match an existing record exactly).
+    Delete,
+}
+
+/// One marked record of delta input.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct DeltaRecord<K, V> {
+    pub key: K,
+    pub value: V,
+    pub op: Op,
+}
+
+/// A whole delta input.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct Delta<K, V> {
+    records: Vec<DeltaRecord<K, V>>,
+}
+
+impl<K: KeyData, V: ValueData> Delta<K, V> {
+    /// Empty delta.
+    pub fn new() -> Self {
+        Delta {
+            records: Vec::new(),
+        }
+    }
+
+    /// Build from raw records.
+    pub fn from_records(records: Vec<DeltaRecord<K, V>>) -> Self {
+        Delta { records }
+    }
+
+    /// Mark `(key, value)` as newly inserted.
+    pub fn insert(&mut self, key: K, value: V) {
+        self.records.push(DeltaRecord {
+            key,
+            value,
+            op: Op::Insert,
+        });
+    }
+
+    /// Mark `(key, value)` as deleted.
+    pub fn delete(&mut self, key: K, value: V) {
+        self.records.push(DeltaRecord {
+            key,
+            value,
+            op: Op::Delete,
+        });
+    }
+
+    /// Record an update: delete the old record, insert the new one
+    /// (paper: "an update is represented as a deletion followed by an
+    /// insertion").
+    pub fn update(&mut self, key: K, old_value: V, new_value: V) {
+        self.delete(key.clone(), old_value);
+        self.insert(key, new_value);
+    }
+
+    /// All records in emission order.
+    pub fn records(&self) -> &[DeltaRecord<K, V>] {
+        &self.records
+    }
+
+    /// Number of delta records (an update counts as two).
+    pub fn len(&self) -> usize {
+        self.records.len()
+    }
+
+    /// True when the delta changes nothing.
+    pub fn is_empty(&self) -> bool {
+        self.records.is_empty()
+    }
+
+    /// True when every record is an insertion — the precondition for the
+    /// accumulator-reduce fast path (paper §3.5).
+    pub fn is_insert_only(&self) -> bool {
+        self.records.iter().all(|r| r.op == Op::Insert)
+    }
+
+    /// Apply this delta to a materialized dataset, producing the new input
+    /// `D' = D + ΔD`. Deletions remove one matching `(key, value)` record.
+    ///
+    /// Used by re-computation baselines (which need the full new input) and
+    /// by equivalence tests.
+    pub fn apply_to(&self, base: &[(K, V)]) -> Vec<(K, V)>
+    where
+        V: PartialEq,
+    {
+        let mut out: Vec<(K, V)> = base.to_vec();
+        for r in &self.records {
+            match r.op {
+                Op::Delete => {
+                    if let Some(pos) = out
+                        .iter()
+                        .position(|(k, v)| *k == r.key && *v == r.value)
+                    {
+                        out.swap_remove(pos);
+                    }
+                }
+                Op::Insert => out.push((r.key.clone(), r.value.clone())),
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn update_is_delete_then_insert() {
+        let mut d: Delta<u64, String> = Delta::new();
+        d.update(7, "old".into(), "new".into());
+        assert_eq!(d.len(), 2);
+        assert_eq!(d.records()[0].op, Op::Delete);
+        assert_eq!(d.records()[0].value, "old");
+        assert_eq!(d.records()[1].op, Op::Insert);
+        assert_eq!(d.records()[1].value, "new");
+        assert!(!d.is_insert_only());
+    }
+
+    #[test]
+    fn insert_only_detection() {
+        let mut d: Delta<u64, u64> = Delta::new();
+        assert!(d.is_insert_only(), "vacuously true when empty");
+        d.insert(1, 1);
+        d.insert(2, 2);
+        assert!(d.is_insert_only());
+        d.delete(1, 1);
+        assert!(!d.is_insert_only());
+    }
+
+    #[test]
+    fn apply_to_realizes_new_dataset() {
+        let base = vec![(1u64, 10u64), (2, 20), (3, 30)];
+        let mut d = Delta::new();
+        d.delete(2, 20);
+        d.insert(4, 40);
+        d.update(1, 10, 11);
+        let mut new = d.apply_to(&base);
+        new.sort_unstable();
+        assert_eq!(new, vec![(1, 11), (3, 30), (4, 40)]);
+    }
+
+    #[test]
+    fn apply_to_ignores_nonmatching_delete() {
+        let base = vec![(1u64, 10u64)];
+        let mut d = Delta::new();
+        d.delete(1, 999); // value mismatch: no-op
+        assert_eq!(d.apply_to(&base), base);
+    }
+
+    #[test]
+    fn apply_to_deletes_only_one_duplicate() {
+        let base = vec![(1u64, 10u64), (1, 10)];
+        let mut d = Delta::new();
+        d.delete(1, 10);
+        assert_eq!(d.apply_to(&base).len(), 1);
+    }
+}

@@ -1,0 +1,1002 @@
+//! Incremental iterative processing (paper §5).
+//!
+//! A sequence of jobs `A_1 … A_i` refreshes an iterative mining result as
+//! the structure data evolves. Job `A_i` starts from job `A_{i-1}`'s
+//! **converged state** `D_{i-1}` and **converged MRBGraph** (both much
+//! closer to the new fixed point than a fresh initialization), then runs
+//! incremental one-step iterations:
+//!
+//! * **Iteration 1** — the delta input is the *delta structure data*:
+//!   deleted records cancel their MRBGraph edges via tombstones, inserted
+//!   records add edges; only affected Reduce instances re-run.
+//! * **Iteration j ≥ 2** — the delta input is the *delta state data*
+//!   `ΔD_{j-1}`: for each changed state key, the map instances of its
+//!   dependent structure records re-run and upsert their edges.
+//!
+//! Two §5 mechanisms bound the work:
+//!
+//! * **Change propagation control** (§5.3, [`crate::cpc`]): recomputed state
+//!   values whose accumulated change is below the filter threshold are not
+//!   emitted; asymmetric convergence makes most keys settle in a few hops.
+//! * **P∆ monitoring** (§5.2): when the delta state covers more than
+//!   `pdelta_threshold` (default 50 %) of all state kv-pairs, maintaining
+//!   the MRBGraph costs more than it saves; the engine turns it off and
+//!   finishes with plain iterative processing from the current state.
+
+use crate::checkpoint::IterCheckpointer;
+use crate::cpc::{ChangePropagation, Verdict};
+use crate::delta::{Delta, Op};
+use crate::iter_engine::{PartitionedData, PartitionedIterEngine, RunReport, StructGroup};
+use crate::iterative::{IterParams, IterationStats, IterativeSpec, PreserveMode};
+use i2mr_common::codec::{decode_exact, encode_to};
+use i2mr_common::error::Result;
+use i2mr_common::hash::MapKey;
+use i2mr_common::metrics::{JobMetrics, Stage};
+use i2mr_mapred::config::JobConfig;
+use i2mr_mapred::fault::{TaskId, TaskKind};
+use i2mr_mapred::partition::{HashPartitioner, Partitioner};
+use i2mr_mapred::pool::{TaskSpec, WorkerPool};
+use i2mr_mapred::shuffle::{groups, sort_run, transpose, ShuffleBuffers};
+use i2mr_mapred::types::Emitter;
+use i2mr_store::merge::{DeltaChunk, DeltaEntry, MergeOutcome};
+use i2mr_store::store::MrbgStore;
+use parking_lot::Mutex;
+use std::collections::BTreeSet;
+use std::time::Instant;
+
+/// Knobs of an incremental iterative run.
+#[derive(Clone, Copy, Debug)]
+pub struct IncrParams {
+    /// CPC filter threshold (paper: `job.setFilterThresh`); `None` = CPC
+    /// disabled ("w/o CPC"): every change above the numerical
+    /// `convergence_epsilon` propagates.
+    pub filter_threshold: Option<f64>,
+    /// Numerical convergence floor. Floating-point fixed points are only
+    /// ever approached, so even "exact" propagation needs an epsilon below
+    /// which a change counts as converged rather than propagatable.
+    pub convergence_epsilon: f64,
+    /// Turn MRBGraph maintenance off when `|ΔD| / |D|` exceeds this
+    /// (paper default 50 %).
+    pub pdelta_threshold: f64,
+    /// Iteration budget.
+    pub max_iterations: u64,
+    /// Whether MRBGraph maintenance starts enabled (the user may turn it
+    /// off a priori for Kmeans-like computations, §5.2).
+    pub mrbg_enabled: bool,
+}
+
+impl Default for IncrParams {
+    fn default() -> Self {
+        IncrParams {
+            filter_threshold: None,
+            convergence_epsilon: 1e-9,
+            pdelta_threshold: 0.5,
+            max_iterations: 50,
+            mrbg_enabled: true,
+        }
+    }
+}
+
+impl IncrParams {
+    /// The threshold CPC actually applies: the filter threshold when set,
+    /// otherwise the numerical convergence floor.
+    pub fn effective_threshold(&self) -> f64 {
+        self.filter_threshold.unwrap_or(self.convergence_epsilon)
+    }
+}
+
+/// Report of an incremental iterative run.
+#[derive(Debug, Default)]
+pub struct IncrRunReport {
+    /// Per-iteration progress (`changed_keys` = propagated kv-pairs, the
+    /// Fig. 11a series).
+    pub iterations: Vec<IterationStats>,
+    /// Per-iteration engine metrics.
+    pub per_iteration: Vec<JobMetrics>,
+    /// Iteration after which MRBGraph maintenance was switched off by the
+    /// P∆ monitor, if it was.
+    pub mrbg_turned_off_at: Option<u64>,
+    /// Whether the run converged (no propagated changes / epsilon reached).
+    pub converged: bool,
+}
+
+impl IncrRunReport {
+    /// Sum of all iterations' metrics.
+    pub fn total_metrics(&self) -> JobMetrics {
+        let mut total = JobMetrics::default();
+        for m in &self.per_iteration {
+            total.merge(m);
+        }
+        total
+    }
+
+    /// Total wall time across iterations.
+    pub fn total_wall(&self) -> std::time::Duration {
+        self.iterations.iter().map(|i| i.wall).sum()
+    }
+}
+
+/// The incremental iterative engine. See module docs.
+pub struct IncrIterEngine<'s, S: IterativeSpec> {
+    spec: &'s S,
+    config: JobConfig,
+    params: IncrParams,
+    /// Parameters for the full-iteration fallback after MRBG turn-off.
+    fallback: IterParams,
+}
+
+impl<'s, S: IterativeSpec> IncrIterEngine<'s, S> {
+    /// Build an engine; `fallback` configures the plain iterative engine
+    /// used after a P∆-triggered MRBG turn-off.
+    pub fn new(
+        spec: &'s S,
+        config: JobConfig,
+        params: IncrParams,
+        fallback: IterParams,
+    ) -> Result<Self> {
+        config.validate()?;
+        if config.n_map != config.n_reduce {
+            return Err(i2mr_common::error::Error::config(
+                "incremental iterative engine requires n_map == n_reduce",
+            ));
+        }
+        Ok(IncrIterEngine {
+            spec,
+            config,
+            params,
+            fallback,
+        })
+    }
+
+    /// Run an incremental refresh.
+    ///
+    /// * `data` — the previous job's converged structure + state (mutated
+    ///   in place toward the new fixed point).
+    /// * `stores` — the preserved MRBGraph, one per partition.
+    /// * `delta` — the delta structure input.
+    /// * `ckpt` — optional per-iteration checkpointing (paper §6.1).
+    pub fn run(
+        &self,
+        pool: &WorkerPool,
+        data: &mut PartitionedData<S::SK, S::SV, S::DK, S::DV>,
+        stores: &[Mutex<MrbgStore>],
+        delta: &Delta<S::SK, S::SV>,
+        ckpt: Option<&IterCheckpointer>,
+    ) -> Result<IncrRunReport> {
+        let n = self.config.n_reduce;
+        let spec = self.spec;
+        let mut report = IncrRunReport::default();
+
+        if !self.params.mrbg_enabled {
+            // User declared MRBG maintenance wasteful (Kmeans-like): apply
+            // the delta and re-iterate from the converged state.
+            apply_structure_delta(spec, n, data, delta);
+            report.mrbg_turned_off_at = Some(0);
+            let fb = self.run_fallback(pool, data, 0)?;
+            merge_fallback(&mut report, fb);
+            if let Some(ck) = ckpt {
+                ck.save_iteration(report.iterations.len() as u64, &data.state, Some(stores))?;
+            }
+            return Ok(report);
+        }
+
+        // Delta state flowing between iterations (ΔD_j).
+        let mut delta_state: Vec<(S::DK, S::DV)> = Vec::new();
+
+        for iteration in 1..=self.params.max_iterations {
+            let started = Instant::now();
+            let mut metrics = JobMetrics {
+                jobs_started: u64::from(iteration == 1),
+                ..Default::default()
+            };
+
+            // ---------------- incremental Map ----------------
+            let t = Instant::now();
+            let (map_outputs, new_dks, map_invocations) = if iteration == 1 {
+                self.map_structure_delta(pool, data, delta)?
+            } else {
+                self.map_state_delta(pool, data, std::mem::take(&mut delta_state), iteration)?
+            };
+            metrics.map_invocations = map_invocations;
+            metrics.stages.add(Stage::Map, t.elapsed());
+
+            // ---------------- shuffle + sort ----------------
+            let t = Instant::now();
+            let (mut runs, recs, bytes) = transpose(map_outputs, n, true);
+            metrics.shuffled_records = recs;
+            metrics.shuffled_bytes = bytes;
+            metrics.stages.add(Stage::Shuffle, t.elapsed());
+
+            let t = Instant::now();
+            crossbeam::scope(|s| {
+                for run in runs.iter_mut() {
+                    s.spawn(move |_| sort_run(run));
+                }
+            })
+            .expect("sort thread panicked");
+            metrics.stages.add(Stage::Sort, t.elapsed());
+
+            // ---------------- incremental Reduce ----------------
+            let t = Instant::now();
+            let state_parts = &data.state;
+            let effective_threshold = self.params.effective_threshold();
+            let reduce_tasks: Vec<TaskSpec<'_, (Vec<(S::DK, S::DV)>, u64)>> = runs
+                .iter()
+                .enumerate()
+                .map(|(p, run)| {
+                    let run: &[(S::DK, MapKey, Option<S::V2>)] = run;
+                    let state = &state_parts[p];
+                    let forced: &BTreeSet<Vec<u8>> = &new_dks[p];
+                    TaskSpec::pinned(
+                        TaskId {
+                            kind: TaskKind::Reduce,
+                            index: p,
+                            iteration,
+                        },
+                        p % pool.n_workers(),
+                        move |_| {
+                            // Delta MRBGraph chunks for this partition.
+                            let mut deltas: Vec<DeltaChunk> = Vec::new();
+                            let mut seen: BTreeSet<Vec<u8>> = BTreeSet::new();
+                            for group in groups(run) {
+                                let key = encode_to(&group[0].0);
+                                seen.insert(key.clone());
+                                let entries = group
+                                    .iter()
+                                    .map(|(_, mk, v)| match v {
+                                        Some(v2) => DeltaEntry::Insert(*mk, encode_to(v2)),
+                                        None => DeltaEntry::Delete(*mk),
+                                    })
+                                    .collect();
+                                deltas.push(DeltaChunk { key, entries });
+                            }
+                            // Newly inserted state keys must be reduced even
+                            // if no edges arrived (e.g. a vertex with no
+                            // in-edges must still settle to its no-input
+                            // value).
+                            for key in forced {
+                                if !seen.contains(key) {
+                                    deltas.push(DeltaChunk {
+                                        key: key.clone(),
+                                        entries: Vec::new(),
+                                    });
+                                }
+                            }
+
+                            let outcomes = stores[p].lock().merge_apply(deltas)?;
+
+                            let mut cpc = ChangePropagation::with_threshold(effective_threshold);
+                            let mut emitted: Vec<(S::DK, S::DV)> = Vec::new();
+                            let mut invocations = 0u64;
+                            let mut values: Vec<S::V2> = Vec::new();
+                            for (key_bytes, outcome) in outcomes {
+                                let dk: S::DK = decode_exact(&key_bytes)?;
+                                // Deleted vertices / dangling targets have no
+                                // state entry: their chunk was maintained but
+                                // no state update applies.
+                                let Ok(idx) =
+                                    state.binary_search_by(|(k, _)| k.cmp(&dk))
+                                else {
+                                    continue;
+                                };
+                                let prev = &state[idx].1;
+                                values.clear();
+                                if let MergeOutcome::Updated(chunk) = &outcome {
+                                    values.reserve(chunk.entries.len());
+                                    for e in &chunk.entries {
+                                        values.push(decode_exact(&e.value)?);
+                                    }
+                                }
+                                let candidate = spec.reduce(&dk, prev, &values);
+                                invocations += 1;
+                                let acc_diff = spec.difference(&candidate, prev);
+                                if cpc.judge(acc_diff) == Verdict::Emit {
+                                    emitted.push((dk, candidate));
+                                }
+                            }
+                            Ok((emitted, invocations))
+                        },
+                    )
+                })
+                .collect();
+            let reduce_results = pool.run_tasks(reduce_tasks)?;
+            metrics.stages.add(Stage::Reduce, t.elapsed());
+
+            // Apply emitted updates to the state (reduce task p's output is
+            // partition p's state — co-location) and gather ΔD_{j}.
+            let mut emitted_total = 0u64;
+            let mut next_delta: Vec<(S::DK, S::DV)> = Vec::new();
+            for (p, (emitted, invocations)) in reduce_results.into_iter().enumerate() {
+                metrics.reduce_invocations += invocations;
+                emitted_total += emitted.len() as u64;
+                let part = &mut data.state[p];
+                for (dk, dv) in &emitted {
+                    if let Ok(idx) = part.binary_search_by(|(k, _)| k.cmp(dk)) {
+                        part[idx].1 = dv.clone();
+                    }
+                }
+                next_delta.extend(emitted);
+            }
+            for s in stores {
+                metrics.store_io += s.lock().io_stats();
+                s.lock().reset_io_stats();
+            }
+
+            report.iterations.push(IterationStats {
+                iteration,
+                max_diff: 0.0,
+                changed_keys: emitted_total,
+                wall: started.elapsed(),
+            });
+            report.per_iteration.push(metrics);
+
+            if let Some(ck) = ckpt {
+                ck.save_iteration(iteration, &data.state, Some(stores))?;
+            }
+
+            if emitted_total == 0 {
+                report.converged = true;
+                return Ok(report);
+            }
+
+            // ---------------- P∆ monitor (§5.2) ----------------
+            let p_delta = emitted_total as f64 / data.state_len().max(1) as f64;
+            if p_delta > self.params.pdelta_threshold {
+                report.mrbg_turned_off_at = Some(iteration);
+                let fb = self.run_fallback(pool, data, iteration)?;
+                merge_fallback(&mut report, fb);
+                // The fallback iterations mutated the state without
+                // checkpointing; persist the final state so recovery sees
+                // the completed refresh (paper §6.1: every iteration).
+                if let Some(ck) = ckpt {
+                    ck.save_iteration(report.iterations.len() as u64, &data.state, Some(stores))?;
+                }
+                return Ok(report);
+            }
+
+            delta_state = next_delta;
+        }
+        Ok(report)
+    }
+
+    /// Iteration 1 map phase: run Map over the delta structure records
+    /// against the pre-delta state, then apply the delta to the partitioned
+    /// data. Returns shuffle buffers, per-partition newly created state
+    /// keys, and the number of map invocations.
+    #[allow(clippy::type_complexity)]
+    fn map_structure_delta(
+        &self,
+        pool: &WorkerPool,
+        data: &mut PartitionedData<S::SK, S::SV, S::DK, S::DV>,
+        delta: &Delta<S::SK, S::SV>,
+    ) -> Result<(
+        Vec<ShuffleBuffers<S::DK, Option<S::V2>>>,
+        Vec<BTreeSet<Vec<u8>>>,
+        u64,
+    )> {
+        let n = self.config.n_reduce;
+        let spec = self.spec;
+
+        // Partition delta records by hash(project(SK)).
+        let mut per_part: Vec<Vec<(S::DK, &crate::delta::DeltaRecord<S::SK, S::SV>)>> =
+            (0..n).map(|_| Vec::new()).collect();
+        for rec in delta.records() {
+            let dk = spec.project(&rec.key);
+            let p = HashPartitioner.partition(&dk, n);
+            per_part[p].push((dk, rec));
+        }
+
+        let state_parts = &data.state;
+        let map_tasks: Vec<TaskSpec<'_, (ShuffleBuffers<S::DK, Option<S::V2>>, u64)>> = per_part
+            .iter()
+            .enumerate()
+            .map(|(p, records)| {
+                let records: &[(S::DK, &crate::delta::DeltaRecord<S::SK, S::SV>)] = records;
+                let state = &state_parts[p];
+                TaskSpec::pinned(
+                    TaskId {
+                        kind: TaskKind::Map,
+                        index: p,
+                        iteration: 1,
+                    },
+                    p % pool.n_workers(),
+                    move |_| {
+                        let mut buffers = ShuffleBuffers::new(n);
+                        let mut emitter = Emitter::new();
+                        let mut invocations = 0u64;
+                        for (dk, rec) in records {
+                            let dv = state
+                                .binary_search_by(|(k, _)| k.cmp(dk))
+                                .ok()
+                                .map(|i| state[i].1.clone())
+                                .unwrap_or_else(|| spec.init(dk));
+                            let mk = MapKey::for_structure(&encode_to(&rec.key));
+                            spec.map(&rec.key, &rec.value, dk, &dv, &mut emitter);
+                            invocations += 1;
+                            for (k2, v2) in emitter.drain() {
+                                let payload = match rec.op {
+                                    Op::Insert => Some(v2),
+                                    Op::Delete => None,
+                                };
+                                buffers.push(k2, mk, payload, &HashPartitioner);
+                            }
+                        }
+                        Ok((buffers, invocations))
+                    },
+                )
+            })
+            .collect();
+        let results = pool.run_tasks(map_tasks)?;
+        let mut outputs = Vec::with_capacity(results.len());
+        let mut invocations = 0u64;
+        for (buffers, inv) in results {
+            invocations += inv;
+            outputs.push(buffers);
+        }
+
+        let new_dks = apply_structure_delta(spec, n, data, delta);
+        Ok((outputs, new_dks, invocations))
+    }
+
+    /// Iteration j ≥ 2 map phase: re-run the map instances of the structure
+    /// records that depend on the changed state keys; all outputs are edge
+    /// upserts.
+    #[allow(clippy::type_complexity)]
+    fn map_state_delta(
+        &self,
+        pool: &WorkerPool,
+        data: &PartitionedData<S::SK, S::SV, S::DK, S::DV>,
+        delta_state: Vec<(S::DK, S::DV)>,
+        iteration: u64,
+    ) -> Result<(
+        Vec<ShuffleBuffers<S::DK, Option<S::V2>>>,
+        Vec<BTreeSet<Vec<u8>>>,
+        u64,
+    )> {
+        let n = self.config.n_reduce;
+        let spec = self.spec;
+
+        let mut per_part: Vec<Vec<(S::DK, S::DV)>> = (0..n).map(|_| Vec::new()).collect();
+        for (dk, dv) in delta_state {
+            let p = HashPartitioner.partition(&dk, n);
+            per_part[p].push((dk, dv));
+        }
+
+        let structure = &data.structure;
+        let map_tasks: Vec<TaskSpec<'_, (ShuffleBuffers<S::DK, Option<S::V2>>, u64)>> = per_part
+            .iter()
+            .enumerate()
+            .map(|(p, changes)| {
+                let changes: &[(S::DK, S::DV)] = changes;
+                let groups = &structure[p];
+                TaskSpec::pinned(
+                    TaskId {
+                        kind: TaskKind::Map,
+                        index: p,
+                        iteration,
+                    },
+                    p % pool.n_workers(),
+                    move |_| {
+                        let mut buffers = ShuffleBuffers::new(n);
+                        let mut emitter = Emitter::new();
+                        let mut invocations = 0u64;
+                        for (dk, dv) in changes {
+                            let Ok(gi) = groups.binary_search_by(|g| g.dk.cmp(dk)) else {
+                                continue; // state key with no dependents
+                            };
+                            for (sk, sv) in &groups[gi].records {
+                                let mk = MapKey::for_structure(&encode_to(sk));
+                                spec.map(sk, sv, dk, dv, &mut emitter);
+                                invocations += 1;
+                                for (k2, v2) in emitter.drain() {
+                                    buffers.push(k2, mk, Some(v2), &HashPartitioner);
+                                }
+                            }
+                        }
+                        Ok((buffers, invocations))
+                    },
+                )
+            })
+            .collect();
+        let results = pool.run_tasks(map_tasks)?;
+        let mut outputs = Vec::with_capacity(results.len());
+        let mut invocations = 0u64;
+        for (buffers, inv) in results {
+            invocations += inv;
+            outputs.push(buffers);
+        }
+        Ok((outputs, (0..n).map(|_| BTreeSet::new()).collect(), invocations))
+    }
+
+    /// Plain iterative processing from the current state (MRBG off).
+    fn run_fallback(
+        &self,
+        pool: &WorkerPool,
+        data: &mut PartitionedData<S::SK, S::SV, S::DK, S::DV>,
+        after_iteration: u64,
+    ) -> Result<RunReport> {
+        let remaining = self.params.max_iterations.saturating_sub(after_iteration).max(1);
+        let engine = PartitionedIterEngine::new(
+            self.spec,
+            self.config.clone(),
+            IterParams {
+                max_iterations: remaining,
+                epsilon: self.fallback.epsilon,
+                preserve: PreserveMode::None,
+            },
+        )?;
+        engine.run(pool, data, None)
+    }
+}
+
+/// Merge a fallback run's report into the incremental report, renumbering
+/// iterations to continue the sequence.
+fn merge_fallback(report: &mut IncrRunReport, fb: RunReport) {
+    let offset = report.iterations.len() as u64;
+    for (mut stats, metrics) in fb.iterations.into_iter().zip(fb.per_iteration) {
+        stats.iteration += offset;
+        report.iterations.push(stats);
+        report.per_iteration.push(metrics);
+    }
+    report.converged = fb.converged;
+}
+
+/// Apply a structure delta to partitioned data, maintaining the invariants
+/// (grouping, sorting, state/structure key alignment). Returns the encoded
+/// DKs of newly created state keys, per partition.
+pub fn apply_structure_delta<S: IterativeSpec>(
+    spec: &S,
+    n: usize,
+    data: &mut PartitionedData<S::SK, S::SV, S::DK, S::DV>,
+    delta: &Delta<S::SK, S::SV>,
+) -> Vec<BTreeSet<Vec<u8>>> {
+    let mut new_dks: Vec<BTreeSet<Vec<u8>>> = (0..n).map(|_| BTreeSet::new()).collect();
+    for rec in delta.records() {
+        let dk = spec.project(&rec.key);
+        let p = HashPartitioner.partition(&dk, n);
+        let groups = &mut data.structure[p];
+        let state = &mut data.state[p];
+        match rec.op {
+            Op::Insert => {
+                match groups.binary_search_by(|g| g.dk.cmp(&dk)) {
+                    Ok(gi) => {
+                        let records = &mut groups[gi].records;
+                        let pos = records
+                            .binary_search_by(|(sk, _)| sk.cmp(&rec.key))
+                            .unwrap_or_else(|e| e);
+                        records.insert(pos, (rec.key.clone(), rec.value.clone()));
+                    }
+                    Err(gi) => {
+                        groups.insert(
+                            gi,
+                            StructGroup {
+                                dk: dk.clone(),
+                                records: vec![(rec.key.clone(), rec.value.clone())],
+                            },
+                        );
+                        let si = state
+                            .binary_search_by(|(k, _)| k.cmp(&dk))
+                            .unwrap_or_else(|e| e);
+                        state.insert(si, (dk.clone(), spec.init(&dk)));
+                        new_dks[p].insert(encode_to(&dk));
+                    }
+                }
+            }
+            Op::Delete => {
+                if let Ok(gi) = groups.binary_search_by(|g| g.dk.cmp(&dk)) {
+                    let records = &mut groups[gi].records;
+                    if let Some(pos) = records
+                        .iter()
+                        .position(|(sk, sv)| *sk == rec.key && format_eq(sv, &rec.value))
+                    {
+                        records.remove(pos);
+                    }
+                    if records.is_empty() {
+                        groups.remove(gi);
+                        if let Ok(si) = state.binary_search_by(|(k, _)| k.cmp(&dk)) {
+                            state.remove(si);
+                        }
+                        new_dks[p].remove(&encode_to(&dk));
+                    }
+                }
+            }
+        }
+    }
+    new_dks
+}
+
+/// Value equality via canonical encoding (SV: ValueData has no PartialEq
+/// bound; the canonical byte encoding is the identity that matters).
+fn format_eq<V: i2mr_common::codec::Codec>(a: &V, b: &V) -> bool {
+    encode_to(a) == encode_to(b)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::iter_engine::build_partitioned;
+    use crate::iterative::DependencyKind;
+
+    /// PageRank-like spec used across incremental tests.
+    struct MiniRank;
+
+    impl IterativeSpec for MiniRank {
+        type SK = u64;
+        type SV = Vec<u64>;
+        type DK = u64;
+        type DV = f64;
+        type V2 = f64;
+
+        fn project(&self, sk: &u64) -> u64 {
+            *sk
+        }
+        fn map(&self, _sk: &u64, sv: &Vec<u64>, _dk: &u64, dv: &f64, out: &mut Emitter<u64, f64>) {
+            if sv.is_empty() {
+                return;
+            }
+            let share = dv / sv.len() as f64;
+            for j in sv {
+                out.emit(*j, share);
+            }
+        }
+        fn reduce(&self, _dk: &u64, _prev: &f64, values: &[f64]) -> f64 {
+            0.15 + 0.85 * values.iter().sum::<f64>()
+        }
+        fn init(&self, _dk: &u64) -> f64 {
+            1.0
+        }
+        fn difference(&self, curr: &f64, prev: &f64) -> f64 {
+            (curr - prev).abs()
+        }
+        fn dependency(&self) -> DependencyKind {
+            DependencyKind::OneToOne
+        }
+    }
+
+    const N: usize = 3;
+
+    fn stores(tag: &str) -> Vec<Mutex<MrbgStore>> {
+        let dir = std::env::temp_dir().join(format!(
+            "i2mr-incr-{tag}-{}-{:?}",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+        (0..N)
+            .map(|p| {
+                Mutex::new(
+                    MrbgStore::create(dir.join(p.to_string()), Default::default()).unwrap(),
+                )
+            })
+            .collect()
+    }
+
+    fn converge_initial(
+        graph: Vec<(u64, Vec<u64>)>,
+        stores: &[Mutex<MrbgStore>],
+        pool: &WorkerPool,
+    ) -> PartitionedData<u64, Vec<u64>, u64, f64> {
+        let engine = PartitionedIterEngine::new(
+            &MiniRank,
+            JobConfig::symmetric(N),
+            IterParams {
+                max_iterations: 200,
+                epsilon: 1e-12,
+                preserve: PreserveMode::FinalOnly,
+            },
+        )
+        .unwrap();
+        let mut data = build_partitioned(&MiniRank, N, graph);
+        let report = engine.run(pool, &mut data, Some(stores)).unwrap();
+        assert!(report.converged);
+        data
+    }
+
+    /// Oracle: converge from scratch on the updated graph.
+    fn oracle(graph: Vec<(u64, Vec<u64>)>, pool: &WorkerPool) -> Vec<(u64, f64)> {
+        let engine = PartitionedIterEngine::new(
+            &MiniRank,
+            JobConfig::symmetric(N),
+            IterParams {
+                max_iterations: 300,
+                epsilon: 1e-12,
+                preserve: PreserveMode::None,
+            },
+        )
+        .unwrap();
+        let mut data = build_partitioned(&MiniRank, N, graph);
+        assert!(engine.run(pool, &mut data, None).unwrap().converged);
+        data.state_snapshot()
+    }
+
+    fn assert_states_close(a: &[(u64, f64)], b: &[(u64, f64)], tol: f64) {
+        assert_eq!(
+            a.iter().map(|(k, _)| *k).collect::<Vec<_>>(),
+            b.iter().map(|(k, _)| *k).collect::<Vec<_>>(),
+            "key sets differ"
+        );
+        for ((k, va), (_, vb)) in a.iter().zip(b) {
+            assert!((va - vb).abs() < tol, "key {k}: {va} vs {vb}");
+        }
+    }
+
+    fn ring_with_chords(n: u64) -> Vec<(u64, Vec<u64>)> {
+        (0..n)
+            .map(|i| {
+                let mut out = vec![(i + 1) % n];
+                if i % 3 == 0 {
+                    out.push((i + 5) % n);
+                }
+                (i, out)
+            })
+            .collect()
+    }
+
+    #[test]
+    fn incremental_matches_recompute_after_edge_insertions() {
+        let pool = WorkerPool::new(N);
+        let graph = ring_with_chords(40);
+        let st = stores("ins");
+        let mut data = converge_initial(graph.clone(), &st, &pool);
+
+        // Insert a chord on vertex 7: update its record.
+        let mut delta: Delta<u64, Vec<u64>> = Delta::new();
+        let old = graph[7].1.clone();
+        let mut new = old.clone();
+        new.push(20);
+        delta.update(7, old, new.clone());
+
+        let engine = IncrIterEngine::new(
+            &MiniRank,
+            JobConfig::symmetric(N),
+            IncrParams {
+                max_iterations: 400,
+                ..Default::default()
+            },
+            IterParams::default(),
+        )
+        .unwrap();
+        let report = engine.run(&pool, &mut data, &st, &delta, None).unwrap();
+        assert!(report.converged);
+        assert!(report.mrbg_turned_off_at.is_none(), "1 change of 40: P∆ small");
+
+        let mut updated = graph;
+        updated[7].1 = new;
+        let want = oracle(updated, &pool);
+        assert_states_close(&data.state_snapshot(), &want, 2e-5);
+    }
+
+    #[test]
+    fn incremental_matches_recompute_after_vertex_insert_and_delete() {
+        let pool = WorkerPool::new(N);
+        let graph = ring_with_chords(30);
+        let st = stores("vtx");
+        let mut data = converge_initial(graph.clone(), &st, &pool);
+
+        let mut delta: Delta<u64, Vec<u64>> = Delta::new();
+        // New vertex 100 pointing at 3 (and nothing pointing at it).
+        delta.insert(100, vec![3]);
+        // Delete vertex 11 (its record; in-edges from 10 remain via ring —
+        // contributions to a deleted vertex are dropped).
+        delta.delete(11, graph[11].1.clone());
+
+        let engine = IncrIterEngine::new(
+            &MiniRank,
+            JobConfig::symmetric(N),
+            IncrParams {
+                max_iterations: 400,
+                ..Default::default()
+            },
+            IterParams::default(),
+        )
+        .unwrap();
+        let report = engine.run(&pool, &mut data, &st, &delta, None).unwrap();
+        assert!(report.converged);
+
+        let mut updated = graph;
+        updated.retain(|(k, _)| *k != 11);
+        updated.push((100, vec![3]));
+        let want = oracle(updated, &pool);
+        assert_states_close(&data.state_snapshot(), &want, 2e-5);
+
+        // Vertex 100 (no in-edges) must have settled at 0.15, not init 1.0.
+        let v100 = data.state_get(N, &100).copied().unwrap();
+        assert!((v100 - 0.15).abs() < 1e-9, "got {v100}");
+    }
+
+    #[test]
+    fn cpc_threshold_reduces_propagation_but_bounds_error() {
+        let pool = WorkerPool::new(N);
+        let graph = ring_with_chords(60);
+        let st_exact = stores("cpc-exact");
+        let mut data_exact = converge_initial(graph.clone(), &st_exact, &pool);
+        let st_cpc = stores("cpc-filt");
+        let mut data_cpc = converge_initial(graph.clone(), &st_cpc, &pool);
+
+        let mut delta: Delta<u64, Vec<u64>> = Delta::new();
+        let old = graph[0].1.clone();
+        delta.update(0, old.clone(), vec![30]);
+
+        let exact_engine = IncrIterEngine::new(
+            &MiniRank,
+            JobConfig::symmetric(N),
+            IncrParams {
+                filter_threshold: None,
+                max_iterations: 200,
+                ..Default::default()
+            },
+            IterParams::default(),
+        )
+        .unwrap();
+        let exact_rep = exact_engine
+            .run(&pool, &mut data_exact, &st_exact, &delta, None)
+            .unwrap();
+
+        let cpc_engine = IncrIterEngine::new(
+            &MiniRank,
+            JobConfig::symmetric(N),
+            IncrParams {
+                filter_threshold: Some(0.001),
+                max_iterations: 200,
+                ..Default::default()
+            },
+            IterParams::default(),
+        )
+        .unwrap();
+        let cpc_rep = cpc_engine
+            .run(&pool, &mut data_cpc, &st_cpc, &delta, None)
+            .unwrap();
+
+        let exact_prop: u64 = exact_rep.iterations.iter().map(|i| i.changed_keys).sum();
+        let cpc_prop: u64 = cpc_rep.iterations.iter().map(|i| i.changed_keys).sum();
+        assert!(
+            cpc_prop < exact_prop,
+            "CPC must propagate fewer kv-pairs ({cpc_prop} vs {exact_prop})"
+        );
+
+        // Error vs the exact refresh stays small (threshold-bounded).
+        let exact = data_exact.state_snapshot();
+        let approx = data_cpc.state_snapshot();
+        let mean_err: f64 = exact
+            .iter()
+            .zip(&approx)
+            .map(|((_, a), (_, b))| ((a - b) / a).abs())
+            .sum::<f64>()
+            / exact.len() as f64;
+        assert!(mean_err < 0.01, "mean error {mean_err}");
+    }
+
+    #[test]
+    fn pdelta_monitor_turns_off_mrbg_on_big_deltas() {
+        let pool = WorkerPool::new(N);
+        let graph = ring_with_chords(20);
+        let st = stores("pdelta");
+        let mut data = converge_initial(graph.clone(), &st, &pool);
+
+        // Rewire more than half of all vertices: P∆ blows past 50 %.
+        let mut delta: Delta<u64, Vec<u64>> = Delta::new();
+        let mut updated = graph.clone();
+        for i in 0..14u64 {
+            let old = graph[i as usize].1.clone();
+            let new = vec![(i + 9) % 20];
+            delta.update(i, old, new.clone());
+            updated[i as usize].1 = new;
+        }
+
+        let engine = IncrIterEngine::new(
+            &MiniRank,
+            JobConfig::symmetric(N),
+            IncrParams {
+                max_iterations: 300,
+                ..Default::default()
+            },
+            IterParams {
+                epsilon: 1e-12,
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        let report = engine.run(&pool, &mut data, &st, &delta, None).unwrap();
+        assert!(report.mrbg_turned_off_at.is_some(), "P∆ must trigger");
+        assert!(report.converged);
+
+        let want = oracle(updated, &pool);
+        assert_states_close(&data.state_snapshot(), &want, 2e-5);
+    }
+
+    #[test]
+    fn mrbg_disabled_up_front_falls_back_to_iterative() {
+        let pool = WorkerPool::new(N);
+        let graph = ring_with_chords(20);
+        let st = stores("nomrbg");
+        let mut data = converge_initial(graph.clone(), &st, &pool);
+
+        let mut delta: Delta<u64, Vec<u64>> = Delta::new();
+        let old = graph[4].1.clone();
+        delta.update(4, old, vec![9]);
+
+        let engine = IncrIterEngine::new(
+            &MiniRank,
+            JobConfig::symmetric(N),
+            IncrParams {
+                mrbg_enabled: false,
+                max_iterations: 300,
+                ..Default::default()
+            },
+            IterParams {
+                epsilon: 1e-12,
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        let report = engine.run(&pool, &mut data, &st, &delta, None).unwrap();
+        assert_eq!(report.mrbg_turned_off_at, Some(0));
+        assert!(report.converged);
+
+        let mut updated = graph;
+        updated[4].1 = vec![9];
+        let want = oracle(updated, &pool);
+        assert_states_close(&data.state_snapshot(), &want, 2e-5);
+    }
+
+    #[test]
+    fn empty_delta_converges_immediately() {
+        let pool = WorkerPool::new(N);
+        let graph = ring_with_chords(15);
+        let st = stores("empty");
+        let mut data = converge_initial(graph, &st, &pool);
+        let before = data.state_snapshot();
+
+        let engine = IncrIterEngine::new(
+            &MiniRank,
+            JobConfig::symmetric(N),
+            IncrParams::default(),
+            IterParams::default(),
+        )
+        .unwrap();
+        let delta: Delta<u64, Vec<u64>> = Delta::new();
+        let report = engine.run(&pool, &mut data, &st, &delta, None).unwrap();
+        assert!(report.converged);
+        assert_eq!(report.iterations.len(), 1);
+        assert_eq!(report.iterations[0].changed_keys, 0);
+        assert_eq!(data.state_snapshot(), before);
+    }
+
+    #[test]
+    fn checkpoints_written_and_restorable() {
+        let pool = WorkerPool::new(N);
+        let graph = ring_with_chords(24);
+        let st = stores("ckpt");
+        let mut data = converge_initial(graph.clone(), &st, &pool);
+
+        let dfs_dir = std::env::temp_dir().join(format!(
+            "i2mr-incr-ckpt-dfs-{}-{:?}",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        let _ = std::fs::remove_dir_all(&dfs_dir);
+        let dfs = i2mr_dfs::MiniDfs::open_with(&dfs_dir, 1 << 20, 2).unwrap();
+        let ck = IterCheckpointer::new(&dfs, "minirank", N);
+
+        let mut delta: Delta<u64, Vec<u64>> = Delta::new();
+        let old = graph[2].1.clone();
+        delta.update(2, old, vec![13]);
+
+        let engine = IncrIterEngine::new(
+            &MiniRank,
+            JobConfig::symmetric(N),
+            IncrParams {
+                max_iterations: 400,
+                ..Default::default()
+            },
+            IterParams::default(),
+        )
+        .unwrap();
+        let report = engine.run(&pool, &mut data, &st, &delta, Some(&ck)).unwrap();
+        assert!(report.converged);
+
+        let latest = ck.latest_complete(true).expect("checkpoints exist");
+        let restored: Vec<Vec<(u64, f64)>> = ck.load_state(latest).unwrap();
+        assert_eq!(restored, data.state);
+    }
+}

@@ -1,0 +1,1013 @@
+//! The general-purpose iterative engine (paper §4.2–4.3).
+//!
+//! This is "iterMR" in the paper's experiments: MapReduce enhanced with
+//!
+//! * **job reuse** — one job spans all iterations (one `jobs_started`),
+//! * **structure caching** — structure data is partitioned once and stays
+//!   local; only state flows through shuffle,
+//! * **dependency-aware co-partitioning** — `hash(project(SK)) mod n` for
+//!   structure, `hash(DK) mod n` for state, the same hash for the prime
+//!   reduce shuffle, so reduce task *i*'s output *is* map task *i*'s next
+//!   state file (zero backward transfer),
+//! * optional **MRBGraph preservation** per iteration, which upgrades the
+//!   run into the "initial run" an incremental job can continue from.
+//!
+//! The same engine with [`PreserveMode::None`] is the fair re-computation
+//! baseline; with preservation it is i2MapReduce's job `A_{i-1}`.
+
+use crate::iterative::{
+    IterParams, IterationStats, IterativeSpec, PreserveMode, SmallStateSpec,
+};
+use i2mr_common::codec::encode_to;
+use i2mr_common::error::Result;
+use i2mr_common::hash::MapKey;
+use i2mr_common::metrics::{JobMetrics, Stage};
+use i2mr_mapred::config::JobConfig;
+use i2mr_mapred::fault::{TaskId, TaskKind};
+use i2mr_mapred::partition::{HashPartitioner, Partitioner};
+use i2mr_mapred::pool::{TaskSpec, WorkerPool};
+use i2mr_mapred::shuffle::{groups, sort_run, transpose, ShuffleBuffers};
+use i2mr_mapred::types::Emitter;
+use i2mr_store::format::{Chunk, ChunkEntry};
+use i2mr_store::store::MrbgStore;
+use parking_lot::Mutex;
+use std::time::Instant;
+
+/// Structure records sharing one projected state key.
+#[derive(Clone, Debug)]
+pub struct StructGroup<SK, SV, DK> {
+    /// The interdependent state key (`project(SK)` of every record).
+    pub dk: DK,
+    /// Records, sorted by SK.
+    pub records: Vec<(SK, SV)>,
+}
+
+/// Co-partitioned structure and state data (paper §4.3).
+///
+/// Invariants:
+/// * partition `i` holds exactly the groups/state keys with
+///   `hash(DK) mod n == i`;
+/// * groups and state entries are sorted by DK within each partition;
+/// * the state key set equals the structure group key set.
+#[derive(Clone, Debug)]
+pub struct PartitionedData<SK, SV, DK, DV> {
+    /// `[partition][group]`, sorted by DK.
+    pub structure: Vec<Vec<StructGroup<SK, SV, DK>>>,
+    /// `[partition][(DK, DV)]`, sorted by DK.
+    pub state: Vec<Vec<(DK, DV)>>,
+}
+
+impl<SK, SV, DK, DV> PartitionedData<SK, SV, DK, DV>
+where
+    SK: i2mr_mapred::types::KeyData,
+    SV: i2mr_mapred::types::ValueData,
+    DK: i2mr_mapred::types::KeyData,
+    DV: i2mr_mapred::types::ValueData,
+{
+    /// Number of partitions.
+    pub fn n_partitions(&self) -> usize {
+        self.structure.len()
+    }
+
+    /// Total number of state kv-pairs.
+    pub fn state_len(&self) -> usize {
+        self.state.iter().map(Vec::len).sum()
+    }
+
+    /// Total number of structure records.
+    pub fn structure_len(&self) -> usize {
+        self.structure
+            .iter()
+            .flat_map(|p| p.iter().map(|g| g.records.len()))
+            .sum()
+    }
+
+    /// Flattened, DK-sorted snapshot of the whole state.
+    pub fn state_snapshot(&self) -> Vec<(DK, DV)> {
+        let mut out: Vec<(DK, DV)> = self.state.iter().flatten().cloned().collect();
+        out.sort_by(|a, b| a.0.cmp(&b.0));
+        out
+    }
+
+    /// Look up a state value.
+    pub fn state_get(&self, n: usize, dk: &DK) -> Option<&DV> {
+        let p = HashPartitioner.partition(dk, n);
+        let part = &self.state[p];
+        part.binary_search_by(|(k, _)| k.cmp(dk))
+            .ok()
+            .map(|i| &part[i].1)
+    }
+}
+
+/// Partition structure records by `hash(project(SK)) mod n`, grouping by DK
+/// (the preprocessing step before an iterative job, paper §4.3).
+pub fn partition_structure<S: IterativeSpec>(
+    spec: &S,
+    n: usize,
+    structure: Vec<(S::SK, S::SV)>,
+) -> Vec<Vec<StructGroup<S::SK, S::SV, S::DK>>> {
+    let mut parts: Vec<Vec<(S::DK, S::SK, S::SV)>> = (0..n).map(|_| Vec::new()).collect();
+    for (sk, sv) in structure {
+        let dk = spec.project(&sk);
+        let p = HashPartitioner.partition(&dk, n);
+        parts[p].push((dk, sk, sv));
+    }
+    parts
+        .into_iter()
+        .map(|mut part| {
+            part.sort_by(|a, b| a.0.cmp(&b.0).then_with(|| a.1.cmp(&b.1)));
+            let mut groups: Vec<StructGroup<S::SK, S::SV, S::DK>> = Vec::new();
+            for (dk, sk, sv) in part {
+                match groups.last_mut() {
+                    Some(g) if g.dk == dk => g.records.push((sk, sv)),
+                    _ => groups.push(StructGroup {
+                        dk,
+                        records: vec![(sk, sv)],
+                    }),
+                }
+            }
+            groups
+        })
+        .collect()
+}
+
+/// Make the state key set equal the structure group key set: new groups get
+/// `init(DK)`, orphaned state entries are dropped (their vertex vanished).
+pub fn sync_state<S: IterativeSpec>(
+    spec: &S,
+    structure: &[Vec<StructGroup<S::SK, S::SV, S::DK>>],
+    prev_state: Vec<Vec<(S::DK, S::DV)>>,
+) -> Vec<Vec<(S::DK, S::DV)>> {
+    structure
+        .iter()
+        .enumerate()
+        .map(|(p, groups)| {
+            let prev = prev_state.get(p).map(|v| v.as_slice()).unwrap_or(&[]);
+            let mut out = Vec::with_capacity(groups.len());
+            for g in groups {
+                let dv = prev
+                    .binary_search_by(|(k, _)| k.cmp(&g.dk))
+                    .ok()
+                    .map(|i| prev[i].1.clone())
+                    .unwrap_or_else(|| spec.init(&g.dk));
+                out.push((g.dk.clone(), dv));
+            }
+            out
+        })
+        .collect()
+}
+
+/// Build co-partitioned data from raw structure records with initial state.
+pub fn build_partitioned<S: IterativeSpec>(
+    spec: &S,
+    n: usize,
+    structure: Vec<(S::SK, S::SV)>,
+) -> PartitionedData<S::SK, S::SV, S::DK, S::DV> {
+    let structure = partition_structure(spec, n, structure);
+    let state = sync_state(spec, &structure, Vec::new());
+    PartitionedData { structure, state }
+}
+
+/// Report of a full iterative run.
+#[derive(Debug, Default)]
+pub struct RunReport {
+    /// Per-iteration progress.
+    pub iterations: Vec<IterationStats>,
+    /// Per-iteration engine metrics.
+    pub per_iteration: Vec<JobMetrics>,
+    /// Whether `epsilon` convergence was reached within the budget.
+    pub converged: bool,
+}
+
+impl RunReport {
+    /// Sum of all iterations' metrics.
+    pub fn total_metrics(&self) -> JobMetrics {
+        let mut total = JobMetrics::default();
+        for m in &self.per_iteration {
+            total.merge(m);
+        }
+        total
+    }
+
+    /// Total wall time across iterations.
+    pub fn total_wall(&self) -> std::time::Duration {
+        self.iterations.iter().map(|i| i.wall).sum()
+    }
+
+    /// Number of iterations executed.
+    pub fn n_iterations(&self) -> u64 {
+        self.iterations.len() as u64
+    }
+}
+
+/// The partitioned iterative engine (see module docs).
+pub struct PartitionedIterEngine<'s, S: IterativeSpec> {
+    spec: &'s S,
+    config: JobConfig,
+    params: IterParams,
+}
+
+impl<'s, S: IterativeSpec> PartitionedIterEngine<'s, S> {
+    /// Build an engine. `config.n_map` / `n_reduce` must be equal (the
+    /// co-location scheme pairs map task i with reduce task i).
+    pub fn new(spec: &'s S, config: JobConfig, params: IterParams) -> Result<Self> {
+        config.validate()?;
+        if config.n_map != config.n_reduce {
+            return Err(i2mr_common::error::Error::config(
+                "iterative engine requires n_map == n_reduce (prime task co-location)",
+            ));
+        }
+        Ok(PartitionedIterEngine {
+            spec,
+            config,
+            params,
+        })
+    }
+
+    /// The spec driving this engine.
+    pub fn spec(&self) -> &S {
+        self.spec
+    }
+
+    /// Run iterations until convergence or the iteration budget.
+    ///
+    /// `stores` (one per partition) are written according to
+    /// `params.preserve`; pass `None` stores with `PreserveMode::None` for
+    /// the pure iterMR baseline.
+    pub fn run(
+        &self,
+        pool: &WorkerPool,
+        data: &mut PartitionedData<S::SK, S::SV, S::DK, S::DV>,
+        stores: Option<&[Mutex<MrbgStore>]>,
+    ) -> Result<RunReport> {
+        let preserve_each = matches!(self.params.preserve, PreserveMode::EveryIteration);
+        if matches!(
+            self.params.preserve,
+            PreserveMode::EveryIteration | PreserveMode::FinalOnly
+        ) && stores.is_none()
+        {
+            return Err(i2mr_common::error::Error::config(
+                "MRBGraph preservation requested but no stores supplied",
+            ));
+        }
+
+        let mut report = RunReport::default();
+        for iteration in 1..=self.params.max_iterations {
+            let started = Instant::now();
+            let mut metrics = JobMetrics {
+                // Job reuse: the single job is counted on its first iteration.
+                jobs_started: u64::from(iteration == 1),
+                ..Default::default()
+            };
+            let stats = self.run_iteration(
+                pool,
+                data,
+                iteration,
+                if preserve_each { stores } else { None },
+                &mut metrics,
+            )?;
+            let stats = IterationStats {
+                iteration,
+                wall: started.elapsed(),
+                ..stats
+            };
+            let converged = stats.max_diff < self.params.epsilon;
+            report.iterations.push(stats);
+            report.per_iteration.push(metrics);
+            if converged {
+                report.converged = true;
+                break;
+            }
+        }
+
+        if matches!(self.params.preserve, PreserveMode::FinalOnly) {
+            // Materialize the MRBGraph of the converged state in one extra
+            // pass (ablation vs. paying preservation every iteration).
+            let mut metrics = JobMetrics::default();
+            self.materialize_mrbg(pool, data, stores.unwrap(), &mut metrics)?;
+            report.per_iteration.push(metrics);
+        }
+        Ok(report)
+    }
+
+    /// One prime-Map → shuffle → sort → prime-Reduce iteration.
+    fn run_iteration(
+        &self,
+        pool: &WorkerPool,
+        data: &mut PartitionedData<S::SK, S::SV, S::DK, S::DV>,
+        iteration: u64,
+        stores: Option<&[Mutex<MrbgStore>]>,
+        metrics: &mut JobMetrics,
+    ) -> Result<IterationStats> {
+        let n = self.config.n_reduce;
+        let spec = self.spec;
+
+        // Prime Map: merge-join structure groups with co-located state.
+        let t = Instant::now();
+        let map_tasks: Vec<TaskSpec<'_, (ShuffleBuffers<S::DK, S::V2>, u64)>> = (0..n)
+            .map(|p| {
+                let structure = &data.structure[p];
+                let state = &data.state[p];
+                TaskSpec::pinned(
+                    TaskId {
+                        kind: TaskKind::Map,
+                        index: p,
+                        iteration,
+                    },
+                    p % pool.n_workers(),
+                    move |_| {
+                        let mut buffers = ShuffleBuffers::new(n);
+                        let mut emitter = Emitter::new();
+                        let mut invocations = 0u64;
+                        debug_assert_eq!(structure.len(), state.len());
+                        for (g, (dk, dv)) in structure.iter().zip(state.iter()) {
+                            debug_assert!(g.dk == *dk, "structure/state misaligned");
+                            for (sk, sv) in &g.records {
+                                let mk = MapKey::for_structure(&encode_to(sk));
+                                spec.map(sk, sv, dk, dv, &mut emitter);
+                                invocations += 1;
+                                for (k2, v2) in emitter.drain() {
+                                    buffers.push(k2, mk, v2, &HashPartitioner);
+                                }
+                            }
+                        }
+                        Ok((buffers, invocations))
+                    },
+                )
+            })
+            .collect();
+        let map_results = pool.run_tasks(map_tasks)?;
+        metrics.stages.add(Stage::Map, t.elapsed());
+        let mut map_outputs = Vec::with_capacity(map_results.len());
+        for (buffers, inv) in map_results {
+            metrics.map_invocations += inv;
+            map_outputs.push(buffers);
+        }
+
+        // Shuffle (MK bytes only travel when the MRBGraph is maintained).
+        let t = Instant::now();
+        let (mut runs, recs, bytes) = transpose(map_outputs, n, stores.is_some());
+        metrics.shuffled_records += recs;
+        metrics.shuffled_bytes += bytes;
+        metrics.stages.add(Stage::Shuffle, t.elapsed());
+
+        // Sort.
+        let t = Instant::now();
+        crossbeam::scope(|s| {
+            for run in runs.iter_mut() {
+                s.spawn(move |_| sort_run(run));
+            }
+        })
+        .expect("sort thread panicked");
+        metrics.stages.add(Stage::Sort, t.elapsed());
+
+        // Prime Reduce, co-located with the prime Map of the next iteration:
+        // reduce task p writes state partition p directly.
+        let t = Instant::now();
+        let state_parts = &data.state;
+        let reduce_tasks: Vec<TaskSpec<'_, (Vec<(S::DK, S::DV)>, f64, u64, u64)>> = runs
+            .iter()
+            .enumerate()
+            .map(|(p, run)| {
+                let run: &[(S::DK, MapKey, S::V2)] = run;
+                let state = &state_parts[p];
+                TaskSpec::pinned(
+                    TaskId {
+                        kind: TaskKind::Reduce,
+                        index: p,
+                        iteration,
+                    },
+                    p % pool.n_workers(),
+                    move |_| {
+                        let mut new_state = Vec::with_capacity(state.len());
+                        let mut chunks: Vec<Chunk> = Vec::new();
+                        let mut values: Vec<S::V2> = Vec::new();
+                        let mut max_diff = 0.0f64;
+                        let mut changed = 0u64;
+                        let mut invocations = 0u64;
+                        let mut group_iter = groups(run).peekable();
+                        for (dk, prev) in state {
+                            // Advance group cursor to this dk; groups for
+                            // unknown dks (no state entry) are preserved but
+                            // produce no state update.
+                            let mut matched: Option<&[(S::DK, MapKey, S::V2)]> = None;
+                            while let Some(g) = group_iter.peek() {
+                                match g[0].0.cmp(dk) {
+                                    std::cmp::Ordering::Less => {
+                                        let g = group_iter.next().unwrap();
+                                        if stores.is_some() {
+                                            chunks.push(chunk_of::<S>(g));
+                                        }
+                                    }
+                                    std::cmp::Ordering::Equal => {
+                                        matched = Some(group_iter.next().unwrap());
+                                        break;
+                                    }
+                                    std::cmp::Ordering::Greater => break,
+                                }
+                            }
+                            values.clear();
+                            if let Some(g) = matched {
+                                values.extend(g.iter().map(|(_, _, v)| v.clone()));
+                                if stores.is_some() {
+                                    chunks.push(chunk_of::<S>(g));
+                                }
+                            }
+                            let next = spec.reduce(dk, prev, &values);
+                            invocations += 1;
+                            let diff = spec.difference(&next, prev);
+                            if diff > 0.0 {
+                                changed += 1;
+                            }
+                            max_diff = max_diff.max(diff);
+                            new_state.push((dk.clone(), next));
+                        }
+                        // Preserve trailing groups beyond the last state key.
+                        if stores.is_some() {
+                            for g in group_iter {
+                                chunks.push(chunk_of::<S>(g));
+                            }
+                        }
+                        if let Some(stores) = stores {
+                            stores[p].lock().append_batch(chunks)?;
+                        }
+                        Ok((new_state, max_diff, changed, invocations))
+                    },
+                )
+            })
+            .collect();
+        let reduce_results = pool.run_tasks(reduce_tasks)?;
+        metrics.stages.add(Stage::Reduce, t.elapsed());
+
+        let mut max_diff = 0.0f64;
+        let mut changed = 0u64;
+        for (p, (new_state, part_max, part_changed, invocations)) in
+            reduce_results.into_iter().enumerate()
+        {
+            metrics.reduce_invocations += invocations;
+            max_diff = max_diff.max(part_max);
+            changed += part_changed;
+            // Co-location: reduce output p becomes state partition p with no
+            // backward transfer.
+            data.state[p] = new_state;
+        }
+        if let Some(stores) = stores {
+            for s in stores {
+                metrics.store_io += s.lock().io_stats();
+                s.lock().reset_io_stats();
+            }
+        }
+        Ok(IterationStats {
+            iteration,
+            max_diff,
+            changed_keys: changed,
+            wall: Default::default(),
+        })
+    }
+
+    /// Map + preserve pass against the *current* state, used by
+    /// [`PreserveMode::FinalOnly`] to materialize the converged MRBGraph.
+    fn materialize_mrbg(
+        &self,
+        pool: &WorkerPool,
+        data: &PartitionedData<S::SK, S::SV, S::DK, S::DV>,
+        stores: &[Mutex<MrbgStore>],
+        metrics: &mut JobMetrics,
+    ) -> Result<()> {
+        let n = self.config.n_reduce;
+        let spec = self.spec;
+        let t = Instant::now();
+        let map_tasks: Vec<TaskSpec<'_, ShuffleBuffers<S::DK, S::V2>>> = (0..n)
+            .map(|p| {
+                let structure = &data.structure[p];
+                let state = &data.state[p];
+                TaskSpec::pinned(
+                    TaskId {
+                        kind: TaskKind::Map,
+                        index: p,
+                        iteration: u64::MAX,
+                    },
+                    p % pool.n_workers(),
+                    move |_| {
+                        let mut buffers = ShuffleBuffers::new(n);
+                        let mut emitter = Emitter::new();
+                        for (g, (dk, dv)) in structure.iter().zip(state.iter()) {
+                            for (sk, sv) in &g.records {
+                                let mk = MapKey::for_structure(&encode_to(sk));
+                                spec.map(sk, sv, dk, dv, &mut emitter);
+                                for (k2, v2) in emitter.drain() {
+                                    buffers.push(k2, mk, v2, &HashPartitioner);
+                                }
+                            }
+                        }
+                        Ok(buffers)
+                    },
+                )
+            })
+            .collect();
+        let map_outputs = pool.run_tasks(map_tasks)?;
+        metrics.stages.add(Stage::Map, t.elapsed());
+
+        let t = Instant::now();
+        let (mut runs, recs, bytes) = transpose(map_outputs, n, true);
+        metrics.shuffled_records += recs;
+        metrics.shuffled_bytes += bytes;
+        metrics.stages.add(Stage::Shuffle, t.elapsed());
+
+        let t = Instant::now();
+        crossbeam::scope(|s| {
+            for run in runs.iter_mut() {
+                s.spawn(move |_| sort_run(run));
+            }
+        })
+        .expect("sort thread panicked");
+        metrics.stages.add(Stage::Sort, t.elapsed());
+
+        let t = Instant::now();
+        let preserve_tasks: Vec<TaskSpec<'_, ()>> = runs
+            .iter()
+            .enumerate()
+            .map(|(p, run)| {
+                let run: &[(S::DK, MapKey, S::V2)] = run;
+                TaskSpec::new(
+                    TaskId {
+                        kind: TaskKind::Reduce,
+                        index: p,
+                        iteration: u64::MAX,
+                    },
+                    move |_| {
+                        let chunks: Vec<Chunk> = groups(run).map(|g| chunk_of::<S>(g)).collect();
+                        stores[p].lock().append_batch(chunks)?;
+                        Ok(())
+                    },
+                )
+            })
+            .collect();
+        pool.run_tasks(preserve_tasks)?;
+        metrics.stages.add(Stage::Reduce, t.elapsed());
+        Ok(())
+    }
+}
+
+/// Build the preserved chunk for one sorted (K2, MK, V2) group.
+fn chunk_of<S: IterativeSpec>(group: &[(S::DK, MapKey, S::V2)]) -> Chunk {
+    Chunk::new(
+        encode_to(&group[0].0),
+        group
+            .iter()
+            .map(|(_, mk, v)| ChunkEntry {
+                mk: *mk,
+                value: encode_to(v),
+            })
+            .collect(),
+    )
+}
+
+// ---------------------------------------------------------------------------
+// Small-state engine (Kmeans-style all-to-one dependency)
+// ---------------------------------------------------------------------------
+
+/// Structure partitions plus the replicated state (paper §4.3, small state).
+#[derive(Clone, Debug)]
+pub struct SmallStateData<SK, SV, State> {
+    /// `[partition][record]` — default-partitioned structure records.
+    pub structure: Vec<Vec<(SK, SV)>>,
+    /// The single replicated state value.
+    pub state: State,
+}
+
+impl<SK, SV, State> SmallStateData<SK, SV, State> {
+    /// Total structure records.
+    pub fn structure_len(&self) -> usize {
+        self.structure.iter().map(Vec::len).sum()
+    }
+}
+
+/// Partition structure records for a small-state computation.
+pub fn build_small_state<S: SmallStateSpec>(
+    n: usize,
+    structure: Vec<(S::SK, S::SV)>,
+    initial_state: S::State,
+) -> SmallStateData<S::SK, S::SV, S::State> {
+    let mut parts: Vec<Vec<(S::SK, S::SV)>> = (0..n).map(|_| Vec::new()).collect();
+    for (sk, sv) in structure {
+        let p = HashPartitioner.partition(&sk, n);
+        parts[p].push((sk, sv));
+    }
+    for part in &mut parts {
+        part.sort_by(|a, b| a.0.cmp(&b.0));
+    }
+    SmallStateData {
+        structure: parts,
+        state: initial_state,
+    }
+}
+
+/// Iterative engine for replicated small state (Kmeans).
+pub struct SmallStateIterEngine<'s, S: SmallStateSpec> {
+    spec: &'s S,
+    config: JobConfig,
+    params: IterParams,
+}
+
+impl<'s, S: SmallStateSpec> SmallStateIterEngine<'s, S> {
+    /// Build an engine.
+    pub fn new(spec: &'s S, config: JobConfig, params: IterParams) -> Result<Self> {
+        config.validate()?;
+        Ok(SmallStateIterEngine {
+            spec,
+            config,
+            params,
+        })
+    }
+
+    /// Run iterations until convergence or budget. The MRBGraph is never
+    /// maintained here: any input change invalidates the whole state
+    /// (P∆ = 100 %), so preservation would be pure overhead (paper §5.2).
+    pub fn run(
+        &self,
+        pool: &WorkerPool,
+        data: &mut SmallStateData<S::SK, S::SV, S::State>,
+    ) -> Result<RunReport> {
+        let n = self.config.n_reduce;
+        let spec = self.spec;
+        let mut report = RunReport::default();
+
+        for iteration in 1..=self.params.max_iterations {
+            let started = Instant::now();
+            let mut metrics = JobMetrics {
+                jobs_started: u64::from(iteration == 1),
+                ..Default::default()
+            };
+
+            // Prime Map over structure with the replicated state.
+            let t = Instant::now();
+            let state = &data.state;
+            let map_tasks: Vec<TaskSpec<'_, (ShuffleBuffers<S::K2, S::V2>, u64)>> = (0..n)
+                .map(|p| {
+                    let part = &data.structure[p];
+                    TaskSpec::pinned(
+                        TaskId {
+                            kind: TaskKind::Map,
+                            index: p,
+                            iteration,
+                        },
+                        p % pool.n_workers(),
+                        move |_| {
+                            let mut buffers = ShuffleBuffers::new(n);
+                            let mut emitter = Emitter::new();
+                            for (sk, sv) in part {
+                                spec.map(sk, sv, state, &mut emitter);
+                                for (k2, v2) in emitter.drain() {
+                                    buffers.push(k2, MapKey(0), v2, &HashPartitioner);
+                                }
+                            }
+                            Ok((buffers, part.len() as u64))
+                        },
+                    )
+                })
+                .collect();
+            let map_results = pool.run_tasks(map_tasks)?;
+            metrics.stages.add(Stage::Map, t.elapsed());
+            let mut map_outputs = Vec::with_capacity(map_results.len());
+            for (buffers, inv) in map_results {
+                metrics.map_invocations += inv;
+                map_outputs.push(buffers);
+            }
+
+            let t = Instant::now();
+            let (mut runs, recs, bytes) = transpose(map_outputs, n, false);
+            metrics.shuffled_records += recs;
+            metrics.shuffled_bytes += bytes;
+            metrics.stages.add(Stage::Shuffle, t.elapsed());
+
+            let t = Instant::now();
+            crossbeam::scope(|s| {
+                for run in runs.iter_mut() {
+                    s.spawn(move |_| sort_run(run));
+                }
+            })
+            .expect("sort thread panicked");
+            metrics.stages.add(Stage::Sort, t.elapsed());
+
+            // Prime Reduce: per-key partials, then assemble the new
+            // replicated state (the cheap backward broadcast, §4.3).
+            let t = Instant::now();
+            let reduce_tasks: Vec<TaskSpec<'_, (Vec<(S::K2, S::V2)>, u64)>> = runs
+                .iter()
+                .enumerate()
+                .map(|(p, run)| {
+                    let run: &[(S::K2, MapKey, S::V2)] = run;
+                    TaskSpec::pinned(
+                        TaskId {
+                            kind: TaskKind::Reduce,
+                            index: p,
+                            iteration,
+                        },
+                        p % pool.n_workers(),
+                        move |_| {
+                            let mut parts = Vec::new();
+                            let mut values: Vec<S::V2> = Vec::new();
+                            let mut invocations = 0u64;
+                            for g in groups(run) {
+                                values.clear();
+                                values.extend(g.iter().map(|(_, _, v)| v.clone()));
+                                parts.push((g[0].0.clone(), spec.reduce(&g[0].0, &values)));
+                                invocations += 1;
+                            }
+                            Ok((parts, invocations))
+                        },
+                    )
+                })
+                .collect();
+            let reduce_results = pool.run_tasks(reduce_tasks)?;
+            metrics.stages.add(Stage::Reduce, t.elapsed());
+
+            let mut parts = Vec::new();
+            for (p, inv) in reduce_results {
+                metrics.reduce_invocations += inv;
+                parts.extend(p);
+            }
+            parts.sort_by(|a, b| a.0.cmp(&b.0));
+            let new_state = spec.assemble(&data.state, &parts);
+            let diff = spec.difference(&new_state, &data.state);
+            data.state = new_state;
+
+            report.iterations.push(IterationStats {
+                iteration,
+                max_diff: diff,
+                changed_keys: u64::from(diff > 0.0),
+                wall: started.elapsed(),
+            });
+            report.per_iteration.push(metrics);
+            if diff < self.params.epsilon {
+                report.converged = true;
+                break;
+            }
+        }
+        Ok(report)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::iterative::DependencyKind;
+
+    /// Toy spec: state values converge to the average of their in-neighbor
+    /// values (a contraction, so it converges quickly).
+    struct Averager;
+
+    impl IterativeSpec for Averager {
+        type SK = u64;
+        type SV = Vec<u64>; // out-neighbors
+        type DK = u64;
+        type DV = f64;
+        type V2 = f64;
+
+        fn project(&self, sk: &u64) -> u64 {
+            *sk
+        }
+        fn map(&self, _sk: &u64, sv: &Vec<u64>, _dk: &u64, dv: &f64, out: &mut Emitter<u64, f64>) {
+            for j in sv {
+                out.emit(*j, dv * 0.5);
+            }
+        }
+        fn reduce(&self, _dk: &u64, _prev: &f64, values: &[f64]) -> f64 {
+            0.1 + values.iter().sum::<f64>()
+        }
+        fn init(&self, _dk: &u64) -> f64 {
+            1.0
+        }
+        fn difference(&self, curr: &f64, prev: &f64) -> f64 {
+            (curr - prev).abs()
+        }
+        fn dependency(&self) -> DependencyKind {
+            DependencyKind::OneToOne
+        }
+    }
+
+    fn ring(n: u64) -> Vec<(u64, Vec<u64>)> {
+        (0..n).map(|i| (i, vec![(i + 1) % n])).collect()
+    }
+
+    #[test]
+    fn partitioning_groups_and_aligns_state() {
+        let data = build_partitioned(&Averager, 4, ring(100));
+        assert_eq!(data.state_len(), 100);
+        assert_eq!(data.structure_len(), 100);
+        for p in 0..4 {
+            assert_eq!(data.structure[p].len(), data.state[p].len());
+            for (g, (dk, dv)) in data.structure[p].iter().zip(&data.state[p]) {
+                assert_eq!(g.dk, *dk);
+                assert_eq!(*dv, 1.0);
+                assert_eq!(HashPartitioner.partition(dk, 4), p);
+            }
+            // Sorted by DK.
+            let dks: Vec<u64> = data.structure[p].iter().map(|g| g.dk).collect();
+            let mut sorted = dks.clone();
+            sorted.sort_unstable();
+            assert_eq!(dks, sorted);
+        }
+    }
+
+    #[test]
+    fn full_run_converges_to_fixed_point() {
+        let spec = Averager;
+        let engine = PartitionedIterEngine::new(
+            &spec,
+            JobConfig::symmetric(3),
+            IterParams {
+                max_iterations: 100,
+                epsilon: 1e-12,
+                preserve: PreserveMode::None,
+            },
+        )
+        .unwrap();
+        let pool = WorkerPool::new(3);
+        let mut data = build_partitioned(&spec, 3, ring(30));
+        let report = engine.run(&pool, &mut data, None).unwrap();
+        assert!(report.converged);
+        // Fixed point of x = 0.1 + 0.5x is 0.2.
+        for (_, v) in data.state_snapshot() {
+            assert!((v - 0.2).abs() < 1e-9, "got {v}");
+        }
+        // Job reuse: exactly one job started across all iterations.
+        assert_eq!(report.total_metrics().jobs_started, 1);
+        assert!(report.n_iterations() > 3);
+    }
+
+    #[test]
+    fn mismatched_map_reduce_counts_rejected() {
+        let cfg = JobConfig {
+            n_map: 2,
+            n_reduce: 3,
+            ..Default::default()
+        };
+        assert!(PartitionedIterEngine::new(&Averager, cfg, IterParams::default()).is_err());
+    }
+
+    #[test]
+    fn preserve_every_iteration_builds_batches() {
+        let spec = Averager;
+        let engine = PartitionedIterEngine::new(
+            &spec,
+            JobConfig::symmetric(2),
+            IterParams {
+                max_iterations: 5,
+                epsilon: 0.0, // never converge: run all 5
+                preserve: PreserveMode::EveryIteration,
+            },
+        )
+        .unwrap();
+        let pool = WorkerPool::new(2);
+        let mut data = build_partitioned(&spec, 2, ring(16));
+        let dir = std::env::temp_dir().join(format!(
+            "i2mr-iter-preserve-{}-{:?}",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+        let stores: Vec<Mutex<MrbgStore>> = (0..2)
+            .map(|p| {
+                Mutex::new(
+                    MrbgStore::create(dir.join(p.to_string()), Default::default()).unwrap(),
+                )
+            })
+            .collect();
+        engine.run(&pool, &mut data, Some(&stores)).unwrap();
+        for s in &stores {
+            let s = s.lock();
+            assert_eq!(s.n_batches(), 5, "one batch per iteration");
+            assert!(s.len() > 0);
+        }
+    }
+
+    #[test]
+    fn preserve_final_only_builds_one_batch() {
+        let spec = Averager;
+        let engine = PartitionedIterEngine::new(
+            &spec,
+            JobConfig::symmetric(2),
+            IterParams {
+                max_iterations: 50,
+                epsilon: 1e-10,
+                preserve: PreserveMode::FinalOnly,
+            },
+        )
+        .unwrap();
+        let pool = WorkerPool::new(2);
+        let mut data = build_partitioned(&spec, 2, ring(16));
+        let dir = std::env::temp_dir().join(format!(
+            "i2mr-iter-final-{}-{:?}",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+        let stores: Vec<Mutex<MrbgStore>> = (0..2)
+            .map(|p| {
+                Mutex::new(
+                    MrbgStore::create(dir.join(p.to_string()), Default::default()).unwrap(),
+                )
+            })
+            .collect();
+        let report = engine.run(&pool, &mut data, Some(&stores)).unwrap();
+        assert!(report.converged);
+        for s in &stores {
+            assert_eq!(s.lock().n_batches(), 1, "only the converged iteration");
+        }
+    }
+
+    #[test]
+    fn state_get_finds_values() {
+        let data = build_partitioned(&Averager, 3, ring(10));
+        for i in 0..10u64 {
+            assert_eq!(data.state_get(3, &i), Some(&1.0));
+        }
+        assert_eq!(data.state_get(3, &99), None);
+    }
+
+    // ------------------------------------------------------------------
+    // Small-state engine: 1-D 2-means.
+    // ------------------------------------------------------------------
+
+    struct TinyKmeans;
+
+    impl SmallStateSpec for TinyKmeans {
+        type SK = u64;
+        type SV = f64; // 1-D point
+        type State = Vec<(u32, f64)>; // (cid, centroid)
+        type K2 = u32;
+        type V2 = (f64, u64); // (sum, count)
+
+        fn map(&self, _sk: &u64, x: &f64, state: &Self::State, out: &mut Emitter<u32, (f64, u64)>) {
+            let (cid, _) = state
+                .iter()
+                .min_by(|a, b| {
+                    (a.1 - x).abs().partial_cmp(&(b.1 - x).abs()).unwrap()
+                })
+                .unwrap();
+            out.emit(*cid, (*x, 1));
+        }
+        fn reduce(&self, _k2: &u32, values: &[(f64, u64)]) -> (f64, u64) {
+            let sum: f64 = values.iter().map(|(s, _)| s).sum();
+            let count: u64 = values.iter().map(|(_, c)| c).sum();
+            (sum, count)
+        }
+        fn assemble(&self, prev: &Self::State, parts: &[(u32, (f64, u64))]) -> Self::State {
+            let mut next = prev.clone();
+            for (cid, (sum, count)) in parts {
+                if *count > 0 {
+                    if let Some(c) = next.iter_mut().find(|(id, _)| id == cid) {
+                        c.1 = sum / *count as f64;
+                    }
+                }
+            }
+            next
+        }
+        fn difference(&self, curr: &Self::State, prev: &Self::State) -> f64 {
+            curr.iter()
+                .zip(prev)
+                .map(|(a, b)| (a.1 - b.1).abs())
+                .fold(0.0, f64::max)
+        }
+    }
+
+    #[test]
+    fn small_state_kmeans_converges_to_cluster_means() {
+        // Two tight clusters around 0.0 and 10.0.
+        let points: Vec<(u64, f64)> = (0..40u64)
+            .map(|i| {
+                if i % 2 == 0 {
+                    (i, (i % 5) as f64 * 0.01)
+                } else {
+                    (i, 10.0 + (i % 5) as f64 * 0.01)
+                }
+            })
+            .collect();
+        let spec = TinyKmeans;
+        let engine = SmallStateIterEngine::new(
+            &spec,
+            JobConfig::symmetric(3),
+            IterParams {
+                max_iterations: 30,
+                epsilon: 1e-9,
+                preserve: PreserveMode::None,
+            },
+        )
+        .unwrap();
+        let pool = WorkerPool::new(3);
+        let mut data = build_small_state::<TinyKmeans>(
+            3,
+            points,
+            vec![(0, -1.0), (1, 11.0)],
+        );
+        let report = engine.run(&pool, &mut data).unwrap();
+        assert!(report.converged);
+        let c0 = data.state[0].1;
+        let c1 = data.state[1].1;
+        assert!((c0 - 0.02).abs() < 0.1, "centroid 0 at {c0}");
+        assert!((c1 - 10.02).abs() < 0.1, "centroid 1 at {c1}");
+        assert_eq!(report.total_metrics().jobs_started, 1);
+    }
+}

@@ -1,0 +1,87 @@
+//! # i2mr-core — the i2MapReduce engines
+//!
+//! This crate implements the paper's contribution on top of the substrates
+//! (`i2mr-mapred`, `i2mr-store`, `i2mr-dfs`):
+//!
+//! * [`onestep`] — fine-grain incremental processing for one-step
+//!   computation using the MRBGraph abstraction (paper §3).
+//! * [`accumulator`] — the accumulator-Reduce fast path that skips the
+//!   MRBGraph entirely for distributive aggregations (paper §3.5).
+//! * [`iterative`] / [`iter_engine`] — the general-purpose iterative model
+//!   with structure/state separation, the Project API, dependency-aware
+//!   co-partitioning, and prime task co-location (paper §4). With
+//!   preservation off this is the `iterMR` baseline; with preservation on
+//!   it is the initial run an incremental job continues from.
+//! * [`incr_iter`] — incremental iterative processing: converged-state
+//!   reuse, delta-structure/delta-state iterations, change propagation
+//!   control, and the P∆ monitor that auto-disables MRBGraph maintenance
+//!   (paper §5).
+//! * [`cpc`] — the change propagation filter (paper §5.3).
+//! * [`checkpoint`] — per-iteration state/MRBGraph checkpoints (paper §6.1).
+//! * [`delta`] — the `+`/`−` delta input representation (paper §3.3).
+//! * [`output`] — maintained final outputs for patching refreshed results.
+//! * [`tasklevel`] — an Incoop-style task-grain incremental baseline used
+//!   by the grain ablation (paper §1, §8.1.1).
+//!
+//! ## Quick example
+//!
+//! ```
+//! use i2mr_core::delta::Delta;
+//! use i2mr_core::onestep::OneStepEngine;
+//! use i2mr_mapred::{Emitter, HashPartitioner, JobConfig, WorkerPool};
+//!
+//! // Sum of in-edge weights per vertex (the paper's Fig. 3 example).
+//! let mapper = |_src: &u64, adj: &String, out: &mut Emitter<u64, f64>| {
+//!     for e in adj.split(';').filter(|s| !s.is_empty()) {
+//!         let (dst, w) = e.split_once(':').unwrap();
+//!         out.emit(dst.parse().unwrap(), w.parse().unwrap());
+//!     }
+//! };
+//! let reducer = |k: &u64, vs: &[f64], out: &mut Emitter<u64, f64>| {
+//!     out.emit(*k, vs.iter().sum());
+//! };
+//!
+//! let dir = std::env::temp_dir().join("i2mr-doc-example");
+//! let _ = std::fs::remove_dir_all(&dir);
+//! let mut engine: OneStepEngine<u64, String, u64, f64, u64, f64> =
+//!     OneStepEngine::create(dir, JobConfig::symmetric(2), Default::default()).unwrap();
+//! let pool = WorkerPool::new(2);
+//!
+//! let input = vec![(0u64, "1:0.3;2:0.3".to_string()), (1, "2:0.4".to_string())];
+//! engine.initial(&pool, &input, &mapper, &HashPartitioner, &reducer).unwrap();
+//!
+//! let mut delta = Delta::new();
+//! delta.insert(3, "2:0.5".to_string());
+//! engine.incremental(&pool, &delta, &mapper, &HashPartitioner, &reducer).unwrap();
+//!
+//! let out = engine.output();
+//! let v2 = out.iter().find(|(k, _)| *k == 2).unwrap().1;
+//! assert!((v2 - 1.2).abs() < 1e-9); // 0.3 + 0.4 + 0.5
+//! ```
+
+pub mod accumulator;
+pub mod checkpoint;
+pub mod cpc;
+pub mod delta;
+pub mod incr_iter;
+pub mod iter_engine;
+pub mod iterative;
+pub mod onestep;
+pub mod output;
+pub mod tasklevel;
+
+pub use accumulator::{Accumulator, AccumulatorEngine};
+pub use checkpoint::IterCheckpointer;
+pub use cpc::{ChangePropagation, Verdict};
+pub use delta::{Delta, DeltaRecord, Op};
+pub use incr_iter::{IncrIterEngine, IncrParams, IncrRunReport};
+pub use iter_engine::{
+    build_partitioned, build_small_state, PartitionedData, PartitionedIterEngine, RunReport,
+    SmallStateData, SmallStateIterEngine,
+};
+pub use iterative::{
+    DependencyKind, IterParams, IterationStats, IterativeSpec, PreserveMode, SmallStateSpec,
+};
+pub use onestep::OneStepEngine;
+pub use output::ResultStore;
+pub use tasklevel::{ReuseStats, TaskLevelEngine};

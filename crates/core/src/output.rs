@@ -1,0 +1,157 @@
+//! The result store: maintained final output `(K3, V3)` per Reduce instance.
+//!
+//! Incremental processing produces the *changed* final results; to present a
+//! complete refreshed output (and to verify equivalence with re-computation)
+//! the engine maintains the previous job's output keyed by the owning K2, so
+//! a re-computed Reduce instance replaces exactly its own output pairs and a
+//! vanished instance removes them.
+
+use i2mr_common::codec::{encode_to, Codec};
+use i2mr_common::error::Result;
+use i2mr_mapred::types::{KeyData, ValueData};
+use std::collections::HashMap;
+
+/// Output pairs of one job, keyed by the encoded K2 of the Reduce instance
+/// that produced them. One store per reduce partition.
+#[derive(Clone, Debug, Default)]
+pub struct ResultStore<K3, V3> {
+    by_k2: HashMap<Vec<u8>, Vec<(K3, V3)>>,
+}
+
+impl<K3: KeyData, V3: ValueData> ResultStore<K3, V3> {
+    /// Empty store.
+    pub fn new() -> Self {
+        ResultStore {
+            by_k2: HashMap::new(),
+        }
+    }
+
+    /// Replace the output pairs owned by `k2` (empty `pairs` removes them).
+    pub fn put<K2: Codec>(&mut self, k2: &K2, pairs: Vec<(K3, V3)>) {
+        let key = encode_to(k2);
+        if pairs.is_empty() {
+            self.by_k2.remove(&key);
+        } else {
+            self.by_k2.insert(key, pairs);
+        }
+    }
+
+    /// Replace output pairs by pre-encoded K2 bytes.
+    pub fn put_bytes(&mut self, k2: &[u8], pairs: Vec<(K3, V3)>) {
+        if pairs.is_empty() {
+            self.by_k2.remove(k2);
+        } else {
+            self.by_k2.insert(k2.to_vec(), pairs);
+        }
+    }
+
+    /// Output pairs owned by `k2`, if any.
+    pub fn get<K2: Codec>(&self, k2: &K2) -> Option<&[(K3, V3)]> {
+        self.by_k2.get(&encode_to(k2)).map(|v| v.as_slice())
+    }
+
+    /// Remove a Reduce instance's output; returns whether it existed.
+    pub fn remove_bytes(&mut self, k2: &[u8]) -> bool {
+        self.by_k2.remove(k2).is_some()
+    }
+
+    /// Number of Reduce instances with output.
+    pub fn len(&self) -> usize {
+        self.by_k2.len()
+    }
+
+    /// True when no output is recorded.
+    pub fn is_empty(&self) -> bool {
+        self.by_k2.is_empty()
+    }
+
+    /// The complete refreshed output, sorted for deterministic comparison.
+    pub fn snapshot(&self) -> Vec<(K3, V3)>
+    where
+        K3: Ord,
+        V3: Clone,
+    {
+        let mut out: Vec<(K3, V3)> = self
+            .by_k2
+            .values()
+            .flat_map(|pairs| pairs.iter().cloned())
+            .collect();
+        out.sort_by(|a, b| a.0.cmp(&b.0).then_with(|| encode_to(&a.1).cmp(&encode_to(&b.1))));
+        out
+    }
+
+    /// Serialize for checkpointing.
+    pub fn export(&self) -> Vec<u8>
+    where
+        K3: Codec,
+        V3: Codec,
+    {
+        let mut entries: Vec<(&Vec<u8>, &Vec<(K3, V3)>)> = self.by_k2.iter().collect();
+        entries.sort_by(|a, b| a.0.cmp(b.0));
+        let owned: Vec<(Vec<u8>, Vec<(K3, V3)>)> = entries
+            .into_iter()
+            .map(|(k, v)| (k.clone(), v.clone()))
+            .collect();
+        encode_to(&owned)
+    }
+
+    /// Restore from an [`ResultStore::export`] payload.
+    pub fn import(bytes: &[u8]) -> Result<Self>
+    where
+        K3: Codec,
+        V3: Codec,
+    {
+        let owned: Vec<(Vec<u8>, Vec<(K3, V3)>)> = i2mr_common::codec::decode_exact(bytes)?;
+        Ok(ResultStore {
+            by_k2: owned.into_iter().collect(),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn put_get_replace_remove() {
+        let mut rs: ResultStore<String, u64> = ResultStore::new();
+        rs.put(&1u64, vec![("a".into(), 1)]);
+        rs.put(&2u64, vec![("b".into(), 2), ("c".into(), 3)]);
+        assert_eq!(rs.get(&1u64).unwrap().len(), 1);
+        assert_eq!(rs.len(), 2);
+        // Replace.
+        rs.put(&1u64, vec![("a2".into(), 9)]);
+        assert_eq!(rs.get(&1u64).unwrap()[0].0, "a2");
+        // Empty pairs remove the instance.
+        rs.put(&2u64, vec![]);
+        assert_eq!(rs.len(), 1);
+        assert!(rs.get(&2u64).is_none());
+    }
+
+    #[test]
+    fn snapshot_is_sorted_and_complete() {
+        let mut rs: ResultStore<u64, u64> = ResultStore::new();
+        rs.put(&9u64, vec![(9, 90)]);
+        rs.put(&1u64, vec![(1, 10), (0, 5)]);
+        assert_eq!(rs.snapshot(), vec![(0, 5), (1, 10), (9, 90)]);
+    }
+
+    #[test]
+    fn export_import_roundtrip() {
+        let mut rs: ResultStore<String, f64> = ResultStore::new();
+        rs.put(&"x".to_string(), vec![("out".into(), 0.5)]);
+        rs.put(&"y".to_string(), vec![("out2".into(), 1.5)]);
+        let restored: ResultStore<String, f64> = ResultStore::import(&rs.export()).unwrap();
+        assert_eq!(restored.len(), 2);
+        assert_eq!(restored.get(&"x".to_string()).unwrap()[0].1, 0.5);
+    }
+
+    #[test]
+    fn bytes_api_matches_typed_api() {
+        let mut rs: ResultStore<u64, u64> = ResultStore::new();
+        rs.put_bytes(&encode_to(&5u64), vec![(5, 50)]);
+        assert_eq!(rs.get(&5u64).unwrap()[0], (5, 50));
+        assert!(rs.remove_bytes(&encode_to(&5u64)));
+        assert!(rs.is_empty());
+    }
+}

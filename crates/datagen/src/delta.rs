@@ -1,0 +1,289 @@
+//! Delta generators — "changing p % of the input data" (paper §8.1.5).
+//!
+//! For the iterative algorithms the paper generates deltas by randomly
+//! changing 10 % of the input records; for APriori the delta is the last
+//! week of tweets (7.9 %, append-only). These helpers produce
+//! [`i2mr_core::Delta`] values with the same structure, deterministically
+//! from a seed.
+
+use i2mr_core::delta::Delta;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// What fraction of records to change, and how.
+#[derive(Clone, Copy, Debug)]
+pub struct DeltaSpec {
+    /// Fraction of records to modify (`0.10` = the paper's default).
+    pub change_fraction: f64,
+    /// Of the changed records, fraction to delete outright (the rest are
+    /// updates). Insertions are controlled by `insert_fraction`.
+    pub delete_fraction: f64,
+    /// New records to insert, as a fraction of the base size.
+    pub insert_fraction: f64,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for DeltaSpec {
+    fn default() -> Self {
+        DeltaSpec {
+            change_fraction: 0.10,
+            delete_fraction: 0.0,
+            insert_fraction: 0.0,
+            seed: 0xDE17A,
+        }
+    }
+}
+
+impl DeltaSpec {
+    /// The paper's standard "10 % changed" delta.
+    pub fn ten_percent(seed: u64) -> Self {
+        DeltaSpec {
+            seed,
+            ..Default::default()
+        }
+    }
+
+    /// A small-delta variant ("1 % changed", Fig. 11).
+    pub fn one_percent(seed: u64) -> Self {
+        DeltaSpec {
+            change_fraction: 0.01,
+            seed,
+            ..Default::default()
+        }
+    }
+}
+
+/// Graph delta: rewire/delete/insert adjacency records.
+///
+/// Updates rewire one out-edge of the chosen vertex; deletions drop the
+/// whole record (vertex leaves the graph); insertions add fresh vertices
+/// `n, n+1, …` pointing at random existing vertices.
+pub fn graph_delta(
+    base: &[(u64, Vec<u64>)],
+    spec: DeltaSpec,
+) -> Delta<u64, Vec<u64>> {
+    let mut rng = StdRng::seed_from_u64(spec.seed ^ 0x6764_656c);
+    let n = base.len() as u64;
+    let mut delta = Delta::new();
+    for (v, outs) in base {
+        if !rng.gen_bool(spec.change_fraction) {
+            continue;
+        }
+        if rng.gen_bool(spec.delete_fraction) {
+            delta.delete(*v, outs.clone());
+        } else {
+            // Rewire: replace one out-edge (or add one if none) with a new
+            // distinct target.
+            let mut new_outs = outs.clone();
+            let target = loop {
+                let t = rng.gen_range(0..n);
+                if t != *v && !new_outs.contains(&t) {
+                    break t;
+                }
+            };
+            if new_outs.is_empty() {
+                new_outs.push(target);
+            } else {
+                let idx = rng.gen_range(0..new_outs.len());
+                new_outs[idx] = target;
+            }
+            new_outs.sort_unstable();
+            delta.update(*v, outs.clone(), new_outs);
+        }
+    }
+    let inserts = (n as f64 * spec.insert_fraction).round() as u64;
+    for i in 0..inserts {
+        let target = rng.gen_range(0..n);
+        delta.insert(n + i, vec![target]);
+    }
+    delta
+}
+
+/// Weighted-graph delta (SSSP): only weight *decreases* and edge insertions,
+/// which monotone min-plus iteration refreshes exactly; see DESIGN.md on the
+/// deletion limitation of incremental shortest paths.
+pub fn weighted_graph_delta(
+    base: &[(u64, Vec<(u64, f64)>)],
+    spec: DeltaSpec,
+) -> Delta<u64, Vec<(u64, f64)>> {
+    let mut rng = StdRng::seed_from_u64(spec.seed ^ 0x7767_6425);
+    let n = base.len() as u64;
+    let mut delta = Delta::new();
+    for (v, outs) in base {
+        if !rng.gen_bool(spec.change_fraction) || outs.is_empty() {
+            continue;
+        }
+        let mut new_outs = outs.clone();
+        if rng.gen_bool(0.5) {
+            // Decrease one weight.
+            let idx = rng.gen_range(0..new_outs.len());
+            new_outs[idx].1 *= rng.gen_range(0.3..0.9);
+        } else {
+            // Insert a new edge.
+            let target = rng.gen_range(0..n);
+            if target != *v && !new_outs.iter().any(|(t, _)| *t == target) {
+                new_outs.push((target, rng.gen_range(0.1..1.0)));
+                new_outs.sort_by(|a, b| a.0.cmp(&b.0));
+            }
+        }
+        delta.update(*v, outs.clone(), new_outs);
+    }
+    delta
+}
+
+/// Point delta for Kmeans: replace a fraction of points with re-sampled
+/// positions, plus optional fresh points.
+pub fn points_delta(
+    base: &[(u64, Vec<f64>)],
+    spec: DeltaSpec,
+) -> Delta<u64, Vec<f64>> {
+    let mut rng = StdRng::seed_from_u64(spec.seed ^ 0x7074_6425);
+    let n = base.len() as u64;
+    let mut delta = Delta::new();
+    for (id, p) in base {
+        if !rng.gen_bool(spec.change_fraction) {
+            continue;
+        }
+        let moved: Vec<f64> = p.iter().map(|x| x + rng.gen_range(-2.0..2.0)).collect();
+        delta.update(*id, p.clone(), moved);
+    }
+    let inserts = (n as f64 * spec.insert_fraction).round() as u64;
+    let dims = base.first().map(|(_, p)| p.len()).unwrap_or(2);
+    for i in 0..inserts {
+        let p: Vec<f64> = (0..dims).map(|_| rng.gen_range(-60.0..60.0)).collect();
+        delta.insert(n + i, p);
+    }
+    delta
+}
+
+/// Matrix delta for GIM-V: perturb values inside a fraction of blocks.
+pub fn matrix_delta(
+    base: &[((u64, u64), crate::matrix::Block)],
+    spec: DeltaSpec,
+) -> Delta<(u64, u64), crate::matrix::Block> {
+    let mut rng = StdRng::seed_from_u64(spec.seed ^ 0x6d78_6425);
+    let mut delta = Delta::new();
+    for (key, block) in base {
+        if !rng.gen_bool(spec.change_fraction) || block.is_empty() {
+            continue;
+        }
+        let mut new_block = block.clone();
+        let idx = rng.gen_range(0..new_block.len());
+        new_block[idx].2 *= rng.gen_range(0.5..1.5);
+        delta.update(*key, block.clone(), new_block);
+    }
+    delta
+}
+
+/// Append-only tweet delta (APriori): the "last week's messages".
+pub fn tweets_append(
+    gen: &crate::text::TweetGen,
+    base_count: u64,
+    fraction: f64,
+) -> Delta<u64, String> {
+    let count = (base_count as f64 * fraction).round() as u64;
+    let mut delta = Delta::new();
+    for (id, text) in gen.generate(base_count, count) {
+        delta.insert(id, text);
+    }
+    delta
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::graph::GraphGen;
+    use crate::matrix::MatrixGen;
+    use crate::points::PointsGen;
+    use crate::text::TweetGen;
+    use i2mr_core::delta::Op;
+
+    #[test]
+    fn graph_delta_changes_requested_fraction() {
+        let g = GraphGen::new(1000, 5000, 1).generate();
+        let d = graph_delta(&g, DeltaSpec::ten_percent(7));
+        // Updates are del+ins pairs; ~10% of 1000 → ~100 changes → ~200
+        // records.
+        let changed_vertices: std::collections::HashSet<u64> =
+            d.records().iter().map(|r| r.key).collect();
+        let frac = changed_vertices.len() as f64 / 1000.0;
+        assert!((0.05..0.16).contains(&frac), "changed {frac}");
+        assert!(d.records().len() >= changed_vertices.len());
+    }
+
+    #[test]
+    fn graph_delta_is_deterministic() {
+        let g = GraphGen::new(200, 1000, 2).generate();
+        let a = graph_delta(&g, DeltaSpec::ten_percent(5));
+        let b = graph_delta(&g, DeltaSpec::ten_percent(5));
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn graph_delta_updates_apply_cleanly() {
+        let g = GraphGen::new(300, 2000, 3).generate();
+        let d = graph_delta(
+            &g,
+            DeltaSpec {
+                change_fraction: 0.1,
+                delete_fraction: 0.2,
+                insert_fraction: 0.02,
+                seed: 11,
+            },
+        );
+        let updated = d.apply_to(&g);
+        // Deletions shrink, insertions grow; net must stay close.
+        assert!(updated.len() > 290 && updated.len() <= 306 + 6);
+        // Every update's old value matched an existing record (apply_to
+        // would otherwise leave stale entries with duplicated keys).
+        let mut keys: Vec<u64> = updated.iter().map(|(k, _)| *k).collect();
+        keys.sort_unstable();
+        keys.dedup();
+        assert_eq!(keys.len(), updated.len(), "duplicate keys after apply");
+    }
+
+    #[test]
+    fn weighted_delta_never_deletes_records() {
+        let g = GraphGen::new(200, 1500, 4).weighted();
+        let d = weighted_graph_delta(&g, DeltaSpec::ten_percent(9));
+        // Updates only: equal numbers of deletes and inserts, and every
+        // delete is immediately followed by its insert (update pairs).
+        let dels = d.records().iter().filter(|r| r.op == Op::Delete).count();
+        let inss = d.records().iter().filter(|r| r.op == Op::Insert).count();
+        assert_eq!(dels, inss);
+        assert_eq!(d.apply_to(&g).len(), g.len());
+    }
+
+    #[test]
+    fn points_delta_moves_points() {
+        let g = PointsGen::new(500, 3, 4, 6);
+        let pts = g.all();
+        let d = points_delta(&pts, DeltaSpec::ten_percent(13));
+        let updated = d.apply_to(&pts);
+        assert_eq!(updated.len(), pts.len());
+        let moved = updated
+            .iter()
+            .filter(|(id, p)| pts[*id as usize].1 != *p)
+            .count();
+        assert!(moved > 20, "moved {moved}");
+    }
+
+    #[test]
+    fn matrix_delta_perturbs_blocks() {
+        let g = MatrixGen::new(64, 8, 600, 5);
+        let blocks = g.blocks();
+        let d = matrix_delta(&blocks, DeltaSpec::ten_percent(3));
+        assert!(!d.is_empty());
+        let updated = d.apply_to(&blocks);
+        assert_eq!(updated.len(), blocks.len());
+    }
+
+    #[test]
+    fn tweets_append_is_insert_only_and_sized() {
+        let gen = TweetGen::new(500, 8);
+        let d = tweets_append(&gen, 1000, 0.079);
+        assert!(d.is_insert_only());
+        assert_eq!(d.len(), 79);
+    }
+}

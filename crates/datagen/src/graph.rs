@@ -1,0 +1,205 @@
+//! Directed graph generator — the ClueWeb stand-in.
+//!
+//! Produces adjacency-list records `(vertex, out-neighbors)` with
+//! Zipf-skewed in-degree (popular pages attract most links, as in real web
+//! graphs) and every vertex present as a record (possibly with an empty
+//! out-list), which the iterative engines rely on (state keys are defined
+//! by structure records).
+//!
+//! The `ClueWeb-{xs,s,m,l}` presets reproduce Table 5's size *ratios*
+//! (pages ×10 per step, links ≈ ×11/×9.6/×2) at 1/1000 scale.
+
+use crate::zipf::Zipf;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Scaled equivalents of the paper's Table 5 datasets.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum GraphPreset {
+    /// ClueWeb-xs: 100 vertices, ~1.6 k edges (paper: 100 k / 1.65 M).
+    ClueWebXs,
+    /// ClueWeb-s: 1 k vertices, ~19 k edges (paper: 1 M / 18.9 M).
+    ClueWebS,
+    /// ClueWeb-m: 10 k vertices, ~181 k edges (paper: 10 M / 181 M).
+    ClueWebM,
+    /// ClueWeb-l: 20 k vertices, ~365 k edges (paper: 20 M / 365 M).
+    ClueWebL,
+}
+
+impl GraphPreset {
+    /// `(n_vertices, n_edges)` of the scaled preset.
+    pub fn size(self) -> (u64, u64) {
+        match self {
+            GraphPreset::ClueWebXs => (100, 1_650),
+            GraphPreset::ClueWebS => (1_000, 18_945),
+            GraphPreset::ClueWebM => (10_000, 181_571),
+            GraphPreset::ClueWebL => (20_000, 365_684),
+        }
+    }
+
+    /// Preset name as used in Fig. 12's x-axis.
+    pub fn name(self) -> &'static str {
+        match self {
+            GraphPreset::ClueWebXs => "ClueWeb-xs",
+            GraphPreset::ClueWebS => "ClueWeb-s",
+            GraphPreset::ClueWebM => "ClueWeb-m",
+            GraphPreset::ClueWebL => "ClueWeb-l",
+        }
+    }
+
+    /// All presets in Fig. 12 order.
+    pub const ALL: [GraphPreset; 4] = [
+        GraphPreset::ClueWebXs,
+        GraphPreset::ClueWebS,
+        GraphPreset::ClueWebM,
+        GraphPreset::ClueWebL,
+    ];
+}
+
+/// Seeded directed-graph generator.
+#[derive(Clone, Debug)]
+pub struct GraphGen {
+    n: u64,
+    m: u64,
+    seed: u64,
+    /// Skew of the target-vertex (in-degree) distribution.
+    zipf_s: f64,
+}
+
+impl GraphGen {
+    /// Graph with `n` vertices and ~`m` edges.
+    pub fn new(n: u64, m: u64, seed: u64) -> Self {
+        assert!(n > 0, "graph needs vertices");
+        GraphGen {
+            n,
+            m,
+            seed,
+            zipf_s: 0.8,
+        }
+    }
+
+    /// Generator for a Table 5 preset.
+    pub fn preset(p: GraphPreset, seed: u64) -> Self {
+        let (n, m) = p.size();
+        Self::new(n, m, seed)
+    }
+
+    /// Number of vertices.
+    pub fn n(&self) -> u64 {
+        self.n
+    }
+
+    /// Unweighted adjacency records `(vertex, distinct out-neighbors)`;
+    /// every vertex in `0..n` has a record.
+    pub fn generate(&self) -> Vec<(u64, Vec<u64>)> {
+        let mut rng = StdRng::seed_from_u64(self.seed ^ 0x6772_6170_6831);
+        let zipf = Zipf::new(self.n as usize, self.zipf_s);
+        let mut adj: Vec<Vec<u64>> = vec![Vec::new(); self.n as usize];
+        // Sources uniform, targets Zipf: heavy in-degree skew, bounded
+        // out-degree variance (the average out-degree is m/n).
+        for _ in 0..self.m {
+            let src = rng.gen_range(0..self.n) as usize;
+            let dst = zipf.sample(&mut rng) as u64;
+            if dst != src as u64 && !adj[src].contains(&dst) {
+                adj[src].push(dst);
+            }
+        }
+        adj.iter_mut().for_each(|l| l.sort_unstable());
+        adj.into_iter().enumerate().map(|(i, l)| (i as u64, l)).collect()
+    }
+
+    /// Weighted adjacency records `(vertex, [(neighbor, weight)])` — the
+    /// ClueWeb2 stand-in; weights are positive Gaussian-ish (paper: random
+    /// weights following a Gaussian distribution).
+    pub fn weighted(&self) -> Vec<(u64, Vec<(u64, f64)>)> {
+        let mut rng = StdRng::seed_from_u64(self.seed ^ 0x6772_6170_6832);
+        self.generate()
+            .into_iter()
+            .map(|(v, outs)| {
+                let weighted = outs
+                    .into_iter()
+                    .map(|o| (o, gaussianish_weight(&mut rng)))
+                    .collect();
+                (v, weighted)
+            })
+            .collect()
+    }
+}
+
+/// Positive weight ~ |N(1, 0.25)| + 0.05, via a 12-uniform approximation
+/// (Irwin–Hall) so no external distribution crate is needed.
+fn gaussianish_weight<R: Rng + ?Sized>(rng: &mut R) -> f64 {
+    let z: f64 = (0..12).map(|_| rng.gen::<f64>()).sum::<f64>() - 6.0; // ~N(0,1)
+    (1.0 + 0.25 * z).abs() + 0.05
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_and_complete() {
+        let g1 = GraphGen::new(200, 1000, 9).generate();
+        let g2 = GraphGen::new(200, 1000, 9).generate();
+        assert_eq!(g1, g2);
+        assert_eq!(g1.len(), 200, "every vertex has a record");
+        let keys: Vec<u64> = g1.iter().map(|(k, _)| *k).collect();
+        assert_eq!(keys, (0..200).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let g1 = GraphGen::new(100, 500, 1).generate();
+        let g2 = GraphGen::new(100, 500, 2).generate();
+        assert_ne!(g1, g2);
+    }
+
+    #[test]
+    fn no_self_loops_no_duplicate_edges() {
+        let g = GraphGen::new(150, 2000, 3).generate();
+        for (v, outs) in &g {
+            assert!(!outs.contains(v), "self loop at {v}");
+            let mut dedup = outs.clone();
+            dedup.dedup();
+            assert_eq!(&dedup, outs, "duplicate edge at {v}");
+        }
+    }
+
+    #[test]
+    fn in_degree_is_skewed() {
+        let g = GraphGen::new(500, 5000, 4).generate();
+        let mut indeg = vec![0usize; 500];
+        for (_, outs) in &g {
+            for &o in outs {
+                indeg[o as usize] += 1;
+            }
+        }
+        let max = *indeg.iter().max().unwrap();
+        let avg = indeg.iter().sum::<usize>() as f64 / 500.0;
+        assert!(max as f64 > 5.0 * avg, "max {max} vs avg {avg}");
+    }
+
+    #[test]
+    fn presets_scale_like_table5() {
+        let (nxs, mxs) = GraphPreset::ClueWebXs.size();
+        let (ns, ms) = GraphPreset::ClueWebS.size();
+        let (nl, ml) = GraphPreset::ClueWebL.size();
+        assert_eq!(ns / nxs, 10);
+        assert!(ms / mxs >= 10);
+        assert_eq!(nl, 20_000);
+        assert!(ml > 300_000);
+    }
+
+    #[test]
+    fn weighted_weights_are_positive() {
+        let g = GraphGen::new(100, 800, 5).weighted();
+        let mut count = 0;
+        for (_, outs) in &g {
+            for (_, w) in outs {
+                assert!(*w > 0.0);
+                count += 1;
+            }
+        }
+        assert!(count > 100);
+    }
+}

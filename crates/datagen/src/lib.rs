@@ -1,0 +1,32 @@
+//! Synthetic workload and delta generators.
+//!
+//! Stand-ins for the paper's datasets (Table 3 / Table 5), scaled to run on
+//! one machine while preserving the properties each experiment depends on
+//! (see `DESIGN.md` §1 for the substitution rationale):
+//!
+//! | paper dataset | generator | preserved property |
+//! |---|---|---|
+//! | Twitter (tweets) | [`text::TweetGen`] | Zipf-skewed word-pair frequencies |
+//! | ClueWeb (web graph) | [`graph::GraphGen`] | power-law-ish degrees, size-ratio presets xs/s/m/l |
+//! | ClueWeb2 (weighted) | [`graph::GraphGen::weighted`] | Gaussian edge weights |
+//! | BigCross (points) | [`points::PointsGen`] | Gaussian-mixture clusters |
+//! | WikiTalk (matrix) | [`matrix::MatrixGen`] | block-sparse matrix + vector |
+//!
+//! All generators are seeded and fully deterministic: the same seed yields
+//! byte-identical datasets, which the equivalence tests rely on.
+//! [`delta`] generates the incremental inputs (e.g. "10 % of input changed"
+//! in §8.1.5).
+
+pub mod delta;
+pub mod graph;
+pub mod matrix;
+pub mod points;
+pub mod text;
+pub mod zipf;
+
+pub use delta::{graph_delta, matrix_delta, points_delta, tweets_append, DeltaSpec};
+pub use graph::{GraphGen, GraphPreset};
+pub use matrix::MatrixGen;
+pub use points::PointsGen;
+pub use text::TweetGen;
+pub use zipf::Zipf;

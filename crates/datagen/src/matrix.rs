@@ -1,0 +1,143 @@
+//! Block-sparse matrix generator — the WikiTalk stand-in for GIM-V.
+//!
+//! GIM-V (paper Algorithm 4) operates on an `n × n` matrix and a vector of
+//! size `n`, both divided into sub-blocks: structure kv-pairs are
+//! `((i, j), m_{i,j})` matrix blocks, state kv-pairs are `(j, v_j)` vector
+//! blocks (many-to-one dependency). This generator produces a block-sparse
+//! non-negative matrix (row-normalized so repeated multiplication
+//! converges) plus an initial vector.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// One matrix block: a list of `(local_row, local_col, value)` triples.
+pub type Block = Vec<(u32, u32, f64)>;
+
+/// Seeded block-sparse matrix + vector generator.
+#[derive(Clone, Debug)]
+pub struct MatrixGen {
+    n: u64,
+    block: u64,
+    nnz: u64,
+    seed: u64,
+}
+
+impl MatrixGen {
+    /// `n × n` matrix with `nnz` non-zeros in `block × block` sub-blocks.
+    pub fn new(n: u64, block: u64, nnz: u64, seed: u64) -> Self {
+        assert!(block > 0 && n % block == 0, "block must divide n");
+        MatrixGen {
+            n,
+            block,
+            nnz,
+            seed,
+        }
+    }
+
+    /// Matrix dimension.
+    pub fn n(&self) -> u64 {
+        self.n
+    }
+
+    /// Blocks per side.
+    pub fn blocks_per_side(&self) -> u64 {
+        self.n / self.block
+    }
+
+    /// Block edge length.
+    pub fn block_size(&self) -> u64 {
+        self.block
+    }
+
+    /// Structure records `((block_row, block_col), block)`.
+    ///
+    /// Values are row-normalized (each full row sums to ≤ 1) so the
+    /// iterated multiplication `v ← M·v` is non-expanding and converges.
+    pub fn blocks(&self) -> Vec<((u64, u64), Block)> {
+        let mut rng = StdRng::seed_from_u64(self.seed ^ 0x6d61_7472_6978);
+        // Generate global triples, then row-normalize, then bucket into
+        // blocks.
+        let mut triples: Vec<(u64, u64, f64)> = Vec::with_capacity(self.nnz as usize);
+        for _ in 0..self.nnz {
+            let r = rng.gen_range(0..self.n);
+            let c = rng.gen_range(0..self.n);
+            triples.push((r, c, rng.gen_range(0.1..1.0)));
+        }
+        let mut row_sums = vec![0.0f64; self.n as usize];
+        for &(r, _, v) in &triples {
+            row_sums[r as usize] += v;
+        }
+        let mut blocks: std::collections::BTreeMap<(u64, u64), Block> =
+            std::collections::BTreeMap::new();
+        for (r, c, v) in triples {
+            let norm = v / row_sums[r as usize].max(1.0);
+            blocks
+                .entry((r / self.block, c / self.block))
+                .or_default()
+                .push(((r % self.block) as u32, (c % self.block) as u32, norm));
+        }
+        for b in blocks.values_mut() {
+            b.sort_by(|a, b| a.0.cmp(&b.0).then(a.1.cmp(&b.1)));
+        }
+        blocks.into_iter().collect()
+    }
+
+    /// Initial vector blocks `(block_index, values)`, all ones.
+    pub fn initial_vector(&self) -> Vec<(u64, Vec<f64>)> {
+        (0..self.blocks_per_side())
+            .map(|j| (j, vec![1.0; self.block as usize]))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic() {
+        let a = MatrixGen::new(64, 8, 500, 3).blocks();
+        let b = MatrixGen::new(64, 8, 500, 3).blocks();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn blocks_fit_dimensions() {
+        let g = MatrixGen::new(64, 8, 500, 3);
+        for ((bi, bj), block) in g.blocks() {
+            assert!(bi < 8 && bj < 8);
+            for (r, c, v) in block {
+                assert!(r < 8 && c < 8);
+                assert!(v > 0.0 && v <= 1.0);
+            }
+        }
+    }
+
+    #[test]
+    fn rows_normalized() {
+        let g = MatrixGen::new(32, 4, 400, 9);
+        let mut row_sums = vec![0.0f64; 32];
+        for ((bi, _), block) in g.blocks() {
+            for (r, _, v) in block {
+                row_sums[(bi * 4 + r as u64) as usize] += v;
+            }
+        }
+        for (r, s) in row_sums.iter().enumerate() {
+            assert!(*s <= 1.0 + 1e-9, "row {r} sums to {s}");
+        }
+    }
+
+    #[test]
+    fn initial_vector_covers_all_blocks() {
+        let g = MatrixGen::new(64, 16, 100, 1);
+        let v = g.initial_vector();
+        assert_eq!(v.len(), 4);
+        assert!(v.iter().all(|(_, b)| b.len() == 16 && b.iter().all(|&x| x == 1.0)));
+    }
+
+    #[test]
+    #[should_panic(expected = "block must divide")]
+    fn indivisible_block_panics() {
+        MatrixGen::new(10, 3, 10, 0);
+    }
+}

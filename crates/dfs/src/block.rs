@@ -1,0 +1,29 @@
+//! Block identifiers and metadata.
+
+/// Globally unique identifier of one stored block.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct BlockId(pub u64);
+
+/// Metadata the namenode keeps per block.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct BlockMeta {
+    /// Identifier, also the on-disk name (`blk_<hex id>`).
+    pub id: BlockId,
+    /// Payload length in bytes (≤ the DFS block size).
+    pub len: u64,
+    /// Simulated worker node that "hosts" this block. The scheduler prefers
+    /// running the map task for a block on its home worker, mirroring the
+    /// JobTracker's locality preference (paper §2).
+    pub home_worker: usize,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn block_ids_order_like_their_payload() {
+        assert!(BlockId(1) < BlockId(2));
+        assert_eq!(BlockId(7), BlockId(7));
+    }
+}

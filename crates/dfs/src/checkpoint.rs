@@ -1,0 +1,194 @@
+//! Atomic checkpoint storage.
+//!
+//! i2MapReduce checkpoints two artifacts per iteration (paper §6.1): each
+//! prime Reduce task's output state data and its MRBGraph file. Recovery
+//! reads the latest complete checkpoint. Two properties matter:
+//!
+//! 1. **Atomicity** — a checkpoint is either fully visible or not at all
+//!    (write to `<name>.tmp`, then rename).
+//! 2. **Versioning** — checkpoints are keyed by `(job, iteration, task)`;
+//!    the latest complete iteration is discoverable.
+
+use crate::MiniDfs;
+use i2mr_common::error::{Error, Result};
+use std::path::PathBuf;
+
+/// Atomic, versioned checkpoint store under `<dfs root>/checkpoints`.
+pub struct CheckpointStore {
+    dir: PathBuf,
+    dfs: MiniDfs,
+}
+
+impl CheckpointStore {
+    pub(crate) fn new(dir: PathBuf, dfs: MiniDfs) -> Self {
+        CheckpointStore { dir, dfs }
+    }
+
+    fn path(&self, job: &str, iteration: u64, task: &str) -> PathBuf {
+        self.dir
+            .join(format!("{}__iter{:06}__{}", sanitize(job), iteration, sanitize(task)))
+    }
+
+    /// Atomically write checkpoint payload for `(job, iteration, task)`.
+    pub fn save(&self, job: &str, iteration: u64, task: &str, data: &[u8]) -> Result<()> {
+        std::fs::create_dir_all(&self.dir)?;
+        let path = self.path(job, iteration, task);
+        let tmp = path.with_extension("tmp");
+        std::fs::write(&tmp, data)?;
+        std::fs::rename(&tmp, &path)?;
+        self.dfs.record_checkpoint_write(data.len() as u64);
+        Ok(())
+    }
+
+    /// Read checkpoint payload for `(job, iteration, task)`.
+    pub fn load(&self, job: &str, iteration: u64, task: &str) -> Result<Vec<u8>> {
+        let path = self.path(job, iteration, task);
+        let data = std::fs::read(&path).map_err(|_| {
+            Error::NotFound(format!("checkpoint {job} iter={iteration} task={task}"))
+        })?;
+        self.dfs.record_checkpoint_read(data.len() as u64);
+        Ok(data)
+    }
+
+    /// Whether a checkpoint exists for `(job, iteration, task)`.
+    pub fn exists(&self, job: &str, iteration: u64, task: &str) -> bool {
+        self.path(job, iteration, task).exists()
+    }
+
+    /// Latest iteration for which *all* of `tasks` have a checkpoint under
+    /// `job`, or `None` if no complete iteration exists.
+    pub fn latest_complete_iteration(&self, job: &str, tasks: &[String]) -> Option<u64> {
+        let mut iters: Vec<u64> = Vec::new();
+        let prefix = format!("{}__iter", sanitize(job));
+        let entries = std::fs::read_dir(&self.dir).ok()?;
+        for e in entries.flatten() {
+            let name = e.file_name().to_string_lossy().into_owned();
+            if let Some(rest) = name.strip_prefix(&prefix) {
+                if let Some(iter_str) = rest.split("__").next() {
+                    if let Ok(i) = iter_str.parse::<u64>() {
+                        iters.push(i);
+                    }
+                }
+            }
+        }
+        iters.sort_unstable();
+        iters.dedup();
+        iters
+            .into_iter()
+            .rev()
+            .find(|&i| tasks.iter().all(|t| self.exists(job, i, t)))
+    }
+
+    /// Delete all checkpoints for `job` older than `keep_from_iteration`.
+    pub fn prune(&self, job: &str, keep_from_iteration: u64) -> Result<usize> {
+        let prefix = format!("{}__iter", sanitize(job));
+        let mut removed = 0;
+        if let Ok(entries) = std::fs::read_dir(&self.dir) {
+            for e in entries.flatten() {
+                let name = e.file_name().to_string_lossy().into_owned();
+                if let Some(rest) = name.strip_prefix(&prefix) {
+                    if let Some(iter_str) = rest.split("__").next() {
+                        if let Ok(i) = iter_str.parse::<u64>() {
+                            if i < keep_from_iteration {
+                                std::fs::remove_file(e.path())?;
+                                removed += 1;
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        Ok(removed)
+    }
+}
+
+/// Replace path-hostile characters so job/task names map to file names.
+fn sanitize(s: &str) -> String {
+    s.chars()
+        .map(|c| if c.is_ascii_alphanumeric() || c == '-' || c == '.' { c } else { '_' })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn store(tag: &str) -> CheckpointStore {
+        let d = std::env::temp_dir().join(format!(
+            "i2mr-ckpt-test-{tag}-{}-{:?}",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        let _ = std::fs::remove_dir_all(&d);
+        let dfs = MiniDfs::open_with(d.join("dfs"), 1024, 2).unwrap();
+        CheckpointStore::new(d.join("ck"), dfs)
+    }
+
+    #[test]
+    fn save_load_roundtrip() {
+        let s = store("rt");
+        s.save("pagerank", 3, "reduce-1", b"state-bytes").unwrap();
+        assert_eq!(s.load("pagerank", 3, "reduce-1").unwrap(), b"state-bytes");
+    }
+
+    #[test]
+    fn missing_checkpoint_is_not_found() {
+        let s = store("missing");
+        assert!(matches!(
+            s.load("j", 0, "t"),
+            Err(Error::NotFound(_))
+        ));
+        assert!(!s.exists("j", 0, "t"));
+    }
+
+    #[test]
+    fn latest_complete_iteration_requires_all_tasks() {
+        let s = store("latest");
+        let tasks = vec!["t0".to_string(), "t1".to_string()];
+        assert_eq!(s.latest_complete_iteration("j", &tasks), None);
+        s.save("j", 1, "t0", b"a").unwrap();
+        s.save("j", 1, "t1", b"b").unwrap();
+        s.save("j", 2, "t0", b"c").unwrap(); // t1 missing at iter 2
+        assert_eq!(s.latest_complete_iteration("j", &tasks), Some(1));
+        s.save("j", 2, "t1", b"d").unwrap();
+        assert_eq!(s.latest_complete_iteration("j", &tasks), Some(2));
+    }
+
+    #[test]
+    fn jobs_are_isolated() {
+        let s = store("iso");
+        s.save("jobA", 5, "t", b"a").unwrap();
+        assert_eq!(
+            s.latest_complete_iteration("jobB", &["t".to_string()]),
+            None
+        );
+    }
+
+    #[test]
+    fn overwrite_is_atomic_replacement() {
+        let s = store("atomic");
+        s.save("j", 1, "t", b"old").unwrap();
+        s.save("j", 1, "t", b"new").unwrap();
+        assert_eq!(s.load("j", 1, "t").unwrap(), b"new");
+    }
+
+    #[test]
+    fn prune_removes_only_older_iterations() {
+        let s = store("prune");
+        for i in 0..5 {
+            s.save("j", i, "t", b"x").unwrap();
+        }
+        let removed = s.prune("j", 3).unwrap();
+        assert_eq!(removed, 3);
+        assert!(!s.exists("j", 2, "t"));
+        assert!(s.exists("j", 3, "t"));
+        assert!(s.exists("j", 4, "t"));
+    }
+
+    #[test]
+    fn hostile_names_are_sanitized() {
+        let s = store("hostile");
+        s.save("../../etc", 0, "a/b", b"x").unwrap();
+        assert_eq!(s.load("../../etc", 0, "a/b").unwrap(), b"x");
+    }
+}

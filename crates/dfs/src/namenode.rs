@@ -1,0 +1,177 @@
+//! The namenode: file → block-list manifest, persisted for restart recovery.
+//!
+//! The manifest is serialized with the workspace codec (`i2mr-common`) into
+//! `<root>/manifest` via write-temp-then-rename, so a crash mid-persist
+//! leaves the previous manifest intact.
+
+use crate::block::{BlockId, BlockMeta};
+use i2mr_common::codec::{decode_exact, encode_to, Codec};
+use i2mr_common::error::Result;
+use std::collections::HashMap;
+use std::path::Path;
+
+/// Metadata for one DFS file.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct FileMeta {
+    /// Full DFS path-name (flat namespace with `/` used by convention).
+    pub name: String,
+    /// Total payload length in bytes.
+    pub len: u64,
+    /// Ordered block list.
+    pub blocks: Vec<BlockMeta>,
+}
+
+impl Codec for FileMeta {
+    fn encode(&self, buf: &mut Vec<u8>) {
+        self.name.encode(buf);
+        self.len.encode(buf);
+        (self.blocks.len() as u64).encode(buf);
+        for b in &self.blocks {
+            b.id.0.encode(buf);
+            b.len.encode(buf);
+            (b.home_worker as u64).encode(buf);
+        }
+    }
+    fn decode(input: &mut &[u8]) -> Result<Self> {
+        let name = String::decode(input)?;
+        let len = u64::decode(input)?;
+        let n = u64::decode(input)? as usize;
+        let mut blocks = Vec::with_capacity(n.min(4096));
+        for _ in 0..n {
+            let id = BlockId(u64::decode(input)?);
+            let blen = u64::decode(input)?;
+            let home_worker = u64::decode(input)? as usize;
+            blocks.push(BlockMeta {
+                id,
+                len: blen,
+                home_worker,
+            });
+        }
+        Ok(FileMeta { name, len, blocks })
+    }
+}
+
+/// In-memory manifest plus the next-block-id allocator.
+pub struct Namenode {
+    files: HashMap<String, FileMeta>,
+    next_block: u64,
+}
+
+impl Namenode {
+    /// Load the persisted manifest from `root`, or start empty.
+    pub fn load_or_new(root: &Path) -> Result<Self> {
+        let path = root.join("manifest");
+        if !path.exists() {
+            return Ok(Namenode {
+                files: HashMap::new(),
+                next_block: 0,
+            });
+        }
+        let bytes = std::fs::read(&path)?;
+        let (next_block, metas): (u64, Vec<FileMeta>) = decode_exact(&bytes)?;
+        let files = metas.into_iter().map(|m| (m.name.clone(), m)).collect();
+        Ok(Namenode { files, next_block })
+    }
+
+    /// Persist the manifest atomically (temp file + rename).
+    pub fn persist(&self, root: &Path) -> Result<()> {
+        let mut metas: Vec<FileMeta> = self.files.values().cloned().collect();
+        metas.sort_by(|a, b| a.name.cmp(&b.name));
+        let bytes = encode_to(&(self.next_block, metas));
+        let tmp = root.join("manifest.tmp");
+        std::fs::write(&tmp, &bytes)?;
+        std::fs::rename(&tmp, root.join("manifest"))?;
+        Ok(())
+    }
+
+    /// Allocate a fresh block id.
+    pub fn next_block_id(&mut self) -> BlockId {
+        let id = BlockId(self.next_block);
+        self.next_block += 1;
+        id
+    }
+
+    /// Look up a file.
+    pub fn get(&self, name: &str) -> Option<&FileMeta> {
+        self.files.get(name)
+    }
+
+    /// Insert/replace a file entry.
+    pub fn insert(&mut self, meta: FileMeta) {
+        self.files.insert(meta.name.clone(), meta);
+    }
+
+    /// Remove a file entry, returning it if present.
+    pub fn remove(&mut self, name: &str) -> Option<FileMeta> {
+        self.files.remove(name)
+    }
+
+    /// Iterate all file entries (unordered).
+    pub fn files(&self) -> impl Iterator<Item = &FileMeta> {
+        self.files.values()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tmpdir(tag: &str) -> std::path::PathBuf {
+        let d = std::env::temp_dir().join(format!(
+            "i2mr-nn-test-{tag}-{}-{:?}",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        let _ = std::fs::remove_dir_all(&d);
+        std::fs::create_dir_all(&d).unwrap();
+        d
+    }
+
+    fn meta(name: &str, nblocks: u64) -> FileMeta {
+        FileMeta {
+            name: name.into(),
+            len: nblocks * 10,
+            blocks: (0..nblocks)
+                .map(|i| BlockMeta {
+                    id: BlockId(i),
+                    len: 10,
+                    home_worker: (i % 3) as usize,
+                })
+                .collect(),
+        }
+    }
+
+    #[test]
+    fn filemeta_codec_roundtrip() {
+        let m = meta("a/b/c", 5);
+        let enc = encode_to(&m);
+        let dec: FileMeta = decode_exact(&enc).unwrap();
+        assert_eq!(dec, m);
+    }
+
+    #[test]
+    fn persist_and_reload_preserves_allocator() {
+        let dir = tmpdir("alloc");
+        let mut nn = Namenode::load_or_new(&dir).unwrap();
+        let b0 = nn.next_block_id();
+        let b1 = nn.next_block_id();
+        assert_eq!((b0, b1), (BlockId(0), BlockId(1)));
+        nn.insert(meta("f", 2));
+        nn.persist(&dir).unwrap();
+
+        let mut nn2 = Namenode::load_or_new(&dir).unwrap();
+        assert_eq!(nn2.next_block_id(), BlockId(2), "allocator must not reuse ids");
+        assert_eq!(nn2.get("f"), Some(&meta("f", 2)));
+    }
+
+    #[test]
+    fn remove_then_reload_forgets_file() {
+        let dir = tmpdir("rm");
+        let mut nn = Namenode::load_or_new(&dir).unwrap();
+        nn.insert(meta("gone", 1));
+        nn.remove("gone");
+        nn.persist(&dir).unwrap();
+        let nn2 = Namenode::load_or_new(&dir).unwrap();
+        assert!(nn2.get("gone").is_none());
+    }
+}

@@ -1,0 +1,273 @@
+//! Deterministic fault injection and task timelines.
+//!
+//! The paper's §8.8 experiment (Fig. 13) manually injects errors into
+//! running map/reduce tasks and plots per-task execution progress including
+//! recovery. [`FaultPlan`] reproduces the injection deterministically;
+//! [`Timeline`] records exactly the events the figure plots.
+
+use parking_lot::Mutex;
+use std::time::Duration;
+
+/// Whether a task is a map or a reduce task.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum TaskKind {
+    Map,
+    Reduce,
+}
+
+impl TaskKind {
+    /// Display name used in timelines and error messages.
+    pub fn name(self) -> &'static str {
+        match self {
+            TaskKind::Map => "map",
+            TaskKind::Reduce => "reduce",
+        }
+    }
+}
+
+/// Identity of one logical task within one iteration of a computation.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct TaskId {
+    /// Map or Reduce.
+    pub kind: TaskKind,
+    /// Task index within its phase (e.g. reduce partition number).
+    pub index: usize,
+    /// Iteration number for iterative jobs; 0 for one-step jobs.
+    pub iteration: u64,
+}
+
+impl TaskId {
+    /// `map-3@iter-2`-style label.
+    pub fn label(&self) -> String {
+        format!("{}-{}@iter-{}", self.kind.name(), self.index, self.iteration)
+    }
+}
+
+/// One planned failure: fail `attempt` of the matching task.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct FaultSpec {
+    pub kind: TaskKind,
+    pub index: usize,
+    /// `None` matches any iteration (first execution consumed).
+    pub iteration: Option<u64>,
+    /// Which attempt to fail; 1 is the first execution.
+    pub attempt: u32,
+}
+
+/// A consumable set of planned failures.
+///
+/// Each spec fires at most once: the paper injects each error once and the
+/// rescheduled attempt then succeeds.
+#[derive(Debug, Default)]
+pub struct FaultPlan {
+    specs: Mutex<Vec<FaultSpec>>,
+}
+
+impl FaultPlan {
+    /// Plan with no failures.
+    pub fn none() -> Self {
+        FaultPlan::default()
+    }
+
+    /// Plan with the given failures.
+    pub fn new(specs: Vec<FaultSpec>) -> Self {
+        FaultPlan {
+            specs: Mutex::new(specs),
+        }
+    }
+
+    /// Number of failures still pending.
+    pub fn pending(&self) -> usize {
+        self.specs.lock().len()
+    }
+
+    /// Check whether `task`/`attempt` should fail; consumes the spec if so.
+    pub fn should_fail(&self, task: TaskId, attempt: u32) -> bool {
+        let mut specs = self.specs.lock();
+        if let Some(pos) = specs.iter().position(|s| {
+            s.kind == task.kind
+                && s.index == task.index
+                && s.attempt == attempt
+                && s.iteration.map_or(true, |it| it == task.iteration)
+        }) {
+            specs.swap_remove(pos);
+            true
+        } else {
+            false
+        }
+    }
+}
+
+/// What happened to a task attempt.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum TaskEventKind {
+    /// Attempt started executing on a worker.
+    Start,
+    /// Attempt finished successfully.
+    Finish,
+    /// Attempt failed (injected or real); a retry follows if budget remains.
+    Fail,
+}
+
+/// One timeline entry.
+#[derive(Clone, Copy, Debug)]
+pub struct TaskEvent {
+    /// Offset from the pool's epoch.
+    pub at: Duration,
+    /// Worker thread index that executed the attempt.
+    pub worker: usize,
+    pub task: TaskId,
+    pub attempt: u32,
+    pub kind: TaskEventKind,
+}
+
+/// Recorded sequence of task events (Fig. 13's raw data).
+#[derive(Debug, Default)]
+pub struct Timeline {
+    events: Vec<TaskEvent>,
+}
+
+impl Timeline {
+    /// Append one event.
+    pub fn record(&mut self, ev: TaskEvent) {
+        self.events.push(ev);
+    }
+
+    /// All events in record order.
+    pub fn events(&self) -> &[TaskEvent] {
+        &self.events
+    }
+
+    /// Events for one specific task, in record order.
+    pub fn for_task(&self, task: TaskId) -> Vec<TaskEvent> {
+        self.events.iter().copied().filter(|e| e.task == task).collect()
+    }
+
+    /// All recorded failures.
+    pub fn failures(&self) -> Vec<TaskEvent> {
+        self.events
+            .iter()
+            .copied()
+            .filter(|e| e.kind == TaskEventKind::Fail)
+            .collect()
+    }
+
+    /// Recovery latency per failure: time from a `Fail` event to the next
+    /// `Start` of the same task (the rescheduled attempt).
+    pub fn recovery_latencies(&self) -> Vec<(TaskId, Duration)> {
+        let mut out = Vec::new();
+        for (i, ev) in self.events.iter().enumerate() {
+            if ev.kind == TaskEventKind::Fail {
+                if let Some(next) = self.events[i + 1..]
+                    .iter()
+                    .find(|e| e.task == ev.task && e.kind == TaskEventKind::Start)
+                {
+                    out.push((ev.task, next.at.saturating_sub(ev.at)));
+                }
+            }
+        }
+        out
+    }
+
+    /// Merge another timeline (e.g. per-iteration timelines) into this one.
+    pub fn extend(&mut self, other: Timeline) {
+        self.events.extend(other.events);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tid(kind: TaskKind, index: usize, iteration: u64) -> TaskId {
+        TaskId {
+            kind,
+            index,
+            iteration,
+        }
+    }
+
+    #[test]
+    fn fault_spec_fires_once() {
+        let plan = FaultPlan::new(vec![FaultSpec {
+            kind: TaskKind::Map,
+            index: 7,
+            iteration: Some(3),
+            attempt: 1,
+        }]);
+        let t = tid(TaskKind::Map, 7, 3);
+        assert!(plan.should_fail(t, 1));
+        assert!(!plan.should_fail(t, 1), "spec must be consumed");
+        assert_eq!(plan.pending(), 0);
+    }
+
+    #[test]
+    fn fault_spec_matches_kind_index_iteration_attempt() {
+        let plan = FaultPlan::new(vec![FaultSpec {
+            kind: TaskKind::Reduce,
+            index: 39,
+            iteration: Some(6),
+            attempt: 1,
+        }]);
+        assert!(!plan.should_fail(tid(TaskKind::Map, 39, 6), 1));
+        assert!(!plan.should_fail(tid(TaskKind::Reduce, 38, 6), 1));
+        assert!(!plan.should_fail(tid(TaskKind::Reduce, 39, 5), 1));
+        assert!(!plan.should_fail(tid(TaskKind::Reduce, 39, 6), 2));
+        assert!(plan.should_fail(tid(TaskKind::Reduce, 39, 6), 1));
+    }
+
+    #[test]
+    fn wildcard_iteration_matches_any() {
+        let plan = FaultPlan::new(vec![FaultSpec {
+            kind: TaskKind::Map,
+            index: 0,
+            iteration: None,
+            attempt: 1,
+        }]);
+        assert!(plan.should_fail(tid(TaskKind::Map, 0, 99), 1));
+    }
+
+    #[test]
+    fn recovery_latency_measures_fail_to_restart() {
+        let mut tl = Timeline::default();
+        let t = tid(TaskKind::Map, 1, 0);
+        tl.record(TaskEvent {
+            at: Duration::from_millis(10),
+            worker: 0,
+            task: t,
+            attempt: 1,
+            kind: TaskEventKind::Start,
+        });
+        tl.record(TaskEvent {
+            at: Duration::from_millis(20),
+            worker: 0,
+            task: t,
+            attempt: 1,
+            kind: TaskEventKind::Fail,
+        });
+        tl.record(TaskEvent {
+            at: Duration::from_millis(32),
+            worker: 0,
+            task: t,
+            attempt: 2,
+            kind: TaskEventKind::Start,
+        });
+        tl.record(TaskEvent {
+            at: Duration::from_millis(50),
+            worker: 0,
+            task: t,
+            attempt: 2,
+            kind: TaskEventKind::Finish,
+        });
+        let lat = tl.recovery_latencies();
+        assert_eq!(lat.len(), 1);
+        assert_eq!(lat[0].1, Duration::from_millis(12));
+        assert_eq!(tl.failures().len(), 1);
+        assert_eq!(tl.for_task(t).len(), 4);
+    }
+
+    #[test]
+    fn task_label_format() {
+        assert_eq!(tid(TaskKind::Reduce, 39, 6).label(), "reduce-39@iter-6");
+    }
+}

@@ -1,0 +1,233 @@
+//! Shuffle machinery: partitioning, byte metering, sorting, grouping.
+//!
+//! The vanilla engine and all i2MapReduce engines share these helpers so
+//! that every engine's "shuffled bytes" and "sort" numbers are computed the
+//! same way — a prerequisite for the Fig. 8/9 comparisons to be fair.
+//!
+//! Intermediate records always travel as `(K2, MK, V2)` triples:
+//! i2MapReduce transfers the globally unique map key MK along with the
+//! kv-pair during shuffle (paper §3.3). For plain jobs the MK is simply
+//! unused baggage of 16 bytes, which we *do not* count toward the
+//! plain engine's shuffle bytes (vanilla Hadoop would not send it).
+
+use crate::partition::Partitioner;
+use crate::types::{KeyData, ValueData};
+use i2mr_common::codec::Codec;
+use i2mr_common::hash::MapKey;
+
+/// One intermediate record in flight between map and reduce.
+pub type ShuffleRecord<K2, V2> = (K2, MapKey, V2);
+
+/// Per-reduce-partition buffers of intermediate records.
+pub struct ShuffleBuffers<K2, V2> {
+    parts: Vec<Vec<ShuffleRecord<K2, V2>>>,
+}
+
+impl<K2: KeyData, V2: ValueData> ShuffleBuffers<K2, V2> {
+    /// Buffers for `n_reduce` partitions.
+    pub fn new(n_reduce: usize) -> Self {
+        ShuffleBuffers {
+            parts: (0..n_reduce).map(|_| Vec::new()).collect(),
+        }
+    }
+
+    /// Route one record to its partition.
+    #[inline]
+    pub fn push(
+        &mut self,
+        key: K2,
+        mk: MapKey,
+        value: V2,
+        partitioner: &(impl Partitioner<K2> + ?Sized),
+    ) {
+        let p = partitioner.partition(&key, self.parts.len());
+        self.parts[p].push((key, mk, value));
+    }
+
+    /// Number of partitions.
+    pub fn n_parts(&self) -> usize {
+        self.parts.len()
+    }
+
+    /// Total records across all partitions.
+    pub fn total_records(&self) -> usize {
+        self.parts.iter().map(Vec::len).sum()
+    }
+
+    /// Consume into the per-partition vectors.
+    pub fn into_parts(self) -> Vec<Vec<ShuffleRecord<K2, V2>>> {
+        self.parts
+    }
+}
+
+/// Byte size of `(k, v)` in the canonical wire encoding, excluding MK.
+///
+/// `scratch` is a reusable buffer to avoid per-record allocation.
+#[inline]
+pub fn metered_size<K: Codec, V: Codec>(k: &K, v: &V, scratch: &mut Vec<u8>) -> u64 {
+    scratch.clear();
+    k.encode(scratch);
+    v.encode(scratch);
+    scratch.len() as u64
+}
+
+/// Wire cost charged per record for transferring MK during shuffle.
+///
+/// In-memory MKs are 16 bytes, but the paper's records are ~100+ bytes
+/// (long string ids) while ours are ~10, so charging the raw 16 bytes
+/// would make MK overhead 10× the paper's MK:record ratio. The scaled
+/// 2-byte charge preserves that ratio (documented in DESIGN.md §1).
+pub const MK_WIRE_BYTES: u64 = 2;
+
+/// Transpose per-map-task buffers into per-reduce-partition runs and meter
+/// shuffled records/bytes. Returns `(runs, records, bytes)`.
+///
+/// `count_mk_bytes` adds [`MK_WIRE_BYTES`] per record for engines that
+/// transfer MK over the wire (i2MapReduce does; vanilla Hadoop does not).
+pub fn transpose<K2: KeyData, V2: ValueData>(
+    map_outputs: Vec<ShuffleBuffers<K2, V2>>,
+    n_reduce: usize,
+    count_mk_bytes: bool,
+) -> (Vec<Vec<ShuffleRecord<K2, V2>>>, u64, u64) {
+    let mut runs: Vec<Vec<ShuffleRecord<K2, V2>>> = (0..n_reduce).map(|_| Vec::new()).collect();
+    let mut records = 0u64;
+    let mut bytes = 0u64;
+    let mut scratch = Vec::with_capacity(64);
+    for buffers in map_outputs {
+        for (p, part) in buffers.into_parts().into_iter().enumerate() {
+            records += part.len() as u64;
+            for (k, _mk, v) in &part {
+                bytes += metered_size(k, v, &mut scratch);
+                if count_mk_bytes {
+                    bytes += MK_WIRE_BYTES;
+                }
+            }
+            runs[p].extend(part);
+        }
+    }
+    (runs, records, bytes)
+}
+
+/// Sort one partition's run by `(K2, MK)` — the order the MRBGraph file
+/// inherits from the shuffle (paper §3.4).
+pub fn sort_run<K2: Ord, V2>(run: &mut [ShuffleRecord<K2, V2>]) {
+    run.sort_by(|a, b| a.0.cmp(&b.0).then(a.1.cmp(&b.1)));
+}
+
+/// Iterate groups of equal K2 over a sorted run.
+pub fn groups<K2: Eq, V2>(
+    sorted: &[ShuffleRecord<K2, V2>],
+) -> impl Iterator<Item = &[ShuffleRecord<K2, V2>]> {
+    sorted.chunk_by(|a, b| a.0 == b.0)
+}
+
+/// Clone a group's values into `out` (reused scratch) for the reducer's
+/// `&[V2]` argument.
+pub fn values_of<'a, K2, V2: Clone>(
+    group: &'a [ShuffleRecord<K2, V2>],
+    out: &mut Vec<V2>,
+) -> &'a K2 {
+    out.clear();
+    out.extend(group.iter().map(|(_, _, v)| v.clone()));
+    &group[0].0
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::partition::HashPartitioner;
+
+    fn mk(n: u128) -> MapKey {
+        MapKey(n)
+    }
+
+    #[test]
+    fn buffers_route_by_partitioner() {
+        let mut b: ShuffleBuffers<u64, u64> = ShuffleBuffers::new(4);
+        let p = HashPartitioner;
+        for k in 0u64..100 {
+            b.push(k, mk(0), k, &p);
+        }
+        assert_eq!(b.total_records(), 100);
+        let parts = b.into_parts();
+        assert_eq!(parts.len(), 4);
+        for (i, part) in parts.iter().enumerate() {
+            for (k, _, _) in part {
+                assert_eq!(Partitioner::partition(&p, k, 4), i);
+            }
+        }
+    }
+
+    #[test]
+    fn transpose_merges_and_meters() {
+        let p = HashPartitioner;
+        let mut m0: ShuffleBuffers<u64, u64> = ShuffleBuffers::new(2);
+        let mut m1: ShuffleBuffers<u64, u64> = ShuffleBuffers::new(2);
+        m0.push(1, mk(1), 10, &p);
+        m1.push(1, mk(2), 20, &p);
+        m1.push(2, mk(3), 30, &p);
+        let (runs, records, bytes) = transpose(vec![m0, m1], 2, false);
+        assert_eq!(records, 3);
+        // Each record is 2 varint bytes here (small k + small v).
+        assert_eq!(bytes, 6);
+        assert_eq!(runs.iter().map(Vec::len).sum::<usize>(), 3);
+
+        // All records for key 1 are in the same run.
+        let run_for_1 = Partitioner::partition(&p, &1u64, 2);
+        assert_eq!(runs[run_for_1].iter().filter(|r| r.0 == 1).count(), 2);
+    }
+
+    #[test]
+    fn transpose_mk_bytes_toggle() {
+        let p = HashPartitioner;
+        let mut m: ShuffleBuffers<u64, u64> = ShuffleBuffers::new(1);
+        m.push(1, mk(1), 1, &p);
+        let (_, _, without) = transpose::<u64, u64>(vec![], 1, false);
+        assert_eq!(without, 0);
+        let (_, _, with) = transpose(vec![m], 1, true);
+        assert_eq!(with, 2 + MK_WIRE_BYTES);
+    }
+
+    #[test]
+    fn sort_orders_by_key_then_mk() {
+        let mut run = vec![
+            (2u64, mk(0), "c"),
+            (1, mk(5), "b"),
+            (1, mk(1), "a"),
+        ];
+        sort_run(&mut run);
+        assert_eq!(
+            run.iter().map(|r| (r.0, r.1 .0, r.2)).collect::<Vec<_>>(),
+            vec![(1, 1, "a"), (1, 5, "b"), (2, 0, "c")]
+        );
+    }
+
+    #[test]
+    fn groups_split_on_key_boundaries() {
+        let run = vec![
+            (1u64, mk(0), 10u32),
+            (1, mk(1), 11),
+            (3, mk(0), 30),
+            (7, mk(0), 70),
+            (7, mk(9), 71),
+        ];
+        let gs: Vec<_> = groups(&run).collect();
+        assert_eq!(gs.len(), 3);
+        assert_eq!(gs[0].len(), 2);
+        assert_eq!(gs[1].len(), 1);
+        assert_eq!(gs[2].len(), 2);
+
+        let mut scratch = Vec::new();
+        let k = values_of(gs[2], &mut scratch);
+        assert_eq!(*k, 7);
+        assert_eq!(scratch, vec![70, 71]);
+    }
+
+    #[test]
+    fn metered_size_matches_encoding() {
+        let mut scratch = Vec::new();
+        let sz = metered_size(&"ab".to_string(), &1u64, &mut scratch);
+        // "ab" encodes to 1 len byte + 2 payload; 1u64 to 1 varint byte.
+        assert_eq!(sz, 4);
+    }
+}

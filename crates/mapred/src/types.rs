@@ -1,0 +1,143 @@
+//! Mapper / Reducer traits and associated data bounds.
+//!
+//! The APIs mirror the paper's §2:
+//!
+//! ```text
+//! map(K1, V1)      -> [(K2, V2)]
+//! reduce(K2, {V2}) -> [(K3, V3)]
+//! ```
+//!
+//! Keys must be `Ord` (the shuffle sorts by K2, which the MRBG-Store's
+//! sequential-window optimization depends on, paper §3.4), `Hash` (grouping
+//! and partitioning), and `Codec` (byte metering and persistence).
+
+use i2mr_common::codec::Codec;
+use std::fmt::Debug;
+use std::hash::Hash;
+
+/// Bound bundle for key positions (K1, K2, K3, SK, DK).
+pub trait KeyData: Clone + Ord + Hash + Send + Sync + Debug + Codec + 'static {}
+impl<T: Clone + Ord + Hash + Send + Sync + Debug + Codec + 'static> KeyData for T {}
+
+/// Bound bundle for value positions (V1, V2, V3, SV, DV).
+pub trait ValueData: Clone + Send + Sync + Debug + Codec + 'static {}
+impl<T: Clone + Send + Sync + Debug + Codec + 'static> ValueData for T {}
+
+/// Collection context handed to map/reduce functions.
+///
+/// Emitted pairs are buffered in emission order; the engine partitions and
+/// sorts them afterwards.
+#[derive(Debug)]
+pub struct Emitter<K, V> {
+    pairs: Vec<(K, V)>,
+}
+
+impl<K, V> Emitter<K, V> {
+    /// Fresh, empty emitter.
+    pub fn new() -> Self {
+        Emitter { pairs: Vec::new() }
+    }
+
+    /// Emit one intermediate/output pair.
+    #[inline]
+    pub fn emit(&mut self, key: K, value: V) {
+        self.pairs.push((key, value));
+    }
+
+    /// Number of pairs emitted so far.
+    pub fn len(&self) -> usize {
+        self.pairs.len()
+    }
+
+    /// True when nothing has been emitted.
+    pub fn is_empty(&self) -> bool {
+        self.pairs.is_empty()
+    }
+
+    /// Consume the emitter, returning emitted pairs in emission order.
+    pub fn into_pairs(self) -> Vec<(K, V)> {
+        self.pairs
+    }
+
+    /// Drain emitted pairs, leaving the emitter reusable.
+    pub fn drain(&mut self) -> std::vec::Drain<'_, (K, V)> {
+        self.pairs.drain(..)
+    }
+}
+
+impl<K, V> Default for Emitter<K, V> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// The user Map function: `map(K1, V1) -> [(K2, V2)]`.
+pub trait Mapper<K1, V1, K2, V2>: Send + Sync {
+    /// Process one input record, emitting intermediate pairs.
+    fn map(&self, key: &K1, value: &V1, out: &mut Emitter<K2, V2>);
+}
+
+impl<F, K1, V1, K2, V2> Mapper<K1, V1, K2, V2> for F
+where
+    F: Fn(&K1, &V1, &mut Emitter<K2, V2>) + Send + Sync,
+{
+    fn map(&self, key: &K1, value: &V1, out: &mut Emitter<K2, V2>) {
+        self(key, value, out)
+    }
+}
+
+/// The user Reduce function: `reduce(K2, {V2}) -> [(K3, V3)]`.
+pub trait Reducer<K2, V2, K3, V3>: Send + Sync {
+    /// Process one key group. `values` is every V2 shuffled to this K2.
+    fn reduce(&self, key: &K2, values: &[V2], out: &mut Emitter<K3, V3>);
+}
+
+impl<F, K2, V2, K3, V3> Reducer<K2, V2, K3, V3> for F
+where
+    F: Fn(&K2, &[V2], &mut Emitter<K3, V3>) + Send + Sync,
+{
+    fn reduce(&self, key: &K2, values: &[V2], out: &mut Emitter<K3, V3>) {
+        self(key, values, out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn emitter_preserves_emission_order() {
+        let mut e: Emitter<u32, &str> = Emitter::new();
+        assert!(e.is_empty());
+        e.emit(2, "b");
+        e.emit(1, "a");
+        assert_eq!(e.len(), 2);
+        assert_eq!(e.into_pairs(), vec![(2, "b"), (1, "a")]);
+    }
+
+    #[test]
+    fn emitter_drain_reuses_buffer() {
+        let mut e: Emitter<u32, u32> = Emitter::new();
+        e.emit(1, 1);
+        let drained: Vec<_> = e.drain().collect();
+        assert_eq!(drained, vec![(1, 1)]);
+        assert!(e.is_empty());
+        e.emit(2, 2);
+        assert_eq!(e.len(), 1);
+    }
+
+    #[test]
+    fn closures_are_mappers_and_reducers() {
+        let mapper = |k: &u64, v: &u64, out: &mut Emitter<u64, u64>| out.emit(*k, *v * 2);
+        let mut e = Emitter::new();
+        Mapper::map(&mapper, &3, &4, &mut e);
+        assert_eq!(e.into_pairs(), vec![(3, 8)]);
+
+        let reducer = |k: &u64, vs: &[u64], out: &mut Emitter<u64, u64>| {
+            out.emit(*k, vs.iter().sum())
+        };
+        let mut e = Emitter::new();
+        Reducer::reduce(&reducer, &1, &[1, 2, 3], &mut e);
+        assert_eq!(e.into_pairs(), vec![(1, 6)]);
+    }
+}

@@ -1,0 +1,357 @@
+//! Immutable partitioned datasets with transparent spill.
+
+use crate::context::MemFlowCtx;
+use i2mr_common::codec::{encode_to, Codec};
+use i2mr_common::error::{Error, Result};
+use i2mr_common::hash::stable_hash64;
+use std::collections::HashMap;
+use std::path::PathBuf;
+
+/// Bound bundle for memflow keys/values.
+pub trait FlowData: Clone + Codec + Send + Sync + 'static {}
+impl<T: Clone + Codec + Send + Sync + 'static> FlowData for T {}
+
+/// One partition: resident or spilled.
+enum Partition<K, V> {
+    Mem { pairs: Vec<(K, V)>, bytes: usize },
+    Spilled { path: PathBuf, bytes: usize },
+}
+
+/// An immutable, hash-partitioned dataset (an RDD stand-in).
+pub struct Dataset<K, V> {
+    ctx: MemFlowCtx,
+    partitions: Vec<Partition<K, V>>,
+}
+
+impl<K: FlowData, V: FlowData> Dataset<K, V> {
+    /// Partition `data` into `n` hash partitions by key.
+    pub fn from_vec(ctx: &MemFlowCtx, n: usize, data: Vec<(K, V)>) -> Result<Self> {
+        assert!(n > 0);
+        let mut parts: Vec<Vec<(K, V)>> = (0..n).map(|_| Vec::new()).collect();
+        for (k, v) in data {
+            let p = (stable_hash64(&encode_to(&k)) % n as u64) as usize;
+            parts[p].push((k, v));
+        }
+        Self::from_partitions(ctx, parts)
+    }
+
+    fn from_partitions(ctx: &MemFlowCtx, parts: Vec<Vec<(K, V)>>) -> Result<Self> {
+        let mut partitions = Vec::with_capacity(parts.len());
+        for pairs in parts {
+            partitions.push(Self::admit(ctx, pairs)?);
+        }
+        Ok(Dataset {
+            ctx: ctx.clone(),
+            partitions,
+        })
+    }
+
+    /// Admit a partition: keep in memory if the budget allows, else spill.
+    fn admit(ctx: &MemFlowCtx, pairs: Vec<(K, V)>) -> Result<Partition<K, V>> {
+        let encoded = encode_pairs(&pairs);
+        let bytes = encoded.len();
+        if ctx.try_reserve(bytes) {
+            Ok(Partition::Mem { pairs, bytes })
+        } else {
+            let path = ctx.spill_path();
+            std::fs::write(&path, &encoded)?;
+            ctx.note_spill(bytes as u64);
+            Ok(Partition::Spilled { path, bytes })
+        }
+    }
+
+    fn load(&self, p: usize) -> Result<Vec<(K, V)>> {
+        match &self.partitions[p] {
+            Partition::Mem { pairs, .. } => Ok(pairs.clone()),
+            Partition::Spilled { path, bytes } => {
+                let encoded = std::fs::read(path)?;
+                self.ctx.note_load(*bytes as u64);
+                decode_pairs(&encoded)
+            }
+        }
+    }
+
+    /// Number of partitions.
+    pub fn n_partitions(&self) -> usize {
+        self.partitions.len()
+    }
+
+    /// Total records.
+    pub fn count(&self) -> Result<usize> {
+        let mut n = 0;
+        for p in 0..self.partitions.len() {
+            n += self.load(p)?.len();
+        }
+        Ok(n)
+    }
+
+    /// Number of spilled partitions.
+    pub fn spilled_partitions(&self) -> usize {
+        self.partitions
+            .iter()
+            .filter(|p| matches!(p, Partition::Spilled { .. }))
+            .count()
+    }
+
+    /// Materialize all pairs (partition order).
+    pub fn collect(&self) -> Result<Vec<(K, V)>> {
+        let mut out = Vec::new();
+        for p in 0..self.partitions.len() {
+            out.extend(self.load(p)?);
+        }
+        Ok(out)
+    }
+
+    /// Apply `f` to every value, preserving keys and partitioning.
+    pub fn map_values<V2: FlowData>(&self, f: impl Fn(&K, &V) -> V2) -> Result<Dataset<K, V2>> {
+        let mut parts = Vec::with_capacity(self.partitions.len());
+        for p in 0..self.partitions.len() {
+            let pairs = self.load(p)?;
+            parts.push(
+                pairs
+                    .iter()
+                    .map(|(k, v)| (k.clone(), f(k, v)))
+                    .collect::<Vec<_>>(),
+            );
+        }
+        Dataset::from_partitions(&self.ctx, parts)
+    }
+
+    /// Flat-map into a new key space, repartitioned into `n` partitions.
+    pub fn flat_map<K2: FlowData, V2: FlowData>(
+        &self,
+        n: usize,
+        f: impl Fn(&K, &V) -> Vec<(K2, V2)>,
+    ) -> Result<Dataset<K2, V2>> {
+        let mut parts: Vec<Vec<(K2, V2)>> = (0..n).map(|_| Vec::new()).collect();
+        for p in 0..self.partitions.len() {
+            for (k, v) in self.load(p)? {
+                for (k2, v2) in f(&k, &v) {
+                    let tp = (stable_hash64(&encode_to(&k2)) % n as u64) as usize;
+                    parts[tp].push((k2, v2));
+                }
+            }
+        }
+        Dataset::from_partitions(&self.ctx, parts)
+    }
+
+    /// Combine all values per key with `f` (shuffle within partitions —
+    /// keys are already co-located by hash partitioning).
+    pub fn reduce_by_key(&self, f: impl Fn(&V, &V) -> V) -> Result<Dataset<K, V>> {
+        let mut parts = Vec::with_capacity(self.partitions.len());
+        for p in 0..self.partitions.len() {
+            let mut acc: HashMap<Vec<u8>, (K, V)> = HashMap::new();
+            for (k, v) in self.load(p)? {
+                let kb = encode_to(&k);
+                match acc.get_mut(&kb) {
+                    Some((_, old)) => *old = f(old, &v),
+                    None => {
+                        acc.insert(kb, (k, v));
+                    }
+                }
+            }
+            let mut pairs: Vec<(K, V)> = acc.into_values().collect();
+            pairs.sort_by(|a, b| encode_to(&a.0).cmp(&encode_to(&b.0)));
+            parts.push(pairs);
+        }
+        Dataset::from_partitions(&self.ctx, parts)
+    }
+
+    /// Inner join with an equally-partitioned dataset (RDD `join` after
+    /// `partitionBy`, the structure/state join of §8.7's Spark PageRank).
+    pub fn join<V2: FlowData>(&self, other: &Dataset<K, V2>) -> Result<Dataset<K, (V, V2)>> {
+        if self.n_partitions() != other.n_partitions() {
+            return Err(Error::config("join requires equal partitioning"));
+        }
+        let mut parts = Vec::with_capacity(self.partitions.len());
+        for p in 0..self.partitions.len() {
+            let left = self.load(p)?;
+            let right = other.load(p)?;
+            let mut index: HashMap<Vec<u8>, V2> = HashMap::with_capacity(right.len());
+            for (k, v2) in right {
+                index.insert(encode_to(&k), v2);
+            }
+            let mut joined = Vec::new();
+            for (k, v) in left {
+                if let Some(v2) = index.get(&encode_to(&k)) {
+                    joined.push((k, (v, v2.clone())));
+                }
+            }
+            parts.push(joined);
+        }
+        Dataset::from_partitions(&self.ctx, parts)
+    }
+}
+
+impl<K, V> Drop for Dataset<K, V> {
+    fn drop(&mut self) {
+        for p in &self.partitions {
+            match p {
+                Partition::Mem { bytes, .. } => self.ctx.release(*bytes),
+                Partition::Spilled { path, .. } => {
+                    let _ = std::fs::remove_file(path);
+                }
+            }
+        }
+    }
+}
+
+fn encode_pairs<K: Codec, V: Codec>(pairs: &[(K, V)]) -> Vec<u8> {
+    let mut buf = Vec::with_capacity(pairs.len() * 16);
+    i2mr_common::codec::write_varint(pairs.len() as u64, &mut buf);
+    for (k, v) in pairs {
+        k.encode(&mut buf);
+        v.encode(&mut buf);
+    }
+    buf
+}
+
+fn decode_pairs<K: Codec, V: Codec>(mut input: &[u8]) -> Result<Vec<(K, V)>> {
+    let cur = &mut input;
+    let n = i2mr_common::codec::read_varint(cur)? as usize;
+    let mut out = Vec::with_capacity(n.min(1 << 20));
+    for _ in 0..n {
+        let k = K::decode(cur)?;
+        let v = V::decode(cur)?;
+        out.push((k, v));
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ctx(tag: &str, budget: usize) -> MemFlowCtx {
+        let dir = std::env::temp_dir().join(format!(
+            "i2mr-memflow-ds-{tag}-{}-{:?}",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+        MemFlowCtx::new(budget, dir).unwrap()
+    }
+
+    #[test]
+    fn roundtrip_collect() {
+        let c = ctx("rt", 1 << 20);
+        let data: Vec<(u64, u64)> = (0..100).map(|i| (i, i * 2)).collect();
+        let ds = Dataset::from_vec(&c, 4, data.clone()).unwrap();
+        let mut got = ds.collect().unwrap();
+        got.sort_unstable();
+        assert_eq!(got, data);
+        assert_eq!(ds.count().unwrap(), 100);
+        assert_eq!(ds.spilled_partitions(), 0);
+    }
+
+    #[test]
+    fn exceeding_budget_spills_and_still_works() {
+        let c = ctx("spill", 64); // tiny budget: everything spills
+        let data: Vec<(u64, String)> = (0..200).map(|i| (i, format!("value-{i}"))).collect();
+        let ds = Dataset::from_vec(&c, 4, data.clone()).unwrap();
+        assert!(ds.spilled_partitions() > 0);
+        assert!(c.metrics().spills > 0);
+        let mut got = ds.collect().unwrap();
+        got.sort_by_key(|(k, _)| *k);
+        assert_eq!(got, data);
+        assert!(c.metrics().loads > 0, "collect paid spill loads");
+    }
+
+    #[test]
+    fn drop_releases_memory_and_removes_spill_files() {
+        let c = ctx("drop", 1 << 20);
+        {
+            let data: Vec<(u64, u64)> = (0..1000).map(|i| (i, i)).collect();
+            let _ds = Dataset::from_vec(&c, 2, data).unwrap();
+            assert!(c.used() > 0);
+        }
+        assert_eq!(c.used(), 0, "drop must release the budget");
+    }
+
+    #[test]
+    fn map_values_preserves_partitioning() {
+        let c = ctx("map", 1 << 20);
+        let ds = Dataset::from_vec(&c, 3, vec![(1u64, 2u64), (2, 4), (3, 6)]).unwrap();
+        let doubled = ds.map_values(|_, v| v * 10).unwrap();
+        let mut got = doubled.collect().unwrap();
+        got.sort_unstable();
+        assert_eq!(got, vec![(1, 20), (2, 40), (3, 60)]);
+        assert_eq!(doubled.n_partitions(), 3);
+    }
+
+    #[test]
+    fn reduce_by_key_folds_all_values() {
+        let c = ctx("rbk", 1 << 20);
+        let data: Vec<(u64, u64)> = (0..50).map(|i| (i % 5, 1)).collect();
+        let ds = Dataset::from_vec(&c, 4, data).unwrap();
+        let summed = ds.reduce_by_key(|a, b| a + b).unwrap();
+        let mut got = summed.collect().unwrap();
+        got.sort_unstable();
+        assert_eq!(got, (0..5).map(|k| (k, 10)).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn flat_map_repartitions_by_new_key() {
+        let c = ctx("fm", 1 << 20);
+        let ds = Dataset::from_vec(&c, 2, vec![(1u64, vec![10u64, 20u64])]).unwrap();
+        let exploded = ds
+            .flat_map(4, |_, outs| outs.iter().map(|&o| (o, 1u64)).collect())
+            .unwrap();
+        let mut got = exploded.collect().unwrap();
+        got.sort_unstable();
+        assert_eq!(got, vec![(10, 1), (20, 1)]);
+        assert_eq!(exploded.n_partitions(), 4);
+    }
+
+    #[test]
+    fn join_matches_co_partitioned_keys() {
+        let c = ctx("join", 1 << 20);
+        let left = Dataset::from_vec(&c, 3, vec![(1u64, "a".to_string()), (2, "b".to_string())])
+            .unwrap();
+        let right = Dataset::from_vec(&c, 3, vec![(1u64, 10u64), (3, 30)]).unwrap();
+        let joined = left.join(&right).unwrap();
+        let got = joined.collect().unwrap();
+        assert_eq!(got, vec![(1, ("a".to_string(), 10))]);
+    }
+
+    #[test]
+    fn join_rejects_mismatched_partitioning() {
+        let c = ctx("joinbad", 1 << 20);
+        let left = Dataset::from_vec(&c, 2, vec![(1u64, 1u64)]).unwrap();
+        let right = Dataset::from_vec(&c, 3, vec![(1u64, 1u64)]).unwrap();
+        assert!(left.join(&right).is_err());
+    }
+
+    #[test]
+    fn pagerank_style_pipeline_works_under_spill() {
+        // One PageRank iteration with a budget that forces spilling; the
+        // result must still be exact.
+        for budget in [usize::MAX >> 1, 256] {
+            let c = ctx(&format!("pr{budget}"), budget);
+            let graph: Vec<(u64, Vec<u64>)> =
+                vec![(0, vec![1, 2]), (1, vec![2]), (2, vec![0])];
+            let links = Dataset::from_vec(&c, 2, graph).unwrap();
+            let ranks = links.map_values(|_, _| 1.0f64).unwrap();
+            let contribs = links
+                .join(&ranks)
+                .unwrap()
+                .flat_map(2, |_, (outs, rank)| {
+                    outs.iter()
+                        .map(|&o| (o, rank / outs.len() as f64))
+                        .collect()
+                })
+                .unwrap();
+            let new_ranks = contribs
+                .reduce_by_key(|a, b| a + b)
+                .unwrap()
+                .map_values(|_, sum| 0.15 + 0.85 * sum)
+                .unwrap();
+            let mut got = new_ranks.collect().unwrap();
+            got.sort_by_key(|(k, _)| *k);
+            assert_eq!(got.len(), 3);
+            assert!((got[0].1 - (0.15 + 0.85 * 1.0)).abs() < 1e-12);
+            assert!((got[1].1 - (0.15 + 0.85 * 0.5)).abs() < 1e-12);
+            assert!((got[2].1 - (0.15 + 0.85 * 1.5)).abs() < 1e-12);
+        }
+    }
+}

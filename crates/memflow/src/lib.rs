@@ -1,0 +1,25 @@
+//! memflow — a Spark-like in-memory dataflow comparator.
+//!
+//! The paper's §8.7 compares iterMR against Spark 1.1.0: "Spark is really
+//! fast when processing small data sets … However, when processing the
+//! ClueWeb-l data set, Spark is not as good as iterMR … the input data and
+//! the intermediate data are too large, resulting [in] degraded Spark
+//! performance."
+//!
+//! This crate reproduces exactly that mechanism, nothing more: eager,
+//! partitioned, **immutable** in-memory datasets (each transformation
+//! produces a new dataset, as RDDs do), a process-wide memory budget, and
+//! transparent spill-to-disk once the budget is exhausted. While everything
+//! fits in memory, operations are pure in-memory passes (fast); once
+//! spilled, every access pays serialization + file I/O (slow) — the Fig. 12
+//! crossover.
+//!
+//! Supported operations are the ones PageRank needs (`join`,
+//! `flat_map`, `reduce_by_key`, `map_values`); see
+//! [`Dataset`].
+
+mod context;
+mod dataset;
+
+pub use context::{FlowMetrics, MemFlowCtx};
+pub use dataset::Dataset;

@@ -1,0 +1,52 @@
+//! Offline compaction statistics.
+//!
+//! "Obsolete chunks are NOT immediately updated in the file (or removed from
+//! the file) for I/O efficiency. The MRBGraph file is reconstructed off-line
+//! when the worker is idle." (paper §3.4). The reconstruction itself is
+//! [`crate::store::MrbgStore::compact`]; this module holds its report type.
+
+/// What a compaction accomplished.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct CompactionStats {
+    /// File bytes before compaction (live + obsolete versions).
+    pub before_bytes: u64,
+    /// File bytes after compaction (live chunks only).
+    pub after_bytes: u64,
+    /// Number of live chunks retained.
+    pub live_chunks: u64,
+    /// Number of batches collapsed into one.
+    pub batches_before: u32,
+}
+
+impl CompactionStats {
+    /// Bytes of obsolete chunk versions that were dropped.
+    pub fn reclaimed(&self) -> u64 {
+        self.before_bytes.saturating_sub(self.after_bytes)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn reclaimed_is_difference() {
+        let s = CompactionStats {
+            before_bytes: 1000,
+            after_bytes: 400,
+            live_chunks: 10,
+            batches_before: 5,
+        };
+        assert_eq!(s.reclaimed(), 600);
+    }
+
+    #[test]
+    fn reclaimed_saturates() {
+        let s = CompactionStats {
+            before_bytes: 10,
+            after_bytes: 20,
+            ..Default::default()
+        };
+        assert_eq!(s.reclaimed(), 0);
+    }
+}

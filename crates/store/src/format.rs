@@ -1,0 +1,255 @@
+//! Chunk file format.
+//!
+//! A *chunk* holds every preserved MRBGraph edge of one Reduce instance
+//! (one K2): `(K2, {(MK, V2)})`. Chunks are the basic unit — the store
+//! "always reads, writes, and operates on entire chunks" (paper §3.4).
+//!
+//! On-disk layout of one chunk (workspace codec primitives):
+//!
+//! ```text
+//! key_len   varint
+//! key       key_len bytes
+//! n_entries varint
+//! n × { mk: 16 bytes LE, v_len: varint, v: v_len bytes }
+//! ```
+//!
+//! Entries are kept sorted by MK. The shuffle emits `(K2, MK)`-sorted runs,
+//! so initial chunks arrive sorted for free; merges maintain the invariant.
+
+use i2mr_common::codec::{read_varint, write_varint};
+use i2mr_common::error::{Error, Result};
+use i2mr_common::hash::MapKey;
+
+/// One MRBGraph edge payload inside a chunk: the source map instance and
+/// the intermediate value it contributed.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ChunkEntry {
+    /// Source Map instance (paper: edge = source MK, destination K2, value V2).
+    pub mk: MapKey,
+    /// Encoded V2 bytes.
+    pub value: Vec<u8>,
+}
+
+/// All preserved edges of one Reduce instance.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Chunk {
+    /// Encoded K2 bytes.
+    pub key: Vec<u8>,
+    /// Edges sorted by MK.
+    pub entries: Vec<ChunkEntry>,
+}
+
+impl Chunk {
+    /// Build a chunk, sorting entries by MK (last write wins on duplicates).
+    pub fn new(key: Vec<u8>, mut entries: Vec<ChunkEntry>) -> Self {
+        entries.sort_by_key(|e| e.mk);
+        entries.dedup_by(|later, earlier| {
+            if later.mk == earlier.mk {
+                // keep the later element's value: overwrite `earlier`
+                std::mem::swap(&mut earlier.value, &mut later.value);
+                true
+            } else {
+                false
+            }
+        });
+        Chunk { key, entries }
+    }
+
+    /// Serialized byte size of this chunk.
+    pub fn encoded_len(&self) -> usize {
+        let mut n = varint_len(self.key.len() as u64) + self.key.len();
+        n += varint_len(self.entries.len() as u64);
+        for e in &self.entries {
+            n += 16 + varint_len(e.value.len() as u64) + e.value.len();
+        }
+        n
+    }
+
+    /// Append the chunk's encoding to `buf`.
+    pub fn encode(&self, buf: &mut Vec<u8>) {
+        write_varint(self.key.len() as u64, buf);
+        buf.extend_from_slice(&self.key);
+        write_varint(self.entries.len() as u64, buf);
+        for e in &self.entries {
+            buf.extend_from_slice(&e.mk.to_bytes());
+            write_varint(e.value.len() as u64, buf);
+            buf.extend_from_slice(&e.value);
+        }
+    }
+
+    /// Decode one chunk from the front of `input`.
+    pub fn decode(input: &mut &[u8]) -> Result<Chunk> {
+        let key_len = read_varint(input)? as usize;
+        if input.len() < key_len {
+            return Err(Error::codec("chunk: truncated key"));
+        }
+        let (key, rest) = input.split_at(key_len);
+        *input = rest;
+        let n = read_varint(input)? as usize;
+        let mut entries = Vec::with_capacity(n.min(4096));
+        for _ in 0..n {
+            if input.len() < 16 {
+                return Err(Error::codec("chunk: truncated mk"));
+            }
+            let (mk_bytes, rest) = input.split_at(16);
+            *input = rest;
+            let mk = MapKey::from_bytes(mk_bytes.try_into().unwrap());
+            let v_len = read_varint(input)? as usize;
+            if input.len() < v_len {
+                return Err(Error::codec("chunk: truncated value"));
+            }
+            let (v, rest) = input.split_at(v_len);
+            *input = rest;
+            entries.push(ChunkEntry {
+                mk,
+                value: v.to_vec(),
+            });
+        }
+        Ok(Chunk {
+            key: key.to_vec(),
+            entries,
+        })
+    }
+
+    /// Values in MK order — the Reduce input list `{V2}`.
+    pub fn values(&self) -> Vec<Vec<u8>> {
+        self.entries.iter().map(|e| e.value.clone()).collect()
+    }
+
+    /// Find an entry by MK (entries are MK-sorted).
+    pub fn find(&self, mk: MapKey) -> Option<&ChunkEntry> {
+        self.entries
+            .binary_search_by_key(&mk, |e| e.mk)
+            .ok()
+            .map(|i| &self.entries[i])
+    }
+
+    /// Insert or update the entry for `mk` (maintains MK order).
+    pub fn upsert(&mut self, mk: MapKey, value: Vec<u8>) {
+        match self.entries.binary_search_by_key(&mk, |e| e.mk) {
+            Ok(i) => self.entries[i].value = value,
+            Err(i) => self.entries.insert(i, ChunkEntry { mk, value }),
+        }
+    }
+
+    /// Remove the entry for `mk`; returns whether it existed.
+    pub fn remove(&mut self, mk: MapKey) -> bool {
+        match self.entries.binary_search_by_key(&mk, |e| e.mk) {
+            Ok(i) => {
+                self.entries.remove(i);
+                true
+            }
+            Err(_) => false,
+        }
+    }
+
+    /// True when the chunk has no live edges (the Reduce instance vanished).
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+}
+
+/// Byte length of a varint encoding of `v`.
+pub fn varint_len(mut v: u64) -> usize {
+    let mut n = 1;
+    while v >= 0x80 {
+        v >>= 7;
+        n += 1;
+    }
+    n
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn entry(mk: u128, v: &[u8]) -> ChunkEntry {
+        ChunkEntry {
+            mk: MapKey(mk),
+            value: v.to_vec(),
+        }
+    }
+
+    #[test]
+    fn encode_decode_roundtrip() {
+        let c = Chunk::new(
+            b"vertex-7".to_vec(),
+            vec![entry(3, b"0.25"), entry(1, b"0.5"), entry(2, b"")],
+        );
+        let mut buf = Vec::new();
+        c.encode(&mut buf);
+        assert_eq!(buf.len(), c.encoded_len());
+        let mut cur = buf.as_slice();
+        let d = Chunk::decode(&mut cur).unwrap();
+        assert!(cur.is_empty());
+        assert_eq!(d, c);
+        // Entries sorted by MK after construction.
+        let mks: Vec<u128> = d.entries.iter().map(|e| e.mk.0).collect();
+        assert_eq!(mks, vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn new_dedups_by_mk_last_wins() {
+        let c = Chunk::new(
+            b"k".to_vec(),
+            vec![entry(1, b"old"), entry(2, b"x"), entry(1, b"new")],
+        );
+        assert_eq!(c.entries.len(), 2);
+        assert_eq!(c.find(MapKey(1)).unwrap().value, b"new");
+    }
+
+    #[test]
+    fn upsert_and_remove_maintain_order() {
+        let mut c = Chunk::new(b"k".to_vec(), vec![entry(5, b"e"), entry(1, b"a")]);
+        c.upsert(MapKey(3), b"c".to_vec());
+        c.upsert(MapKey(5), b"E".to_vec());
+        let mks: Vec<u128> = c.entries.iter().map(|e| e.mk.0).collect();
+        assert_eq!(mks, vec![1, 3, 5]);
+        assert_eq!(c.find(MapKey(5)).unwrap().value, b"E");
+        assert!(c.remove(MapKey(1)));
+        assert!(!c.remove(MapKey(1)));
+        assert_eq!(c.entries.len(), 2);
+        assert!(!c.is_empty());
+        c.remove(MapKey(3));
+        c.remove(MapKey(5));
+        assert!(c.is_empty());
+    }
+
+    #[test]
+    fn decode_rejects_truncation_everywhere() {
+        let c = Chunk::new(b"key".to_vec(), vec![entry(1, b"value")]);
+        let mut buf = Vec::new();
+        c.encode(&mut buf);
+        for cut in 1..buf.len() {
+            let mut cur = &buf[..cut];
+            assert!(
+                Chunk::decode(&mut cur).is_err(),
+                "cut at {cut} should fail"
+            );
+        }
+    }
+
+    #[test]
+    fn empty_chunk_roundtrip() {
+        let c = Chunk::new(b"".to_vec(), vec![]);
+        let mut buf = Vec::new();
+        c.encode(&mut buf);
+        let mut cur = buf.as_slice();
+        assert_eq!(Chunk::decode(&mut cur).unwrap(), c);
+    }
+
+    #[test]
+    fn varint_len_matches_encoding() {
+        for v in [0u64, 1, 127, 128, 300, 1 << 20, u64::MAX] {
+            let mut buf = Vec::new();
+            write_varint(v, &mut buf);
+            assert_eq!(buf.len(), varint_len(v));
+        }
+    }
+
+    #[test]
+    fn values_in_mk_order() {
+        let c = Chunk::new(b"k".to_vec(), vec![entry(9, b"z"), entry(2, b"a")]);
+        assert_eq!(c.values(), vec![b"a".to_vec(), b"z".to_vec()]);
+    }
+}

@@ -1,0 +1,256 @@
+//! The chunk index: K2 → latest chunk position.
+//!
+//! "Given a K2, the index returns the chunk position in the MRBGraph file.
+//! As only point lookup is required, we employ a hash-based implementation.
+//! The index is stored in an index file and is preloaded into memory before
+//! Reduce computation." (paper §3.4)
+//!
+//! Because the store appends updated chunks instead of rewriting in place,
+//! a key may have several versions in the file; the index always points to
+//! the **latest** one (paper §5.2). Batches — contiguous regions of sorted
+//! chunks produced by one merge pass — are tracked in a [`BatchInfo`] table
+//! for the multi-window query strategies.
+
+use i2mr_common::codec::{read_varint, write_varint};
+use i2mr_common::error::{Error, Result};
+use i2mr_common::hash::StableHashBuilder;
+use std::collections::HashMap;
+
+/// Location of a chunk's latest version inside the MRBGraph file.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct ChunkLoc {
+    /// Absolute file offset of the chunk's first byte.
+    pub offset: u64,
+    /// Encoded length in bytes.
+    pub len: u32,
+    /// Which batch of sorted chunks the version lives in.
+    pub batch: u32,
+}
+
+/// One contiguous region of sorted chunks (one merge pass's output).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct BatchInfo {
+    /// First byte of the batch in the file.
+    pub start: u64,
+    /// One past the last byte of the batch.
+    pub end: u64,
+}
+
+/// In-memory hash index plus the batch table; persisted to an index file.
+#[derive(Debug, Default)]
+pub struct ChunkIndex {
+    map: HashMap<Vec<u8>, ChunkLoc, StableHashBuilder>,
+    batches: Vec<BatchInfo>,
+}
+
+impl ChunkIndex {
+    /// Fresh, empty index.
+    pub fn new() -> Self {
+        ChunkIndex {
+            map: HashMap::with_hasher(StableHashBuilder),
+            batches: Vec::new(),
+        }
+    }
+
+    /// Latest location for `key`, if preserved.
+    pub fn get(&self, key: &[u8]) -> Option<ChunkLoc> {
+        self.map.get(key).copied()
+    }
+
+    /// Point the key at a new latest version.
+    pub fn put(&mut self, key: Vec<u8>, loc: ChunkLoc) {
+        self.map.insert(key, loc);
+    }
+
+    /// Drop a key entirely (its Reduce instance vanished).
+    pub fn remove(&mut self, key: &[u8]) -> bool {
+        self.map.remove(key).is_some()
+    }
+
+    /// Number of live keys.
+    pub fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    /// True when no key is preserved.
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+
+    /// Iterate live `(key, loc)` pairs in unspecified order.
+    pub fn iter(&self) -> impl Iterator<Item = (&Vec<u8>, &ChunkLoc)> {
+        self.map.iter()
+    }
+
+    /// Live keys sorted by their file position — compaction order.
+    pub fn keys_by_position(&self) -> Vec<Vec<u8>> {
+        let mut pairs: Vec<(&Vec<u8>, &ChunkLoc)> = self.map.iter().collect();
+        pairs.sort_by_key(|(_, loc)| loc.offset);
+        pairs.into_iter().map(|(k, _)| k.clone()).collect()
+    }
+
+    /// Record a new batch; returns its id.
+    pub fn push_batch(&mut self, info: BatchInfo) -> u32 {
+        self.batches.push(info);
+        (self.batches.len() - 1) as u32
+    }
+
+    /// The batch table.
+    pub fn batches(&self) -> &[BatchInfo] {
+        &self.batches
+    }
+
+    /// Total bytes of live chunks (what compaction would retain).
+    pub fn live_bytes(&self) -> u64 {
+        self.map.values().map(|l| l.len as u64).sum()
+    }
+
+    /// Replace all contents (used by compaction).
+    pub fn reset(&mut self, entries: Vec<(Vec<u8>, ChunkLoc)>, batches: Vec<BatchInfo>) {
+        self.map.clear();
+        for (k, l) in entries {
+            self.map.insert(k, l);
+        }
+        self.batches = batches;
+    }
+
+    // ------------------------------------------------------------------
+    // persistence
+    // ------------------------------------------------------------------
+
+    /// Serialize the index (batch table + entries).
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut buf = Vec::with_capacity(16 + self.map.len() * 32);
+        write_varint(self.batches.len() as u64, &mut buf);
+        for b in &self.batches {
+            write_varint(b.start, &mut buf);
+            write_varint(b.end, &mut buf);
+        }
+        // Deterministic order for byte-identical re-serialization.
+        let mut pairs: Vec<(&Vec<u8>, &ChunkLoc)> = self.map.iter().collect();
+        pairs.sort_by_key(|(_, loc)| loc.offset);
+        write_varint(pairs.len() as u64, &mut buf);
+        for (k, loc) in pairs {
+            write_varint(k.len() as u64, &mut buf);
+            buf.extend_from_slice(k);
+            write_varint(loc.offset, &mut buf);
+            write_varint(loc.len as u64, &mut buf);
+            write_varint(loc.batch as u64, &mut buf);
+        }
+        buf
+    }
+
+    /// Deserialize an index produced by [`ChunkIndex::to_bytes`].
+    pub fn from_bytes(mut input: &[u8]) -> Result<Self> {
+        let cur = &mut input;
+        let nb = read_varint(cur)? as usize;
+        let mut batches = Vec::with_capacity(nb.min(4096));
+        for _ in 0..nb {
+            let start = read_varint(cur)?;
+            let end = read_varint(cur)?;
+            batches.push(BatchInfo { start, end });
+        }
+        let n = read_varint(cur)? as usize;
+        let mut map = HashMap::with_capacity_and_hasher(n.min(1 << 20), StableHashBuilder);
+        for _ in 0..n {
+            let klen = read_varint(cur)? as usize;
+            if cur.len() < klen {
+                return Err(Error::codec("index: truncated key"));
+            }
+            let (k, rest) = cur.split_at(klen);
+            *cur = rest;
+            let offset = read_varint(cur)?;
+            let len = read_varint(cur)? as u32;
+            let batch = read_varint(cur)? as u32;
+            map.insert(k.to_vec(), ChunkLoc { offset, len, batch });
+        }
+        if !cur.is_empty() {
+            return Err(Error::codec("index: trailing bytes"));
+        }
+        Ok(ChunkIndex { map, batches })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn loc(offset: u64, len: u32, batch: u32) -> ChunkLoc {
+        ChunkLoc { offset, len, batch }
+    }
+
+    #[test]
+    fn put_get_remove() {
+        let mut idx = ChunkIndex::new();
+        assert!(idx.is_empty());
+        idx.put(b"a".to_vec(), loc(0, 10, 0));
+        idx.put(b"b".to_vec(), loc(10, 5, 0));
+        assert_eq!(idx.get(b"a"), Some(loc(0, 10, 0)));
+        assert_eq!(idx.len(), 2);
+        // Updating points at the newest version.
+        idx.put(b"a".to_vec(), loc(15, 12, 1));
+        assert_eq!(idx.get(b"a"), Some(loc(15, 12, 1)));
+        assert!(idx.remove(b"a"));
+        assert!(!idx.remove(b"a"));
+        assert_eq!(idx.get(b"a"), None);
+    }
+
+    #[test]
+    fn persistence_roundtrip() {
+        let mut idx = ChunkIndex::new();
+        idx.push_batch(BatchInfo { start: 0, end: 100 });
+        idx.push_batch(BatchInfo {
+            start: 100,
+            end: 250,
+        });
+        idx.put(b"k1".to_vec(), loc(0, 40, 0));
+        idx.put(b"k2".to_vec(), loc(40, 60, 0));
+        idx.put(b"k1-v2".to_vec(), loc(100, 50, 1));
+        let bytes = idx.to_bytes();
+        let loaded = ChunkIndex::from_bytes(&bytes).unwrap();
+        assert_eq!(loaded.len(), 3);
+        assert_eq!(loaded.get(b"k2"), Some(loc(40, 60, 0)));
+        assert_eq!(loaded.batches(), idx.batches());
+        // Deterministic serialization.
+        assert_eq!(loaded.to_bytes(), bytes);
+    }
+
+    #[test]
+    fn from_bytes_rejects_garbage() {
+        assert!(ChunkIndex::from_bytes(&[0xFF]).is_err());
+        let mut good = ChunkIndex::new();
+        good.put(b"k".to_vec(), loc(0, 1, 0));
+        let mut bytes = good.to_bytes();
+        bytes.push(0); // trailing byte
+        assert!(ChunkIndex::from_bytes(&bytes).is_err());
+    }
+
+    #[test]
+    fn keys_by_position_orders_by_offset() {
+        let mut idx = ChunkIndex::new();
+        idx.put(b"late".to_vec(), loc(100, 1, 0));
+        idx.put(b"early".to_vec(), loc(5, 1, 0));
+        idx.put(b"mid".to_vec(), loc(50, 1, 0));
+        assert_eq!(
+            idx.keys_by_position(),
+            vec![b"early".to_vec(), b"mid".to_vec(), b"late".to_vec()]
+        );
+    }
+
+    #[test]
+    fn live_bytes_sums_latest_versions_only() {
+        let mut idx = ChunkIndex::new();
+        idx.put(b"a".to_vec(), loc(0, 10, 0));
+        idx.put(b"a".to_vec(), loc(20, 30, 1)); // replaces
+        idx.put(b"b".to_vec(), loc(10, 10, 0));
+        assert_eq!(idx.live_bytes(), 40);
+    }
+
+    #[test]
+    fn batch_ids_are_sequential() {
+        let mut idx = ChunkIndex::new();
+        assert_eq!(idx.push_batch(BatchInfo { start: 0, end: 1 }), 0);
+        assert_eq!(idx.push_batch(BatchInfo { start: 1, end: 2 }), 1);
+        assert_eq!(idx.batches().len(), 2);
+    }
+}

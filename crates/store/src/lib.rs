@@ -1,0 +1,44 @@
+//! MRBG-Store: preservation and retrieval of fine-grain MRBGraph states.
+//!
+//! The MRBGraph (paper §3.2) models the kv-pair level data flow of a
+//! MapReduce job as a bipartite graph; its edges `(K2, MK, V2)` are the
+//! fine-grain state that incremental processing re-uses. This crate is the
+//! storage engine for those edges (paper §3.4, §5.2):
+//!
+//! * [`format`] — the chunk file format: all edges with the same K2 are
+//!   stored contiguously as a *chunk*, the unit of every read and write.
+//! * [`index`] — the hash index mapping K2 → chunk position, persisted to an
+//!   index file and preloaded before incremental reduce.
+//! * [`append`] — the append buffer: merge outputs are appended in batches
+//!   of sorted chunks; obsolete chunks are *not* eagerly removed.
+//! * [`window`] — the dynamic read-window size computation (Algorithm 1)
+//!   and its multi-batch extension (multi-dynamic-window, §5.2 / Fig. 7).
+//! * [`query`] — the four query strategies compared in Table 4:
+//!   index-only, single-fix-window, multi-fix-window, multi-dynamic-window.
+//! * [`merge`] — the index nested-loop join of a delta MRBGraph with the
+//!   stored MRBGraph (deletions first, then upserts).
+//! * [`compact`] — offline reconstruction dropping obsolete chunks.
+//! * [`store`] — [`MrbgStore`], the per-reduce-task facade tying it together.
+//!
+//! # Keys are opaque bytes
+//!
+//! The store works on encoded key/value bytes ("bytes at rest, types in
+//! flight", DESIGN.md §6). It never orders keys itself: chunks are written
+//! in the order the engine appends them (the shuffle's K2 sort order), and
+//! query passes promise to request keys in that same order — which is what
+//! makes forward-only read windows correct.
+
+pub mod append;
+pub mod compact;
+pub mod format;
+pub mod index;
+pub mod merge;
+pub mod query;
+pub mod store;
+pub mod window;
+
+pub use format::{Chunk, ChunkEntry};
+pub use index::{BatchInfo, ChunkIndex, ChunkLoc};
+pub use merge::{DeltaChunk, DeltaEntry, MergeOutcome};
+pub use query::QueryStrategy;
+pub use store::{MrbgStore, StoreConfig};

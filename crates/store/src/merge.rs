@@ -1,0 +1,206 @@
+//! Merging a delta MRBGraph into the preserved MRBGraph.
+//!
+//! "The merging of the delta MRBGraph with the MRBGraph file in the
+//! MRBG-Store is essentially a join operation using K2 as the join key...
+//! we apply the index nested loop join" (paper §3.4). The join itself lives
+//! in [`crate::store::MrbgStore::merge_apply`]; this module defines the
+//! delta record types and the per-chunk application rule (paper §3.3):
+//!
+//! * `(K2, MK, '-')` — delete the preserved edge `(K2, MK)`;
+//! * `(K2, MK, V2')` — insert the edge, or update it if `(K2, MK)` exists.
+//!
+//! Deletions are applied before insertions within one merge: an *update* in
+//! the Map input is represented as a deletion followed by an insertion of
+//! the same `(K2, MK)` (possibly produced by different map tasks, so arrival
+//! order is not reliable), and delete-then-insert is the only composition
+//! that realizes update semantics. A record genuinely inserted *and* deleted
+//! within one delta cannot occur: a delta describes a set difference.
+
+use crate::format::Chunk;
+use i2mr_common::hash::MapKey;
+
+/// One edge change produced by incremental Map computation.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum DeltaEntry {
+    /// Insert or update the edge `(K2, MK)` with a new V2.
+    Insert(MapKey, Vec<u8>),
+    /// Delete the edge `(K2, MK)`.
+    Delete(MapKey),
+}
+
+impl DeltaEntry {
+    /// The map instance this change originates from.
+    pub fn mk(&self) -> MapKey {
+        match self {
+            DeltaEntry::Insert(mk, _) | DeltaEntry::Delete(mk) => *mk,
+        }
+    }
+}
+
+/// All edge changes targeting one Reduce instance (one K2).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct DeltaChunk {
+    /// Encoded K2 bytes.
+    pub key: Vec<u8>,
+    /// Changes in emission order.
+    pub entries: Vec<DeltaEntry>,
+}
+
+/// Result of merging one delta chunk with the preserved state.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum MergeOutcome {
+    /// The Reduce instance still has edges; the chunk holds the merged,
+    /// up-to-date input `{(MK, V2)}` for re-invoking Reduce.
+    Updated(Chunk),
+    /// All edges were deleted: the Reduce instance (and its former final
+    /// output) vanished.
+    Removed,
+}
+
+impl MergeOutcome {
+    /// Merged values in MK order, if the instance survived.
+    pub fn values(&self) -> Option<Vec<Vec<u8>>> {
+        match self {
+            MergeOutcome::Updated(c) => Some(c.values()),
+            MergeOutcome::Removed => None,
+        }
+    }
+}
+
+/// Apply one delta chunk to the preserved chunk (if any).
+///
+/// Returns the up-to-date chunk, or `Removed` if no edges remain.
+pub fn apply_delta(stored: Option<Chunk>, delta: &DeltaChunk) -> MergeOutcome {
+    let mut chunk = stored.unwrap_or_else(|| Chunk::new(delta.key.clone(), Vec::new()));
+    debug_assert_eq!(chunk.key, delta.key, "delta applied to wrong chunk");
+
+    // Deletions first (see module docs).
+    for e in &delta.entries {
+        if let DeltaEntry::Delete(mk) = e {
+            chunk.remove(*mk);
+        }
+    }
+    for e in &delta.entries {
+        if let DeltaEntry::Insert(mk, v) = e {
+            chunk.upsert(*mk, v.clone());
+        }
+    }
+
+    if chunk.is_empty() {
+        MergeOutcome::Removed
+    } else {
+        MergeOutcome::Updated(chunk)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::format::ChunkEntry;
+
+    fn chunk(key: &[u8], entries: &[(u128, &[u8])]) -> Chunk {
+        Chunk::new(
+            key.to_vec(),
+            entries
+                .iter()
+                .map(|(mk, v)| ChunkEntry {
+                    mk: MapKey(*mk),
+                    value: v.to_vec(),
+                })
+                .collect(),
+        )
+    }
+
+    fn delta(key: &[u8], entries: Vec<DeltaEntry>) -> DeltaChunk {
+        DeltaChunk {
+            key: key.to_vec(),
+            entries,
+        }
+    }
+
+    #[test]
+    fn insert_into_missing_chunk_creates_it() {
+        let d = delta(b"k", vec![DeltaEntry::Insert(MapKey(1), b"v".to_vec())]);
+        match apply_delta(None, &d) {
+            MergeOutcome::Updated(c) => {
+                assert_eq!(c.key, b"k");
+                assert_eq!(c.entries.len(), 1);
+            }
+            other => panic!("expected update, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn delete_of_missing_edge_is_noop_and_may_remove_chunk() {
+        let d = delta(b"k", vec![DeltaEntry::Delete(MapKey(9))]);
+        assert_eq!(apply_delta(None, &d), MergeOutcome::Removed);
+        let stored = chunk(b"k", &[(1, b"a")]);
+        match apply_delta(Some(stored), &d) {
+            MergeOutcome::Updated(c) => assert_eq!(c.entries.len(), 1),
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn update_semantics_delete_then_insert_same_mk() {
+        let stored = chunk(b"2", &[(0, b"0.3"), (7, b"0.1")]);
+        // Update of edge (2, MK=0): delete + insert, possibly out of order.
+        for order in [
+            vec![
+                DeltaEntry::Delete(MapKey(0)),
+                DeltaEntry::Insert(MapKey(0), b"0.6".to_vec()),
+            ],
+            vec![
+                DeltaEntry::Insert(MapKey(0), b"0.6".to_vec()),
+                DeltaEntry::Delete(MapKey(0)),
+            ],
+        ] {
+            let out = apply_delta(Some(stored.clone()), &delta(b"2", order));
+            match out {
+                MergeOutcome::Updated(c) => {
+                    assert_eq!(c.find(MapKey(0)).unwrap().value, b"0.6");
+                    assert_eq!(c.entries.len(), 2);
+                }
+                other => panic!("unexpected {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn deleting_all_edges_removes_the_instance() {
+        let stored = chunk(b"k", &[(1, b"a"), (2, b"b")]);
+        let d = delta(
+            b"k",
+            vec![DeltaEntry::Delete(MapKey(1)), DeltaEntry::Delete(MapKey(2))],
+        );
+        assert_eq!(apply_delta(Some(stored), &d), MergeOutcome::Removed);
+    }
+
+    #[test]
+    fn untouched_edges_survive() {
+        let stored = chunk(b"k", &[(1, b"keep"), (2, b"gone")]);
+        let d = delta(
+            b"k",
+            vec![
+                DeltaEntry::Delete(MapKey(2)),
+                DeltaEntry::Insert(MapKey(3), b"new".to_vec()),
+            ],
+        );
+        match apply_delta(Some(stored), &d) {
+            MergeOutcome::Updated(c) => {
+                assert_eq!(c.find(MapKey(1)).unwrap().value, b"keep");
+                assert!(c.find(MapKey(2)).is_none());
+                assert_eq!(c.find(MapKey(3)).unwrap().value, b"new");
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn outcome_values_accessor() {
+        let d = delta(b"k", vec![DeltaEntry::Insert(MapKey(5), b"x".to_vec())]);
+        let out = apply_delta(None, &d);
+        assert_eq!(out.values(), Some(vec![b"x".to_vec()]));
+        assert_eq!(MergeOutcome::Removed.values(), None);
+    }
+}

@@ -1,0 +1,601 @@
+//! [`MrbgStore`] — the per-reduce-task MRBG-Store facade (paper Fig. 4).
+//!
+//! One store instance manages one reduce task's MRBGraph file plus its
+//! index file. The two requirements from §3.4:
+//!
+//! 1. **Incremental storage** — each merge appends only the *updated*
+//!    chunks as a new batch; obsolete versions linger until [`MrbgStore::compact`].
+//! 2. **Efficient retrieval** — point lookups go through the preloaded hash
+//!    index; merge passes use the configured [`QueryStrategy`] with read
+//!    windows.
+//!
+//! # Canonical batch order
+//!
+//! Every batch is written in **byte-lexicographic order of the encoded K2**,
+//! and merge passes visit keys in that same order. This gives each batch the
+//! "sorted chunks" property the window algorithms rely on, independent of
+//! the engine's typed key ordering. (`merge_apply` sorts its input
+//! defensively, so engines may pass deltas in any order.)
+
+use crate::append::{AppendBuffer, DEFAULT_APPEND_CAPACITY};
+use crate::compact::CompactionStats;
+use crate::format::Chunk;
+use crate::index::{BatchInfo, ChunkIndex, ChunkLoc};
+use crate::merge::{apply_delta, DeltaChunk, MergeOutcome};
+use crate::query::{QueryPass, QueryStrategy};
+use i2mr_common::error::{Error, Result};
+use i2mr_common::metrics::IoStats;
+use std::fs::File;
+use std::io::{Read, Seek, SeekFrom};
+use std::path::{Path, PathBuf};
+
+/// Tunables for one store instance.
+#[derive(Clone, Copy, Debug)]
+pub struct StoreConfig {
+    /// Chunk retrieval strategy for merge passes.
+    pub strategy: QueryStrategy,
+    /// Read-cache capacity bounding each read window (paper: read cache).
+    pub cache_capacity: u64,
+    /// Append-buffer flush threshold.
+    pub append_capacity: usize,
+}
+
+impl Default for StoreConfig {
+    fn default() -> Self {
+        StoreConfig {
+            strategy: QueryStrategy::default(),
+            cache_capacity: 4 * 1024 * 1024,
+            append_capacity: DEFAULT_APPEND_CAPACITY,
+        }
+    }
+}
+
+/// One reduce task's MRBG-Store. See module docs.
+pub struct MrbgStore {
+    dir: PathBuf,
+    file: File,
+    file_len: u64,
+    index: ChunkIndex,
+    config: StoreConfig,
+    io: IoStats,
+}
+
+impl MrbgStore {
+    fn data_path(dir: &Path) -> PathBuf {
+        dir.join("mrbg.data")
+    }
+
+    fn index_path(dir: &Path) -> PathBuf {
+        dir.join("mrbg.index")
+    }
+
+    /// Create a fresh (empty) store in `dir`, truncating any existing one.
+    pub fn create(dir: impl AsRef<Path>, config: StoreConfig) -> Result<Self> {
+        let dir = dir.as_ref().to_path_buf();
+        std::fs::create_dir_all(&dir)?;
+        let file = File::options()
+            .create(true)
+            .read(true)
+            .write(true)
+            .truncate(true)
+            .open(Self::data_path(&dir))?;
+        let store = MrbgStore {
+            dir,
+            file,
+            file_len: 0,
+            index: ChunkIndex::new(),
+            config,
+            io: IoStats::default(),
+        };
+        store.persist_index()?;
+        Ok(store)
+    }
+
+    /// Open an existing store, preloading its index file into memory
+    /// (paper §3.4: the index is preloaded before Reduce computation).
+    pub fn open(dir: impl AsRef<Path>, config: StoreConfig) -> Result<Self> {
+        let dir = dir.as_ref().to_path_buf();
+        let file = File::options()
+            .read(true)
+            .write(true)
+            .open(Self::data_path(&dir))
+            .map_err(|_| Error::NotFound(format!("MRBGraph file in {}", dir.display())))?;
+        let file_len = file.metadata()?.len();
+        let index_bytes = std::fs::read(Self::index_path(&dir))?;
+        let index = ChunkIndex::from_bytes(&index_bytes)?;
+        Ok(MrbgStore {
+            dir,
+            file,
+            file_len,
+            index,
+            config,
+            io: IoStats::default(),
+        })
+    }
+
+    /// Directory holding the data and index files.
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+
+    /// Change the retrieval strategy (Table 4 experiments flip this).
+    pub fn set_strategy(&mut self, strategy: QueryStrategy) {
+        self.config.strategy = strategy;
+    }
+
+    /// Number of live Reduce instances preserved.
+    pub fn len(&self) -> usize {
+        self.index.len()
+    }
+
+    /// True when nothing is preserved.
+    pub fn is_empty(&self) -> bool {
+        self.index.is_empty()
+    }
+
+    /// Current MRBGraph file size (live + obsolete versions).
+    pub fn file_len(&self) -> u64 {
+        self.file_len
+    }
+
+    /// Number of batches of sorted chunks in the file.
+    pub fn n_batches(&self) -> usize {
+        self.index.batches().len()
+    }
+
+    /// Accumulated I/O counters (Table 4 columns).
+    pub fn io_stats(&self) -> IoStats {
+        self.io
+    }
+
+    /// Reset the I/O counters.
+    pub fn reset_io_stats(&mut self) {
+        self.io = IoStats::default();
+    }
+
+    /// Persist the in-memory index to the index file (atomic rename).
+    pub fn persist_index(&self) -> Result<()> {
+        let tmp = Self::index_path(&self.dir).with_extension("tmp");
+        std::fs::write(&tmp, self.index.to_bytes())?;
+        std::fs::rename(&tmp, Self::index_path(&self.dir))?;
+        Ok(())
+    }
+
+    /// Append `chunks` as one new batch (initial MRBGraph preservation).
+    ///
+    /// Chunks are written in canonical (lexicographic key) order; the index
+    /// is updated and persisted.
+    pub fn append_batch(&mut self, mut chunks: Vec<Chunk>) -> Result<()> {
+        chunks.sort_by(|a, b| a.key.cmp(&b.key));
+        let batch_id = self.index.batches().len() as u32;
+        let start = self.file_len;
+        let mut append = AppendBuffer::new(self.config.append_capacity, self.file_len);
+        let mut buf = Vec::with_capacity(4096);
+        let mut locs = Vec::with_capacity(chunks.len());
+        for chunk in &chunks {
+            buf.clear();
+            chunk.encode(&mut buf);
+            let offset = append.append(&buf, &mut self.file, &mut self.io)?;
+            locs.push((
+                chunk.key.clone(),
+                ChunkLoc {
+                    offset,
+                    len: buf.len() as u32,
+                    batch: batch_id,
+                },
+            ));
+        }
+        append.flush(&mut self.file, &mut self.io)?;
+        self.file_len = append.next_offset();
+        self.index.push_batch(BatchInfo {
+            start,
+            end: self.file_len,
+        });
+        for (key, loc) in locs {
+            self.index.put(key, loc);
+        }
+        self.persist_index()?;
+        Ok(())
+    }
+
+    /// Merge a delta MRBGraph into the store (paper §3.3–3.4).
+    ///
+    /// For every delta chunk: retrieve the preserved chunk with the
+    /// configured strategy, apply deletions then insertions, and append the
+    /// up-to-date chunk to a new batch. Returns `(key, outcome)` pairs in
+    /// canonical key order — the outcomes carry the merged Reduce inputs.
+    pub fn merge_apply(&mut self, mut deltas: Vec<DeltaChunk>) -> Result<Vec<(Vec<u8>, MergeOutcome)>> {
+        deltas.sort_by(|a, b| a.key.cmp(&b.key));
+
+        // Phase 1: planned query pass + in-memory application.
+        let keys: Vec<Vec<u8>> = deltas.iter().map(|d| d.key.clone()).collect();
+        let mut outcomes: Vec<(Vec<u8>, MergeOutcome)> = Vec::with_capacity(deltas.len());
+        {
+            let mut pass = QueryPass::new(
+                &mut self.file,
+                self.file_len,
+                &mut self.io,
+                &self.index,
+                self.config.strategy,
+                self.config.cache_capacity,
+                keys,
+            );
+            for d in &deltas {
+                let stored = pass.get(&d.key)?;
+                outcomes.push((d.key.clone(), apply_delta(stored, d)));
+            }
+        }
+
+        // Phase 2: append updated chunks as one new batch; update index.
+        let batch_id = self.index.batches().len() as u32;
+        let start = self.file_len;
+        let mut append = AppendBuffer::new(self.config.append_capacity, self.file_len);
+        let mut buf = Vec::with_capacity(4096);
+        let mut index_updates: Vec<(Vec<u8>, Option<ChunkLoc>)> = Vec::with_capacity(outcomes.len());
+        for (key, outcome) in &outcomes {
+            match outcome {
+                MergeOutcome::Updated(chunk) => {
+                    buf.clear();
+                    chunk.encode(&mut buf);
+                    let offset = append.append(&buf, &mut self.file, &mut self.io)?;
+                    index_updates.push((
+                        key.clone(),
+                        Some(ChunkLoc {
+                            offset,
+                            len: buf.len() as u32,
+                            batch: batch_id,
+                        }),
+                    ));
+                }
+                MergeOutcome::Removed => index_updates.push((key.clone(), None)),
+            }
+        }
+        append.flush(&mut self.file, &mut self.io)?;
+        self.file_len = append.next_offset();
+        self.index.push_batch(BatchInfo {
+            start,
+            end: self.file_len,
+        });
+        for (key, loc) in index_updates {
+            match loc {
+                Some(loc) => self.index.put(key, loc),
+                None => {
+                    self.index.remove(&key);
+                }
+            }
+        }
+        self.persist_index()?;
+        Ok(outcomes)
+    }
+
+    /// Point lookup of one preserved chunk (always index-only I/O).
+    pub fn get(&mut self, key: &[u8]) -> Result<Option<Chunk>> {
+        let loc = match self.index.get(key) {
+            Some(loc) => loc,
+            None => return Ok(None),
+        };
+        let bytes = self.read_region(loc.offset, loc.len as u64)?;
+        let mut cur = bytes.as_slice();
+        let chunk = Chunk::decode(&mut cur)?;
+        if chunk.key != key {
+            return Err(Error::corrupt("index points at a chunk for a different key"));
+        }
+        Ok(Some(chunk))
+    }
+
+    /// All live chunks in canonical (lexicographic key) order.
+    ///
+    /// Used by equivalence tests and compaction; reads the whole live set.
+    pub fn all_chunks(&mut self) -> Result<Vec<Chunk>> {
+        let mut keys: Vec<Vec<u8>> = self.index.iter().map(|(k, _)| k.clone()).collect();
+        keys.sort();
+        let mut out = Vec::with_capacity(keys.len());
+        for k in keys {
+            match self.get(&k)? {
+                Some(c) => out.push(c),
+                None => return Err(Error::corrupt("indexed chunk disappeared")),
+            }
+        }
+        Ok(out)
+    }
+
+    /// Offline reconstruction: rewrite live chunks as a single batch,
+    /// dropping every obsolete version (paper §3.4).
+    pub fn compact(&mut self) -> Result<CompactionStats> {
+        let before_bytes = self.file_len;
+        let batches_before = self.index.batches().len() as u32;
+        let live = self.all_chunks()?;
+
+        // Rewrite into a temp file, then swap.
+        let tmp_path = Self::data_path(&self.dir).with_extension("compact");
+        let mut tmp = File::options()
+            .create(true)
+            .read(true)
+            .write(true)
+            .truncate(true)
+            .open(&tmp_path)?;
+        let mut append = AppendBuffer::new(self.config.append_capacity, 0);
+        let mut buf = Vec::with_capacity(4096);
+        let mut entries = Vec::with_capacity(live.len());
+        for chunk in &live {
+            buf.clear();
+            chunk.encode(&mut buf);
+            let offset = append.append(&buf, &mut tmp, &mut self.io)?;
+            entries.push((
+                chunk.key.clone(),
+                ChunkLoc {
+                    offset,
+                    len: buf.len() as u32,
+                    batch: 0,
+                },
+            ));
+        }
+        append.flush(&mut tmp, &mut self.io)?;
+        let after_bytes = append.next_offset();
+        drop(tmp);
+        std::fs::rename(&tmp_path, Self::data_path(&self.dir))?;
+
+        self.file = File::options()
+            .read(true)
+            .write(true)
+            .open(Self::data_path(&self.dir))?;
+        self.file_len = after_bytes;
+        self.index.reset(
+            entries,
+            vec![BatchInfo {
+                start: 0,
+                end: after_bytes,
+            }],
+        );
+        self.persist_index()?;
+        Ok(CompactionStats {
+            before_bytes,
+            after_bytes,
+            live_chunks: live.len() as u64,
+            batches_before,
+        })
+    }
+
+    /// Serialize the whole store (data + index) for checkpointing (§6.1).
+    pub fn export(&mut self) -> Result<Vec<u8>> {
+        self.file.seek(SeekFrom::Start(0))?;
+        let mut data = Vec::with_capacity(self.file_len as usize);
+        self.file.read_to_end(&mut data)?;
+        let index = self.index.to_bytes();
+        Ok(i2mr_common::codec::encode_to(&(data, index)))
+    }
+
+    /// Restore a store from an [`MrbgStore::export`] payload into `dir`.
+    pub fn import(dir: impl AsRef<Path>, payload: &[u8], config: StoreConfig) -> Result<Self> {
+        let (data, index_bytes): (Vec<u8>, Vec<u8>) = i2mr_common::codec::decode_exact(payload)?;
+        let dir = dir.as_ref().to_path_buf();
+        std::fs::create_dir_all(&dir)?;
+        std::fs::write(Self::data_path(&dir), &data)?;
+        std::fs::write(Self::index_path(&dir), &index_bytes)?;
+        Self::open(dir, config)
+    }
+
+    fn read_region(&mut self, offset: u64, len: u64) -> Result<Vec<u8>> {
+        self.file.seek(SeekFrom::Start(offset))?;
+        let mut buf = vec![0u8; len as usize];
+        self.file.read_exact(&mut buf)?;
+        self.io.record_read(len);
+        Ok(buf)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::format::ChunkEntry;
+    use crate::merge::DeltaEntry;
+    use i2mr_common::hash::MapKey;
+
+    fn tmpdir(tag: &str) -> PathBuf {
+        let d = std::env::temp_dir().join(format!(
+            "i2mr-store-{tag}-{}-{:?}",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        let _ = std::fs::remove_dir_all(&d);
+        d
+    }
+
+    fn chunk(key: &str, entries: &[(u128, &str)]) -> Chunk {
+        Chunk::new(
+            key.as_bytes().to_vec(),
+            entries
+                .iter()
+                .map(|(mk, v)| ChunkEntry {
+                    mk: MapKey(*mk),
+                    value: v.as_bytes().to_vec(),
+                })
+                .collect(),
+        )
+    }
+
+    #[test]
+    fn create_append_get_roundtrip() {
+        let mut s = MrbgStore::create(tmpdir("rt"), StoreConfig::default()).unwrap();
+        s.append_batch(vec![chunk("b", &[(1, "x")]), chunk("a", &[(2, "y")])])
+            .unwrap();
+        assert_eq!(s.len(), 2);
+        assert_eq!(s.n_batches(), 1);
+        let a = s.get(b"a").unwrap().unwrap();
+        assert_eq!(a.entries[0].value, b"y");
+        assert!(s.get(b"missing").unwrap().is_none());
+    }
+
+    #[test]
+    fn open_preloads_persisted_index() {
+        let dir = tmpdir("open");
+        {
+            let mut s = MrbgStore::create(&dir, StoreConfig::default()).unwrap();
+            s.append_batch(vec![chunk("k", &[(1, "v")])]).unwrap();
+        }
+        let mut s = MrbgStore::open(&dir, StoreConfig::default()).unwrap();
+        assert_eq!(s.len(), 1);
+        assert_eq!(s.get(b"k").unwrap().unwrap().entries[0].value, b"v");
+    }
+
+    #[test]
+    fn merge_apply_updates_deletes_and_creates() {
+        let mut s = MrbgStore::create(tmpdir("merge"), StoreConfig::default()).unwrap();
+        s.append_batch(vec![
+            chunk("a", &[(1, "a1"), (2, "a2")]),
+            chunk("b", &[(1, "b1")]),
+        ])
+        .unwrap();
+
+        let outcomes = s
+            .merge_apply(vec![
+                DeltaChunk {
+                    key: b"c".to_vec(),
+                    entries: vec![DeltaEntry::Insert(MapKey(9), b"c9".to_vec())],
+                },
+                DeltaChunk {
+                    key: b"a".to_vec(),
+                    entries: vec![
+                        DeltaEntry::Delete(MapKey(1)),
+                        DeltaEntry::Insert(MapKey(3), b"a3".to_vec()),
+                    ],
+                },
+                DeltaChunk {
+                    key: b"b".to_vec(),
+                    entries: vec![DeltaEntry::Delete(MapKey(1))],
+                },
+            ])
+            .unwrap();
+
+        // Outcomes in canonical key order: a, b, c.
+        assert_eq!(outcomes[0].0, b"a");
+        assert_eq!(
+            outcomes[0].1.values().unwrap(),
+            vec![b"a2".to_vec(), b"a3".to_vec()]
+        );
+        assert_eq!(outcomes[1].1, MergeOutcome::Removed);
+        assert_eq!(outcomes[2].1.values().unwrap(), vec![b"c9".to_vec()]);
+
+        // Store state reflects the merge.
+        assert_eq!(s.len(), 2); // a and c; b removed
+        assert!(s.get(b"b").unwrap().is_none());
+        assert_eq!(s.get(b"a").unwrap().unwrap().entries.len(), 2);
+        assert_eq!(s.n_batches(), 2);
+    }
+
+    #[test]
+    fn merged_state_survives_reopen() {
+        let dir = tmpdir("reopen-merge");
+        {
+            let mut s = MrbgStore::create(&dir, StoreConfig::default()).unwrap();
+            s.append_batch(vec![chunk("k", &[(1, "old")])]).unwrap();
+            s.merge_apply(vec![DeltaChunk {
+                key: b"k".to_vec(),
+                entries: vec![
+                    DeltaEntry::Delete(MapKey(1)),
+                    DeltaEntry::Insert(MapKey(1), b"new".to_vec()),
+                ],
+            }])
+            .unwrap();
+        }
+        let mut s = MrbgStore::open(&dir, StoreConfig::default()).unwrap();
+        assert_eq!(s.get(b"k").unwrap().unwrap().entries[0].value, b"new");
+    }
+
+    #[test]
+    fn obsolete_versions_accumulate_then_compaction_reclaims() {
+        let mut s = MrbgStore::create(tmpdir("compact"), StoreConfig::default()).unwrap();
+        s.append_batch(vec![chunk("a", &[(1, "v0")]), chunk("b", &[(1, "v0")])])
+            .unwrap();
+        for round in 1..=3 {
+            s.merge_apply(vec![DeltaChunk {
+                key: b"a".to_vec(),
+                entries: vec![
+                    DeltaEntry::Delete(MapKey(1)),
+                    DeltaEntry::Insert(MapKey(1), format!("v{round}").into_bytes()),
+                ],
+            }])
+            .unwrap();
+        }
+        assert_eq!(s.n_batches(), 4);
+        let file_before = s.file_len();
+        let stats = s.compact().unwrap();
+        assert_eq!(stats.before_bytes, file_before);
+        assert_eq!(stats.live_chunks, 2);
+        assert_eq!(stats.batches_before, 4);
+        assert!(stats.reclaimed() > 0);
+        assert_eq!(s.n_batches(), 1);
+        // Data intact after compaction.
+        assert_eq!(s.get(b"a").unwrap().unwrap().entries[0].value, b"v3");
+        assert_eq!(s.get(b"b").unwrap().unwrap().entries[0].value, b"v0");
+    }
+
+    #[test]
+    fn all_chunks_in_canonical_order() {
+        let mut s = MrbgStore::create(tmpdir("all"), StoreConfig::default()).unwrap();
+        s.append_batch(vec![
+            chunk("z", &[(1, "1")]),
+            chunk("a", &[(1, "1")]),
+            chunk("m", &[(1, "1")]),
+        ])
+        .unwrap();
+        let keys: Vec<Vec<u8>> = s.all_chunks().unwrap().into_iter().map(|c| c.key).collect();
+        assert_eq!(keys, vec![b"a".to_vec(), b"m".to_vec(), b"z".to_vec()]);
+    }
+
+    #[test]
+    fn export_import_roundtrip() {
+        let mut s = MrbgStore::create(tmpdir("exp"), StoreConfig::default()).unwrap();
+        s.append_batch(vec![chunk("a", &[(1, "x"), (2, "y")])]).unwrap();
+        let payload = s.export().unwrap();
+        let mut restored =
+            MrbgStore::import(tmpdir("imp"), &payload, StoreConfig::default()).unwrap();
+        assert_eq!(restored.len(), 1);
+        let c = restored.get(b"a").unwrap().unwrap();
+        assert_eq!(c.entries.len(), 2);
+    }
+
+    #[test]
+    fn io_stats_track_merge_reads() {
+        let mut s = MrbgStore::create(tmpdir("io"), StoreConfig::default()).unwrap();
+        s.append_batch(vec![chunk("a", &[(1, "x")])]).unwrap();
+        s.reset_io_stats();
+        s.merge_apply(vec![DeltaChunk {
+            key: b"a".to_vec(),
+            entries: vec![DeltaEntry::Insert(MapKey(2), b"y".to_vec())],
+        }])
+        .unwrap();
+        let io = s.io_stats();
+        assert!(io.reads >= 1);
+        assert!(io.bytes_read > 0);
+        assert!(io.writes >= 1);
+    }
+
+    #[test]
+    fn multiple_merges_build_multiple_batches_and_query_latest() {
+        let mut s = MrbgStore::create(tmpdir("multi"), StoreConfig::default()).unwrap();
+        let all: Vec<Chunk> = (0..20)
+            .map(|i| chunk(&format!("k{i:02}"), &[(1, "v0")]))
+            .collect();
+        s.append_batch(all).unwrap();
+        // Three merge rounds touching alternating halves.
+        for round in 1..=3u32 {
+            let deltas: Vec<DeltaChunk> = (0..20)
+                .filter(|i| i % 2 == (round % 2) as usize)
+                .map(|i| DeltaChunk {
+                    key: format!("k{i:02}").into_bytes(),
+                    entries: vec![
+                        DeltaEntry::Delete(MapKey(1)),
+                        DeltaEntry::Insert(MapKey(1), format!("v{round}").into_bytes()),
+                    ],
+                })
+                .collect();
+            s.merge_apply(deltas).unwrap();
+        }
+        assert_eq!(s.n_batches(), 4);
+        // Evens last updated in round 2, odds in round 3.
+        assert_eq!(s.get(b"k04").unwrap().unwrap().entries[0].value, b"v2");
+        assert_eq!(s.get(b"k05").unwrap().unwrap().entries[0].value, b"v3");
+        assert_eq!(s.len(), 20);
+    }
+}

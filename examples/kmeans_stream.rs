@@ -1,0 +1,73 @@
+//! Re-clustering a stream of arriving points with warm-started Kmeans.
+//!
+//! Kmeans has an all-to-one dependency (every point depends on the whole
+//! centroid set), so any input change invalidates all intermediate state:
+//! i2MapReduce detects P∆ = 100 % and runs with MRBGraph maintenance off,
+//! but still wins by starting from the previous converged centroids
+//! (paper §5.2, §8.2).
+//!
+//! ```bash
+//! cargo run --release --example kmeans_stream
+//! ```
+
+use i2mapreduce::algos::kmeans;
+use i2mapreduce::datagen::delta::{points_delta, DeltaSpec};
+use i2mapreduce::datagen::points::PointsGen;
+use i2mapreduce::prelude::*;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let cfg = JobConfig::symmetric(4);
+    let pool = WorkerPool::new(4);
+    let gen = PointsGen::new(5_000, 6, 8, 1234);
+    let mut points = gen.all();
+    let init = gen.initial_centroids(8);
+
+    // Initial clustering (cold start).
+    let (converged, cold) = kmeans::itermr(&pool, &cfg, &points, init, 100, 1e-8)?;
+    println!(
+        "initial clustering: {} iterations over {} points",
+        cold.iterations,
+        points.len()
+    );
+    let mut centroids = converged.state;
+
+    // Three batches of updates arrive; each refresh warm-starts from the
+    // previous centroids.
+    for batch in 1..=3u64 {
+        let delta = points_delta(
+            &points,
+            DeltaSpec {
+                change_fraction: 0.08,
+                insert_fraction: 0.02,
+                seed: 1000 + batch,
+                ..Default::default()
+            },
+        );
+        let (refreshed, warm) = kmeans::i2mr_incremental(
+            &pool,
+            &cfg,
+            &points,
+            centroids.clone(),
+            &delta,
+            100,
+            1e-8,
+        )?;
+        points = delta.apply_to(&points);
+        println!(
+            "batch {batch}: {} changed records → {} warm iterations ({:.1} ms, cold start took {})",
+            delta.len(),
+            warm.iterations,
+            warm.wall.as_secs_f64() * 1e3,
+            cold.iterations
+        );
+        centroids = refreshed;
+    }
+
+    println!("\nfinal centroids:");
+    for (cid, c) in &centroids {
+        let coords: Vec<String> = c.iter().take(3).map(|x| format!("{x:.2}")).collect();
+        println!("  c{cid}: [{}, …]", coords.join(", "));
+    }
+    println!("stream re-clustering complete ✔");
+    Ok(())
+}

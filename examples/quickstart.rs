@@ -1,0 +1,59 @@
+//! Quickstart: incremental WordCount with the accumulator-Reduce fast path.
+//!
+//! The smallest end-to-end i2MapReduce program: count words over a corpus,
+//! then refresh the counts when new documents arrive — without touching the
+//! old documents again.
+//!
+//! ```bash
+//! cargo run --release --example quickstart
+//! ```
+
+use i2mapreduce::prelude::*;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // A word-count mapper; the reduce side is the accumulator `+`.
+    let mapper = |_doc: &u64, text: &String, out: &mut Emitter<String, u64>| {
+        for word in text.split_whitespace() {
+            out.emit(word.to_lowercase(), 1);
+        }
+    };
+    let sum = |a: &u64, b: &u64| a + b;
+
+    let mut engine: AccumulatorEngine<u64, String, String, u64> =
+        AccumulatorEngine::create(JobConfig::symmetric(4))?;
+    let pool = WorkerPool::new(4);
+
+    // ----- initial job A over the base corpus -----
+    let corpus: Vec<(u64, String)> = vec![
+        (0, "the quick brown fox".into()),
+        (1, "the lazy dog".into()),
+        (2, "the fox jumps over the dog".into()),
+    ];
+    let metrics = engine.initial(&pool, &corpus, &mapper, &HashPartitioner, &sum)?;
+    println!("initial run: {} map invocations", metrics.map_invocations);
+    println!("counts: {:?}\n", engine.output());
+
+    // ----- job A': two new documents arrive -----
+    // Delta input marks them '+' (insertion-only: the accumulator property
+    // `f(D ∪ ΔD) = f(D) ⊕ f(ΔD)` applies, paper §3.5).
+    let mut delta = Delta::new();
+    delta.insert(3, "a quick brown dog".to_string());
+    delta.insert(4, "the end".to_string());
+
+    let metrics = engine.incremental(&pool, &delta, &mapper, &HashPartitioner, &sum)?;
+    println!(
+        "incremental run: {} map invocations (only the delta!)",
+        metrics.map_invocations
+    );
+
+    let counts = engine.output();
+    println!("refreshed counts: {counts:?}");
+
+    // The refreshed output equals a full re-computation.
+    let the = counts.iter().find(|(w, _)| w == "the").unwrap().1;
+    assert_eq!(the, 5);
+    let dog = counts.iter().find(|(w, _)| w == "dog").unwrap().1;
+    assert_eq!(dog, 3);
+    println!("\nrefresh verified against full recomputation ✔");
+    Ok(())
+}

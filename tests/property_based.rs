@@ -1,0 +1,312 @@
+//! Property-based tests (proptest) on the core invariants.
+//!
+//! * **Store model-checking**: an `MrbgStore` driven by arbitrary
+//!   insert/delete/update/compact sequences behaves exactly like an
+//!   in-memory `HashMap<key, BTreeMap<mk, value>>` model.
+//! * **Incremental ≡ recompute**: for arbitrary datasets and arbitrary
+//!   valid deltas, the one-step incremental engine's refreshed output
+//!   equals a from-scratch re-computation.
+//! * **Codec round-trips** for composite kv types.
+//! * **Partitioning co-location**: arbitrary structure keys always land in
+//!   their projected state key's partition.
+
+use i2mapreduce::common::codec::{decode_exact, encode_to};
+use i2mapreduce::common::hash::MapKey;
+use i2mapreduce::prelude::*;
+use i2mapreduce::store::{Chunk, ChunkEntry, MrbgStore};
+use proptest::prelude::*;
+use std::collections::{BTreeMap, HashMap};
+
+fn scratch(tag: &str) -> std::path::PathBuf {
+    let d = std::env::temp_dir().join(format!(
+        "i2mr-prop-{tag}-{}-{:?}",
+        std::process::id(),
+        std::thread::current().id()
+    ));
+    let _ = std::fs::remove_dir_all(&d);
+    d
+}
+
+// ---------------------------------------------------------------------------
+// Store model checking
+// ---------------------------------------------------------------------------
+
+#[derive(Clone, Debug)]
+enum StoreOp {
+    /// Merge a batch of per-key edge changes.
+    Merge(Vec<(u8, Vec<(u8, Option<u8>)>)>),
+    /// Offline compaction.
+    Compact,
+}
+
+fn store_op() -> impl Strategy<Value = StoreOp> {
+    prop_oneof![
+        4 => proptest::collection::vec(
+            (
+                0u8..12,
+                proptest::collection::vec((0u8..6, proptest::option::of(any::<u8>())), 1..4),
+            ),
+            1..6,
+        )
+        .prop_map(StoreOp::Merge),
+        1 => Just(StoreOp::Compact),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn store_matches_reference_model(ops in proptest::collection::vec(store_op(), 1..12), tag in 0u64..u64::MAX) {
+        let mut store = MrbgStore::create(scratch(&format!("model-{tag}")), StoreConfig::default()).unwrap();
+        let mut model: HashMap<Vec<u8>, BTreeMap<u128, Vec<u8>>> = HashMap::new();
+
+        for op in ops {
+            match op {
+                StoreOp::Merge(groups) => {
+                    // Collapse duplicate keys within one merge batch (the
+                    // engine's shuffle grouping guarantees distinct keys).
+                    let mut by_key: BTreeMap<Vec<u8>, Vec<(u8, Option<u8>)>> = BTreeMap::new();
+                    for (k, entries) in groups {
+                        by_key.entry(vec![k]).or_default().extend(entries);
+                    }
+                    let deltas: Vec<i2mapreduce::store::DeltaChunk> = by_key
+                        .iter()
+                        .map(|(key, entries)| i2mapreduce::store::DeltaChunk {
+                            key: key.clone(),
+                            entries: entries
+                                .iter()
+                                .map(|(mk, v)| match v {
+                                    Some(b) => i2mapreduce::store::DeltaEntry::Insert(
+                                        MapKey(*mk as u128),
+                                        vec![*b],
+                                    ),
+                                    None => i2mapreduce::store::DeltaEntry::Delete(MapKey(*mk as u128)),
+                                })
+                                .collect(),
+                        })
+                        .collect();
+                    store.merge_apply(deltas).unwrap();
+
+                    // Apply the same semantics to the model: deletes first,
+                    // then upserts, per key.
+                    for (key, entries) in by_key {
+                        let slot = model.entry(key.clone()).or_default();
+                        for (mk, v) in &entries {
+                            if v.is_none() {
+                                slot.remove(&(*mk as u128));
+                            }
+                        }
+                        for (mk, v) in &entries {
+                            if let Some(b) = v {
+                                slot.insert(*mk as u128, vec![*b]);
+                            }
+                        }
+                        if model.get(&key).is_some_and(BTreeMap::is_empty) {
+                            model.remove(&key);
+                        }
+                    }
+                }
+                StoreOp::Compact => {
+                    store.compact().unwrap();
+                }
+            }
+
+            // Invariant: live key set and every chunk's contents match.
+            prop_assert_eq!(store.len(), model.len());
+            for (key, want) in &model {
+                let chunk = store.get(key).unwrap().expect("model key missing in store");
+                let got: BTreeMap<u128, Vec<u8>> = chunk
+                    .entries
+                    .iter()
+                    .map(|e| (e.mk.0, e.value.clone()))
+                    .collect();
+                prop_assert_eq!(&got, want);
+            }
+        }
+    }
+
+    #[test]
+    fn chunk_codec_roundtrips(key in proptest::collection::vec(any::<u8>(), 0..24),
+                              entries in proptest::collection::vec((any::<u128>(), proptest::collection::vec(any::<u8>(), 0..16)), 0..8)) {
+        let chunk = Chunk::new(
+            key,
+            entries
+                .into_iter()
+                .map(|(mk, value)| ChunkEntry { mk: MapKey(mk), value })
+                .collect(),
+        );
+        let mut buf = Vec::new();
+        chunk.encode(&mut buf);
+        prop_assert_eq!(buf.len(), chunk.encoded_len());
+        let mut cur = buf.as_slice();
+        let decoded = Chunk::decode(&mut cur).unwrap();
+        prop_assert!(cur.is_empty());
+        prop_assert_eq!(decoded, chunk);
+    }
+
+    #[test]
+    fn composite_codec_roundtrips(pairs in proptest::collection::vec((any::<u64>(), any::<f64>(), ".{0,12}"), 0..16)) {
+        let value: Vec<(u64, f64, String)> = pairs;
+        let encoded = encode_to(&value);
+        let decoded: Vec<(u64, f64, String)> = decode_exact(&encoded).unwrap();
+        prop_assert_eq!(decoded.len(), value.len());
+        for ((a1, b1, c1), (a2, b2, c2)) in decoded.iter().zip(&value) {
+            prop_assert_eq!(a1, a2);
+            prop_assert!((b1 == b2) || (b1.is_nan() && b2.is_nan()));
+            prop_assert_eq!(c1, c2);
+        }
+    }
+
+    #[test]
+    fn projected_partitioning_co_locates(sks in proptest::collection::vec((any::<u64>(), any::<u64>()), 1..64), n in 1usize..9) {
+        // Structure keys (i, j) projecting to j must land where state key j
+        // lands, for any partition count.
+        use i2mapreduce::mapred::Partitioner;
+        for (i, j) in sks {
+            let state_partition = Partitioner::partition(&HashPartitioner, &j, n);
+            let proj = encode_to(&j);
+            let structure_partition =
+                i2mapreduce::mapred::HashPartitioner::partition_bytes(&proj, n);
+            prop_assert_eq!(state_partition, structure_partition, "({}, {})", i, j);
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Incremental ≡ recompute, property-based
+// ---------------------------------------------------------------------------
+
+/// Arbitrary dataset: records (key, set of (dst, weight)) — the in-edge-sum
+/// application of paper Fig. 3.
+fn dataset() -> impl Strategy<Value = Vec<(u64, String)>> {
+    // Destinations are map keys: a record never lists the same destination
+    // twice ((K2, MK) identifies an MRBGraph edge, so a map instance emits
+    // one value per key — paper §3.2).
+    proptest::collection::vec(
+        proptest::collection::btree_map(0u64..30, 1u32..100, 0..4),
+        1..40,
+    )
+    .prop_map(|records| {
+        records
+            .into_iter()
+            .enumerate()
+            .map(|(i, edges)| {
+                let adj: Vec<String> = edges
+                    .into_iter()
+                    .map(|(dst, w)| format!("{dst}:{}", w as f64 / 10.0))
+                    .collect();
+                (i as u64, adj.join(";"))
+            })
+            .collect()
+    })
+}
+
+fn edge_mapper(_src: &u64, adj: &String, out: &mut Emitter<u64, f64>) {
+    for part in adj.split(';').filter(|s| !s.is_empty()) {
+        let (dst, w) = part.split_once(':').unwrap();
+        out.emit(dst.parse().unwrap(), w.parse().unwrap());
+    }
+}
+
+fn sum_reducer(k: &u64, vs: &[f64], out: &mut Emitter<u64, f64>) {
+    out.emit(*k, vs.iter().sum());
+}
+
+fn oracle(input: &[(u64, String)]) -> Vec<(u64, f64)> {
+    let mut sums: BTreeMap<u64, f64> = BTreeMap::new();
+    let mut e = Emitter::new();
+    for (k, v) in input {
+        edge_mapper(k, v, &mut e);
+    }
+    for (dst, w) in e.into_pairs() {
+        *sums.entry(dst).or_insert(0.0) += w;
+    }
+    sums.into_iter().collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn onestep_incremental_equals_recompute(
+        base in dataset(),
+        choices in proptest::collection::vec((0u64..40, 0u8..3, proptest::collection::btree_map(0u64..30, 1u32..100, 0..3)), 0..8),
+        tag in 0u64..u64::MAX,
+    ) {
+        let mut engine: OneStepEngine<u64, String, u64, f64, u64, f64> = OneStepEngine::create(
+            scratch(&format!("prop-eq-{tag}")),
+            JobConfig::symmetric(2),
+            StoreConfig::default(),
+        )
+        .unwrap();
+        let pool = WorkerPool::new(2);
+        engine
+            .initial(&pool, &base, &edge_mapper, &HashPartitioner, &sum_reducer)
+            .unwrap();
+
+        // Build a *valid* delta from arbitrary choices: a delta is a set
+        // difference, so deletes/updates may only reference records that
+        // existed before the delta (a record inserted by this delta cannot
+        // also be deleted by it), and each pre-existing record is touched
+        // at most once.
+        let mut live: BTreeMap<u64, String> = base.iter().cloned().collect();
+        let mut untouched: BTreeMap<u64, String> = live.clone();
+        let mut delta: Delta<u64, String> = Delta::new();
+        let mut next_fresh = 1000u64;
+        for (pick, op, edges) in choices {
+            let adj: Vec<String> = edges
+                .into_iter()
+                .map(|(dst, w)| format!("{dst}:{}", w as f64 / 10.0))
+                .collect();
+            let adj = adj.join(";");
+            match op {
+                0 => {
+                    // insert fresh record
+                    delta.insert(next_fresh, adj.clone());
+                    live.insert(next_fresh, adj);
+                    next_fresh += 1;
+                }
+                1 => {
+                    // delete a pre-existing, untouched record (if any)
+                    if untouched.is_empty() {
+                        continue;
+                    }
+                    let &k = untouched
+                        .keys()
+                        .nth(pick as usize % untouched.len())
+                        .unwrap();
+                    let old = untouched.remove(&k).unwrap();
+                    live.remove(&k);
+                    delta.delete(k, old);
+                }
+                _ => {
+                    // update a pre-existing, untouched record (if any)
+                    if untouched.is_empty() {
+                        continue;
+                    }
+                    let &k = untouched
+                        .keys()
+                        .nth(pick as usize % untouched.len())
+                        .unwrap();
+                    let old = untouched.remove(&k).unwrap();
+                    live.insert(k, adj.clone());
+                    delta.update(k, old, adj);
+                }
+            }
+        }
+
+        engine
+            .incremental(&pool, &delta, &edge_mapper, &HashPartitioner, &sum_reducer)
+            .unwrap();
+
+        let updated: Vec<(u64, String)> = live.into_iter().collect();
+        let want = oracle(&updated);
+        let got = engine.output();
+        prop_assert_eq!(got.len(), want.len(), "key sets differ");
+        for ((ka, va), (kb, vb)) in got.iter().zip(&want) {
+            prop_assert_eq!(ka, kb);
+            prop_assert!((va - vb).abs() < 1e-9, "key {}: {} vs {}", ka, va, vb);
+        }
+    }
+}

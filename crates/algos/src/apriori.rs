@@ -142,7 +142,12 @@ impl AprioriEngine {
             &HashPartitioner,
             &|a: &u64, b: &u64| a + b,
         )?;
-        Ok(EngineRun::new("i2MR initial", metrics, started.elapsed(), 0))
+        Ok(EngineRun::new(
+            "i2MR initial",
+            metrics,
+            started.elapsed(),
+            0,
+        ))
     }
 
     /// Incremental refresh over the newly arrived tweets (insertion-only).
@@ -266,8 +271,7 @@ mod tests {
     fn deletion_delta_is_rejected_by_accumulator_path() {
         let corpus = vec![(0u64, "a b".to_string())];
         let candidates = Candidates::generate(&corpus, 2);
-        let mut engine =
-            AprioriEngine::new(JobConfig::symmetric(2), candidates).unwrap();
+        let mut engine = AprioriEngine::new(JobConfig::symmetric(2), candidates).unwrap();
         let pool = WorkerPool::new(2);
         engine.initial(&pool, &corpus).unwrap();
         let mut delta = Delta::new();

@@ -175,8 +175,8 @@ pub fn plainmr(
 
     // Job 1: join vector blocks onto matrix blocks keyed by (i, j).
     let rows1 = Arc::clone(&rows_of_col);
-    let join_map = move |k: &(u64, u64), msg: &GimvMsg, out: &mut Emitter<(u64, u64), GimvMsg>| {
-        match msg {
+    let join_map =
+        move |k: &(u64, u64), msg: &GimvMsg, out: &mut Emitter<(u64, u64), GimvMsg>| match msg {
             GimvMsg::Block(_) => out.emit(*k, msg.clone()),
             GimvMsg::Vector(v) => {
                 let j = k.0;
@@ -186,8 +186,7 @@ pub fn plainmr(
                     }
                 }
             }
-        }
-    };
+        };
     let spec1 = *spec;
     let join_red = move |k: &(u64, u64), vs: &[GimvMsg], out: &mut Emitter<u64, GimvMsg>| {
         let mut block: Option<&Block> = None;
@@ -247,8 +246,11 @@ pub fn plainmr(
             .collect();
         // Row blocks receiving no products settle at the damping offset;
         // keep the key set equal to the column-block set.
-        let have: HashMap<u64, usize> =
-            next.iter().enumerate().map(|(idx, (i, _))| (*i, idx)).collect();
+        let have: HashMap<u64, usize> = next
+            .iter()
+            .enumerate()
+            .map(|(idx, (i, _))| (*i, idx))
+            .collect();
         let mut complete: Vec<(u64, Vec<f64>)> = vector
             .iter()
             .map(|(j, _)| match have.get(j) {
@@ -315,9 +317,8 @@ pub fn haloop(
     let rows_of_col = Arc::new(rows_of_col);
 
     // Cache-building pass: ship the matrix once into the reduce-side cache.
-    let id_map = |k: &(u64, u64), b: &Block, out: &mut Emitter<(u64, u64), Block>| {
-        out.emit(*k, b.clone())
-    };
+    let id_map =
+        |k: &(u64, u64), b: &Block, out: &mut Emitter<(u64, u64), Block>| out.emit(*k, b.clone());
     let id_red = |k: &(u64, u64), vs: &[Block], out: &mut Emitter<(u64, u64), Block>| {
         out.emit(*k, vs[0].clone())
     };
@@ -595,10 +596,8 @@ mod tests {
             i2mr_datagen::delta::DeltaSpec::ten_percent(13),
         );
         assert!(!delta.is_empty());
-        let (report, _) = i2mr_incremental(
-            &pool, &cfg, &mut data, &stores, &spec, &delta, 400, 1e-10,
-        )
-        .unwrap();
+        let (report, _) =
+            i2mr_incremental(&pool, &cfg, &mut data, &stores, &spec, &delta, 400, 1e-10).unwrap();
         assert!(report.converged);
 
         let updated = delta.apply_to(&blocks);

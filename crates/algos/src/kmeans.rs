@@ -54,7 +54,13 @@ impl SmallStateSpec for Kmeans {
     type K2 = u32;
     type V2 = (Vec<f64>, u64); // (coordinate sums, count)
 
-    fn map(&self, _sk: &u64, p: &Vec<f64>, state: &Centroids, out: &mut Emitter<u32, (Vec<f64>, u64)>) {
+    fn map(
+        &self,
+        _sk: &u64,
+        p: &Vec<f64>,
+        state: &Centroids,
+        out: &mut Emitter<u32, (Vec<f64>, u64)>,
+    ) {
         out.emit(nearest(state, p), (p.clone(), 1));
     }
 
@@ -117,9 +123,10 @@ pub fn plainmr(
                 out.emit(nearest(&current, p), (p.clone(), 1));
             }
         };
-        let reducer = |cid: &u32, vs: &[(Vec<f64>, u64)], out: &mut Emitter<u32, (Vec<f64>, u64)>| {
-            out.emit(*cid, Kmeans.reduce(cid, vs));
-        };
+        let reducer =
+            |cid: &u32, vs: &[(Vec<f64>, u64)], out: &mut Emitter<u32, (Vec<f64>, u64)>| {
+                out.emit(*cid, Kmeans.reduce(cid, vs));
+            };
         let job = MapReduceJob::new(cfg, &mapper, &reducer, &HashPartitioner);
         let run = job.run(pool, points, iterations)?;
         metrics.merge(&run.metrics);
@@ -227,8 +234,7 @@ mod tests {
         let cfg = JobConfig::symmetric(3);
         let pool = WorkerPool::new(3);
 
-        let (plain, plain_run) =
-            plainmr(&pool, &cfg, &points, init.clone(), 50, 1e-9).unwrap();
+        let (plain, plain_run) = plainmr(&pool, &cfg, &points, init.clone(), 50, 1e-9).unwrap();
         let (iter_data, iter_run) = itermr(&pool, &cfg, &points, init, 50, 1e-9).unwrap();
         assert!(centroids_close(&plain, &iter_data.state, 1e-6));
         assert_eq!(iter_run.metrics.jobs_started, 1);
@@ -271,16 +277,8 @@ mod tests {
             &points,
             i2mr_datagen::delta::DeltaSpec::ten_percent(3),
         );
-        let (incr, incr_run) = i2mr_incremental(
-            &pool,
-            &cfg,
-            &points,
-            data.state.clone(),
-            &delta,
-            80,
-            1e-10,
-        )
-        .unwrap();
+        let (incr, incr_run) =
+            i2mr_incremental(&pool, &cfg, &points, data.state.clone(), &delta, 80, 1e-10).unwrap();
 
         // Kmeans is non-convex: warm and cold starts may settle in
         // different (equally valid) local optima, so compare quality, not

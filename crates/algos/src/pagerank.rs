@@ -97,10 +97,8 @@ pub fn plainmr(
     let started = Instant::now();
     let mut metrics = JobMetrics::default();
     // Map input <i, Ni|Ri>.
-    let mut input: Vec<(u64, (Vec<u64>, f64))> = graph
-        .iter()
-        .map(|(i, n)| (*i, (n.clone(), 1.0)))
-        .collect();
+    let mut input: Vec<(u64, (Vec<u64>, f64))> =
+        graph.iter().map(|(i, n)| (*i, (n.clone(), 1.0))).collect();
 
     let mapper = move |i: &u64, rec: &(Vec<u64>, f64), out: &mut Emitter<u64, (Vec<u64>, f64)>| {
         let (links, rank) = rec;
@@ -114,20 +112,19 @@ pub fn plainmr(
             }
         }
     };
-    let reducer = move |j: &u64,
-                        vs: &[(Vec<u64>, f64)],
-                        out: &mut Emitter<u64, (Vec<u64>, f64)>| {
-        let mut links: Vec<u64> = Vec::new();
-        let mut sum = 0.0;
-        for (l, share) in vs {
-            if share.is_nan() {
-                links = l.clone();
-            } else {
-                sum += share;
+    let reducer =
+        move |j: &u64, vs: &[(Vec<u64>, f64)], out: &mut Emitter<u64, (Vec<u64>, f64)>| {
+            let mut links: Vec<u64> = Vec::new();
+            let mut sum = 0.0;
+            for (l, share) in vs {
+                if share.is_nan() {
+                    links = l.clone();
+                } else {
+                    sum += share;
+                }
             }
-        }
-        out.emit(*j, (links, (1.0 - damping) + damping * sum));
-    };
+            out.emit(*j, (links, (1.0 - damping) + damping * sum));
+        };
 
     let mut iterations = 0;
     for _ in 0..max_iterations {
@@ -177,14 +174,14 @@ pub fn haloop(
     // Phase 1").
     let identity_map =
         |i: &u64, links: &Vec<u64>, out: &mut Emitter<u64, Vec<u64>>| out.emit(*i, links.clone());
-    let identity_red = |i: &u64, vs: &[Vec<u64>], out: &mut Emitter<u64, Vec<u64>>| {
-        out.emit(*i, vs[0].clone())
-    };
+    let identity_red =
+        |i: &u64, vs: &[Vec<u64>], out: &mut Emitter<u64, Vec<u64>>| out.emit(*i, vs[0].clone());
     let cache_job = MapReduceJob::new(cfg, &identity_map, &identity_red, &HashPartitioner);
     let structure: Vec<(u64, Vec<u64>)> = graph.to_vec();
     let cache_run = cache_job.run(pool, &structure, 0)?;
     metrics.merge(&cache_run.metrics);
-    let cache: Arc<HashMap<u64, Vec<u64>>> = Arc::new(cache_run.flat_output().into_iter().collect());
+    let cache: Arc<HashMap<u64, Vec<u64>>> =
+        Arc::new(cache_run.flat_output().into_iter().collect());
 
     let mut ranks: Vec<(u64, f64)> = graph.iter().map(|(i, _)| (*i, 1.0)).collect();
     let all_vertices: Vec<u64> = ranks.iter().map(|(k, _)| *k).collect();
@@ -367,14 +364,16 @@ pub fn memflow(
     let links = i2mr_memflow::Dataset::from_vec(ctx, n_partitions, graph.to_vec())?;
     let mut ranks = links.map_values(|_, _| 1.0f64)?;
     for _ in 0..iterations {
-        let contribs = links.join(&ranks)?.flat_map(n_partitions, |_, (outs, rank)| {
-            if outs.is_empty() {
-                Vec::new()
-            } else {
-                let share = rank / outs.len() as f64;
-                outs.iter().map(|&o| (o, share)).collect()
-            }
-        })?;
+        let contribs = links
+            .join(&ranks)?
+            .flat_map(n_partitions, |_, (outs, rank)| {
+                if outs.is_empty() {
+                    Vec::new()
+                } else {
+                    let share = rank / outs.len() as f64;
+                    outs.iter().map(|&o| (o, share)).collect()
+                }
+            })?;
         ranks = contribs
             .reduce_by_key(|a, b| a + b)?
             .map_values(|_, sum| (1.0 - damping) + damping * sum)?;

@@ -19,7 +19,12 @@ pub struct EngineRun {
 
 impl EngineRun {
     /// Assemble a report.
-    pub fn new(name: impl Into<String>, metrics: JobMetrics, wall: Duration, iterations: u64) -> Self {
+    pub fn new(
+        name: impl Into<String>,
+        metrics: JobMetrics,
+        wall: Duration,
+        iterations: u64,
+    ) -> Self {
         EngineRun {
             name: name.into(),
             metrics,
@@ -45,9 +50,11 @@ mod tests {
 
     #[test]
     fn modeled_adds_startup_and_shuffle() {
-        let mut m = JobMetrics::default();
-        m.jobs_started = 10;
-        m.shuffled_bytes = 64 * 1024 * 1024;
+        let m = JobMetrics {
+            jobs_started: 10,
+            shuffled_bytes: 64 * 1024 * 1024,
+            ..Default::default()
+        };
         let run = EngineRun::new("x", m, Duration::from_millis(100), 5);
         let model = ClusterCostModel {
             job_startup: Duration::from_millis(10),

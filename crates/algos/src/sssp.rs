@@ -247,7 +247,11 @@ pub fn haloop(
                     .binary_search_by(|(k, _)| k.cmp(v))
                     .map(|idx| dists[idx].1)
                     .unwrap_or(f64::INFINITY);
-                let d = if *v == source { 0.0 } else { relaxed_d.min(prev) };
+                let d = if *v == source {
+                    0.0
+                } else {
+                    relaxed_d.min(prev)
+                };
                 (*v, d)
             })
             .collect();
@@ -403,10 +407,8 @@ mod tests {
     fn dijkstra(graph: &[(u64, Vec<(u64, f64)>)], source: u64) -> Vec<(u64, f64)> {
         use std::cmp::Reverse;
         use std::collections::{BinaryHeap, HashMap};
-        let adj: HashMap<u64, &Vec<(u64, f64)>> =
-            graph.iter().map(|(k, v)| (*k, v)).collect();
-        let mut dist: HashMap<u64, f64> =
-            graph.iter().map(|(k, _)| (*k, f64::INFINITY)).collect();
+        let adj: HashMap<u64, &Vec<(u64, f64)>> = graph.iter().map(|(k, v)| (*k, v)).collect();
+        let mut dist: HashMap<u64, f64> = graph.iter().map(|(k, _)| (*k, f64::INFINITY)).collect();
         dist.insert(source, 0.0);
         let mut heap: BinaryHeap<(Reverse<u64>, u64)> = BinaryHeap::new();
         // Distances scaled to integers for the heap ordering (weights > 0).
@@ -481,8 +483,7 @@ mod tests {
         let g = GraphGen::new(120, 800, 23).weighted();
         let cfg = JobConfig::symmetric(3);
         let pool = WorkerPool::new(3);
-        let (mut data, stores, _) =
-            i2mr_initial(&pool, &cfg, &g, 0, &tmp("exact"), 300).unwrap();
+        let (mut data, stores, _) = i2mr_initial(&pool, &cfg, &g, 0, &tmp("exact"), 300).unwrap();
         assert_dists_equal(&data.state_snapshot(), &dijkstra(&g, 0));
 
         // Improvement-only delta (weight decreases / edge insertions).

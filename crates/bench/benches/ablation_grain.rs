@@ -9,6 +9,7 @@
 //! 3. **Accumulator fast path**: accumulator Reduce vs the general
 //!    MRBG-Store path on the same aggregation workload.
 
+use i2mr_algos::pagerank::PageRank;
 use i2mr_bench::{banner, scratch, sized};
 use i2mr_core::accumulator::AccumulatorEngine;
 use i2mr_core::delta::Delta;
@@ -16,7 +17,6 @@ use i2mr_core::iter_engine::{build_partitioned, PartitionedIterEngine};
 use i2mr_core::iterative::{IterParams, PreserveMode};
 use i2mr_core::onestep::OneStepEngine;
 use i2mr_core::tasklevel::TaskLevelEngine;
-use i2mr_algos::pagerank::PageRank;
 use i2mr_datagen::graph::GraphGen;
 use i2mr_datagen::text::TweetGen;
 use i2mr_mapred::partition::HashPartitioner;
@@ -162,7 +162,10 @@ fn main() {
             engine.run(&pool, &mut data, Some(&stores)).unwrap();
             let wall = t.elapsed();
             let file_bytes: u64 = stores.iter().map(|s| s.lock().file_len()).sum();
-            let written: u64 = stores.iter().map(|s| s.lock().io_stats().bytes_written).sum();
+            let written: u64 = stores
+                .iter()
+                .map(|s| s.lock().io_stats().bytes_written)
+                .sum();
             results.push((label, wall, file_bytes, written));
         }
         println!("\n -- preservation policy ablation (initial PageRank run) --");
@@ -195,11 +198,23 @@ fn main() {
         let mut general: OneStepEngine<u64, String, String, u64, String, u64> =
             OneStepEngine::create(scratch("abl-gen"), cfg.clone(), Default::default()).unwrap();
         general
-            .initial(&pool, &corpus, &wc_mapper_distinct, &HashPartitioner, &wc_reducer)
+            .initial(
+                &pool,
+                &corpus,
+                &wc_mapper_distinct,
+                &HashPartitioner,
+                &wc_reducer,
+            )
             .unwrap();
         let t = Instant::now();
         general
-            .incremental(&pool, &delta, &wc_mapper_distinct, &HashPartitioner, &wc_reducer)
+            .incremental(
+                &pool,
+                &delta,
+                &wc_mapper_distinct,
+                &HashPartitioner,
+                &wc_reducer,
+            )
             .unwrap();
         let t_general = t.elapsed();
         let general_store_bytes = general.store_file_bytes();
@@ -216,10 +231,7 @@ fn main() {
         let t_acc = t.elapsed();
 
         // Same refreshed answer.
-        let mut a: Vec<(String, u64)> = general
-            .output()
-            .into_iter()
-            .collect();
+        let mut a: Vec<(String, u64)> = general.output().into_iter().collect();
         a.sort();
         let mut b = acc.output();
         b.sort();

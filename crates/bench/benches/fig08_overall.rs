@@ -19,7 +19,9 @@ use i2mr_algos::{gimv, kmeans, pagerank, sssp};
 use i2mr_bench::{banner, check_shape, default_model, print_engine_table, scratch, sized};
 use i2mr_core::incr_iter::IncrParams;
 use i2mr_core::iterative::PreserveMode;
-use i2mr_datagen::delta::{graph_delta, matrix_delta, points_delta, weighted_graph_delta, DeltaSpec};
+use i2mr_datagen::delta::{
+    graph_delta, matrix_delta, points_delta, weighted_graph_delta, DeltaSpec,
+};
 use i2mr_datagen::graph::GraphGen;
 use i2mr_datagen::matrix::MatrixGen;
 use i2mr_datagen::points::PointsGen;
@@ -46,7 +48,14 @@ fn main() {
         let spec = pagerank::PageRank::default();
         let dir = scratch("fig8-pr");
         let (mut data, stores, _) = pagerank::i2mr_initial(
-            &pool, &cfg, &graph, &spec, &dir, 60, 1e-9, PreserveMode::FinalOnly,
+            &pool,
+            &cfg,
+            &graph,
+            &spec,
+            &dir,
+            60,
+            1e-9,
+            PreserveMode::FinalOnly,
         )
         .expect("initial");
         let mut data_cpc = data.clone();
@@ -75,7 +84,14 @@ fn main() {
         // Re-prepare preserved state for the CPC run (same initial stores).
         let dir2 = scratch("fig8-pr-cpc");
         let (_, stores2, _) = pagerank::i2mr_initial(
-            &pool, &cfg, &graph, &spec, &dir2, 60, 1e-9, PreserveMode::FinalOnly,
+            &pool,
+            &cfg,
+            &graph,
+            &spec,
+            &dir2,
+            60,
+            1e-9,
+            PreserveMode::FinalOnly,
         )
         .unwrap();
         let (_, cpc) = pagerank::i2mr_incremental(
@@ -158,22 +174,14 @@ fn main() {
         let delta = points_delta(&points, DeltaSpec::ten_percent(0x33));
         let updated = delta.apply_to(&points);
 
-        let (_, plain) =
-            kmeans::plainmr(&pool, &cfg, &updated, init.clone(), 30, 1e-8).unwrap();
+        let (_, plain) = kmeans::plainmr(&pool, &cfg, &updated, init.clone(), 30, 1e-8).unwrap();
         let (_, haloop) = kmeans::haloop(&pool, &cfg, &updated, init.clone(), 30, 1e-8).unwrap();
         let (_, iter) = kmeans::itermr(&pool, &cfg, &updated, init, 30, 1e-8)
             .map(|(d, r)| (d.state, r))
             .unwrap();
-        let (_, incr) = kmeans::i2mr_incremental(
-            &pool,
-            &cfg,
-            &points,
-            converged.state,
-            &delta,
-            30,
-            1e-8,
-        )
-        .unwrap();
+        let (_, incr) =
+            kmeans::i2mr_incremental(&pool, &cfg, &points, converged.state, &delta, 30, 1e-8)
+                .unwrap();
 
         println!("\n -- Kmeans -- (i2MR turns MRBGraph off: P-delta = 100%)");
         let rows = vec![plain, haloop, iter, incr];
@@ -205,7 +213,15 @@ fn main() {
         let (_, haloop) = gimv::haloop(&pool, &cfg, &updated, &spec, ITERS, 0.0).unwrap();
         let (_, iter) = gimv::itermr(&pool, &cfg, &updated, &spec, ITERS, 0.0).unwrap();
         let (_, incr) = gimv::i2mr_incremental_cpc(
-            &pool, &cfg, &mut data, &stores, &spec, &delta, ITERS, 1e-4, Some(1e-3),
+            &pool,
+            &cfg,
+            &mut data,
+            &stores,
+            &spec,
+            &delta,
+            ITERS,
+            1e-4,
+            Some(1e-3),
         )
         .unwrap();
 

@@ -130,8 +130,10 @@ fn main() {
             }
             out.emit(*j, (sv, 0.15 + 0.85 * sum));
         };
-        let mut input: Vec<(u64, Rec)> =
-            padded.iter().map(|(i, sv)| (*i, (sv.clone(), 1.0))).collect();
+        let mut input: Vec<(u64, Rec)> = padded
+            .iter()
+            .map(|(i, sv)| (*i, (sv.clone(), 1.0)))
+            .collect();
         for it in 0..iters {
             let job = MapReduceJob::new(&cfg, &mapper, &reducer, &HashPartitioner);
             let run = job.run(&pool, &input, it).expect("plain iteration");
@@ -176,7 +178,9 @@ fn main() {
     )
     .unwrap();
     let mut conv = build_partitioned(&spec, cfg.n_reduce, padded.clone());
-    init_engine.run(&pool, &mut conv, Some(&stores)).expect("initial");
+    init_engine
+        .run(&pool, &mut conv, Some(&stores))
+        .expect("initial");
 
     let delta_plain = graph_delta(&graph, DeltaSpec::ten_percent(0xF9));
     // Convert the unpadded delta into the padded record space.

@@ -42,7 +42,14 @@ fn main() {
     for (label, ft) in thresholds {
         let dir = scratch(&format!("fig10-{ft}"));
         let (mut data, stores, _) = pagerank::i2mr_initial(
-            &pool, &cfg, &graph, &spec, &dir, 300, 1e-11, PreserveMode::FinalOnly,
+            &pool,
+            &cfg,
+            &graph,
+            &spec,
+            &dir,
+            300,
+            1e-11,
+            PreserveMode::FinalOnly,
         )
         .unwrap();
         let (report, run) = pagerank::i2mr_incremental(
@@ -76,7 +83,10 @@ fn main() {
         let mut cum = 0.0;
         for it in &report.iterations {
             cum += it.wall.as_secs_f64() * 1e3;
-            println!("   {:>4}  {:>12.1}  {:>12}", it.iteration, cum, it.changed_keys);
+            println!(
+                "   {:>4}  {:>12.1}  {:>12}",
+                it.iteration, cum, it.changed_keys
+            );
         }
         println!(
             "   total {:.1} ms, mean error {:.4}% (paper: < 0.2%)",
@@ -99,9 +109,15 @@ fn main() {
     }
     for (label, _, err, _) in &summary {
         if *err < 0.005 {
-            println!("   shape: {label} mean error < 0.5% : OK ({:.4}%)", err * 100.0);
+            println!(
+                "   shape: {label} mean error < 0.5% : OK ({:.4}%)",
+                err * 100.0
+            );
         } else {
-            println!("   shape: {label} mean error < 0.5% : MISMATCH ({:.4}%)", err * 100.0);
+            println!(
+                "   shape: {label} mean error < 0.5% : MISMATCH ({:.4}%)",
+                err * 100.0
+            );
             ok = false;
         }
     }

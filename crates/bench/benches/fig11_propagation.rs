@@ -41,7 +41,14 @@ fn main() {
     for (label, ft) in configs {
         let dir = scratch(&format!("fig11-{label}"));
         let (mut data, stores, _) = pagerank::i2mr_initial(
-            &pool, &cfg, &graph, &spec, &dir, 300, 1e-11, PreserveMode::FinalOnly,
+            &pool,
+            &cfg,
+            &graph,
+            &spec,
+            &dir,
+            300,
+            1e-11,
+            PreserveMode::FinalOnly,
         )
         .unwrap();
         let (report, _) = pagerank::i2mr_incremental(
@@ -85,14 +92,27 @@ fn main() {
     let wo = &series[0].1;
     let ft1 = &series[3].1;
     // w/o CPC: propagation grows to a large share of all keys.
-    let peak_wo = wo.iterations.iter().map(|i| i.changed_keys).max().unwrap_or(0);
+    let peak_wo = wo
+        .iterations
+        .iter()
+        .map(|i| i.changed_keys)
+        .max()
+        .unwrap_or(0);
     shape(
         peak_wo as f64 > 0.5 * n as f64,
         "w/o CPC propagation reaches most kv-pairs within a few iterations",
     );
     // FT=1 peaks below w/o CPC.
-    let peak_ft1 = ft1.iterations.iter().map(|i| i.changed_keys).max().unwrap_or(0);
-    shape(peak_ft1 < peak_wo, "CPC (FT=1) peak propagation below w/o CPC");
+    let peak_ft1 = ft1
+        .iterations
+        .iter()
+        .map(|i| i.changed_keys)
+        .max()
+        .unwrap_or(0);
+    shape(
+        peak_ft1 < peak_wo,
+        "CPC (FT=1) peak propagation below w/o CPC",
+    );
     // With CPC, propagation eventually declines from its peak.
     if let Some(peak_idx) = ft1
         .iterations

@@ -41,8 +41,9 @@ fn main() {
         let (_, plain) = pagerank::plainmr(&pool, &cfg, &graph, 0.85, iters, 0.0).unwrap();
         let (_, iter) = pagerank::itermr(&pool, &cfg, &graph, &spec, iters, 0.0).unwrap();
 
-        let ctx = i2mr_memflow::MemFlowCtx::new(budget, scratch(&format!("fig12-{}", preset.name())))
-            .unwrap();
+        let ctx =
+            i2mr_memflow::MemFlowCtx::new(budget, scratch(&format!("fig12-{}", preset.name())))
+                .unwrap();
         let (_, spark) = pagerank::memflow(&ctx, &graph, cfg.n_reduce, 0.85, iters).unwrap();
         let spilled = ctx.metrics().spills;
 

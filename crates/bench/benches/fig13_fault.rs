@@ -10,10 +10,10 @@
 //! 40 ms detection delay. The timeline (start/fail/recover/finish per task
 //! attempt) is printed exactly as the figure's raw data.
 
+use i2mr_algos::pagerank::PageRank;
 use i2mr_bench::{banner, sized};
 use i2mr_core::iter_engine::{build_partitioned, PartitionedIterEngine};
 use i2mr_core::iterative::{IterParams, PreserveMode};
-use i2mr_algos::pagerank::PageRank;
 use i2mr_datagen::graph::GraphGen;
 use i2mr_mapred::fault::{FaultPlan, FaultSpec, TaskEventKind, TaskKind};
 use i2mr_mapred::{JobConfig, WorkerPool};
@@ -137,9 +137,14 @@ fn main() {
     shape(failures.len() == 3, "exactly 3 injected failures fired");
     shape(recoveries.len() == 3, "every failure has a recovery");
     shape(
-        recoveries.iter().all(|(_, l)| *l >= detection && *l < detection * 20),
+        recoveries
+            .iter()
+            .all(|(_, l)| *l >= detection && *l < detection * 20),
         "recovery latency = detection delay + relaunch (bounded)",
     );
-    shape(max_diff < 1e-12, "failures do not change the computed result");
+    shape(
+        max_diff < 1e-12,
+        "failures do not change the computed result",
+    );
     assert!(ok, "Fig. 13 shape checks failed");
 }

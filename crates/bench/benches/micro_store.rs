@@ -43,7 +43,8 @@ fn build_store(tag: &str, n: u64) -> MrbgStore {
     let dir = std::env::temp_dir().join(format!("i2mr-micro-store-{tag}-{}", std::process::id()));
     let _ = std::fs::remove_dir_all(&dir);
     let mut s = MrbgStore::create(dir, StoreConfig::default()).unwrap();
-    s.append_batch((0..n).map(|k| chunk(k, 8)).collect()).unwrap();
+    s.append_batch((0..n).map(|k| chunk(k, 8)).collect())
+        .unwrap();
     s
 }
 
@@ -64,7 +65,9 @@ fn bench_merge_strategies(c: &mut Criterion) {
         ("index_only", QueryStrategy::IndexOnly),
         (
             "multi_dynamic",
-            QueryStrategy::MultiDynamicWindow { gap_threshold: 4096 },
+            QueryStrategy::MultiDynamicWindow {
+                gap_threshold: 4096,
+            },
         ),
     ] {
         group.bench_with_input(BenchmarkId::from_parameter(name), &strategy, |b, strat| {

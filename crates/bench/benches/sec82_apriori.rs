@@ -46,17 +46,12 @@ fn main() {
     let model = default_model();
     let rows = vec![plain_run.clone(), incr_run.clone()];
     print_engine_table(&rows, &model);
-    let speedup =
-        plain_run.modeled(&model).as_secs_f64() / incr_run.modeled(&model).as_secs_f64();
+    let speedup = plain_run.modeled(&model).as_secs_f64() / incr_run.modeled(&model).as_secs_f64();
     println!("   speedup (modeled): {speedup:.1}x   (paper: 12x)");
     println!(
         "   map invocations: plain {} vs incremental {}",
         plain_run.metrics.map_invocations, incr_run.metrics.map_invocations
     );
-    check_shape(
-        "APriori",
-        &rows,
-        &["PlainMR recomp", "i2MR incremental"],
-    );
+    check_shape("APriori", &rows, &["PlainMR recomp", "i2MR incremental"]);
     assert!(speedup > 2.0, "incremental must win decisively");
 }

@@ -21,10 +21,7 @@ use std::time::Instant;
 /// Build a store with `n_keys` chunks and `batches` merge rounds touching
 /// alternating halves — the multi-batch layout of §5.2.
 fn build(tag: &str, n_keys: u64, batches: u32) -> MrbgStore {
-    let dir = std::env::temp_dir().join(format!(
-        "i2mr-table4-{tag}-{}",
-        std::process::id()
-    ));
+    let dir = std::env::temp_dir().join(format!("i2mr-table4-{tag}-{}", std::process::id()));
     let _ = std::fs::remove_dir_all(&dir);
     let mut store = MrbgStore::create(&dir, StoreConfig::default()).unwrap();
     let initial: Vec<Chunk> = (0..n_keys)
@@ -46,7 +43,10 @@ fn build(tag: &str, n_keys: u64, batches: u32) -> MrbgStore {
             .filter(|k| k % 2 == (round % 2) as u64)
             .map(|k| DeltaChunk {
                 key: key_bytes(k),
-                entries: vec![DeltaEntry::Insert(MapKey(100 + round as u128), vec![1u8; 64])],
+                entries: vec![DeltaEntry::Insert(
+                    MapKey(100 + round as u128),
+                    vec![1u8; 64],
+                )],
             })
             .collect();
         store.merge_apply(deltas).unwrap();
@@ -123,7 +123,7 @@ fn main() {
     }
 
     // Shape checks (paper Table 4).
-    let get = |n: &str| results.iter().find(|r| r.0 == n).unwrap().clone();
+    let get = |n: &str| *results.iter().find(|r| r.0 == n).unwrap();
     let index_only = get("index-only");
     let single = get("single-fix-window");
     let multi_fix = get("multi-fix-window");
@@ -134,10 +134,7 @@ fn main() {
         println!("   shape: {msg} : {}", if cond { "OK" } else { "MISMATCH" });
         ok &= cond;
     };
-    shape(
-        index_only.1 > dynamic.1,
-        "index-only issues the most reads",
-    );
+    shape(index_only.1 > dynamic.1, "index-only issues the most reads");
     shape(
         index_only.2 <= dynamic.2,
         "index-only reads the fewest bytes",

@@ -111,7 +111,7 @@ pub fn scratch(tag: &str) -> std::path::PathBuf {
 /// True when the caller asked for a quick run (`I2MR_BENCH_QUICK=1`),
 /// shrinking workloads ~10× so `cargo bench` stays fast in CI.
 pub fn quick() -> bool {
-    std::env::var("I2MR_BENCH_QUICK").map_or(false, |v| v != "0")
+    std::env::var("I2MR_BENCH_QUICK").is_ok_and(|v| v != "0")
 }
 
 /// Scale a size down in quick mode.

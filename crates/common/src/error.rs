@@ -95,12 +95,15 @@ mod tests {
             attempts: 2,
             reason: "injected".into(),
         };
-        assert_eq!(e.to_string(), "task map-3 failed after 2 attempts: injected");
+        assert_eq!(
+            e.to_string(),
+            "task map-3 failed after 2 attempts: injected"
+        );
     }
 
     #[test]
     fn io_error_converts_and_sources() {
-        let io = std::io::Error::new(std::io::ErrorKind::Other, "disk on fire");
+        let io = std::io::Error::other("disk on fire");
         let e: Error = io.into();
         assert!(matches!(e, Error::Io(_)));
         assert!(std::error::Error::source(&e).is_some());

@@ -68,7 +68,9 @@ where
     /// just the output kv-pairs, which re-computation baselines also hold).
     pub fn create(config: JobConfig) -> Result<Self> {
         config.validate()?;
-        let results = (0..config.n_reduce).map(|_| Mutex::new(HashMap::new())).collect();
+        let results = (0..config.n_reduce)
+            .map(|_| Mutex::new(HashMap::new()))
+            .collect();
         Ok(AccumulatorEngine {
             config,
             results,
@@ -275,10 +277,7 @@ mod tests {
 
     #[test]
     fn wordcount_initial_plus_incremental_equals_full() {
-        let input = vec![
-            (0u64, "a b a c".to_string()),
-            (1, "b c d".to_string()),
-        ];
+        let input = vec![(0u64, "a b a c".to_string()), (1, "b c d".to_string())];
         let mut eng: AccumulatorEngine<u64, String, String, u64> =
             AccumulatorEngine::create(JobConfig::symmetric(2)).unwrap();
         let pool = WorkerPool::new(2);
@@ -302,8 +301,14 @@ mod tests {
         let mut eng: AccumulatorEngine<u64, String, String, u64> =
             AccumulatorEngine::create(JobConfig::symmetric(2)).unwrap();
         let pool = WorkerPool::new(2);
-        eng.initial(&pool, &[(0, "x".into())], &wc_mapper, &HashPartitioner, &sum)
-            .unwrap();
+        eng.initial(
+            &pool,
+            &[(0, "x".into())],
+            &wc_mapper,
+            &HashPartitioner,
+            &sum,
+        )
+        .unwrap();
         let mut delta = Delta::new();
         delta.delete(0, "x".to_string());
         let err = eng
@@ -314,7 +319,9 @@ mod tests {
 
     #[test]
     fn incremental_work_scales_with_delta_not_dataset() {
-        let input: Vec<(u64, String)> = (0..500u64).map(|i| (i, format!("w{} base", i % 40))).collect();
+        let input: Vec<(u64, String)> = (0..500u64)
+            .map(|i| (i, format!("w{} base", i % 40)))
+            .collect();
         let mut eng: AccumulatorEngine<u64, String, String, u64> =
             AccumulatorEngine::create(JobConfig::symmetric(4)).unwrap();
         let pool = WorkerPool::new(4);

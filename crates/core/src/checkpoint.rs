@@ -75,7 +75,9 @@ impl IterCheckpointer {
     pub fn load_state<DK: Codec, DV: Codec>(&self, iteration: u64) -> Result<Vec<Vec<(DK, DV)>>> {
         let mut out = Vec::with_capacity(self.n_partitions);
         for p in 0..self.n_partitions {
-            let bytes = self.store.load(&self.job, iteration, &Self::state_task(p))?;
+            let bytes = self
+                .store
+                .load(&self.job, iteration, &Self::state_task(p))?;
             out.push(decode_exact(&bytes)?);
         }
         Ok(out)
@@ -111,8 +113,8 @@ impl IterCheckpointer {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use i2mr_store::format::{Chunk, ChunkEntry};
     use i2mr_common::hash::MapKey;
+    use i2mr_store::format::{Chunk, ChunkEntry};
 
     fn setup(tag: &str) -> (MiniDfs, std::path::PathBuf) {
         let dir = std::env::temp_dir().join(format!(
@@ -173,7 +175,9 @@ mod tests {
         ck.save_iteration(3, &state, Some(&stores)).unwrap();
         assert_eq!(ck.latest_complete(true), Some(3));
 
-        let restored = ck.load_stores(3, dir.join("rest"), Default::default()).unwrap();
+        let restored = ck
+            .load_stores(3, dir.join("rest"), Default::default())
+            .unwrap();
         let chunk = restored[0].lock().get(b"k").unwrap().unwrap();
         assert_eq!(chunk.entries[0].value, b"v");
     }

@@ -105,10 +105,7 @@ impl<K: KeyData, V: ValueData> Delta<K, V> {
         for r in &self.records {
             match r.op {
                 Op::Delete => {
-                    if let Some(pos) = out
-                        .iter()
-                        .position(|(k, v)| *k == r.key && *v == r.value)
-                    {
+                    if let Some(pos) = out.iter().position(|(k, v)| *k == r.key && *v == r.value) {
                         out.swap_remove(pos);
                     }
                 }

@@ -274,9 +274,7 @@ impl<'s, S: IterativeSpec> IncrIterEngine<'s, S> {
                                 // Deleted vertices / dangling targets have no
                                 // state entry: their chunk was maintained but
                                 // no state update applies.
-                                let Ok(idx) =
-                                    state.binary_search_by(|(k, _)| k.cmp(&dk))
-                                else {
+                                let Ok(idx) = state.binary_search_by(|(k, _)| k.cmp(&dk)) else {
                                     continue;
                                 };
                                 let prev = &state[idx].1;
@@ -505,7 +503,11 @@ impl<'s, S: IterativeSpec> IncrIterEngine<'s, S> {
             invocations += inv;
             outputs.push(buffers);
         }
-        Ok((outputs, (0..n).map(|_| BTreeSet::new()).collect(), invocations))
+        Ok((
+            outputs,
+            (0..n).map(|_| BTreeSet::new()).collect(),
+            invocations,
+        ))
     }
 
     /// Plain iterative processing from the current state (MRBG off).
@@ -515,7 +517,11 @@ impl<'s, S: IterativeSpec> IncrIterEngine<'s, S> {
         data: &mut PartitionedData<S::SK, S::SV, S::DK, S::DV>,
         after_iteration: u64,
     ) -> Result<RunReport> {
-        let remaining = self.params.max_iterations.saturating_sub(after_iteration).max(1);
+        let remaining = self
+            .params
+            .max_iterations
+            .saturating_sub(after_iteration)
+            .max(1);
         let engine = PartitionedIterEngine::new(
             self.spec,
             self.config.clone(),
@@ -557,31 +563,29 @@ pub fn apply_structure_delta<S: IterativeSpec>(
         let groups = &mut data.structure[p];
         let state = &mut data.state[p];
         match rec.op {
-            Op::Insert => {
-                match groups.binary_search_by(|g| g.dk.cmp(&dk)) {
-                    Ok(gi) => {
-                        let records = &mut groups[gi].records;
-                        let pos = records
-                            .binary_search_by(|(sk, _)| sk.cmp(&rec.key))
-                            .unwrap_or_else(|e| e);
-                        records.insert(pos, (rec.key.clone(), rec.value.clone()));
-                    }
-                    Err(gi) => {
-                        groups.insert(
-                            gi,
-                            StructGroup {
-                                dk: dk.clone(),
-                                records: vec![(rec.key.clone(), rec.value.clone())],
-                            },
-                        );
-                        let si = state
-                            .binary_search_by(|(k, _)| k.cmp(&dk))
-                            .unwrap_or_else(|e| e);
-                        state.insert(si, (dk.clone(), spec.init(&dk)));
-                        new_dks[p].insert(encode_to(&dk));
-                    }
+            Op::Insert => match groups.binary_search_by(|g| g.dk.cmp(&dk)) {
+                Ok(gi) => {
+                    let records = &mut groups[gi].records;
+                    let pos = records
+                        .binary_search_by(|(sk, _)| sk.cmp(&rec.key))
+                        .unwrap_or_else(|e| e);
+                    records.insert(pos, (rec.key.clone(), rec.value.clone()));
                 }
-            }
+                Err(gi) => {
+                    groups.insert(
+                        gi,
+                        StructGroup {
+                            dk: dk.clone(),
+                            records: vec![(rec.key.clone(), rec.value.clone())],
+                        },
+                    );
+                    let si = state
+                        .binary_search_by(|(k, _)| k.cmp(&dk))
+                        .unwrap_or_else(|e| e);
+                    state.insert(si, (dk.clone(), spec.init(&dk)));
+                    new_dks[p].insert(encode_to(&dk));
+                }
+            },
             Op::Delete => {
                 if let Ok(gi) = groups.binary_search_by(|g| g.dk.cmp(&dk)) {
                     let records = &mut groups[gi].records;
@@ -664,9 +668,7 @@ mod tests {
         let _ = std::fs::remove_dir_all(&dir);
         (0..N)
             .map(|p| {
-                Mutex::new(
-                    MrbgStore::create(dir.join(p.to_string()), Default::default()).unwrap(),
-                )
+                Mutex::new(MrbgStore::create(dir.join(p.to_string()), Default::default()).unwrap())
             })
             .collect()
     }
@@ -758,7 +760,10 @@ mod tests {
         .unwrap();
         let report = engine.run(&pool, &mut data, &st, &delta, None).unwrap();
         assert!(report.converged);
-        assert!(report.mrbg_turned_off_at.is_none(), "1 change of 40: P∆ small");
+        assert!(
+            report.mrbg_turned_off_at.is_none(),
+            "1 change of 40: P∆ small"
+        );
 
         let mut updated = graph;
         updated[7].1 = new;
@@ -992,7 +997,9 @@ mod tests {
             IterParams::default(),
         )
         .unwrap();
-        let report = engine.run(&pool, &mut data, &st, &delta, Some(&ck)).unwrap();
+        let report = engine
+            .run(&pool, &mut data, &st, &delta, Some(&ck))
+            .unwrap();
         assert!(report.converged);
 
         let latest = ck.latest_complete(true).expect("checkpoints exist");

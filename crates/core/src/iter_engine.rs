@@ -15,9 +15,7 @@
 //! The same engine with [`PreserveMode::None`] is the fair re-computation
 //! baseline; with preservation it is i2MapReduce's job `A_{i-1}`.
 
-use crate::iterative::{
-    IterParams, IterationStats, IterativeSpec, PreserveMode, SmallStateSpec,
-};
+use crate::iterative::{IterParams, IterationStats, IterativeSpec, PreserveMode, SmallStateSpec};
 use i2mr_common::codec::encode_to;
 use i2mr_common::error::Result;
 use i2mr_common::hash::MapKey;
@@ -870,16 +868,14 @@ mod tests {
         let _ = std::fs::remove_dir_all(&dir);
         let stores: Vec<Mutex<MrbgStore>> = (0..2)
             .map(|p| {
-                Mutex::new(
-                    MrbgStore::create(dir.join(p.to_string()), Default::default()).unwrap(),
-                )
+                Mutex::new(MrbgStore::create(dir.join(p.to_string()), Default::default()).unwrap())
             })
             .collect();
         engine.run(&pool, &mut data, Some(&stores)).unwrap();
         for s in &stores {
             let s = s.lock();
             assert_eq!(s.n_batches(), 5, "one batch per iteration");
-            assert!(s.len() > 0);
+            assert!(!s.is_empty());
         }
     }
 
@@ -906,9 +902,7 @@ mod tests {
         let _ = std::fs::remove_dir_all(&dir);
         let stores: Vec<Mutex<MrbgStore>> = (0..2)
             .map(|p| {
-                Mutex::new(
-                    MrbgStore::create(dir.join(p.to_string()), Default::default()).unwrap(),
-                )
+                Mutex::new(MrbgStore::create(dir.join(p.to_string()), Default::default()).unwrap())
             })
             .collect();
         let report = engine.run(&pool, &mut data, Some(&stores)).unwrap();
@@ -943,9 +937,7 @@ mod tests {
         fn map(&self, _sk: &u64, x: &f64, state: &Self::State, out: &mut Emitter<u32, (f64, u64)>) {
             let (cid, _) = state
                 .iter()
-                .min_by(|a, b| {
-                    (a.1 - x).abs().partial_cmp(&(b.1 - x).abs()).unwrap()
-                })
+                .min_by(|a, b| (a.1 - x).abs().partial_cmp(&(b.1 - x).abs()).unwrap())
                 .unwrap();
             out.emit(*cid, (*x, 1));
         }
@@ -997,11 +989,7 @@ mod tests {
         )
         .unwrap();
         let pool = WorkerPool::new(3);
-        let mut data = build_small_state::<TinyKmeans>(
-            3,
-            points,
-            vec![(0, -1.0), (1, 11.0)],
-        );
+        let mut data = build_small_state::<TinyKmeans>(3, points, vec![(0, -1.0), (1, 11.0)]);
         let report = engine.run(&pool, &mut data).unwrap();
         assert!(report.converged);
         let c0 = data.state[0].1;

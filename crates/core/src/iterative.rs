@@ -104,7 +104,13 @@ pub trait SmallStateSpec: Send + Sync {
     type V2: ValueData;
 
     /// The prime Map: sees the full replicated state.
-    fn map(&self, sk: &Self::SK, sv: &Self::SV, state: &Self::State, out: &mut Emitter<Self::K2, Self::V2>);
+    fn map(
+        &self,
+        sk: &Self::SK,
+        sv: &Self::SV,
+        state: &Self::State,
+        out: &mut Emitter<Self::K2, Self::V2>,
+    );
 
     /// The prime Reduce: fold one intermediate group into a partial result.
     fn reduce(&self, k2: &Self::K2, values: &[Self::V2]) -> Self::V2;

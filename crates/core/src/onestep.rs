@@ -55,7 +55,11 @@ where
     V3: ValueData,
 {
     /// Create an engine whose preserved state lives under `dir`.
-    pub fn create(dir: impl AsRef<Path>, config: JobConfig, store_config: StoreConfig) -> Result<Self> {
+    pub fn create(
+        dir: impl AsRef<Path>,
+        config: JobConfig,
+        store_config: StoreConfig,
+    ) -> Result<Self> {
         config.validate()?;
         let dir = dir.as_ref().to_path_buf();
         let mut stores = Vec::with_capacity(config.n_reduce);
@@ -126,7 +130,10 @@ where
         for r in &self.results {
             out.extend(r.lock().snapshot());
         }
-        out.sort_by(|a, b| a.0.cmp(&b.0).then_with(|| encode_to(&a.1).cmp(&encode_to(&b.1))));
+        out.sort_by(|a, b| {
+            a.0.cmp(&b.0)
+                .then_with(|| encode_to(&a.1).cmp(&encode_to(&b.1)))
+        });
         out
     }
 
@@ -516,9 +523,7 @@ mod tests {
                 // Distinct destinations: a map instance emits one value per
                 // K2 ((K2, MK) identifies an MRBGraph edge, paper §3.2).
                 let adj: Vec<String> = (0..degree)
-                    .map(|d| {
-                        format!("{}:{:.2}", (i + 7 * d + 1) % n, rng.gen_range(0.01..1.0))
-                    })
+                    .map(|d| format!("{}:{:.2}", (i + 7 * d + 1) % n, rng.gen_range(0.01..1.0)))
                     .collect();
                 (i, adj.join(";"))
             })
@@ -575,7 +580,9 @@ mod tests {
 
     #[test]
     fn incremental_does_less_map_work() {
-        let input: Vec<(u64, String)> = (0..200u64).map(|i| (i, format!("{}:1.0", (i + 1) % 200))).collect();
+        let input: Vec<(u64, String)> = (0..200u64)
+            .map(|i| (i, format!("{}:1.0", (i + 1) % 200)))
+            .collect();
         let mut eng = engine("lessmap");
         let pool = WorkerPool::new(4);
         let init = eng
@@ -604,7 +611,9 @@ mod tests {
 
     #[test]
     fn compaction_preserves_incremental_correctness() {
-        let input: Vec<(u64, String)> = (0..50u64).map(|i| (i, format!("{}:1.0", (i + 1) % 50))).collect();
+        let input: Vec<(u64, String)> = (0..50u64)
+            .map(|i| (i, format!("{}:1.0", (i + 1) % 50)))
+            .collect();
         let mut eng = engine("compact");
         let pool = WorkerPool::new(2);
         eng.initial(&pool, &input, &edge_mapper, &HashPartitioner, &sum_reducer)

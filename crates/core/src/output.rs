@@ -76,7 +76,10 @@ impl<K3: KeyData, V3: ValueData> ResultStore<K3, V3> {
             .values()
             .flat_map(|pairs| pairs.iter().cloned())
             .collect();
-        out.sort_by(|a, b| a.0.cmp(&b.0).then_with(|| encode_to(&a.1).cmp(&encode_to(&b.1))));
+        out.sort_by(|a, b| {
+            a.0.cmp(&b.0)
+                .then_with(|| encode_to(&a.1).cmp(&encode_to(&b.1)))
+        });
         out
     }
 

@@ -158,15 +158,13 @@ where
 
         // ---- Shuffle + sort (all records: even reused maps feed reduce) ----
         let t = Instant::now();
-        let mut runs: Vec<Vec<ShuffleRecord<K2, V2>>> =
-            (0..n_reduce).map(|_| Vec::new()).collect();
+        let mut runs: Vec<Vec<ShuffleRecord<K2, V2>>> = (0..n_reduce).map(|_| Vec::new()).collect();
         let mut scratch = Vec::new();
         for (_, emitted) in &self.map_memo {
             for (k2, mk, v2) in emitted {
                 let p = partitioner.partition(k2, n_reduce);
                 metrics.shuffled_records += 1;
-                metrics.shuffled_bytes +=
-                    i2mr_mapred::shuffle::metered_size(k2, v2, &mut scratch);
+                metrics.shuffled_bytes += i2mr_mapred::shuffle::metered_size(k2, v2, &mut scratch);
                 runs[p].push((k2.clone(), *mk, v2.clone()));
             }
         }
@@ -241,7 +239,10 @@ where
             .iter()
             .flat_map(|(_, pairs)| pairs.iter().cloned())
             .collect();
-        output.sort_by(|a, b| a.0.cmp(&b.0).then_with(|| encode_to(&a.1).cmp(&encode_to(&b.1))));
+        output.sort_by(|a, b| {
+            a.0.cmp(&b.0)
+                .then_with(|| encode_to(&a.1).cmp(&encode_to(&b.1)))
+        });
         Ok((output, metrics))
     }
 }
@@ -306,7 +307,10 @@ mod tests {
         assert_eq!(out1, out2);
         assert_eq!(m2.map_invocations, 0, "all map tasks reused");
         assert_eq!(m2.reduce_invocations, 0, "all reduce tasks reused");
-        assert_eq!(eng.last_stats.map_tasks_reused, eng.last_stats.map_tasks_total);
+        assert_eq!(
+            eng.last_stats.map_tasks_reused,
+            eng.last_stats.map_tasks_total
+        );
         assert_eq!(
             eng.last_stats.reduce_tasks_reused,
             eng.last_stats.reduce_tasks_total
@@ -356,8 +360,9 @@ mod tests {
 
     #[test]
     fn output_matches_plain_recompute() {
-        let input: Vec<(u64, String)> =
-            (0..40).map(|i| (i, format!("a{} b{} c", i % 3, i % 5))).collect();
+        let input: Vec<(u64, String)> = (0..40)
+            .map(|i| (i, format!("a{} b{} c", i % 3, i % 5)))
+            .collect();
         let mut eng = engine();
         let pool = WorkerPool::new(4);
         let mut changed = input.clone();

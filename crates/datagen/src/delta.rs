@@ -59,10 +59,7 @@ impl DeltaSpec {
 /// Updates rewire one out-edge of the chosen vertex; deletions drop the
 /// whole record (vertex leaves the graph); insertions add fresh vertices
 /// `n, n+1, …` pointing at random existing vertices.
-pub fn graph_delta(
-    base: &[(u64, Vec<u64>)],
-    spec: DeltaSpec,
-) -> Delta<u64, Vec<u64>> {
+pub fn graph_delta(base: &[(u64, Vec<u64>)], spec: DeltaSpec) -> Delta<u64, Vec<u64>> {
     let mut rng = StdRng::seed_from_u64(spec.seed ^ 0x6764_656c);
     let n = base.len() as u64;
     let mut delta = Delta::new();
@@ -124,7 +121,7 @@ pub fn weighted_graph_delta(
             let target = rng.gen_range(0..n);
             if target != *v && !new_outs.iter().any(|(t, _)| *t == target) {
                 new_outs.push((target, rng.gen_range(0.1..1.0)));
-                new_outs.sort_by(|a, b| a.0.cmp(&b.0));
+                new_outs.sort_by_key(|e| e.0);
             }
         }
         delta.update(*v, outs.clone(), new_outs);
@@ -134,10 +131,7 @@ pub fn weighted_graph_delta(
 
 /// Point delta for Kmeans: replace a fraction of points with re-sampled
 /// positions, plus optional fresh points.
-pub fn points_delta(
-    base: &[(u64, Vec<f64>)],
-    spec: DeltaSpec,
-) -> Delta<u64, Vec<f64>> {
+pub fn points_delta(base: &[(u64, Vec<f64>)], spec: DeltaSpec) -> Delta<u64, Vec<f64>> {
     let mut rng = StdRng::seed_from_u64(spec.seed ^ 0x7074_6425);
     let n = base.len() as u64;
     let mut delta = Delta::new();

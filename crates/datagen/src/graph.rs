@@ -105,7 +105,10 @@ impl GraphGen {
             }
         }
         adj.iter_mut().for_each(|l| l.sort_unstable());
-        adj.into_iter().enumerate().map(|(i, l)| (i as u64, l)).collect()
+        adj.into_iter()
+            .enumerate()
+            .map(|(i, l)| (i as u64, l))
+            .collect()
     }
 
     /// Weighted adjacency records `(vertex, [(neighbor, weight)])` — the

@@ -132,7 +132,9 @@ mod tests {
         let g = MatrixGen::new(64, 16, 100, 1);
         let v = g.initial_vector();
         assert_eq!(v.len(), 4);
-        assert!(v.iter().all(|(_, b)| b.len() == 16 && b.iter().all(|&x| x == 1.0)));
+        assert!(v
+            .iter()
+            .all(|(_, b)| b.len() == 16 && b.iter().all(|&x| x == 1.0)));
     }
 
     #[test]

@@ -50,7 +50,9 @@ impl TweetGen {
             // same text regardless of batch boundaries.
             let mut rng = StdRng::seed_from_u64(self.seed ^ id.wrapping_mul(0x9E37_79B9_7F4A_7C15));
             let n = rng.gen_range(self.words_per_tweet.0..=self.words_per_tweet.1);
-            let words: Vec<String> = (0..n).map(|_| format!("w{}", zipf.sample(&mut rng))).collect();
+            let words: Vec<String> = (0..n)
+                .map(|_| format!("w{}", zipf.sample(&mut rng)))
+                .collect();
             out.push((id, words.join(" ")));
         }
         out
@@ -67,7 +69,11 @@ impl TweetGen {
         }
         let mut pairs: Vec<(&str, u64)> = counts.into_iter().collect();
         pairs.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(b.0)));
-        pairs.into_iter().take(k).map(|(w, _)| w.to_string()).collect()
+        pairs
+            .into_iter()
+            .take(k)
+            .map(|(w, _)| w.to_string())
+            .collect()
     }
 }
 

@@ -25,8 +25,12 @@ impl CheckpointStore {
     }
 
     fn path(&self, job: &str, iteration: u64, task: &str) -> PathBuf {
-        self.dir
-            .join(format!("{}__iter{:06}__{}", sanitize(job), iteration, sanitize(task)))
+        self.dir.join(format!(
+            "{}__iter{:06}__{}",
+            sanitize(job),
+            iteration,
+            sanitize(task)
+        ))
     }
 
     /// Atomically write checkpoint payload for `(job, iteration, task)`.
@@ -105,7 +109,13 @@ impl CheckpointStore {
 /// Replace path-hostile characters so job/task names map to file names.
 fn sanitize(s: &str) -> String {
     s.chars()
-        .map(|c| if c.is_ascii_alphanumeric() || c == '-' || c == '.' { c } else { '_' })
+        .map(|c| {
+            if c.is_ascii_alphanumeric() || c == '-' || c == '.' {
+                c
+            } else {
+                '_'
+            }
+        })
         .collect()
 }
 
@@ -134,10 +144,7 @@ mod tests {
     #[test]
     fn missing_checkpoint_is_not_found() {
         let s = store("missing");
-        assert!(matches!(
-            s.load("j", 0, "t"),
-            Err(Error::NotFound(_))
-        ));
+        assert!(matches!(s.load("j", 0, "t"), Err(Error::NotFound(_))));
         assert!(!s.exists("j", 0, "t"));
     }
 

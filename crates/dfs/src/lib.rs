@@ -108,7 +108,10 @@ impl MiniDfs {
     }
 
     fn block_path(&self, id: BlockId) -> PathBuf {
-        self.inner.root.join("blocks").join(format!("blk_{:016x}", id.0))
+        self.inner
+            .root
+            .join("blocks")
+            .join(format!("blk_{:016x}", id.0))
     }
 
     /// Write `data` as DFS file `name`, splitting it into blocks.
@@ -275,10 +278,7 @@ mod tests {
         assert!(!dfs.exists("f"));
         assert!(!dfs.delete("f").unwrap());
         assert_eq!(std::fs::read_dir(dir.join("blocks")).unwrap().count(), 0);
-        assert!(matches!(
-            dfs.read_file("f"),
-            Err(Error::NotFound(_))
-        ));
+        assert!(matches!(dfs.read_file("f"), Err(Error::NotFound(_))));
     }
 
     #[test]

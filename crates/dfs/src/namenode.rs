@@ -160,7 +160,11 @@ mod tests {
         nn.persist(&dir).unwrap();
 
         let mut nn2 = Namenode::load_or_new(&dir).unwrap();
-        assert_eq!(nn2.next_block_id(), BlockId(2), "allocator must not reuse ids");
+        assert_eq!(
+            nn2.next_block_id(),
+            BlockId(2),
+            "allocator must not reuse ids"
+        );
         assert_eq!(nn2.get("f"), Some(&meta("f", 2)));
     }
 

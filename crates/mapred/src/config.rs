@@ -76,11 +76,15 @@ mod tests {
 
     #[test]
     fn zero_fields_rejected() {
-        let mut c = JobConfig::default();
-        c.n_map = 0;
+        let c = JobConfig {
+            n_map: 0,
+            ..Default::default()
+        };
         assert!(c.validate().is_err());
-        let mut c = JobConfig::default();
-        c.max_attempts = 0;
+        let c = JobConfig {
+            max_attempts: 0,
+            ..Default::default()
+        };
         assert!(c.validate().is_err());
     }
 }

@@ -39,7 +39,12 @@ pub struct TaskId {
 impl TaskId {
     /// `map-3@iter-2`-style label.
     pub fn label(&self) -> String {
-        format!("{}-{}@iter-{}", self.kind.name(), self.index, self.iteration)
+        format!(
+            "{}-{}@iter-{}",
+            self.kind.name(),
+            self.index,
+            self.iteration
+        )
     }
 }
 
@@ -140,7 +145,11 @@ impl Timeline {
 
     /// Events for one specific task, in record order.
     pub fn for_task(&self, task: TaskId) -> Vec<TaskEvent> {
-        self.events.iter().copied().filter(|e| e.task == task).collect()
+        self.events
+            .iter()
+            .copied()
+            .filter(|e| e.task == task)
+            .collect()
     }
 
     /// All recorded failures.

@@ -190,11 +190,7 @@ mod tests {
 
     #[test]
     fn sort_orders_by_key_then_mk() {
-        let mut run = vec![
-            (2u64, mk(0), "c"),
-            (1, mk(5), "b"),
-            (1, mk(1), "a"),
-        ];
+        let mut run = vec![(2u64, mk(0), "c"), (1, mk(5), "b"), (1, mk(1), "a")];
         sort_run(&mut run);
         assert_eq!(
             run.iter().map(|r| (r.0, r.1 .0, r.2)).collect::<Vec<_>>(),

@@ -133,9 +133,8 @@ mod tests {
         Mapper::map(&mapper, &3, &4, &mut e);
         assert_eq!(e.into_pairs(), vec![(3, 8)]);
 
-        let reducer = |k: &u64, vs: &[u64], out: &mut Emitter<u64, u64>| {
-            out.emit(*k, vs.iter().sum())
-        };
+        let reducer =
+            |k: &u64, vs: &[u64], out: &mut Emitter<u64, u64>| out.emit(*k, vs.iter().sum());
         let mut e = Emitter::new();
         Reducer::reduce(&reducer, &1, &[1, 2, 3], &mut e);
         assert_eq!(e.into_pairs(), vec![(1, 6)]);

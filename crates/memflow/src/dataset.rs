@@ -151,7 +151,7 @@ impl<K: FlowData, V: FlowData> Dataset<K, V> {
                 }
             }
             let mut pairs: Vec<(K, V)> = acc.into_values().collect();
-            pairs.sort_by(|a, b| encode_to(&a.0).cmp(&encode_to(&b.0)));
+            pairs.sort_by_key(|a| encode_to(&a.0));
             parts.push(pairs);
         }
         Dataset::from_partitions(&self.ctx, parts)
@@ -306,8 +306,8 @@ mod tests {
     #[test]
     fn join_matches_co_partitioned_keys() {
         let c = ctx("join", 1 << 20);
-        let left = Dataset::from_vec(&c, 3, vec![(1u64, "a".to_string()), (2, "b".to_string())])
-            .unwrap();
+        let left =
+            Dataset::from_vec(&c, 3, vec![(1u64, "a".to_string()), (2, "b".to_string())]).unwrap();
         let right = Dataset::from_vec(&c, 3, vec![(1u64, 10u64), (3, 30)]).unwrap();
         let joined = left.join(&right).unwrap();
         let got = joined.collect().unwrap();
@@ -328,8 +328,7 @@ mod tests {
         // result must still be exact.
         for budget in [usize::MAX >> 1, 256] {
             let c = ctx(&format!("pr{budget}"), budget);
-            let graph: Vec<(u64, Vec<u64>)> =
-                vec![(0, vec![1, 2]), (1, vec![2]), (2, vec![0])];
+            let graph: Vec<(u64, Vec<u64>)> = vec![(0, vec![1, 2]), (1, vec![2]), (2, vec![0])];
             let links = Dataset::from_vec(&c, 2, graph).unwrap();
             let ranks = links.map_values(|_, _| 1.0f64).unwrap();
             let contribs = links

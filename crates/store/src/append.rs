@@ -112,7 +112,10 @@ mod tests {
         assert_eq!(io.bytes_written, 9);
         assert_eq!(ab.pending(), 0);
         let mut content = String::new();
-        File::open(&p).unwrap().read_to_string(&mut content).unwrap();
+        File::open(&p)
+            .unwrap()
+            .read_to_string(&mut content)
+            .unwrap();
         assert_eq!(content, "123456789");
     }
 
@@ -128,7 +131,10 @@ mod tests {
         ab.flush(&mut f, &mut io).unwrap();
         assert_eq!(io.writes, 2);
         let mut content = String::new();
-        File::open(&p).unwrap().read_to_string(&mut content).unwrap();
+        File::open(&p)
+            .unwrap()
+            .read_to_string(&mut content)
+            .unwrap();
         assert_eq!(content, "firstsecond");
     }
 

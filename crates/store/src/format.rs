@@ -222,10 +222,7 @@ mod tests {
         c.encode(&mut buf);
         for cut in 1..buf.len() {
             let mut cur = &buf[..cut];
-            assert!(
-                Chunk::decode(&mut cur).is_err(),
-                "cut at {cut} should fail"
-            );
+            assert!(Chunk::decode(&mut cur).is_err(), "cut at {cut} should fail");
         }
     }
 

@@ -237,10 +237,8 @@ mod tests {
 
     #[test]
     fn index_only_reads_each_chunk_exactly() {
-        let (mut f, len, index) = build_store(
-            "idxonly",
-            &[vec![("a", b"1"), ("b", b"2"), ("c", b"3")]],
-        );
+        let (mut f, len, index) =
+            build_store("idxonly", &[vec![("a", b"1"), ("b", b"2"), ("c", b"3")]]);
         let mut io = IoStats::default();
         let mut pass = QueryPass::new(
             &mut f,

@@ -204,7 +204,10 @@ impl MrbgStore {
     /// configured strategy, apply deletions then insertions, and append the
     /// up-to-date chunk to a new batch. Returns `(key, outcome)` pairs in
     /// canonical key order — the outcomes carry the merged Reduce inputs.
-    pub fn merge_apply(&mut self, mut deltas: Vec<DeltaChunk>) -> Result<Vec<(Vec<u8>, MergeOutcome)>> {
+    pub fn merge_apply(
+        &mut self,
+        mut deltas: Vec<DeltaChunk>,
+    ) -> Result<Vec<(Vec<u8>, MergeOutcome)>> {
         deltas.sort_by(|a, b| a.key.cmp(&b.key));
 
         // Phase 1: planned query pass + in-memory application.
@@ -231,7 +234,8 @@ impl MrbgStore {
         let start = self.file_len;
         let mut append = AppendBuffer::new(self.config.append_capacity, self.file_len);
         let mut buf = Vec::with_capacity(4096);
-        let mut index_updates: Vec<(Vec<u8>, Option<ChunkLoc>)> = Vec::with_capacity(outcomes.len());
+        let mut index_updates: Vec<(Vec<u8>, Option<ChunkLoc>)> =
+            Vec::with_capacity(outcomes.len());
         for (key, outcome) in &outcomes {
             match outcome {
                 MergeOutcome::Updated(chunk) => {
@@ -278,7 +282,9 @@ impl MrbgStore {
         let mut cur = bytes.as_slice();
         let chunk = Chunk::decode(&mut cur)?;
         if chunk.key != key {
-            return Err(Error::corrupt("index points at a chunk for a different key"));
+            return Err(Error::corrupt(
+                "index points at a chunk for a different key",
+            ));
         }
         Ok(Some(chunk))
     }
@@ -546,7 +552,8 @@ mod tests {
     #[test]
     fn export_import_roundtrip() {
         let mut s = MrbgStore::create(tmpdir("exp"), StoreConfig::default()).unwrap();
-        s.append_batch(vec![chunk("a", &[(1, "x"), (2, "y")])]).unwrap();
+        s.append_batch(vec![chunk("a", &[(1, "x"), (2, "y")])])
+            .unwrap();
         let payload = s.export().unwrap();
         let mut restored =
             MrbgStore::import(tmpdir("imp"), &payload, StoreConfig::default()).unwrap();

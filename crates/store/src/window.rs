@@ -47,7 +47,10 @@ pub fn dynamic_window_size(
         }
         // Within a batch, query order equals file order, so offsets are
         // non-decreasing; a duplicate/earlier offset would be a planner bug.
-        debug_assert!(loc.offset >= last_end, "plan not in file order within batch");
+        debug_assert!(
+            loc.offset >= last_end,
+            "plan not in file order within batch"
+        );
         let gap = loc.offset - last_end;
         if gap >= gap_threshold {
             break;

@@ -58,7 +58,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     println!("\ntop pairs:");
     let mut top = engine.counts();
-    top.sort_by(|a, b| b.1.cmp(&a.1));
+    top.sort_by_key(|e| std::cmp::Reverse(e.1));
     for ((a, b), n) in top.iter().take(5) {
         println!("  ({a}, {b}): {n}");
     }

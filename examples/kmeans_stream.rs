@@ -43,15 +43,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
                 ..Default::default()
             },
         );
-        let (refreshed, warm) = kmeans::i2mr_incremental(
-            &pool,
-            &cfg,
-            &points,
-            centroids.clone(),
-            &delta,
-            100,
-            1e-8,
-        )?;
+        let (refreshed, warm) =
+            kmeans::i2mr_incremental(&pool, &cfg, &points, centroids.clone(), &delta, 100, 1e-8)?;
         points = delta.apply_to(&points);
         println!(
             "batch {batch}: {} changed records → {} warm iterations ({:.1} ms, cold start took {})",

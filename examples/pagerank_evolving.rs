@@ -28,7 +28,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     // 1. Yesterday's crawl: converge and preserve the converged MRBGraph.
     let graph = GraphGen::new(2_000, 16_000, 7).generate();
-    println!("snapshot: {} pages, {} links", graph.len(), graph.iter().map(|(_, o)| o.len()).sum::<usize>());
+    println!(
+        "snapshot: {} pages, {} links",
+        graph.len(),
+        graph.iter().map(|(_, o)| o.len()).sum::<usize>()
+    );
     let (mut data, stores, initial) = pagerank::i2mr_initial(
         &pool,
         &cfg,

@@ -1,0 +1,107 @@
+//! Offline shim for the `crossbeam` crate: scoped threads only.
+//!
+//! Backed by `std::thread::scope` (stable since 1.63), which post-dates the
+//! code this workspace was written against and provides the same guarantee:
+//! spawned threads may borrow from the enclosing stack frame and are all
+//! joined before `scope` returns.
+//!
+//! API differences bridged here:
+//!
+//! * crossbeam's `scope` returns `Result<R, …>` — `Err` when a child thread
+//!   panicked. std's version re-panics instead, so the shim catches that
+//!   unwind and converts it back to `Err`.
+//! * crossbeam's spawn closures receive `&Scope` (for nested spawns); std's
+//!   receive nothing. The shim reconstructs a wrapper `Scope` inside the
+//!   child thread so nested `spawn` keeps working.
+
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::thread;
+
+pub use thread::Result;
+
+/// Scoped-thread handle mirroring `crossbeam::thread::Scope`.
+pub struct Scope<'scope, 'env: 'scope> {
+    inner: &'scope thread::Scope<'scope, 'env>,
+}
+
+impl<'scope, 'env> Scope<'scope, 'env> {
+    /// Spawn a thread that may borrow from `'env`. The closure receives the
+    /// scope again, crossbeam-style, so it can spawn siblings.
+    pub fn spawn<F, T>(&self, f: F) -> thread::ScopedJoinHandle<'scope, T>
+    where
+        F: FnOnce(&Scope<'scope, 'env>) -> T + Send + 'scope,
+        T: Send + 'scope,
+    {
+        let inner = self.inner;
+        inner.spawn(move || {
+            let scope = Scope { inner };
+            f(&scope)
+        })
+    }
+}
+
+/// Create a scope for spawning borrowing threads; all threads are joined
+/// before this returns. `Err` carries the payload of the first panicking
+/// child (or of the closure itself), matching crossbeam's contract closely
+/// enough for `scope(...).expect(...)` call sites.
+pub fn scope<'env, F, R>(f: F) -> Result<R>
+where
+    F: for<'scope> FnOnce(&Scope<'scope, 'env>) -> R,
+{
+    catch_unwind(AssertUnwindSafe(|| {
+        thread::scope(|s| {
+            let wrapper = Scope { inner: s };
+            f(&wrapper)
+        })
+    }))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicU64, Ordering};
+
+    #[test]
+    fn threads_borrow_and_join() {
+        let counter = AtomicU64::new(0);
+        let out = scope(|s| {
+            for _ in 0..8 {
+                s.spawn(|_| counter.fetch_add(1, Ordering::Relaxed));
+            }
+        });
+        assert!(out.is_ok());
+        assert_eq!(counter.load(Ordering::Relaxed), 8);
+    }
+
+    #[test]
+    fn nested_spawn_through_the_scope_arg() {
+        let counter = AtomicU64::new(0);
+        scope(|s| {
+            s.spawn(|s2| {
+                s2.spawn(|_| counter.fetch_add(10, Ordering::Relaxed));
+                counter.fetch_add(1, Ordering::Relaxed)
+            });
+        })
+        .unwrap();
+        assert_eq!(counter.load(Ordering::Relaxed), 11);
+    }
+
+    #[test]
+    fn child_panic_surfaces_as_err() {
+        let out = scope(|s| {
+            s.spawn(|_| panic!("child died"));
+        });
+        assert!(out.is_err());
+    }
+
+    #[test]
+    fn results_flow_back_through_handles() {
+        let data = [1u64, 2, 3];
+        let total = scope(|s| {
+            let h = s.spawn(|_| data.iter().sum::<u64>());
+            h.join().unwrap()
+        })
+        .unwrap();
+        assert_eq!(total, 6);
+    }
+}

@@ -1,0 +1,530 @@
+//! Offline shim for the `proptest` crate.
+//!
+//! Provides the subset of proptest 1.x the workspace's property tests use:
+//! the [`Strategy`] trait with `prop_map`/`boxed`, range and tuple
+//! strategies, [`collection::vec`] / [`collection::btree_map`],
+//! [`option::of`], [`any`], [`Just`], weighted [`prop_oneof!`], a
+//! regex-lite string strategy (`".{m,n}"`), and the [`proptest!`] /
+//! `prop_assert*` macros.
+//!
+//! Differences from real proptest, deliberately accepted:
+//!
+//! * **No shrinking.** A failing case reports its generated inputs (via
+//!   `Debug`) but is not minimized. Failures are still reproducible because
+//!   generation is deterministic per test name (see [`seed_for`]).
+//! * `prop_assert*` panic immediately instead of returning `TestCaseError`.
+//!
+//! Neither difference changes what the tests *verify* — only how failures
+//! are presented.
+
+use std::marker::PhantomData;
+use std::ops::{Range, RangeInclusive};
+use std::rc::Rc;
+
+use rand::rngs::StdRng;
+use rand::Rng;
+
+pub mod collection;
+pub mod option;
+
+/// Re-exports mirroring `proptest::prelude`.
+pub mod prelude {
+    pub use crate::{
+        any, prop_assert, prop_assert_eq, prop_assert_ne, prop_oneof, proptest, BoxedStrategy,
+        Just, ProptestConfig, Strategy, Union,
+    };
+    pub use rand::rngs::StdRng;
+    pub use rand::SeedableRng;
+}
+
+/// Runner configuration (subset: case count).
+#[derive(Clone, Debug)]
+pub struct ProptestConfig {
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        // Real proptest defaults to 256; keep runs brisk but meaningful.
+        ProptestConfig { cases: 256 }
+    }
+}
+
+/// Deterministic per-test seed: FNV-1a over the fully qualified test name.
+/// Same binary, same test, same inputs — failures reproduce without a seed
+/// file. Override with `PROPTEST_SHIM_SEED` to explore other streams.
+pub fn seed_for(test_name: &str) -> u64 {
+    if let Ok(s) = std::env::var("PROPTEST_SHIM_SEED") {
+        if let Ok(v) = s.parse::<u64>() {
+            return v;
+        }
+    }
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in test_name.bytes() {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    h
+}
+
+/// A generator of values: the shim's take on `proptest::strategy::Strategy`.
+///
+/// Real proptest builds shrinkable value *trees*; the shim generates plain
+/// values. The user-facing surface (`prop_map`, `boxed`, associated `Value`)
+/// matches, so `impl Strategy<Value = T>` signatures compile unchanged.
+pub trait Strategy {
+    type Value;
+
+    fn generate(&self, rng: &mut StdRng) -> Self::Value;
+
+    fn prop_map<O, F>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+        F: Fn(Self::Value) -> O,
+    {
+        Map { inner: self, f }
+    }
+
+    fn prop_filter<F>(self, whence: &'static str, f: F) -> Filter<Self, F>
+    where
+        Self: Sized,
+        F: Fn(&Self::Value) -> bool,
+    {
+        Filter {
+            inner: self,
+            f,
+            whence,
+        }
+    }
+
+    fn boxed(self) -> BoxedStrategy<Self::Value>
+    where
+        Self: Sized + 'static,
+    {
+        BoxedStrategy(Rc::new(move |rng: &mut StdRng| self.generate(rng)))
+    }
+}
+
+/// Type-erased strategy, cheap to clone.
+pub struct BoxedStrategy<T>(Rc<dyn Fn(&mut StdRng) -> T>);
+
+impl<T> Clone for BoxedStrategy<T> {
+    fn clone(&self) -> Self {
+        BoxedStrategy(Rc::clone(&self.0))
+    }
+}
+
+impl<T> Strategy for BoxedStrategy<T> {
+    type Value = T;
+
+    fn generate(&self, rng: &mut StdRng) -> T {
+        (self.0)(rng)
+    }
+}
+
+/// Always produces a clone of the given value.
+#[derive(Clone, Debug)]
+pub struct Just<T: Clone>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+
+    fn generate(&self, _rng: &mut StdRng) -> T {
+        self.0.clone()
+    }
+}
+
+/// `prop_map` adapter.
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S: Strategy, O, F: Fn(S::Value) -> O> Strategy for Map<S, F> {
+    type Value = O;
+
+    fn generate(&self, rng: &mut StdRng) -> O {
+        (self.f)(self.inner.generate(rng))
+    }
+}
+
+/// `prop_filter` adapter (rejection sampling with a retry cap).
+pub struct Filter<S, F> {
+    inner: S,
+    f: F,
+    whence: &'static str,
+}
+
+impl<S: Strategy, F: Fn(&S::Value) -> bool> Strategy for Filter<S, F> {
+    type Value = S::Value;
+
+    fn generate(&self, rng: &mut StdRng) -> S::Value {
+        for _ in 0..1000 {
+            let v = self.inner.generate(rng);
+            if (self.f)(&v) {
+                return v;
+            }
+        }
+        panic!(
+            "prop_filter rejected 1000 candidates in a row: {}",
+            self.whence
+        );
+    }
+}
+
+/// Weighted choice between same-typed strategies — `prop_oneof!`'s backend.
+pub struct Union<T> {
+    arms: Vec<(u32, BoxedStrategy<T>)>,
+}
+
+impl<T> Union<T> {
+    pub fn new_weighted(arms: Vec<(u32, BoxedStrategy<T>)>) -> Self {
+        assert!(!arms.is_empty(), "prop_oneof! needs at least one arm");
+        assert!(
+            arms.iter().any(|(w, _)| *w > 0),
+            "prop_oneof! needs at least one positive weight"
+        );
+        Union { arms }
+    }
+}
+
+impl<T> Strategy for Union<T> {
+    type Value = T;
+
+    fn generate(&self, rng: &mut StdRng) -> T {
+        let total: u64 = self.arms.iter().map(|(w, _)| *w as u64).sum();
+        let mut pick = rng.gen_range(0..total);
+        for (w, s) in &self.arms {
+            let w = *w as u64;
+            if pick < w {
+                return s.generate(rng);
+            }
+            pick -= w;
+        }
+        unreachable!("weighted pick out of range")
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Primitive strategies: ranges, any::<T>(), tuples, regex-lite strings
+// ---------------------------------------------------------------------------
+
+macro_rules! impl_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut StdRng) -> $t {
+                rng.gen_range(self.clone())
+            }
+        }
+        impl Strategy for RangeInclusive<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut StdRng) -> $t {
+                rng.gen_range(self.clone())
+            }
+        }
+    )*};
+}
+impl_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Strategy for Range<f64> {
+    type Value = f64;
+    fn generate(&self, rng: &mut StdRng) -> f64 {
+        rng.gen_range(self.clone())
+    }
+}
+
+/// Types with a full-domain default strategy (the shim's `Arbitrary`).
+pub trait Arbitrary: Sized {
+    fn arbitrary(rng: &mut StdRng) -> Self;
+}
+
+macro_rules! impl_arbitrary_int {
+    ($($t:ty),*) => {$(
+        impl Arbitrary for $t {
+            fn arbitrary(rng: &mut StdRng) -> Self {
+                rng.gen::<u64>() as $t
+            }
+        }
+    )*};
+}
+impl_arbitrary_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Arbitrary for u128 {
+    fn arbitrary(rng: &mut StdRng) -> Self {
+        rng.gen::<u128>()
+    }
+}
+
+impl Arbitrary for i128 {
+    fn arbitrary(rng: &mut StdRng) -> Self {
+        rng.gen::<u128>() as i128
+    }
+}
+
+impl Arbitrary for bool {
+    fn arbitrary(rng: &mut StdRng) -> Self {
+        rng.gen::<bool>()
+    }
+}
+
+impl Arbitrary for f64 {
+    fn arbitrary(rng: &mut StdRng) -> Self {
+        // Full bit-pattern coverage: hits subnormals, infinities, NaNs, −0.
+        // Callers comparing results must handle NaN — exactly what real
+        // proptest's `any::<f64>()` forces too.
+        f64::from_bits(rng.gen::<u64>())
+    }
+}
+
+impl Arbitrary for f32 {
+    fn arbitrary(rng: &mut StdRng) -> Self {
+        f32::from_bits(rng.gen::<u64>() as u32)
+    }
+}
+
+/// Strategy producing the full domain of `T` — `proptest::arbitrary::any`.
+pub fn any<T: Arbitrary>() -> Any<T> {
+    Any(PhantomData)
+}
+
+pub struct Any<T>(PhantomData<T>);
+
+impl<T: Arbitrary> Strategy for Any<T> {
+    type Value = T;
+
+    fn generate(&self, rng: &mut StdRng) -> T {
+        T::arbitrary(rng)
+    }
+}
+
+macro_rules! impl_tuple_strategy {
+    ($(($($s:ident . $idx:tt),+ );)*) => {$(
+        impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+            type Value = ($($s::Value,)+);
+            fn generate(&self, rng: &mut StdRng) -> Self::Value {
+                ($(self.$idx.generate(rng),)+)
+            }
+        }
+    )*};
+}
+impl_tuple_strategy! {
+    (A.0);
+    (A.0, B.1);
+    (A.0, B.1, C.2);
+    (A.0, B.1, C.2, D.3);
+    (A.0, B.1, C.2, D.3, E.4);
+    (A.0, B.1, C.2, D.3, E.4, F.5);
+}
+
+/// Character pool for the regex-lite `.` class: ASCII printable plus a few
+/// multi-byte scalars so codecs see 1-, 2-, 3-, and 4-byte UTF-8 sequences.
+const DOT_POOL: &[char] = &[
+    'a', 'b', 'c', 'd', 'e', 'f', 'g', 'h', 'x', 'y', 'z', 'A', 'B', 'Z', '0', '1', '7', '9', ' ',
+    '!', ':', ';', ',', '.', '/', '\\', '"', '\'', '{', '}', '-', '_', '=', 'é', 'ß', 'λ', '中',
+    '한', '🦀', '𝕏',
+];
+
+/// Strategies from string patterns, proptest-style: a `&str` *is* a strategy
+/// for `String`. The shim supports the `.{m,n}` / `.*` / `.+` forms plus
+/// plain literals (no other regex syntax appears in this workspace's tests).
+impl Strategy for &'static str {
+    type Value = String;
+
+    fn generate(&self, rng: &mut StdRng) -> String {
+        let (min, max) = match parse_dot_repeat(self) {
+            Some(bounds) => bounds,
+            None => {
+                assert!(
+                    !self.contains(['*', '+', '?', '[', '(', '|']),
+                    "proptest shim: unsupported regex pattern {self:?} \
+                     (supported: literal, \".{{m,n}}\", \".*\", \".+\")"
+                );
+                return (*self).to_string();
+            }
+        };
+        let len = rng.gen_range(min..=max);
+        (0..len)
+            .map(|_| DOT_POOL[rng.gen_range(0..DOT_POOL.len())])
+            .collect()
+    }
+}
+
+fn parse_dot_repeat(pat: &str) -> Option<(usize, usize)> {
+    match pat {
+        ".*" => return Some((0, 16)),
+        ".+" => return Some((1, 16)),
+        _ => {}
+    }
+    let body = pat.strip_prefix(".{")?.strip_suffix('}')?;
+    let (lo, hi) = body.split_once(',')?;
+    Some((lo.trim().parse().ok()?, hi.trim().parse().ok()?))
+}
+
+// ---------------------------------------------------------------------------
+// Macros
+// ---------------------------------------------------------------------------
+
+/// Mirrors `proptest!`: wraps each contained `#[test] fn name(pat in strat)`
+/// into a case-looping test. No shrinking; failing inputs are printed.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_impl! { config = $cfg; $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_impl! { config = $crate::ProptestConfig::default(); $($rest)* }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_impl {
+    (config = $cfg:expr; $($(#[$meta:meta])* fn $name:ident( $($arg:ident in $strat:expr),+ $(,)? ) $body:block)*) => {$(
+        $(#[$meta])*
+        fn $name() {
+            let __config: $crate::ProptestConfig = $cfg;
+            let mut __rng = <$crate::prelude::StdRng as $crate::prelude::SeedableRng>::seed_from_u64(
+                $crate::seed_for(concat!(module_path!(), "::", stringify!($name))),
+            );
+            for __case in 0..__config.cases {
+                $(let $arg = $crate::Strategy::generate(&($strat), &mut __rng);)+
+                let __inputs = format!(concat!($(stringify!($arg), " = {:?}  ",)+), $(&$arg),+);
+                let __outcome = ::std::panic::catch_unwind(::std::panic::AssertUnwindSafe(|| $body));
+                if let Err(__e) = __outcome {
+                    eprintln!(
+                        "proptest shim: `{}` failed on case {}/{} with inputs:\n  {}\n  (no shrinking; seed is deterministic per test name)",
+                        stringify!($name), __case + 1, __config.cases, __inputs,
+                    );
+                    ::std::panic::resume_unwind(__e);
+                }
+            }
+        }
+    )*};
+}
+
+/// Weighted (`w => strat`) or uniform choice among same-typed strategies.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($weight:expr => $strat:expr),+ $(,)?) => {
+        $crate::Union::new_weighted(vec![
+            $(($weight as u32, $crate::Strategy::boxed($strat))),+
+        ])
+    };
+    ($($strat:expr),+ $(,)?) => {
+        $crate::Union::new_weighted(vec![
+            $((1u32, $crate::Strategy::boxed($strat))),+
+        ])
+    };
+}
+
+/// Panic-based stand-ins for proptest's result-returning assertions.
+#[macro_export]
+macro_rules! prop_assert {
+    ($($t:tt)*) => { assert!($($t)*) };
+}
+
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($t:tt)*) => { assert_eq!($($t)*) };
+}
+
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($($t:tt)*) => { assert_ne!($($t)*) };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+    use rand::SeedableRng;
+
+    fn rng() -> StdRng {
+        StdRng::seed_from_u64(99)
+    }
+
+    #[test]
+    fn ranges_and_tuples_generate_in_bounds() {
+        let mut r = rng();
+        for _ in 0..500 {
+            let (a, b) = (0u8..12, 3u64..=9).generate(&mut r);
+            assert!(a < 12);
+            assert!((3..=9).contains(&b));
+        }
+    }
+
+    #[test]
+    fn vec_strategy_respects_size_range() {
+        let mut r = rng();
+        for _ in 0..200 {
+            let v = crate::collection::vec(crate::any::<u8>(), 1..6).generate(&mut r);
+            assert!((1..6).contains(&v.len()));
+        }
+    }
+
+    #[test]
+    fn btree_map_hits_exact_sizes_when_domain_allows() {
+        let mut r = rng();
+        let mut seen_max = 0;
+        for _ in 0..200 {
+            let m = crate::collection::btree_map(0u64..30, 1u32..100, 0..4).generate(&mut r);
+            assert!(m.len() < 4);
+            seen_max = seen_max.max(m.len());
+            assert!(m.keys().all(|k| *k < 30));
+        }
+        assert_eq!(seen_max, 3, "never generated a maximal map");
+    }
+
+    #[test]
+    fn oneof_respects_weights_roughly() {
+        let strat = prop_oneof![
+            4 => Just(true),
+            1 => Just(false),
+        ];
+        let mut r = rng();
+        let t = (0..5000).filter(|_| strat.generate(&mut r)).count();
+        assert!((3600..4400).contains(&t), "true count {t} far from 4000");
+    }
+
+    #[test]
+    fn dot_repeat_string_pattern() {
+        let mut r = rng();
+        let mut max_len = 0;
+        for _ in 0..300 {
+            let s = ".{0,12}".generate(&mut r);
+            assert!(s.chars().count() <= 12);
+            max_len = max_len.max(s.chars().count());
+        }
+        assert!(max_len >= 10, "pattern never stretched near its cap");
+    }
+
+    #[test]
+    fn prop_map_and_option_compose() {
+        let mut r = rng();
+        let strat = crate::option::of(crate::any::<u8>()).prop_map(|o| o.map(u32::from));
+        let mut nones = 0;
+        for _ in 0..400 {
+            if strat.generate(&mut r).is_none() {
+                nones += 1;
+            }
+        }
+        assert!(nones > 40 && nones < 200, "None rate off: {nones}/400");
+    }
+
+    proptest! {
+        #![proptest_config(crate::ProptestConfig::with_cases(16))]
+
+        #[test]
+        fn macro_smoke(xs in crate::collection::vec(0u8..10, 0..5), bump in 1u8..4) {
+            prop_assert!(xs.len() < 5);
+            let sum: u32 = xs.iter().map(|&x| u32::from(x) + u32::from(bump)).sum();
+            prop_assert_eq!(sum as usize >= xs.len(), true);
+        }
+    }
+}

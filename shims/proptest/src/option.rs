@@ -1,0 +1,28 @@
+//! Option strategies: `proptest::option::of`.
+
+use rand::rngs::StdRng;
+use rand::Rng;
+
+use crate::Strategy;
+
+/// `Some` from the inner strategy three times out of four, else `None`
+/// (matching real proptest's default 0.75 `Some` weight).
+pub fn of<S: Strategy>(inner: S) -> OfStrategy<S> {
+    OfStrategy { inner }
+}
+
+pub struct OfStrategy<S> {
+    inner: S,
+}
+
+impl<S: Strategy> Strategy for OfStrategy<S> {
+    type Value = Option<S::Value>;
+
+    fn generate(&self, rng: &mut StdRng) -> Option<S::Value> {
+        if rng.gen_bool(0.75) {
+            Some(self.inner.generate(rng))
+        } else {
+            None
+        }
+    }
+}

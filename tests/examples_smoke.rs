@@ -1,0 +1,67 @@
+//! Smoke test: every doc-facing example must build, run, and pass its own
+//! built-in verification (each example prints a `✔` line only after checking
+//! its refreshed output against a from-scratch recomputation).
+//!
+//! Runs the examples through `cargo run --release` — release because the
+//! engines crunch real (scaled-down) workloads, and because tier-1 CI builds
+//! release first, so the artifacts are already cached when this test runs.
+
+use std::process::Command;
+
+const EXAMPLES: &[&str] = &[
+    "quickstart",
+    "pagerank_evolving",
+    "sssp_roadnet",
+    "kmeans_stream",
+    "apriori_tweets",
+];
+
+fn run_example(name: &str) {
+    let cargo = std::env::var("CARGO").unwrap_or_else(|_| "cargo".into());
+    let manifest_dir = env!("CARGO_MANIFEST_DIR");
+    let out = Command::new(cargo)
+        .current_dir(manifest_dir)
+        .args(["run", "--release", "--quiet", "--example", name])
+        .output()
+        .unwrap_or_else(|e| panic!("failed to spawn cargo for example {name}: {e}"));
+
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(
+        out.status.success(),
+        "example {name} exited with {:?}\n--- stdout ---\n{stdout}\n--- stderr ---\n{stderr}",
+        out.status.code(),
+    );
+    assert!(
+        stdout.contains('✔'),
+        "example {name} ran but never printed its verification mark:\n{stdout}"
+    );
+}
+
+// One test per example so failures name the broken entry point directly and
+// the (serialized, cargo-locked) subprocess builds don't hide each other.
+
+#[test]
+fn quickstart_runs_and_verifies() {
+    run_example(EXAMPLES[0]);
+}
+
+#[test]
+fn pagerank_evolving_runs_and_verifies() {
+    run_example(EXAMPLES[1]);
+}
+
+#[test]
+fn sssp_roadnet_runs_and_verifies() {
+    run_example(EXAMPLES[2]);
+}
+
+#[test]
+fn kmeans_stream_runs_and_verifies() {
+    run_example(EXAMPLES[3]);
+}
+
+#[test]
+fn apriori_tweets_runs_and_verifies() {
+    run_example(EXAMPLES[4]);
+}

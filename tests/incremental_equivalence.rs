@@ -130,8 +130,7 @@ fn gimv_incremental_matches_recompute() {
         gimv::i2mr_initial(&pool, &cfg, &blocks, &spec, &scratch("gimv-x"), 300, 1e-11).unwrap();
     let delta = matrix_delta(&blocks, DeltaSpec::ten_percent(0x44));
     let (report, _) =
-        gimv::i2mr_incremental(&pool, &cfg, &mut data, &stores, &spec, &delta, 500, 1e-10)
-            .unwrap();
+        gimv::i2mr_incremental(&pool, &cfg, &mut data, &stores, &spec, &delta, 500, 1e-10).unwrap();
     assert!(report.converged);
 
     let updated = delta.apply_to(&blocks);
@@ -182,8 +181,7 @@ fn onestep_engine_survives_compaction_and_strategy_changes() {
             out.emit(dst.parse().unwrap(), w.parse().unwrap());
         }
     };
-    let reducer =
-        |k: &u64, vs: &[f64], out: &mut Emitter<u64, f64>| out.emit(*k, vs.iter().sum());
+    let reducer = |k: &u64, vs: &[f64], out: &mut Emitter<u64, f64>| out.emit(*k, vs.iter().sum());
 
     let input: Vec<(u64, String)> = (0..80u64)
         .map(|i| (i, format!("{}:1.5;{}:0.5", (i + 1) % 80, (i + 7) % 80)))
@@ -193,7 +191,9 @@ fn onestep_engine_survives_compaction_and_strategy_changes() {
         QueryStrategy::IndexOnly,
         QueryStrategy::SingleFixWindow { window: 4096 },
         QueryStrategy::MultiFixWindow { window: 4096 },
-        QueryStrategy::MultiDynamicWindow { gap_threshold: 1024 },
+        QueryStrategy::MultiDynamicWindow {
+            gap_threshold: 1024,
+        },
     ];
     let mut outputs = Vec::new();
     for (si, strategy) in strategies.iter().enumerate() {
@@ -261,8 +261,7 @@ fn fault_injected_iterative_run_equals_clean_run() {
             attempt: 1,
         },
     ]));
-    let faulty_pool =
-        WorkerPool::with_faults(3, 3, std::time::Duration::ZERO, plan);
+    let faulty_pool = WorkerPool::with_faults(3, 3, std::time::Duration::ZERO, plan);
     let engine = PartitionedIterEngine::new(
         &spec,
         cfg.clone(),

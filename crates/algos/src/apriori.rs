@@ -21,7 +21,7 @@ use i2mr_mapred::config::JobConfig;
 use i2mr_mapred::job::MapReduceJob;
 use i2mr_mapred::partition::HashPartitioner;
 use i2mr_mapred::pool::WorkerPool;
-use i2mr_mapred::types::Emitter;
+use i2mr_mapred::types::{Emitter, Values};
 use std::collections::HashSet;
 use std::sync::Arc;
 use std::time::Instant;
@@ -102,7 +102,9 @@ pub fn plainmr(
 ) -> Result<(Vec<((String, String), u64)>, EngineRun)> {
     let started = Instant::now();
     let mapper = pair_mapper(candidates);
-    let reducer = |k: &(String, String), vs: &[u64], out: &mut Emitter<(String, String), u64>| {
+    let reducer = |k: &(String, String),
+                   vs: Values<(String, String), u64>,
+                   out: &mut Emitter<(String, String), u64>| {
         out.emit(k.clone(), vs.iter().sum());
     };
     let job = MapReduceJob::new(cfg, &mapper, &reducer, &HashPartitioner);
@@ -189,7 +191,9 @@ pub fn tasklevel(
 ) -> Result<(Vec<((String, String), u64)>, EngineRun)> {
     let started = Instant::now();
     let mapper = pair_mapper(candidates);
-    let reducer = |k: &(String, String), vs: &[u64], out: &mut Emitter<(String, String), u64>| {
+    let reducer = |k: &(String, String),
+                   vs: Values<(String, String), u64>,
+                   out: &mut Emitter<(String, String), u64>| {
         out.emit(k.clone(), vs.iter().sum());
     };
     let (out, metrics) = engine.run(pool, corpus, &mapper, &HashPartitioner, &reducer)?;

@@ -29,7 +29,7 @@ use i2mr_mapred::config::JobConfig;
 use i2mr_mapred::job::MapReduceJob;
 use i2mr_mapred::partition::HashPartitioner;
 use i2mr_mapred::pool::WorkerPool;
-use i2mr_mapred::types::Emitter;
+use i2mr_mapred::types::{Emitter, Values};
 use i2mr_store::store::{MrbgStore, StoreConfig};
 use parking_lot::Mutex;
 use std::collections::HashMap;
@@ -56,8 +56,10 @@ impl Gimv {
         out
     }
 
-    /// `combineAll({mv_{i,j}})` with the damping offset.
-    pub fn combine_all(&self, partials: &[Vec<f64>]) -> Vec<f64> {
+    /// `combineAll({mv_{i,j}})` with the damping offset. Accepts any
+    /// borrowing iterator so both owned slices and the zero-copy
+    /// [`Values`] view feed it directly.
+    pub fn combine_all<'a>(&self, partials: impl IntoIterator<Item = &'a Vec<f64>>) -> Vec<f64> {
         let mut out = vec![1.0 - self.damping; self.block_size];
         for p in partials {
             for (acc, x) in out.iter_mut().zip(p) {
@@ -90,7 +92,7 @@ impl IterativeSpec for Gimv {
         out.emit(sk.0, self.combine2(block, v));
     }
 
-    fn reduce(&self, _dk: &u64, _prev: &Vec<f64>, values: &[Vec<f64>]) -> Vec<f64> {
+    fn reduce(&self, _dk: &u64, _prev: &Vec<f64>, values: Values<'_, u64, Vec<f64>>) -> Vec<f64> {
         self.combine_all(values)
     }
 
@@ -146,6 +148,12 @@ impl Codec for GimvMsg {
             t => Err(Error::codec(format!("GimvMsg: bad tag {t}"))),
         }
     }
+    fn encoded_len(&self) -> usize {
+        1 + match self {
+            GimvMsg::Block(b) => b.encoded_len(),
+            GimvMsg::Vector(v) => v.encoded_len(),
+        }
+    }
 }
 
 /// GIM-V on vanilla MapReduce: Algorithm 4's two jobs per iteration.
@@ -188,23 +196,24 @@ pub fn plainmr(
             }
         };
     let spec1 = *spec;
-    let join_red = move |k: &(u64, u64), vs: &[GimvMsg], out: &mut Emitter<u64, GimvMsg>| {
-        let mut block: Option<&Block> = None;
-        let mut vec_block: Option<&Vec<f64>> = None;
-        for m in vs {
-            match m {
-                GimvMsg::Block(b) => block = Some(b),
-                GimvMsg::Vector(v) => vec_block = Some(v),
+    let join_red =
+        move |k: &(u64, u64), vs: Values<(u64, u64), GimvMsg>, out: &mut Emitter<u64, GimvMsg>| {
+            let mut block: Option<&Block> = None;
+            let mut vec_block: Option<&Vec<f64>> = None;
+            for m in vs {
+                match m {
+                    GimvMsg::Block(b) => block = Some(b),
+                    GimvMsg::Vector(v) => vec_block = Some(v),
+                }
             }
-        }
-        if let (Some(b), Some(v)) = (block, vec_block) {
-            out.emit(k.0, GimvMsg::Block(mv_as_block(&spec1.combine2(b, v))));
-        }
-    };
+            if let (Some(b), Some(v)) = (block, vec_block) {
+                out.emit(k.0, GimvMsg::Block(mv_as_block(&spec1.combine2(b, v))));
+            }
+        };
     // Job 2: aggregate the partial products per row block.
     let spec2 = *spec;
     let agg_map = |i: &u64, m: &GimvMsg, out: &mut Emitter<u64, GimvMsg>| out.emit(*i, m.clone());
-    let agg_red = move |i: &u64, vs: &[GimvMsg], out: &mut Emitter<u64, GimvMsg>| {
+    let agg_red = move |i: &u64, vs: Values<u64, GimvMsg>, out: &mut Emitter<u64, GimvMsg>| {
         let partials: Vec<Vec<f64>> = vs
             .iter()
             .map(|m| match m {
@@ -319,9 +328,10 @@ pub fn haloop(
     // Cache-building pass: ship the matrix once into the reduce-side cache.
     let id_map =
         |k: &(u64, u64), b: &Block, out: &mut Emitter<(u64, u64), Block>| out.emit(*k, b.clone());
-    let id_red = |k: &(u64, u64), vs: &[Block], out: &mut Emitter<(u64, u64), Block>| {
-        out.emit(*k, vs[0].clone())
-    };
+    let id_red =
+        |k: &(u64, u64), vs: Values<(u64, u64), Block>, out: &mut Emitter<(u64, u64), Block>| {
+            out.emit(*k, vs[0].clone())
+        };
     let cache_job = MapReduceJob::new(cfg, &id_map, &id_red, &HashPartitioner);
     let cache_run = cache_job.run(pool, blocks, 0)?;
     metrics.merge(&cache_run.metrics);
@@ -346,14 +356,16 @@ pub fn haloop(
     };
     let spec1 = *spec;
     let cache1 = Arc::clone(&cache);
-    let join_red = move |k: &(u64, u64), vs: &[Vec<f64>], out: &mut Emitter<u64, Vec<f64>>| {
+    let join_red = move |k: &(u64, u64),
+                         vs: Values<(u64, u64), Vec<f64>>,
+                         out: &mut Emitter<u64, Vec<f64>>| {
         if let Some(block) = cache1.get(k) {
             out.emit(k.0, spec1.combine2(block, &vs[0]));
         }
     };
     let spec2 = *spec;
     let agg_map = |i: &u64, p: &Vec<f64>, out: &mut Emitter<u64, Vec<f64>>| out.emit(*i, p.clone());
-    let agg_red = move |i: &u64, vs: &[Vec<f64>], out: &mut Emitter<u64, Vec<f64>>| {
+    let agg_red = move |i: &u64, vs: Values<u64, Vec<f64>>, out: &mut Emitter<u64, Vec<f64>>| {
         out.emit(*i, spec2.combine_all(vs));
     };
 

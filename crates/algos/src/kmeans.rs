@@ -18,7 +18,7 @@ use i2mr_mapred::config::JobConfig;
 use i2mr_mapred::job::MapReduceJob;
 use i2mr_mapred::partition::HashPartitioner;
 use i2mr_mapred::pool::WorkerPool;
-use i2mr_mapred::types::Emitter;
+use i2mr_mapred::types::{Emitter, Values};
 use std::sync::Arc;
 use std::time::Instant;
 
@@ -64,11 +64,11 @@ impl SmallStateSpec for Kmeans {
         out.emit(nearest(state, p), (p.clone(), 1));
     }
 
-    fn reduce(&self, _k2: &u32, values: &[(Vec<f64>, u64)]) -> (Vec<f64>, u64) {
+    fn reduce(&self, _k2: &u32, values: Values<'_, u32, (Vec<f64>, u64)>) -> (Vec<f64>, u64) {
         let dims = values[0].0.len();
         let mut sum = vec![0.0; dims];
         let mut count = 0u64;
-        for (s, c) in values {
+        for (s, c) in &values {
             for (acc, x) in sum.iter_mut().zip(s) {
                 *acc += x;
             }
@@ -123,10 +123,11 @@ pub fn plainmr(
                 out.emit(nearest(&current, p), (p.clone(), 1));
             }
         };
-        let reducer =
-            |cid: &u32, vs: &[(Vec<f64>, u64)], out: &mut Emitter<u32, (Vec<f64>, u64)>| {
-                out.emit(*cid, Kmeans.reduce(cid, vs));
-            };
+        let reducer = |cid: &u32,
+                       vs: Values<u32, (Vec<f64>, u64)>,
+                       out: &mut Emitter<u32, (Vec<f64>, u64)>| {
+            out.emit(*cid, Kmeans.reduce(cid, vs));
+        };
         let job = MapReduceJob::new(cfg, &mapper, &reducer, &HashPartitioner);
         let run = job.run(pool, points, iterations)?;
         metrics.merge(&run.metrics);

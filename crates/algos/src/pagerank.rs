@@ -25,7 +25,7 @@ use i2mr_mapred::config::JobConfig;
 use i2mr_mapred::job::MapReduceJob;
 use i2mr_mapred::partition::HashPartitioner;
 use i2mr_mapred::pool::WorkerPool;
-use i2mr_mapred::types::Emitter;
+use i2mr_mapred::types::{Emitter, Values};
 use i2mr_store::store::{MrbgStore, StoreConfig};
 use parking_lot::Mutex;
 use std::collections::HashMap;
@@ -67,7 +67,7 @@ impl IterativeSpec for PageRank {
         }
     }
 
-    fn reduce(&self, _dk: &u64, _prev: &f64, values: &[f64]) -> f64 {
+    fn reduce(&self, _dk: &u64, _prev: &f64, values: Values<'_, u64, f64>) -> f64 {
         (1.0 - self.damping) + self.damping * values.iter().sum::<f64>()
     }
 
@@ -112,19 +112,20 @@ pub fn plainmr(
             }
         }
     };
-    let reducer =
-        move |j: &u64, vs: &[(Vec<u64>, f64)], out: &mut Emitter<u64, (Vec<u64>, f64)>| {
-            let mut links: Vec<u64> = Vec::new();
-            let mut sum = 0.0;
-            for (l, share) in vs {
-                if share.is_nan() {
-                    links = l.clone();
-                } else {
-                    sum += share;
-                }
+    let reducer = move |j: &u64,
+                        vs: Values<u64, (Vec<u64>, f64)>,
+                        out: &mut Emitter<u64, (Vec<u64>, f64)>| {
+        let mut links: Vec<u64> = Vec::new();
+        let mut sum = 0.0;
+        for (l, share) in &vs {
+            if share.is_nan() {
+                links = l.clone();
+            } else {
+                sum += share;
             }
-            out.emit(*j, (links, (1.0 - damping) + damping * sum));
-        };
+        }
+        out.emit(*j, (links, (1.0 - damping) + damping * sum));
+    };
 
     let mut iterations = 0;
     for _ in 0..max_iterations {
@@ -174,8 +175,9 @@ pub fn haloop(
     // Phase 1").
     let identity_map =
         |i: &u64, links: &Vec<u64>, out: &mut Emitter<u64, Vec<u64>>| out.emit(*i, links.clone());
-    let identity_red =
-        |i: &u64, vs: &[Vec<u64>], out: &mut Emitter<u64, Vec<u64>>| out.emit(*i, vs[0].clone());
+    let identity_red = |i: &u64, vs: Values<u64, Vec<u64>>, out: &mut Emitter<u64, Vec<u64>>| {
+        out.emit(*i, vs[0].clone())
+    };
     let cache_job = MapReduceJob::new(cfg, &identity_map, &identity_red, &HashPartitioner);
     let structure: Vec<(u64, Vec<u64>)> = graph.to_vec();
     let cache_run = cache_job.run(pool, &structure, 0)?;
@@ -189,7 +191,7 @@ pub fn haloop(
     // Job 1 (join): shuffle ranks to their structure, emit contributions.
     let cache1 = Arc::clone(&cache);
     let join_map = |i: &u64, r: &f64, out: &mut Emitter<u64, f64>| out.emit(*i, *r);
-    let join_red = move |i: &u64, vs: &[f64], out: &mut Emitter<u64, f64>| {
+    let join_red = move |i: &u64, vs: Values<u64, f64>, out: &mut Emitter<u64, f64>| {
         if let Some(links) = cache1.get(i) {
             if !links.is_empty() {
                 let share = vs[0] / links.len() as f64;
@@ -201,7 +203,7 @@ pub fn haloop(
     };
     // Job 2 (aggregate): sum contributions, apply damping.
     let agg_map = |j: &u64, c: &f64, out: &mut Emitter<u64, f64>| out.emit(*j, *c);
-    let agg_red = move |j: &u64, vs: &[f64], out: &mut Emitter<u64, f64>| {
+    let agg_red = move |j: &u64, vs: Values<u64, f64>, out: &mut Emitter<u64, f64>| {
         out.emit(*j, (1.0 - damping) + damping * vs.iter().sum::<f64>());
     };
 

@@ -22,7 +22,7 @@ use i2mr_mapred::config::JobConfig;
 use i2mr_mapred::job::MapReduceJob;
 use i2mr_mapred::partition::HashPartitioner;
 use i2mr_mapred::pool::WorkerPool;
-use i2mr_mapred::types::Emitter;
+use i2mr_mapred::types::{Emitter, Values};
 use i2mr_store::store::{MrbgStore, StoreConfig};
 use parking_lot::Mutex;
 use std::path::Path;
@@ -61,7 +61,7 @@ impl IterativeSpec for Sssp {
         }
     }
 
-    fn reduce(&self, dk: &u64, _prev: &f64, values: &[f64]) -> f64 {
+    fn reduce(&self, dk: &u64, _prev: &f64, values: Values<'_, u64, f64>) -> f64 {
         let best = values.iter().copied().fold(f64::INFINITY, f64::min);
         if *dk == self.source {
             0.0
@@ -122,10 +122,10 @@ pub fn plainmr(
             }
         }
     };
-    let reducer = move |j: &u64, vs: &[PlainRec], out: &mut Emitter<u64, PlainRec>| {
+    let reducer = move |j: &u64, vs: Values<u64, PlainRec>, out: &mut Emitter<u64, PlainRec>| {
         let mut adj: Vec<(u64, f64)> = Vec::new();
         let mut best = f64::INFINITY;
-        for (a, d) in vs {
+        for (a, d) in &vs {
             if d.is_nan() {
                 adj = a.clone();
             } else {
@@ -189,9 +189,10 @@ pub fn haloop(
     let id_map = |i: &u64, adj: &Vec<(u64, f64)>, out: &mut Emitter<u64, Vec<(u64, f64)>>| {
         out.emit(*i, adj.clone())
     };
-    let id_red = |i: &u64, vs: &[Vec<(u64, f64)>], out: &mut Emitter<u64, Vec<(u64, f64)>>| {
-        out.emit(*i, vs[0].clone())
-    };
+    let id_red =
+        |i: &u64, vs: Values<u64, Vec<(u64, f64)>>, out: &mut Emitter<u64, Vec<(u64, f64)>>| {
+            out.emit(*i, vs[0].clone())
+        };
     let cache_job = MapReduceJob::new(cfg, &id_map, &id_red, &HashPartitioner);
     let cache_run = cache_job.run(pool, graph, 0)?;
     metrics.merge(&cache_run.metrics);
@@ -213,7 +214,7 @@ pub fn haloop(
             out.emit(*i, *d);
         }
     };
-    let join_red = move |i: &u64, vs: &[f64], out: &mut Emitter<u64, f64>| {
+    let join_red = move |i: &u64, vs: Values<u64, f64>, out: &mut Emitter<u64, f64>| {
         if let Some(adj) = cache1.get(i) {
             for (j, w) in adj {
                 out.emit(*j, vs[0] + w);
@@ -222,7 +223,7 @@ pub fn haloop(
     };
     // Job 2 (aggregate): min per vertex.
     let agg_map = |j: &u64, c: &f64, out: &mut Emitter<u64, f64>| out.emit(*j, *c);
-    let agg_red = move |j: &u64, vs: &[f64], out: &mut Emitter<u64, f64>| {
+    let agg_red = move |j: &u64, vs: Values<u64, f64>, out: &mut Emitter<u64, f64>| {
         out.emit(*j, vs.iter().copied().fold(f64::INFINITY, f64::min));
     };
 

@@ -20,7 +20,7 @@ use i2mr_core::tasklevel::TaskLevelEngine;
 use i2mr_datagen::graph::GraphGen;
 use i2mr_datagen::text::TweetGen;
 use i2mr_mapred::partition::HashPartitioner;
-use i2mr_mapred::types::Emitter;
+use i2mr_mapred::types::{Emitter, Values};
 use i2mr_mapred::{JobConfig, WorkerPool};
 use i2mr_store::store::MrbgStore;
 use parking_lot::Mutex;
@@ -32,7 +32,7 @@ fn wc_mapper(_k: &u64, text: &String, out: &mut Emitter<String, u64>) {
     }
 }
 
-fn wc_reducer(k: &String, vs: &[u64], out: &mut Emitter<String, u64>) {
+fn wc_reducer(k: &String, vs: Values<String, u64>, out: &mut Emitter<String, u64>) {
     out.emit(k.clone(), vs.iter().sum());
 }
 

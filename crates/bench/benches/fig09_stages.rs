@@ -21,7 +21,7 @@ use i2mr_datagen::delta::{graph_delta, DeltaSpec};
 use i2mr_datagen::graph::GraphGen;
 use i2mr_mapred::job::MapReduceJob;
 use i2mr_mapred::partition::HashPartitioner;
-use i2mr_mapred::types::Emitter;
+use i2mr_mapred::types::{Emitter, Values};
 use i2mr_mapred::{JobConfig, WorkerPool};
 use i2mr_store::store::MrbgStore;
 use parking_lot::Mutex;
@@ -52,7 +52,7 @@ impl IterativeSpec for PaddedRank {
             out.emit(*j, share);
         }
     }
-    fn reduce(&self, _dk: &u64, _prev: &f64, values: &[f64]) -> f64 {
+    fn reduce(&self, _dk: &u64, _prev: &f64, values: Values<'_, u64, f64>) -> f64 {
         0.15 + 0.85 * values.iter().sum::<f64>()
     }
     fn init(&self, _dk: &u64) -> f64 {
@@ -118,7 +118,7 @@ fn main() {
                 }
             }
         };
-        let reducer = |j: &u64, vs: &[Rec], out: &mut Emitter<u64, Rec>| {
+        let reducer = |j: &u64, vs: Values<u64, Rec>, out: &mut Emitter<u64, Rec>| {
             let mut sv: PaddedSv = (Vec::new(), String::new());
             let mut sum = 0.0;
             for (s, share) in vs {

@@ -5,7 +5,7 @@ use criterion::{criterion_group, criterion_main, Criterion};
 use i2mr_common::hash::{stable_hash64, MapKey};
 use i2mr_mapred::partition::HashPartitioner;
 use i2mr_mapred::shuffle::sort_run;
-use i2mr_mapred::types::Emitter;
+use i2mr_mapred::types::{Emitter, Values};
 use i2mr_mapred::{JobConfig, MapReduceJob, WorkerPool};
 
 fn bench_hash(c: &mut Criterion) {
@@ -43,7 +43,7 @@ fn bench_wordcount_job(c: &mut Criterion) {
             out.emit(w.to_string(), 1);
         }
     };
-    let reducer = |k: &String, vs: &[u64], out: &mut Emitter<String, u64>| {
+    let reducer = |k: &String, vs: Values<String, u64>, out: &mut Emitter<String, u64>| {
         out.emit(k.clone(), vs.iter().sum());
     };
     c.bench_function("engine/wordcount_job_2k_records", |b| {

@@ -1,0 +1,308 @@
+//! Microbench of the shuffle→sort→group→reduce data plane.
+//!
+//! Compares the **zero-copy** pipeline (sized-codec byte metering,
+//! `sort_unstable`, borrowed [`Values`] groups, pooled buffers) against a
+//! faithful reproduction of the **pre-refactor baseline** (encode-to-meter,
+//! stable sort, per-group value cloning) at three run sizes, so the ≥20 %
+//! sort+group+reduce improvement is measurable forever, not just once.
+//!
+//! The workload is GIM-V-shaped (heap-backed block values): that is where
+//! the old clone-per-group reduce paid one allocation **per record**, the
+//! dominant avoidable cost this refactor removes.
+//!
+//! `scripts/bench_snapshot.sh` runs this target with `I2MR_BENCH_JSON` set
+//! and snapshots both variants' timings into `BENCH_shuffle.json` — the
+//! repo's perf-trajectory baseline for this hot path.
+
+use criterion::{criterion_group, criterion_main, BatchSize, BenchmarkId, Criterion};
+use i2mr_bench::sized;
+use i2mr_common::codec::Codec;
+use i2mr_common::hash::MapKey;
+use i2mr_mapred::partition::HashPartitioner;
+use i2mr_mapred::shuffle::{
+    groups, sort_runs, transpose_pooled, RunPool, ShuffleBuffers, ShuffleRecord,
+};
+use i2mr_mapred::types::Values;
+use i2mr_mapred::WorkerPool;
+
+const N_PARTS: usize = 4;
+
+fn run_sizes() -> [usize; 3] {
+    [
+        sized(10_000) as usize,
+        sized(50_000) as usize,
+        sized(200_000) as usize,
+    ]
+}
+
+/// Block edge length of the GIM-V-shaped intermediate values.
+const BLOCK: usize = 8;
+
+/// The intermediate value type: a partial matrix-vector product block, the
+/// shape GIM-V shuffles (paper Algorithm 4). Heap-backed on purpose — this
+/// is exactly the case where the old clone-per-group reduce path paid one
+/// allocation per record and the borrowed [`Values`] view pays none.
+type Val = Vec<f64>;
+
+/// GIM-V-shaped intermediate records: u64 keys (~8 records/group),
+/// `BLOCK`-wide partial product blocks, deterministic MKs.
+fn gen_records(n: usize) -> Vec<ShuffleRecord<u64, Val>> {
+    let n_keys = (n / 8).max(1) as u64;
+    (0..n as u64)
+        .map(|i| {
+            let k = (i.wrapping_mul(2654435761)) % n_keys;
+            let base = (i % 1000) as f64 * 1e-3;
+            (
+                k,
+                MapKey(i as u128),
+                (0..BLOCK).map(|d| base + d as f64).collect(),
+            )
+        })
+        .collect()
+}
+
+fn fill_buffers(
+    records: &[ShuffleRecord<u64, Val>],
+    pool: Option<&RunPool<u64, Val>>,
+) -> Vec<ShuffleBuffers<u64, Val>> {
+    // Two simulated map tasks, each partitioning half the records.
+    records
+        .chunks(records.len().div_ceil(2).max(1))
+        .map(|half| {
+            let mut b = match pool {
+                Some(pool) => ShuffleBuffers::with_pool(N_PARTS, pool),
+                None => ShuffleBuffers::new(N_PARTS),
+            };
+            for (k, mk, v) in half {
+                b.push(*k, *mk, v.clone(), &HashPartitioner);
+            }
+            b
+        })
+        .collect()
+}
+
+/// The GIM-V-style combineAll fold both variants run per group.
+#[inline]
+fn fold<'a>(blocks: impl Iterator<Item = &'a Val>) -> f64 {
+    let mut acc = 0.15;
+    for b in blocks {
+        acc += 0.85 * b.iter().sum::<f64>();
+    }
+    acc
+}
+
+// ---------------------------------------------------------------------------
+// Pre-refactor baseline, reproduced verbatim: encode-to-meter transpose,
+// stable sort on scoped threads, per-group value cloning before reduce.
+// ---------------------------------------------------------------------------
+
+fn legacy_metered_size<K: Codec, V: Codec>(k: &K, v: &V, scratch: &mut Vec<u8>) -> u64 {
+    scratch.clear();
+    k.encode(scratch);
+    v.encode(scratch);
+    scratch.len() as u64
+}
+
+fn legacy_transpose(
+    map_outputs: Vec<ShuffleBuffers<u64, Val>>,
+    n_reduce: usize,
+) -> (Vec<Vec<ShuffleRecord<u64, Val>>>, u64, u64) {
+    let mut runs: Vec<Vec<ShuffleRecord<u64, Val>>> = (0..n_reduce).map(|_| Vec::new()).collect();
+    let mut records = 0u64;
+    let mut bytes = 0u64;
+    let mut scratch = Vec::with_capacity(64);
+    for buffers in map_outputs {
+        for (p, part) in buffers.into_parts().into_iter().enumerate() {
+            records += part.len() as u64;
+            for (k, _mk, v) in &part {
+                bytes += legacy_metered_size(k, v, &mut scratch);
+            }
+            runs[p].extend(part);
+        }
+    }
+    (runs, records, bytes)
+}
+
+fn legacy_sort_run(run: &mut [ShuffleRecord<u64, Val>]) {
+    run.sort_by(|a, b| a.0.cmp(&b.0).then(a.1.cmp(&b.1)));
+}
+
+/// The old `values_of` contract: clone every group value into a scratch
+/// `Vec<V2>` before the reducer call (one heap allocation per record for
+/// heap-backed V2 like these blocks).
+fn legacy_values_of<'a>(group: &'a [ShuffleRecord<u64, Val>], out: &mut Vec<Val>) -> &'a u64 {
+    out.clear();
+    out.extend(group.iter().map(|(_, _, v)| v.clone()));
+    &group[0].0
+}
+
+fn legacy_sort_group_reduce(mut runs: Vec<Vec<ShuffleRecord<u64, Val>>>) -> f64 {
+    std::thread::scope(|s| {
+        for run in runs.iter_mut() {
+            s.spawn(|| legacy_sort_run(run));
+        }
+    });
+    let mut sink = 0.0f64;
+    let mut values: Vec<Val> = Vec::new();
+    for run in &runs {
+        for group in groups(run) {
+            let _k = legacy_values_of(group, &mut values);
+            sink += fold(values.iter());
+        }
+    }
+    sink
+}
+
+// ---------------------------------------------------------------------------
+// Zero-copy pipeline (the production path).
+// ---------------------------------------------------------------------------
+
+fn zerocopy_sort_group_reduce(
+    pool: &WorkerPool,
+    mut runs: Vec<Vec<ShuffleRecord<u64, Val>>>,
+    recycler: &RunPool<u64, Val>,
+) -> f64 {
+    sort_runs(pool, &mut runs, 0).expect("sort tasks");
+    let mut sink = 0.0f64;
+    for run in &runs {
+        for group in groups(run) {
+            let vals: Values<u64, Val> = Values::group(group);
+            sink += fold(vals.iter());
+        }
+    }
+    recycler.recycle_all(runs);
+    sink
+}
+
+fn bench_transpose(c: &mut Criterion) {
+    let mut g = c.benchmark_group("micro_shuffle/transpose");
+    for n in run_sizes() {
+        let records = gen_records(n);
+        g.bench_with_input(BenchmarkId::new("baseline", n), &records, |b, recs| {
+            b.iter_batched(
+                || fill_buffers(recs, None),
+                |bufs| legacy_transpose(bufs, N_PARTS),
+                BatchSize::LargeInput,
+            )
+        });
+        let recycler: RunPool<u64, Val> = RunPool::new();
+        g.bench_with_input(BenchmarkId::new("zerocopy", n), &records, |b, recs| {
+            b.iter_batched(
+                || fill_buffers(recs, Some(&recycler)),
+                |bufs| {
+                    let (runs, recs_n, bytes) = transpose_pooled(bufs, N_PARTS, false, &recycler);
+                    recycler.recycle_all(runs);
+                    (recs_n, bytes)
+                },
+                BatchSize::LargeInput,
+            )
+        });
+    }
+    g.finish();
+}
+
+fn bench_sort_group_reduce(c: &mut Criterion) {
+    let pool = WorkerPool::new(N_PARTS);
+    let mut g = c.benchmark_group("micro_shuffle/sortreduce");
+    for n in run_sizes() {
+        let records = gen_records(n);
+        let (runs, _, _) = legacy_transpose(fill_buffers(&records, None), N_PARTS);
+        g.bench_with_input(BenchmarkId::new("baseline", n), &runs, |b, runs| {
+            b.iter_batched(
+                || runs.clone(),
+                legacy_sort_group_reduce,
+                BatchSize::LargeInput,
+            )
+        });
+        let recycler: RunPool<u64, Val> = RunPool::new();
+        g.bench_with_input(BenchmarkId::new("zerocopy", n), &runs, |b, runs| {
+            b.iter_batched(
+                || runs.clone(),
+                |rs| zerocopy_sort_group_reduce(&pool, rs, &recycler),
+                BatchSize::LargeInput,
+            )
+        });
+    }
+    g.finish();
+}
+
+/// End-to-end: buffers → transpose → sort → group → reduce, both variants.
+fn bench_pipeline(c: &mut Criterion) {
+    let pool = WorkerPool::new(N_PARTS);
+    let mut g = c.benchmark_group("micro_shuffle/pipeline");
+    for n in run_sizes() {
+        let records = gen_records(n);
+        g.bench_with_input(BenchmarkId::new("baseline", n), &records, |b, recs| {
+            b.iter_batched(
+                || fill_buffers(recs, None),
+                |bufs| {
+                    let (runs, _, _) = legacy_transpose(bufs, N_PARTS);
+                    legacy_sort_group_reduce(runs)
+                },
+                BatchSize::LargeInput,
+            )
+        });
+        let recycler: RunPool<u64, Val> = RunPool::new();
+        g.bench_with_input(BenchmarkId::new("zerocopy", n), &records, |b, recs| {
+            b.iter_batched(
+                || fill_buffers(recs, Some(&recycler)),
+                |bufs| {
+                    let (runs, _, _) = transpose_pooled(bufs, N_PARTS, false, &recycler);
+                    zerocopy_sort_group_reduce(&pool, runs, &recycler)
+                },
+                BatchSize::LargeInput,
+            )
+        });
+    }
+    g.finish();
+}
+
+/// Sanity + shape: both pipelines agree bit-for-bit, and the zero-copy
+/// sort+group+reduce stage beats the baseline by the target margin.
+fn summarize(_c: &mut Criterion) {
+    // Correctness cross-check (cheap, independent of timing).
+    let records = gen_records(20_000);
+    let (legacy_runs, legacy_recs, legacy_bytes) =
+        legacy_transpose(fill_buffers(&records, None), N_PARTS);
+    let recycler: RunPool<u64, Val> = RunPool::new();
+    let (zc_runs, zc_recs, zc_bytes) = transpose_pooled(
+        fill_buffers(&records, Some(&recycler)),
+        N_PARTS,
+        false,
+        &recycler,
+    );
+    assert_eq!(legacy_recs, zc_recs);
+    assert_eq!(
+        legacy_bytes, zc_bytes,
+        "encoded_len metering must match encode"
+    );
+    let wp = WorkerPool::new(N_PARTS);
+    let a = legacy_sort_group_reduce(legacy_runs);
+    let b = zerocopy_sort_group_reduce(&wp, zc_runs, &recycler);
+    assert_eq!(a.to_bits(), b.to_bits(), "pipelines must agree bit-for-bit");
+
+    // Shape line from the recorded medians (largest size dominates).
+    let recs = criterion::completed_records();
+    let n = *run_sizes().last().unwrap();
+    let median = |id: &str| recs.iter().find(|r| r.id == id).map(|r| r.median_ns as f64);
+    let base = median(&format!("micro_shuffle/sortreduce/baseline/{n}"));
+    let zc = median(&format!("micro_shuffle/sortreduce/zerocopy/{n}"));
+    match (base, zc) {
+        (Some(base), Some(zc)) if base > 0.0 => {
+            let gain = 100.0 * (base - zc) / base;
+            let ok = if gain >= 20.0 { "OK" } else { "MISMATCH" };
+            println!(
+                "shape: sort+group+reduce zero-copy vs baseline at n={n}: {gain:.1}% faster \
+                 (target >= 20%) .. {ok}"
+            );
+        }
+        _ => println!("shape: sortreduce medians missing .. SKIPPED"),
+    }
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(15);
+    targets = bench_transpose, bench_sort_group_reduce, bench_pipeline, summarize
+}
+criterion_main!(benches);

@@ -17,12 +17,21 @@ use crate::error::{Error, Result};
 
 /// Types that can be serialized into / deserialized from the at-rest format.
 ///
-/// Implementations must round-trip: `decode(encode(x)) == x`.
+/// Implementations must round-trip: `decode(encode(x)) == x`, and
+/// [`Codec::encoded_len`] must equal `encode_to(x).len()` **exactly** —
+/// shuffle byte metering relies on it to price records without
+/// serializing them (see `DESIGN.md`, data plane). There is deliberately
+/// no default: whoever writes `encode` is forced to write the matching
+/// size computation next to it, so the two cannot drift silently. The
+/// `i2mr-common` proptest suite cross-checks every impl.
 pub trait Codec: Sized {
     /// Append the encoding of `self` to `buf`.
     fn encode(&self, buf: &mut Vec<u8>);
     /// Consume an encoding from the front of `input`.
     fn decode(input: &mut &[u8]) -> Result<Self>;
+    /// Exact byte length `encode` would append, computed without
+    /// allocating or serializing.
+    fn encoded_len(&self) -> usize;
 }
 
 /// Encode `value` into a fresh buffer.
@@ -52,6 +61,13 @@ pub fn decode_exact<T: Codec>(mut input: &[u8]) -> Result<T> {
 // ---------------------------------------------------------------------------
 // varints
 // ---------------------------------------------------------------------------
+
+/// Byte length of the unsigned LEB128 encoding of `v`.
+#[inline]
+pub fn varint_len(v: u64) -> usize {
+    // ceil(significant_bits / 7), with 0 taking one byte.
+    ((64 - (v | 1).leading_zeros()) as usize).div_ceil(7)
+}
 
 /// Append an unsigned LEB128 varint.
 pub fn write_varint(mut v: u64, buf: &mut Vec<u8>) {
@@ -110,6 +126,9 @@ macro_rules! impl_codec_unsigned {
                 let v = read_varint(input)?;
                 <$t>::try_from(v).map_err(|_| Error::codec(concat!("out of range for ", stringify!($t))))
             }
+            fn encoded_len(&self) -> usize {
+                varint_len(*self as u64)
+            }
         }
     )*};
 }
@@ -124,6 +143,9 @@ macro_rules! impl_codec_signed {
             fn decode(input: &mut &[u8]) -> Result<Self> {
                 let v = zigzag_decode(read_varint(input)?);
                 <$t>::try_from(v).map_err(|_| Error::codec(concat!("out of range for ", stringify!($t))))
+            }
+            fn encoded_len(&self) -> usize {
+                varint_len(zigzag_encode(*self as i64))
             }
         }
     )*};
@@ -145,6 +167,9 @@ impl Codec for bool {
             other => Err(Error::codec(format!("bool: invalid tag {other}"))),
         }
     }
+    fn encoded_len(&self) -> usize {
+        1
+    }
 }
 
 impl Codec for f32 {
@@ -158,6 +183,9 @@ impl Codec for f32 {
         let (head, rest) = input.split_at(4);
         *input = rest;
         Ok(f32::from_le_bytes(head.try_into().unwrap()))
+    }
+    fn encoded_len(&self) -> usize {
+        4
     }
 }
 
@@ -173,6 +201,9 @@ impl Codec for f64 {
         *input = rest;
         Ok(f64::from_le_bytes(head.try_into().unwrap()))
     }
+    fn encoded_len(&self) -> usize {
+        8
+    }
 }
 
 impl Codec for u128 {
@@ -186,6 +217,9 @@ impl Codec for u128 {
         let (head, rest) = input.split_at(16);
         *input = rest;
         Ok(u128::from_le_bytes(head.try_into().unwrap()))
+    }
+    fn encoded_len(&self) -> usize {
+        16
     }
 }
 
@@ -202,6 +236,9 @@ impl Codec for String {
         let (head, rest) = input.split_at(len);
         *input = rest;
         String::from_utf8(head.to_vec()).map_err(|e| Error::codec(format!("string: {e}")))
+    }
+    fn encoded_len(&self) -> usize {
+        varint_len(self.len() as u64) + self.len()
     }
 }
 
@@ -221,6 +258,9 @@ impl<T: Codec> Codec for Vec<T> {
             v.push(T::decode(input)?);
         }
         Ok(v)
+    }
+    fn encoded_len(&self) -> usize {
+        varint_len(self.len() as u64) + self.iter().map(T::encoded_len).sum::<usize>()
     }
 }
 
@@ -242,12 +282,18 @@ impl<T: Codec> Codec for Option<T> {
             Ok(None)
         }
     }
+    fn encoded_len(&self) -> usize {
+        1 + self.as_ref().map_or(0, T::encoded_len)
+    }
 }
 
 impl Codec for () {
     fn encode(&self, _buf: &mut Vec<u8>) {}
     fn decode(_input: &mut &[u8]) -> Result<Self> {
         Ok(())
+    }
+    fn encoded_len(&self) -> usize {
+        0
     }
 }
 
@@ -259,6 +305,9 @@ macro_rules! impl_codec_tuple {
             }
             fn decode(input: &mut &[u8]) -> Result<Self> {
                 Ok(($($name::decode(input)?,)+))
+            }
+            fn encoded_len(&self) -> usize {
+                0 $(+ self.$idx.encoded_len())+
             }
         }
     };

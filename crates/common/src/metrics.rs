@@ -100,6 +100,10 @@ pub struct IoStats {
     pub writes: u64,
     /// Total bytes written.
     pub bytes_written: u64,
+    /// Reads served from a reused scratch buffer instead of a fresh
+    /// heap allocation (the MRBG-Store's window/point reads recycle one
+    /// persistent buffer; this counts the allocations avoided).
+    pub scratch_reuses: u64,
 }
 
 impl IoStats {
@@ -114,6 +118,11 @@ impl IoStats {
         self.writes += 1;
         self.bytes_written += bytes;
     }
+
+    /// Record one read that reused existing scratch capacity.
+    pub fn record_scratch_reuse(&mut self) {
+        self.scratch_reuses += 1;
+    }
 }
 
 impl AddAssign for IoStats {
@@ -122,6 +131,7 @@ impl AddAssign for IoStats {
         self.bytes_read += rhs.bytes_read;
         self.writes += rhs.writes;
         self.bytes_written += rhs.bytes_written;
+        self.scratch_reuses += rhs.scratch_reuses;
     }
 }
 

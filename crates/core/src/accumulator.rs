@@ -19,7 +19,7 @@ use i2mr_mapred::config::JobConfig;
 use i2mr_mapred::fault::{TaskId, TaskKind};
 use i2mr_mapred::partition::Partitioner;
 use i2mr_mapred::pool::{TaskSpec, WorkerPool};
-use i2mr_mapred::shuffle::{groups, sort_run, transpose, ShuffleBuffers};
+use i2mr_mapred::shuffle::{groups, sort_runs, transpose_pooled, RunPool, ShuffleBuffers};
 use i2mr_mapred::types::{Emitter, KeyData, Mapper, ValueData};
 use parking_lot::Mutex;
 use std::collections::HashMap;
@@ -54,6 +54,8 @@ pub struct AccumulatorEngine<K1, V1, K2, V2> {
     /// Preserved results per reduce partition: encoded K2 → (typed K2, agg).
     results: Vec<Mutex<HashMap<Vec<u8>, (K2, V2)>>>,
     initialized: bool,
+    /// Shuffle-plane buffer recycler shared by initial and delta passes.
+    recycler: RunPool<K2, V2>,
     _types: PhantomData<fn(K1, V1)>,
 }
 
@@ -75,6 +77,7 @@ where
             config,
             results,
             initialized: false,
+            recycler: RunPool::new(),
             _types: PhantomData,
         })
     }
@@ -107,6 +110,7 @@ where
         };
 
         let t = Instant::now();
+        let recycler = &self.recycler;
         let split_len = records.len().div_ceil(self.config.n_map).max(1);
         let splits: Vec<&[(K1, V1)]> = records.chunks(split_len).collect();
         let map_tasks: Vec<TaskSpec<'_, (ShuffleBuffers<K2, V2>, u64)>> = splits
@@ -121,7 +125,7 @@ where
                         iteration: 0,
                     },
                     move |_| {
-                        let mut buffers = ShuffleBuffers::new(n_reduce);
+                        let mut buffers = ShuffleBuffers::with_pool(n_reduce, recycler);
                         let mut emitter = Emitter::new();
                         for (k1, v1) in split {
                             mapper.map(k1, v1, &mut emitter);
@@ -145,18 +149,13 @@ where
         }
 
         let t = Instant::now();
-        let (mut runs, recs, bytes) = transpose(map_outputs, n_reduce, false);
+        let (mut runs, recs, bytes) = transpose_pooled(map_outputs, n_reduce, false, recycler);
         metrics.shuffled_records = recs;
         metrics.shuffled_bytes = bytes;
         metrics.stages.add(Stage::Shuffle, t.elapsed());
 
         let t = Instant::now();
-        crossbeam::scope(|s| {
-            for run in runs.iter_mut() {
-                s.spawn(move |_| sort_run(run));
-            }
-        })
-        .expect("sort thread panicked");
+        sort_runs(pool, &mut runs, 0)?;
         metrics.stages.add(Stage::Sort, t.elapsed());
 
         let t = Instant::now();
@@ -200,6 +199,7 @@ where
         let reduce_results = pool.run_tasks(reduce_tasks)?;
         metrics.stages.add(Stage::Reduce, t.elapsed());
         metrics.reduce_invocations = reduce_results.iter().sum();
+        self.recycler.recycle_all(runs);
         Ok(metrics)
     }
 

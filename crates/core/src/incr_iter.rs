@@ -36,8 +36,8 @@ use i2mr_mapred::config::JobConfig;
 use i2mr_mapred::fault::{TaskId, TaskKind};
 use i2mr_mapred::partition::{HashPartitioner, Partitioner};
 use i2mr_mapred::pool::{TaskSpec, WorkerPool};
-use i2mr_mapred::shuffle::{groups, sort_run, transpose, ShuffleBuffers};
-use i2mr_mapred::types::Emitter;
+use i2mr_mapred::shuffle::{groups, sort_runs, transpose_pooled, RunPool, ShuffleBuffers};
+use i2mr_mapred::types::{Emitter, Values};
 use i2mr_store::merge::{DeltaChunk, DeltaEntry, MergeOutcome};
 use i2mr_store::store::MrbgStore;
 use parking_lot::Mutex;
@@ -123,6 +123,8 @@ pub struct IncrIterEngine<'s, S: IterativeSpec> {
     params: IncrParams,
     /// Parameters for the full-iteration fallback after MRBG turn-off.
     fallback: IterParams,
+    /// Recycler for delta shuffle runs across incremental iterations.
+    recycler: RunPool<S::DK, Option<S::V2>>,
 }
 
 impl<'s, S: IterativeSpec> IncrIterEngine<'s, S> {
@@ -145,6 +147,7 @@ impl<'s, S: IterativeSpec> IncrIterEngine<'s, S> {
             config,
             params,
             fallback,
+            recycler: RunPool::new(),
         })
     }
 
@@ -202,18 +205,13 @@ impl<'s, S: IterativeSpec> IncrIterEngine<'s, S> {
 
             // ---------------- shuffle + sort ----------------
             let t = Instant::now();
-            let (mut runs, recs, bytes) = transpose(map_outputs, n, true);
+            let (mut runs, recs, bytes) = transpose_pooled(map_outputs, n, true, &self.recycler);
             metrics.shuffled_records = recs;
             metrics.shuffled_bytes = bytes;
             metrics.stages.add(Stage::Shuffle, t.elapsed());
 
             let t = Instant::now();
-            crossbeam::scope(|s| {
-                for run in runs.iter_mut() {
-                    s.spawn(move |_| sort_run(run));
-                }
-            })
-            .expect("sort thread panicked");
+            sort_runs(pool, &mut runs, iteration)?;
             metrics.stages.add(Stage::Sort, t.elapsed());
 
             // ---------------- incremental Reduce ----------------
@@ -269,6 +267,9 @@ impl<'s, S: IterativeSpec> IncrIterEngine<'s, S> {
                             let mut emitted: Vec<(S::DK, S::DV)> = Vec::new();
                             let mut invocations = 0u64;
                             let mut values: Vec<S::V2> = Vec::new();
+                            // The merged chunk owns freshly decoded values,
+                            // so this path borrows them as a plain slice;
+                            // `values` is reused across groups.
                             for (key_bytes, outcome) in outcomes {
                                 let dk: S::DK = decode_exact(&key_bytes)?;
                                 // Deleted vertices / dangling targets have no
@@ -285,7 +286,7 @@ impl<'s, S: IterativeSpec> IncrIterEngine<'s, S> {
                                         values.push(decode_exact(&e.value)?);
                                     }
                                 }
-                                let candidate = spec.reduce(&dk, prev, &values);
+                                let candidate = spec.reduce(&dk, prev, Values::slice(&values));
                                 invocations += 1;
                                 let acc_diff = spec.difference(&candidate, prev);
                                 if cpc.judge(acc_diff) == Verdict::Emit {
@@ -299,6 +300,7 @@ impl<'s, S: IterativeSpec> IncrIterEngine<'s, S> {
                 .collect();
             let reduce_results = pool.run_tasks(reduce_tasks)?;
             metrics.stages.add(Stage::Reduce, t.elapsed());
+            self.recycler.recycle_all(runs);
 
             // Apply emitted updates to the state (reduce task p's output is
             // partition p's state — co-location) and gather ΔD_{j}.
@@ -385,6 +387,7 @@ impl<'s, S: IterativeSpec> IncrIterEngine<'s, S> {
         }
 
         let state_parts = &data.state;
+        let recycler = &self.recycler;
         let map_tasks: Vec<TaskSpec<'_, (ShuffleBuffers<S::DK, Option<S::V2>>, u64)>> = per_part
             .iter()
             .enumerate()
@@ -399,7 +402,7 @@ impl<'s, S: IterativeSpec> IncrIterEngine<'s, S> {
                     },
                     p % pool.n_workers(),
                     move |_| {
-                        let mut buffers = ShuffleBuffers::new(n);
+                        let mut buffers = ShuffleBuffers::with_pool(n, recycler);
                         let mut emitter = Emitter::new();
                         let mut invocations = 0u64;
                         for (dk, rec) in records {
@@ -461,6 +464,7 @@ impl<'s, S: IterativeSpec> IncrIterEngine<'s, S> {
         }
 
         let structure = &data.structure;
+        let recycler = &self.recycler;
         let map_tasks: Vec<TaskSpec<'_, (ShuffleBuffers<S::DK, Option<S::V2>>, u64)>> = per_part
             .iter()
             .enumerate()
@@ -475,7 +479,7 @@ impl<'s, S: IterativeSpec> IncrIterEngine<'s, S> {
                     },
                     p % pool.n_workers(),
                     move |_| {
-                        let mut buffers = ShuffleBuffers::new(n);
+                        let mut buffers = ShuffleBuffers::with_pool(n, recycler);
                         let mut emitter = Emitter::new();
                         let mut invocations = 0u64;
                         for (dk, dv) in changes {
@@ -643,7 +647,7 @@ mod tests {
                 out.emit(*j, share);
             }
         }
-        fn reduce(&self, _dk: &u64, _prev: &f64, values: &[f64]) -> f64 {
+        fn reduce(&self, _dk: &u64, _prev: &f64, values: Values<'_, u64, f64>) -> f64 {
             0.15 + 0.85 * values.iter().sum::<f64>()
         }
         fn init(&self, _dk: &u64) -> f64 {

@@ -24,8 +24,8 @@ use i2mr_mapred::config::JobConfig;
 use i2mr_mapred::fault::{TaskId, TaskKind};
 use i2mr_mapred::partition::{HashPartitioner, Partitioner};
 use i2mr_mapred::pool::{TaskSpec, WorkerPool};
-use i2mr_mapred::shuffle::{groups, sort_run, transpose, ShuffleBuffers};
-use i2mr_mapred::types::Emitter;
+use i2mr_mapred::shuffle::{groups, sort_runs, transpose_pooled, RunPool, ShuffleBuffers};
+use i2mr_mapred::types::{Emitter, Values};
 use i2mr_store::format::{Chunk, ChunkEntry};
 use i2mr_store::store::MrbgStore;
 use parking_lot::Mutex;
@@ -203,6 +203,9 @@ pub struct PartitionedIterEngine<'s, S: IterativeSpec> {
     spec: &'s S,
     config: JobConfig,
     params: IterParams,
+    /// Iteration-scoped recycler: shuffle runs and map-side partition
+    /// buffers live here between iterations instead of being reallocated.
+    recycler: RunPool<S::DK, S::V2>,
 }
 
 impl<'s, S: IterativeSpec> PartitionedIterEngine<'s, S> {
@@ -219,6 +222,7 @@ impl<'s, S: IterativeSpec> PartitionedIterEngine<'s, S> {
             spec,
             config,
             params,
+            recycler: RunPool::new(),
         })
     }
 
@@ -299,6 +303,7 @@ impl<'s, S: IterativeSpec> PartitionedIterEngine<'s, S> {
     ) -> Result<IterationStats> {
         let n = self.config.n_reduce;
         let spec = self.spec;
+        let recycler = &self.recycler;
 
         // Prime Map: merge-join structure groups with co-located state.
         let t = Instant::now();
@@ -314,7 +319,7 @@ impl<'s, S: IterativeSpec> PartitionedIterEngine<'s, S> {
                     },
                     p % pool.n_workers(),
                     move |_| {
-                        let mut buffers = ShuffleBuffers::new(n);
+                        let mut buffers = ShuffleBuffers::with_pool(n, recycler);
                         let mut emitter = Emitter::new();
                         let mut invocations = 0u64;
                         debug_assert_eq!(structure.len(), state.len());
@@ -344,19 +349,14 @@ impl<'s, S: IterativeSpec> PartitionedIterEngine<'s, S> {
 
         // Shuffle (MK bytes only travel when the MRBGraph is maintained).
         let t = Instant::now();
-        let (mut runs, recs, bytes) = transpose(map_outputs, n, stores.is_some());
+        let (mut runs, recs, bytes) = transpose_pooled(map_outputs, n, stores.is_some(), recycler);
         metrics.shuffled_records += recs;
         metrics.shuffled_bytes += bytes;
         metrics.stages.add(Stage::Shuffle, t.elapsed());
 
-        // Sort.
+        // Sort (pool-scheduled, unstable, one task per run).
         let t = Instant::now();
-        crossbeam::scope(|s| {
-            for run in runs.iter_mut() {
-                s.spawn(move |_| sort_run(run));
-            }
-        })
-        .expect("sort thread panicked");
+        sort_runs(pool, &mut runs, iteration)?;
         metrics.stages.add(Stage::Sort, t.elapsed());
 
         // Prime Reduce, co-located with the prime Map of the next iteration:
@@ -379,7 +379,6 @@ impl<'s, S: IterativeSpec> PartitionedIterEngine<'s, S> {
                     move |_| {
                         let mut new_state = Vec::with_capacity(state.len());
                         let mut chunks: Vec<Chunk> = Vec::new();
-                        let mut values: Vec<S::V2> = Vec::new();
                         let mut max_diff = 0.0f64;
                         let mut changed = 0u64;
                         let mut invocations = 0u64;
@@ -404,14 +403,16 @@ impl<'s, S: IterativeSpec> PartitionedIterEngine<'s, S> {
                                     std::cmp::Ordering::Greater => break,
                                 }
                             }
-                            values.clear();
-                            if let Some(g) = matched {
-                                values.extend(g.iter().map(|(_, _, v)| v.clone()));
-                                if stores.is_some() {
-                                    chunks.push(chunk_of::<S>(g));
+                            let values = match matched {
+                                Some(g) => {
+                                    if stores.is_some() {
+                                        chunks.push(chunk_of::<S>(g));
+                                    }
+                                    Values::group(g)
                                 }
-                            }
-                            let next = spec.reduce(dk, prev, &values);
+                                None => Values::empty(),
+                            };
+                            let next = spec.reduce(dk, prev, values);
                             invocations += 1;
                             let diff = spec.difference(&next, prev);
                             if diff > 0.0 {
@@ -455,6 +456,9 @@ impl<'s, S: IterativeSpec> PartitionedIterEngine<'s, S> {
                 s.lock().reset_io_stats();
             }
         }
+        // Reduce is done with the sorted runs: park them for the next
+        // iteration instead of dropping the allocations.
+        self.recycler.recycle_all(runs);
         Ok(IterationStats {
             iteration,
             max_diff,
@@ -474,6 +478,7 @@ impl<'s, S: IterativeSpec> PartitionedIterEngine<'s, S> {
     ) -> Result<()> {
         let n = self.config.n_reduce;
         let spec = self.spec;
+        let recycler = &self.recycler;
         let t = Instant::now();
         let map_tasks: Vec<TaskSpec<'_, ShuffleBuffers<S::DK, S::V2>>> = (0..n)
             .map(|p| {
@@ -487,7 +492,7 @@ impl<'s, S: IterativeSpec> PartitionedIterEngine<'s, S> {
                     },
                     p % pool.n_workers(),
                     move |_| {
-                        let mut buffers = ShuffleBuffers::new(n);
+                        let mut buffers = ShuffleBuffers::with_pool(n, recycler);
                         let mut emitter = Emitter::new();
                         for (g, (dk, dv)) in structure.iter().zip(state.iter()) {
                             for (sk, sv) in &g.records {
@@ -507,18 +512,13 @@ impl<'s, S: IterativeSpec> PartitionedIterEngine<'s, S> {
         metrics.stages.add(Stage::Map, t.elapsed());
 
         let t = Instant::now();
-        let (mut runs, recs, bytes) = transpose(map_outputs, n, true);
+        let (mut runs, recs, bytes) = transpose_pooled(map_outputs, n, true, recycler);
         metrics.shuffled_records += recs;
         metrics.shuffled_bytes += bytes;
         metrics.stages.add(Stage::Shuffle, t.elapsed());
 
         let t = Instant::now();
-        crossbeam::scope(|s| {
-            for run in runs.iter_mut() {
-                s.spawn(move |_| sort_run(run));
-            }
-        })
-        .expect("sort thread panicked");
+        sort_runs(pool, &mut runs, u64::MAX)?;
         metrics.stages.add(Stage::Sort, t.elapsed());
 
         let t = Instant::now();
@@ -543,6 +543,7 @@ impl<'s, S: IterativeSpec> PartitionedIterEngine<'s, S> {
             .collect();
         pool.run_tasks(preserve_tasks)?;
         metrics.stages.add(Stage::Reduce, t.elapsed());
+        self.recycler.recycle_all(runs);
         Ok(())
     }
 }
@@ -606,6 +607,7 @@ pub struct SmallStateIterEngine<'s, S: SmallStateSpec> {
     spec: &'s S,
     config: JobConfig,
     params: IterParams,
+    recycler: RunPool<S::K2, S::V2>,
 }
 
 impl<'s, S: SmallStateSpec> SmallStateIterEngine<'s, S> {
@@ -616,6 +618,7 @@ impl<'s, S: SmallStateSpec> SmallStateIterEngine<'s, S> {
             spec,
             config,
             params,
+            recycler: RunPool::new(),
         })
     }
 
@@ -629,6 +632,7 @@ impl<'s, S: SmallStateSpec> SmallStateIterEngine<'s, S> {
     ) -> Result<RunReport> {
         let n = self.config.n_reduce;
         let spec = self.spec;
+        let recycler = &self.recycler;
         let mut report = RunReport::default();
 
         for iteration in 1..=self.params.max_iterations {
@@ -652,7 +656,7 @@ impl<'s, S: SmallStateSpec> SmallStateIterEngine<'s, S> {
                         },
                         p % pool.n_workers(),
                         move |_| {
-                            let mut buffers = ShuffleBuffers::new(n);
+                            let mut buffers = ShuffleBuffers::with_pool(n, recycler);
                             let mut emitter = Emitter::new();
                             for (sk, sv) in part {
                                 spec.map(sk, sv, state, &mut emitter);
@@ -674,18 +678,13 @@ impl<'s, S: SmallStateSpec> SmallStateIterEngine<'s, S> {
             }
 
             let t = Instant::now();
-            let (mut runs, recs, bytes) = transpose(map_outputs, n, false);
+            let (mut runs, recs, bytes) = transpose_pooled(map_outputs, n, false, recycler);
             metrics.shuffled_records += recs;
             metrics.shuffled_bytes += bytes;
             metrics.stages.add(Stage::Shuffle, t.elapsed());
 
             let t = Instant::now();
-            crossbeam::scope(|s| {
-                for run in runs.iter_mut() {
-                    s.spawn(move |_| sort_run(run));
-                }
-            })
-            .expect("sort thread panicked");
+            sort_runs(pool, &mut runs, iteration)?;
             metrics.stages.add(Stage::Sort, t.elapsed());
 
             // Prime Reduce: per-key partials, then assemble the new
@@ -705,12 +704,10 @@ impl<'s, S: SmallStateSpec> SmallStateIterEngine<'s, S> {
                         p % pool.n_workers(),
                         move |_| {
                             let mut parts = Vec::new();
-                            let mut values: Vec<S::V2> = Vec::new();
                             let mut invocations = 0u64;
                             for g in groups(run) {
-                                values.clear();
-                                values.extend(g.iter().map(|(_, _, v)| v.clone()));
-                                parts.push((g[0].0.clone(), spec.reduce(&g[0].0, &values)));
+                                parts
+                                    .push((g[0].0.clone(), spec.reduce(&g[0].0, Values::group(g))));
                                 invocations += 1;
                             }
                             Ok((parts, invocations))
@@ -721,6 +718,7 @@ impl<'s, S: SmallStateSpec> SmallStateIterEngine<'s, S> {
             let reduce_results = pool.run_tasks(reduce_tasks)?;
             metrics.stages.add(Stage::Reduce, t.elapsed());
 
+            self.recycler.recycle_all(runs);
             let mut parts = Vec::new();
             for (p, inv) in reduce_results {
                 metrics.reduce_invocations += inv;
@@ -771,7 +769,7 @@ mod tests {
                 out.emit(*j, dv * 0.5);
             }
         }
-        fn reduce(&self, _dk: &u64, _prev: &f64, values: &[f64]) -> f64 {
+        fn reduce(&self, _dk: &u64, _prev: &f64, values: Values<'_, u64, f64>) -> f64 {
             0.1 + values.iter().sum::<f64>()
         }
         fn init(&self, _dk: &u64) -> f64 {
@@ -941,7 +939,7 @@ mod tests {
                 .unwrap();
             out.emit(*cid, (*x, 1));
         }
-        fn reduce(&self, _k2: &u32, values: &[(f64, u64)]) -> (f64, u64) {
+        fn reduce(&self, _k2: &u32, values: Values<'_, u32, (f64, u64)>) -> (f64, u64) {
             let sum: f64 = values.iter().map(|(s, _)| s).sum();
             let count: u64 = values.iter().map(|(_, c)| c).sum();
             (sum, count)

@@ -23,7 +23,7 @@
 //! and implement [`SmallStateSpec`] (paper §4.3, "Supporting Smaller Number
 //! of State kv-pairs").
 
-use i2mr_mapred::types::{Emitter, KeyData, ValueData};
+use i2mr_mapred::types::{Emitter, KeyData, ValueData, Values};
 
 /// Dependency between structure and state kv-pairs (paper Fig. 5).
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -47,8 +47,10 @@ pub enum DependencyKind {
 ///   with `MK = hash(SK)`).
 /// * `reduce` must be a pure function of its arguments; it receives the
 ///   previous state value (`prev`) for algorithms like GIM-V's
-///   `assign(v_i, v'_i)`, and an *empty* `values` slice when no intermediate
-///   values arrived for the key this iteration.
+///   `assign(v_i, v'_i)`, and an *empty* [`Values`] view when no
+///   intermediate values arrived for the key this iteration. The view
+///   borrows straight from the sorted shuffle run (or the merged
+///   MRBG-Store chunk), so implementations must not assume ownership.
 pub trait IterativeSpec: Send + Sync {
     /// Structure key.
     type SK: KeyData;
@@ -76,7 +78,12 @@ pub trait IterativeSpec: Send + Sync {
 
     /// The prime Reduce: fold the intermediate values for `dk` into the new
     /// state value. `prev` is the state value from the previous iteration.
-    fn reduce(&self, dk: &Self::DK, prev: &Self::DV, values: &[Self::V2]) -> Self::DV;
+    fn reduce(
+        &self,
+        dk: &Self::DK,
+        prev: &Self::DV,
+        values: Values<'_, Self::DK, Self::V2>,
+    ) -> Self::DV;
 
     /// Initial state value for a key (paper: `init(DK) -> DV`).
     fn init(&self, dk: &Self::DK) -> Self::DV;
@@ -113,7 +120,7 @@ pub trait SmallStateSpec: Send + Sync {
     );
 
     /// The prime Reduce: fold one intermediate group into a partial result.
-    fn reduce(&self, k2: &Self::K2, values: &[Self::V2]) -> Self::V2;
+    fn reduce(&self, k2: &Self::K2, values: Values<'_, Self::K2, Self::V2>) -> Self::V2;
 
     /// Assemble the next replicated state from all partial results.
     fn assemble(&self, prev: &Self::State, parts: &[(Self::K2, Self::V2)]) -> Self::State;

@@ -28,6 +28,7 @@
 //! ```
 //! use i2mr_core::delta::Delta;
 //! use i2mr_core::onestep::OneStepEngine;
+//! use i2mr_mapred::types::Values;
 //! use i2mr_mapred::{Emitter, HashPartitioner, JobConfig, WorkerPool};
 //!
 //! // Sum of in-edge weights per vertex (the paper's Fig. 3 example).
@@ -37,7 +38,8 @@
 //!         out.emit(dst.parse().unwrap(), w.parse().unwrap());
 //!     }
 //! };
-//! let reducer = |k: &u64, vs: &[f64], out: &mut Emitter<u64, f64>| {
+//! // `Values` borrows the group straight from the sorted shuffle run.
+//! let reducer = |k: &u64, vs: Values<u64, f64>, out: &mut Emitter<u64, f64>| {
 //!     out.emit(*k, vs.iter().sum());
 //! };
 //!

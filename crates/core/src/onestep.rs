@@ -25,8 +25,8 @@ use i2mr_mapred::config::JobConfig;
 use i2mr_mapred::fault::{TaskId, TaskKind};
 use i2mr_mapred::partition::Partitioner;
 use i2mr_mapred::pool::{TaskSpec, WorkerPool};
-use i2mr_mapred::shuffle::{groups, sort_run, transpose, ShuffleBuffers};
-use i2mr_mapred::types::{Emitter, KeyData, Mapper, Reducer, ValueData};
+use i2mr_mapred::shuffle::{groups, sort_runs, transpose_pooled, RunPool, ShuffleBuffers};
+use i2mr_mapred::types::{Emitter, KeyData, Mapper, Reducer, ValueData, Values};
 use i2mr_store::format::{Chunk, ChunkEntry};
 use i2mr_store::merge::{DeltaChunk, DeltaEntry, MergeOutcome};
 use i2mr_store::store::{MrbgStore, StoreConfig};
@@ -42,6 +42,11 @@ pub struct OneStepEngine<K1, V1, K2, V2, K3, V3> {
     stores: Vec<Mutex<MrbgStore>>,
     results: Vec<Mutex<ResultStore<K3, V3>>>,
     initialized: bool,
+    /// Recyclers keeping shuffle-plane buffers alive across runs: the
+    /// initial run ships plain values, incremental runs ship upsert /
+    /// tombstone options, hence two pools.
+    run_pool: RunPool<K2, V2>,
+    delta_pool: RunPool<K2, Option<V2>>,
     _types: PhantomData<fn(K1, V1, K2, V2) -> (K3, V3)>,
 }
 
@@ -77,6 +82,8 @@ where
             stores,
             results,
             initialized: false,
+            run_pool: RunPool::new(),
+            delta_pool: RunPool::new(),
             _types: PhantomData,
         })
     }
@@ -156,6 +163,7 @@ where
         let t = Instant::now();
         let split_len = input.len().div_ceil(self.config.n_map).max(1);
         let splits: Vec<&[(K1, V1)]> = input.chunks(split_len).collect();
+        let run_pool = &self.run_pool;
         let map_tasks: Vec<TaskSpec<'_, (ShuffleBuffers<K2, V2>, u64)>> = splits
             .iter()
             .enumerate()
@@ -168,7 +176,7 @@ where
                         iteration: 0,
                     },
                     move |_| {
-                        let mut buffers = ShuffleBuffers::new(n_reduce);
+                        let mut buffers = ShuffleBuffers::with_pool(n_reduce, run_pool);
                         let mut emitter = Emitter::new();
                         let (mut kbuf, mut vbuf) = (Vec::new(), Vec::new());
                         for (k1, v1) in split {
@@ -197,19 +205,14 @@ where
 
         // Shuffle (MK travels with the kv-pair in i2MapReduce, §3.3).
         let t = Instant::now();
-        let (mut runs, records, bytes) = transpose(map_outputs, n_reduce, true);
+        let (mut runs, records, bytes) = transpose_pooled(map_outputs, n_reduce, true, run_pool);
         metrics.shuffled_records = records;
         metrics.shuffled_bytes = bytes;
         metrics.stages.add(Stage::Shuffle, t.elapsed());
 
         // Sort.
         let t = Instant::now();
-        crossbeam::scope(|s| {
-            for run in runs.iter_mut() {
-                s.spawn(move |_| sort_run(run));
-            }
-        })
-        .expect("sort thread panicked");
+        sort_runs(pool, &mut runs, 0)?;
         metrics.stages.add(Stage::Sort, t.elapsed());
 
         // Reduce + MRBGraph preservation + result store.
@@ -229,15 +232,12 @@ where
                     },
                     move |_| {
                         let mut out = Emitter::new();
-                        let mut values: Vec<V2> = Vec::new();
                         let mut chunks: Vec<Chunk> = Vec::new();
                         let mut invocations = 0u64;
                         let mut result_store = results[p].lock();
                         for group in groups(run) {
                             let k2 = &group[0].0;
-                            values.clear();
-                            values.extend(group.iter().map(|(_, _, v)| v.clone()));
-                            reducer.reduce(k2, &values, &mut out);
+                            reducer.reduce(k2, Values::group(group), &mut out);
                             invocations += 1;
                             let key_bytes = encode_to(k2);
                             chunks.push(Chunk::new(
@@ -261,6 +261,7 @@ where
         let reduce_results = pool.run_tasks(reduce_tasks)?;
         metrics.stages.add(Stage::Reduce, t.elapsed());
         metrics.reduce_invocations = reduce_results.iter().sum();
+        self.run_pool.recycle_all(runs);
 
         self.initialized = true;
         Ok(metrics)
@@ -295,6 +296,7 @@ where
         let records = delta.records();
         let split_len = records.len().div_ceil(self.config.n_map).max(1);
         let splits: Vec<&[crate::delta::DeltaRecord<K1, V1>]> = records.chunks(split_len).collect();
+        let delta_pool = &self.delta_pool;
         let map_tasks: Vec<TaskSpec<'_, (ShuffleBuffers<K2, Option<V2>>, u64)>> = splits
             .iter()
             .enumerate()
@@ -307,7 +309,7 @@ where
                         iteration: 0,
                     },
                     move |_| {
-                        let mut buffers = ShuffleBuffers::new(n_reduce);
+                        let mut buffers = ShuffleBuffers::with_pool(n_reduce, delta_pool);
                         let mut emitter = Emitter::new();
                         let (mut kbuf, mut vbuf) = (Vec::new(), Vec::new());
                         for rec in split {
@@ -340,19 +342,14 @@ where
 
         // Shuffle the delta MRBGraph.
         let t = Instant::now();
-        let (mut runs, records, bytes) = transpose(map_outputs, n_reduce, true);
+        let (mut runs, records, bytes) = transpose_pooled(map_outputs, n_reduce, true, delta_pool);
         metrics.shuffled_records = records;
         metrics.shuffled_bytes = bytes;
         metrics.stages.add(Stage::Shuffle, t.elapsed());
 
         // Sort the delta MRBGraph by (K2, MK).
         let t = Instant::now();
-        crossbeam::scope(|s| {
-            for run in runs.iter_mut() {
-                s.spawn(move |_| sort_run(run));
-            }
-        })
-        .expect("sort thread panicked");
+        sort_runs(pool, &mut runs, 0)?;
         metrics.stages.add(Stage::Sort, t.elapsed());
 
         // Incremental Reduce: merge delta with preserved MRBGraph, then
@@ -390,16 +387,19 @@ where
                         let mut out = Emitter::new();
                         let mut result_store = results[p].lock();
                         let mut invocations = 0u64;
+                        // Owned values decoded from the merged chunk; the
+                        // buffer is reused across affected groups.
+                        let mut values: Vec<V2> = Vec::new();
                         for (key_bytes, outcome) in outcomes {
                             match outcome {
                                 MergeOutcome::Updated(chunk) => {
                                     let k2: K2 = decode_exact(&chunk.key)?;
-                                    let mut values: Vec<V2> =
-                                        Vec::with_capacity(chunk.entries.len());
+                                    values.clear();
+                                    values.reserve(chunk.entries.len());
                                     for e in &chunk.entries {
                                         values.push(decode_exact(&e.value)?);
                                     }
-                                    reducer.reduce(&k2, &values, &mut out);
+                                    reducer.reduce(&k2, Values::slice(&values), &mut out);
                                     invocations += 1;
                                     result_store.put_bytes(&key_bytes, out.drain().collect());
                                 }
@@ -416,6 +416,7 @@ where
         let reduce_results = pool.run_tasks(reduce_tasks)?;
         metrics.stages.add(Stage::Reduce, t.elapsed());
         metrics.reduce_invocations = reduce_results.iter().sum();
+        self.delta_pool.recycle_all(runs);
 
         for s in &self.stores {
             metrics.store_io += s.lock().io_stats();
@@ -443,7 +444,7 @@ mod tests {
         }
     }
 
-    fn sum_reducer(k: &u64, vs: &[f64], out: &mut Emitter<u64, f64>) {
+    fn sum_reducer(k: &u64, vs: Values<u64, f64>, out: &mut Emitter<u64, f64>) {
         out.emit(*k, vs.iter().sum());
     }
 

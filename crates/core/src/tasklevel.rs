@@ -23,8 +23,8 @@ use i2mr_mapred::config::JobConfig;
 use i2mr_mapred::fault::{TaskId, TaskKind};
 use i2mr_mapred::partition::Partitioner;
 use i2mr_mapred::pool::{TaskSpec, WorkerPool};
-use i2mr_mapred::shuffle::{groups, sort_run, values_of, ShuffleRecord};
-use i2mr_mapred::types::{Emitter, KeyData, Mapper, Reducer, ValueData};
+use i2mr_mapred::shuffle::{groups, sort_runs, ShuffleRecord};
+use i2mr_mapred::types::{Emitter, KeyData, Mapper, Reducer, ValueData, Values};
 use std::time::Instant;
 
 /// Memoized task outputs plus reuse counters for the last refresh.
@@ -159,24 +159,18 @@ where
         // ---- Shuffle + sort (all records: even reused maps feed reduce) ----
         let t = Instant::now();
         let mut runs: Vec<Vec<ShuffleRecord<K2, V2>>> = (0..n_reduce).map(|_| Vec::new()).collect();
-        let mut scratch = Vec::new();
         for (_, emitted) in &self.map_memo {
             for (k2, mk, v2) in emitted {
                 let p = partitioner.partition(k2, n_reduce);
                 metrics.shuffled_records += 1;
-                metrics.shuffled_bytes += i2mr_mapred::shuffle::metered_size(k2, v2, &mut scratch);
+                metrics.shuffled_bytes += i2mr_mapred::shuffle::metered_size(k2, v2);
                 runs[p].push((k2.clone(), *mk, v2.clone()));
             }
         }
         metrics.stages.add(Stage::Shuffle, t.elapsed());
 
         let t = Instant::now();
-        crossbeam::scope(|s| {
-            for run in runs.iter_mut() {
-                s.spawn(move |_| sort_run(run));
-            }
-        })
-        .expect("sort thread panicked");
+        sort_runs(pool, &mut runs, 0)?;
         metrics.stages.add(Stage::Sort, t.elapsed());
 
         // ---- Reduce phase with per-partition memoization ----
@@ -203,11 +197,9 @@ where
                             return Ok(None);
                         }
                         let mut out = Emitter::new();
-                        let mut values = Vec::new();
                         let mut invocations = 0u64;
                         for group in groups(run) {
-                            let k2 = values_of(group, &mut values);
-                            reducer.reduce(k2, &values, &mut out);
+                            reducer.reduce(&group[0].0, Values::group(group), &mut out);
                             invocations += 1;
                         }
                         Ok(Some((out.into_pairs(), invocations)))
@@ -277,7 +269,7 @@ mod tests {
         }
     }
 
-    fn wc_reducer(k: &String, vs: &[u64], out: &mut Emitter<String, u64>) {
+    fn wc_reducer(k: &String, vs: Values<String, u64>, out: &mut Emitter<String, u64>) {
         out.emit(k.clone(), vs.iter().sum());
     }
 

@@ -49,6 +49,20 @@ impl Codec for FileMeta {
         }
         Ok(FileMeta { name, len, blocks })
     }
+    fn encoded_len(&self) -> usize {
+        self.name.encoded_len()
+            + self.len.encoded_len()
+            + (self.blocks.len() as u64).encoded_len()
+            + self
+                .blocks
+                .iter()
+                .map(|b| {
+                    b.id.0.encoded_len()
+                        + b.len.encoded_len()
+                        + (b.home_worker as u64).encoded_len()
+                })
+                .sum::<usize>()
+    }
 }
 
 /// In-memory manifest plus the next-block-id allocator.

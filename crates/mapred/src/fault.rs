@@ -8,10 +8,12 @@
 use parking_lot::Mutex;
 use std::time::Duration;
 
-/// Whether a task is a map or a reduce task.
+/// Which phase a schedulable task belongs to.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub enum TaskKind {
     Map,
+    /// Per-run shuffle sort (scheduled on the pool like map/reduce work).
+    Sort,
     Reduce,
 }
 
@@ -20,6 +22,7 @@ impl TaskKind {
     pub fn name(self) -> &'static str {
         match self {
             TaskKind::Map => "map",
+            TaskKind::Sort => "sort",
             TaskKind::Reduce => "reduce",
         }
     }

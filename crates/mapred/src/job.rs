@@ -22,8 +22,8 @@ use crate::config::JobConfig;
 use crate::fault::{TaskId, TaskKind};
 use crate::partition::Partitioner;
 use crate::pool::{TaskSpec, WorkerPool};
-use crate::shuffle::{groups, sort_run, transpose, values_of, ShuffleBuffers};
-use crate::types::{Emitter, KeyData, Mapper, Reducer, ValueData};
+use crate::shuffle::{groups, sort_runs, transpose, ShuffleBuffers};
+use crate::types::{Emitter, KeyData, Mapper, Reducer, ValueData, Values};
 use i2mr_common::error::Result;
 use i2mr_common::hash::MapKey;
 use i2mr_common::metrics::{JobMetrics, Stage};
@@ -104,10 +104,9 @@ where
         // the per-iteration cost that structure caching eliminates
         // (paper §4.2). Metered here so the cost model can charge it.
         {
-            let mut scratch = Vec::with_capacity(128);
             let mut input_bytes = 0u64;
             for (k, v) in input {
-                input_bytes += crate::shuffle::metered_size(k, v, &mut scratch);
+                input_bytes += crate::shuffle::metered_size(k, v);
             }
             metrics.dfs_io.record_read(input_bytes);
         }
@@ -172,15 +171,10 @@ where
         metrics.stages.add(Stage::Shuffle, t.elapsed());
 
         // ------------------------------------------------------------------
-        // Sort phase (parallel, one sorter per partition)
+        // Sort phase (parallel, one pool-scheduled sort task per partition)
         // ------------------------------------------------------------------
         let t = Instant::now();
-        crossbeam::scope(|s| {
-            for run in runs.iter_mut() {
-                s.spawn(move |_| sort_run(run));
-            }
-        })
-        .expect("sort thread panicked");
+        sort_runs(pool, &mut runs, iteration)?;
         metrics.stages.add(Stage::Sort, t.elapsed());
 
         // ------------------------------------------------------------------
@@ -201,11 +195,9 @@ where
                     },
                     move |_attempt| {
                         let mut out = Emitter::new();
-                        let mut values: Vec<V2> = Vec::new();
                         let mut invocations = 0u64;
                         for group in groups(run) {
-                            let k2 = values_of(group, &mut values);
-                            reducer.reduce(k2, &values, &mut out);
+                            reducer.reduce(&group[0].0, Values::group(group), &mut out);
                             invocations += 1;
                         }
                         Ok((out.into_pairs(), invocations))
@@ -241,7 +233,7 @@ mod tests {
                 out.emit(w.to_string(), 1);
             }
         };
-        let reducer = |k: &String, vs: &[u64], out: &mut Emitter<String, u64>| {
+        let reducer = |k: &String, vs: Values<String, u64>, out: &mut Emitter<String, u64>| {
             out.emit(k.clone(), vs.iter().sum());
         };
         let job = MapReduceJob::new(&cfg, &mapper, &reducer, &HashPartitioner);
@@ -271,8 +263,9 @@ mod tests {
             out.emit(k % 3, *v);
             out.emit(k % 3, v + 1);
         };
-        let reducer =
-            |k: &u64, vs: &[u64], out: &mut Emitter<u64, u64>| out.emit(*k, vs.iter().sum());
+        let reducer = |k: &u64, vs: Values<u64, u64>, out: &mut Emitter<u64, u64>| {
+            out.emit(*k, vs.iter().sum())
+        };
         let job = MapReduceJob::new(&cfg, &mapper, &reducer, &HashPartitioner);
         let input: Vec<(u64, u64)> = (0..10).map(|i| (i, i)).collect();
         let run = job.run(&pool, &input, 0).unwrap();
@@ -293,8 +286,9 @@ mod tests {
         };
         let pool = WorkerPool::new(2);
         let mapper = |k: &u64, _v: &u64, out: &mut Emitter<u64, u64>| out.emit(*k, 1);
-        let reducer =
-            |k: &u64, vs: &[u64], out: &mut Emitter<u64, u64>| out.emit(*k, vs.len() as u64);
+        let reducer = |k: &u64, vs: Values<u64, u64>, out: &mut Emitter<u64, u64>| {
+            out.emit(*k, vs.len() as u64)
+        };
         let job = MapReduceJob::new(&cfg, &mapper, &reducer, &HashPartitioner);
         let input: Vec<(u64, u64)> = (0..50).rev().map(|i| (i % 17, i)).collect();
         let run = job.run(&pool, &input, 0).unwrap();
@@ -311,7 +305,7 @@ mod tests {
         let cfg = JobConfig::symmetric(2);
         let pool = WorkerPool::new(2);
         let mapper = |_: &u64, _: &u64, _: &mut Emitter<u64, u64>| {};
-        let reducer = |_: &u64, _: &[u64], _: &mut Emitter<u64, u64>| {};
+        let reducer = |_: &u64, _: Values<u64, u64>, _: &mut Emitter<u64, u64>| {};
         let job = MapReduceJob::new(&cfg, &mapper, &reducer, &HashPartitioner);
         let run = job.run(&pool, &[], 0).unwrap();
         assert_eq!(run.output_len(), 0);
@@ -331,7 +325,7 @@ mod tests {
         let mapper = |_k: &u64, v: &u64, out: &mut Emitter<String, u64>| {
             out.emit("only".to_string(), *v);
         };
-        let reducer = |k: &String, vs: &[u64], out: &mut Emitter<String, u64>| {
+        let reducer = |k: &String, vs: Values<String, u64>, out: &mut Emitter<String, u64>| {
             out.emit(k.clone(), vs.len() as u64);
         };
         let job = MapReduceJob::new(&cfg, &mapper, &reducer, &HashPartitioner);
@@ -359,7 +353,7 @@ mod tests {
                 out.emit(w.to_string(), 1);
             }
         };
-        let reducer = |k: &String, vs: &[u64], out: &mut Emitter<String, u64>| {
+        let reducer = |k: &String, vs: Values<String, u64>, out: &mut Emitter<String, u64>| {
             out.emit(k.clone(), vs.iter().sum());
         };
         let job = MapReduceJob::new(&cfg, &mapper, &reducer, &HashPartitioner);

@@ -35,4 +35,5 @@ pub use fault::{FaultPlan, FaultSpec, TaskEvent, TaskEventKind, TaskId, TaskKind
 pub use job::{JobRun, MapReduceJob};
 pub use partition::{HashPartitioner, Partitioner};
 pub use pool::{TaskSpec, WorkerPool};
-pub use types::{Emitter, KeyData, Mapper, Reducer, ValueData};
+pub use shuffle::RunPool;
+pub use types::{Emitter, KeyData, Mapper, Reducer, ValueData, Values};

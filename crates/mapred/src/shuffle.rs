@@ -9,14 +9,83 @@
 //! kv-pair during shuffle (paper §3.3). For plain jobs the MK is simply
 //! unused baggage of 16 bytes, which we *do not* count toward the
 //! plain engine's shuffle bytes (vanilla Hadoop would not send it).
+//!
+//! # Zero-copy data plane
+//!
+//! The shuffle→sort→group→reduce path performs **no serialization and no
+//! per-record allocation** (see `DESIGN.md`):
+//!
+//! * byte metering uses [`Codec::encoded_len`] instead of encoding into a
+//!   scratch buffer;
+//! * per-run sorts are `sort_unstable_by` tasks scheduled on the
+//!   [`WorkerPool`] like any map/reduce task;
+//! * reducers see groups through the borrowed
+//!   [`Values`](crate::types::Values) view instead of a cloned `Vec<V2>`;
+//! * engines recycle run/partition buffers across iterations through a
+//!   [`RunPool`].
 
+use crate::fault::{TaskId, TaskKind};
 use crate::partition::Partitioner;
+use crate::pool::{TaskSpec, WorkerPool};
 use crate::types::{KeyData, ValueData};
 use i2mr_common::codec::Codec;
+use i2mr_common::error::Result;
 use i2mr_common::hash::MapKey;
+use parking_lot::Mutex;
 
 /// One intermediate record in flight between map and reduce.
 pub type ShuffleRecord<K2, V2> = (K2, MapKey, V2);
+
+/// Recycler for the data plane's `Vec<ShuffleRecord>` allocations.
+///
+/// Iterative engines own one pool per run: each iteration's shuffle runs
+/// and map-side partition buffers are [`RunPool::take`]n from it and
+/// [`RunPool::recycle`]d (cleared, capacity kept) once the reduce phase is
+/// done, so steady-state iterations allocate nothing on this path.
+pub struct RunPool<K2, V2> {
+    free: Mutex<Vec<Vec<ShuffleRecord<K2, V2>>>>,
+}
+
+impl<K2, V2> RunPool<K2, V2> {
+    /// An empty pool.
+    pub fn new() -> Self {
+        RunPool {
+            free: Mutex::new(Vec::new()),
+        }
+    }
+
+    /// Take a cleared buffer, reusing a recycled one when available.
+    pub fn take(&self) -> Vec<ShuffleRecord<K2, V2>> {
+        self.free.lock().pop().unwrap_or_default()
+    }
+
+    /// Return a buffer to the pool; its contents are dropped, its
+    /// capacity survives for the next [`RunPool::take`].
+    pub fn recycle(&self, mut buf: Vec<ShuffleRecord<K2, V2>>) {
+        buf.clear();
+        self.free.lock().push(buf);
+    }
+
+    /// Recycle a whole batch of buffers (an iteration's runs).
+    pub fn recycle_all(&self, bufs: impl IntoIterator<Item = Vec<ShuffleRecord<K2, V2>>>) {
+        let mut free = self.free.lock();
+        for mut buf in bufs {
+            buf.clear();
+            free.push(buf);
+        }
+    }
+
+    /// Number of idle buffers currently pooled.
+    pub fn idle(&self) -> usize {
+        self.free.lock().len()
+    }
+}
+
+impl<K2, V2> Default for RunPool<K2, V2> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
 
 /// Per-reduce-partition buffers of intermediate records.
 pub struct ShuffleBuffers<K2, V2> {
@@ -28,6 +97,13 @@ impl<K2: KeyData, V2: ValueData> ShuffleBuffers<K2, V2> {
     pub fn new(n_reduce: usize) -> Self {
         ShuffleBuffers {
             parts: (0..n_reduce).map(|_| Vec::new()).collect(),
+        }
+    }
+
+    /// Buffers for `n_reduce` partitions, drawing capacity from `pool`.
+    pub fn with_pool(n_reduce: usize, pool: &RunPool<K2, V2>) -> Self {
+        ShuffleBuffers {
+            parts: (0..n_reduce).map(|_| pool.take()).collect(),
         }
     }
 
@@ -62,13 +138,12 @@ impl<K2: KeyData, V2: ValueData> ShuffleBuffers<K2, V2> {
 
 /// Byte size of `(k, v)` in the canonical wire encoding, excluding MK.
 ///
-/// `scratch` is a reusable buffer to avoid per-record allocation.
+/// Computed from [`Codec::encoded_len`]: no serialization, no scratch
+/// buffer. The codec property suite guarantees this equals what encoding
+/// would have produced.
 #[inline]
-pub fn metered_size<K: Codec, V: Codec>(k: &K, v: &V, scratch: &mut Vec<u8>) -> u64 {
-    scratch.clear();
-    k.encode(scratch);
-    v.encode(scratch);
-    scratch.len() as u64
+pub fn metered_size<K: Codec, V: Codec>(k: &K, v: &V) -> u64 {
+    (k.encoded_len() + v.encoded_len()) as u64
 }
 
 /// Wire cost charged per record for transferring MK during shuffle.
@@ -89,20 +164,44 @@ pub fn transpose<K2: KeyData, V2: ValueData>(
     n_reduce: usize,
     count_mk_bytes: bool,
 ) -> (Vec<Vec<ShuffleRecord<K2, V2>>>, u64, u64) {
-    let mut runs: Vec<Vec<ShuffleRecord<K2, V2>>> = (0..n_reduce).map(|_| Vec::new()).collect();
+    transpose_impl(map_outputs, n_reduce, count_mk_bytes, None)
+}
+
+/// [`transpose`] drawing run buffers from — and recycling the drained
+/// map-side partition buffers into — `pool`.
+pub fn transpose_pooled<K2: KeyData, V2: ValueData>(
+    map_outputs: Vec<ShuffleBuffers<K2, V2>>,
+    n_reduce: usize,
+    count_mk_bytes: bool,
+    pool: &RunPool<K2, V2>,
+) -> (Vec<Vec<ShuffleRecord<K2, V2>>>, u64, u64) {
+    transpose_impl(map_outputs, n_reduce, count_mk_bytes, Some(pool))
+}
+
+fn transpose_impl<K2: KeyData, V2: ValueData>(
+    map_outputs: Vec<ShuffleBuffers<K2, V2>>,
+    n_reduce: usize,
+    count_mk_bytes: bool,
+    pool: Option<&RunPool<K2, V2>>,
+) -> (Vec<Vec<ShuffleRecord<K2, V2>>>, u64, u64) {
+    let mut runs: Vec<Vec<ShuffleRecord<K2, V2>>> = (0..n_reduce)
+        .map(|_| pool.map_or_else(Vec::new, RunPool::take))
+        .collect();
     let mut records = 0u64;
     let mut bytes = 0u64;
-    let mut scratch = Vec::with_capacity(64);
     for buffers in map_outputs {
-        for (p, part) in buffers.into_parts().into_iter().enumerate() {
+        for (p, mut part) in buffers.into_parts().into_iter().enumerate() {
             records += part.len() as u64;
             for (k, _mk, v) in &part {
-                bytes += metered_size(k, v, &mut scratch);
+                bytes += metered_size(k, v);
                 if count_mk_bytes {
                     bytes += MK_WIRE_BYTES;
                 }
             }
-            runs[p].extend(part);
+            runs[p].append(&mut part);
+            if let Some(pool) = pool {
+                pool.recycle(part);
+            }
         }
     }
     (runs, records, bytes)
@@ -110,32 +209,76 @@ pub fn transpose<K2: KeyData, V2: ValueData>(
 
 /// Sort one partition's run by `(K2, MK)` — the order the MRBGraph file
 /// inherits from the shuffle (paper §3.4).
+///
+/// The sort is **unstable**. On the i2MapReduce engines `(K2, MK)` is the
+/// MRBGraph's edge identity (paper §3.2: a map instance emits one value
+/// per K2), so those runs carry no duplicate sort keys and stability buys
+/// nothing; `MrbgStore::append_batch` debug-asserts the batch order that
+/// results. The vanilla path *may* carry duplicate `(K2, MK)` pairs (one
+/// input record emitting a key twice, e.g. word count) — their relative
+/// order is **unspecified**, exactly as Hadoop leaves reduce values order
+/// unspecified, and the [`Reducer`](crate::types::Reducer) contract
+/// requires insensitivity to it. The value *multiset* per group is always
+/// preserved.
 pub fn sort_run<K2: Ord, V2>(run: &mut [ShuffleRecord<K2, V2>]) {
-    run.sort_by(|a, b| a.0.cmp(&b.0).then(a.1.cmp(&b.1)));
+    run.sort_unstable_by(|a, b| a.0.cmp(&b.0).then(a.1.cmp(&b.1)));
 }
 
-/// Iterate groups of equal K2 over a sorted run.
+/// Sort every run in parallel, one [`TaskKind::Sort`] task per run on the
+/// worker pool (replacing the old ad-hoc scoped threads, so sort work is
+/// scheduled, retried, and timeline-recorded like any other task).
+pub fn sort_runs<K2, V2>(
+    pool: &WorkerPool,
+    runs: &mut [Vec<ShuffleRecord<K2, V2>>],
+    iteration: u64,
+) -> Result<()>
+where
+    K2: Ord + Send,
+    V2: Send,
+{
+    let cells: Vec<Mutex<&mut Vec<ShuffleRecord<K2, V2>>>> =
+        runs.iter_mut().map(Mutex::new).collect();
+    let tasks: Vec<TaskSpec<'_, ()>> = cells
+        .iter()
+        .enumerate()
+        .map(|(i, cell)| {
+            TaskSpec::new(
+                TaskId {
+                    kind: TaskKind::Sort,
+                    index: i,
+                    iteration,
+                },
+                move |_| {
+                    // Idempotent under retry: re-sorting sorted data is a no-op.
+                    sort_run(cell.lock().as_mut_slice());
+                    Ok(())
+                },
+            )
+        })
+        .collect();
+    pool.run_tasks(tasks).map(|_| ())
+}
+
+/// Iterate groups of equal K2 over a run sorted by [`sort_run`].
+///
+/// Each group is a contiguous `(K2, MK)`-sorted slice; within a group the
+/// records ascend by MK, which is exactly the entry order
+/// `MrbgStore::append_batch` preserves per chunk (paper §3.4 stores each
+/// Reduce instance's input as one chunk; byte-lexicographic *chunk* order
+/// within a batch is the store's own canonicalization and is re-asserted
+/// there, not here).
 pub fn groups<K2: Eq, V2>(
     sorted: &[ShuffleRecord<K2, V2>],
 ) -> impl Iterator<Item = &[ShuffleRecord<K2, V2>]> {
     sorted.chunk_by(|a, b| a.0 == b.0)
 }
 
-/// Clone a group's values into `out` (reused scratch) for the reducer's
-/// `&[V2]` argument.
-pub fn values_of<'a, K2, V2: Clone>(
-    group: &'a [ShuffleRecord<K2, V2>],
-    out: &mut Vec<V2>,
-) -> &'a K2 {
-    out.clear();
-    out.extend(group.iter().map(|(_, _, v)| v.clone()));
-    &group[0].0
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;
     use crate::partition::HashPartitioner;
+    use crate::types::Values;
+    use i2mr_common::codec::encode_to;
 
     fn mk(n: u128) -> MapKey {
         MapKey(n)
@@ -213,17 +356,83 @@ mod tests {
         assert_eq!(gs[1].len(), 1);
         assert_eq!(gs[2].len(), 2);
 
-        let mut scratch = Vec::new();
-        let k = values_of(gs[2], &mut scratch);
-        assert_eq!(*k, 7);
-        assert_eq!(scratch, vec![70, 71]);
+        let vals = Values::group(gs[2]);
+        assert_eq!(gs[2][0].0, 7);
+        assert_eq!(vals.iter().copied().collect::<Vec<_>>(), vec![70, 71]);
     }
 
     #[test]
-    fn metered_size_matches_encoding() {
-        let mut scratch = Vec::new();
-        let sz = metered_size(&"ab".to_string(), &1u64, &mut scratch);
+    fn metered_size_matches_encoding_without_serializing() {
+        let k = "ab".to_string();
+        let v = 1u64;
         // "ab" encodes to 1 len byte + 2 payload; 1u64 to 1 varint byte.
-        assert_eq!(sz, 4);
+        assert_eq!(metered_size(&k, &v), 4);
+        let mut wire = encode_to(&k);
+        wire.extend(encode_to(&v));
+        assert_eq!(metered_size(&k, &v), wire.len() as u64);
+    }
+
+    #[test]
+    fn run_pool_recycles_capacity() {
+        let pool: RunPool<u64, u64> = RunPool::new();
+        let mut a = pool.take();
+        a.reserve(1000);
+        let cap = a.capacity();
+        a.push((1, mk(1), 1));
+        pool.recycle(a);
+        assert_eq!(pool.idle(), 1);
+        let b = pool.take();
+        assert!(b.is_empty(), "recycled buffers come back cleared");
+        assert_eq!(b.capacity(), cap, "recycled buffers keep their capacity");
+        assert_eq!(pool.idle(), 0);
+    }
+
+    #[test]
+    fn transpose_pooled_recycles_map_buffers_and_reuses_runs() {
+        let pool: RunPool<u64, u64> = RunPool::new();
+        let p = HashPartitioner;
+        // First "iteration".
+        let mut m: ShuffleBuffers<u64, u64> = ShuffleBuffers::with_pool(2, &pool);
+        for k in 0..10u64 {
+            m.push(k, mk(k as u128), k, &p);
+        }
+        let (runs, records, _) = transpose_pooled(vec![m], 2, false, &pool);
+        assert_eq!(records, 10);
+        // The map task's 2 partition buffers were drained and recycled.
+        assert_eq!(pool.idle(), 2);
+        pool.recycle_all(runs);
+        assert_eq!(pool.idle(), 4);
+
+        // Second "iteration" draws everything from the pool.
+        let m: ShuffleBuffers<u64, u64> = ShuffleBuffers::with_pool(2, &pool);
+        assert_eq!(pool.idle(), 2);
+        let (runs, _, _) = transpose_pooled(vec![m], 2, false, &pool);
+        assert_eq!(runs.len(), 2);
+        assert_eq!(pool.idle(), 2);
+    }
+
+    #[test]
+    fn sort_runs_sorts_every_run_on_the_pool() {
+        let wp = WorkerPool::new(3);
+        let mut runs: Vec<Vec<ShuffleRecord<u64, u64>>> = (0..5)
+            .map(|r| {
+                (0..50u64)
+                    .rev()
+                    .map(|i| ((i * 7 + r) % 23, mk(i as u128), i))
+                    .collect()
+            })
+            .collect();
+        sort_runs(&wp, &mut runs, 4).unwrap();
+        for run in &runs {
+            assert!(run
+                .windows(2)
+                .all(|w| (&w[0].0, w[0].1) <= (&w[1].0, w[1].1)));
+        }
+        // Sort tasks are first-class: they appear on the recorded timeline.
+        let tl = wp.take_timeline();
+        assert!(tl
+            .events()
+            .iter()
+            .any(|e| e.task.kind == TaskKind::Sort && e.task.iteration == 4));
     }
 }

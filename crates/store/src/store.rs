@@ -58,6 +58,11 @@ pub struct MrbgStore {
     index: ChunkIndex,
     config: StoreConfig,
     io: IoStats,
+    /// Persistent scratch for point/window reads: every [`MrbgStore::get`]
+    /// used to allocate a fresh `Vec<u8>`; now the buffer is reused and
+    /// only grows when a chunk exceeds all previous reads.
+    /// [`IoStats::scratch_reuses`] counts the allocations this avoids.
+    read_scratch: Vec<u8>,
 }
 
 impl MrbgStore {
@@ -86,6 +91,7 @@ impl MrbgStore {
             index: ChunkIndex::new(),
             config,
             io: IoStats::default(),
+            read_scratch: Vec::new(),
         };
         store.persist_index()?;
         Ok(store)
@@ -110,6 +116,7 @@ impl MrbgStore {
             index,
             config,
             io: IoStats::default(),
+            read_scratch: Vec::new(),
         })
     }
 
@@ -167,6 +174,16 @@ impl MrbgStore {
     /// is updated and persisted.
     pub fn append_batch(&mut self, mut chunks: Vec<Chunk>) -> Result<()> {
         chunks.sort_by(|a, b| a.key.cmp(&b.key));
+        // Canonical batch order (paper §3.4): one chunk per Reduce
+        // instance, strictly ascending byte-lexicographic keys. The
+        // shuffle's per-run sort is *unstable* over the `(K2, MK)` edge
+        // identity, which is only safe because a well-formed batch never
+        // carries two chunks for one K2 — assert it so a violation cannot
+        // silently scramble the window algorithms.
+        debug_assert!(
+            chunks.windows(2).all(|w| w[0].key < w[1].key),
+            "MRBGraph batch violates canonical batch order: duplicate chunk key"
+        );
         let batch_id = self.index.batches().len() as u32;
         let start = self.file_len;
         let mut append = AppendBuffer::new(self.config.append_capacity, self.file_len);
@@ -278,8 +295,7 @@ impl MrbgStore {
             Some(loc) => loc,
             None => return Ok(None),
         };
-        let bytes = self.read_region(loc.offset, loc.len as u64)?;
-        let mut cur = bytes.as_slice();
+        let mut cur = self.read_region(loc.offset, loc.len as u64)?;
         let chunk = Chunk::decode(&mut cur)?;
         if chunk.key != key {
             return Err(Error::corrupt(
@@ -381,12 +397,19 @@ impl MrbgStore {
         Self::open(dir, config)
     }
 
-    fn read_region(&mut self, offset: u64, len: u64) -> Result<Vec<u8>> {
+    /// Read `len` bytes at `offset` into the persistent scratch buffer and
+    /// return them. The buffer is reused across calls (its capacity only
+    /// ever grows), so steady-state point reads allocate nothing.
+    fn read_region(&mut self, offset: u64, len: u64) -> Result<&[u8]> {
         self.file.seek(SeekFrom::Start(offset))?;
-        let mut buf = vec![0u8; len as usize];
-        self.file.read_exact(&mut buf)?;
-        self.io.record_read(len);
-        Ok(buf)
+        let len = len as usize;
+        if self.read_scratch.capacity() >= len {
+            self.io.record_scratch_reuse();
+        }
+        self.read_scratch.resize(len, 0);
+        self.file.read_exact(&mut self.read_scratch[..len])?;
+        self.io.record_read(len as u64);
+        Ok(&self.read_scratch[..len])
     }
 }
 
@@ -560,6 +583,39 @@ mod tests {
         assert_eq!(restored.len(), 1);
         let c = restored.get(b"a").unwrap().unwrap();
         assert_eq!(c.entries.len(), 2);
+    }
+
+    #[test]
+    fn point_reads_reuse_the_scratch_buffer() {
+        let mut s = MrbgStore::create(tmpdir("scratch"), StoreConfig::default()).unwrap();
+        s.append_batch(vec![
+            chunk("big", &[(1, "a-rather-long-value-payload")]),
+            chunk("sml", &[(2, "v")]),
+        ])
+        .unwrap();
+        s.reset_io_stats();
+
+        // First read allocates (empty scratch), every following read whose
+        // chunk fits in the grown buffer is allocation-free.
+        s.get(b"big").unwrap().unwrap();
+        let after_first = s.io_stats().scratch_reuses;
+        assert_eq!(after_first, 0, "first read must grow the scratch");
+        for _ in 0..5 {
+            s.get(b"big").unwrap().unwrap();
+            s.get(b"sml").unwrap().unwrap();
+        }
+        let io = s.io_stats();
+        assert_eq!(io.scratch_reuses, 10, "all later reads reuse the buffer");
+        assert_eq!(io.reads, 11);
+    }
+
+    #[test]
+    #[cfg(debug_assertions)]
+    #[should_panic(expected = "canonical batch order")]
+    fn duplicate_chunk_keys_in_one_batch_are_rejected() {
+        let mut s = MrbgStore::create(tmpdir("dupkeys"), StoreConfig::default()).unwrap();
+        s.append_batch(vec![chunk("k", &[(1, "a")]), chunk("k", &[(2, "b")])])
+            .unwrap();
     }
 
     #[test]

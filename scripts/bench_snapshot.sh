@@ -1,0 +1,28 @@
+#!/usr/bin/env bash
+# Snapshot the shuffle data-plane microbench into BENCH_shuffle.json.
+#
+# Runs the `micro_shuffle` criterion target (baseline vs zero-copy pipeline
+# at three run sizes) and writes every benchmark's min/median/mean into a
+# JSON file at the repo root — the perf-trajectory baseline for the
+# shuffle→sort→group→reduce hot path. Re-run after data-plane changes and
+# compare the `micro_shuffle/sortreduce/*` medians.
+#
+# Usage:
+#   scripts/bench_snapshot.sh [output.json] [extra cargo bench args...]
+#   I2MR_BENCH_QUICK=1 scripts/bench_snapshot.sh   # ~10x smaller workloads
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+out="${1:-BENCH_shuffle.json}"
+shift || true
+case "$out" in
+  /*) : ;;               # absolute path: use as-is
+  *) out="$PWD/$out" ;;  # relative: anchor at the repo root
+esac
+
+I2MR_BENCH_JSON="$out" cargo bench --bench micro_shuffle "$@"
+
+echo
+echo "== snapshot: $out =="
+# Print the headline comparison (no jq dependency: plain grep).
+grep -o '"id": "micro_shuffle/sortreduce[^}]*' "$out" || true

@@ -13,9 +13,67 @@
 //! real criterion becomes available the shim is drop-in replaceable.
 
 use std::fmt::Display;
+use std::sync::Mutex;
 use std::time::{Duration, Instant};
 
 pub use std::hint::black_box;
+
+/// One finished benchmark's summary statistics.
+#[derive(Clone, Debug)]
+pub struct BenchRecord {
+    pub id: String,
+    pub min_ns: u128,
+    pub median_ns: u128,
+    pub mean_ns: u128,
+    pub samples: usize,
+}
+
+/// Registry of all benchmarks completed so far in this process. Lets late
+/// bench targets summarize earlier ones and powers the JSON snapshot.
+static RECORDS: Mutex<Vec<BenchRecord>> = Mutex::new(Vec::new());
+
+/// Snapshot of every benchmark completed so far.
+pub fn completed_records() -> Vec<BenchRecord> {
+    RECORDS.lock().unwrap().clone()
+}
+
+/// True when the binary was invoked in smoke mode (`cargo bench -- --test`):
+/// one sample per benchmark, just enough to prove the target still runs.
+pub fn is_test_mode() -> bool {
+    std::env::args().any(|a| a == "--test")
+}
+
+/// If `I2MR_BENCH_JSON` names a file, write every completed benchmark's
+/// stats there as a JSON array. Called by `criterion_main!` on exit.
+///
+/// Each bench *binary* overwrites the file on exit — set the env var only
+/// when running a single target (`cargo bench --bench <target>`), as
+/// `scripts/bench_snapshot.sh` does; a filterless `cargo bench` would
+/// leave just the last target's records.
+pub fn write_json_if_requested() {
+    let Some(path) = std::env::var_os("I2MR_BENCH_JSON") else {
+        return;
+    };
+    let records = RECORDS.lock().unwrap();
+    let mut out = String::from("[\n");
+    for (i, r) in records.iter().enumerate() {
+        out.push_str(&format!(
+            "  {{\"id\": \"{}\", \"min_ns\": {}, \"median_ns\": {}, \"mean_ns\": {}, \"samples\": {}}}{}\n",
+            r.id.replace('\\', "\\\\").replace('"', "\\\""),
+            r.min_ns,
+            r.median_ns,
+            r.mean_ns,
+            r.samples,
+            if i + 1 < records.len() { "," } else { "" }
+        ));
+    }
+    out.push_str("]\n");
+    if let Err(e) = std::fs::write(&path, out) {
+        eprintln!("warning: could not write {}: {e}", path.to_string_lossy());
+    } else {
+        println!("bench snapshot written to {}", path.to_string_lossy());
+    }
+}
 
 /// How batched inputs are sized (shim: only drives loop accounting).
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -105,6 +163,13 @@ impl Bencher {
             mean,
             self.samples.len()
         );
+        RECORDS.lock().unwrap().push(BenchRecord {
+            id: id.to_string(),
+            min_ns: min.as_nanos(),
+            median_ns: median.as_nanos(),
+            mean_ns: mean.as_nanos(),
+            samples: self.samples.len(),
+        });
     }
 }
 
@@ -115,14 +180,19 @@ pub struct Criterion {
 
 impl Default for Criterion {
     fn default() -> Self {
-        Criterion { sample_size: 20 }
+        // Smoke mode (`-- --test`) runs each benchmark once: CI uses it to
+        // keep bench targets from rotting without paying measurement time.
+        let sample_size = if is_test_mode() { 1 } else { 20 };
+        Criterion { sample_size }
     }
 }
 
 impl Criterion {
     pub fn sample_size(mut self, n: usize) -> Self {
         assert!(n > 0, "sample_size must be positive");
-        self.sample_size = n;
+        if !is_test_mode() {
+            self.sample_size = n;
+        }
         self
     }
 
@@ -162,7 +232,9 @@ pub struct BenchmarkGroup<'a> {
 impl BenchmarkGroup<'_> {
     pub fn sample_size(&mut self, n: usize) -> &mut Self {
         assert!(n > 0, "sample_size must be positive");
-        self.criterion.sample_size = n;
+        if !is_test_mode() {
+            self.criterion.sample_size = n;
+        }
         self
     }
 
@@ -219,6 +291,7 @@ macro_rules! criterion_main {
     ($($group:path),+ $(,)?) => {
         fn main() {
             $( $group(); )+
+            $crate::write_json_if_requested();
         }
     };
 }

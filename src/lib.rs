@@ -47,6 +47,8 @@ pub mod prelude {
         Accumulator, AccumulatorEngine, Delta, IncrIterEngine, IncrParams, IterParams,
         IterativeSpec, OneStepEngine, PartitionedIterEngine, PreserveMode, SmallStateSpec,
     };
-    pub use i2mr_mapred::{Emitter, HashPartitioner, JobConfig, Mapper, Reducer, WorkerPool};
+    pub use i2mr_mapred::{
+        Emitter, HashPartitioner, JobConfig, Mapper, Reducer, Values, WorkerPool,
+    };
     pub use i2mr_store::{MrbgStore, QueryStrategy, StoreConfig};
 }

@@ -181,7 +181,8 @@ fn onestep_engine_survives_compaction_and_strategy_changes() {
             out.emit(dst.parse().unwrap(), w.parse().unwrap());
         }
     };
-    let reducer = |k: &u64, vs: &[f64], out: &mut Emitter<u64, f64>| out.emit(*k, vs.iter().sum());
+    let reducer =
+        |k: &u64, vs: Values<u64, f64>, out: &mut Emitter<u64, f64>| out.emit(*k, vs.iter().sum());
 
     let input: Vec<(u64, String)> = (0..80u64)
         .map(|i| (i, format!("{}:1.5;{}:0.5", (i + 1) % 80, (i + 7) % 80)))

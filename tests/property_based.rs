@@ -209,7 +209,7 @@ fn edge_mapper(_src: &u64, adj: &String, out: &mut Emitter<u64, f64>) {
     }
 }
 
-fn sum_reducer(k: &u64, vs: &[f64], out: &mut Emitter<u64, f64>) {
+fn sum_reducer(k: &u64, vs: Values<u64, f64>, out: &mut Emitter<u64, f64>) {
     out.emit(*k, vs.iter().sum());
 }
 
@@ -308,5 +308,103 @@ proptest! {
             prop_assert_eq!(ka, kb);
             prop_assert!((va - vb).abs() < 1e-9, "key {}: {} vs {}", ka, va, vb);
         }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Sized codecs: encoded_len() == encode_to().len(), exactly, for every impl
+// ---------------------------------------------------------------------------
+
+/// The contract `metered_size` relies on: pricing a record must agree with
+/// what serializing it would have produced, byte for byte.
+fn prop_sized<T: i2mapreduce::common::codec::Codec>(v: &T) {
+    assert_eq!(
+        v.encoded_len(),
+        encode_to(v).len(),
+        "encoded_len drifted from encode"
+    );
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    #[test]
+    fn encoded_len_matches_encoding_unsigned(a in any::<u8>(), b in any::<u16>(), c in any::<u32>(), d in any::<u64>(), e in any::<usize>(), f in any::<u128>()) {
+        prop_sized(&a);
+        prop_sized(&b);
+        prop_sized(&c);
+        prop_sized(&d);
+        prop_sized(&e);
+        prop_sized(&f);
+        // Varint boundaries get deliberate coverage beyond random draws.
+        for v in [0u64, 127, 128, 16383, 16384, (1 << 63) - 1, u64::MAX] {
+            prop_sized(&v);
+        }
+    }
+
+    #[test]
+    fn encoded_len_matches_encoding_signed(a in any::<i8>(), b in any::<i16>(), c in any::<i32>(), d in any::<i64>(), e in any::<isize>()) {
+        prop_sized(&a);
+        prop_sized(&b);
+        prop_sized(&c);
+        prop_sized(&d);
+        prop_sized(&e);
+        for v in [i64::MIN, -1, 0, 1, i64::MAX] {
+            prop_sized(&v);
+        }
+    }
+
+    #[test]
+    fn encoded_len_matches_encoding_floats_bool_unit(x in any::<f32>(), y in any::<f64>(), b in any::<bool>()) {
+        prop_sized(&x);
+        prop_sized(&y);
+        prop_sized(&b);
+        prop_sized(&());
+    }
+
+    #[test]
+    fn encoded_len_matches_encoding_strings_and_vecs(s in ".{0,40}", v in proptest::collection::vec(any::<u64>(), 0..32)) {
+        prop_sized(&s);
+        prop_sized(&v);
+        prop_sized(&Some(s.clone()));
+        prop_sized(&Option::<String>::None);
+        prop_sized(&vec![s.clone(); 3]);
+    }
+
+    #[test]
+    fn encoded_len_matches_encoding_composites(pairs in proptest::collection::vec((any::<u64>(), any::<f64>(), ".{0,12}"), 0..16), tag in any::<u8>()) {
+        // Tuples of every supported arity, nested options and vecs.
+        prop_sized(&(tag,));
+        prop_sized(&(tag, pairs.len() as u64));
+        prop_sized(&(tag, pairs.len() as u64, 0.5f32));
+        prop_sized(&(tag, pairs.len() as u64, 0.5f32, true));
+        prop_sized(&pairs);
+        prop_sized(&Some(vec![Some(1u32), None]));
+    }
+
+    #[test]
+    fn encoded_len_matches_encoding_downstream_impls(
+        blocks in proptest::collection::vec((any::<u32>(), any::<u32>(), any::<f64>()), 0..12),
+        vecv in proptest::collection::vec(any::<f64>(), 0..12),
+        name in ".{0,16}",
+        len in any::<u64>(),
+        ids in proptest::collection::vec((any::<u64>(), any::<u64>(), 0usize..8), 0..6),
+    ) {
+        // The two Codec impls outside i2mr-common must honor the same law.
+        prop_sized(&i2mapreduce::algos::gimv::GimvMsg::Block(blocks));
+        prop_sized(&i2mapreduce::algos::gimv::GimvMsg::Vector(vecv));
+        let meta = i2mapreduce::dfs::FileMeta {
+            name,
+            len,
+            blocks: ids
+                .into_iter()
+                .map(|(id, blen, worker)| i2mapreduce::dfs::BlockMeta {
+                    id: i2mapreduce::dfs::BlockId(id),
+                    len: blen,
+                    home_worker: worker,
+                })
+                .collect(),
+        };
+        prop_sized(&meta);
     }
 }

@@ -1,0 +1,168 @@
+//! Shuffle-equivalence: the zero-copy data plane must be a pure
+//! performance change.
+//!
+//! Runs one seeded PageRank iteration through the production pipeline
+//! (unstable pool-scheduled sorts, borrowed [`Values`] groups) and through
+//! a faithful reproduction of the pre-refactor pipeline (stable sort,
+//! `values_of`-style cloned `Vec<V2>` per group), and asserts the two
+//! outputs are **byte-identical** under the canonical codec — not merely
+//! numerically close.
+
+use i2mapreduce::common::codec::{encode_to, Codec};
+use i2mapreduce::common::hash::MapKey;
+use i2mapreduce::datagen::graph::GraphGen;
+use i2mapreduce::mapred::shuffle::{groups, ShuffleBuffers, ShuffleRecord};
+use i2mapreduce::mapred::types::Values;
+use i2mapreduce::mapred::{
+    Emitter, HashPartitioner, JobConfig, MapReduceJob, Partitioner, WorkerPool,
+};
+
+/// `<i, Ni|Ri>` record of the paper's Algorithm 2 plainMR formulation.
+type Rec = (Vec<u64>, f64);
+
+fn pagerank_mapper(i: &u64, rec: &Rec, out: &mut Emitter<u64, Rec>) {
+    let (links, rank) = rec;
+    out.emit(*i, (links.clone(), f64::NAN)); // structure marker
+    if !links.is_empty() {
+        let share = rank / links.len() as f64;
+        for j in links {
+            out.emit(*j, (Vec::new(), share));
+        }
+    }
+}
+
+/// The reduce body, shared verbatim by both pipelines so the only
+/// difference under test is how `values` reaches it.
+fn pagerank_fold<'a>(j: u64, values: impl Iterator<Item = &'a Rec>) -> (u64, Rec) {
+    let mut links: Vec<u64> = Vec::new();
+    let mut sum = 0.0;
+    for (l, share) in values {
+        if share.is_nan() {
+            links = l.clone();
+        } else {
+            sum += share;
+        }
+    }
+    (j, (links, 0.15 + 0.85 * sum))
+}
+
+/// Pre-refactor reference: encode-metered transpose, stable per-run sort,
+/// per-group clone into a scratch `Vec<V2>`, reduce over the slice.
+fn legacy_iteration(input: &[(u64, Rec)], n_map: usize, n_reduce: usize) -> Vec<Vec<(u64, Rec)>> {
+    // Map phase with the engine's exact MK derivation and split layout.
+    let split_len = input.len().div_ceil(n_map).max(1);
+    let mut map_outputs: Vec<ShuffleBuffers<u64, Rec>> = Vec::new();
+    for split in input.chunks(split_len) {
+        let mut buffers = ShuffleBuffers::new(n_reduce);
+        let mut emitter = Emitter::new();
+        let (mut kbuf, mut vbuf) = (Vec::new(), Vec::new());
+        for (k1, v1) in split {
+            kbuf.clear();
+            k1.encode(&mut kbuf);
+            vbuf.clear();
+            v1.encode(&mut vbuf);
+            let mk = MapKey::for_record(&kbuf, &vbuf);
+            pagerank_mapper(k1, v1, &mut emitter);
+            for (k2, v2) in emitter.drain() {
+                buffers.push(k2, mk, v2, &HashPartitioner);
+            }
+        }
+        map_outputs.push(buffers);
+    }
+
+    // Transpose exactly as the old code did (fresh runs, extend per part).
+    let mut runs: Vec<Vec<ShuffleRecord<u64, Rec>>> = (0..n_reduce).map(|_| Vec::new()).collect();
+    for buffers in map_outputs {
+        for (p, part) in buffers.into_parts().into_iter().enumerate() {
+            runs[p].extend(part);
+        }
+    }
+
+    // Stable sort (the old `sort_run`), sequentially — ordering, not
+    // scheduling, is what equivalence depends on.
+    for run in runs.iter_mut() {
+        run.sort_by(|a, b| a.0.cmp(&b.0).then(a.1.cmp(&b.1)));
+    }
+
+    // Cloned-values reduce: the old `values_of` contract.
+    let mut outputs = Vec::with_capacity(n_reduce);
+    for run in &runs {
+        let mut part_out = Vec::new();
+        let mut values: Vec<Rec> = Vec::new();
+        for group in groups(run) {
+            values.clear();
+            values.extend(group.iter().map(|(_, _, v)| v.clone()));
+            part_out.push(pagerank_fold(group[0].0, values.iter()));
+        }
+        outputs.push(part_out);
+    }
+    outputs
+}
+
+#[test]
+fn borrowed_values_reduce_is_byte_identical_to_cloned_reduce() {
+    let graph = GraphGen::new(150, 900, 11).generate();
+    let input: Vec<(u64, Rec)> = graph
+        .iter()
+        .map(|(i, links)| (*i, (links.clone(), 1.0)))
+        .collect();
+    let cfg = JobConfig {
+        n_map: 4,
+        n_reduce: 3,
+        ..Default::default()
+    };
+    let pool = WorkerPool::new(3);
+
+    // Production pipeline: borrowed Values over the sorted run.
+    let reducer = |j: &u64, vs: Values<u64, Rec>, out: &mut Emitter<u64, Rec>| {
+        let (k, v) = pagerank_fold(*j, vs.iter());
+        out.emit(k, v);
+    };
+    let job = MapReduceJob::new(&cfg, &pagerank_mapper, &reducer, &HashPartitioner);
+    let run = job.run(&pool, &input, 1).unwrap();
+
+    // Reference pipeline: pre-refactor cloned path.
+    let want = legacy_iteration(&input, cfg.n_map, cfg.n_reduce);
+
+    assert_eq!(run.outputs.len(), want.len());
+    for (p, (got, want)) in run.outputs.iter().zip(&want).enumerate() {
+        assert_eq!(
+            encode_to(got),
+            encode_to(want),
+            "partition {p}: byte-level output divergence"
+        );
+    }
+
+    // And the shuffle meter agrees with what encoding would have charged.
+    let mut expect_bytes = 0u64;
+    let mut emitter = Emitter::new();
+    for (k1, v1) in &input {
+        pagerank_mapper(k1, v1, &mut emitter);
+        for (k2, v2) in emitter.drain() {
+            expect_bytes += (k2.encoded_len() + {
+                let mut buf = Vec::new();
+                v2.encode(&mut buf);
+                buf.len()
+            }) as u64;
+        }
+    }
+    assert_eq!(run.metrics.shuffled_bytes, expect_bytes);
+}
+
+#[test]
+fn values_view_is_order_preserving_over_sorted_groups() {
+    // A focused check that Values::group yields the (K2, MK)-sorted order
+    // the MRBGraph batch inherits (paper §3.4).
+    let mut run: Vec<ShuffleRecord<u64, u32>> = vec![
+        (5, MapKey(9), 90),
+        (5, MapKey(1), 10),
+        (2, MapKey(3), 30),
+        (5, MapKey(4), 40),
+    ];
+    i2mapreduce::mapred::shuffle::sort_run(&mut run);
+    let gs: Vec<_> = groups(&run).collect();
+    assert_eq!(gs.len(), 2);
+    let v5 = Values::group(gs[1]);
+    assert_eq!(v5.iter().copied().collect::<Vec<_>>(), vec![10, 40, 90]);
+    let _ = HashPartitioner.partition(&5u64, 3);
+}

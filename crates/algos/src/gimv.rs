@@ -30,8 +30,7 @@ use i2mr_mapred::job::MapReduceJob;
 use i2mr_mapred::partition::HashPartitioner;
 use i2mr_mapred::pool::WorkerPool;
 use i2mr_mapred::types::{Emitter, Values};
-use i2mr_store::store::{MrbgStore, StoreConfig};
-use parking_lot::Mutex;
+use i2mr_store::runtime::{StoreManager, StoreRuntimeConfig};
 use std::collections::HashMap;
 use std::path::Path;
 use std::sync::Arc;
@@ -437,28 +436,23 @@ pub fn itermr(
 }
 
 /// i2MapReduce initial converged run with MRBGraph preservation.
+#[allow(clippy::too_many_arguments)]
 pub fn i2mr_initial(
     pool: &WorkerPool,
     cfg: &JobConfig,
     blocks: &[((u64, u64), Block)],
     spec: &Gimv,
     store_dir: &Path,
+    store_runtime: StoreRuntimeConfig,
     max_iterations: u64,
     epsilon: f64,
 ) -> Result<(
     PartitionedData<(u64, u64), Block, u64, Vec<f64>>,
-    Vec<Mutex<MrbgStore>>,
+    StoreManager,
     EngineRun,
 )> {
     let started = Instant::now();
-    let stores: Vec<Mutex<MrbgStore>> = (0..cfg.n_reduce)
-        .map(|p| {
-            Ok(Mutex::new(MrbgStore::create(
-                store_dir.join(format!("p{p}")),
-                StoreConfig::default(),
-            )?))
-        })
-        .collect::<Result<_>>()?;
+    let stores = StoreManager::create(store_dir, cfg.n_reduce, store_runtime)?;
     let engine = PartitionedIterEngine::new(
         spec,
         cfg.clone(),
@@ -488,7 +482,7 @@ pub fn i2mr_incremental(
     pool: &WorkerPool,
     cfg: &JobConfig,
     data: &mut PartitionedData<(u64, u64), Block, u64, Vec<f64>>,
-    stores: &[Mutex<MrbgStore>],
+    stores: &StoreManager,
     spec: &Gimv,
     delta: &Delta<(u64, u64), Block>,
     max_iterations: u64,
@@ -513,7 +507,7 @@ pub fn i2mr_incremental_cpc(
     pool: &WorkerPool,
     cfg: &JobConfig,
     data: &mut PartitionedData<(u64, u64), Block, u64, Vec<f64>>,
-    stores: &[Mutex<MrbgStore>],
+    stores: &StoreManager,
     spec: &Gimv,
     delta: &Delta<(u64, u64), Block>,
     max_iterations: u64,
@@ -600,8 +594,17 @@ mod tests {
         };
         let cfg = JobConfig::symmetric(2);
         let pool = WorkerPool::new(2);
-        let (mut data, stores, _) =
-            i2mr_initial(&pool, &cfg, &blocks, &spec, &tmp("incr"), 200, 1e-11).unwrap();
+        let (mut data, stores, _) = i2mr_initial(
+            &pool,
+            &cfg,
+            &blocks,
+            &spec,
+            &tmp("incr"),
+            Default::default(),
+            200,
+            1e-11,
+        )
+        .unwrap();
 
         let delta = i2mr_datagen::delta::matrix_delta(
             &blocks,

@@ -26,8 +26,7 @@ use i2mr_mapred::job::MapReduceJob;
 use i2mr_mapred::partition::HashPartitioner;
 use i2mr_mapred::pool::WorkerPool;
 use i2mr_mapred::types::{Emitter, Values};
-use i2mr_store::store::{MrbgStore, StoreConfig};
-use parking_lot::Mutex;
+use i2mr_store::runtime::{StoreManager, StoreRuntimeConfig};
 use std::collections::HashMap;
 use std::path::Path;
 use std::sync::Arc;
@@ -280,23 +279,17 @@ pub fn i2mr_initial(
     graph: &[(u64, Vec<u64>)],
     spec: &PageRank,
     store_dir: &Path,
+    store_runtime: StoreRuntimeConfig,
     max_iterations: u64,
     epsilon: f64,
     preserve: PreserveMode,
 ) -> Result<(
     PartitionedData<u64, Vec<u64>, u64, f64>,
-    Vec<Mutex<MrbgStore>>,
+    StoreManager,
     EngineRun,
 )> {
     let started = Instant::now();
-    let stores: Vec<Mutex<MrbgStore>> = (0..cfg.n_reduce)
-        .map(|p| {
-            Ok(Mutex::new(MrbgStore::create(
-                store_dir.join(format!("p{p}")),
-                StoreConfig::default(),
-            )?))
-        })
-        .collect::<Result<_>>()?;
+    let stores = StoreManager::create(store_dir, cfg.n_reduce, store_runtime)?;
     let engine = PartitionedIterEngine::new(
         spec,
         cfg.clone(),
@@ -323,7 +316,7 @@ pub fn i2mr_incremental(
     pool: &WorkerPool,
     cfg: &JobConfig,
     data: &mut PartitionedData<u64, Vec<u64>, u64, f64>,
-    stores: &[Mutex<MrbgStore>],
+    stores: &StoreManager,
     spec: &PageRank,
     delta: &Delta<u64, Vec<u64>>,
     params: IncrParams,
@@ -436,6 +429,7 @@ mod tests {
             &g,
             &spec,
             &tmp("agree"),
+            Default::default(),
             100,
             1e-10,
             PreserveMode::FinalOnly,
@@ -484,6 +478,7 @@ mod tests {
             &g,
             &spec,
             &tmp("incr"),
+            Default::default(),
             200,
             1e-11,
             PreserveMode::FinalOnly,

@@ -23,8 +23,7 @@ use i2mr_mapred::job::MapReduceJob;
 use i2mr_mapred::partition::HashPartitioner;
 use i2mr_mapred::pool::WorkerPool;
 use i2mr_mapred::types::{Emitter, Values};
-use i2mr_store::store::{MrbgStore, StoreConfig};
-use parking_lot::Mutex;
+use i2mr_store::runtime::{StoreManager, StoreRuntimeConfig};
 use std::path::Path;
 use std::time::Instant;
 
@@ -311,22 +310,16 @@ pub fn i2mr_initial(
     graph: &[(u64, Vec<(u64, f64)>)],
     source: u64,
     store_dir: &Path,
+    store_runtime: StoreRuntimeConfig,
     max_iterations: u64,
 ) -> Result<(
     PartitionedData<u64, Vec<(u64, f64)>, u64, f64>,
-    Vec<Mutex<MrbgStore>>,
+    StoreManager,
     EngineRun,
 )> {
     let started = Instant::now();
     let spec = Sssp { source };
-    let stores: Vec<Mutex<MrbgStore>> = (0..cfg.n_reduce)
-        .map(|p| {
-            Ok(Mutex::new(MrbgStore::create(
-                store_dir.join(format!("p{p}")),
-                StoreConfig::default(),
-            )?))
-        })
-        .collect::<Result<_>>()?;
+    let stores = StoreManager::create(store_dir, cfg.n_reduce, store_runtime)?;
     let engine = PartitionedIterEngine::new(
         &spec,
         cfg.clone(),
@@ -355,7 +348,7 @@ pub fn i2mr_incremental(
     pool: &WorkerPool,
     cfg: &JobConfig,
     data: &mut PartitionedData<u64, Vec<(u64, f64)>, u64, f64>,
-    stores: &[Mutex<MrbgStore>],
+    stores: &StoreManager,
     source: u64,
     delta: &Delta<u64, Vec<(u64, f64)>>,
     max_iterations: u64,
@@ -484,7 +477,8 @@ mod tests {
         let g = GraphGen::new(120, 800, 23).weighted();
         let cfg = JobConfig::symmetric(3);
         let pool = WorkerPool::new(3);
-        let (mut data, stores, _) = i2mr_initial(&pool, &cfg, &g, 0, &tmp("exact"), 300).unwrap();
+        let (mut data, stores, _) =
+            i2mr_initial(&pool, &cfg, &g, 0, &tmp("exact"), Default::default(), 300).unwrap();
         assert_dists_equal(&data.state_snapshot(), &dijkstra(&g, 0));
 
         // Improvement-only delta (weight decreases / edge insertions).

@@ -22,8 +22,7 @@ use i2mr_datagen::text::TweetGen;
 use i2mr_mapred::partition::HashPartitioner;
 use i2mr_mapred::types::{Emitter, Values};
 use i2mr_mapred::{JobConfig, WorkerPool};
-use i2mr_store::store::MrbgStore;
-use parking_lot::Mutex;
+use i2mr_store::runtime::StoreManager;
 use std::time::Instant;
 
 fn wc_mapper(_k: &u64, text: &String, out: &mut Emitter<String, u64>) {
@@ -140,13 +139,7 @@ fn main() {
             ("preserve-final-only", PreserveMode::FinalOnly),
         ] {
             let dir = scratch(&format!("abl-{label}"));
-            let stores: Vec<Mutex<MrbgStore>> = (0..cfg.n_reduce)
-                .map(|p| {
-                    Mutex::new(
-                        MrbgStore::create(dir.join(p.to_string()), Default::default()).unwrap(),
-                    )
-                })
-                .collect();
+            let stores = StoreManager::create(&dir, cfg.n_reduce, Default::default()).unwrap();
             let engine = PartitionedIterEngine::new(
                 &spec,
                 cfg.clone(),
@@ -159,13 +152,12 @@ fn main() {
             .unwrap();
             let mut data = build_partitioned(&spec, cfg.n_reduce, graph.clone());
             let t = Instant::now();
-            engine.run(&pool, &mut data, Some(&stores)).unwrap();
+            let report = engine.run(&pool, &mut data, Some(&stores)).unwrap();
             let wall = t.elapsed();
-            let file_bytes: u64 = stores.iter().map(|s| s.lock().file_len()).sum();
-            let written: u64 = stores
-                .iter()
-                .map(|s| s.lock().io_stats().bytes_written)
-                .sum();
+            let file_bytes: u64 = stores.file_bytes();
+            // Engine iterations drain shard I/O into the per-iteration
+            // metrics, so the write totals live in the report now.
+            let written: u64 = report.total_metrics().store_io.bytes_written;
             results.push((label, wall, file_bytes, written));
         }
         println!("\n -- preservation policy ablation (initial PageRank run) --");

@@ -53,6 +53,7 @@ fn main() {
             &graph,
             &spec,
             &dir,
+            Default::default(),
             60,
             1e-9,
             PreserveMode::FinalOnly,
@@ -89,6 +90,7 @@ fn main() {
             &graph,
             &spec,
             &dir2,
+            Default::default(),
             60,
             1e-9,
             PreserveMode::FinalOnly,
@@ -140,7 +142,8 @@ fn main() {
         let graph = GraphGen::new(sized(3000), sized(24_000), 0xE5).weighted();
         let dir = scratch("fig8-sssp");
         let (mut data, stores, _) =
-            sssp::i2mr_initial(&pool, &cfg, &graph, 0, &dir, 80).expect("initial");
+            sssp::i2mr_initial(&pool, &cfg, &graph, 0, &dir, Default::default(), 80)
+                .expect("initial");
         let delta = weighted_graph_delta(&graph, DeltaSpec::ten_percent(0x55));
         let updated = delta.apply_to(&graph);
 
@@ -204,8 +207,17 @@ fn main() {
             damping: 0.85,
         };
         let dir = scratch("fig8-gimv");
-        let (mut data, stores, _) =
-            gimv::i2mr_initial(&pool, &cfg, &blocks, &spec, &dir, 60, 1e-10).unwrap();
+        let (mut data, stores, _) = gimv::i2mr_initial(
+            &pool,
+            &cfg,
+            &blocks,
+            &spec,
+            &dir,
+            Default::default(),
+            60,
+            1e-10,
+        )
+        .unwrap();
         let delta = matrix_delta(&blocks, DeltaSpec::ten_percent(0x77));
         let updated = delta.apply_to(&blocks);
 

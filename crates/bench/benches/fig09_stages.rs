@@ -23,8 +23,7 @@ use i2mr_mapred::job::MapReduceJob;
 use i2mr_mapred::partition::HashPartitioner;
 use i2mr_mapred::types::{Emitter, Values};
 use i2mr_mapred::{JobConfig, WorkerPool};
-use i2mr_store::store::MrbgStore;
-use parking_lot::Mutex;
+use i2mr_store::runtime::StoreManager;
 
 /// PageRank whose structure values carry string padding per out-edge — the
 /// paper's "substituted all node identifiers with longer strings" device.
@@ -162,11 +161,7 @@ fn main() {
     // --------------------------- i2MR incremental ---------------------------
     // Converged initial run with preservation, then a 10% delta refresh.
     let dir = scratch("fig9");
-    let stores: Vec<Mutex<MrbgStore>> = (0..cfg.n_reduce)
-        .map(|p| {
-            Mutex::new(MrbgStore::create(dir.join(p.to_string()), Default::default()).unwrap())
-        })
-        .collect();
+    let stores = StoreManager::create(&dir, cfg.n_reduce, Default::default()).unwrap();
     let init_engine = PartitionedIterEngine::new(
         &spec,
         cfg.clone(),

@@ -47,6 +47,7 @@ fn main() {
             &graph,
             &spec,
             &dir,
+            Default::default(),
             300,
             1e-11,
             PreserveMode::FinalOnly,

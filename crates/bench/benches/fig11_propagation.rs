@@ -46,6 +46,7 @@ fn main() {
             &graph,
             &spec,
             &dir,
+            Default::default(),
             300,
             1e-11,
             PreserveMode::FinalOnly,

@@ -154,6 +154,10 @@ pub struct JobMetrics {
     pub reduce_invocations: u64,
     /// MRBG-Store I/O (zero for engines that do not maintain the store).
     pub store_io: IoStats,
+    /// Background store compactions scheduled by the compaction policy.
+    pub store_compactions: u64,
+    /// Obsolete MRBGraph bytes those compactions reclaimed.
+    pub store_bytes_reclaimed: u64,
     /// Checkpoint / DFS I/O.
     pub dfs_io: IoStats,
 }
@@ -173,6 +177,8 @@ impl JobMetrics {
         self.map_invocations += other.map_invocations;
         self.reduce_invocations += other.reduce_invocations;
         self.store_io += other.store_io;
+        self.store_compactions += other.store_compactions;
+        self.store_bytes_reclaimed += other.store_bytes_reclaimed;
         self.dfs_io += other.dfs_io;
     }
 }
@@ -237,6 +243,8 @@ mod tests {
             shuffled_bytes: 2,
             map_invocations: 1,
             reduce_invocations: 1,
+            store_compactions: 2,
+            store_bytes_reclaimed: 512,
             ..Default::default()
         };
         b.store_io.record_read(9);
@@ -247,6 +255,8 @@ mod tests {
         assert_eq!(a.map_invocations, 6);
         assert_eq!(a.reduce_invocations, 4);
         assert_eq!(a.store_io.reads, 1);
+        assert_eq!(a.store_compactions, 2);
+        assert_eq!(a.store_bytes_reclaimed, 512);
         assert_eq!(a.measured(), Duration::from_millis(4));
     }
 

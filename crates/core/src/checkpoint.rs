@@ -10,8 +10,8 @@
 use i2mr_common::codec::{decode_exact, encode_to, Codec};
 use i2mr_common::error::Result;
 use i2mr_dfs::{CheckpointStore, MiniDfs};
-use i2mr_store::store::{MrbgStore, StoreConfig};
-use parking_lot::Mutex;
+use i2mr_store::runtime::{StoreManager, StoreRuntimeConfig};
+use i2mr_store::store::MrbgStore;
 use std::path::Path;
 
 /// Checkpoint writer/reader for one iterative job.
@@ -45,15 +45,15 @@ impl IterCheckpointer {
         &self,
         iteration: u64,
         state: &[Vec<(DK, DV)>],
-        stores: Option<&[Mutex<MrbgStore>]>,
+        stores: Option<&StoreManager>,
     ) -> Result<()> {
         for (p, part) in state.iter().enumerate() {
             self.store
                 .save(&self.job, iteration, &Self::state_task(p), &encode_to(part))?;
         }
         if let Some(stores) = stores {
-            for (p, s) in stores.iter().enumerate() {
-                let payload = s.lock().export()?;
+            for p in 0..stores.n_shards() {
+                let payload = stores.export(p)?;
                 self.store
                     .save(&self.job, iteration, &Self::mrbg_task(p), &payload)?;
             }
@@ -84,24 +84,24 @@ impl IterCheckpointer {
     }
 
     /// Restore the MRBG stores checkpointed at `iteration` into fresh
-    /// directories under `dir`.
+    /// directories under `dir`, wrapped in a ready-to-run [`StoreManager`].
     pub fn load_stores(
         &self,
         iteration: u64,
         dir: impl AsRef<Path>,
-        config: StoreConfig,
-    ) -> Result<Vec<Mutex<MrbgStore>>> {
+        config: StoreRuntimeConfig,
+    ) -> Result<StoreManager> {
         let dir = dir.as_ref();
         let mut out = Vec::with_capacity(self.n_partitions);
         for p in 0..self.n_partitions {
             let payload = self.store.load(&self.job, iteration, &Self::mrbg_task(p))?;
-            out.push(Mutex::new(MrbgStore::import(
+            out.push(MrbgStore::import(
                 dir.join(format!("restored-{p}")),
                 &payload,
-                config,
-            )?));
+                config.store,
+            )?);
         }
-        Ok(out)
+        StoreManager::from_stores(out, config)
     }
 
     /// Drop checkpoints older than `keep_from` (space reclamation).
@@ -170,7 +170,7 @@ mod tests {
                 }],
             )])
             .unwrap();
-        let stores = vec![Mutex::new(store)];
+        let stores = StoreManager::from_stores(vec![store], Default::default()).unwrap();
         let state: Vec<Vec<(u64, f64)>> = vec![vec![(0, 0.5)]];
         ck.save_iteration(3, &state, Some(&stores)).unwrap();
         assert_eq!(ck.latest_complete(true), Some(3));
@@ -178,7 +178,7 @@ mod tests {
         let restored = ck
             .load_stores(3, dir.join("rest"), Default::default())
             .unwrap();
-        let chunk = restored[0].lock().get(b"k").unwrap().unwrap();
+        let chunk = restored.get(0, b"k").unwrap().unwrap();
         assert_eq!(chunk.entries[0].value, b"v");
     }
 

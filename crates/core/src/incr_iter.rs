@@ -39,8 +39,7 @@ use i2mr_mapred::pool::{TaskSpec, WorkerPool};
 use i2mr_mapred::shuffle::{groups, sort_runs, transpose_pooled, RunPool, ShuffleBuffers};
 use i2mr_mapred::types::{Emitter, Values};
 use i2mr_store::merge::{DeltaChunk, DeltaEntry, MergeOutcome};
-use i2mr_store::store::MrbgStore;
-use parking_lot::Mutex;
+use i2mr_store::runtime::StoreManager;
 use std::collections::BTreeSet;
 use std::time::Instant;
 
@@ -155,14 +154,15 @@ impl<'s, S: IterativeSpec> IncrIterEngine<'s, S> {
     ///
     /// * `data` — the previous job's converged structure + state (mutated
     ///   in place toward the new fixed point).
-    /// * `stores` — the preserved MRBGraph, one per partition.
+    /// * `stores` — the store runtime holding the preserved MRBGraph, one
+    ///   shard per partition.
     /// * `delta` — the delta structure input.
     /// * `ckpt` — optional per-iteration checkpointing (paper §6.1).
     pub fn run(
         &self,
         pool: &WorkerPool,
         data: &mut PartitionedData<S::SK, S::SV, S::DK, S::DV>,
-        stores: &[Mutex<MrbgStore>],
+        stores: &StoreManager,
         delta: &Delta<S::SK, S::SV>,
         ckpt: Option<&IterCheckpointer>,
     ) -> Result<IncrRunReport> {
@@ -214,17 +214,53 @@ impl<'s, S: IterativeSpec> IncrIterEngine<'s, S> {
             sort_runs(pool, &mut runs, iteration)?;
             metrics.stages.add(Stage::Sort, t.elapsed());
 
-            // ---------------- incremental Reduce ----------------
+            // ---------------- MRBGraph merge (store plane) ----------------
+            // Each partition's delta merge runs as a first-class StoreMerge
+            // task on the store runtime, fully overlapped across shards and
+            // decoupled from the Reduce compute below.
             let t = Instant::now();
+            let runs_ref = &runs;
+            let new_dks_ref = &new_dks;
+            let outcomes_per_p = stores.merge_apply_all(pool, iteration, |p| {
+                let run: &[(S::DK, MapKey, Option<S::V2>)] = &runs_ref[p];
+                // Delta MRBGraph chunks for this partition.
+                let mut deltas: Vec<DeltaChunk> = Vec::new();
+                let mut seen: BTreeSet<Vec<u8>> = BTreeSet::new();
+                for group in groups(run) {
+                    let key = encode_to(&group[0].0);
+                    seen.insert(key.clone());
+                    let entries = group
+                        .iter()
+                        .map(|(_, mk, v)| match v {
+                            Some(v2) => DeltaEntry::Insert(*mk, encode_to(v2)),
+                            None => DeltaEntry::Delete(*mk),
+                        })
+                        .collect();
+                    deltas.push(DeltaChunk { key, entries });
+                }
+                // Newly inserted state keys must be reduced even if no
+                // edges arrived (e.g. a vertex with no in-edges must still
+                // settle to its no-input value).
+                for key in &new_dks_ref[p] {
+                    if !seen.contains(key) {
+                        deltas.push(DeltaChunk {
+                            key: key.clone(),
+                            entries: Vec::new(),
+                        });
+                    }
+                }
+                Ok(deltas)
+            })?;
+
+            // ---------------- incremental Reduce ----------------
             let state_parts = &data.state;
             let effective_threshold = self.params.effective_threshold();
-            let reduce_tasks: Vec<TaskSpec<'_, (Vec<(S::DK, S::DV)>, u64)>> = runs
+            let reduce_tasks: Vec<TaskSpec<'_, (Vec<(S::DK, S::DV)>, u64)>> = outcomes_per_p
                 .iter()
                 .enumerate()
-                .map(|(p, run)| {
-                    let run: &[(S::DK, MapKey, Option<S::V2>)] = run;
+                .map(|(p, outcomes)| {
+                    let outcomes: &[(Vec<u8>, MergeOutcome)] = outcomes;
                     let state = &state_parts[p];
-                    let forced: &BTreeSet<Vec<u8>> = &new_dks[p];
                     TaskSpec::pinned(
                         TaskId {
                             kind: TaskKind::Reduce,
@@ -233,36 +269,6 @@ impl<'s, S: IterativeSpec> IncrIterEngine<'s, S> {
                         },
                         p % pool.n_workers(),
                         move |_| {
-                            // Delta MRBGraph chunks for this partition.
-                            let mut deltas: Vec<DeltaChunk> = Vec::new();
-                            let mut seen: BTreeSet<Vec<u8>> = BTreeSet::new();
-                            for group in groups(run) {
-                                let key = encode_to(&group[0].0);
-                                seen.insert(key.clone());
-                                let entries = group
-                                    .iter()
-                                    .map(|(_, mk, v)| match v {
-                                        Some(v2) => DeltaEntry::Insert(*mk, encode_to(v2)),
-                                        None => DeltaEntry::Delete(*mk),
-                                    })
-                                    .collect();
-                                deltas.push(DeltaChunk { key, entries });
-                            }
-                            // Newly inserted state keys must be reduced even
-                            // if no edges arrived (e.g. a vertex with no
-                            // in-edges must still settle to its no-input
-                            // value).
-                            for key in forced {
-                                if !seen.contains(key) {
-                                    deltas.push(DeltaChunk {
-                                        key: key.clone(),
-                                        entries: Vec::new(),
-                                    });
-                                }
-                            }
-
-                            let outcomes = stores[p].lock().merge_apply(deltas)?;
-
                             let mut cpc = ChangePropagation::with_threshold(effective_threshold);
                             let mut emitted: Vec<(S::DK, S::DV)> = Vec::new();
                             let mut invocations = 0u64;
@@ -271,7 +277,7 @@ impl<'s, S: IterativeSpec> IncrIterEngine<'s, S> {
                             // so this path borrows them as a plain slice;
                             // `values` is reused across groups.
                             for (key_bytes, outcome) in outcomes {
-                                let dk: S::DK = decode_exact(&key_bytes)?;
+                                let dk: S::DK = decode_exact(key_bytes)?;
                                 // Deleted vertices / dangling targets have no
                                 // state entry: their chunk was maintained but
                                 // no state update applies.
@@ -280,7 +286,7 @@ impl<'s, S: IterativeSpec> IncrIterEngine<'s, S> {
                                 };
                                 let prev = &state[idx].1;
                                 values.clear();
-                                if let MergeOutcome::Updated(chunk) = &outcome {
+                                if let MergeOutcome::Updated(chunk) = outcome {
                                     values.reserve(chunk.entries.len());
                                     for e in &chunk.entries {
                                         values.push(decode_exact(&e.value)?);
@@ -317,10 +323,11 @@ impl<'s, S: IterativeSpec> IncrIterEngine<'s, S> {
                 }
                 next_delta.extend(emitted);
             }
-            for s in stores {
-                metrics.store_io += s.lock().io_stats();
-                s.lock().reset_io_stats();
-            }
+            // Between iterations: policy-driven background compaction of
+            // garbage-heavy shards, then fold the store plane's I/O and
+            // compaction counters into this iteration's metrics.
+            stores.maybe_compact(pool, iteration)?;
+            stores.drain_metrics(&mut metrics);
 
             report.iterations.push(IterationStats {
                 iteration,
@@ -663,23 +670,19 @@ mod tests {
 
     const N: usize = 3;
 
-    fn stores(tag: &str) -> Vec<Mutex<MrbgStore>> {
+    fn stores(tag: &str) -> StoreManager {
         let dir = std::env::temp_dir().join(format!(
             "i2mr-incr-{tag}-{}-{:?}",
             std::process::id(),
             std::thread::current().id()
         ));
         let _ = std::fs::remove_dir_all(&dir);
-        (0..N)
-            .map(|p| {
-                Mutex::new(MrbgStore::create(dir.join(p.to_string()), Default::default()).unwrap())
-            })
-            .collect()
+        StoreManager::create(&dir, N, Default::default()).unwrap()
     }
 
     fn converge_initial(
         graph: Vec<(u64, Vec<u64>)>,
-        stores: &[Mutex<MrbgStore>],
+        stores: &StoreManager,
         pool: &WorkerPool,
     ) -> PartitionedData<u64, Vec<u64>, u64, f64> {
         let engine = PartitionedIterEngine::new(

@@ -27,8 +27,7 @@ use i2mr_mapred::pool::{TaskSpec, WorkerPool};
 use i2mr_mapred::shuffle::{groups, sort_runs, transpose_pooled, RunPool, ShuffleBuffers};
 use i2mr_mapred::types::{Emitter, Values};
 use i2mr_store::format::{Chunk, ChunkEntry};
-use i2mr_store::store::MrbgStore;
-use parking_lot::Mutex;
+use i2mr_store::runtime::StoreManager;
 use std::time::Instant;
 
 /// Structure records sharing one projected state key.
@@ -233,14 +232,14 @@ impl<'s, S: IterativeSpec> PartitionedIterEngine<'s, S> {
 
     /// Run iterations until convergence or the iteration budget.
     ///
-    /// `stores` (one per partition) are written according to
-    /// `params.preserve`; pass `None` stores with `PreserveMode::None` for
-    /// the pure iterMR baseline.
+    /// `stores` (the store runtime owning one shard per partition) is
+    /// written according to `params.preserve`; pass `None` with
+    /// `PreserveMode::None` for the pure iterMR baseline.
     pub fn run(
         &self,
         pool: &WorkerPool,
         data: &mut PartitionedData<S::SK, S::SV, S::DK, S::DV>,
-        stores: Option<&[Mutex<MrbgStore>]>,
+        stores: Option<&StoreManager>,
     ) -> Result<RunReport> {
         let preserve_each = matches!(self.params.preserve, PreserveMode::EveryIteration);
         if matches!(
@@ -298,7 +297,7 @@ impl<'s, S: IterativeSpec> PartitionedIterEngine<'s, S> {
         pool: &WorkerPool,
         data: &mut PartitionedData<S::SK, S::SV, S::DK, S::DV>,
         iteration: u64,
-        stores: Option<&[Mutex<MrbgStore>]>,
+        stores: Option<&StoreManager>,
         metrics: &mut JobMetrics,
     ) -> Result<IterationStats> {
         let n = self.config.n_reduce;
@@ -363,7 +362,14 @@ impl<'s, S: IterativeSpec> PartitionedIterEngine<'s, S> {
         // reduce task p writes state partition p directly.
         let t = Instant::now();
         let state_parts = &data.state;
-        let reduce_tasks: Vec<TaskSpec<'_, (Vec<(S::DK, S::DV)>, f64, u64, u64)>> = runs
+        type ReduceOut<S> = (
+            Vec<(<S as IterativeSpec>::DK, <S as IterativeSpec>::DV)>,
+            f64,
+            u64,
+            u64,
+            Vec<Chunk>,
+        );
+        let reduce_tasks: Vec<TaskSpec<'_, ReduceOut<S>>> = runs
             .iter()
             .enumerate()
             .map(|(p, run)| {
@@ -427,20 +433,17 @@ impl<'s, S: IterativeSpec> PartitionedIterEngine<'s, S> {
                                 chunks.push(chunk_of::<S>(g));
                             }
                         }
-                        if let Some(stores) = stores {
-                            stores[p].lock().append_batch(chunks)?;
-                        }
-                        Ok((new_state, max_diff, changed, invocations))
+                        Ok((new_state, max_diff, changed, invocations, chunks))
                     },
                 )
             })
             .collect();
         let reduce_results = pool.run_tasks(reduce_tasks)?;
-        metrics.stages.add(Stage::Reduce, t.elapsed());
 
         let mut max_diff = 0.0f64;
         let mut changed = 0u64;
-        for (p, (new_state, part_max, part_changed, invocations)) in
+        let mut batches: Vec<Vec<Chunk>> = Vec::with_capacity(if stores.is_some() { n } else { 0 });
+        for (p, (new_state, part_max, part_changed, invocations, chunks)) in
             reduce_results.into_iter().enumerate()
         {
             metrics.reduce_invocations += invocations;
@@ -449,12 +452,23 @@ impl<'s, S: IterativeSpec> PartitionedIterEngine<'s, S> {
             // Co-location: reduce output p becomes state partition p with no
             // backward transfer.
             data.state[p] = new_state;
+            if stores.is_some() {
+                batches.push(chunks);
+            }
         }
         if let Some(stores) = stores {
-            for s in stores {
-                metrics.store_io += s.lock().io_stats();
-                s.lock().reset_io_stats();
-            }
+            // Preservation: one batch per shard, appended as concurrent
+            // StoreMerge tasks driven by the store runtime.
+            stores.append_batch_all(pool, iteration, batches)?;
+        }
+        metrics.stages.add(Stage::Reduce, t.elapsed());
+        if let Some(stores) = stores {
+            // Between iterations: let the compaction policy reclaim any
+            // shard whose garbage crossed the thresholds (paper §3.4:
+            // reconstruction happens while the worker is idle — it is
+            // deliberately NOT charged to a Fig. 9 stage).
+            stores.maybe_compact(pool, iteration)?;
+            stores.drain_metrics(metrics);
         }
         // Reduce is done with the sorted runs: park them for the next
         // iteration instead of dropping the allocations.
@@ -473,7 +487,7 @@ impl<'s, S: IterativeSpec> PartitionedIterEngine<'s, S> {
         &self,
         pool: &WorkerPool,
         data: &PartitionedData<S::SK, S::SV, S::DK, S::DV>,
-        stores: &[Mutex<MrbgStore>],
+        stores: &StoreManager,
         metrics: &mut JobMetrics,
     ) -> Result<()> {
         let n = self.config.n_reduce;
@@ -522,7 +536,9 @@ impl<'s, S: IterativeSpec> PartitionedIterEngine<'s, S> {
         metrics.stages.add(Stage::Sort, t.elapsed());
 
         let t = Instant::now();
-        let preserve_tasks: Vec<TaskSpec<'_, ()>> = runs
+        // Chunk construction stays a Reduce-kind task per partition; the
+        // appends themselves run as the store runtime's StoreMerge tasks.
+        let build_tasks: Vec<TaskSpec<'_, Vec<Chunk>>> = runs
             .iter()
             .enumerate()
             .map(|(p, run)| {
@@ -533,16 +549,14 @@ impl<'s, S: IterativeSpec> PartitionedIterEngine<'s, S> {
                         index: p,
                         iteration: u64::MAX,
                     },
-                    move |_| {
-                        let chunks: Vec<Chunk> = groups(run).map(|g| chunk_of::<S>(g)).collect();
-                        stores[p].lock().append_batch(chunks)?;
-                        Ok(())
-                    },
+                    move |_| Ok(groups(run).map(|g| chunk_of::<S>(g)).collect()),
                 )
             })
             .collect();
-        pool.run_tasks(preserve_tasks)?;
+        let batches = pool.run_tasks(build_tasks)?;
+        stores.append_batch_all(pool, u64::MAX, batches)?;
         metrics.stages.add(Stage::Reduce, t.elapsed());
+        stores.drain_metrics(metrics);
         self.recycler.recycle_all(runs);
         Ok(())
     }
@@ -864,16 +878,13 @@ mod tests {
             std::thread::current().id()
         ));
         let _ = std::fs::remove_dir_all(&dir);
-        let stores: Vec<Mutex<MrbgStore>> = (0..2)
-            .map(|p| {
-                Mutex::new(MrbgStore::create(dir.join(p.to_string()), Default::default()).unwrap())
-            })
-            .collect();
+        let stores = StoreManager::create(&dir, 2, Default::default()).unwrap();
         engine.run(&pool, &mut data, Some(&stores)).unwrap();
-        for s in &stores {
-            let s = s.lock();
-            assert_eq!(s.n_batches(), 5, "one batch per iteration");
-            assert!(!s.is_empty());
+        for p in 0..2 {
+            stores.with_store_ref(p, |s| {
+                assert_eq!(s.n_batches(), 5, "one batch per iteration");
+                assert!(!s.is_empty());
+            });
         }
     }
 
@@ -898,15 +909,12 @@ mod tests {
             std::thread::current().id()
         ));
         let _ = std::fs::remove_dir_all(&dir);
-        let stores: Vec<Mutex<MrbgStore>> = (0..2)
-            .map(|p| {
-                Mutex::new(MrbgStore::create(dir.join(p.to_string()), Default::default()).unwrap())
-            })
-            .collect();
+        let stores = StoreManager::create(&dir, 2, Default::default()).unwrap();
         let report = engine.run(&pool, &mut data, Some(&stores)).unwrap();
         assert!(report.converged);
-        for s in &stores {
-            assert_eq!(s.lock().n_batches(), 1, "only the converged iteration");
+        for p in 0..2 {
+            let n = stores.with_store_ref(p, |s| s.n_batches());
+            assert_eq!(n, 1, "only the converged iteration");
         }
     }
 

@@ -4,7 +4,8 @@
 //!
 //! * [`OneStepEngine::initial`] — a normal MapReduce job that additionally
 //!   preserves the MRBGraph edges `(K2, MK, V2)` in a per-reduce-task
-//!   [`MrbgStore`] and the final output in a [`ResultStore`] (Fig. 3a).
+//!   MRBG-Store shard (owned by the engine's [`StoreManager`]) and the
+//!   final output in a [`ResultStore`] (Fig. 3a).
 //! * [`OneStepEngine::incremental`] — given delta input, invokes Map only
 //!   for the changed records, shuffles only the delta MRBGraph, merges it
 //!   with the preserved MRBGraph, and re-invokes Reduce only for affected
@@ -29,7 +30,8 @@ use i2mr_mapred::shuffle::{groups, sort_runs, transpose_pooled, RunPool, Shuffle
 use i2mr_mapred::types::{Emitter, KeyData, Mapper, Reducer, ValueData, Values};
 use i2mr_store::format::{Chunk, ChunkEntry};
 use i2mr_store::merge::{DeltaChunk, DeltaEntry, MergeOutcome};
-use i2mr_store::store::{MrbgStore, StoreConfig};
+use i2mr_store::runtime::{StoreManager, StoreRuntimeConfig};
+use i2mr_store::store::StoreConfig;
 use parking_lot::Mutex;
 use std::marker::PhantomData;
 use std::path::{Path, PathBuf};
@@ -39,7 +41,7 @@ use std::time::Instant;
 pub struct OneStepEngine<K1, V1, K2, V2, K3, V3> {
     config: JobConfig,
     dir: PathBuf,
-    stores: Vec<Mutex<MrbgStore>>,
+    stores: StoreManager,
     results: Vec<Mutex<ResultStore<K3, V3>>>,
     initialized: bool,
     /// Recyclers keeping shuffle-plane buffers alive across runs: the
@@ -65,17 +67,29 @@ where
         config: JobConfig,
         store_config: StoreConfig,
     ) -> Result<Self> {
+        Self::create_with_runtime(
+            dir,
+            config,
+            StoreRuntimeConfig {
+                store: store_config,
+                ..Default::default()
+            },
+        )
+    }
+
+    /// Create an engine with full control over the store runtime (plane
+    /// mode + compaction policy).
+    pub fn create_with_runtime(
+        dir: impl AsRef<Path>,
+        config: JobConfig,
+        runtime: StoreRuntimeConfig,
+    ) -> Result<Self> {
         config.validate()?;
         let dir = dir.as_ref().to_path_buf();
-        let mut stores = Vec::with_capacity(config.n_reduce);
-        let mut results = Vec::with_capacity(config.n_reduce);
-        for p in 0..config.n_reduce {
-            stores.push(Mutex::new(MrbgStore::create(
-                dir.join(format!("reduce-{p}")),
-                store_config,
-            )?));
-            results.push(Mutex::new(ResultStore::new()));
-        }
+        let stores = StoreManager::create(&dir, config.n_reduce, runtime)?;
+        let results = (0..config.n_reduce)
+            .map(|_| Mutex::new(ResultStore::new()))
+            .collect();
         Ok(OneStepEngine {
             config,
             dir,
@@ -88,6 +102,11 @@ where
         })
     }
 
+    /// The store runtime owning the preserved MRBGraph shards.
+    pub fn store_manager(&self) -> &StoreManager {
+        &self.stores
+    }
+
     /// The engine's job configuration.
     pub fn config(&self) -> &JobConfig {
         &self.config
@@ -96,39 +115,27 @@ where
     /// Switch the chunk retrieval strategy on every partition's store
     /// (Table 4 experiments).
     pub fn set_store_strategy(&mut self, strategy: i2mr_store::query::QueryStrategy) {
-        for s in &self.stores {
-            s.lock().set_strategy(strategy);
-        }
+        self.stores.set_strategy(strategy);
     }
 
     /// Aggregate store I/O counters across partitions.
     pub fn store_io(&self) -> i2mr_common::metrics::IoStats {
-        let mut io = i2mr_common::metrics::IoStats::default();
-        for s in &self.stores {
-            io += s.lock().io_stats();
-        }
-        io
+        self.stores.io_stats()
     }
 
     /// Reset store I/O counters on every partition.
     pub fn reset_store_io(&self) {
-        for s in &self.stores {
-            s.lock().reset_io_stats();
-        }
+        self.stores.reset_io_stats();
     }
 
     /// Total MRBGraph file bytes across partitions (live + obsolete).
     pub fn store_file_bytes(&self) -> u64 {
-        self.stores.iter().map(|s| s.lock().file_len()).sum()
+        self.stores.file_bytes()
     }
 
-    /// Run offline compaction on every partition's store.
-    pub fn compact_stores(&self) -> Result<u64> {
-        let mut reclaimed = 0;
-        for s in &self.stores {
-            reclaimed += s.lock().compact()?.reclaimed();
-        }
-        Ok(reclaimed)
+    /// Run offline compaction on every shard, scheduled on `pool`.
+    pub fn compact_stores(&self, pool: &WorkerPool) -> Result<u64> {
+        self.stores.compact_all(pool, 0)
     }
 
     /// The complete (refreshed) output, sorted deterministically.
@@ -215,11 +222,11 @@ where
         sort_runs(pool, &mut runs, 0)?;
         metrics.stages.add(Stage::Sort, t.elapsed());
 
-        // Reduce + MRBGraph preservation + result store.
+        // Reduce + result store; MRBGraph preservation is handed to the
+        // store runtime as one StoreMerge append task per shard.
         let t = Instant::now();
-        let stores = &self.stores;
         let results = &self.results;
-        let reduce_tasks: Vec<TaskSpec<'_, u64>> = runs
+        let reduce_tasks: Vec<TaskSpec<'_, (u64, Vec<Chunk>)>> = runs
             .iter()
             .enumerate()
             .map(|(p, run)| {
@@ -252,15 +259,20 @@ where
                             ));
                             result_store.put_bytes(&key_bytes, out.drain().collect());
                         }
-                        stores[p].lock().append_batch(chunks)?;
-                        Ok(invocations)
+                        Ok((invocations, chunks))
                     },
                 )
             })
             .collect();
         let reduce_results = pool.run_tasks(reduce_tasks)?;
+        let mut batches = Vec::with_capacity(reduce_results.len());
+        for (invocations, chunks) in reduce_results {
+            metrics.reduce_invocations += invocations;
+            batches.push(chunks);
+        }
+        self.stores.append_batch_all(pool, 0, batches)?;
         metrics.stages.add(Stage::Reduce, t.elapsed());
-        metrics.reduce_invocations = reduce_results.iter().sum();
+        self.stores.drain_metrics(&mut metrics);
         self.run_pool.recycle_all(runs);
 
         self.initialized = true;
@@ -352,16 +364,35 @@ where
         sort_runs(pool, &mut runs, 0)?;
         metrics.stages.add(Stage::Sort, t.elapsed());
 
-        // Incremental Reduce: merge delta with preserved MRBGraph, then
-        // re-invoke Reduce only for affected K2 groups (paper §3.3).
+        // MRBGraph merge on the store plane: one StoreMerge task per
+        // partition joins the delta MRBGraph with the preserved one.
         let t = Instant::now();
-        let stores = &self.stores;
+        let runs_ref = &runs;
+        let outcomes_per_p = self.stores.merge_apply_all(pool, 0, |p| {
+            let run: &[(K2, MapKey, Option<V2>)] = &runs_ref[p];
+            let mut deltas: Vec<DeltaChunk> = Vec::new();
+            for group in groups(run) {
+                let key = encode_to(&group[0].0);
+                let entries = group
+                    .iter()
+                    .map(|(_, mk, v)| match v {
+                        Some(v2) => DeltaEntry::Insert(*mk, encode_to(v2)),
+                        None => DeltaEntry::Delete(*mk),
+                    })
+                    .collect();
+                deltas.push(DeltaChunk { key, entries });
+            }
+            Ok(deltas)
+        })?;
+
+        // Incremental Reduce: re-invoke Reduce only for affected K2 groups
+        // (paper §3.3), consuming the merge outcomes.
         let results = &self.results;
-        let reduce_tasks: Vec<TaskSpec<'_, u64>> = runs
+        let reduce_tasks: Vec<TaskSpec<'_, u64>> = outcomes_per_p
             .iter()
             .enumerate()
-            .map(|(p, run)| {
-                let run: &[(K2, MapKey, Option<V2>)] = run;
+            .map(|(p, outcomes)| {
+                let outcomes: &[(Vec<u8>, MergeOutcome)] = outcomes;
                 TaskSpec::new(
                     TaskId {
                         kind: TaskKind::Reduce,
@@ -369,21 +400,6 @@ where
                         iteration: 0,
                     },
                     move |_| {
-                        // Build the delta chunks for this partition.
-                        let mut deltas: Vec<DeltaChunk> = Vec::new();
-                        for group in groups(run) {
-                            let key = encode_to(&group[0].0);
-                            let entries = group
-                                .iter()
-                                .map(|(_, mk, v)| match v {
-                                    Some(v2) => DeltaEntry::Insert(*mk, encode_to(v2)),
-                                    None => DeltaEntry::Delete(*mk),
-                                })
-                                .collect();
-                            deltas.push(DeltaChunk { key, entries });
-                        }
-
-                        let outcomes = stores[p].lock().merge_apply(deltas)?;
                         let mut out = Emitter::new();
                         let mut result_store = results[p].lock();
                         let mut invocations = 0u64;
@@ -401,10 +417,10 @@ where
                                     }
                                     reducer.reduce(&k2, Values::slice(&values), &mut out);
                                     invocations += 1;
-                                    result_store.put_bytes(&key_bytes, out.drain().collect());
+                                    result_store.put_bytes(key_bytes, out.drain().collect());
                                 }
                                 MergeOutcome::Removed => {
-                                    result_store.remove_bytes(&key_bytes);
+                                    result_store.remove_bytes(key_bytes);
                                 }
                             }
                         }
@@ -418,9 +434,10 @@ where
         metrics.reduce_invocations = reduce_results.iter().sum();
         self.delta_pool.recycle_all(runs);
 
-        for s in &self.stores {
-            metrics.store_io += s.lock().io_stats();
-        }
+        // Between refreshes: policy-driven background compaction, then
+        // fold the store plane's counters into this run's metrics.
+        self.stores.maybe_compact(pool, 0)?;
+        self.stores.drain_metrics(&mut metrics);
         Ok(metrics)
     }
 
@@ -633,7 +650,7 @@ mod tests {
             cur = delta.apply_to(&cur);
             cur.sort_unstable();
             if round == 1 {
-                eng.compact_stores().unwrap();
+                eng.compact_stores(&pool).unwrap();
             }
             assert_outputs_close(&eng.output(), &recompute(&cur));
         }

@@ -14,7 +14,13 @@ pub enum TaskKind {
     Map,
     /// Per-run shuffle sort (scheduled on the pool like map/reduce work).
     Sort,
+    /// Per-partition MRBG-Store work (delta merges, batch appends, index
+    /// loads) scheduled by the store runtime as first-class pool tasks.
+    StoreMerge,
     Reduce,
+    /// Background per-partition store compaction (policy-driven, runs
+    /// between iterations at the tail of the schedule).
+    Compact,
 }
 
 impl TaskKind {
@@ -23,7 +29,9 @@ impl TaskKind {
         match self {
             TaskKind::Map => "map",
             TaskKind::Sort => "sort",
+            TaskKind::StoreMerge => "store-merge",
             TaskKind::Reduce => "reduce",
+            TaskKind::Compact => "compact",
         }
     }
 }

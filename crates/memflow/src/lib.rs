@@ -3,7 +3,7 @@
 //! The paper's §8.7 compares iterMR against Spark 1.1.0: "Spark is really
 //! fast when processing small data sets … However, when processing the
 //! ClueWeb-l data set, Spark is not as good as iterMR … the input data and
-//! the intermediate data are too large, resulting [in] degraded Spark
+//! the intermediate data are too large, resulting \[in\] degraded Spark
 //! performance."
 //!
 //! This crate reproduces exactly that mechanism, nothing more: eager,

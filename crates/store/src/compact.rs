@@ -1,9 +1,92 @@
-//! Offline compaction statistics.
+//! Compaction policy and statistics.
 //!
 //! "Obsolete chunks are NOT immediately updated in the file (or removed from
 //! the file) for I/O efficiency. The MRBGraph file is reconstructed off-line
 //! when the worker is idle." (paper §3.4). The reconstruction itself is
-//! [`crate::store::MrbgStore::compact`]; this module holds its report type.
+//! [`crate::store::MrbgStore::compact`]; this module holds its report type
+//! plus the [`CompactionPolicy`] that decides *when* a partition's store is
+//! worth reconstructing — the dynamic-maintenance cost trade-off the store
+//! runtime ([`crate::runtime`]) applies between iterations.
+
+use i2mr_common::costmodel::ClusterCostModel;
+
+/// When to schedule a partition's offline reconstruction.
+///
+/// A compaction reads every live chunk and rewrites it, so it costs roughly
+/// `file_bytes + live_bytes` of disk traffic. What it buys is cheaper merge
+/// passes: obsolete versions sit in the gaps the window algorithms read
+/// over, so each merge pays extra bytes proportional to the garbage
+/// fraction. The policy triggers only when the accumulated garbage makes
+/// that trade worthwhile — all three thresholds must hold.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct CompactionPolicy {
+    /// Minimum garbage fraction `(file_bytes - live_bytes) / file_bytes`.
+    pub min_garbage_ratio: f64,
+    /// Minimum number of batches (a single-batch store has no obsolete
+    /// versions by construction and its windows are already contiguous).
+    pub min_batches: usize,
+    /// Minimum file size in bytes — tiny stores are never worth the swap.
+    pub min_file_bytes: u64,
+}
+
+impl Default for CompactionPolicy {
+    fn default() -> Self {
+        CompactionPolicy {
+            min_garbage_ratio: 0.5,
+            min_batches: 4,
+            min_file_bytes: 64 * 1024,
+        }
+    }
+}
+
+impl CompactionPolicy {
+    /// A policy that never triggers (serial-baseline / ablation mode).
+    pub fn never() -> Self {
+        CompactionPolicy {
+            min_garbage_ratio: f64::INFINITY,
+            min_batches: usize::MAX,
+            min_file_bytes: u64::MAX,
+        }
+    }
+
+    /// A policy that triggers whenever any obsolete version exists — the
+    /// stop-the-world cadence the pre-runtime engines effectively had.
+    pub fn always() -> Self {
+        CompactionPolicy {
+            min_garbage_ratio: 0.0,
+            min_batches: 2,
+            min_file_bytes: 0,
+        }
+    }
+
+    /// Derive a garbage-ratio threshold from the §4 cluster cost model.
+    ///
+    /// Compacting costs `(file + live) / disk_bw`. Deferring it for `m`
+    /// more merge passes costs about `m × garbage / disk_bw` of window
+    /// over-read. With `g = garbage / live`, break-even is
+    /// `m·g·live ≥ (2 + g)·live`, i.e. `g ≥ 2 / (m - 1)`; expressed as a
+    /// fraction of the file that is `g / (1 + g)`. The disk bandwidth
+    /// cancels, so the model only shapes the amortization horizon — but
+    /// taking it as a parameter keeps the derivation honest if the model
+    /// ever charges reads and writes differently.
+    pub fn from_cost_model(_model: &ClusterCostModel, merges_between_compactions: u64) -> Self {
+        let m = merges_between_compactions.max(2) as f64;
+        let g = 2.0 / (m - 1.0);
+        CompactionPolicy {
+            min_garbage_ratio: (g / (1.0 + g)).clamp(0.05, 0.9),
+            ..Default::default()
+        }
+    }
+
+    /// Should a store with these vitals be compacted?
+    pub fn should_compact(&self, file_bytes: u64, live_bytes: u64, n_batches: usize) -> bool {
+        if file_bytes < self.min_file_bytes || n_batches < self.min_batches {
+            return false;
+        }
+        let garbage = file_bytes.saturating_sub(live_bytes) as f64;
+        garbage / file_bytes.max(1) as f64 >= self.min_garbage_ratio
+    }
+}
 
 /// What a compaction accomplished.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
@@ -48,5 +131,36 @@ mod tests {
             ..Default::default()
         };
         assert_eq!(s.reclaimed(), 0);
+    }
+    #[test]
+    fn policy_default_thresholds() {
+        let p = CompactionPolicy::default();
+        // Below min size: never.
+        assert!(!p.should_compact(1024, 0, 10));
+        // Big file, enough batches, >=50% garbage: compact.
+        assert!(p.should_compact(1 << 20, 1 << 19, 5));
+        // Too few batches.
+        assert!(!p.should_compact(1 << 20, 1 << 19, 2));
+        // Not enough garbage.
+        assert!(!p.should_compact(1 << 20, (1 << 20) - 1024, 5));
+    }
+
+    #[test]
+    fn policy_never_and_always() {
+        assert!(!CompactionPolicy::never().should_compact(u64::MAX, 0, usize::MAX));
+        assert!(CompactionPolicy::always().should_compact(10, 9, 2));
+        // always() still skips a fresh single-batch store (no garbage
+        // possible, nothing to collapse).
+        assert!(!CompactionPolicy::always().should_compact(10, 10, 1));
+    }
+
+    #[test]
+    fn policy_from_cost_model_scales_with_horizon() {
+        let model = ClusterCostModel::default();
+        let patient = CompactionPolicy::from_cost_model(&model, 32);
+        let eager = CompactionPolicy::from_cost_model(&model, 4);
+        assert!(patient.min_garbage_ratio < eager.min_garbage_ratio);
+        assert!(patient.min_garbage_ratio >= 0.05);
+        assert!(eager.min_garbage_ratio <= 0.9);
     }
 }

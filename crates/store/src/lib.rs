@@ -5,7 +5,7 @@
 //! fine-grain state that incremental processing re-uses. This crate is the
 //! storage engine for those edges (paper §3.4, §5.2):
 //!
-//! * [`format`] — the chunk file format: all edges with the same K2 are
+//! * [`mod@format`] — the chunk file format: all edges with the same K2 are
 //!   stored contiguously as a *chunk*, the unit of every read and write.
 //! * [`index`] — the hash index mapping K2 → chunk position, persisted to an
 //!   index file and preloaded before incremental reduce.
@@ -17,8 +17,12 @@
 //!   index-only, single-fix-window, multi-fix-window, multi-dynamic-window.
 //! * [`merge`] — the index nested-loop join of a delta MRBGraph with the
 //!   stored MRBGraph (deletions first, then upserts).
-//! * [`compact`] — offline reconstruction dropping obsolete chunks.
+//! * [`compact`] — offline reconstruction dropping obsolete chunks, plus
+//!   the [`CompactionPolicy`] deciding when it pays off.
 //! * [`store`] — [`MrbgStore`], the per-reduce-task facade tying it together.
+//! * [`runtime`] — [`StoreManager`], the store runtime layer owning all
+//!   per-partition stores: sharded partition-affine merges on the worker
+//!   pool, a split read path, and policy-driven background compaction.
 //!
 //! # Keys are opaque bytes
 //!
@@ -34,11 +38,14 @@ pub mod format;
 pub mod index;
 pub mod merge;
 pub mod query;
+pub mod runtime;
 pub mod store;
 pub mod window;
 
+pub use compact::{CompactionPolicy, CompactionStats};
 pub use format::{Chunk, ChunkEntry};
 pub use index::{BatchInfo, ChunkIndex, ChunkLoc};
 pub use merge::{DeltaChunk, DeltaEntry, MergeOutcome};
 pub use query::QueryStrategy;
-pub use store::{MrbgStore, StoreConfig};
+pub use runtime::{StoreManager, StoreRuntimeConfig};
+pub use store::{ChunksIter, MrbgStore, StoreConfig, StoreReader};

@@ -70,6 +70,9 @@ pub struct QueryPass<'a> {
     keys: Vec<Vec<u8>>,
     next: usize,
     windows: Vec<Window>,
+    /// Persistent scratch for index-only reads: one buffer reused across
+    /// the whole pass instead of one fresh allocation per chunk.
+    scratch: Vec<u8>,
 }
 
 impl<'a> QueryPass<'a> {
@@ -94,11 +97,16 @@ impl<'a> QueryPass<'a> {
             keys,
             next: 0,
             windows: Vec::new(),
+            scratch: Vec::new(),
         }
     }
 
     /// Retrieve the next planned chunk. `key` must equal the next planned
     /// key; returns `None` when the key has no preserved chunk.
+    ///
+    /// Chunks are decoded straight out of the window (or scratch) buffer —
+    /// retrieval copies each chunk's bytes exactly once, from the kernel
+    /// into the reused window/scratch buffer.
     pub fn get(&mut self, key: &[u8]) -> Result<Option<Chunk>> {
         let i = self.next;
         if i >= self.keys.len() || self.keys[i] != key {
@@ -112,13 +120,22 @@ impl<'a> QueryPass<'a> {
             None => return Ok(None),
         };
 
-        let chunk_bytes: Vec<u8> = match self.strategy {
-            QueryStrategy::IndexOnly => self.read_region(loc.offset, loc.len as u64)?,
+        let chunk_bytes: &[u8] = match self.strategy {
+            QueryStrategy::IndexOnly => {
+                let len = loc.len as usize;
+                self.scratch.resize(len, 0);
+                self.file.seek(SeekFrom::Start(loc.offset))?;
+                self.file.read_exact(&mut self.scratch[..len])?;
+                self.io.record_read(len as u64);
+                &self.scratch[..len]
+            }
             QueryStrategy::SingleFixWindow { window } => {
-                self.windowed_read(loc, SHARED_WINDOW, window.max(loc.len as u64))?
+                let wi = self.ensure_window(loc, SHARED_WINDOW, window.max(loc.len as u64))?;
+                self.windows[wi].slice(loc)
             }
             QueryStrategy::MultiFixWindow { window } => {
-                self.windowed_read(loc, loc.batch, window.max(loc.len as u64))?
+                let wi = self.ensure_window(loc, loc.batch, window.max(loc.len as u64))?;
+                self.windows[wi].slice(loc)
             }
             QueryStrategy::MultiDynamicWindow { gap_threshold } => {
                 let w = dynamic_window_size(
@@ -128,11 +145,12 @@ impl<'a> QueryPass<'a> {
                     gap_threshold,
                     self.cache_capacity,
                 );
-                self.windowed_read(loc, loc.batch, w)?
+                let wi = self.ensure_window(loc, loc.batch, w)?;
+                self.windows[wi].slice(loc)
             }
         };
 
-        let mut cur = chunk_bytes.as_slice();
+        let mut cur = chunk_bytes;
         let chunk = Chunk::decode(&mut cur)?;
         if chunk.key != key {
             return Err(Error::corrupt(format!(
@@ -143,13 +161,23 @@ impl<'a> QueryPass<'a> {
         Ok(Some(chunk))
     }
 
+    /// The next planned key, if the pass is not exhausted. Drives streaming
+    /// consumers ([`crate::store::MrbgStore::chunks_iter`]) that walk the
+    /// whole plan without holding their own key list.
+    pub fn next_key(&self) -> Option<&[u8]> {
+        self.keys.get(self.next).map(Vec::as_slice)
+    }
+
     /// Number of planned keys not yet retrieved.
     pub fn remaining(&self) -> usize {
         self.keys.len() - self.next
     }
 
-    fn windowed_read(&mut self, loc: ChunkLoc, window_tag: u32, size: u64) -> Result<Vec<u8>> {
-        // Find (or create) the window serving this tag.
+    /// Make the window serving `window_tag` contain `loc`, sliding it with
+    /// one large I/O on a miss. The window's buffer is reused across slides
+    /// (capacity kept), so a steady pass allocates per *growth*, not per
+    /// slide. Returns the window's position in `self.windows`.
+    fn ensure_window(&mut self, loc: ChunkLoc, window_tag: u32, size: u64) -> Result<usize> {
         let wi = match self.windows.iter().position(|w| w.batch == window_tag) {
             Some(wi) => wi,
             None => {
@@ -158,22 +186,15 @@ impl<'a> QueryPass<'a> {
             }
         };
         if !self.windows[wi].contains(loc) {
-            // Miss: slide the window forward with one large I/O.
-            let len = size.min(self.file_len.saturating_sub(loc.offset));
-            let buf = self.read_region(loc.offset, len)?;
+            let len = size.min(self.file_len.saturating_sub(loc.offset)) as usize;
             let w = &mut self.windows[wi];
             w.file_start = loc.offset;
-            w.buf = buf;
+            w.buf.resize(len, 0);
+            self.file.seek(SeekFrom::Start(loc.offset))?;
+            self.file.read_exact(&mut w.buf[..len])?;
+            self.io.record_read(len as u64);
         }
-        Ok(self.windows[wi].slice(loc).to_vec())
-    }
-
-    fn read_region(&mut self, offset: u64, len: u64) -> Result<Vec<u8>> {
-        self.file.seek(SeekFrom::Start(offset))?;
-        let mut buf = vec![0u8; len as usize];
-        self.file.read_exact(&mut buf)?;
-        self.io.record_read(len);
-        Ok(buf)
+        Ok(wi)
     }
 }
 

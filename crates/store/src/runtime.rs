@@ -1,0 +1,628 @@
+//! The store runtime layer: [`StoreManager`] owns every partition's
+//! [`MrbgStore`] and schedules store work on the shared [`WorkerPool`].
+//!
+//! Before this layer, engines reached into per-partition stores through
+//! `&mut MrbgStore` behind per-partition mutexes: merges ran inside reduce
+//! tasks, point reads took the same exclusive lock as writes, and
+//! [`MrbgStore::compact`] was a stop-the-world pass a caller had to invoke
+//! by hand. The manager makes the store plane a scheduled, observable
+//! subsystem of its own:
+//!
+//! * **Sharded, partition-affine merges** — [`StoreManager::merge_apply_all`]
+//!   runs each partition's delta merge as a first-class
+//!   [`TaskKind::StoreMerge`] task pinned to the partition's preferred
+//!   worker (the same affinity rule map/reduce/sort tasks use), so merge
+//!   work is scheduled, retried, and timeline-recorded like any other task.
+//! * **Split read path** — point lookups go through a per-partition
+//!   [`StoreReader`] under a *shared* lock ([`StoreManager::get`]), so
+//!   lookups never serialize on a shard's write lock: reads on different
+//!   shards are fully concurrent, and reads on one shard proceed while
+//!   that shard merges. (Lookups on the *same* shard share its one
+//!   reader; only merges, appends, and compactions take the write lock.)
+//! * **Policy-driven background compaction** —
+//!   [`StoreManager::maybe_compact`] consults the [`CompactionPolicy`]
+//!   (garbage-ratio + batch-count thresholds, derivable from the §4 cost
+//!   model via [`CompactionPolicy::from_cost_model`]) and schedules
+//!   [`TaskKind::Compact`] tasks for exactly the shards that have
+//!   accumulated enough obsolete versions. Engines call it *between*
+//!   iterations, so reclamation rides the idle tail of the schedule
+//!   instead of blocking every refresh the way an unconditional
+//!   stop-the-world `compact()` did.
+//! * **Aggregated observability** — [`StoreManager::drain_metrics`] folds
+//!   every shard's [`IoStats`] (store + detached readers) and the
+//!   compaction counters into a [`JobMetrics`].
+//!
+//! `parallel: false` in [`StoreRuntimeConfig`] degrades every scheduled
+//! operation to an inline loop on the caller thread — the *serial plane* —
+//! which the equivalence suite and the `micro_store` bench use as the
+//! baseline the sharded plane must match byte-for-byte.
+
+use crate::compact::{CompactionPolicy, CompactionStats};
+use crate::format::Chunk;
+use crate::merge::{DeltaChunk, MergeOutcome};
+use crate::query::QueryStrategy;
+use crate::store::{MrbgStore, StoreConfig, StoreReader};
+use i2mr_common::error::{Error, Result};
+use i2mr_common::metrics::{IoStats, JobMetrics};
+use i2mr_mapred::fault::{TaskId, TaskKind};
+use i2mr_mapred::pool::{TaskSpec, WorkerPool};
+use parking_lot::{Mutex, RwLock};
+use std::path::{Path, PathBuf};
+
+/// Tunables of the store runtime (per-shard [`StoreConfig`] plus the
+/// plane-level knobs).
+#[derive(Clone, Copy, Debug)]
+pub struct StoreRuntimeConfig {
+    /// Per-shard store configuration.
+    pub store: StoreConfig,
+    /// When to schedule background compactions.
+    pub policy: CompactionPolicy,
+    /// Schedule shard operations on the worker pool (`true`, the sharded
+    /// plane) or run them inline on the caller thread (`false`, the serial
+    /// baseline plane).
+    pub parallel: bool,
+}
+
+impl Default for StoreRuntimeConfig {
+    fn default() -> Self {
+        StoreRuntimeConfig {
+            store: StoreConfig::default(),
+            policy: CompactionPolicy::default(),
+            parallel: true,
+        }
+    }
+}
+
+impl StoreRuntimeConfig {
+    /// The serial baseline plane: inline operations, no background
+    /// compaction. Equivalence tests pit this against the default.
+    pub fn serial() -> Self {
+        StoreRuntimeConfig {
+            store: StoreConfig::default(),
+            policy: CompactionPolicy::never(),
+            parallel: false,
+        }
+    }
+}
+
+/// One partition's store plus its detached read handle.
+struct Shard {
+    store: RwLock<MrbgStore>,
+    reader: Mutex<StoreReader>,
+}
+
+impl Shard {
+    fn new(store: MrbgStore) -> Result<Self> {
+        let reader = store.reader()?;
+        Ok(Shard {
+            store: RwLock::new(store),
+            reader: Mutex::new(reader),
+        })
+    }
+}
+
+/// Plane-level counters drained into [`JobMetrics`].
+#[derive(Clone, Copy, Debug, Default)]
+struct RuntimeStats {
+    compactions: u64,
+    bytes_reclaimed: u64,
+}
+
+/// Owner and scheduler of all per-partition MRBG stores. See module docs.
+pub struct StoreManager {
+    shards: Vec<Shard>,
+    config: StoreRuntimeConfig,
+    stats: Mutex<RuntimeStats>,
+}
+
+impl StoreManager {
+    fn shard_dir(dir: &Path, p: usize) -> PathBuf {
+        dir.join(format!("shard-{p}"))
+    }
+
+    /// Create `n` fresh shards under `dir` (`dir/shard-{p}` each).
+    pub fn create(dir: impl AsRef<Path>, n: usize, config: StoreRuntimeConfig) -> Result<Self> {
+        let dir = dir.as_ref();
+        let shards = (0..n)
+            .map(|p| Shard::new(MrbgStore::create(Self::shard_dir(dir, p), config.store)?))
+            .collect::<Result<Vec<_>>>()?;
+        Ok(StoreManager {
+            shards,
+            config,
+            stats: Mutex::new(RuntimeStats::default()),
+        })
+    }
+
+    /// Open `n` existing shards under `dir`, loading indexes serially.
+    pub fn open(dir: impl AsRef<Path>, n: usize, config: StoreRuntimeConfig) -> Result<Self> {
+        let dir = dir.as_ref();
+        let shards = (0..n)
+            .map(|p| Shard::new(MrbgStore::open(Self::shard_dir(dir, p), config.store)?))
+            .collect::<Result<Vec<_>>>()?;
+        Ok(StoreManager {
+            shards,
+            config,
+            stats: Mutex::new(RuntimeStats::default()),
+        })
+    }
+
+    /// Open `n` existing shards with their index preloads running as
+    /// concurrent [`TaskKind::StoreMerge`] tasks on `pool` (paper §3.4:
+    /// the index is preloaded before Reduce computation — here all
+    /// partitions preload at once).
+    pub fn open_with_pool(
+        pool: &WorkerPool,
+        dir: impl AsRef<Path>,
+        n: usize,
+        config: StoreRuntimeConfig,
+    ) -> Result<Self> {
+        if !config.parallel {
+            return Self::open(dir, n, config);
+        }
+        let dir = dir.as_ref();
+        let tasks: Vec<TaskSpec<'_, MrbgStore>> = (0..n)
+            .map(|p| {
+                TaskSpec::pinned(
+                    TaskId {
+                        kind: TaskKind::StoreMerge,
+                        index: p,
+                        iteration: 0,
+                    },
+                    p % pool.n_workers(),
+                    move |_| MrbgStore::open(Self::shard_dir(dir, p), config.store),
+                )
+            })
+            .collect();
+        let shards = pool
+            .run_tasks(tasks)?
+            .into_iter()
+            .map(Shard::new)
+            .collect::<Result<Vec<_>>>()?;
+        Ok(StoreManager {
+            shards,
+            config,
+            stats: Mutex::new(RuntimeStats::default()),
+        })
+    }
+
+    /// Wrap already-constructed stores (checkpoint restore, tests).
+    pub fn from_stores(stores: Vec<MrbgStore>, config: StoreRuntimeConfig) -> Result<Self> {
+        let shards = stores
+            .into_iter()
+            .map(Shard::new)
+            .collect::<Result<Vec<_>>>()?;
+        Ok(StoreManager {
+            shards,
+            config,
+            stats: Mutex::new(RuntimeStats::default()),
+        })
+    }
+
+    /// Number of shards (= reduce partitions).
+    pub fn n_shards(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// The runtime configuration.
+    pub fn config(&self) -> &StoreRuntimeConfig {
+        &self.config
+    }
+
+    /// Replace the compaction policy.
+    pub fn set_policy(&mut self, policy: CompactionPolicy) {
+        self.config.policy = policy;
+    }
+
+    /// Run `f` with exclusive access to shard `p`'s store.
+    pub fn with_store<R>(&self, p: usize, f: impl FnOnce(&mut MrbgStore) -> R) -> R {
+        f(&mut self.shards[p].store.write())
+    }
+
+    /// Run `f` with shared access to shard `p`'s store.
+    pub fn with_store_ref<R>(&self, p: usize, f: impl FnOnce(&MrbgStore) -> R) -> R {
+        f(&self.shards[p].store.read())
+    }
+
+    /// Point lookup on shard `p` through the split read path: shared store
+    /// access plus the shard's detached [`StoreReader`], so concurrent
+    /// lookups (same shard or different shards) never take a write lock.
+    pub fn get(&self, p: usize, key: &[u8]) -> Result<Option<Chunk>> {
+        let shard = &self.shards[p];
+        let store = shard.store.read();
+        let mut reader = shard.reader.lock();
+        store.get_with(&mut reader, key)
+    }
+
+    /// Switch every shard's chunk retrieval strategy (Table 4 sweeps).
+    pub fn set_strategy(&self, strategy: QueryStrategy) {
+        for shard in &self.shards {
+            shard.store.write().set_strategy(strategy);
+        }
+    }
+
+    /// Total live Reduce instances across shards.
+    pub fn len(&self) -> usize {
+        self.shards.iter().map(|s| s.store.read().len()).sum()
+    }
+
+    /// True when no shard preserves anything.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Total MRBGraph file bytes across shards (live + obsolete).
+    pub fn file_bytes(&self) -> u64 {
+        self.shards.iter().map(|s| s.store.read().file_len()).sum()
+    }
+
+    /// Merge per-partition delta MRBGraphs into their shards, one
+    /// [`TaskKind::StoreMerge`] task per partition (inline loop on the
+    /// serial plane). `deltas_of(p)` builds partition `p`'s delta chunks;
+    /// it may be re-invoked on retry and must be idempotent. A partition
+    /// whose delta list is empty is skipped without touching its store —
+    /// no empty batch is appended and its index file is not rewritten.
+    /// Returns each partition's `(key, outcome)` list in canonical order.
+    pub fn merge_apply_all<F>(
+        &self,
+        pool: &WorkerPool,
+        iteration: u64,
+        deltas_of: F,
+    ) -> Result<Vec<Vec<(Vec<u8>, MergeOutcome)>>>
+    where
+        F: Fn(usize) -> Result<Vec<DeltaChunk>> + Sync,
+    {
+        fn merge_one(
+            shard: &Shard,
+            deltas: Vec<DeltaChunk>,
+        ) -> Result<Vec<(Vec<u8>, MergeOutcome)>> {
+            if deltas.is_empty() {
+                return Ok(Vec::new());
+            }
+            shard.store.write().merge_apply(deltas)
+        }
+        if !self.config.parallel {
+            return self
+                .shards
+                .iter()
+                .enumerate()
+                .map(|(p, shard)| merge_one(shard, deltas_of(p)?))
+                .collect();
+        }
+        let deltas_of = &deltas_of;
+        let tasks: Vec<TaskSpec<'_, Vec<(Vec<u8>, MergeOutcome)>>> = self
+            .shards
+            .iter()
+            .enumerate()
+            .map(|(p, shard)| {
+                TaskSpec::pinned(
+                    TaskId {
+                        kind: TaskKind::StoreMerge,
+                        index: p,
+                        iteration,
+                    },
+                    p % pool.n_workers(),
+                    move |_| merge_one(shard, deltas_of(p)?),
+                )
+            })
+            .collect();
+        pool.run_tasks(tasks)
+    }
+
+    /// Append one batch of chunks per shard (initial preservation), one
+    /// [`TaskKind::StoreMerge`] task per partition. Each batch is consumed
+    /// by its first executed attempt; a retry after a mid-append I/O
+    /// failure cannot replay it and surfaces the loss as a task error
+    /// (fault-injection retries fire *before* the first execution and are
+    /// unaffected).
+    pub fn append_batch_all(
+        &self,
+        pool: &WorkerPool,
+        iteration: u64,
+        batches: Vec<Vec<Chunk>>,
+    ) -> Result<()> {
+        if batches.len() != self.shards.len() {
+            return Err(Error::config(format!(
+                "append_batch_all: {} batches for {} shards",
+                batches.len(),
+                self.shards.len()
+            )));
+        }
+        if !self.config.parallel {
+            for (shard, batch) in self.shards.iter().zip(batches) {
+                shard.store.write().append_batch(batch)?;
+            }
+            return Ok(());
+        }
+        let cells: Vec<Mutex<Option<Vec<Chunk>>>> =
+            batches.into_iter().map(|b| Mutex::new(Some(b))).collect();
+        let tasks: Vec<TaskSpec<'_, ()>> = cells
+            .iter()
+            .enumerate()
+            .map(|(p, cell)| {
+                let shard = &self.shards[p];
+                TaskSpec::pinned(
+                    TaskId {
+                        kind: TaskKind::StoreMerge,
+                        index: p,
+                        iteration,
+                    },
+                    p % pool.n_workers(),
+                    move |_| {
+                        let batch = cell.lock().take().ok_or_else(|| {
+                            Error::corrupt("store batch consumed by a failed earlier attempt")
+                        })?;
+                        shard.store.write().append_batch(batch)
+                    },
+                )
+            })
+            .collect();
+        pool.run_tasks(tasks).map(|_| ())
+    }
+
+    /// Consult the compaction policy and reconstruct exactly the shards
+    /// whose garbage crossed the thresholds, as [`TaskKind::Compact`]
+    /// tasks. Engines call this between iterations — the tasks fill the
+    /// pool's idle tail instead of blocking the data-plane phases.
+    /// Compaction is idempotent, so retries are safe.
+    pub fn maybe_compact(
+        &self,
+        pool: &WorkerPool,
+        iteration: u64,
+    ) -> Result<Vec<(usize, CompactionStats)>> {
+        let due: Vec<usize> = self
+            .shards
+            .iter()
+            .enumerate()
+            .filter(|(_, shard)| {
+                let s = shard.store.read();
+                self.config
+                    .policy
+                    .should_compact(s.file_len(), s.live_bytes(), s.n_batches())
+            })
+            .map(|(p, _)| p)
+            .collect();
+        self.compact_shards(pool, iteration, due)
+    }
+
+    /// Unconditionally compact every shard (offline reconstruction of the
+    /// whole plane). Returns total reclaimed bytes.
+    pub fn compact_all(&self, pool: &WorkerPool, iteration: u64) -> Result<u64> {
+        let all: Vec<usize> = (0..self.shards.len()).collect();
+        let stats = self.compact_shards(pool, iteration, all)?;
+        Ok(stats.iter().map(|(_, s)| s.reclaimed()).sum())
+    }
+
+    fn compact_shards(
+        &self,
+        pool: &WorkerPool,
+        iteration: u64,
+        shards: Vec<usize>,
+    ) -> Result<Vec<(usize, CompactionStats)>> {
+        if shards.is_empty() {
+            return Ok(Vec::new());
+        }
+        let stats: Vec<CompactionStats> = if self.config.parallel {
+            let tasks: Vec<TaskSpec<'_, CompactionStats>> = shards
+                .iter()
+                .map(|&p| {
+                    let shard = &self.shards[p];
+                    TaskSpec::pinned(
+                        TaskId {
+                            kind: TaskKind::Compact,
+                            index: p,
+                            iteration,
+                        },
+                        p % pool.n_workers(),
+                        move |_| shard.store.write().compact(),
+                    )
+                })
+                .collect();
+            pool.run_tasks(tasks)?
+        } else {
+            shards
+                .iter()
+                .map(|&p| self.shards[p].store.write().compact())
+                .collect::<Result<_>>()?
+        };
+        let out: Vec<(usize, CompactionStats)> = shards.into_iter().zip(stats).collect();
+        let mut rt = self.stats.lock();
+        for (_, s) in &out {
+            rt.compactions += 1;
+            rt.bytes_reclaimed += s.reclaimed();
+        }
+        Ok(out)
+    }
+
+    /// Aggregate I/O across shards and readers without resetting.
+    pub fn io_stats(&self) -> IoStats {
+        let mut io = IoStats::default();
+        for shard in &self.shards {
+            io += shard.store.read().io_stats();
+            io += shard.reader.lock().io_stats();
+        }
+        io
+    }
+
+    /// Reset every shard's and reader's I/O counters.
+    pub fn reset_io_stats(&self) {
+        for shard in &self.shards {
+            shard.store.write().reset_io_stats();
+            shard.reader.lock().take_io_stats();
+        }
+    }
+
+    /// Drain the plane's accumulated observability into `metrics`: shard +
+    /// reader [`IoStats`] (reset afterwards) and the compaction counters.
+    pub fn drain_metrics(&self, metrics: &mut JobMetrics) {
+        for shard in &self.shards {
+            let mut store = shard.store.write();
+            metrics.store_io += store.io_stats();
+            store.reset_io_stats();
+            metrics.store_io += shard.reader.lock().take_io_stats();
+        }
+        let mut rt = self.stats.lock();
+        metrics.store_compactions += rt.compactions;
+        metrics.store_bytes_reclaimed += rt.bytes_reclaimed;
+        *rt = RuntimeStats::default();
+    }
+
+    /// Serialize shard `p` for checkpointing (live chunks only; see
+    /// [`MrbgStore::export`]).
+    pub fn export(&self, p: usize) -> Result<Vec<u8>> {
+        self.shards[p].store.write().export()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::format::ChunkEntry;
+    use crate::merge::DeltaEntry;
+    use i2mr_common::hash::MapKey;
+
+    const N: usize = 4;
+
+    fn scratch(tag: &str) -> PathBuf {
+        let d = std::env::temp_dir().join(format!(
+            "i2mr-runtime-{tag}-{}-{:?}",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        let _ = std::fs::remove_dir_all(&d);
+        d
+    }
+
+    fn chunk(key: &str, val: &str) -> Chunk {
+        Chunk::new(
+            key.as_bytes().to_vec(),
+            vec![ChunkEntry {
+                mk: MapKey(1),
+                value: val.as_bytes().to_vec(),
+            }],
+        )
+    }
+
+    fn seed(mgr: &StoreManager, pool: &WorkerPool) {
+        let batches: Vec<Vec<Chunk>> = (0..N)
+            .map(|p| (0..8).map(|i| chunk(&format!("k{p}-{i}"), "v0")).collect())
+            .collect();
+        mgr.append_batch_all(pool, 0, batches).unwrap();
+    }
+
+    #[test]
+    fn sharded_and_serial_planes_agree() {
+        let pool = WorkerPool::new(2);
+        let par = StoreManager::create(scratch("par"), N, StoreRuntimeConfig::default()).unwrap();
+        let ser = StoreManager::create(scratch("ser"), N, StoreRuntimeConfig::serial()).unwrap();
+        for mgr in [&par, &ser] {
+            seed(mgr, &pool);
+            for round in 1..=3u64 {
+                let outcomes = mgr
+                    .merge_apply_all(&pool, round, |p| {
+                        Ok(vec![DeltaChunk {
+                            key: format!("k{p}-0").into_bytes(),
+                            entries: vec![
+                                DeltaEntry::Delete(MapKey(1)),
+                                DeltaEntry::Insert(MapKey(1), format!("v{round}").into_bytes()),
+                            ],
+                        }])
+                    })
+                    .unwrap();
+                assert_eq!(outcomes.len(), N);
+            }
+        }
+        for p in 0..N {
+            assert_eq!(par.export(p).unwrap(), ser.export(p).unwrap());
+        }
+    }
+
+    #[test]
+    fn split_read_path_sees_merged_state() {
+        let pool = WorkerPool::new(2);
+        let mgr = StoreManager::create(scratch("read"), N, StoreRuntimeConfig::default()).unwrap();
+        seed(&mgr, &pool);
+        let c = mgr.get(1, b"k1-3").unwrap().unwrap();
+        assert_eq!(c.entries[0].value, b"v0");
+        assert!(mgr.get(1, b"missing").unwrap().is_none());
+        // Reads after compaction (file replaced) still resolve.
+        mgr.compact_all(&pool, 1).unwrap();
+        let c = mgr.get(1, b"k1-3").unwrap().unwrap();
+        assert_eq!(c.entries[0].value, b"v0");
+        // Reader I/O is accounted.
+        assert!(mgr.io_stats().reads >= 2);
+    }
+
+    #[test]
+    fn policy_compacts_only_garbage_heavy_shards() {
+        let pool = WorkerPool::new(2);
+        let cfg = StoreRuntimeConfig {
+            policy: CompactionPolicy {
+                min_garbage_ratio: 0.3,
+                min_batches: 3,
+                min_file_bytes: 0,
+            },
+            ..Default::default()
+        };
+        let mgr = StoreManager::create(scratch("policy"), N, cfg).unwrap();
+        seed(&mgr, &pool);
+        // Churn only shard 0 so only it accumulates obsolete versions.
+        for round in 1..=6u64 {
+            mgr.merge_apply_all(&pool, round, |p| {
+                if p != 0 {
+                    return Ok(Vec::new());
+                }
+                Ok((0..8)
+                    .map(|i| DeltaChunk {
+                        key: format!("k0-{i}").into_bytes(),
+                        entries: vec![
+                            DeltaEntry::Delete(MapKey(1)),
+                            DeltaEntry::Insert(MapKey(1), format!("v{round}").into_bytes()),
+                        ],
+                    })
+                    .collect())
+            })
+            .unwrap();
+        }
+        let compacted = mgr.maybe_compact(&pool, 7).unwrap();
+        assert_eq!(compacted.len(), 1, "only shard 0 is garbage-heavy");
+        assert_eq!(compacted[0].0, 0);
+        assert!(compacted[0].1.reclaimed() > 0);
+        assert!(mgr.maybe_compact(&pool, 8).unwrap().is_empty());
+
+        let mut m = JobMetrics::default();
+        mgr.drain_metrics(&mut m);
+        assert_eq!(m.store_compactions, 1);
+        assert!(m.store_bytes_reclaimed > 0);
+        assert!(m.store_io.reads > 0);
+        // Drained: a second drain starts from zero.
+        let mut m2 = JobMetrics::default();
+        mgr.drain_metrics(&mut m2);
+        assert_eq!(m2.store_compactions, 0);
+        assert_eq!(m2.store_io.reads, 0);
+    }
+
+    #[test]
+    fn open_with_pool_preloads_all_indexes() {
+        let pool = WorkerPool::new(2);
+        let dir = scratch("reopen");
+        {
+            let mgr = StoreManager::create(&dir, N, StoreRuntimeConfig::default()).unwrap();
+            seed(&mgr, &pool);
+        }
+        let mgr =
+            StoreManager::open_with_pool(&pool, &dir, N, StoreRuntimeConfig::default()).unwrap();
+        assert_eq!(mgr.len(), N * 8);
+        assert_eq!(
+            mgr.get(2, b"k2-5").unwrap().unwrap().entries[0].value,
+            b"v0"
+        );
+    }
+
+    #[test]
+    fn mismatched_batch_count_is_rejected() {
+        let pool = WorkerPool::new(1);
+        let mgr =
+            StoreManager::create(scratch("mismatch"), N, StoreRuntimeConfig::default()).unwrap();
+        assert!(mgr.append_batch_all(&pool, 0, vec![Vec::new()]).is_err());
+    }
+}

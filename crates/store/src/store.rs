@@ -63,6 +63,66 @@ pub struct MrbgStore {
     /// only grows when a chunk exceeds all previous reads.
     /// [`IoStats::scratch_reuses`] counts the allocations this avoids.
     read_scratch: Vec<u8>,
+    /// Bumped whenever the data file is *replaced* (compaction). Detached
+    /// [`StoreReader`]s compare their own generation against this and
+    /// reopen the file when stale — appends never bump it (same inode).
+    generation: u64,
+}
+
+/// A detached read handle for the split read path.
+///
+/// Point lookups used to require `&mut MrbgStore`, so every read serialized
+/// on the store's exclusive lock even though reads never conflict with each
+/// other. A `StoreReader` owns its own file handle and scratch buffer;
+/// [`MrbgStore::get_with`] takes the store by `&self`, so any number of
+/// readers can look up chunks concurrently (under a shared/read lock) while
+/// only merges and compactions need exclusive access. Each reader keeps its
+/// own [`IoStats`] for the runtime layer to aggregate.
+#[derive(Debug)]
+pub struct StoreReader {
+    file: File,
+    generation: u64,
+    scratch: Vec<u8>,
+    io: IoStats,
+}
+
+impl StoreReader {
+    /// I/O performed through this reader so far.
+    pub fn io_stats(&self) -> IoStats {
+        self.io
+    }
+
+    /// Take (and reset) this reader's I/O counters.
+    pub fn take_io_stats(&mut self) -> IoStats {
+        std::mem::take(&mut self.io)
+    }
+}
+
+/// Streaming iterator over a store's live chunks in canonical key order.
+///
+/// Produced by [`MrbgStore::chunks_iter`]; wraps a planned [`QueryPass`]
+/// so retrieval uses the store's configured window strategy. Holding one
+/// borrows the store mutably for the duration of the scan.
+pub struct ChunksIter<'a> {
+    pass: QueryPass<'a>,
+}
+
+impl Iterator for ChunksIter<'_> {
+    type Item = Result<Chunk>;
+
+    fn next(&mut self) -> Option<Result<Chunk>> {
+        let key = self.pass.next_key()?.to_vec();
+        match self.pass.get(&key) {
+            Ok(Some(chunk)) => Some(Ok(chunk)),
+            Ok(None) => Some(Err(Error::corrupt("indexed chunk disappeared"))),
+            Err(e) => Some(Err(e)),
+        }
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        let n = self.pass.remaining();
+        (n, Some(n))
+    }
 }
 
 impl MrbgStore {
@@ -92,6 +152,7 @@ impl MrbgStore {
             config,
             io: IoStats::default(),
             read_scratch: Vec::new(),
+            generation: 0,
         };
         store.persist_index()?;
         Ok(store)
@@ -117,6 +178,7 @@ impl MrbgStore {
             config,
             io: IoStats::default(),
             read_scratch: Vec::new(),
+            generation: 0,
         })
     }
 
@@ -148,6 +210,11 @@ impl MrbgStore {
     /// Number of batches of sorted chunks in the file.
     pub fn n_batches(&self) -> usize {
         self.index.batches().len()
+    }
+
+    /// Bytes of live (latest-version) chunks — what compaction would keep.
+    pub fn live_bytes(&self) -> u64 {
+        self.index.live_bytes()
     }
 
     /// Accumulated I/O counters (Table 4 columns).
@@ -227,9 +294,11 @@ impl MrbgStore {
     ) -> Result<Vec<(Vec<u8>, MergeOutcome)>> {
         deltas.sort_by(|a, b| a.key.cmp(&b.key));
 
-        // Phase 1: planned query pass + in-memory application.
+        // Phase 1: planned query pass + in-memory application. The pass
+        // needs its own copy of the key plan; the outcome list reuses the
+        // delta keys themselves (moved, not cloned again).
         let keys: Vec<Vec<u8>> = deltas.iter().map(|d| d.key.clone()).collect();
-        let mut outcomes: Vec<(Vec<u8>, MergeOutcome)> = Vec::with_capacity(deltas.len());
+        let mut applied: Vec<MergeOutcome> = Vec::with_capacity(deltas.len());
         {
             let mut pass = QueryPass::new(
                 &mut self.file,
@@ -242,9 +311,11 @@ impl MrbgStore {
             );
             for d in &deltas {
                 let stored = pass.get(&d.key)?;
-                outcomes.push((d.key.clone(), apply_delta(stored, d)));
+                applied.push(apply_delta(stored, d));
             }
         }
+        let outcomes: Vec<(Vec<u8>, MergeOutcome)> =
+            deltas.into_iter().map(|d| d.key).zip(applied).collect();
 
         // Phase 2: append updated chunks as one new batch; update index.
         let batch_id = self.index.batches().len() as u32;
@@ -305,30 +376,99 @@ impl MrbgStore {
         Ok(Some(chunk))
     }
 
+    /// Detach a read handle for the split read path (see [`StoreReader`]).
+    pub fn reader(&self) -> Result<StoreReader> {
+        Ok(StoreReader {
+            file: File::open(Self::data_path(&self.dir))?,
+            generation: self.generation,
+            scratch: Vec::new(),
+            io: IoStats::default(),
+        })
+    }
+
+    /// Point lookup through a detached [`StoreReader`] — shared access.
+    ///
+    /// Takes the store by `&self`: only the in-memory index is consulted;
+    /// all file I/O goes through the reader's own handle and scratch, so
+    /// concurrent lookups (same or different partitions) never serialize on
+    /// the store's write lock. If the data file was replaced by a
+    /// compaction since the reader was created, the reader transparently
+    /// reopens it.
+    pub fn get_with(&self, reader: &mut StoreReader, key: &[u8]) -> Result<Option<Chunk>> {
+        if reader.generation != self.generation {
+            reader.file = File::open(Self::data_path(&self.dir))?;
+            reader.generation = self.generation;
+        }
+        let loc = match self.index.get(key) {
+            Some(loc) => loc,
+            None => return Ok(None),
+        };
+        let len = loc.len as usize;
+        if reader.scratch.capacity() >= len {
+            reader.io.record_scratch_reuse();
+        }
+        reader.scratch.resize(len, 0);
+        reader.file.seek(SeekFrom::Start(loc.offset))?;
+        reader.file.read_exact(&mut reader.scratch[..len])?;
+        reader.io.record_read(len as u64);
+        let mut cur = &reader.scratch[..len];
+        let chunk = Chunk::decode(&mut cur)?;
+        if chunk.key != key {
+            return Err(Error::corrupt(
+                "index points at a chunk for a different key",
+            ));
+        }
+        Ok(Some(chunk))
+    }
+
+    /// Live keys in canonical (lexicographic) order.
+    pub fn keys(&self) -> Vec<Vec<u8>> {
+        let mut keys: Vec<Vec<u8>> = self.index.iter().map(|(k, _)| k.clone()).collect();
+        keys.sort_unstable();
+        keys
+    }
+
+    /// Stream all live chunks in canonical (lexicographic key) order.
+    ///
+    /// Replaces the old "materialize the whole store into a `Vec<Chunk>`"
+    /// pattern: chunks are decoded one at a time out of a [`QueryPass`]
+    /// running the store's configured strategy, so peak memory is bounded
+    /// by one read window plus one chunk regardless of store size.
+    pub fn chunks_iter(&mut self) -> ChunksIter<'_> {
+        let keys = self.keys();
+        ChunksIter {
+            pass: QueryPass::new(
+                &mut self.file,
+                self.file_len,
+                &mut self.io,
+                &self.index,
+                self.config.strategy,
+                self.config.cache_capacity,
+                keys,
+            ),
+        }
+    }
+
     /// All live chunks in canonical (lexicographic key) order.
     ///
-    /// Used by equivalence tests and compaction; reads the whole live set.
+    /// Convenience for tests and small equivalence checks — materializes
+    /// the whole live set. Production passes (compaction, export) stream
+    /// through [`MrbgStore::chunks_iter`] instead.
     pub fn all_chunks(&mut self) -> Result<Vec<Chunk>> {
-        let mut keys: Vec<Vec<u8>> = self.index.iter().map(|(k, _)| k.clone()).collect();
-        keys.sort();
-        let mut out = Vec::with_capacity(keys.len());
-        for k in keys {
-            match self.get(&k)? {
-                Some(c) => out.push(c),
-                None => return Err(Error::corrupt("indexed chunk disappeared")),
-            }
-        }
-        Ok(out)
+        self.chunks_iter().collect()
     }
 
     /// Offline reconstruction: rewrite live chunks as a single batch,
     /// dropping every obsolete version (paper §3.4).
+    ///
+    /// Streams chunk-by-chunk from a windowed read pass into the temp
+    /// file — the live set is never materialized in memory.
     pub fn compact(&mut self) -> Result<CompactionStats> {
         let before_bytes = self.file_len;
         let batches_before = self.index.batches().len() as u32;
-        let live = self.all_chunks()?;
 
-        // Rewrite into a temp file, then swap.
+        // Rewrite into a temp file, then swap. Write-side I/O goes to a
+        // local accumulator because the read pass holds `&mut self.io`.
         let tmp_path = Self::data_path(&self.dir).with_extension("compact");
         let mut tmp = File::options()
             .create(true)
@@ -336,24 +476,30 @@ impl MrbgStore {
             .write(true)
             .truncate(true)
             .open(&tmp_path)?;
+        let mut write_io = IoStats::default();
         let mut append = AppendBuffer::new(self.config.append_capacity, 0);
         let mut buf = Vec::with_capacity(4096);
-        let mut entries = Vec::with_capacity(live.len());
-        for chunk in &live {
-            buf.clear();
-            chunk.encode(&mut buf);
-            let offset = append.append(&buf, &mut tmp, &mut self.io)?;
-            entries.push((
-                chunk.key.clone(),
-                ChunkLoc {
-                    offset,
-                    len: buf.len() as u32,
-                    batch: 0,
-                },
-            ));
+        let mut entries = Vec::with_capacity(self.index.len());
+        {
+            let mut iter = self.chunks_iter();
+            while let Some(chunk) = iter.next().transpose()? {
+                buf.clear();
+                chunk.encode(&mut buf);
+                let offset = append.append(&buf, &mut tmp, &mut write_io)?;
+                entries.push((
+                    chunk.key,
+                    ChunkLoc {
+                        offset,
+                        len: buf.len() as u32,
+                        batch: 0,
+                    },
+                ));
+            }
         }
-        append.flush(&mut tmp, &mut self.io)?;
+        append.flush(&mut tmp, &mut write_io)?;
+        self.io += write_io;
         let after_bytes = append.next_offset();
+        let live_chunks = entries.len() as u64;
         drop(tmp);
         std::fs::rename(&tmp_path, Self::data_path(&self.dir))?;
 
@@ -362,6 +508,7 @@ impl MrbgStore {
             .write(true)
             .open(Self::data_path(&self.dir))?;
         self.file_len = after_bytes;
+        self.generation += 1;
         self.index.reset(
             entries,
             vec![BatchInfo {
@@ -373,18 +520,40 @@ impl MrbgStore {
         Ok(CompactionStats {
             before_bytes,
             after_bytes,
-            live_chunks: live.len() as u64,
+            live_chunks,
             batches_before,
         })
     }
 
-    /// Serialize the whole store (data + index) for checkpointing (§6.1).
+    /// Serialize the store for checkpointing (§6.1).
+    ///
+    /// Streams the *live* chunks (canonical order, fresh offsets, one
+    /// batch) into the payload — obsolete versions are not shipped, so a
+    /// checkpoint costs live bytes rather than file bytes, and two stores
+    /// with identical live content export byte-identical payloads
+    /// regardless of their on-disk batch history.
     pub fn export(&mut self) -> Result<Vec<u8>> {
-        self.file.seek(SeekFrom::Start(0))?;
-        let mut data = Vec::with_capacity(self.file_len as usize);
-        self.file.read_to_end(&mut data)?;
-        let index = self.index.to_bytes();
-        Ok(i2mr_common::codec::encode_to(&(data, index)))
+        let mut data = Vec::with_capacity(self.index.live_bytes() as usize);
+        let mut entries = Vec::with_capacity(self.index.len());
+        {
+            let mut iter = self.chunks_iter();
+            while let Some(chunk) = iter.next().transpose()? {
+                let start = data.len();
+                chunk.encode(&mut data);
+                entries.push((
+                    chunk.key,
+                    ChunkLoc {
+                        offset: start as u64,
+                        len: (data.len() - start) as u32,
+                        batch: 0,
+                    },
+                ));
+            }
+        }
+        let mut index = ChunkIndex::new();
+        let end = data.len() as u64;
+        index.reset(entries, vec![BatchInfo { start: 0, end }]);
+        Ok(i2mr_common::codec::encode_to(&(data, index.to_bytes())))
     }
 
     /// Restore a store from an [`MrbgStore::export`] payload into `dir`.

@@ -39,6 +39,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         &graph,
         &spec,
         &store_dir,
+        Default::default(),
         100,
         1e-9,
         PreserveMode::FinalOnly,

@@ -26,8 +26,15 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let roads = GraphGen::new(2_500, 20_000, 5).weighted();
     let depot = 0u64;
 
-    let (mut data, stores, initial) =
-        sssp::i2mr_initial(&pool, &cfg, &roads, depot, &store_dir, 200)?;
+    let (mut data, stores, initial) = sssp::i2mr_initial(
+        &pool,
+        &cfg,
+        &roads,
+        depot,
+        &store_dir,
+        Default::default(),
+        200,
+    )?;
     let reachable = data
         .state_snapshot()
         .iter()

@@ -1,28 +1,39 @@
 #!/usr/bin/env bash
-# Snapshot the shuffle data-plane microbench into BENCH_shuffle.json.
+# Snapshot data-plane microbenches into the committed BENCH_*.json files.
 #
-# Runs the `micro_shuffle` criterion target (baseline vs zero-copy pipeline
-# at three run sizes) and writes every benchmark's min/median/mean into a
-# JSON file at the repo root — the perf-trajectory baseline for the
-# shuffle→sort→group→reduce hot path. Re-run after data-plane changes and
-# compare the `micro_shuffle/sortreduce/*` medians.
+# Each target is run once with `I2MR_BENCH_JSON` set, writing every
+# benchmark's min/median/mean into the JSON file at the repo root — the
+# perf-trajectory baselines the `scripts/bench_check.sh` regression gate
+# diffs against:
+#
+#   micro_shuffle -> BENCH_shuffle.json  (shuffle/sort/reduce hot path)
+#   micro_store   -> BENCH_store.json    (MRBG-Store plane: serial vs sharded)
 #
 # Usage:
-#   scripts/bench_snapshot.sh [output.json] [extra cargo bench args...]
-#   I2MR_BENCH_QUICK=1 scripts/bench_snapshot.sh   # ~10x smaller workloads
+#   scripts/bench_snapshot.sh                 # snapshot all targets
+#   scripts/bench_snapshot.sh micro_store     # just one
+#   I2MR_BENCH_QUICK=1 scripts/bench_snapshot.sh   # ~8x smaller workloads
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-out="${1:-BENCH_shuffle.json}"
-shift || true
-case "$out" in
-  /*) : ;;               # absolute path: use as-is
-  *) out="$PWD/$out" ;;  # relative: anchor at the repo root
-esac
+out_for() {
+  case "$1" in
+    micro_shuffle) echo "BENCH_shuffle.json" ;;
+    micro_store) echo "BENCH_store.json" ;;
+    *) echo "BENCH_$1.json" ;;
+  esac
+}
 
-I2MR_BENCH_JSON="$out" cargo bench --bench micro_shuffle "$@"
+targets=("$@")
+if [ ${#targets[@]} -eq 0 ]; then
+  targets=(micro_shuffle micro_store)
+fi
 
-echo
-echo "== snapshot: $out =="
-# Print the headline comparison (no jq dependency: plain grep).
-grep -o '"id": "micro_shuffle/sortreduce[^}]*' "$out" || true
+for target in "${targets[@]}"; do
+  out="$PWD/$(out_for "$target")"
+  I2MR_BENCH_JSON="$out" cargo bench --bench "$target"
+  echo
+  echo "== snapshot: $out =="
+  # Print the headline comparisons (no jq dependency: plain grep).
+  grep -oE '"id": "[^"]*/(zerocopy|baseline|serial|sharded)/[^}]*' "$out" || true
+done

@@ -38,6 +38,7 @@ fn pagerank_incremental_chain_tracks_recompute() {
         &graph,
         &spec,
         &scratch("pr-chain"),
+        Default::default(),
         300,
         1e-11,
         PreserveMode::FinalOnly,
@@ -94,8 +95,16 @@ fn sssp_incremental_is_exact_with_ft0() {
     let cfg = JobConfig::symmetric(3);
     let pool = WorkerPool::new(3);
     let graph = GraphGen::new(300, 2000, 0x5555).weighted();
-    let (mut data, stores, _) =
-        sssp::i2mr_initial(&pool, &cfg, &graph, 0, &scratch("sssp-x"), 300).unwrap();
+    let (mut data, stores, _) = sssp::i2mr_initial(
+        &pool,
+        &cfg,
+        &graph,
+        0,
+        &scratch("sssp-x"),
+        Default::default(),
+        300,
+    )
+    .unwrap();
 
     let delta = weighted_graph_delta(&graph, DeltaSpec::ten_percent(0xAB));
     let (report, _) =
@@ -126,8 +135,17 @@ fn gimv_incremental_matches_recompute() {
         block_size: 8,
         damping: 0.85,
     };
-    let (mut data, stores, _) =
-        gimv::i2mr_initial(&pool, &cfg, &blocks, &spec, &scratch("gimv-x"), 300, 1e-11).unwrap();
+    let (mut data, stores, _) = gimv::i2mr_initial(
+        &pool,
+        &cfg,
+        &blocks,
+        &spec,
+        &scratch("gimv-x"),
+        Default::default(),
+        300,
+        1e-11,
+    )
+    .unwrap();
     let delta = matrix_delta(&blocks, DeltaSpec::ten_percent(0x44));
     let (report, _) =
         gimv::i2mr_incremental(&pool, &cfg, &mut data, &stores, &spec, &delta, 500, 1e-10).unwrap();
@@ -223,7 +241,7 @@ fn onestep_engine_survives_compaction_and_strategy_changes() {
             eng.incremental(&pool, &delta, &mapper, &HashPartitioner, &reducer)
                 .unwrap();
             if round == 1 {
-                eng.compact_stores().unwrap();
+                eng.compact_stores(&pool).unwrap();
             }
         }
         outputs.push(eng.output());
@@ -288,8 +306,7 @@ fn fault_injected_iterative_run_equals_clean_run() {
 #[test]
 fn checkpoint_recovery_resumes_incremental_run() {
     use i2mapreduce::core::IterCheckpointer;
-    use i2mapreduce::store::MrbgStore;
-    use parking_lot::Mutex;
+    use i2mapreduce::store::StoreManager;
 
     let cfg = JobConfig::symmetric(2);
     let pool = WorkerPool::new(2);
@@ -303,6 +320,7 @@ fn checkpoint_recovery_resumes_incremental_run() {
         &graph,
         &spec,
         &dir.join("stores"),
+        Default::default(),
         300,
         1e-11,
         PreserveMode::FinalOnly,
@@ -334,10 +352,16 @@ fn checkpoint_recovery_resumes_incremental_run() {
     let latest = ck.latest_complete(true).expect("checkpoints written");
     let restored_state: Vec<Vec<(u64, f64)>> = ck.load_state(latest).unwrap();
     assert_eq!(restored_state, data.state);
-    let restored_stores: Vec<Mutex<MrbgStore>> = ck
+    let restored_stores: StoreManager = ck
         .load_stores(latest, dir.join("restored"), Default::default())
         .unwrap();
-    for (orig, rest) in stores.iter().zip(&restored_stores) {
-        assert_eq!(orig.lock().len(), rest.lock().len());
+    assert_eq!(restored_stores.len(), stores.len());
+    // Restored shards are byte-identical to the live ones (live-chunk
+    // canonical export), partition by partition.
+    for p in 0..stores.n_shards() {
+        assert_eq!(
+            stores.export(p).unwrap(),
+            restored_stores.export(p).unwrap()
+        );
     }
 }

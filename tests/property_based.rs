@@ -108,12 +108,29 @@ proptest! {
                     }
                 }
                 StoreOp::Compact => {
-                    store.compact().unwrap();
+                    let before: Vec<Chunk> =
+                        store.all_chunks().unwrap();
+                    let stats = store.compact().unwrap();
+                    // Compaction preserves the exact chunk set (same keys,
+                    // same entries, canonical order), collapses the file to
+                    // one batch, and is idempotent: a second pass finds
+                    // nothing to reclaim and exports byte-identically.
+                    prop_assert_eq!(&store.all_chunks().unwrap(), &before);
+                    prop_assert_eq!(store.n_batches(), 1);
+                    prop_assert_eq!(stats.live_chunks as usize, before.len());
+                    let exported = store.export().unwrap();
+                    let again = store.compact().unwrap();
+                    prop_assert_eq!(again.reclaimed(), 0);
+                    prop_assert_eq!(again.batches_before, 1);
+                    prop_assert_eq!(store.export().unwrap(), exported);
                 }
             }
 
-            // Invariant: live key set and every chunk's contents match.
+            // Invariant: live key set and every chunk's contents match,
+            // through both read paths (exclusive `get` and the detached
+            // split-read `get_with`).
             prop_assert_eq!(store.len(), model.len());
+            let mut reader = store.reader().unwrap();
             for (key, want) in &model {
                 let chunk = store.get(key).unwrap().expect("model key missing in store");
                 let got: BTreeMap<u128, Vec<u8>> = chunk
@@ -122,7 +139,20 @@ proptest! {
                     .map(|e| (e.mk.0, e.value.clone()))
                     .collect();
                 prop_assert_eq!(&got, want);
+                let via_reader = store
+                    .get_with(&mut reader, key)
+                    .unwrap()
+                    .expect("split read path missed a live key");
+                prop_assert_eq!(via_reader, chunk);
             }
+            // Streaming chunks_iter yields the exact live set in canonical
+            // (lexicographic) key order.
+            let streamed: Vec<Chunk> = store.chunks_iter().collect::<Result<_, _>>().unwrap();
+            prop_assert_eq!(streamed.len(), model.len());
+            let mut want_keys: Vec<Vec<u8>> = model.keys().cloned().collect();
+            want_keys.sort();
+            let got_keys: Vec<Vec<u8>> = streamed.iter().map(|c| c.key.clone()).collect();
+            prop_assert_eq!(got_keys, want_keys);
         }
     }
 

@@ -452,7 +452,7 @@ pub fn i2mr_initial(
     EngineRun,
 )> {
     let started = Instant::now();
-    let stores = StoreManager::create(store_dir, cfg.n_reduce, store_runtime)?;
+    let stores = StoreManager::create(pool, store_dir, cfg.n_reduce, store_runtime)?;
     let engine = PartitionedIterEngine::new(
         spec,
         cfg.clone(),

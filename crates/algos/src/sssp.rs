@@ -319,7 +319,7 @@ pub fn i2mr_initial(
 )> {
     let started = Instant::now();
     let spec = Sssp { source };
-    let stores = StoreManager::create(store_dir, cfg.n_reduce, store_runtime)?;
+    let stores = StoreManager::create(pool, store_dir, cfg.n_reduce, store_runtime)?;
     let engine = PartitionedIterEngine::new(
         &spec,
         cfg.clone(),

@@ -85,11 +85,12 @@ fn main() {
 
         // kv-grain: fine-grain one-step engine.
         let mut fine: OneStepEngine<u64, String, String, u64, String, u64> =
-            OneStepEngine::create(scratch("abl-fine"), cfg.clone(), Default::default()).unwrap();
-        fine.initial(&pool, &corpus, &wc_mapper, &HashPartitioner, &wc_reducer)
+            OneStepEngine::create(&pool, scratch("abl-fine"), cfg.clone(), Default::default())
+                .unwrap();
+        fine.initial(&corpus, &wc_mapper, &HashPartitioner, &wc_reducer)
             .unwrap();
         let m_fine = fine
-            .incremental(&pool, &delta, &wc_mapper, &HashPartitioner, &wc_reducer)
+            .incremental(&delta, &wc_mapper, &HashPartitioner, &wc_reducer)
             .unwrap();
 
         // task-grain: Incoop-style memoization over the complete input.
@@ -139,7 +140,8 @@ fn main() {
             ("preserve-final-only", PreserveMode::FinalOnly),
         ] {
             let dir = scratch(&format!("abl-{label}"));
-            let stores = StoreManager::create(&dir, cfg.n_reduce, Default::default()).unwrap();
+            let stores =
+                StoreManager::create(&pool, &dir, cfg.n_reduce, Default::default()).unwrap();
             let engine = PartitionedIterEngine::new(
                 &spec,
                 cfg.clone(),
@@ -188,27 +190,19 @@ fn main() {
 
         // General path (preserves the full MRBGraph).
         let mut general: OneStepEngine<u64, String, String, u64, String, u64> =
-            OneStepEngine::create(scratch("abl-gen"), cfg.clone(), Default::default()).unwrap();
+            OneStepEngine::create(&pool, scratch("abl-gen"), cfg.clone(), Default::default())
+                .unwrap();
         general
-            .initial(
-                &pool,
-                &corpus,
-                &wc_mapper_distinct,
-                &HashPartitioner,
-                &wc_reducer,
-            )
+            .initial(&corpus, &wc_mapper_distinct, &HashPartitioner, &wc_reducer)
             .unwrap();
         let t = Instant::now();
         general
-            .incremental(
-                &pool,
-                &delta,
-                &wc_mapper_distinct,
-                &HashPartitioner,
-                &wc_reducer,
-            )
+            .incremental(&delta, &wc_mapper_distinct, &HashPartitioner, &wc_reducer)
             .unwrap();
         let t_general = t.elapsed();
+        // incremental() leaves policy-driven compaction draining in the
+        // background; settle it so the measured store size is stable.
+        general.store_manager().fence_compactions().unwrap();
         let general_store_bytes = general.store_file_bytes();
 
         // Accumulator path (preserves only the output kv-pairs).

@@ -161,7 +161,7 @@ fn main() {
     // --------------------------- i2MR incremental ---------------------------
     // Converged initial run with preservation, then a 10% delta refresh.
     let dir = scratch("fig9");
-    let stores = StoreManager::create(&dir, cfg.n_reduce, Default::default()).unwrap();
+    let stores = StoreManager::create(&pool, &dir, cfg.n_reduce, Default::default()).unwrap();
     let init_engine = PartitionedIterEngine::new(
         &spec,
         cfg.clone(),

@@ -170,14 +170,14 @@ fn pr_chunk(p: usize, v: u64) -> Chunk {
 /// Fresh manager with every shard seeded with the initial MRBGraph batch.
 /// Seeding is identical for both planes (inline appends), so the measured
 /// routine contains only merge + reclamation work.
-fn seeded_manager(tag: &str, cfg: StoreRuntimeConfig) -> StoreManager {
+fn seeded_manager(pool: &WorkerPool, tag: &str, cfg: StoreRuntimeConfig) -> StoreManager {
     let dir = std::env::temp_dir().join(format!(
         "i2mr-micro-plane-{tag}-{}-{:?}",
         std::process::id(),
         std::thread::current().id()
     ));
     let _ = std::fs::remove_dir_all(&dir);
-    let mgr = StoreManager::create(&dir, N_SHARDS, cfg).unwrap();
+    let mgr = StoreManager::create(pool, &dir, N_SHARDS, cfg).unwrap();
     let n = chunks_per_shard();
     for p in 0..N_SHARDS {
         let batch: Vec<Chunk> = (0..n).map(|v| pr_chunk(p, v)).collect();
@@ -203,23 +203,21 @@ fn round_deltas(p: usize, r: u64) -> Vec<DeltaChunk> {
 }
 
 /// Drive `ROUNDS` refresh rounds of merge + reclamation on one plane.
-fn run_plane(mgr: &StoreManager, pool: &WorkerPool, stop_the_world: bool) {
+fn run_plane(mgr: &StoreManager, stop_the_world: bool) {
     for r in 1..=ROUNDS {
-        mgr.merge_apply_all(pool, r, |p| Ok(round_deltas(p, r)))
-            .unwrap();
+        mgr.merge_apply_all(r, |p| Ok(round_deltas(p, r))).unwrap();
         if stop_the_world {
-            mgr.compact_all(pool, r).unwrap();
+            mgr.compact_all(r).unwrap();
         } else {
-            mgr.maybe_compact(pool, r).unwrap();
+            mgr.maybe_compact(r).unwrap();
         }
     }
 }
 
 /// Merges only — isolates the scheduling difference without reclamation.
-fn run_merges(mgr: &StoreManager, pool: &WorkerPool) {
+fn run_merges(mgr: &StoreManager) {
     for r in 1..=ROUNDS {
-        mgr.merge_apply_all(pool, r, |p| Ok(round_deltas(p, r)))
-            .unwrap();
+        mgr.merge_apply_all(r, |p| Ok(round_deltas(p, r))).unwrap();
     }
 }
 
@@ -228,15 +226,15 @@ fn bench_merge_plane(c: &mut Criterion) {
     let mut g = c.benchmark_group("micro_store/merge");
     g.bench_function(BenchmarkId::new("serial", N_SHARDS), |b| {
         b.iter_batched(
-            || seeded_manager("m-ser", StoreRuntimeConfig::serial()),
-            |mgr| run_merges(&mgr, &pool),
+            || seeded_manager(&pool, "m-ser", StoreRuntimeConfig::serial()),
+            |mgr| run_merges(&mgr),
             BatchSize::LargeInput,
         )
     });
     g.bench_function(BenchmarkId::new("sharded", N_SHARDS), |b| {
         b.iter_batched(
-            || seeded_manager("m-shd", sharded_runtime()),
-            |mgr| run_merges(&mgr, &pool),
+            || seeded_manager(&pool, "m-shd", sharded_runtime()),
+            |mgr| run_merges(&mgr),
             BatchSize::LargeInput,
         )
     });
@@ -248,15 +246,15 @@ fn bench_mergephase(c: &mut Criterion) {
     let mut g = c.benchmark_group("micro_store/mergephase");
     g.bench_function(BenchmarkId::new("serial", N_SHARDS), |b| {
         b.iter_batched(
-            || seeded_manager("p-ser", StoreRuntimeConfig::serial()),
-            |mgr| run_plane(&mgr, &pool, true),
+            || seeded_manager(&pool, "p-ser", StoreRuntimeConfig::serial()),
+            |mgr| run_plane(&mgr, true),
             BatchSize::LargeInput,
         )
     });
     g.bench_function(BenchmarkId::new("sharded", N_SHARDS), |b| {
         b.iter_batched(
-            || seeded_manager("p-shd", sharded_runtime()),
-            |mgr| run_plane(&mgr, &pool, false),
+            || seeded_manager(&pool, "p-shd", sharded_runtime()),
+            |mgr| run_plane(&mgr, false),
             BatchSize::LargeInput,
         )
     });
@@ -270,12 +268,12 @@ fn summarize(_c: &mut Criterion) {
     // identical rounds through each plane, then a final full compaction on
     // both — every shard's canonical export must match byte-for-byte.
     let pool = WorkerPool::new(N_SHARDS);
-    let ser = seeded_manager("eq-ser", StoreRuntimeConfig::serial());
-    let shd = seeded_manager("eq-shd", sharded_runtime());
-    run_plane(&ser, &pool, true);
-    run_plane(&shd, &pool, false);
-    shd.compact_all(&pool, ROUNDS + 1).unwrap();
-    ser.compact_all(&pool, ROUNDS + 1).unwrap();
+    let ser = seeded_manager(&pool, "eq-ser", StoreRuntimeConfig::serial());
+    let shd = seeded_manager(&pool, "eq-shd", sharded_runtime());
+    run_plane(&ser, true);
+    run_plane(&shd, false);
+    shd.compact_all(ROUNDS + 1).unwrap();
+    ser.compact_all(ROUNDS + 1).unwrap();
     for p in 0..N_SHARDS {
         assert_eq!(
             ser.export(p).unwrap(),

@@ -10,6 +10,8 @@
 use i2mr_common::codec::{decode_exact, encode_to, Codec};
 use i2mr_common::error::Result;
 use i2mr_dfs::{CheckpointStore, MiniDfs};
+use i2mr_mapred::fault::{TaskId, TaskKind};
+use i2mr_mapred::pool::{TaskSpec, WorkerPool};
 use i2mr_store::runtime::{StoreManager, StoreRuntimeConfig};
 use i2mr_store::store::MrbgStore;
 use std::path::Path;
@@ -85,23 +87,58 @@ impl IterCheckpointer {
 
     /// Restore the MRBG stores checkpointed at `iteration` into fresh
     /// directories under `dir`, wrapped in a ready-to-run [`StoreManager`].
+    ///
+    /// On the parallel plane the per-shard imports fan out as concurrent
+    /// [`TaskKind::StoreMerge`] tasks on the executor (recovery mirrors
+    /// `StoreManager::open`'s concurrent index preload); the serial plane
+    /// imports inline. Both produce byte-identical shards — see the
+    /// `parallel_restore_equals_serial_restore` test.
     pub fn load_stores(
         &self,
+        pool: &WorkerPool,
         iteration: u64,
         dir: impl AsRef<Path>,
         config: StoreRuntimeConfig,
     ) -> Result<StoreManager> {
         let dir = dir.as_ref();
-        let mut out = Vec::with_capacity(self.n_partitions);
-        for p in 0..self.n_partitions {
-            let payload = self.store.load(&self.job, iteration, &Self::mrbg_task(p))?;
-            out.push(MrbgStore::import(
-                dir.join(format!("restored-{p}")),
-                &payload,
-                config.store,
-            )?);
-        }
-        StoreManager::from_stores(out, config)
+        let stores = if config.parallel {
+            let tasks: Vec<TaskSpec<'_, MrbgStore>> = (0..self.n_partitions)
+                .map(|p| {
+                    TaskSpec::pinned(
+                        TaskId {
+                            kind: TaskKind::StoreMerge,
+                            index: p,
+                            iteration,
+                        },
+                        p % pool.n_workers(),
+                        move |_| {
+                            let payload =
+                                self.store.load(&self.job, iteration, &Self::mrbg_task(p))?;
+                            // Import truncates its target, so a retried
+                            // attempt reproduces the same shard.
+                            MrbgStore::import(
+                                dir.join(format!("restored-{p}")),
+                                &payload,
+                                config.store,
+                            )
+                        },
+                    )
+                })
+                .collect();
+            pool.run_tasks(tasks)?
+        } else {
+            let mut out = Vec::with_capacity(self.n_partitions);
+            for p in 0..self.n_partitions {
+                let payload = self.store.load(&self.job, iteration, &Self::mrbg_task(p))?;
+                out.push(MrbgStore::import(
+                    dir.join(format!("restored-{p}")),
+                    &payload,
+                    config.store,
+                )?);
+            }
+            out
+        };
+        StoreManager::from_stores(pool, stores, config)
     }
 
     /// Drop checkpoints older than `keep_from` (space reclamation).
@@ -159,6 +196,7 @@ mod tests {
     #[test]
     fn stores_roundtrip() {
         let (dfs, dir) = setup("stores");
+        let pool = WorkerPool::new(2);
         let ck = IterCheckpointer::new(&dfs, "j", 1);
         let mut store = MrbgStore::create(dir.join("orig"), Default::default()).unwrap();
         store
@@ -170,16 +208,70 @@ mod tests {
                 }],
             )])
             .unwrap();
-        let stores = StoreManager::from_stores(vec![store], Default::default()).unwrap();
+        let stores = StoreManager::from_stores(&pool, vec![store], Default::default()).unwrap();
         let state: Vec<Vec<(u64, f64)>> = vec![vec![(0, 0.5)]];
         ck.save_iteration(3, &state, Some(&stores)).unwrap();
         assert_eq!(ck.latest_complete(true), Some(3));
 
         let restored = ck
-            .load_stores(3, dir.join("rest"), Default::default())
+            .load_stores(&pool, 3, dir.join("rest"), Default::default())
             .unwrap();
         let chunk = restored.get(0, b"k").unwrap().unwrap();
         assert_eq!(chunk.entries[0].value, b"v");
+    }
+
+    #[test]
+    fn parallel_restore_equals_serial_restore() {
+        // Restore-equivalence: fanning shard imports out on the executor
+        // must reproduce exactly the stores a serial restore produces.
+        use i2mr_store::runtime::StoreRuntimeConfig;
+        let (dfs, dir) = setup("par-restore");
+        let pool = WorkerPool::new(3);
+        let n = 5;
+        let ck = IterCheckpointer::new(&dfs, "j", n);
+        let stores = {
+            let per_shard = (0..n)
+                .map(|p| {
+                    let mut s =
+                        MrbgStore::create(dir.join(format!("orig-{p}")), Default::default())
+                            .unwrap();
+                    s.append_batch(
+                        (0..20u64)
+                            .map(|i| {
+                                Chunk::new(
+                                    format!("k{p}-{i:04}").into_bytes(),
+                                    vec![ChunkEntry {
+                                        mk: MapKey(i as u128),
+                                        value: format!("v{i}").into_bytes(),
+                                    }],
+                                )
+                            })
+                            .collect(),
+                    )
+                    .unwrap();
+                    s
+                })
+                .collect();
+            StoreManager::from_stores(&pool, per_shard, Default::default()).unwrap()
+        };
+        let state: Vec<Vec<(u64, f64)>> = (0..n).map(|p| vec![(p as u64, 1.0)]).collect();
+        ck.save_iteration(1, &state, Some(&stores)).unwrap();
+
+        let par = ck
+            .load_stores(&pool, 1, dir.join("rest-par"), Default::default())
+            .unwrap();
+        let ser = ck
+            .load_stores(&pool, 1, dir.join("rest-ser"), StoreRuntimeConfig::serial())
+            .unwrap();
+        assert_eq!(par.len(), ser.len());
+        for p in 0..n {
+            assert_eq!(
+                par.export(p).unwrap(),
+                ser.export(p).unwrap(),
+                "shard {p}: parallel and serial restore diverged"
+            );
+            assert_eq!(stores.export(p).unwrap(), par.export(p).unwrap());
+        }
     }
 
     #[test]

@@ -180,6 +180,7 @@ impl<'s, S: IterativeSpec> IncrIterEngine<'s, S> {
             if let Some(ck) = ckpt {
                 ck.save_iteration(report.iterations.len() as u64, &data.state, Some(stores))?;
             }
+            settle_store_plane(stores, &mut report)?;
             return Ok(report);
         }
 
@@ -221,7 +222,7 @@ impl<'s, S: IterativeSpec> IncrIterEngine<'s, S> {
             let t = Instant::now();
             let runs_ref = &runs;
             let new_dks_ref = &new_dks;
-            let outcomes_per_p = stores.merge_apply_all(pool, iteration, |p| {
+            let outcomes_per_p = stores.merge_apply_all(iteration, |p| {
                 let run: &[(S::DK, MapKey, Option<S::V2>)] = &runs_ref[p];
                 // Delta MRBGraph chunks for this partition.
                 let mut deltas: Vec<DeltaChunk> = Vec::new();
@@ -323,10 +324,11 @@ impl<'s, S: IterativeSpec> IncrIterEngine<'s, S> {
                 }
                 next_delta.extend(emitted);
             }
-            // Between iterations: policy-driven background compaction of
-            // garbage-heavy shards, then fold the store plane's I/O and
-            // compaction counters into this iteration's metrics.
-            stores.maybe_compact(pool, iteration)?;
+            // Fold the store plane's I/O and compaction counters into this
+            // iteration's metrics, and checkpoint, *before* scheduling
+            // background compactions: both take shard write locks and
+            // would otherwise stall behind the compactions they are meant
+            // to overlap with.
             stores.drain_metrics(&mut metrics);
 
             report.iterations.push(IterationStats {
@@ -341,8 +343,15 @@ impl<'s, S: IterativeSpec> IncrIterEngine<'s, S> {
                 ck.save_iteration(iteration, &data.state, Some(stores))?;
             }
 
+            // End of iteration: schedule policy-driven compaction of
+            // garbage-heavy shards as detached background work — it
+            // overlaps the next iteration's map phase and is fenced
+            // before the next merge.
+            stores.schedule_compactions(iteration)?;
+
             if emitted_total == 0 {
                 report.converged = true;
+                settle_store_plane(stores, &mut report)?;
                 return Ok(report);
             }
 
@@ -352,6 +361,9 @@ impl<'s, S: IterativeSpec> IncrIterEngine<'s, S> {
                 report.mrbg_turned_off_at = Some(iteration);
                 let fb = self.run_fallback(pool, data, iteration)?;
                 merge_fallback(&mut report, fb);
+                // Settle first so the final checkpoint export below does
+                // not queue behind still-running compactions.
+                settle_store_plane(stores, &mut report)?;
                 // The fallback iterations mutated the state without
                 // checkpointing; persist the final state so recovery sees
                 // the completed refresh (paper §6.1: every iteration).
@@ -363,6 +375,7 @@ impl<'s, S: IterativeSpec> IncrIterEngine<'s, S> {
 
             delta_state = next_delta;
         }
+        settle_store_plane(stores, &mut report)?;
         Ok(report)
     }
 
@@ -546,6 +559,16 @@ impl<'s, S: IterativeSpec> IncrIterEngine<'s, S> {
     }
 }
 
+/// Settle the store plane at the end of an incremental run: fence any
+/// compactions still overlapping and fold the trailing store counters into
+/// the last iteration's metrics, so per-run totals are complete.
+fn settle_store_plane(stores: &StoreManager, report: &mut IncrRunReport) -> Result<()> {
+    match report.per_iteration.last_mut() {
+        Some(last) => stores.settle_into(last),
+        None => stores.fence_compactions(),
+    }
+}
+
 /// Merge a fallback run's report into the incremental report, renumbering
 /// iterations to continue the sequence.
 fn merge_fallback(report: &mut IncrRunReport, fb: RunReport) {
@@ -670,14 +693,14 @@ mod tests {
 
     const N: usize = 3;
 
-    fn stores(tag: &str) -> StoreManager {
+    fn stores(pool: &WorkerPool, tag: &str) -> StoreManager {
         let dir = std::env::temp_dir().join(format!(
             "i2mr-incr-{tag}-{}-{:?}",
             std::process::id(),
             std::thread::current().id()
         ));
         let _ = std::fs::remove_dir_all(&dir);
-        StoreManager::create(&dir, N, Default::default()).unwrap()
+        StoreManager::create(pool, &dir, N, Default::default()).unwrap()
     }
 
     fn converge_initial(
@@ -745,7 +768,7 @@ mod tests {
     fn incremental_matches_recompute_after_edge_insertions() {
         let pool = WorkerPool::new(N);
         let graph = ring_with_chords(40);
-        let st = stores("ins");
+        let st = stores(&pool, "ins");
         let mut data = converge_initial(graph.clone(), &st, &pool);
 
         // Insert a chord on vertex 7: update its record.
@@ -782,7 +805,7 @@ mod tests {
     fn incremental_matches_recompute_after_vertex_insert_and_delete() {
         let pool = WorkerPool::new(N);
         let graph = ring_with_chords(30);
-        let st = stores("vtx");
+        let st = stores(&pool, "vtx");
         let mut data = converge_initial(graph.clone(), &st, &pool);
 
         let mut delta: Delta<u64, Vec<u64>> = Delta::new();
@@ -820,9 +843,9 @@ mod tests {
     fn cpc_threshold_reduces_propagation_but_bounds_error() {
         let pool = WorkerPool::new(N);
         let graph = ring_with_chords(60);
-        let st_exact = stores("cpc-exact");
+        let st_exact = stores(&pool, "cpc-exact");
         let mut data_exact = converge_initial(graph.clone(), &st_exact, &pool);
-        let st_cpc = stores("cpc-filt");
+        let st_cpc = stores(&pool, "cpc-filt");
         let mut data_cpc = converge_initial(graph.clone(), &st_cpc, &pool);
 
         let mut delta: Delta<u64, Vec<u64>> = Delta::new();
@@ -882,7 +905,7 @@ mod tests {
     fn pdelta_monitor_turns_off_mrbg_on_big_deltas() {
         let pool = WorkerPool::new(N);
         let graph = ring_with_chords(20);
-        let st = stores("pdelta");
+        let st = stores(&pool, "pdelta");
         let mut data = converge_initial(graph.clone(), &st, &pool);
 
         // Rewire more than half of all vertices: P∆ blows past 50 %.
@@ -920,7 +943,7 @@ mod tests {
     fn mrbg_disabled_up_front_falls_back_to_iterative() {
         let pool = WorkerPool::new(N);
         let graph = ring_with_chords(20);
-        let st = stores("nomrbg");
+        let st = stores(&pool, "nomrbg");
         let mut data = converge_initial(graph.clone(), &st, &pool);
 
         let mut delta: Delta<u64, Vec<u64>> = Delta::new();
@@ -955,7 +978,7 @@ mod tests {
     fn empty_delta_converges_immediately() {
         let pool = WorkerPool::new(N);
         let graph = ring_with_chords(15);
-        let st = stores("empty");
+        let st = stores(&pool, "empty");
         let mut data = converge_initial(graph, &st, &pool);
         let before = data.state_snapshot();
 
@@ -978,7 +1001,7 @@ mod tests {
     fn checkpoints_written_and_restorable() {
         let pool = WorkerPool::new(N);
         let graph = ring_with_chords(24);
-        let st = stores("ckpt");
+        let st = stores(&pool, "ckpt");
         let mut data = converge_initial(graph.clone(), &st, &pool);
 
         let dfs_dir = std::env::temp_dir().join(format!(

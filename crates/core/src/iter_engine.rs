@@ -288,6 +288,16 @@ impl<'s, S: IterativeSpec> PartitionedIterEngine<'s, S> {
             self.materialize_mrbg(pool, data, stores.unwrap(), &mut metrics)?;
             report.per_iteration.push(metrics);
         }
+        if let Some(stores) = stores {
+            // Compactions scheduled by the final iterations may still be
+            // overlapping; settle them and fold the trailing store-plane
+            // counters into the last iteration's metrics.
+            if let Some(last) = report.per_iteration.last_mut() {
+                stores.settle_into(last)?;
+            } else {
+                stores.fence_compactions()?;
+            }
+        }
         Ok(report)
     }
 
@@ -458,17 +468,24 @@ impl<'s, S: IterativeSpec> PartitionedIterEngine<'s, S> {
         }
         if let Some(stores) = stores {
             // Preservation: one batch per shard, appended as concurrent
-            // StoreMerge tasks driven by the store runtime.
-            stores.append_batch_all(pool, iteration, batches)?;
+            // StoreMerge tasks driven by the store runtime. (The append
+            // fences the previous iteration's overlapped compactions.)
+            stores.append_batch_all(iteration, batches)?;
         }
         metrics.stages.add(Stage::Reduce, t.elapsed());
         if let Some(stores) = stores {
-            // Between iterations: let the compaction policy reclaim any
-            // shard whose garbage crossed the thresholds (paper §3.4:
-            // reconstruction happens while the worker is idle — it is
-            // deliberately NOT charged to a Fig. 9 stage).
-            stores.maybe_compact(pool, iteration)?;
+            // Drain the store plane's counters *before* scheduling: the
+            // drain takes every shard's write lock, so doing it after
+            // would block behind the just-submitted compactions and
+            // forfeit the overlap. (A still-running compaction's stats
+            // land in a later drain — the final fence folds the rest.)
             stores.drain_metrics(metrics);
+            // End of iteration: schedule policy-driven compactions as
+            // detached background work. They overlap the *next*
+            // iteration's map phase and are fenced before its preservation
+            // append (paper §3.4: reconstruction happens while the worker
+            // is idle — it is deliberately NOT charged to a Fig. 9 stage).
+            stores.schedule_compactions(iteration)?;
         }
         // Reduce is done with the sorted runs: park them for the next
         // iteration instead of dropping the allocations.
@@ -554,7 +571,7 @@ impl<'s, S: IterativeSpec> PartitionedIterEngine<'s, S> {
             })
             .collect();
         let batches = pool.run_tasks(build_tasks)?;
-        stores.append_batch_all(pool, u64::MAX, batches)?;
+        stores.append_batch_all(u64::MAX, batches)?;
         metrics.stages.add(Stage::Reduce, t.elapsed());
         stores.drain_metrics(metrics);
         self.recycler.recycle_all(runs);
@@ -878,7 +895,7 @@ mod tests {
             std::thread::current().id()
         ));
         let _ = std::fs::remove_dir_all(&dir);
-        let stores = StoreManager::create(&dir, 2, Default::default()).unwrap();
+        let stores = StoreManager::create(&pool, &dir, 2, Default::default()).unwrap();
         engine.run(&pool, &mut data, Some(&stores)).unwrap();
         for p in 0..2 {
             stores.with_store_ref(p, |s| {
@@ -909,7 +926,7 @@ mod tests {
             std::thread::current().id()
         ));
         let _ = std::fs::remove_dir_all(&dir);
-        let stores = StoreManager::create(&dir, 2, Default::default()).unwrap();
+        let stores = StoreManager::create(&pool, &dir, 2, Default::default()).unwrap();
         let report = engine.run(&pool, &mut data, Some(&stores)).unwrap();
         assert!(report.converged);
         for p in 0..2 {

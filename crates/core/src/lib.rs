@@ -45,16 +45,18 @@
 //!
 //! let dir = std::env::temp_dir().join("i2mr-doc-example");
 //! let _ = std::fs::remove_dir_all(&dir);
-//! let mut engine: OneStepEngine<u64, String, u64, f64, u64, f64> =
-//!     OneStepEngine::create(dir, JobConfig::symmetric(2), Default::default()).unwrap();
+//! // One persistent executor serves the engine's compute phases and its
+//! // store plane alike.
 //! let pool = WorkerPool::new(2);
+//! let mut engine: OneStepEngine<u64, String, u64, f64, u64, f64> =
+//!     OneStepEngine::create(&pool, dir, JobConfig::symmetric(2), Default::default()).unwrap();
 //!
 //! let input = vec![(0u64, "1:0.3;2:0.3".to_string()), (1, "2:0.4".to_string())];
-//! engine.initial(&pool, &input, &mapper, &HashPartitioner, &reducer).unwrap();
+//! engine.initial(&input, &mapper, &HashPartitioner, &reducer).unwrap();
 //!
 //! let mut delta = Delta::new();
 //! delta.insert(3, "2:0.5".to_string());
-//! engine.incremental(&pool, &delta, &mapper, &HashPartitioner, &reducer).unwrap();
+//! engine.incremental(&delta, &mapper, &HashPartitioner, &reducer).unwrap();
 //!
 //! let out = engine.output();
 //! let v2 = out.iter().find(|(k, _)| *k == 2).unwrap().1;

@@ -41,6 +41,9 @@ use std::time::Instant;
 pub struct OneStepEngine<K1, V1, K2, V2, K3, V3> {
     config: JobConfig,
     dir: PathBuf,
+    /// Handle to the shared persistent executor; all compute phases and
+    /// the store plane schedule on it.
+    pool: WorkerPool,
     stores: StoreManager,
     results: Vec<Mutex<ResultStore<K3, V3>>>,
     initialized: bool,
@@ -61,13 +64,16 @@ where
     K3: KeyData,
     V3: ValueData,
 {
-    /// Create an engine whose preserved state lives under `dir`.
+    /// Create an engine whose preserved state lives under `dir`,
+    /// scheduling all work on (a clone of) the shared executor `pool`.
     pub fn create(
+        pool: &WorkerPool,
         dir: impl AsRef<Path>,
         config: JobConfig,
         store_config: StoreConfig,
     ) -> Result<Self> {
         Self::create_with_runtime(
+            pool,
             dir,
             config,
             StoreRuntimeConfig {
@@ -80,19 +86,21 @@ where
     /// Create an engine with full control over the store runtime (plane
     /// mode + compaction policy).
     pub fn create_with_runtime(
+        pool: &WorkerPool,
         dir: impl AsRef<Path>,
         config: JobConfig,
         runtime: StoreRuntimeConfig,
     ) -> Result<Self> {
         config.validate()?;
         let dir = dir.as_ref().to_path_buf();
-        let stores = StoreManager::create(&dir, config.n_reduce, runtime)?;
+        let stores = StoreManager::create(pool, &dir, config.n_reduce, runtime)?;
         let results = (0..config.n_reduce)
             .map(|_| Mutex::new(ResultStore::new()))
             .collect();
         Ok(OneStepEngine {
             config,
             dir,
+            pool: pool.clone(),
             stores,
             results,
             initialized: false,
@@ -133,9 +141,9 @@ where
         self.stores.file_bytes()
     }
 
-    /// Run offline compaction on every shard, scheduled on `pool`.
-    pub fn compact_stores(&self, pool: &WorkerPool) -> Result<u64> {
-        self.stores.compact_all(pool, 0)
+    /// Run offline compaction on every shard, scheduled on the executor.
+    pub fn compact_stores(&self) -> Result<u64> {
+        self.stores.compact_all(0)
     }
 
     /// The complete (refreshed) output, sorted deterministically.
@@ -154,7 +162,6 @@ where
     /// Initial run (job `A`): normal MapReduce plus MRBGraph preservation.
     pub fn initial(
         &mut self,
-        pool: &WorkerPool,
         input: &[(K1, V1)],
         mapper: &(impl Mapper<K1, V1, K2, V2> + ?Sized),
         partitioner: &(impl Partitioner<K2> + ?Sized),
@@ -202,7 +209,7 @@ where
                 )
             })
             .collect();
-        let map_results = pool.run_tasks(map_tasks)?;
+        let map_results = self.pool.run_tasks(map_tasks)?;
         metrics.stages.add(Stage::Map, t.elapsed());
         let mut map_outputs = Vec::with_capacity(map_results.len());
         for (buffers, records) in map_results {
@@ -219,7 +226,7 @@ where
 
         // Sort.
         let t = Instant::now();
-        sort_runs(pool, &mut runs, 0)?;
+        sort_runs(&self.pool, &mut runs, 0)?;
         metrics.stages.add(Stage::Sort, t.elapsed());
 
         // Reduce + result store; MRBGraph preservation is handed to the
@@ -264,13 +271,13 @@ where
                 )
             })
             .collect();
-        let reduce_results = pool.run_tasks(reduce_tasks)?;
+        let reduce_results = self.pool.run_tasks(reduce_tasks)?;
         let mut batches = Vec::with_capacity(reduce_results.len());
         for (invocations, chunks) in reduce_results {
             metrics.reduce_invocations += invocations;
             batches.push(chunks);
         }
-        self.stores.append_batch_all(pool, 0, batches)?;
+        self.stores.append_batch_all(0, batches)?;
         metrics.stages.add(Stage::Reduce, t.elapsed());
         self.stores.drain_metrics(&mut metrics);
         self.run_pool.recycle_all(runs);
@@ -284,7 +291,6 @@ where
     /// run used.
     pub fn incremental(
         &mut self,
-        pool: &WorkerPool,
         delta: &Delta<K1, V1>,
         mapper: &(impl Mapper<K1, V1, K2, V2> + ?Sized),
         partitioner: &(impl Partitioner<K2> + ?Sized),
@@ -344,7 +350,7 @@ where
                 )
             })
             .collect();
-        let map_results = pool.run_tasks(map_tasks)?;
+        let map_results = self.pool.run_tasks(map_tasks)?;
         metrics.stages.add(Stage::Map, t.elapsed());
         let mut map_outputs = Vec::with_capacity(map_results.len());
         for (buffers, n) in map_results {
@@ -361,14 +367,14 @@ where
 
         // Sort the delta MRBGraph by (K2, MK).
         let t = Instant::now();
-        sort_runs(pool, &mut runs, 0)?;
+        sort_runs(&self.pool, &mut runs, 0)?;
         metrics.stages.add(Stage::Sort, t.elapsed());
 
         // MRBGraph merge on the store plane: one StoreMerge task per
         // partition joins the delta MRBGraph with the preserved one.
         let t = Instant::now();
         let runs_ref = &runs;
-        let outcomes_per_p = self.stores.merge_apply_all(pool, 0, |p| {
+        let outcomes_per_p = self.stores.merge_apply_all(0, |p| {
             let run: &[(K2, MapKey, Option<V2>)] = &runs_ref[p];
             let mut deltas: Vec<DeltaChunk> = Vec::new();
             for group in groups(run) {
@@ -429,15 +435,19 @@ where
                 )
             })
             .collect();
-        let reduce_results = pool.run_tasks(reduce_tasks)?;
+        let reduce_results = self.pool.run_tasks(reduce_tasks)?;
         metrics.stages.add(Stage::Reduce, t.elapsed());
         metrics.reduce_invocations = reduce_results.iter().sum();
         self.delta_pool.recycle_all(runs);
 
-        // Between refreshes: policy-driven background compaction, then
-        // fold the store plane's counters into this run's metrics.
-        self.stores.maybe_compact(pool, 0)?;
+        // Fold the store plane's counters into this run's metrics first
+        // (the drain takes shard write locks and must not queue behind the
+        // compactions below), then schedule policy-driven compaction as
+        // detached background work — it overlaps whatever the caller does
+        // next; the following refresh's merge fences it. Stats of a
+        // still-running compaction are drained by the next refresh.
         self.stores.drain_metrics(&mut metrics);
+        self.stores.schedule_compactions(0)?;
         Ok(metrics)
     }
 
@@ -465,14 +475,14 @@ mod tests {
         out.emit(*k, vs.iter().sum());
     }
 
-    fn engine(tag: &str) -> OneStepEngine<u64, String, u64, f64, u64, f64> {
+    fn engine(pool: &WorkerPool, tag: &str) -> OneStepEngine<u64, String, u64, f64, u64, f64> {
         let dir = std::env::temp_dir().join(format!(
             "i2mr-onestep-{tag}-{}-{:?}",
             std::process::id(),
             std::thread::current().id()
         ));
         let _ = std::fs::remove_dir_all(&dir);
-        OneStepEngine::create(dir, JobConfig::symmetric(3), StoreConfig::default()).unwrap()
+        OneStepEngine::create(pool, dir, JobConfig::symmetric(3), StoreConfig::default()).unwrap()
     }
 
     /// Re-computation oracle for equivalence checks.
@@ -505,9 +515,9 @@ mod tests {
             (1, "2:0.4".to_string()),
             (2, "0:0.2".to_string()),
         ];
-        let mut eng = engine("fig3");
         let pool = WorkerPool::new(3);
-        eng.initial(&pool, &input, &edge_mapper, &HashPartitioner, &sum_reducer)
+        let mut eng = engine(&pool, "fig3");
+        eng.initial(&input, &edge_mapper, &HashPartitioner, &sum_reducer)
             .unwrap();
         assert_outputs_close(&eng.output(), &recompute(&input));
 
@@ -518,7 +528,7 @@ mod tests {
         delta.insert(3, "0:0.1".to_string());
         delta.update(0, "1:0.3;2:0.3".to_string(), "2:0.6".to_string());
         let metrics = eng
-            .incremental(&pool, &delta, &edge_mapper, &HashPartitioner, &sum_reducer)
+            .incremental(&delta, &edge_mapper, &HashPartitioner, &sum_reducer)
             .unwrap();
 
         let new_input = delta.apply_to(&input);
@@ -547,9 +557,9 @@ mod tests {
             })
             .collect();
 
-        let mut eng = engine("rand");
         let pool = WorkerPool::new(4);
-        eng.initial(&pool, &input, &edge_mapper, &HashPartitioner, &sum_reducer)
+        let mut eng = engine(&pool, "rand");
+        eng.initial(&input, &edge_mapper, &HashPartitioner, &sum_reducer)
             .unwrap();
 
         // Random delta: ~10% updates, some inserts, some deletes.
@@ -568,7 +578,7 @@ mod tests {
         for j in n..n + 6 {
             delta.insert(j, format!("{}:0.5", rng.gen_range(0..n)));
         }
-        eng.incremental(&pool, &delta, &edge_mapper, &HashPartitioner, &sum_reducer)
+        eng.incremental(&delta, &edge_mapper, &HashPartitioner, &sum_reducer)
             .unwrap();
         assert_outputs_close(&eng.output(), &recompute(&delta.apply_to(&input)));
     }
@@ -576,14 +586,14 @@ mod tests {
     #[test]
     fn second_incremental_run_stacks_on_first() {
         let input = vec![(0u64, "1:1.0".to_string()), (1, "0:2.0".to_string())];
-        let mut eng = engine("stack");
         let pool = WorkerPool::new(2);
-        eng.initial(&pool, &input, &edge_mapper, &HashPartitioner, &sum_reducer)
+        let mut eng = engine(&pool, "stack");
+        eng.initial(&input, &edge_mapper, &HashPartitioner, &sum_reducer)
             .unwrap();
 
         let mut d1 = Delta::new();
         d1.insert(2, "1:5.0".to_string());
-        eng.incremental(&pool, &d1, &edge_mapper, &HashPartitioner, &sum_reducer)
+        eng.incremental(&d1, &edge_mapper, &HashPartitioner, &sum_reducer)
             .unwrap();
         let after_d1 = d1.apply_to(&input);
         assert_outputs_close(&eng.output(), &recompute(&after_d1));
@@ -591,7 +601,7 @@ mod tests {
         let mut d2 = Delta::new();
         d2.delete(2, "1:5.0".to_string());
         d2.update(0, "1:1.0".to_string(), "1:3.0".to_string());
-        eng.incremental(&pool, &d2, &edge_mapper, &HashPartitioner, &sum_reducer)
+        eng.incremental(&d2, &edge_mapper, &HashPartitioner, &sum_reducer)
             .unwrap();
         assert_outputs_close(&eng.output(), &recompute(&d2.apply_to(&after_d1)));
     }
@@ -601,15 +611,15 @@ mod tests {
         let input: Vec<(u64, String)> = (0..200u64)
             .map(|i| (i, format!("{}:1.0", (i + 1) % 200)))
             .collect();
-        let mut eng = engine("lessmap");
         let pool = WorkerPool::new(4);
+        let mut eng = engine(&pool, "lessmap");
         let init = eng
-            .initial(&pool, &input, &edge_mapper, &HashPartitioner, &sum_reducer)
+            .initial(&input, &edge_mapper, &HashPartitioner, &sum_reducer)
             .unwrap();
         let mut delta = Delta::new();
         delta.update(0, "1:1.0".to_string(), "1:2.0".to_string());
         let incr = eng
-            .incremental(&pool, &delta, &edge_mapper, &HashPartitioner, &sum_reducer)
+            .incremental(&delta, &edge_mapper, &HashPartitioner, &sum_reducer)
             .unwrap();
         assert_eq!(init.map_invocations, 200);
         assert_eq!(incr.map_invocations, 2);
@@ -619,11 +629,11 @@ mod tests {
 
     #[test]
     fn incremental_before_initial_is_rejected() {
-        let mut eng = engine("noinit");
         let pool = WorkerPool::new(2);
+        let mut eng = engine(&pool, "noinit");
         let delta: Delta<u64, String> = Delta::new();
         assert!(eng
-            .incremental(&pool, &delta, &edge_mapper, &HashPartitioner, &sum_reducer)
+            .incremental(&delta, &edge_mapper, &HashPartitioner, &sum_reducer)
             .is_err());
     }
 
@@ -632,9 +642,9 @@ mod tests {
         let input: Vec<(u64, String)> = (0..50u64)
             .map(|i| (i, format!("{}:1.0", (i + 1) % 50)))
             .collect();
-        let mut eng = engine("compact");
         let pool = WorkerPool::new(2);
-        eng.initial(&pool, &input, &edge_mapper, &HashPartitioner, &sum_reducer)
+        let mut eng = engine(&pool, "compact");
+        eng.initial(&input, &edge_mapper, &HashPartitioner, &sum_reducer)
             .unwrap();
         let mut cur = input.clone();
         for round in 0..3 {
@@ -645,12 +655,12 @@ mod tests {
                 cur[k as usize].1.clone(),
                 format!("{}:9.0", (k + 2) % 50),
             );
-            eng.incremental(&pool, &delta, &edge_mapper, &HashPartitioner, &sum_reducer)
+            eng.incremental(&delta, &edge_mapper, &HashPartitioner, &sum_reducer)
                 .unwrap();
             cur = delta.apply_to(&cur);
             cur.sort_unstable();
             if round == 1 {
-                eng.compact_stores(&pool).unwrap();
+                eng.compact_stores().unwrap();
             }
             assert_outputs_close(&eng.output(), &recompute(&cur));
         }

@@ -33,7 +33,7 @@ use i2mr_mapred::config::JobConfig;
 use i2mr_mapred::fault::{TaskId, TaskKind};
 use i2mr_mapred::partition::Partitioner;
 use i2mr_mapred::pool::{TaskSpec, WorkerPool};
-use i2mr_mapred::shuffle::{groups, sort_runs, ShuffleRecord};
+use i2mr_mapred::shuffle::{groups, sort_runs, RunPool, ShuffleRecord};
 use i2mr_mapred::types::{Emitter, KeyData, Mapper, Reducer, ValueData, Values};
 use i2mr_store::merge::{DeltaChunk, DeltaEntry};
 use i2mr_store::runtime::StoreManager;
@@ -49,6 +49,11 @@ pub struct TaskLevelEngine<K1, V1, K2, V2, K3, V3> {
     reduce_memo: Vec<(u64, Vec<(K3, V3)>)>,
     /// Durable memo store (Incoop's memoization server), when attached.
     persist: Option<StoreManager>,
+    /// Recycler for the per-refresh shuffle runs: buffers are taken per
+    /// run and recycled (cleared, capacity kept) once the reduce phase has
+    /// consumed them, so repeated refreshes allocate nothing on this path
+    /// (the same take/recycle discipline the other engines use).
+    shuffle_pool: RunPool<K2, V2>,
     /// Memo counts currently persisted (for deleting stale tail entries).
     persisted: (usize, usize),
     /// Statistics of the last run.
@@ -82,6 +87,7 @@ where
             map_memo: Vec::new(),
             reduce_memo: Vec::new(),
             persist: None,
+            shuffle_pool: RunPool::new(),
             persisted: (0, 0),
             last_stats: ReuseStats::default(),
             _types: std::marker::PhantomData,
@@ -134,12 +140,7 @@ where
 
     /// Upsert changed memos (and delete stale tail entries) into the
     /// attached store as per-shard StoreMerge merges.
-    fn persist_memos(
-        &mut self,
-        pool: &WorkerPool,
-        fresh_map: &[usize],
-        fresh_reduce: &[usize],
-    ) -> Result<()> {
+    fn persist_memos(&mut self, fresh_map: &[usize], fresh_reduce: &[usize]) -> Result<()> {
         let Some(stores) = &self.persist else {
             return Ok(());
         };
@@ -179,8 +180,8 @@ where
             .into_iter()
             .map(|d| parking_lot::Mutex::new(Some(d)))
             .collect();
-        stores.merge_apply_all(pool, 0, |p| Ok(cells[p].lock().take().unwrap_or_default()))?;
-        stores.maybe_compact(pool, 0)?;
+        stores.merge_apply_all(0, |p| Ok(cells[p].lock().take().unwrap_or_default()))?;
+        stores.maybe_compact(0)?;
         self.persisted = (self.map_memo.len(), self.reduce_memo.len());
         Ok(())
     }
@@ -275,8 +276,12 @@ where
         }
 
         // ---- Shuffle + sort (all records: even reused maps feed reduce) ----
+        // Run buffers come from the engine's RunPool instead of fresh
+        // allocations; the records themselves are cloned out of the memos,
+        // which must stay resident for the next refresh's reuse check.
         let t = Instant::now();
-        let mut runs: Vec<Vec<ShuffleRecord<K2, V2>>> = (0..n_reduce).map(|_| Vec::new()).collect();
+        let mut runs: Vec<Vec<ShuffleRecord<K2, V2>>> =
+            (0..n_reduce).map(|_| self.shuffle_pool.take()).collect();
         for (_, emitted) in &self.map_memo {
             for (k2, mk, v2) in emitted {
                 let p = partitioner.partition(k2, n_reduce);
@@ -344,7 +349,10 @@ where
                 None => stats.reduce_tasks_reused += 1,
             }
         }
-        self.persist_memos(pool, &fresh_map, &fresh_reduce)?;
+        // Reduce (and its fingerprints) are done with the sorted runs:
+        // park the buffers for the next refresh.
+        self.shuffle_pool.recycle_all(runs);
+        self.persist_memos(&fresh_map, &fresh_reduce)?;
 
         self.last_stats = stats;
         let mut output: Vec<(K3, V3)> = self
@@ -485,8 +493,10 @@ mod tests {
         let pool = WorkerPool::new(4);
 
         let mut eng = engine();
-        eng.attach_store(StoreManager::create(&dir, 4, StoreRuntimeConfig::default()).unwrap())
-            .unwrap();
+        eng.attach_store(
+            StoreManager::create(&pool, &dir, 4, StoreRuntimeConfig::default()).unwrap(),
+        )
+        .unwrap();
         let (out1, m1) = eng
             .run(&pool, &input, &wc_mapper, &HashPartitioner, &wc_reducer)
             .unwrap();
@@ -496,8 +506,10 @@ mod tests {
         // A fresh engine (fresh process) reloads the memos from the store
         // and reuses every task on the identical input.
         let mut eng2 = engine();
-        eng2.attach_store(StoreManager::open(&dir, 4, StoreRuntimeConfig::default()).unwrap())
-            .unwrap();
+        eng2.attach_store(
+            StoreManager::open(&pool, &dir, 4, StoreRuntimeConfig::default()).unwrap(),
+        )
+        .unwrap();
         let (out2, m2) = eng2
             .run(&pool, &input, &wc_mapper, &HashPartitioner, &wc_reducer)
             .unwrap();
@@ -517,26 +529,38 @@ mod tests {
     }
 
     #[test]
-    fn output_matches_plain_recompute() {
+    fn output_matches_plain_recompute_byte_identically() {
+        // The RunPool take/recycle shuffle path must be invisible in the
+        // output: every refresh through recycled buffers is byte-identical
+        // (canonical encoding) to a fresh engine recomputing from scratch.
         let input: Vec<(u64, String)> = (0..40)
             .map(|i| (i, format!("a{} b{} c", i % 3, i % 5)))
             .collect();
         let mut eng = engine();
         let pool = WorkerPool::new(4);
-        let mut changed = input.clone();
-        changed[7].1 = "a0 z".into();
-        changed.push((100, "fresh".into()));
 
         eng.run(&pool, &input, &wc_mapper, &HashPartitioner, &wc_reducer)
             .unwrap();
-        let (incr_out, _) = eng
-            .run(&pool, &changed, &wc_mapper, &HashPartitioner, &wc_reducer)
-            .unwrap();
+        let mut cur = input;
+        for round in 0..3u64 {
+            // Several refreshes so the shuffle runs really are recycled
+            // buffers, not first-use allocations.
+            cur[(7 + round as usize * 3) % 40].1 = format!("a0 z{round}");
+            cur.push((100 + round, format!("fresh{round}")));
+            let (incr_out, _) = eng
+                .run(&pool, &cur, &wc_mapper, &HashPartitioner, &wc_reducer)
+                .unwrap();
 
-        let mut fresh = engine();
-        let (full_out, _) = fresh
-            .run(&pool, &changed, &wc_mapper, &HashPartitioner, &wc_reducer)
-            .unwrap();
-        assert_eq!(incr_out, full_out);
+            let mut fresh = engine();
+            let (full_out, _) = fresh
+                .run(&pool, &cur, &wc_mapper, &HashPartitioner, &wc_reducer)
+                .unwrap();
+            assert_eq!(incr_out, full_out, "round {round}: outputs diverged");
+            assert_eq!(
+                encode_to(&incr_out),
+                encode_to(&full_out),
+                "round {round}: canonical encodings diverged"
+            );
+        }
     }
 }

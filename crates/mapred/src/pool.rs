@@ -1,21 +1,68 @@
-//! Worker-thread pool with task affinity, retries, and a recorded timeline.
+//! Persistent work-stealing executor with task affinity, retries, epochs,
+//! and a recorded timeline.
 //!
 //! The pool plays the role of the cluster's TaskTrackers plus the
-//! JobTracker's scheduling loop (paper §2, §6.1):
+//! JobTracker's scheduling loop (paper §2, §6.1), but unlike the original
+//! spawn-per-call design it keeps its worker threads alive for the whole
+//! job sequence — the HaLoop-style loop-aware scheduler that turns
+//! per-iteration savings into end-to-end speedup:
 //!
-//! * every logical task has a *preferred worker* (block locality for map
-//!   tasks; the co-location rule for prime map/reduce pairs, §4.3);
-//! * a failed attempt is retried **on the same worker**, mirroring the
-//!   paper's recovery ("reassigns the failed task on the same TaskTracker"),
-//!   after a configurable simulated detection delay (heartbeat latency);
-//! * every attempt's start/finish/fail is recorded against a single epoch so
-//!   multi-iteration computations produce one coherent timeline (Fig. 13).
+//! * **Long-lived workers.** `WorkerPool::new` spawns the threads once;
+//!   every `run_tasks` call and every background submission reuses them.
+//!   The handle is cheaply cloneable (`Arc` inside), so subsystems such as
+//!   the store runtime keep their own handle to the *shared* executor
+//!   instead of borrowing a pool per call.
+//! * **Per-worker deques + global injector.** Tasks with a placement
+//!   preference (block locality for map tasks; the co-location rule for
+//!   prime map/reduce pairs, §4.3; partition affinity for store
+//!   merges/compactions) land on their worker's own deque. A worker always
+//!   drains its own deque first, then the injector, and only *steals* from
+//!   the back of a peer's deque when it is otherwise idle and the peer is
+//!   busy executing — so affinity is a hint that yields under load but is
+//!   deterministic when the preferred worker is free.
+//! * **Epoch/fence API.** [`WorkerPool::submit_at`] enqueues detached
+//!   background work (store compactions) tagged with an epoch from
+//!   [`WorkerPool::next_epoch`]; [`WorkerPool::fence`] blocks until every
+//!   task at or before that epoch has drained, surfacing the first error.
+//!   Engines use this to let the previous iteration's compactions overlap
+//!   the next iteration's map phase, fencing only before the merge that
+//!   needs the shards quiescent.
+//! * **Fault semantics preserved.** A failed attempt is retried **on the
+//!   same worker** (the retry loop runs inside one scheduled job),
+//!   mirroring the paper's recovery ("reassigns the failed task on the
+//!   same TaskTracker"), after a configurable simulated detection delay;
+//!   every attempt's start/finish/fail is recorded against a single epoch
+//!   so multi-iteration computations produce one coherent timeline
+//!   (Fig. 13).
+//! * **Graceful shutdown.** Dropping the last handle (or calling
+//!   [`WorkerPool::shutdown`]) drains every queued task — including
+//!   pending background compactions — before joining the workers.
+//!
+//! # Re-entrancy
+//!
+//! `run_tasks` and `fence` block until *other* pool threads make
+//! progress, so they must not be called from inside a task running on the
+//! same pool — on a saturated (or 1-worker) pool the nested call's work
+//! queues behind the blocked caller forever. Debug builds assert this.
+//!
+//! # Soundness of borrowed batches
+//!
+//! [`WorkerPool::run_tasks`] accepts tasks that borrow job-local data
+//! (`'a`), yet workers are `'static` threads. The lifetime is erased with
+//! one well-fenced `transmute`: `run_tasks` blocks until every job of the
+//! batch has been executed (or dropped, on abort) and has released its
+//! borrow — the same discipline scoped-thread libraries use. Each job
+//! drops its `TaskSpec` (the only `'a`-borrowing state) *before* signaling
+//! completion, so no borrow outlives the call.
 
 use crate::fault::{FaultPlan, TaskEvent, TaskEventKind, TaskId, Timeline};
 use i2mr_common::error::{Error, Result};
-use parking_lot::Mutex;
-use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::Arc;
+use parking_lot::Mutex as PlMutex;
+use std::collections::{BTreeMap, VecDeque};
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex, MutexGuard};
+use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
 /// One schedulable unit of work producing a `T`.
@@ -53,18 +100,305 @@ impl<'a, T> TaskSpec<'a, T> {
     }
 }
 
-/// Fixed-size worker pool. See module docs.
-pub struct WorkerPool {
+/// A type-erased job: receives the executing worker's index.
+type Job = Box<dyn FnOnce(usize) + Send + 'static>;
+
+std::thread_local! {
+    /// True on threads that are workers of *some* pool. `run_tasks` and
+    /// `fence` block until other pool threads make progress, so calling
+    /// them from inside a task can deadlock (a 1-worker pool always does);
+    /// the debug assertion makes that failure loud instead of a hang.
+    static IS_POOL_WORKER: std::cell::Cell<bool> = const { std::cell::Cell::new(false) };
+}
+
+/// Upper bound on retained timeline events. The executor now lives for the
+/// process (engines and store managers hold handles), so an unbounded
+/// event log would grow forever on a long-running service; past the cap,
+/// recording saturates (newest events dropped, flagged via
+/// [`WorkerPool::timeline_truncated`]) until [`WorkerPool::take_timeline`]
+/// resets it. Fig. 13-style analyses operate on per-run timelines far
+/// below this bound.
+const TIMELINE_CAP: usize = 1 << 18;
+
+/// Lock a std mutex, transparently recovering from poisoning (matching the
+/// no-poisoning contract the rest of the workspace gets from parking_lot).
+fn lock<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(|p| p.into_inner())
+}
+
+fn wait<'g, T>(cv: &Condvar, guard: MutexGuard<'g, T>) -> MutexGuard<'g, T> {
+    cv.wait(guard).unwrap_or_else(|p| p.into_inner())
+}
+
+/// Scheduler state: the global injector plus one deque per worker.
+struct Sched {
+    injector: VecDeque<Job>,
+    locals: Vec<VecDeque<Job>>,
+    /// True while worker `i` is executing a job — the steal predicate.
+    busy: Vec<bool>,
+    shutdown: bool,
+}
+
+/// Epoch bookkeeping for background submissions.
+#[derive(Default)]
+struct FenceTable {
+    /// Outstanding task count per epoch.
+    pending: BTreeMap<u64, usize>,
+    /// First terminal error recorded per epoch.
+    errors: BTreeMap<u64, Error>,
+}
+
+/// Shared executor state; workers hold only this (never a `WorkerPool`
+/// handle), so the last external handle's drop can join them.
+struct Core {
     n_workers: usize,
     max_attempts: u32,
     detection_delay: Duration,
     fault_plan: Arc<FaultPlan>,
-    timeline: Mutex<Timeline>,
-    epoch: Instant,
+    timeline: PlMutex<Timeline>,
+    timeline_truncated: AtomicBool,
+    epoch0: Instant,
+    sched: Mutex<Sched>,
+    work: Condvar,
+    fences: Mutex<FenceTable>,
+    fence_done: Condvar,
+    epoch_counter: AtomicU64,
+}
+
+impl Core {
+    fn record(&self, worker: usize, task: TaskId, attempt: u32, kind: TaskEventKind) {
+        let mut tl = self.timeline.lock();
+        if tl.events().len() >= TIMELINE_CAP {
+            self.timeline_truncated.store(true, Ordering::Relaxed);
+            return;
+        }
+        tl.record(TaskEvent {
+            at: self.epoch0.elapsed(),
+            worker,
+            task,
+            attempt,
+            kind,
+        });
+    }
+
+    /// Run one task's attempt loop on `worker`: fault injection, timeline
+    /// events, retry-on-same-worker with the simulated detection delay.
+    fn execute_with_retries<T>(
+        &self,
+        worker: usize,
+        id: TaskId,
+        run: &(dyn Fn(u32) -> Result<T> + Send + '_),
+    ) -> Result<T> {
+        let mut attempt: u32 = 1;
+        loop {
+            self.record(worker, id, attempt, TaskEventKind::Start);
+            let outcome = if self.fault_plan.should_fail(id, attempt) {
+                Err(Error::TaskFailed {
+                    task: id.label(),
+                    attempts: attempt,
+                    reason: "injected fault".into(),
+                })
+            } else {
+                run(attempt)
+            };
+            match outcome {
+                Ok(v) => {
+                    self.record(worker, id, attempt, TaskEventKind::Finish);
+                    return Ok(v);
+                }
+                Err(e) => {
+                    self.record(worker, id, attempt, TaskEventKind::Fail);
+                    if attempt >= self.max_attempts {
+                        return Err(Error::TaskFailed {
+                            task: id.label(),
+                            attempts: attempt,
+                            reason: e.to_string(),
+                        });
+                    }
+                    // Simulated heartbeat-based failure detection before
+                    // the retry is launched (on this same worker).
+                    if !self.detection_delay.is_zero() {
+                        std::thread::sleep(self.detection_delay);
+                    }
+                    attempt += 1;
+                }
+            }
+        }
+    }
+
+    /// Enqueue a job, preferring `preferred`'s deque (injector otherwise).
+    /// After shutdown the job runs inline on the caller so no work — and no
+    /// fence — is ever lost.
+    fn submit(&self, preferred: Option<usize>, job: Job) {
+        self.submit_batch(std::iter::once((preferred, job)));
+    }
+
+    /// Enqueue a whole batch under one scheduler-lock acquisition and a
+    /// single wakeup — `run_tasks` is the hottest scheduling path (every
+    /// map/sort/merge phase of every iteration), so per-task lock+notify
+    /// round-trips would be O(batch × workers) spurious wakeups.
+    fn submit_batch(&self, jobs: impl Iterator<Item = (Option<usize>, Job)>) {
+        let mut leftover: Vec<(Option<usize>, Job)> = Vec::new();
+        {
+            let mut s = lock(&self.sched);
+            if !s.shutdown {
+                for (preferred, job) in jobs {
+                    match preferred {
+                        Some(w) => {
+                            let w = w % self.n_workers;
+                            s.locals[w].push_back(job);
+                        }
+                        None => s.injector.push_back(job),
+                    }
+                }
+                drop(s);
+                self.work.notify_all();
+                return;
+            }
+            leftover.extend(jobs);
+        }
+        for (preferred, job) in leftover {
+            job(preferred.unwrap_or(0) % self.n_workers);
+        }
+    }
+
+    /// Pop the next job for `me`: own deque front, then injector, then
+    /// steal from the *back* of a busy peer's deque. Idle peers are never
+    /// stolen from — they will wake and honor their own affinity.
+    fn next_job(s: &mut Sched, me: usize) -> Option<Job> {
+        if let Some(j) = s.locals[me].pop_front() {
+            return Some(j);
+        }
+        if let Some(j) = s.injector.pop_front() {
+            return Some(j);
+        }
+        let n = s.locals.len();
+        for off in 1..n {
+            let victim = (me + off) % n;
+            if s.busy[victim] {
+                if let Some(j) = s.locals[victim].pop_back() {
+                    return Some(j);
+                }
+            }
+        }
+        None
+    }
+
+    fn worker_loop(self: &Arc<Core>, me: usize) {
+        IS_POOL_WORKER.with(|w| w.set(true));
+        loop {
+            let (job, stealable_left) = {
+                let mut s = lock(&self.sched);
+                loop {
+                    if let Some(j) = Core::next_job(&mut s, me) {
+                        s.busy[me] = true;
+                        break (Some(j), !s.locals[me].is_empty());
+                    }
+                    if s.shutdown {
+                        break (None, false);
+                    }
+                    s = wait(&self.work, s);
+                }
+            };
+            let Some(job) = job else { return };
+            // This worker just went busy: if its deque still holds jobs
+            // they only now became stealable, so idle peers must re-scan.
+            // (Going idle again never creates work, so job completion
+            // needs no wakeup.)
+            if stealable_left {
+                self.work.notify_all();
+            }
+            // Jobs built by this pool catch panics internally and route the
+            // payload to their batch; this outer catch is a last line of
+            // defense keeping the worker alive for raw submissions.
+            let _ = catch_unwind(AssertUnwindSafe(|| job(me)));
+            lock(&self.sched).busy[me] = false;
+        }
+    }
+}
+
+/// Owns the worker threads; dropping the last [`WorkerPool`] handle drains
+/// the queues and joins the threads.
+struct PoolShared {
+    core: Arc<Core>,
+    threads: PlMutex<Vec<JoinHandle<()>>>,
+}
+
+impl PoolShared {
+    fn shutdown_and_join(&self) {
+        {
+            let mut s = lock(&self.core.sched);
+            s.shutdown = true;
+        }
+        self.core.work.notify_all();
+        let handles: Vec<JoinHandle<()>> = self.threads.lock().drain(..).collect();
+        for h in handles {
+            let _ = h.join();
+        }
+    }
+}
+
+impl Drop for PoolShared {
+    fn drop(&mut self) {
+        self.shutdown_and_join();
+    }
+}
+
+/// Persistent work-stealing worker pool. See module docs.
+///
+/// Cloning is cheap and shares the same executor; the worker threads stop
+/// (after draining all queued work) when the last clone is dropped.
+#[derive(Clone)]
+pub struct WorkerPool {
+    shared: Arc<PoolShared>,
+}
+
+/// One `run_tasks` batch: result slots plus the completion fence.
+struct Batch<T> {
+    slots: PlMutex<Vec<Option<T>>>,
+    remaining: Mutex<usize>,
+    done: Condvar,
+    abort: AtomicBool,
+    first_err: PlMutex<Option<Error>>,
+    panic: PlMutex<Option<Box<dyn std::any::Any + Send>>>,
+}
+
+/// Decrements the batch's remaining count on drop — every submitted job
+/// releases the fence exactly once, on success, error, panic, or abort.
+struct BatchGuard<'b, T> {
+    batch: &'b Batch<T>,
+}
+
+impl<T> Drop for BatchGuard<'_, T> {
+    fn drop(&mut self) {
+        let mut r = lock(&self.batch.remaining);
+        *r -= 1;
+        if *r == 0 {
+            self.batch.done.notify_all();
+        }
+    }
+}
+
+/// Releases one epoch slot in the fence table on drop.
+struct EpochGuard {
+    core: Arc<Core>,
+    epoch: u64,
+}
+
+impl Drop for EpochGuard {
+    fn drop(&mut self) {
+        let mut t = lock(&self.core.fences);
+        if let Some(c) = t.pending.get_mut(&self.epoch) {
+            *c -= 1;
+            if *c == 0 {
+                self.core.fence_done.notify_all();
+            }
+        }
+    }
 }
 
 impl WorkerPool {
-    /// Pool with `n_workers` threads and no fault plan.
+    /// Pool with `n_workers` persistent threads and no fault plan.
     pub fn new(n_workers: usize) -> Self {
         Self::with_faults(n_workers, 3, Duration::ZERO, Arc::new(FaultPlan::none()))
     }
@@ -78,117 +412,251 @@ impl WorkerPool {
     ) -> Self {
         assert!(n_workers > 0, "pool needs at least one worker");
         assert!(max_attempts > 0, "tasks need at least one attempt");
-        WorkerPool {
+        let core = Arc::new(Core {
             n_workers,
             max_attempts,
             detection_delay,
             fault_plan,
-            timeline: Mutex::new(Timeline::default()),
-            epoch: Instant::now(),
+            timeline: PlMutex::new(Timeline::default()),
+            timeline_truncated: AtomicBool::new(false),
+            epoch0: Instant::now(),
+            sched: Mutex::new(Sched {
+                injector: VecDeque::new(),
+                locals: (0..n_workers).map(|_| VecDeque::new()).collect(),
+                busy: vec![false; n_workers],
+                shutdown: false,
+            }),
+            work: Condvar::new(),
+            fences: Mutex::new(FenceTable::default()),
+            fence_done: Condvar::new(),
+            epoch_counter: AtomicU64::new(0),
+        });
+        let threads = (0..n_workers)
+            .map(|i| {
+                let core = Arc::clone(&core);
+                std::thread::Builder::new()
+                    .name(format!("i2mr-worker-{i}"))
+                    .spawn(move || core.worker_loop(i))
+                    .expect("spawn pool worker")
+            })
+            .collect();
+        WorkerPool {
+            shared: Arc::new(PoolShared {
+                core,
+                threads: PlMutex::new(threads),
+            }),
         }
     }
 
     /// Number of worker threads.
     pub fn n_workers(&self) -> usize {
-        self.n_workers
+        self.shared.core.n_workers
     }
 
-    /// Take ownership of the recorded timeline, leaving an empty one.
+    /// Take ownership of the recorded timeline, leaving an empty one (and
+    /// re-arming recording if the retention cap had been hit).
     pub fn take_timeline(&self) -> Timeline {
-        std::mem::take(&mut self.timeline.lock())
+        let tl = std::mem::take(&mut *self.shared.core.timeline.lock());
+        self.shared
+            .core
+            .timeline_truncated
+            .store(false, Ordering::Relaxed);
+        tl
     }
 
-    fn record(&self, worker: usize, task: TaskId, attempt: u32, kind: TaskEventKind) {
-        self.timeline.lock().record(TaskEvent {
-            at: self.epoch.elapsed(),
-            worker,
-            task,
-            attempt,
-            kind,
-        });
+    /// True when events were dropped because the retained timeline hit its
+    /// cap since the last [`WorkerPool::take_timeline`].
+    pub fn timeline_truncated(&self) -> bool {
+        self.shared.core.timeline_truncated.load(Ordering::Relaxed)
     }
 
-    /// Run all tasks to completion, in parallel, and return their results in
-    /// submission order.
+    /// Run all tasks to completion, in parallel on the persistent workers,
+    /// and return their results in submission order.
     ///
     /// Fails with [`Error::TaskFailed`] if any task exhausts its attempts;
-    /// remaining tasks are then abandoned (the JobTracker kills the job).
+    /// remaining queued tasks of the batch are then abandoned (the
+    /// JobTracker kills the job). The call blocks until every job of the
+    /// batch has drained, so tasks may freely borrow caller-local data.
     pub fn run_tasks<'a, T: Send>(&self, tasks: Vec<TaskSpec<'a, T>>) -> Result<Vec<T>> {
+        debug_assert!(
+            !IS_POOL_WORKER.with(|w| w.get()),
+            "run_tasks called from inside a pool task: the nested batch \
+             would wait on workers this task is blocking (deadlock on a \
+             saturated pool) — restructure to submit from the driver thread"
+        );
         let n = tasks.len();
         if n == 0 {
             return Ok(Vec::new());
         }
-        let results: Mutex<Vec<Option<T>>> = Mutex::new((0..n).map(|_| None).collect());
-        let first_err: Mutex<Option<Error>> = Mutex::new(None);
-        let abort = AtomicBool::new(false);
-
-        // Distribute tasks to per-worker run queues, honoring preferences.
-        let mut queues: Vec<Vec<(usize, TaskSpec<'a, T>)>> =
-            (0..self.n_workers).map(|_| Vec::new()).collect();
+        let core = &self.shared.core;
+        let batch: Batch<T> = Batch {
+            slots: PlMutex::new((0..n).map(|_| None).collect()),
+            remaining: Mutex::new(n),
+            done: Condvar::new(),
+            abort: AtomicBool::new(false),
+            first_err: PlMutex::new(None),
+            panic: PlMutex::new(None),
+        };
+        let batch_ref = &batch;
+        let core_ref: &Core = core;
+        let mut jobs: Vec<(Option<usize>, Job)> = Vec::with_capacity(n);
         for (slot, task) in tasks.into_iter().enumerate() {
-            let w = task.preferred_worker.unwrap_or(slot) % self.n_workers;
-            queues[w].push((slot, task));
-        }
-
-        crossbeam::scope(|scope| {
-            for (worker, queue) in queues.into_iter().enumerate() {
-                let results = &results;
-                let first_err = &first_err;
-                let abort = &abort;
-                scope.spawn(move |_| {
-                    for (slot, task) in queue {
-                        if abort.load(Ordering::Relaxed) {
-                            return;
+            // Honor explicit preferences; round-robin the rest across the
+            // per-worker deques (stealing rebalances under skew).
+            let preferred = Some(task.preferred_worker.unwrap_or(slot));
+            let job: Box<dyn FnOnce(usize) + Send + '_> = Box::new(move |worker: usize| {
+                // Declared first so it drops *last*: completion is signaled
+                // only after `task` (the sole `'a`-borrowing state) is gone.
+                let _signal = BatchGuard { batch: batch_ref };
+                let task = task;
+                if batch_ref.abort.load(Ordering::Relaxed) {
+                    return;
+                }
+                let outcome = catch_unwind(AssertUnwindSafe(|| {
+                    core_ref.execute_with_retries(worker, task.id, &task.run)
+                }));
+                drop(task);
+                match outcome {
+                    Ok(Ok(v)) => batch_ref.slots.lock()[slot] = Some(v),
+                    Ok(Err(e)) => {
+                        let mut first = batch_ref.first_err.lock();
+                        if first.is_none() {
+                            *first = Some(e);
                         }
-                        let mut attempt: u32 = 1;
-                        loop {
-                            self.record(worker, task.id, attempt, TaskEventKind::Start);
-                            let outcome = if self.fault_plan.should_fail(task.id, attempt) {
-                                Err(Error::TaskFailed {
-                                    task: task.id.label(),
-                                    attempts: attempt,
-                                    reason: "injected fault".into(),
-                                })
-                            } else {
-                                (task.run)(attempt)
-                            };
-                            match outcome {
-                                Ok(v) => {
-                                    self.record(worker, task.id, attempt, TaskEventKind::Finish);
-                                    results.lock()[slot] = Some(v);
-                                    break;
-                                }
-                                Err(e) => {
-                                    self.record(worker, task.id, attempt, TaskEventKind::Fail);
-                                    if attempt >= self.max_attempts {
-                                        *first_err.lock() = Some(Error::TaskFailed {
-                                            task: task.id.label(),
-                                            attempts: attempt,
-                                            reason: e.to_string(),
-                                        });
-                                        abort.store(true, Ordering::Relaxed);
-                                        return;
-                                    }
-                                    // Simulated heartbeat-based failure
-                                    // detection before the retry is launched.
-                                    if !self.detection_delay.is_zero() {
-                                        std::thread::sleep(self.detection_delay);
-                                    }
-                                    attempt += 1;
-                                }
-                            }
-                        }
+                        batch_ref.abort.store(true, Ordering::Relaxed);
                     }
-                });
-            }
-        })
-        .expect("worker thread panicked");
+                    Err(payload) => {
+                        *batch_ref.panic.lock() = Some(payload);
+                        batch_ref.abort.store(true, Ordering::Relaxed);
+                    }
+                }
+            });
+            // SAFETY: the job borrows `batch` and the task's `'a` data, both
+            // of which outlive it: the fence below blocks until every job of
+            // this batch has run (or been drop-skipped on abort) and has
+            // signaled through its BatchGuard — after which no worker touches
+            // the borrowed state again. Jobs are never leaked: workers drain
+            // all queues before exiting, and post-shutdown submissions run
+            // inline.
+            let job: Job =
+                unsafe { std::mem::transmute::<Box<dyn FnOnce(usize) + Send + '_>, Job>(job) };
+            jobs.push((preferred, job));
+        }
+        // One lock acquisition + one wakeup for the whole batch.
+        core.submit_batch(jobs.into_iter());
 
-        if let Some(e) = first_err.lock().take() {
+        // The fence: every job signaled, every borrow released.
+        {
+            let mut remaining = lock(&batch.remaining);
+            while *remaining > 0 {
+                remaining = wait(&batch.done, remaining);
+            }
+        }
+        if let Some(payload) = batch.panic.lock().take() {
+            resume_unwind(payload);
+        }
+        if let Some(e) = batch.first_err.lock().take() {
             return Err(e);
         }
-        let collected: Option<Vec<T>> = results.into_inner().into_iter().collect();
+        let collected: Option<Vec<T>> = batch.slots.into_inner().into_iter().collect();
         collected.ok_or_else(|| Error::corrupt("task result missing without error"))
+    }
+
+    /// Allocate the next background epoch (monotonic, pool-global).
+    pub fn next_epoch(&self) -> u64 {
+        self.shared
+            .core
+            .epoch_counter
+            .fetch_add(1, Ordering::SeqCst)
+            + 1
+    }
+
+    /// Submit detached background work tagged with `epoch`. The task runs
+    /// with the full retry/fault/timeline machinery; a terminal error is
+    /// held until the next [`WorkerPool::fence`] covering its epoch.
+    ///
+    /// Background tasks must own their data (`'static`): they outlive the
+    /// submitting call by design and are only synchronized via `fence`.
+    pub fn submit_at(&self, epoch: u64, task: TaskSpec<'static, ()>) {
+        let core = Arc::clone(&self.shared.core);
+        {
+            let mut t = lock(&core.fences);
+            *t.pending.entry(epoch).or_insert(0) += 1;
+        }
+        let preferred = task.preferred_worker;
+        let job_core = Arc::clone(&core);
+        let job: Job = Box::new(move |worker: usize| {
+            let _signal = EpochGuard {
+                core: Arc::clone(&job_core),
+                epoch,
+            };
+            let outcome = catch_unwind(AssertUnwindSafe(|| {
+                job_core.execute_with_retries(worker, task.id, &task.run)
+            }));
+            let err = match outcome {
+                Ok(Ok(())) => None,
+                Ok(Err(e)) => Some(e),
+                Err(_) => Some(Error::corrupt(format!(
+                    "background task {} panicked",
+                    task.id.label()
+                ))),
+            };
+            if let Some(e) = err {
+                let mut t = lock(&job_core.fences);
+                t.errors.entry(epoch).or_insert(e);
+            }
+        });
+        core.submit(preferred, job);
+    }
+
+    /// Block until every background task submitted at or before `epoch`
+    /// has drained; surface the first terminal error recorded at *exactly*
+    /// this epoch.
+    ///
+    /// Tasks submitted at later epochs are not waited for. Errors from
+    /// *earlier* epochs stay put until their own epoch is fenced — epochs
+    /// are the error-ownership boundary, so independent submitters sharing
+    /// one executor (several `StoreManager`s, say) never consume each
+    /// other's failures: each fences the epochs it allocated.
+    pub fn fence(&self, epoch: u64) -> Result<()> {
+        debug_assert!(
+            !IS_POOL_WORKER.with(|w| w.get()),
+            "fence called from inside a pool task: the fenced work may be \
+             queued behind this very task (deadlock on a saturated pool)"
+        );
+        let core = &self.shared.core;
+        let mut t = lock(&core.fences);
+        loop {
+            let outstanding = t.pending.range(..=epoch).any(|(_, c)| *c > 0);
+            if !outstanding {
+                let settled: Vec<u64> = t.pending.range(..=epoch).map(|(k, _)| *k).collect();
+                for k in settled {
+                    t.pending.remove(&k);
+                }
+                if let Some(e) = t.errors.remove(&epoch) {
+                    return Err(e);
+                }
+                return Ok(());
+            }
+            t = wait(&core.fence_done, t);
+        }
+    }
+
+    /// Number of background tasks still outstanding at or before `epoch`.
+    pub fn pending_at_or_before(&self, epoch: u64) -> usize {
+        lock(&self.shared.core.fences)
+            .pending
+            .range(..=epoch)
+            .map(|(_, c)| *c)
+            .sum()
+    }
+
+    /// Gracefully stop the executor: drain every queued task (including
+    /// background compactions), then join the worker threads. Idempotent;
+    /// also invoked when the last handle drops. Subsequent submissions run
+    /// inline on the caller.
+    pub fn shutdown(&self) {
+        self.shared.shutdown_and_join();
     }
 }
 
@@ -196,6 +664,7 @@ impl WorkerPool {
 mod tests {
     use super::*;
     use crate::fault::{FaultSpec, TaskKind};
+    use std::sync::atomic::AtomicU64;
 
     fn tid(index: usize) -> TaskId {
         TaskId {
@@ -220,6 +689,23 @@ mod tests {
         let pool = WorkerPool::new(2);
         let out: Vec<u32> = pool.run_tasks(Vec::new()).unwrap();
         assert!(out.is_empty());
+    }
+
+    #[test]
+    fn workers_persist_across_batches() {
+        // The same threads serve many run_tasks calls: the recorded worker
+        // indices stay within range and the timeline accumulates.
+        let pool = WorkerPool::new(2);
+        for round in 0..20 {
+            let tasks: Vec<TaskSpec<usize>> = (0..6)
+                .map(|i| TaskSpec::new(tid(i), move |_| Ok(i + round)))
+                .collect();
+            let out = pool.run_tasks(tasks).unwrap();
+            assert_eq!(out, (0..6).map(|i| i + round).collect::<Vec<_>>());
+        }
+        let tl = pool.take_timeline();
+        assert_eq!(tl.events().len(), 20 * 6 * 2, "start+finish per task");
+        assert!(tl.events().iter().all(|e| e.worker < 2));
     }
 
     #[test]
@@ -291,16 +777,47 @@ mod tests {
     }
 
     #[test]
-    fn pinned_tasks_run_on_their_preferred_worker() {
+    fn pinned_tasks_run_on_their_idle_preferred_worker() {
+        // One task per worker, submitted while all workers are idle: no
+        // steal predicate can fire (idle peers are never victims), so
+        // placement is deterministic.
         let pool = WorkerPool::new(4);
-        let tasks: Vec<TaskSpec<()>> = (0..8)
-            .map(|i| TaskSpec::pinned(tid(i), i % 4, |_| Ok(())))
+        let tasks: Vec<TaskSpec<()>> = (0..4)
+            .map(|i| {
+                TaskSpec::pinned(tid(i), i, |_| {
+                    std::thread::sleep(Duration::from_millis(5));
+                    Ok(())
+                })
+            })
             .collect();
         pool.run_tasks(tasks).unwrap();
         let tl = pool.take_timeline();
+        assert_eq!(tl.events().len(), 8);
         for ev in tl.events() {
             assert_eq!(ev.worker, ev.task.index % 4);
         }
+    }
+
+    #[test]
+    fn idle_workers_steal_from_an_overloaded_one() {
+        // 8 sleepy tasks all pinned to worker 0: thieves must take over
+        // once worker 0 is busy, so wall clock beats the serial 8 * 20 ms
+        // and more than one worker appears on the timeline.
+        let pool = WorkerPool::new(4);
+        let tasks: Vec<TaskSpec<()>> = (0..8)
+            .map(|i| {
+                TaskSpec::pinned(tid(i), 0, |_| {
+                    std::thread::sleep(Duration::from_millis(20));
+                    Ok(())
+                })
+            })
+            .collect();
+        let start = Instant::now();
+        pool.run_tasks(tasks).unwrap();
+        assert!(start.elapsed() < Duration::from_millis(120));
+        let tl = pool.take_timeline();
+        let workers: std::collections::HashSet<_> = tl.events().iter().map(|e| e.worker).collect();
+        assert!(workers.len() > 1, "no stealing happened");
     }
 
     #[test]
@@ -336,5 +853,151 @@ mod tests {
         let start = Instant::now();
         pool.run_tasks(tasks).unwrap();
         assert!(start.elapsed() < Duration::from_millis(100));
+    }
+
+    #[test]
+    fn concurrent_batches_from_cloned_handles() {
+        // Two caller threads share one executor through cloned handles;
+        // both batches complete with their own results.
+        let pool = WorkerPool::new(3);
+        let p2 = pool.clone();
+        let h = std::thread::spawn(move || {
+            let tasks: Vec<TaskSpec<usize>> = (0..32)
+                .map(|i| TaskSpec::new(tid(i), move |_| Ok(i * 2)))
+                .collect();
+            p2.run_tasks(tasks).unwrap()
+        });
+        let tasks: Vec<TaskSpec<usize>> = (0..32)
+            .map(|i| TaskSpec::new(tid(i), move |_| Ok(i * 3)))
+            .collect();
+        let mine = pool.run_tasks(tasks).unwrap();
+        let theirs = h.join().unwrap();
+        assert_eq!(mine, (0..32).map(|i| i * 3).collect::<Vec<_>>());
+        assert_eq!(theirs, (0..32).map(|i| i * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn fence_waits_for_its_epoch_only() {
+        let pool = WorkerPool::new(2);
+        let counter = Arc::new(AtomicU64::new(0));
+        let e1 = pool.next_epoch();
+        for i in 0..8 {
+            let c = Arc::clone(&counter);
+            pool.submit_at(
+                e1,
+                TaskSpec::new(tid(i), move |_| {
+                    std::thread::sleep(Duration::from_millis(2));
+                    c.fetch_add(1, Ordering::SeqCst);
+                    Ok(())
+                }),
+            );
+        }
+        // A later-epoch task that blocks until we allow it to finish.
+        let gate = Arc::new(AtomicBool::new(false));
+        let e2 = pool.next_epoch();
+        {
+            let gate = Arc::clone(&gate);
+            pool.submit_at(
+                e2,
+                TaskSpec::new(tid(99), move |_| {
+                    while !gate.load(Ordering::SeqCst) {
+                        std::thread::sleep(Duration::from_millis(1));
+                    }
+                    Ok(())
+                }),
+            );
+        }
+        // fence(e1) sees all eight epoch-1 tasks, and returns even though
+        // the epoch-2 task is still blocked on the gate.
+        pool.fence(e1).unwrap();
+        assert_eq!(counter.load(Ordering::SeqCst), 8);
+        assert!(pool.pending_at_or_before(e2) > 0);
+        gate.store(true, Ordering::SeqCst);
+        pool.fence(e2).unwrap();
+        assert_eq!(pool.pending_at_or_before(e2), 0);
+    }
+
+    #[test]
+    fn fence_surfaces_background_errors() {
+        let pool = WorkerPool::with_faults(2, 1, Duration::ZERO, Arc::new(FaultPlan::none()));
+        let e = pool.next_epoch();
+        pool.submit_at(
+            e,
+            TaskSpec::new(tid(0), |_| Err(Error::corrupt("background boom"))),
+        );
+        let err = pool.fence(e).unwrap_err();
+        assert!(matches!(err, Error::TaskFailed { .. }));
+        // The error is consumed: a second fence is clean.
+        pool.fence(e).unwrap();
+    }
+
+    #[test]
+    fn fence_scopes_errors_to_their_own_epoch() {
+        // Independent submitters sharing one executor fence their own
+        // epochs; a fence must never consume another epoch's failure.
+        let pool = WorkerPool::with_faults(2, 1, Duration::ZERO, Arc::new(FaultPlan::none()));
+        let e1 = pool.next_epoch();
+        pool.submit_at(
+            e1,
+            TaskSpec::new(tid(0), |_| Err(Error::corrupt("epoch-1 boom"))),
+        );
+        let e2 = pool.next_epoch();
+        pool.submit_at(e2, TaskSpec::new(tid(1), |_| Ok(())));
+        // The later fence waits for both epochs but reports only its own
+        // (clean) outcome…
+        pool.fence(e2).unwrap();
+        // …leaving epoch 1's error for its owner.
+        let err = pool.fence(e1).unwrap_err();
+        assert!(matches!(err, Error::TaskFailed { .. }));
+        pool.fence(e1).unwrap();
+    }
+
+    #[test]
+    fn shutdown_drains_queued_background_work() {
+        let counter = Arc::new(AtomicU64::new(0));
+        {
+            let pool = WorkerPool::new(1);
+            let e = pool.next_epoch();
+            for i in 0..16 {
+                let c = Arc::clone(&counter);
+                pool.submit_at(
+                    e,
+                    TaskSpec::new(tid(i), move |_| {
+                        std::thread::sleep(Duration::from_millis(1));
+                        c.fetch_add(1, Ordering::SeqCst);
+                        Ok(())
+                    }),
+                );
+            }
+            // Drop without fencing: shutdown must still drain all 16.
+        }
+        assert_eq!(counter.load(Ordering::SeqCst), 16);
+    }
+
+    #[test]
+    fn submissions_after_shutdown_run_inline() {
+        let pool = WorkerPool::new(2);
+        pool.shutdown();
+        let e = pool.next_epoch();
+        let counter = Arc::new(AtomicU64::new(0));
+        let c = Arc::clone(&counter);
+        pool.submit_at(
+            e,
+            TaskSpec::new(tid(0), move |_| {
+                c.fetch_add(1, Ordering::SeqCst);
+                Ok(())
+            }),
+        );
+        assert_eq!(counter.load(Ordering::SeqCst), 1);
+        pool.fence(e).unwrap();
+        // Batches still complete too (inline execution).
+        let out = pool
+            .run_tasks(
+                (0..4)
+                    .map(|i| TaskSpec::new(tid(i), move |_| Ok(i)))
+                    .collect(),
+            )
+            .unwrap();
+        assert_eq!(out, vec![0, 1, 2, 3]);
     }
 }

@@ -1,5 +1,6 @@
 //! The store runtime layer: [`StoreManager`] owns every partition's
-//! [`MrbgStore`] and schedules store work on the shared [`WorkerPool`].
+//! [`MrbgStore`] and schedules store work on a handle to the shared
+//! persistent [`WorkerPool`] executor.
 //!
 //! Before this layer, engines reached into per-partition stores through
 //! `&mut MrbgStore` behind per-partition mutexes: merges ran inside reduce
@@ -8,6 +9,11 @@
 //! by hand. The manager makes the store plane a scheduled, observable
 //! subsystem of its own:
 //!
+//! * **A handle, not a borrow.** The manager is constructed with (a clone
+//!   of) the shared executor and schedules all shard work on it — callers
+//!   no longer thread a pool through every store operation, and background
+//!   tasks submitted by the manager keep running after the submitting call
+//!   returns.
 //! * **Sharded, partition-affine merges** — [`StoreManager::merge_apply_all`]
 //!   runs each partition's delta merge as a first-class
 //!   [`TaskKind::StoreMerge`] task pinned to the partition's preferred
@@ -19,23 +25,37 @@
 //!   shards are fully concurrent, and reads on one shard proceed while
 //!   that shard merges. (Lookups on the *same* shard share its one
 //!   reader; only merges, appends, and compactions take the write lock.)
-//! * **Policy-driven background compaction** —
-//!   [`StoreManager::maybe_compact`] consults the [`CompactionPolicy`]
-//!   (garbage-ratio + batch-count thresholds, derivable from the §4 cost
-//!   model via [`CompactionPolicy::from_cost_model`]) and schedules
-//!   [`TaskKind::Compact`] tasks for exactly the shards that have
-//!   accumulated enough obsolete versions. Engines call it *between*
-//!   iterations, so reclamation rides the idle tail of the schedule
-//!   instead of blocking every refresh the way an unconditional
-//!   stop-the-world `compact()` did.
+//! * **Cross-iteration overlapped compaction** —
+//!   [`StoreManager::schedule_compactions`] consults the
+//!   [`CompactionPolicy`] (garbage-ratio + batch-count thresholds,
+//!   derivable from the §4 cost model via
+//!   [`CompactionPolicy::from_cost_model`]) and submits
+//!   [`TaskKind::Compact`] tasks as *detached background work* on the
+//!   executor, tagged with a fence epoch. Engines call it at the end of an
+//!   iteration: the compactions then run concurrently with the **next**
+//!   iteration's map phase and are fenced
+//!   ([`StoreManager::fence_compactions`]) only when the next merge needs
+//!   the shards quiescent — the cross-iteration overlap the paper's
+//!   "reconstruction happens while the worker is idle" (§3.4) only
+//!   approximated with the between-iteration tail. The synchronous
+//!   [`StoreManager::maybe_compact`] (schedule + immediate fence) remains
+//!   for callers without a following phase to overlap.
 //! * **Aggregated observability** — [`StoreManager::drain_metrics`] folds
 //!   every shard's [`IoStats`] (store + detached readers) and the
-//!   compaction counters into a [`JobMetrics`].
+//!   compaction counters into a [`JobMetrics`]. It deliberately does *not*
+//!   fence: stats of still-running background compactions are drained by a
+//!   later call (engines fence once at end of run).
 //!
 //! `parallel: false` in [`StoreRuntimeConfig`] degrades every scheduled
 //! operation to an inline loop on the caller thread — the *serial plane* —
 //! which the equivalence suite and the `micro_store` bench use as the
 //! baseline the sharded plane must match byte-for-byte.
+//!
+//! Ordering note: a background compaction and a following merge on the
+//! same shard are serialized by the shard's `RwLock`, and compaction never
+//! changes live content, so overlapping it with the next map phase cannot
+//! change what any merge or export observes — `tests/store_equivalence.rs`
+//! proves the planes byte-identical with the overlap enabled.
 
 use crate::compact::{CompactionPolicy, CompactionStats};
 use crate::format::Chunk;
@@ -48,6 +68,8 @@ use i2mr_mapred::fault::{TaskId, TaskKind};
 use i2mr_mapred::pool::{TaskSpec, WorkerPool};
 use parking_lot::{Mutex, RwLock};
 use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
 
 /// Tunables of the store runtime (per-shard [`StoreConfig`] plus the
 /// plane-level knobs).
@@ -85,19 +107,24 @@ impl StoreRuntimeConfig {
     }
 }
 
-/// One partition's store plus its detached read handle.
+/// One partition's store plus its detached read handle. `Arc`-shared so
+/// detached background compaction tasks can own their shard.
 struct Shard {
     store: RwLock<MrbgStore>,
     reader: Mutex<StoreReader>,
+    /// True while a background compaction for this shard is in flight —
+    /// keeps the policy from piling up duplicate reconstructions.
+    compacting: AtomicBool,
 }
 
 impl Shard {
-    fn new(store: MrbgStore) -> Result<Self> {
+    fn new(store: MrbgStore) -> Result<Arc<Self>> {
         let reader = store.reader()?;
-        Ok(Shard {
+        Ok(Arc::new(Shard {
             store: RwLock::new(store),
             reader: Mutex::new(reader),
-        })
+            compacting: AtomicBool::new(false),
+        }))
     }
 }
 
@@ -110,9 +137,18 @@ struct RuntimeStats {
 
 /// Owner and scheduler of all per-partition MRBG stores. See module docs.
 pub struct StoreManager {
-    shards: Vec<Shard>,
+    pool: WorkerPool,
+    shards: Vec<Arc<Shard>>,
     config: StoreRuntimeConfig,
-    stats: Mutex<RuntimeStats>,
+    stats: Arc<Mutex<RuntimeStats>>,
+    /// Fence epochs this manager has scheduled compactions at and not yet
+    /// fenced, with the shards each epoch covers. Epochs are the
+    /// executor's error-ownership boundary, so the manager fences exactly
+    /// its own epochs and can never consume (or miss) failures belonging
+    /// to another submitter on the shared pool; the shard lists let a
+    /// fence clear exactly the in-flight flags it settled (a concurrent
+    /// `schedule_compactions`'s newer flags stay up).
+    scheduled_epochs: Mutex<Vec<(u64, Vec<usize>)>>,
 }
 
 impl StoreManager {
@@ -120,82 +156,84 @@ impl StoreManager {
         dir.join(format!("shard-{p}"))
     }
 
-    /// Create `n` fresh shards under `dir` (`dir/shard-{p}` each).
-    pub fn create(dir: impl AsRef<Path>, n: usize, config: StoreRuntimeConfig) -> Result<Self> {
-        let dir = dir.as_ref();
-        let shards = (0..n)
-            .map(|p| Shard::new(MrbgStore::create(Self::shard_dir(dir, p), config.store)?))
-            .collect::<Result<Vec<_>>>()?;
-        Ok(StoreManager {
+    fn assemble(
+        pool: &WorkerPool,
+        shards: Vec<Arc<Shard>>,
+        config: StoreRuntimeConfig,
+    ) -> StoreManager {
+        StoreManager {
+            pool: pool.clone(),
             shards,
             config,
-            stats: Mutex::new(RuntimeStats::default()),
-        })
+            stats: Arc::new(Mutex::new(RuntimeStats::default())),
+            scheduled_epochs: Mutex::new(Vec::new()),
+        }
     }
 
-    /// Open `n` existing shards under `dir`, loading indexes serially.
-    pub fn open(dir: impl AsRef<Path>, n: usize, config: StoreRuntimeConfig) -> Result<Self> {
-        let dir = dir.as_ref();
-        let shards = (0..n)
-            .map(|p| Shard::new(MrbgStore::open(Self::shard_dir(dir, p), config.store)?))
-            .collect::<Result<Vec<_>>>()?;
-        Ok(StoreManager {
-            shards,
-            config,
-            stats: Mutex::new(RuntimeStats::default()),
-        })
-    }
-
-    /// Open `n` existing shards with their index preloads running as
-    /// concurrent [`TaskKind::StoreMerge`] tasks on `pool` (paper §3.4:
-    /// the index is preloaded before Reduce computation — here all
-    /// partitions preload at once).
-    pub fn open_with_pool(
+    /// Create `n` fresh shards under `dir` (`dir/shard-{p}` each),
+    /// scheduling their work on (a clone of) `pool`.
+    pub fn create(
         pool: &WorkerPool,
         dir: impl AsRef<Path>,
         n: usize,
         config: StoreRuntimeConfig,
     ) -> Result<Self> {
-        if !config.parallel {
-            return Self::open(dir, n, config);
-        }
         let dir = dir.as_ref();
-        let tasks: Vec<TaskSpec<'_, MrbgStore>> = (0..n)
-            .map(|p| {
-                TaskSpec::pinned(
-                    TaskId {
-                        kind: TaskKind::StoreMerge,
-                        index: p,
-                        iteration: 0,
-                    },
-                    p % pool.n_workers(),
-                    move |_| MrbgStore::open(Self::shard_dir(dir, p), config.store),
-                )
-            })
-            .collect();
-        let shards = pool
-            .run_tasks(tasks)?
-            .into_iter()
-            .map(Shard::new)
+        let shards = (0..n)
+            .map(|p| Shard::new(MrbgStore::create(Self::shard_dir(dir, p), config.store)?))
             .collect::<Result<Vec<_>>>()?;
-        Ok(StoreManager {
-            shards,
-            config,
-            stats: Mutex::new(RuntimeStats::default()),
-        })
+        Ok(Self::assemble(pool, shards, config))
+    }
+
+    /// Open `n` existing shards under `dir`. On the parallel plane the
+    /// index preloads run as concurrent [`TaskKind::StoreMerge`] tasks on
+    /// the executor (paper §3.4: the index is preloaded before Reduce
+    /// computation — here all partitions preload at once); the serial
+    /// plane loads inline.
+    pub fn open(
+        pool: &WorkerPool,
+        dir: impl AsRef<Path>,
+        n: usize,
+        config: StoreRuntimeConfig,
+    ) -> Result<Self> {
+        let dir = dir.as_ref();
+        let shards = if config.parallel {
+            let tasks: Vec<TaskSpec<'_, MrbgStore>> = (0..n)
+                .map(|p| {
+                    TaskSpec::pinned(
+                        TaskId {
+                            kind: TaskKind::StoreMerge,
+                            index: p,
+                            iteration: 0,
+                        },
+                        p % pool.n_workers(),
+                        move |_| MrbgStore::open(Self::shard_dir(dir, p), config.store),
+                    )
+                })
+                .collect();
+            pool.run_tasks(tasks)?
+                .into_iter()
+                .map(Shard::new)
+                .collect::<Result<Vec<_>>>()?
+        } else {
+            (0..n)
+                .map(|p| Shard::new(MrbgStore::open(Self::shard_dir(dir, p), config.store)?))
+                .collect::<Result<Vec<_>>>()?
+        };
+        Ok(Self::assemble(pool, shards, config))
     }
 
     /// Wrap already-constructed stores (checkpoint restore, tests).
-    pub fn from_stores(stores: Vec<MrbgStore>, config: StoreRuntimeConfig) -> Result<Self> {
+    pub fn from_stores(
+        pool: &WorkerPool,
+        stores: Vec<MrbgStore>,
+        config: StoreRuntimeConfig,
+    ) -> Result<Self> {
         let shards = stores
             .into_iter()
             .map(Shard::new)
             .collect::<Result<Vec<_>>>()?;
-        Ok(StoreManager {
-            shards,
-            config,
-            stats: Mutex::new(RuntimeStats::default()),
-        })
+        Ok(Self::assemble(pool, shards, config))
     }
 
     /// Number of shards (= reduce partitions).
@@ -206,6 +244,11 @@ impl StoreManager {
     /// The runtime configuration.
     pub fn config(&self) -> &StoreRuntimeConfig {
         &self.config
+    }
+
+    /// The shared executor handle this manager schedules on.
+    pub fn executor(&self) -> &WorkerPool {
+        &self.pool
     }
 
     /// Replace the compaction policy.
@@ -261,16 +304,18 @@ impl StoreManager {
     /// it may be re-invoked on retry and must be idempotent. A partition
     /// whose delta list is empty is skipped without touching its store —
     /// no empty batch is appended and its index file is not rewritten.
+    /// Overlapped background compactions are fenced first, so every merge
+    /// observes fully reconstructed shards.
     /// Returns each partition's `(key, outcome)` list in canonical order.
     pub fn merge_apply_all<F>(
         &self,
-        pool: &WorkerPool,
         iteration: u64,
         deltas_of: F,
     ) -> Result<Vec<Vec<(Vec<u8>, MergeOutcome)>>>
     where
         F: Fn(usize) -> Result<Vec<DeltaChunk>> + Sync,
     {
+        self.fence_compactions()?;
         fn merge_one(
             shard: &Shard,
             deltas: Vec<DeltaChunk>,
@@ -300,12 +345,12 @@ impl StoreManager {
                         index: p,
                         iteration,
                     },
-                    p % pool.n_workers(),
+                    p % self.pool.n_workers(),
                     move |_| merge_one(shard, deltas_of(p)?),
                 )
             })
             .collect();
-        pool.run_tasks(tasks)
+        self.pool.run_tasks(tasks)
     }
 
     /// Append one batch of chunks per shard (initial preservation), one
@@ -313,13 +358,8 @@ impl StoreManager {
     /// by its first executed attempt; a retry after a mid-append I/O
     /// failure cannot replay it and surfaces the loss as a task error
     /// (fault-injection retries fire *before* the first execution and are
-    /// unaffected).
-    pub fn append_batch_all(
-        &self,
-        pool: &WorkerPool,
-        iteration: u64,
-        batches: Vec<Vec<Chunk>>,
-    ) -> Result<()> {
+    /// unaffected). Fences overlapped compactions first.
+    pub fn append_batch_all(&self, iteration: u64, batches: Vec<Vec<Chunk>>) -> Result<()> {
         if batches.len() != self.shards.len() {
             return Err(Error::config(format!(
                 "append_batch_all: {} batches for {} shards",
@@ -327,6 +367,7 @@ impl StoreManager {
                 self.shards.len()
             )));
         }
+        self.fence_compactions()?;
         if !self.config.parallel {
             for (shard, batch) in self.shards.iter().zip(batches) {
                 shard.store.write().append_batch(batch)?;
@@ -346,7 +387,7 @@ impl StoreManager {
                         index: p,
                         iteration,
                     },
-                    p % pool.n_workers(),
+                    p % self.pool.n_workers(),
                     move |_| {
                         let batch = cell.lock().take().ok_or_else(|| {
                             Error::corrupt("store batch consumed by a failed earlier attempt")
@@ -356,45 +397,142 @@ impl StoreManager {
                 )
             })
             .collect();
-        pool.run_tasks(tasks).map(|_| ())
+        self.pool.run_tasks(tasks).map(|_| ())
     }
 
-    /// Consult the compaction policy and reconstruct exactly the shards
-    /// whose garbage crossed the thresholds, as [`TaskKind::Compact`]
-    /// tasks. Engines call this between iterations — the tasks fill the
-    /// pool's idle tail instead of blocking the data-plane phases.
-    /// Compaction is idempotent, so retries are safe.
-    pub fn maybe_compact(
-        &self,
-        pool: &WorkerPool,
-        iteration: u64,
-    ) -> Result<Vec<(usize, CompactionStats)>> {
-        let due: Vec<usize> = self
-            .shards
+    /// Shards whose garbage currently crosses the policy thresholds and
+    /// that have no compaction already in flight.
+    fn due_shards(&self) -> Vec<usize> {
+        self.shards
             .iter()
             .enumerate()
             .filter(|(_, shard)| {
+                if shard.compacting.load(Ordering::Acquire) {
+                    return false;
+                }
                 let s = shard.store.read();
                 self.config
                     .policy
                     .should_compact(s.file_len(), s.live_bytes(), s.n_batches())
             })
             .map(|(p, _)| p)
-            .collect();
-        self.compact_shards(pool, iteration, due)
+            .collect()
+    }
+
+    /// Consult the compaction policy and submit [`TaskKind::Compact`]
+    /// tasks for exactly the garbage-heavy shards as *detached background
+    /// work* on the executor, returning immediately with the number of
+    /// compactions scheduled. Engines call this at the end of an
+    /// iteration; the tasks then overlap the next iteration's map phase
+    /// and are fenced before the next merge touches the shards
+    /// ([`StoreManager::fence_compactions`], called by
+    /// [`StoreManager::merge_apply_all`] / [`StoreManager::append_batch_all`]).
+    ///
+    /// On the serial plane this degrades to the inline synchronous pass.
+    /// Compaction is idempotent, so retries are safe.
+    pub fn schedule_compactions(&self, iteration: u64) -> Result<usize> {
+        if !self.config.parallel {
+            return self.maybe_compact(iteration).map(|v| v.len());
+        }
+        let due = self.due_shards();
+        let n = due.len();
+        if n == 0 {
+            return Ok(0);
+        }
+        let epoch = self.pool.next_epoch();
+        self.scheduled_epochs.lock().push((epoch, due.clone()));
+        for p in due {
+            let shard = Arc::clone(&self.shards[p]);
+            shard.compacting.store(true, Ordering::Release);
+            let stats = Arc::clone(&self.stats);
+            self.pool.submit_at(
+                epoch,
+                TaskSpec::pinned(
+                    TaskId {
+                        kind: TaskKind::Compact,
+                        index: p,
+                        iteration,
+                    },
+                    p % self.pool.n_workers(),
+                    move |_| {
+                        // The `compacting` flag is cleared by the next
+                        // fence, not here: a task that fails terminally
+                        // without running (injected fault) or panics must
+                        // not leave the shard excluded forever.
+                        let s = shard.store.write().compact()?;
+                        let mut rt = stats.lock();
+                        rt.compactions += 1;
+                        rt.bytes_reclaimed += s.reclaimed();
+                        Ok(())
+                    },
+                ),
+            );
+        }
+        Ok(n)
+    }
+
+    /// Block until every background compaction this manager scheduled has
+    /// drained, surfacing the first terminal error among *this manager's*
+    /// epochs only. (Waiting covers the executor's epochs up to the
+    /// manager's latest — a pool-wide barrier that is conservative but
+    /// never misses this manager's work; error retrieval is exact-epoch,
+    /// so co-tenant submitters' failures are neither consumed nor
+    /// misattributed.) Once drained, every shard's in-flight flag is
+    /// cleared — including after a failed or panicked compaction, so no
+    /// shard is ever permanently excluded from the policy.
+    pub fn fence_compactions(&self) -> Result<()> {
+        let epochs: Vec<(u64, Vec<usize>)> = std::mem::take(&mut *self.scheduled_epochs.lock());
+        if epochs.is_empty() {
+            return Ok(());
+        }
+        let mut first_err = None;
+        for (e, shards) in epochs {
+            if let Err(err) = self.pool.fence(e) {
+                first_err.get_or_insert(err);
+            }
+            // Clear exactly the flags this epoch raised — a concurrent
+            // schedule_compactions's newer in-flight shards stay flagged.
+            for p in shards {
+                self.shards[p].compacting.store(false, Ordering::Release);
+            }
+        }
+        match first_err {
+            Some(e) => Err(e),
+            None => Ok(()),
+        }
+    }
+
+    /// End-of-run settle: fence outstanding background compactions, then
+    /// fold the plane's trailing counters into `metrics`. The one
+    /// settle discipline every engine shares — change it here, not per
+    /// engine.
+    pub fn settle_into(&self, metrics: &mut JobMetrics) -> Result<()> {
+        self.fence_compactions()?;
+        self.drain_metrics(metrics);
+        Ok(())
+    }
+
+    /// Synchronous policy-driven compaction: consult the policy,
+    /// reconstruct exactly the shards whose garbage crossed the
+    /// thresholds, and wait for the results. Callers with a following map
+    /// phase to overlap should prefer [`StoreManager::schedule_compactions`].
+    pub fn maybe_compact(&self, iteration: u64) -> Result<Vec<(usize, CompactionStats)>> {
+        self.fence_compactions()?;
+        let due = self.due_shards();
+        self.compact_shards(iteration, due)
     }
 
     /// Unconditionally compact every shard (offline reconstruction of the
     /// whole plane). Returns total reclaimed bytes.
-    pub fn compact_all(&self, pool: &WorkerPool, iteration: u64) -> Result<u64> {
+    pub fn compact_all(&self, iteration: u64) -> Result<u64> {
+        self.fence_compactions()?;
         let all: Vec<usize> = (0..self.shards.len()).collect();
-        let stats = self.compact_shards(pool, iteration, all)?;
+        let stats = self.compact_shards(iteration, all)?;
         Ok(stats.iter().map(|(_, s)| s.reclaimed()).sum())
     }
 
     fn compact_shards(
         &self,
-        pool: &WorkerPool,
         iteration: u64,
         shards: Vec<usize>,
     ) -> Result<Vec<(usize, CompactionStats)>> {
@@ -412,12 +550,12 @@ impl StoreManager {
                             index: p,
                             iteration,
                         },
-                        p % pool.n_workers(),
+                        p % self.pool.n_workers(),
                         move |_| shard.store.write().compact(),
                     )
                 })
                 .collect();
-            pool.run_tasks(tasks)?
+            self.pool.run_tasks(tasks)?
         } else {
             shards
                 .iter()
@@ -453,6 +591,10 @@ impl StoreManager {
 
     /// Drain the plane's accumulated observability into `metrics`: shard +
     /// reader [`IoStats`] (reset afterwards) and the compaction counters.
+    ///
+    /// Does not fence: counters of still-running background compactions
+    /// land in a later drain (engines fence once at end of run and fold
+    /// the remainder into the final iteration's metrics).
     pub fn drain_metrics(&self, metrics: &mut JobMetrics) {
         for shard in &self.shards {
             let mut store = shard.store.write();
@@ -467,9 +609,24 @@ impl StoreManager {
     }
 
     /// Serialize shard `p` for checkpointing (live chunks only; see
-    /// [`MrbgStore::export`]).
+    /// [`MrbgStore::export`]). Safe while compactions are in flight: the
+    /// shard lock serializes them, and compaction never changes live
+    /// content, so the canonical export bytes are unaffected.
     pub fn export(&self, p: usize) -> Result<Vec<u8>> {
         self.shards[p].store.write().export()
+    }
+}
+
+impl Drop for StoreManager {
+    /// Settle outstanding background compactions when the manager goes
+    /// away: waits for them to drain and pops this manager's fence-table
+    /// entries from the shared executor, so epochs nobody would ever fence
+    /// again cannot accumulate there. A terminal compaction error at this
+    /// point has no caller left to report to — callers that must observe
+    /// it call [`StoreManager::fence_compactions`] before dropping; the
+    /// work itself is never lost either way (executor shutdown drains).
+    fn drop(&mut self) {
+        let _ = self.fence_compactions();
     }
 }
 
@@ -502,23 +659,43 @@ mod tests {
         )
     }
 
-    fn seed(mgr: &StoreManager, pool: &WorkerPool) {
+    fn seed(mgr: &StoreManager) {
         let batches: Vec<Vec<Chunk>> = (0..N)
             .map(|p| (0..8).map(|i| chunk(&format!("k{p}-{i}"), "v0")).collect())
             .collect();
-        mgr.append_batch_all(pool, 0, batches).unwrap();
+        mgr.append_batch_all(0, batches).unwrap();
+    }
+
+    /// A delta that churns every key of shard `target`.
+    fn churn(target: usize, round: u64) -> impl Fn(usize) -> Result<Vec<DeltaChunk>> {
+        move |p| {
+            if p != target {
+                return Ok(Vec::new());
+            }
+            Ok((0..8)
+                .map(|i| DeltaChunk {
+                    key: format!("k{target}-{i}").into_bytes(),
+                    entries: vec![
+                        DeltaEntry::Delete(MapKey(1)),
+                        DeltaEntry::Insert(MapKey(1), format!("v{round}").into_bytes()),
+                    ],
+                })
+                .collect())
+        }
     }
 
     #[test]
     fn sharded_and_serial_planes_agree() {
         let pool = WorkerPool::new(2);
-        let par = StoreManager::create(scratch("par"), N, StoreRuntimeConfig::default()).unwrap();
-        let ser = StoreManager::create(scratch("ser"), N, StoreRuntimeConfig::serial()).unwrap();
+        let par =
+            StoreManager::create(&pool, scratch("par"), N, StoreRuntimeConfig::default()).unwrap();
+        let ser =
+            StoreManager::create(&pool, scratch("ser"), N, StoreRuntimeConfig::serial()).unwrap();
         for mgr in [&par, &ser] {
-            seed(mgr, &pool);
+            seed(mgr);
             for round in 1..=3u64 {
                 let outcomes = mgr
-                    .merge_apply_all(&pool, round, |p| {
+                    .merge_apply_all(round, |p| {
                         Ok(vec![DeltaChunk {
                             key: format!("k{p}-0").into_bytes(),
                             entries: vec![
@@ -539,55 +716,45 @@ mod tests {
     #[test]
     fn split_read_path_sees_merged_state() {
         let pool = WorkerPool::new(2);
-        let mgr = StoreManager::create(scratch("read"), N, StoreRuntimeConfig::default()).unwrap();
-        seed(&mgr, &pool);
+        let mgr =
+            StoreManager::create(&pool, scratch("read"), N, StoreRuntimeConfig::default()).unwrap();
+        seed(&mgr);
         let c = mgr.get(1, b"k1-3").unwrap().unwrap();
         assert_eq!(c.entries[0].value, b"v0");
         assert!(mgr.get(1, b"missing").unwrap().is_none());
         // Reads after compaction (file replaced) still resolve.
-        mgr.compact_all(&pool, 1).unwrap();
+        mgr.compact_all(1).unwrap();
         let c = mgr.get(1, b"k1-3").unwrap().unwrap();
         assert_eq!(c.entries[0].value, b"v0");
         // Reader I/O is accounted.
         assert!(mgr.io_stats().reads >= 2);
     }
 
-    #[test]
-    fn policy_compacts_only_garbage_heavy_shards() {
-        let pool = WorkerPool::new(2);
-        let cfg = StoreRuntimeConfig {
+    fn eager_policy() -> StoreRuntimeConfig {
+        StoreRuntimeConfig {
             policy: CompactionPolicy {
                 min_garbage_ratio: 0.3,
                 min_batches: 3,
                 min_file_bytes: 0,
             },
             ..Default::default()
-        };
-        let mgr = StoreManager::create(scratch("policy"), N, cfg).unwrap();
-        seed(&mgr, &pool);
+        }
+    }
+
+    #[test]
+    fn policy_compacts_only_garbage_heavy_shards() {
+        let pool = WorkerPool::new(2);
+        let mgr = StoreManager::create(&pool, scratch("policy"), N, eager_policy()).unwrap();
+        seed(&mgr);
         // Churn only shard 0 so only it accumulates obsolete versions.
         for round in 1..=6u64 {
-            mgr.merge_apply_all(&pool, round, |p| {
-                if p != 0 {
-                    return Ok(Vec::new());
-                }
-                Ok((0..8)
-                    .map(|i| DeltaChunk {
-                        key: format!("k0-{i}").into_bytes(),
-                        entries: vec![
-                            DeltaEntry::Delete(MapKey(1)),
-                            DeltaEntry::Insert(MapKey(1), format!("v{round}").into_bytes()),
-                        ],
-                    })
-                    .collect())
-            })
-            .unwrap();
+            mgr.merge_apply_all(round, churn(0, round)).unwrap();
         }
-        let compacted = mgr.maybe_compact(&pool, 7).unwrap();
+        let compacted = mgr.maybe_compact(7).unwrap();
         assert_eq!(compacted.len(), 1, "only shard 0 is garbage-heavy");
         assert_eq!(compacted[0].0, 0);
         assert!(compacted[0].1.reclaimed() > 0);
-        assert!(mgr.maybe_compact(&pool, 8).unwrap().is_empty());
+        assert!(mgr.maybe_compact(8).unwrap().is_empty());
 
         let mut m = JobMetrics::default();
         mgr.drain_metrics(&mut m);
@@ -602,15 +769,87 @@ mod tests {
     }
 
     #[test]
-    fn open_with_pool_preloads_all_indexes() {
+    fn scheduled_compactions_overlap_and_fence() {
+        let pool = WorkerPool::new(2);
+        let mgr = StoreManager::create(&pool, scratch("sched"), N, eager_policy()).unwrap();
+        seed(&mgr);
+        for round in 1..=6u64 {
+            mgr.merge_apply_all(round, churn(0, round)).unwrap();
+        }
+        let garbage_before = mgr.file_bytes();
+        let scheduled = mgr.schedule_compactions(7).unwrap();
+        assert_eq!(scheduled, 1, "only shard 0 crossed the thresholds");
+        // While the compaction drains in the background, reads still work
+        // (split read path + shard lock).
+        assert!(mgr.get(0, b"k0-3").unwrap().is_some());
+        mgr.fence_compactions().unwrap();
+        assert!(mgr.file_bytes() < garbage_before, "garbage not reclaimed");
+        let mut m = JobMetrics::default();
+        mgr.drain_metrics(&mut m);
+        assert_eq!(m.store_compactions, 1);
+        assert!(m.store_bytes_reclaimed > 0);
+        // Nothing left due afterwards.
+        assert_eq!(mgr.schedule_compactions(8).unwrap(), 0);
+    }
+
+    #[test]
+    fn merge_fences_pending_compactions_first() {
+        // Schedule a background compaction, then immediately merge the
+        // same shard: the merge must observe the reconstructed store and
+        // the final contents must equal the serial plane's.
+        let pool = WorkerPool::new(2);
+        let par = StoreManager::create(&pool, scratch("fence-par"), N, eager_policy()).unwrap();
+        let ser =
+            StoreManager::create(&pool, scratch("fence-ser"), N, StoreRuntimeConfig::serial())
+                .unwrap();
+        for mgr in [&par, &ser] {
+            seed(mgr);
+            for round in 1..=6u64 {
+                mgr.merge_apply_all(round, churn(0, round)).unwrap();
+                // Background on the parallel plane, inline on the serial one.
+                mgr.schedule_compactions(round).unwrap();
+            }
+            mgr.fence_compactions().unwrap();
+        }
+        par.compact_all(7).unwrap();
+        ser.compact_all(7).unwrap();
+        for p in 0..N {
+            assert_eq!(par.export(p).unwrap(), ser.export(p).unwrap());
+        }
+    }
+
+    #[test]
+    fn shutdown_drains_scheduled_compactions() {
+        // The executor's graceful shutdown drains queued compactions even
+        // when nobody fences: the satellite "shutdown drains queued
+        // compactions" contract. The manager is kept alive across the
+        // shutdown — dropping it first would settle the work through
+        // StoreManager::drop's own fence and prove nothing about shutdown.
+        let pool = WorkerPool::new(1);
+        let dir = scratch("shutdown-drain");
+        let mgr = StoreManager::create(&pool, &dir, N, eager_policy()).unwrap();
+        seed(&mgr);
+        for round in 1..=6u64 {
+            mgr.merge_apply_all(round, churn(0, round)).unwrap();
+        }
+        let before = mgr.file_bytes();
+        assert_eq!(mgr.schedule_compactions(7).unwrap(), 1);
+        pool.shutdown(); // graceful: drains the queued Compact task
+        assert!(
+            mgr.file_bytes() < before,
+            "queued compaction was dropped, not drained"
+        );
+    }
+
+    #[test]
+    fn open_parallel_preloads_all_indexes() {
         let pool = WorkerPool::new(2);
         let dir = scratch("reopen");
         {
-            let mgr = StoreManager::create(&dir, N, StoreRuntimeConfig::default()).unwrap();
-            seed(&mgr, &pool);
+            let mgr = StoreManager::create(&pool, &dir, N, StoreRuntimeConfig::default()).unwrap();
+            seed(&mgr);
         }
-        let mgr =
-            StoreManager::open_with_pool(&pool, &dir, N, StoreRuntimeConfig::default()).unwrap();
+        let mgr = StoreManager::open(&pool, &dir, N, StoreRuntimeConfig::default()).unwrap();
         assert_eq!(mgr.len(), N * 8);
         assert_eq!(
             mgr.get(2, b"k2-5").unwrap().unwrap().entries[0].value,
@@ -622,7 +861,8 @@ mod tests {
     fn mismatched_batch_count_is_rejected() {
         let pool = WorkerPool::new(1);
         let mgr =
-            StoreManager::create(scratch("mismatch"), N, StoreRuntimeConfig::default()).unwrap();
-        assert!(mgr.append_batch_all(&pool, 0, vec![Vec::new()]).is_err());
+            StoreManager::create(&pool, scratch("mismatch"), N, StoreRuntimeConfig::default())
+                .unwrap();
+        assert!(mgr.append_batch_all(0, vec![Vec::new()]).is_err());
     }
 }

@@ -8,6 +8,7 @@
 #
 #   baseline -> zerocopy  (micro_shuffle: the zero-copy data plane win)
 #   serial   -> sharded   (micro_store:  the sharded store plane win)
+#   spawn    -> persistent (micro_pool:  the persistent-executor overlap win)
 #
 # For every benchmark group the geometric-mean speedup of the fresh run
 # must stay within TOLERANCE (default 25%) of the committed snapshot's —
@@ -17,7 +18,12 @@
 # mergephase ratio is size-SENSITIVE — compaction cost scales with the
 # store while scheduling overhead does not — so its gate must run at the
 # same full workload the committed BENCH_store.json was recorded at
-# (I2MR_BENCH_QUICK=0).
+# (I2MR_BENCH_QUICK=0). micro_pool's tasks are latency-modeled (sleeps),
+# so its ratio is both size- and core-count-invariant; it additionally
+# carries an ABSOLUTE floor — the persistent executor's cross-iteration
+# overlap must stay >= 1.3x over spawn-per-call, the acceptance bar the
+# executor refactor shipped with — enforced on the fresh run regardless
+# of what the committed snapshot recorded.
 #
 # Usage:
 #   scripts/bench_check.sh [micro_shuffle] [micro_store] ...
@@ -30,13 +36,14 @@ out_for() {
   case "$1" in
     micro_shuffle) echo "BENCH_shuffle.json" ;;
     micro_store) echo "BENCH_store.json" ;;
+    micro_pool) echo "BENCH_pool.json" ;;
     *) echo "BENCH_$1.json" ;;
   esac
 }
 
 targets=("$@")
 if [ ${#targets[@]} -eq 0 ]; then
-  targets=(micro_shuffle micro_store)
+  targets=(micro_shuffle micro_store micro_pool)
 fi
 
 tol="${BENCH_TOLERANCE:-0.25}"
@@ -56,7 +63,10 @@ for target in "${targets[@]}"; do
 import json, math, sys
 
 committed_path, fresh_path, tol = sys.argv[1], sys.argv[2], float(sys.argv[3])
-PAIRS = [("baseline", "zerocopy"), ("serial", "sharded")]
+PAIRS = [("baseline", "zerocopy"), ("serial", "sharded"), ("spawn", "persistent")]
+# Absolute speedup floors (group -> min geomean on the FRESH run), on top
+# of the relative-to-committed tolerance check.
+FLOORS = {"micro_pool/iteration": 1.3}
 
 def speedups(path):
     """group -> list of (param, speedup base_median/new_median)."""
@@ -93,6 +103,8 @@ for group, committed_pairs in sorted(want.items()):
         continue
     w, g = geomean(committed_pairs), geomean(got[group])
     floor = w * (1.0 - tol)
+    if group in FLOORS:
+        floor = max(floor, FLOORS[group])
     verdict = "ok" if g >= floor else "REGRESSION"
     if g < floor:
         failed = True

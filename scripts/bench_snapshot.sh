@@ -8,6 +8,7 @@
 #
 #   micro_shuffle -> BENCH_shuffle.json  (shuffle/sort/reduce hot path)
 #   micro_store   -> BENCH_store.json    (MRBG-Store plane: serial vs sharded)
+#   micro_pool    -> BENCH_pool.json     (executor: spawn-per-call vs persistent)
 #
 # Usage:
 #   scripts/bench_snapshot.sh                 # snapshot all targets
@@ -20,13 +21,14 @@ out_for() {
   case "$1" in
     micro_shuffle) echo "BENCH_shuffle.json" ;;
     micro_store) echo "BENCH_store.json" ;;
+    micro_pool) echo "BENCH_pool.json" ;;
     *) echo "BENCH_$1.json" ;;
   esac
 }
 
 targets=("$@")
 if [ ${#targets[@]} -eq 0 ]; then
-  targets=(micro_shuffle micro_store)
+  targets=(micro_shuffle micro_store micro_pool)
 fi
 
 for target in "${targets[@]}"; do
@@ -35,5 +37,5 @@ for target in "${targets[@]}"; do
   echo
   echo "== snapshot: $out =="
   # Print the headline comparisons (no jq dependency: plain grep).
-  grep -oE '"id": "[^"]*/(zerocopy|baseline|serial|sharded)/[^}]*' "$out" || true
+  grep -oE '"id": "[^"]*/(zerocopy|baseline|serial|sharded|spawn|persistent)/[^}]*' "$out" || true
 done

@@ -216,15 +216,16 @@ fn onestep_engine_survives_compaction_and_strategy_changes() {
     ];
     let mut outputs = Vec::new();
     for (si, strategy) in strategies.iter().enumerate() {
+        let pool = WorkerPool::new(3);
         let mut eng: OneStepEngine<u64, String, u64, f64, u64, f64> = OneStepEngine::create(
+            &pool,
             scratch(&format!("strat-{si}")),
             JobConfig::symmetric(3),
             StoreConfig::default(),
         )
         .unwrap();
         eng.set_store_strategy(*strategy);
-        let pool = WorkerPool::new(3);
-        eng.initial(&pool, &input, &mapper, &HashPartitioner, &reducer)
+        eng.initial(&input, &mapper, &HashPartitioner, &reducer)
             .unwrap();
         for round in 0..3u64 {
             let mut delta = Delta::new();
@@ -238,10 +239,10 @@ fn onestep_engine_survives_compaction_and_strategy_changes() {
             // apply_to-compatible old values only on round 0; afterwards
             // update from the current record. Simplest: distinct keys.
             let _ = &delta;
-            eng.incremental(&pool, &delta, &mapper, &HashPartitioner, &reducer)
+            eng.incremental(&delta, &mapper, &HashPartitioner, &reducer)
                 .unwrap();
             if round == 1 {
-                eng.compact_stores(&pool).unwrap();
+                eng.compact_stores().unwrap();
             }
         }
         outputs.push(eng.output());
@@ -353,7 +354,7 @@ fn checkpoint_recovery_resumes_incremental_run() {
     let restored_state: Vec<Vec<(u64, f64)>> = ck.load_state(latest).unwrap();
     assert_eq!(restored_state, data.state);
     let restored_stores: StoreManager = ck
-        .load_stores(latest, dir.join("restored"), Default::default())
+        .load_stores(&pool, latest, dir.join("restored"), Default::default())
         .unwrap();
     assert_eq!(restored_stores.len(), stores.len());
     // Restored shards are byte-identical to the live ones (live-chunk

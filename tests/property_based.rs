@@ -264,15 +264,16 @@ proptest! {
         choices in proptest::collection::vec((0u64..40, 0u8..3, proptest::collection::btree_map(0u64..30, 1u32..100, 0..3)), 0..8),
         tag in 0u64..u64::MAX,
     ) {
+        let pool = WorkerPool::new(2);
         let mut engine: OneStepEngine<u64, String, u64, f64, u64, f64> = OneStepEngine::create(
+            &pool,
             scratch(&format!("prop-eq-{tag}")),
             JobConfig::symmetric(2),
             StoreConfig::default(),
         )
         .unwrap();
-        let pool = WorkerPool::new(2);
         engine
-            .initial(&pool, &base, &edge_mapper, &HashPartitioner, &sum_reducer)
+            .initial(&base, &edge_mapper, &HashPartitioner, &sum_reducer)
             .unwrap();
 
         // Build a *valid* delta from arbitrary choices: a delta is a set
@@ -327,7 +328,7 @@ proptest! {
         }
 
         engine
-            .incremental(&pool, &delta, &edge_mapper, &HashPartitioner, &sum_reducer)
+            .incremental(&delta, &edge_mapper, &HashPartitioner, &sum_reducer)
             .unwrap();
 
         let updated: Vec<(u64, String)> = live.into_iter().collect();

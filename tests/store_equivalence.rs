@@ -123,10 +123,10 @@ fn sharded_background_compaction_plane_is_byte_identical_to_serial() {
     // Stores: after a closing compaction, every shard's canonical export
     // (live chunks, lexicographic order, fresh offsets) must match
     // byte-for-byte, regardless of how differently the two planes batched
-    // and reclaimed along the way.
-    let pool = WorkerPool::new(N);
-    serial_mgr.compact_all(&pool, u64::MAX).unwrap();
-    sharded_mgr.compact_all(&pool, u64::MAX).unwrap();
+    // and reclaimed along the way. (Each manager schedules on its own
+    // executor handle now — no pool to thread through.)
+    serial_mgr.compact_all(u64::MAX).unwrap();
+    sharded_mgr.compact_all(u64::MAX).unwrap();
     for p in 0..N {
         assert_eq!(
             serial_mgr.export(p).unwrap(),
@@ -139,11 +139,10 @@ fn sharded_background_compaction_plane_is_byte_identical_to_serial() {
 #[test]
 fn compaction_is_idempotent_on_a_real_run() {
     let (_, mgr, _) = run_lifecycle("idem", eager_sharded());
-    let pool = WorkerPool::new(N);
 
-    mgr.compact_all(&pool, 1).unwrap();
+    mgr.compact_all(1).unwrap();
     let exports: Vec<Vec<u8>> = (0..N).map(|p| mgr.export(p).unwrap()).collect();
-    let reclaimed_again = mgr.compact_all(&pool, 2).unwrap();
+    let reclaimed_again = mgr.compact_all(2).unwrap();
     assert_eq!(reclaimed_again, 0, "second compaction must reclaim nothing");
     for (p, want) in exports.iter().enumerate() {
         assert_eq!(

@@ -160,6 +160,15 @@ pub struct JobMetrics {
     pub store_bytes_reclaimed: u64,
     /// Checkpoint / DFS I/O.
     pub dfs_io: IoStats,
+    /// Keys carried in the delta-iteration workset (summed across
+    /// iterations; zero for full-pass engines).
+    pub workset_keys: u64,
+    /// Keys the change-propagation contract pruned from the next workset
+    /// (reduce ran but the update was below the emission threshold).
+    pub workset_skipped: u64,
+    /// Delta-iteration depth: number of workset-driven iterations executed
+    /// before the workset drained.
+    pub delta_iterations: u64,
 }
 
 impl JobMetrics {
@@ -180,6 +189,9 @@ impl JobMetrics {
         self.store_compactions += other.store_compactions;
         self.store_bytes_reclaimed += other.store_bytes_reclaimed;
         self.dfs_io += other.dfs_io;
+        self.workset_keys += other.workset_keys;
+        self.workset_skipped += other.workset_skipped;
+        self.delta_iterations += other.delta_iterations;
     }
 }
 
@@ -245,6 +257,9 @@ mod tests {
             reduce_invocations: 1,
             store_compactions: 2,
             store_bytes_reclaimed: 512,
+            workset_keys: 40,
+            workset_skipped: 4,
+            delta_iterations: 2,
             ..Default::default()
         };
         b.store_io.record_read(9);
@@ -257,6 +272,9 @@ mod tests {
         assert_eq!(a.store_io.reads, 1);
         assert_eq!(a.store_compactions, 2);
         assert_eq!(a.store_bytes_reclaimed, 512);
+        assert_eq!(a.workset_keys, 40);
+        assert_eq!(a.workset_skipped, 4);
+        assert_eq!(a.delta_iterations, 2);
         assert_eq!(a.measured(), Duration::from_millis(4));
     }
 

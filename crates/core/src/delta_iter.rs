@@ -1,32 +1,54 @@
-//! Incremental iterative processing (paper §5).
+//! Delta-iteration engine: workset-driven incremental fixed point.
 //!
-//! A sequence of jobs `A_1 … A_i` refreshes an iterative mining result as
-//! the structure data evolves. Job `A_i` starts from job `A_{i-1}`'s
-//! **converged state** `D_{i-1}` and **converged MRBGraph** (both much
-//! closer to the new fixed point than a fresh initialization), then runs
-//! incremental one-step iterations:
+//! [`crate::incr_iter`] refreshes an iterative result by re-running map and
+//! reduce over *changed* inputs, but its data plane is still scheduled
+//! full-width: every partition gets a Map task, every run a Sort task, and
+//! — the dominant cost on low-churn refreshes — every touched shard's merge
+//! rewrites the shard's **full index file** each iteration. This module
+//! generalizes the change-propagation idea (paper §5.3) from a post-hoc
+//! threshold filter into real change-propagation *scheduling*, in the
+//! workset/solution-set model of delta iterations:
 //!
-//! * **Iteration 1** — the delta input is the *delta structure data*:
-//!   deleted records cancel their MRBGraph edges via tombstones, inserted
-//!   records add edges; only affected Reduce instances re-run.
-//! * **Iteration j ≥ 2** — the delta input is the *delta state data*
-//!   `ΔD_{j-1}`: for each changed state key, the map instances of its
-//!   dependent structure records re-run and upsert their edges.
+//! * the **solution set** is the converged state plus the preserved
+//!   MRBGraph in the sharded [`StoreManager`] plane;
+//! * the **workset** is the set of changed keys flowing into an iteration —
+//!   the delta structure records on iteration 1, the emitted state deltas
+//!   `ΔD_{j-1}` afterwards.
 //!
-//! Two §5 mechanisms bound the work:
+//! Each iteration maps, shuffles, and reduces **only workset keys**: Map
+//! tasks are scheduled only for partitions holding workset entries, Sort
+//! tasks only for non-empty runs, MRBGraph point merges only for touched
+//! shards ([`StoreManager::merge_apply_touched`], with index persistence
+//! deferred to end-of-run settle), and Reduce tasks only for partitions
+//! with merge outcomes. The reduce outputs that survive the CPC judgment
+//! become the next workset; an empty workset **is** the fixed point.
 //!
-//! * **Change propagation control** (§5.3, [`crate::cpc`]): recomputed state
-//!   values whose accumulated change is below the filter threshold are not
-//!   emitted; asymmetric convergence makes most keys settle in a few hops.
-//! * **P∆ monitoring** (§5.2): when the delta state covers more than
-//!   `pdelta_threshold` (default 50 %) of all state kv-pairs, maintaining
-//!   the MRBGraph costs more than it saves; the engine turns it off and
-//!   finishes with plain iterative processing from the current state.
+//! The arithmetic — map/reduce invocation order, CPC judgment, state
+//! application order — is kept *identical* to [`crate::incr_iter`], so the
+//! two engines produce bit-identical state and byte-identical store
+//! exports; only the scheduling differs. The equivalence suite in
+//! `tests/` pins this down.
+//!
+//! # Update contract
+//!
+//! Specs declare how their updates compose via [`UpdateContract`]:
+//!
+//! * [`Monotonic`](UpdateContract::Monotonic) — reduce outputs only ever
+//!   *improve* (move toward the fixed point along an improvement order,
+//!   e.g. min-plus shortest paths). A key leaves the workset the moment its
+//!   value stops improving; [`DeltaIterativeSpec::admissible`] is
+//!   debug-asserted on every reduce output.
+//! * [`Retractable`](UpdateContract::Retractable) — updates may replace a
+//!   value in either direction (e.g. PageRank mass redistribution). The
+//!   MRBGraph upsert path retracts a map instance's previous contribution
+//!   (delete + insert of the same `(K2, MK)` edge) before the new one
+//!   lands, so re-reduction always sees a consistent edge set.
 
 use crate::checkpoint::IterCheckpointer;
 use crate::cpc::{ChangePropagation, Verdict};
 use crate::delta::{Delta, Op};
-use crate::iter_engine::{PartitionedData, PartitionedIterEngine, RunReport, StructGroup};
+use crate::incr_iter::{apply_structure_delta, IncrParams};
+use crate::iter_engine::{PartitionedData, PartitionedIterEngine, RunReport};
 use crate::iterative::{IterParams, IterationStats, IterativeSpec, PreserveMode};
 use i2mr_common::codec::{decode_exact, encode_to};
 use i2mr_common::error::Result;
@@ -36,70 +58,57 @@ use i2mr_mapred::config::JobConfig;
 use i2mr_mapred::fault::{TaskId, TaskKind};
 use i2mr_mapred::partition::{HashPartitioner, Partitioner};
 use i2mr_mapred::pool::{TaskSpec, WorkerPool};
-use i2mr_mapred::shuffle::{groups, sort_runs, transpose_pooled, RunPool, ShuffleBuffers};
+use i2mr_mapred::shuffle::{groups, sort_runs_nonempty, transpose_pooled, RunPool, ShuffleBuffers};
 use i2mr_mapred::types::{Emitter, Values};
 use i2mr_store::merge::{DeltaChunk, DeltaEntry, MergeOutcome};
 use i2mr_store::runtime::StoreManager;
 use std::collections::BTreeSet;
 use std::time::Instant;
 
-/// Knobs of an incremental iterative run.
-#[derive(Clone, Copy, Debug)]
-pub struct IncrParams {
-    /// CPC filter threshold (paper: `job.setFilterThresh`); `None` = CPC
-    /// disabled ("w/o CPC"): every change above the numerical
-    /// `convergence_epsilon` propagates.
-    pub filter_threshold: Option<f64>,
-    /// Numerical convergence floor. Floating-point fixed points are only
-    /// ever approached, so even "exact" propagation needs an epsilon below
-    /// which a change counts as converged rather than propagatable.
-    pub convergence_epsilon: f64,
-    /// Turn MRBGraph maintenance off when `|ΔD| / |D|` exceeds this
-    /// (paper default 50 %).
-    pub pdelta_threshold: f64,
-    /// Iteration budget.
-    pub max_iterations: u64,
-    /// Whether MRBGraph maintenance starts enabled (the user may turn it
-    /// off a priori for Kmeans-like computations, §5.2).
-    pub mrbg_enabled: bool,
+/// How a spec's reduce outputs compose across delta iterations.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum UpdateContract {
+    /// Updates only ever improve (min-plus shortest paths, reachability):
+    /// an emitted value never needs to be retracted.
+    Monotonic,
+    /// Updates may move a value in either direction (PageRank): prior
+    /// contributions are retracted through MRBGraph edge upserts.
+    Retractable,
 }
 
-impl Default for IncrParams {
-    fn default() -> Self {
-        IncrParams {
-            filter_threshold: None,
-            convergence_epsilon: 1e-9,
-            pdelta_threshold: 0.5,
-            max_iterations: 50,
-            mrbg_enabled: true,
-        }
+/// An [`IterativeSpec`] that additionally declares its update contract,
+/// making it eligible for workset-driven delta iteration.
+pub trait DeltaIterativeSpec: IterativeSpec {
+    /// The contract this spec's updates obey.
+    fn contract(&self) -> UpdateContract;
+
+    /// Whether `candidate` is a legal successor of `prev` under the
+    /// contract. Debug-asserted on every reduce output when the contract
+    /// is [`UpdateContract::Monotonic`]; a violation means the workset
+    /// scheduling assumptions don't hold and convergence is unspecified.
+    fn admissible(&self, _candidate: &Self::DV, _prev: &Self::DV) -> bool {
+        true
     }
 }
 
-impl IncrParams {
-    /// The threshold CPC actually applies: the filter threshold when set,
-    /// otherwise the numerical convergence floor.
-    pub fn effective_threshold(&self) -> f64 {
-        self.filter_threshold.unwrap_or(self.convergence_epsilon)
-    }
-}
-
-/// Report of an incremental iterative run.
+/// Report of a delta-iteration run.
 #[derive(Debug, Default)]
-pub struct IncrRunReport {
-    /// Per-iteration progress (`changed_keys` = propagated kv-pairs, the
-    /// Fig. 11a series).
+pub struct DeltaRunReport {
+    /// Per-iteration progress (`changed_keys` = emitted workset entries).
     pub iterations: Vec<IterationStats>,
-    /// Per-iteration engine metrics.
+    /// Per-iteration engine metrics (workset counters included).
     pub per_iteration: Vec<JobMetrics>,
+    /// Workset size entering each iteration (the Fig. 11a series measured
+    /// at the scheduler, not post-hoc).
+    pub worksets: Vec<u64>,
     /// Iteration after which MRBGraph maintenance was switched off by the
     /// P∆ monitor, if it was.
     pub mrbg_turned_off_at: Option<u64>,
-    /// Whether the run converged (no propagated changes / epsilon reached).
+    /// Whether the run converged (workset drained / fallback converged).
     pub converged: bool,
 }
 
-impl IncrRunReport {
+impl DeltaRunReport {
     /// Sum of all iterations' metrics.
     pub fn total_metrics(&self) -> JobMetrics {
         let mut total = JobMetrics::default();
@@ -115,20 +124,22 @@ impl IncrRunReport {
     }
 }
 
-/// The incremental iterative engine. See module docs.
-pub struct IncrIterEngine<'s, S: IterativeSpec> {
+/// The workset-driven delta-iteration engine. See module docs.
+pub struct DeltaIterEngine<'s, S: DeltaIterativeSpec> {
     spec: &'s S,
     config: JobConfig,
     params: IncrParams,
     /// Parameters for the full-iteration fallback after MRBG turn-off.
     fallback: IterParams,
-    /// Recycler for delta shuffle runs across incremental iterations.
+    /// Recycler for delta shuffle runs across iterations.
     recycler: RunPool<S::DK, Option<S::V2>>,
 }
 
-impl<'s, S: IterativeSpec> IncrIterEngine<'s, S> {
+impl<'s, S: DeltaIterativeSpec> DeltaIterEngine<'s, S> {
     /// Build an engine; `fallback` configures the plain iterative engine
-    /// used after a P∆-triggered MRBG turn-off.
+    /// used after a P∆-triggered MRBG turn-off. Shares [`IncrParams`] with
+    /// the incremental engine so a (full, delta) pair judges changes with
+    /// identical thresholds.
     pub fn new(
         spec: &'s S,
         config: JobConfig,
@@ -138,10 +149,10 @@ impl<'s, S: IterativeSpec> IncrIterEngine<'s, S> {
         config.validate()?;
         if config.n_map != config.n_reduce {
             return Err(i2mr_common::error::Error::config(
-                "incremental iterative engine requires n_map == n_reduce",
+                "delta-iteration engine requires n_map == n_reduce",
             ));
         }
-        Ok(IncrIterEngine {
+        Ok(DeltaIterEngine {
             spec,
             config,
             params,
@@ -150,14 +161,13 @@ impl<'s, S: IterativeSpec> IncrIterEngine<'s, S> {
         })
     }
 
-    /// Run an incremental refresh.
+    /// Run a workset-driven incremental refresh.
     ///
-    /// * `data` — the previous job's converged structure + state (mutated
-    ///   in place toward the new fixed point).
-    /// * `stores` — the store runtime holding the preserved MRBGraph, one
-    ///   shard per partition.
-    /// * `delta` — the delta structure input.
-    /// * `ckpt` — optional per-iteration checkpointing (paper §6.1).
+    /// Same contract as [`crate::incr_iter::IncrIterEngine::run`]: `data`
+    /// is the previous job's converged structure + state (mutated in place
+    /// toward the new fixed point), `stores` holds the preserved MRBGraph,
+    /// `delta` is the delta structure input, `ckpt` optionally checkpoints
+    /// each iteration.
     pub fn run(
         &self,
         pool: &WorkerPool,
@@ -165,14 +175,12 @@ impl<'s, S: IterativeSpec> IncrIterEngine<'s, S> {
         stores: &StoreManager,
         delta: &Delta<S::SK, S::SV>,
         ckpt: Option<&IterCheckpointer>,
-    ) -> Result<IncrRunReport> {
+    ) -> Result<DeltaRunReport> {
         let n = self.config.n_reduce;
         let spec = self.spec;
-        let mut report = IncrRunReport::default();
+        let mut report = DeltaRunReport::default();
 
         if !self.params.mrbg_enabled {
-            // User declared MRBG maintenance wasteful (Kmeans-like): apply
-            // the delta and re-iterate from the converged state.
             apply_structure_delta(spec, n, data, delta);
             report.mrbg_turned_off_at = Some(0);
             let fb = self.run_fallback(pool, data, 0)?;
@@ -184,22 +192,31 @@ impl<'s, S: IterativeSpec> IncrIterEngine<'s, S> {
             return Ok(report);
         }
 
-        // Delta state flowing between iterations (ΔD_j).
-        let mut delta_state: Vec<(S::DK, S::DV)> = Vec::new();
+        // The workset flowing between iterations (ΔD_j).
+        let mut workset: Vec<(S::DK, S::DV)> = Vec::new();
 
         for iteration in 1..=self.params.max_iterations {
             let started = Instant::now();
+            let workset_len = if iteration == 1 {
+                delta.records().len() as u64
+            } else {
+                workset.len() as u64
+            };
             let mut metrics = JobMetrics {
                 jobs_started: u64::from(iteration == 1),
+                workset_keys: workset_len,
+                delta_iterations: 1,
                 ..Default::default()
             };
 
-            // ---------------- incremental Map ----------------
+            // ---------------- workset Map ----------------
+            // Map tasks are scheduled only for partitions that hold
+            // workset entries; untouched partitions never enter the plane.
             let t = Instant::now();
             let (map_outputs, new_dks, map_invocations) = if iteration == 1 {
                 self.map_structure_delta(pool, data, delta)?
             } else {
-                self.map_state_delta(pool, data, std::mem::take(&mut delta_state), iteration)?
+                self.map_state_delta(pool, data, std::mem::take(&mut workset), iteration)?
             };
             metrics.map_invocations = map_invocations;
             metrics.stages.add(Stage::Map, t.elapsed());
@@ -212,23 +229,21 @@ impl<'s, S: IterativeSpec> IncrIterEngine<'s, S> {
             metrics.stages.add(Stage::Shuffle, t.elapsed());
 
             let t = Instant::now();
-            sort_runs(pool, &mut runs, iteration)?;
+            sort_runs_nonempty(pool, &mut runs, iteration)?;
             metrics.stages.add(Stage::Sort, t.elapsed());
 
-            // ---------------- MRBGraph merge (store plane) ----------------
-            // Each partition's delta merge runs as a first-class StoreMerge
-            // task on the store runtime, fully overlapped across shards and
-            // decoupled from the Reduce compute below.
+            // ---------------- MRBGraph point merge ----------------
+            // Only shards whose run (or new-key set) is non-empty get a
+            // StoreMerge task; index persistence is deferred shard-locally
+            // and flushed once at end-of-run settle.
             let t = Instant::now();
+            let touched: Vec<usize> = (0..n)
+                .filter(|&p| !runs[p].is_empty() || !new_dks[p].is_empty())
+                .collect();
             let runs_ref = &runs;
             let new_dks_ref = &new_dks;
-            let outcomes_per_p = stores.merge_apply_all(iteration, |p| {
+            let outcomes_per_p = stores.merge_apply_touched(iteration, &touched, |p| {
                 let run: &[(S::DK, MapKey, Option<S::V2>)] = &runs_ref[p];
-                // Delta MRBGraph chunks for this partition. The changed-key
-                // map is the borrowed `pending` list (newly inserted state
-                // keys not yet seen in the run), checked off in place — the
-                // old shape cloned every group's encoded key into a `seen`
-                // set even on iterations whose new-key set was empty.
                 let mut deltas: Vec<DeltaChunk> = Vec::new();
                 let mut pending: Vec<&Vec<u8>> = new_dks_ref[p].iter().collect();
                 for group in groups(run) {
@@ -246,8 +261,8 @@ impl<'s, S: IterativeSpec> IncrIterEngine<'s, S> {
                     deltas.push(DeltaChunk { key, entries });
                 }
                 // Newly inserted state keys must be reduced even if no
-                // edges arrived (e.g. a vertex with no in-edges must still
-                // settle to its no-input value).
+                // edges arrived (a vertex with no in-edges still settles
+                // to its no-input value).
                 for key in pending {
                     deltas.push(DeltaChunk {
                         key: key.clone(),
@@ -257,14 +272,18 @@ impl<'s, S: IterativeSpec> IncrIterEngine<'s, S> {
                 Ok(deltas)
             })?;
 
-            // ---------------- incremental Reduce ----------------
+            // ---------------- workset Reduce ----------------
+            // Reduce tasks only for partitions with merge outcomes; each
+            // task's CPC verdicts decide the next workset. The inner loop
+            // is arithmetic-identical to incr_iter's.
             let state_parts = &data.state;
             let effective_threshold = self.params.effective_threshold();
-            let reduce_tasks: Vec<TaskSpec<'_, (Vec<(S::DK, S::DV)>, u64)>> = outcomes_per_p
+            let reduce_parts: Vec<usize> =
+                (0..n).filter(|&p| !outcomes_per_p[p].is_empty()).collect();
+            let reduce_tasks: Vec<TaskSpec<'_, (Vec<(S::DK, S::DV)>, u64, u64)>> = reduce_parts
                 .iter()
-                .enumerate()
-                .map(|(p, outcomes)| {
-                    let outcomes: &[(Vec<u8>, MergeOutcome)] = outcomes;
+                .map(|&p| {
+                    let outcomes: &[(Vec<u8>, MergeOutcome)] = &outcomes_per_p[p];
                     let state = &state_parts[p];
                     TaskSpec::pinned(
                         TaskId {
@@ -278,14 +297,8 @@ impl<'s, S: IterativeSpec> IncrIterEngine<'s, S> {
                             let mut emitted: Vec<(S::DK, S::DV)> = Vec::new();
                             let mut invocations = 0u64;
                             let mut values: Vec<S::V2> = Vec::new();
-                            // The merged chunk owns freshly decoded values,
-                            // so this path borrows them as a plain slice;
-                            // `values` is reused across groups.
                             for (key_bytes, outcome) in outcomes {
                                 let dk: S::DK = decode_exact(key_bytes)?;
-                                // Deleted vertices / dangling targets have no
-                                // state entry: their chunk was maintained but
-                                // no state update applies.
                                 let Ok(idx) = state.binary_search_by(|(k, _)| k.cmp(&dk)) else {
                                     continue;
                                 };
@@ -299,12 +312,18 @@ impl<'s, S: IterativeSpec> IncrIterEngine<'s, S> {
                                 }
                                 let candidate = spec.reduce(&dk, prev, Values::slice(&values));
                                 invocations += 1;
+                                if spec.contract() == UpdateContract::Monotonic {
+                                    debug_assert!(
+                                        spec.admissible(&candidate, prev),
+                                        "monotonic update contract violated"
+                                    );
+                                }
                                 let acc_diff = spec.difference(&candidate, prev);
                                 if cpc.judge(acc_diff) == Verdict::Emit {
                                     emitted.push((dk, candidate));
                                 }
                             }
-                            Ok((emitted, invocations))
+                            Ok((emitted, invocations, cpc.filtered()))
                         },
                     )
                 })
@@ -313,12 +332,13 @@ impl<'s, S: IterativeSpec> IncrIterEngine<'s, S> {
             metrics.stages.add(Stage::Reduce, t.elapsed());
             self.recycler.recycle_all(runs);
 
-            // Apply emitted updates to the state (reduce task p's output is
-            // partition p's state — co-location) and gather ΔD_{j}.
+            // Apply emitted updates in ascending partition order (task
+            // order == reduce_parts order) and gather the next workset.
             let mut emitted_total = 0u64;
-            let mut next_delta: Vec<(S::DK, S::DV)> = Vec::new();
-            for (p, (emitted, invocations)) in reduce_results.into_iter().enumerate() {
+            let mut next_workset: Vec<(S::DK, S::DV)> = Vec::new();
+            for (&p, (emitted, invocations, filtered)) in reduce_parts.iter().zip(reduce_results) {
                 metrics.reduce_invocations += invocations;
+                metrics.workset_skipped += filtered;
                 emitted_total += emitted.len() as u64;
                 let part = &mut data.state[p];
                 for (dk, dv) in &emitted {
@@ -326,13 +346,8 @@ impl<'s, S: IterativeSpec> IncrIterEngine<'s, S> {
                         part[idx].1 = dv.clone();
                     }
                 }
-                next_delta.extend(emitted);
+                next_workset.extend(emitted);
             }
-            // Fold the store plane's I/O and compaction counters into this
-            // iteration's metrics, and checkpoint, *before* scheduling
-            // background compactions: both take shard write locks and
-            // would otherwise stall behind the compactions they are meant
-            // to overlap with.
             stores.drain_metrics(&mut metrics);
 
             report.iterations.push(IterationStats {
@@ -341,18 +356,16 @@ impl<'s, S: IterativeSpec> IncrIterEngine<'s, S> {
                 changed_keys: emitted_total,
                 wall: started.elapsed(),
             });
+            report.worksets.push(workset_len);
             report.per_iteration.push(metrics);
 
             if let Some(ck) = ckpt {
                 ck.save_iteration(iteration, &data.state, Some(stores))?;
             }
 
-            // End of iteration: schedule policy-driven compaction of
-            // garbage-heavy shards as detached background work — it
-            // overlaps the next iteration's map phase and is fenced
-            // before the next merge.
             stores.schedule_compactions(iteration)?;
 
+            // Workset emptiness IS the fixed point.
             if emitted_total == 0 {
                 report.converged = true;
                 settle_store_plane(stores, &mut report)?;
@@ -365,28 +378,22 @@ impl<'s, S: IterativeSpec> IncrIterEngine<'s, S> {
                 report.mrbg_turned_off_at = Some(iteration);
                 let fb = self.run_fallback(pool, data, iteration)?;
                 merge_fallback(&mut report, fb);
-                // Settle first so the final checkpoint export below does
-                // not queue behind still-running compactions.
                 settle_store_plane(stores, &mut report)?;
-                // The fallback iterations mutated the state without
-                // checkpointing; persist the final state so recovery sees
-                // the completed refresh (paper §6.1: every iteration).
                 if let Some(ck) = ckpt {
                     ck.save_iteration(report.iterations.len() as u64, &data.state, Some(stores))?;
                 }
                 return Ok(report);
             }
 
-            delta_state = next_delta;
+            workset = next_workset;
         }
         settle_store_plane(stores, &mut report)?;
         Ok(report)
     }
 
-    /// Iteration 1 map phase: run Map over the delta structure records
-    /// against the pre-delta state, then apply the delta to the partitioned
-    /// data. Returns shuffle buffers, per-partition newly created state
-    /// keys, and the number of map invocations.
+    /// Iteration 1 map phase over the delta structure records. Identical
+    /// arithmetic to the incremental engine's, but Map tasks are scheduled
+    /// only for partitions holding delta records.
     #[allow(clippy::type_complexity)]
     fn map_structure_delta(
         &self,
@@ -401,7 +408,6 @@ impl<'s, S: IterativeSpec> IncrIterEngine<'s, S> {
         let n = self.config.n_reduce;
         let spec = self.spec;
 
-        // Partition delta records by hash(project(SK)).
         let mut per_part: Vec<Vec<(S::DK, &crate::delta::DeltaRecord<S::SK, S::SV>)>> =
             (0..n).map(|_| Vec::new()).collect();
         for rec in delta.records() {
@@ -415,6 +421,7 @@ impl<'s, S: IterativeSpec> IncrIterEngine<'s, S> {
         let map_tasks: Vec<TaskSpec<'_, (ShuffleBuffers<S::DK, Option<S::V2>>, u64)>> = per_part
             .iter()
             .enumerate()
+            .filter(|(_, records)| !records.is_empty())
             .map(|(p, records)| {
                 let records: &[(S::DK, &crate::delta::DeltaRecord<S::SK, S::SV>)] = records;
                 let state = &state_parts[p];
@@ -463,15 +470,15 @@ impl<'s, S: IterativeSpec> IncrIterEngine<'s, S> {
         Ok((outputs, new_dks, invocations))
     }
 
-    /// Iteration j ≥ 2 map phase: re-run the map instances of the structure
-    /// records that depend on the changed state keys; all outputs are edge
-    /// upserts.
+    /// Iteration j ≥ 2 map phase: re-run the map instances of structure
+    /// records depending on workset keys. Map tasks only for partitions
+    /// with workset entries.
     #[allow(clippy::type_complexity)]
     fn map_state_delta(
         &self,
         pool: &WorkerPool,
         data: &PartitionedData<S::SK, S::SV, S::DK, S::DV>,
-        delta_state: Vec<(S::DK, S::DV)>,
+        workset: Vec<(S::DK, S::DV)>,
         iteration: u64,
     ) -> Result<(
         Vec<ShuffleBuffers<S::DK, Option<S::V2>>>,
@@ -482,7 +489,7 @@ impl<'s, S: IterativeSpec> IncrIterEngine<'s, S> {
         let spec = self.spec;
 
         let mut per_part: Vec<Vec<(S::DK, S::DV)>> = (0..n).map(|_| Vec::new()).collect();
-        for (dk, dv) in delta_state {
+        for (dk, dv) in workset {
             let p = HashPartitioner.partition(&dk, n);
             per_part[p].push((dk, dv));
         }
@@ -492,6 +499,7 @@ impl<'s, S: IterativeSpec> IncrIterEngine<'s, S> {
         let map_tasks: Vec<TaskSpec<'_, (ShuffleBuffers<S::DK, Option<S::V2>>, u64)>> = per_part
             .iter()
             .enumerate()
+            .filter(|(_, changes)| !changes.is_empty())
             .map(|(p, changes)| {
                 let changes: &[(S::DK, S::DV)] = changes;
                 let groups = &structure[p];
@@ -508,7 +516,7 @@ impl<'s, S: IterativeSpec> IncrIterEngine<'s, S> {
                         let mut invocations = 0u64;
                         for (dk, dv) in changes {
                             let Ok(gi) = groups.binary_search_by(|g| g.dk.cmp(dk)) else {
-                                continue; // state key with no dependents
+                                continue; // workset key with no dependents
                             };
                             for (sk, sv) in &groups[gi].records {
                                 let mk = MapKey::for_structure(&encode_to(sk));
@@ -563,15 +571,10 @@ impl<'s, S: IterativeSpec> IncrIterEngine<'s, S> {
     }
 }
 
-/// Settle the store plane at the end of an incremental run: fence any
-/// compactions still overlapping and fold the trailing store counters into
-/// the last iteration's metrics, so per-run totals are complete.
-///
-/// Even with no recorded iterations the end-of-run fence may retire
-/// compactions whose counters a bare `fence_compactions` would leave to be
-/// silently dropped by the manager's destructor — settle into a fresh slot
-/// instead and keep it if it carries anything.
-fn settle_store_plane(stores: &StoreManager, report: &mut IncrRunReport) -> Result<()> {
+/// Settle the store plane at the end of a run: fence compactions, flush
+/// deferred shard indexes, and fold trailing store counters into the last
+/// iteration's metrics (or a fresh slot if none was recorded).
+fn settle_store_plane(stores: &StoreManager, report: &mut DeltaRunReport) -> Result<()> {
     match report.per_iteration.last_mut() {
         Some(last) => stores.settle_into(last),
         None => {
@@ -588,9 +591,11 @@ fn settle_store_plane(stores: &StoreManager, report: &mut IncrRunReport) -> Resu
     }
 }
 
-/// Merge a fallback run's report into the incremental report, renumbering
-/// iterations to continue the sequence.
-fn merge_fallback(report: &mut IncrRunReport, fb: RunReport) {
+/// Merge a fallback run's report into the delta report, renumbering
+/// iterations to continue the sequence. Fallback iterations process the
+/// full state, so their workset entries are the full state width — the
+/// series honestly records that delta scheduling ended.
+fn merge_fallback(report: &mut DeltaRunReport, fb: RunReport) {
     let offset = report.iterations.len() as u64;
     for (mut stats, metrics) in fb.iterations.into_iter().zip(fb.per_iteration) {
         stats.iteration += offset;
@@ -600,81 +605,14 @@ fn merge_fallback(report: &mut IncrRunReport, fb: RunReport) {
     report.converged = fb.converged;
 }
 
-/// Apply a structure delta to partitioned data, maintaining the invariants
-/// (grouping, sorting, state/structure key alignment). Returns the encoded
-/// DKs of newly created state keys, per partition.
-pub fn apply_structure_delta<S: IterativeSpec>(
-    spec: &S,
-    n: usize,
-    data: &mut PartitionedData<S::SK, S::SV, S::DK, S::DV>,
-    delta: &Delta<S::SK, S::SV>,
-) -> Vec<BTreeSet<Vec<u8>>> {
-    let mut new_dks: Vec<BTreeSet<Vec<u8>>> = (0..n).map(|_| BTreeSet::new()).collect();
-    for rec in delta.records() {
-        let dk = spec.project(&rec.key);
-        let p = HashPartitioner.partition(&dk, n);
-        let groups = &mut data.structure[p];
-        let state = &mut data.state[p];
-        match rec.op {
-            Op::Insert => match groups.binary_search_by(|g| g.dk.cmp(&dk)) {
-                Ok(gi) => {
-                    let records = &mut groups[gi].records;
-                    let pos = records
-                        .binary_search_by(|(sk, _)| sk.cmp(&rec.key))
-                        .unwrap_or_else(|e| e);
-                    records.insert(pos, (rec.key.clone(), rec.value.clone()));
-                }
-                Err(gi) => {
-                    groups.insert(
-                        gi,
-                        StructGroup {
-                            dk: dk.clone(),
-                            records: vec![(rec.key.clone(), rec.value.clone())],
-                        },
-                    );
-                    let si = state
-                        .binary_search_by(|(k, _)| k.cmp(&dk))
-                        .unwrap_or_else(|e| e);
-                    state.insert(si, (dk.clone(), spec.init(&dk)));
-                    new_dks[p].insert(encode_to(&dk));
-                }
-            },
-            Op::Delete => {
-                if let Ok(gi) = groups.binary_search_by(|g| g.dk.cmp(&dk)) {
-                    let records = &mut groups[gi].records;
-                    if let Some(pos) = records
-                        .iter()
-                        .position(|(sk, sv)| *sk == rec.key && format_eq(sv, &rec.value))
-                    {
-                        records.remove(pos);
-                    }
-                    if records.is_empty() {
-                        groups.remove(gi);
-                        if let Ok(si) = state.binary_search_by(|(k, _)| k.cmp(&dk)) {
-                            state.remove(si);
-                        }
-                        new_dks[p].remove(&encode_to(&dk));
-                    }
-                }
-            }
-        }
-    }
-    new_dks
-}
-
-/// Value equality via canonical encoding (SV: ValueData has no PartialEq
-/// bound; the canonical byte encoding is the identity that matters).
-fn format_eq<V: i2mr_common::codec::Codec>(a: &V, b: &V) -> bool {
-    encode_to(a) == encode_to(b)
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::incr_iter::{IncrIterEngine, IncrRunReport};
     use crate::iter_engine::build_partitioned;
     use crate::iterative::DependencyKind;
 
-    /// PageRank-like spec used across incremental tests.
+    /// PageRank-like spec (same arithmetic as incr_iter's test spec).
     struct MiniRank;
 
     impl IterativeSpec for MiniRank {
@@ -710,11 +648,17 @@ mod tests {
         }
     }
 
+    impl DeltaIterativeSpec for MiniRank {
+        fn contract(&self) -> UpdateContract {
+            UpdateContract::Retractable
+        }
+    }
+
     const N: usize = 3;
 
     fn stores(pool: &WorkerPool, tag: &str) -> StoreManager {
         let dir = std::env::temp_dir().join(format!(
-            "i2mr-incr-{tag}-{}-{:?}",
+            "i2mr-delta-{tag}-{}-{:?}",
             std::process::id(),
             std::thread::current().id()
         ));
@@ -743,34 +687,6 @@ mod tests {
         data
     }
 
-    /// Oracle: converge from scratch on the updated graph.
-    fn oracle(graph: Vec<(u64, Vec<u64>)>, pool: &WorkerPool) -> Vec<(u64, f64)> {
-        let engine = PartitionedIterEngine::new(
-            &MiniRank,
-            JobConfig::symmetric(N),
-            IterParams {
-                max_iterations: 300,
-                epsilon: 1e-12,
-                preserve: PreserveMode::None,
-            },
-        )
-        .unwrap();
-        let mut data = build_partitioned(&MiniRank, N, graph);
-        assert!(engine.run(pool, &mut data, None).unwrap().converged);
-        data.state_snapshot()
-    }
-
-    fn assert_states_close(a: &[(u64, f64)], b: &[(u64, f64)], tol: f64) {
-        assert_eq!(
-            a.iter().map(|(k, _)| *k).collect::<Vec<_>>(),
-            b.iter().map(|(k, _)| *k).collect::<Vec<_>>(),
-            "key sets differ"
-        );
-        for ((k, va), (_, vb)) in a.iter().zip(b) {
-            assert!((va - vb).abs() < tol, "key {k}: {va} vs {vb}");
-        }
-    }
-
     fn ring_with_chords(n: u64) -> Vec<(u64, Vec<u64>)> {
         (0..n)
             .map(|i| {
@@ -783,183 +699,209 @@ mod tests {
             .collect()
     }
 
-    #[test]
-    fn incremental_matches_recompute_after_edge_insertions() {
-        let pool = WorkerPool::new(N);
-        let graph = ring_with_chords(40);
-        let st = stores(&pool, "ins");
-        let mut data = converge_initial(graph.clone(), &st, &pool);
+    fn incr_params() -> IncrParams {
+        IncrParams {
+            max_iterations: 400,
+            ..Default::default()
+        }
+    }
 
-        // Insert a chord on vertex 7: update its record.
+    /// Run the same refresh through both engines on independent stores and
+    /// return (incr report, delta report) with both states / exports
+    /// asserted bit-identical.
+    fn run_both(
+        graph: Vec<(u64, Vec<u64>)>,
+        delta: &Delta<u64, Vec<u64>>,
+        params: IncrParams,
+        tag: &str,
+    ) -> (IncrRunReport, DeltaRunReport) {
+        let pool = WorkerPool::new(N);
+        let st_full = stores(&pool, &format!("{tag}-full"));
+        let mut data_full = converge_initial(graph.clone(), &st_full, &pool);
+        let st_delta = stores(&pool, &format!("{tag}-delta"));
+        let mut data_delta = converge_initial(graph, &st_delta, &pool);
+
+        let full = IncrIterEngine::new(
+            &MiniRank,
+            JobConfig::symmetric(N),
+            params,
+            IterParams::default(),
+        )
+        .unwrap();
+        let full_rep = full
+            .run(&pool, &mut data_full, &st_full, delta, None)
+            .unwrap();
+
+        let engine = DeltaIterEngine::new(
+            &MiniRank,
+            JobConfig::symmetric(N),
+            params,
+            IterParams::default(),
+        )
+        .unwrap();
+        let delta_rep = engine
+            .run(&pool, &mut data_delta, &st_delta, delta, None)
+            .unwrap();
+
+        // Bit-identical state (f64 equality, not tolerance).
+        assert_eq!(data_full.state, data_delta.state, "state diverged");
+        // Byte-identical preserved MRBGraph per shard.
+        for p in 0..N {
+            assert_eq!(
+                st_full.export(p).unwrap(),
+                st_delta.export(p).unwrap(),
+                "shard {p} export diverged"
+            );
+        }
+        (full_rep, delta_rep)
+    }
+
+    #[test]
+    fn matches_incremental_engine_bitwise_on_edge_update() {
+        let graph = ring_with_chords(40);
         let mut delta: Delta<u64, Vec<u64>> = Delta::new();
         let old = graph[7].1.clone();
         let mut new = old.clone();
         new.push(20);
-        delta.update(7, old, new.clone());
+        delta.update(7, old, new);
 
-        let engine = IncrIterEngine::new(
-            &MiniRank,
-            JobConfig::symmetric(N),
-            IncrParams {
-                max_iterations: 400,
-                ..Default::default()
-            },
-            IterParams::default(),
-        )
-        .unwrap();
-        let report = engine.run(&pool, &mut data, &st, &delta, None).unwrap();
-        assert!(report.converged);
-        assert!(
-            report.mrbg_turned_off_at.is_none(),
-            "1 change of 40: P∆ small"
+        let (full_rep, delta_rep) = run_both(graph, &delta, incr_params(), "edge");
+        assert!(full_rep.converged && delta_rep.converged);
+        assert_eq!(
+            full_rep
+                .iterations
+                .iter()
+                .map(|i| i.changed_keys)
+                .collect::<Vec<_>>(),
+            delta_rep
+                .iterations
+                .iter()
+                .map(|i| i.changed_keys)
+                .collect::<Vec<_>>(),
+            "propagation series diverged"
         );
-
-        let mut updated = graph;
-        updated[7].1 = new;
-        let want = oracle(updated, &pool);
-        assert_states_close(&data.state_snapshot(), &want, 2e-5);
     }
 
     #[test]
-    fn incremental_matches_recompute_after_vertex_insert_and_delete() {
-        let pool = WorkerPool::new(N);
+    fn matches_incremental_engine_bitwise_on_vertex_churn() {
         let graph = ring_with_chords(30);
-        let st = stores(&pool, "vtx");
-        let mut data = converge_initial(graph.clone(), &st, &pool);
-
         let mut delta: Delta<u64, Vec<u64>> = Delta::new();
-        // New vertex 100 pointing at 3 (and nothing pointing at it).
         delta.insert(100, vec![3]);
-        // Delete vertex 11 (its record; in-edges from 10 remain via ring —
-        // contributions to a deleted vertex are dropped).
         delta.delete(11, graph[11].1.clone());
 
-        let engine = IncrIterEngine::new(
-            &MiniRank,
-            JobConfig::symmetric(N),
-            IncrParams {
-                max_iterations: 400,
-                ..Default::default()
-            },
-            IterParams::default(),
-        )
-        .unwrap();
-        let report = engine.run(&pool, &mut data, &st, &delta, None).unwrap();
-        assert!(report.converged);
-
-        let mut updated = graph;
-        updated.retain(|(k, _)| *k != 11);
-        updated.push((100, vec![3]));
-        let want = oracle(updated, &pool);
-        assert_states_close(&data.state_snapshot(), &want, 2e-5);
-
-        // Vertex 100 (no in-edges) must have settled at 0.15, not init 1.0.
-        let v100 = data.state_get(N, &100).copied().unwrap();
-        assert!((v100 - 0.15).abs() < 1e-9, "got {v100}");
+        let (full_rep, delta_rep) = run_both(graph, &delta, incr_params(), "vtx");
+        assert!(full_rep.converged && delta_rep.converged);
     }
 
     #[test]
-    fn cpc_threshold_reduces_propagation_but_bounds_error() {
-        let pool = WorkerPool::new(N);
+    fn matches_incremental_engine_with_cpc_threshold() {
         let graph = ring_with_chords(60);
-        let st_exact = stores(&pool, "cpc-exact");
-        let mut data_exact = converge_initial(graph.clone(), &st_exact, &pool);
-        let st_cpc = stores(&pool, "cpc-filt");
-        let mut data_cpc = converge_initial(graph.clone(), &st_cpc, &pool);
-
         let mut delta: Delta<u64, Vec<u64>> = Delta::new();
         let old = graph[0].1.clone();
-        delta.update(0, old.clone(), vec![30]);
+        delta.update(0, old, vec![30]);
 
-        let exact_engine = IncrIterEngine::new(
-            &MiniRank,
-            JobConfig::symmetric(N),
-            IncrParams {
-                filter_threshold: None,
-                max_iterations: 200,
-                ..Default::default()
-            },
-            IterParams::default(),
-        )
-        .unwrap();
-        let exact_rep = exact_engine
-            .run(&pool, &mut data_exact, &st_exact, &delta, None)
-            .unwrap();
-
-        let cpc_engine = IncrIterEngine::new(
-            &MiniRank,
-            JobConfig::symmetric(N),
-            IncrParams {
-                filter_threshold: Some(0.001),
-                max_iterations: 200,
-                ..Default::default()
-            },
-            IterParams::default(),
-        )
-        .unwrap();
-        let cpc_rep = cpc_engine
-            .run(&pool, &mut data_cpc, &st_cpc, &delta, None)
-            .unwrap();
-
-        let exact_prop: u64 = exact_rep.iterations.iter().map(|i| i.changed_keys).sum();
-        let cpc_prop: u64 = cpc_rep.iterations.iter().map(|i| i.changed_keys).sum();
+        let params = IncrParams {
+            filter_threshold: Some(0.001),
+            max_iterations: 200,
+            ..Default::default()
+        };
+        let (_, delta_rep) = run_both(graph, &delta, params, "cpc");
+        // CPC verdicts below threshold are the pruned workset entries.
+        let total = delta_rep.total_metrics();
         assert!(
-            cpc_prop < exact_prop,
-            "CPC must propagate fewer kv-pairs ({cpc_prop} vs {exact_prop})"
+            total.workset_skipped > 0,
+            "threshold 0.001 must prune something"
         );
-
-        // Error vs the exact refresh stays small (threshold-bounded).
-        let exact = data_exact.state_snapshot();
-        let approx = data_cpc.state_snapshot();
-        let mean_err: f64 = exact
-            .iter()
-            .zip(&approx)
-            .map(|((_, a), (_, b))| ((a - b) / a).abs())
-            .sum::<f64>()
-            / exact.len() as f64;
-        assert!(mean_err < 0.01, "mean error {mean_err}");
     }
 
     #[test]
-    fn pdelta_monitor_turns_off_mrbg_on_big_deltas() {
-        let pool = WorkerPool::new(N);
+    fn matches_incremental_engine_through_pdelta_fallback() {
         let graph = ring_with_chords(20);
-        let st = stores(&pool, "pdelta");
-        let mut data = converge_initial(graph.clone(), &st, &pool);
-
-        // Rewire more than half of all vertices: P∆ blows past 50 %.
         let mut delta: Delta<u64, Vec<u64>> = Delta::new();
-        let mut updated = graph.clone();
         for i in 0..14u64 {
             let old = graph[i as usize].1.clone();
-            let new = vec![(i + 9) % 20];
-            delta.update(i, old, new.clone());
-            updated[i as usize].1 = new;
+            delta.update(i, old, vec![(i + 9) % 20]);
         }
 
-        let engine = IncrIterEngine::new(
-            &MiniRank,
-            JobConfig::symmetric(N),
-            IncrParams {
-                max_iterations: 300,
-                ..Default::default()
-            },
-            IterParams {
-                epsilon: 1e-12,
-                ..Default::default()
-            },
-        )
-        .unwrap();
-        let report = engine.run(&pool, &mut data, &st, &delta, None).unwrap();
-        assert!(report.mrbg_turned_off_at.is_some(), "P∆ must trigger");
-        assert!(report.converged);
-
-        let want = oracle(updated, &pool);
-        assert_states_close(&data.state_snapshot(), &want, 2e-5);
+        let params = IncrParams {
+            max_iterations: 300,
+            ..Default::default()
+        };
+        let (full_rep, delta_rep) = run_both(graph, &delta, params, "pdelta");
+        assert_eq!(
+            full_rep.mrbg_turned_off_at, delta_rep.mrbg_turned_off_at,
+            "P∆ must trigger identically"
+        );
+        assert!(delta_rep.mrbg_turned_off_at.is_some());
     }
 
     #[test]
-    fn mrbg_disabled_up_front_falls_back_to_iterative() {
+    fn empty_workset_is_the_fixed_point() {
+        let pool = WorkerPool::new(N);
+        let graph = ring_with_chords(15);
+        let st = stores(&pool, "empty");
+        let mut data = converge_initial(graph, &st, &pool);
+        let before = data.state_snapshot();
+
+        let engine = DeltaIterEngine::new(
+            &MiniRank,
+            JobConfig::symmetric(N),
+            IncrParams::default(),
+            IterParams::default(),
+        )
+        .unwrap();
+        let delta: Delta<u64, Vec<u64>> = Delta::new();
+        let report = engine.run(&pool, &mut data, &st, &delta, None).unwrap();
+        assert!(report.converged);
+        assert_eq!(report.iterations.len(), 1, "one probing iteration");
+        assert_eq!(report.worksets, vec![0]);
+        let total = report.total_metrics();
+        assert_eq!(total.workset_keys, 0);
+        assert_eq!(total.delta_iterations, 1);
+        assert_eq!(data.state_snapshot(), before);
+    }
+
+    #[test]
+    fn workset_metrics_track_keys_processed() {
+        let graph = ring_with_chords(90);
+        let mut delta: Delta<u64, Vec<u64>> = Delta::new();
+        let old = graph[7].1.clone();
+        let mut new = old.clone();
+        new.push(40);
+        delta.update(7, old, new);
+
+        let (_, delta_rep) = run_both(graph, &delta, incr_params(), "metrics");
+        let total = delta_rep.total_metrics();
+        assert_eq!(total.delta_iterations, delta_rep.iterations.len() as u64);
+        assert_eq!(
+            delta_rep.worksets.iter().sum::<u64>(),
+            total.workset_keys,
+            "workset series and counter must agree"
+        );
+        // Low churn: the workset — not the state width — drives reduce
+        // work. Each workset key touches a handful of dependents (ring +
+        // chord out-degree ≤ 2), so keys processed stays within a small
+        // factor of the summed workset, far below full-width re-reduction.
+        assert!(
+            total.reduce_invocations <= 4 * total.workset_keys.max(1),
+            "reduce invocations {} not workset-bound (workset {})",
+            total.reduce_invocations,
+            total.workset_keys
+        );
+        // Exact propagation keeps a decaying wavefront circulating, so
+        // the per-iteration workset is the wavefront (~a third of this
+        // small ring), not the state width.
+        let full_width = 90 * delta_rep.iterations.len() as u64;
+        assert!(
+            total.reduce_invocations < full_width / 2,
+            "reduce invocations {} ~ full width {}",
+            total.reduce_invocations,
+            full_width
+        );
+    }
+
+    #[test]
+    fn mrbg_disabled_up_front_falls_back() {
         let pool = WorkerPool::new(N);
         let graph = ring_with_chords(20);
         let st = stores(&pool, "nomrbg");
@@ -969,7 +911,7 @@ mod tests {
         let old = graph[4].1.clone();
         delta.update(4, old, vec![9]);
 
-        let engine = IncrIterEngine::new(
+        let engine = DeltaIterEngine::new(
             &MiniRank,
             JobConfig::symmetric(N),
             IncrParams {
@@ -986,73 +928,6 @@ mod tests {
         let report = engine.run(&pool, &mut data, &st, &delta, None).unwrap();
         assert_eq!(report.mrbg_turned_off_at, Some(0));
         assert!(report.converged);
-
-        let mut updated = graph;
-        updated[4].1 = vec![9];
-        let want = oracle(updated, &pool);
-        assert_states_close(&data.state_snapshot(), &want, 2e-5);
-    }
-
-    #[test]
-    fn empty_delta_converges_immediately() {
-        let pool = WorkerPool::new(N);
-        let graph = ring_with_chords(15);
-        let st = stores(&pool, "empty");
-        let mut data = converge_initial(graph, &st, &pool);
-        let before = data.state_snapshot();
-
-        let engine = IncrIterEngine::new(
-            &MiniRank,
-            JobConfig::symmetric(N),
-            IncrParams::default(),
-            IterParams::default(),
-        )
-        .unwrap();
-        let delta: Delta<u64, Vec<u64>> = Delta::new();
-        let report = engine.run(&pool, &mut data, &st, &delta, None).unwrap();
-        assert!(report.converged);
-        assert_eq!(report.iterations.len(), 1);
-        assert_eq!(report.iterations[0].changed_keys, 0);
-        assert_eq!(data.state_snapshot(), before);
-    }
-
-    #[test]
-    fn checkpoints_written_and_restorable() {
-        let pool = WorkerPool::new(N);
-        let graph = ring_with_chords(24);
-        let st = stores(&pool, "ckpt");
-        let mut data = converge_initial(graph.clone(), &st, &pool);
-
-        let dfs_dir = std::env::temp_dir().join(format!(
-            "i2mr-incr-ckpt-dfs-{}-{:?}",
-            std::process::id(),
-            std::thread::current().id()
-        ));
-        let _ = std::fs::remove_dir_all(&dfs_dir);
-        let dfs = i2mr_dfs::MiniDfs::open_with(&dfs_dir, 1 << 20, 2).unwrap();
-        let ck = IterCheckpointer::new(&dfs, "minirank", N);
-
-        let mut delta: Delta<u64, Vec<u64>> = Delta::new();
-        let old = graph[2].1.clone();
-        delta.update(2, old, vec![13]);
-
-        let engine = IncrIterEngine::new(
-            &MiniRank,
-            JobConfig::symmetric(N),
-            IncrParams {
-                max_iterations: 400,
-                ..Default::default()
-            },
-            IterParams::default(),
-        )
-        .unwrap();
-        let report = engine
-            .run(&pool, &mut data, &st, &delta, Some(&ck))
-            .unwrap();
-        assert!(report.converged);
-
-        let latest = ck.latest_complete(true).expect("checkpoints exist");
-        let restored: Vec<Vec<(u64, f64)>> = ck.load_state(latest).unwrap();
-        assert_eq!(restored, data.state);
+        assert!(report.worksets.is_empty(), "no delta iterations ran");
     }
 }

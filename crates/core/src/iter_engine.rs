@@ -291,11 +291,20 @@ impl<'s, S: IterativeSpec> PartitionedIterEngine<'s, S> {
         if let Some(stores) = stores {
             // Compactions scheduled by the final iterations may still be
             // overlapping; settle them and fold the trailing store-plane
-            // counters into the last iteration's metrics.
+            // counters into the last iteration's metrics. With no recorded
+            // iteration, settle into a fresh slot rather than bare-fencing
+            // — a bare fence would drop the retired compactions' counters.
             if let Some(last) = report.per_iteration.last_mut() {
                 stores.settle_into(last)?;
             } else {
-                stores.fence_compactions()?;
+                let mut trailing = JobMetrics::default();
+                stores.settle_into(&mut trailing)?;
+                if trailing.store_compactions > 0
+                    || trailing.store_bytes_reclaimed > 0
+                    || trailing.store_io != i2mr_common::metrics::IoStats::default()
+                {
+                    report.per_iteration.push(trailing);
+                }
             }
         }
         Ok(report)

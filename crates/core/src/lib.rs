@@ -16,6 +16,12 @@
 //!   reuse, delta-structure/delta-state iterations, change propagation
 //!   control, and the P∆ monitor that auto-disables MRBGraph maintenance
 //!   (paper §5).
+//! * [`delta_iter`] — the workset-driven delta-iteration engine: maps,
+//!   shuffles, and reduces **only changed keys** against the solution set
+//!   preserved in the store plane, generalizing change propagation from a
+//!   post-hoc filter into scheduling. Bit-identical results to
+//!   [`incr_iter`], a fraction of the scheduling and index-persistence
+//!   work on low-churn refreshes.
 //! * [`cpc`] — the change propagation filter (paper §5.3).
 //! * [`checkpoint`] — per-iteration state/MRBGraph checkpoints (paper §6.1).
 //! * [`delta`] — the `+`/`−` delta input representation (paper §3.3).
@@ -67,6 +73,7 @@ pub mod accumulator;
 pub mod checkpoint;
 pub mod cpc;
 pub mod delta;
+pub mod delta_iter;
 pub mod incr_iter;
 pub mod iter_engine;
 pub mod iterative;
@@ -78,6 +85,7 @@ pub use accumulator::{Accumulator, AccumulatorEngine};
 pub use checkpoint::IterCheckpointer;
 pub use cpc::{ChangePropagation, Verdict};
 pub use delta::{Delta, DeltaRecord, Op};
+pub use delta_iter::{DeltaIterEngine, DeltaIterativeSpec, DeltaRunReport, UpdateContract};
 pub use incr_iter::{IncrIterEngine, IncrParams, IncrRunReport};
 pub use iter_engine::{
     build_partitioned, build_small_state, PartitionedData, PartitionedIterEngine, RunReport,

@@ -259,6 +259,52 @@ where
     pool.run_tasks(tasks).map(|_| ())
 }
 
+/// [`sort_runs`] scheduling Sort tasks **only for non-empty runs**.
+///
+/// The workset-driven delta-iteration engine routinely leaves most
+/// partitions' runs empty (only changed keys shuffle), and an empty run
+/// needs no task — sorting it is a no-op that would still pay scheduling
+/// and timeline-recording overhead per partition per iteration. Task ids
+/// keep the run's partition index so timelines stay comparable with
+/// [`sort_runs`].
+pub fn sort_runs_nonempty<K2, V2>(
+    pool: &WorkerPool,
+    runs: &mut [Vec<ShuffleRecord<K2, V2>>],
+    iteration: u64,
+) -> Result<()>
+where
+    K2: Ord + Send,
+    V2: Send,
+{
+    let cells: Vec<(usize, Mutex<&mut Vec<ShuffleRecord<K2, V2>>>)> = runs
+        .iter_mut()
+        .enumerate()
+        .filter(|(_, run)| !run.is_empty())
+        .map(|(i, run)| (i, Mutex::new(run)))
+        .collect();
+    if cells.is_empty() {
+        return Ok(());
+    }
+    let tasks: Vec<TaskSpec<'_, ()>> = cells
+        .iter()
+        .map(|(i, cell)| {
+            TaskSpec::new(
+                TaskId {
+                    kind: TaskKind::Sort,
+                    index: *i,
+                    iteration,
+                },
+                move |_| {
+                    // Idempotent under retry: re-sorting sorted data is a no-op.
+                    sort_run(cell.lock().as_mut_slice());
+                    Ok(())
+                },
+            )
+        })
+        .collect();
+    pool.run_tasks(tasks).map(|_| ())
+}
+
 /// Iterate groups of equal K2 over a run sorted by [`sort_run`].
 ///
 /// Each group is a contiguous `(K2, MK)`-sorted slice; within a group the

@@ -71,26 +71,36 @@ impl MergeOutcome {
 ///
 /// Returns the up-to-date chunk, or `Removed` if no edges remain.
 pub fn apply_delta(stored: Option<Chunk>, delta: &DeltaChunk) -> MergeOutcome {
-    let mut chunk = stored.unwrap_or_else(|| Chunk::new(delta.key.clone(), Vec::new()));
-    debug_assert_eq!(chunk.key, delta.key, "delta applied to wrong chunk");
+    apply_delta_owned(stored, delta.clone()).1
+}
+
+/// [`apply_delta`] consuming the delta: inserted edge payloads are *moved*
+/// into the merged chunk instead of cloned, and the delta's key is handed
+/// back for the `(key, outcome)` pair the merge pass returns. This is the
+/// ingest hot path — one payload clone per inserted edge per merge adds up.
+pub fn apply_delta_owned(stored: Option<Chunk>, delta: DeltaChunk) -> (Vec<u8>, MergeOutcome) {
+    let DeltaChunk { key, entries } = delta;
+    let mut chunk = stored.unwrap_or_else(|| Chunk::new(key.clone(), Vec::new()));
+    debug_assert_eq!(chunk.key, key, "delta applied to wrong chunk");
 
     // Deletions first (see module docs).
-    for e in &delta.entries {
+    for e in &entries {
         if let DeltaEntry::Delete(mk) = e {
             chunk.remove(*mk);
         }
     }
-    for e in &delta.entries {
+    for e in entries {
         if let DeltaEntry::Insert(mk, v) = e {
-            chunk.upsert(*mk, v.clone());
+            chunk.upsert(mk, v);
         }
     }
 
-    if chunk.is_empty() {
+    let outcome = if chunk.is_empty() {
         MergeOutcome::Removed
     } else {
         MergeOutcome::Updated(chunk)
-    }
+    };
+    (key, outcome)
 }
 
 #[cfg(test)]

@@ -115,6 +115,10 @@ struct Shard {
     /// True while a background compaction for this shard is in flight —
     /// keeps the policy from piling up duplicate reconstructions.
     compacting: AtomicBool,
+    /// True when a deferred point merge updated the in-memory index
+    /// without rewriting the index file; cleared by
+    /// [`StoreManager::flush_indexes`].
+    index_dirty: AtomicBool,
 }
 
 impl Shard {
@@ -124,6 +128,7 @@ impl Shard {
             store: RwLock::new(store),
             reader: Mutex::new(reader),
             compacting: AtomicBool::new(false),
+            index_dirty: AtomicBool::new(false),
         }))
     }
 }
@@ -353,6 +358,83 @@ impl StoreManager {
         self.pool.run_tasks(tasks)
     }
 
+    /// Workset-scoped point merges: merge delta MRBGraphs into exactly the
+    /// `touched` shards, one [`TaskKind::StoreMerge`] task per *touched*
+    /// partition (inline loop on the serial plane) — untouched shards get
+    /// no task, no lock traffic, and no index rewrite. Index persistence
+    /// is deferred ([`MrbgStore::merge_apply_deferred`]): merged shards
+    /// are flagged dirty and their index files rewritten once, at
+    /// [`StoreManager::flush_indexes`] / [`StoreManager::settle_into`],
+    /// instead of per iteration. Overlapped background compactions are
+    /// fenced first, exactly like [`StoreManager::merge_apply_all`].
+    ///
+    /// Returns one `(key, outcome)` list per shard (empty for untouched
+    /// partitions), indexed by partition like `merge_apply_all`'s.
+    pub fn merge_apply_touched<F>(
+        &self,
+        iteration: u64,
+        touched: &[usize],
+        deltas_of: F,
+    ) -> Result<Vec<Vec<(Vec<u8>, MergeOutcome)>>>
+    where
+        F: Fn(usize) -> Result<Vec<DeltaChunk>> + Sync,
+    {
+        self.fence_compactions()?;
+        fn merge_one(
+            shard: &Shard,
+            deltas: Vec<DeltaChunk>,
+        ) -> Result<Vec<(Vec<u8>, MergeOutcome)>> {
+            if deltas.is_empty() {
+                return Ok(Vec::new());
+            }
+            let out = shard.store.write().merge_apply_deferred(deltas)?;
+            shard.index_dirty.store(true, Ordering::Release);
+            Ok(out)
+        }
+        let mut out: Vec<Vec<(Vec<u8>, MergeOutcome)>> =
+            (0..self.shards.len()).map(|_| Vec::new()).collect();
+        if !self.config.parallel {
+            for &p in touched {
+                out[p] = merge_one(&self.shards[p], deltas_of(p)?)?;
+            }
+            return Ok(out);
+        }
+        let deltas_of = &deltas_of;
+        let tasks: Vec<TaskSpec<'_, (usize, Vec<(Vec<u8>, MergeOutcome)>)>> = touched
+            .iter()
+            .map(|&p| {
+                let shard = &self.shards[p];
+                TaskSpec::pinned(
+                    TaskId {
+                        kind: TaskKind::StoreMerge,
+                        index: p,
+                        iteration,
+                    },
+                    p % self.pool.n_workers(),
+                    move |_| Ok((p, merge_one(shard, deltas_of(p)?)?)),
+                )
+            })
+            .collect();
+        for (p, merged) in self.pool.run_tasks(tasks)? {
+            out[p] = merged;
+        }
+        Ok(out)
+    }
+
+    /// Rewrite the index file of every shard a deferred point merge left
+    /// dirty (once per shard, not once per iteration). Engines running
+    /// point merges call this before returning; it is also folded into
+    /// [`StoreManager::settle_into`] so no settle path can leave a stale
+    /// index file behind.
+    pub fn flush_indexes(&self) -> Result<()> {
+        for shard in &self.shards {
+            if shard.index_dirty.swap(false, Ordering::AcqRel) {
+                shard.store.write().persist_index()?;
+            }
+        }
+        Ok(())
+    }
+
     /// Append one batch of chunks per shard (initial preservation), one
     /// [`TaskKind::StoreMerge`] task per partition. Each batch is consumed
     /// by its first executed attempt; a retry after a mid-append I/O
@@ -508,6 +590,7 @@ impl StoreManager {
     /// engine.
     pub fn settle_into(&self, metrics: &mut JobMetrics) -> Result<()> {
         self.fence_compactions()?;
+        self.flush_indexes()?;
         self.drain_metrics(metrics);
         Ok(())
     }
@@ -711,6 +794,67 @@ mod tests {
         for p in 0..N {
             assert_eq!(par.export(p).unwrap(), ser.export(p).unwrap());
         }
+    }
+
+    #[test]
+    fn touched_merge_matches_full_merge_byte_for_byte() {
+        // The workset path (touched shards only, deferred index persist)
+        // must leave every shard byte-identical to the full-fanout eager
+        // path, on both planes.
+        let pool = WorkerPool::new(2);
+        let full =
+            StoreManager::create(&pool, scratch("full"), N, StoreRuntimeConfig::default()).unwrap();
+        let par = StoreManager::create(
+            &pool,
+            scratch("touch-par"),
+            N,
+            StoreRuntimeConfig::default(),
+        )
+        .unwrap();
+        let ser =
+            StoreManager::create(&pool, scratch("touch-ser"), N, StoreRuntimeConfig::serial())
+                .unwrap();
+        seed(&full);
+        seed(&par);
+        seed(&ser);
+        for round in 1..=3u64 {
+            let target = (round as usize) % N;
+            let full_out = full.merge_apply_all(round, churn(target, round)).unwrap();
+            let par_out = par
+                .merge_apply_touched(round, &[target], churn(target, round))
+                .unwrap();
+            let ser_out = ser
+                .merge_apply_touched(round, &[target], churn(target, round))
+                .unwrap();
+            assert_eq!(full_out, par_out);
+            assert_eq!(full_out, ser_out);
+        }
+        let mut m = JobMetrics::default();
+        par.settle_into(&mut m).unwrap();
+        ser.settle_into(&mut m).unwrap();
+        for p in 0..N {
+            assert_eq!(full.export(p).unwrap(), par.export(p).unwrap());
+            assert_eq!(full.export(p).unwrap(), ser.export(p).unwrap());
+        }
+    }
+
+    #[test]
+    fn settle_flushes_deferred_indexes_for_reopen() {
+        let pool = WorkerPool::new(2);
+        let dir = scratch("flush");
+        {
+            let mgr = StoreManager::create(&pool, &dir, N, StoreRuntimeConfig::default()).unwrap();
+            seed(&mgr);
+            mgr.merge_apply_touched(1, &[0], churn(0, 1)).unwrap();
+            let mut m = JobMetrics::default();
+            mgr.settle_into(&mut m).unwrap();
+        }
+        // Reopen reads the flushed index file: the merge is durable.
+        let mgr = StoreManager::open(&pool, &dir, N, StoreRuntimeConfig::default()).unwrap();
+        assert_eq!(
+            mgr.get(0, b"k0-3").unwrap().unwrap().entries[0].value,
+            b"v1"
+        );
     }
 
     #[test]

@@ -21,7 +21,7 @@ use crate::append::{AppendBuffer, DEFAULT_APPEND_CAPACITY};
 use crate::compact::CompactionStats;
 use crate::format::Chunk;
 use crate::index::{BatchInfo, ChunkIndex, ChunkLoc};
-use crate::merge::{apply_delta, DeltaChunk, MergeOutcome};
+use crate::merge::{apply_delta_owned, DeltaChunk, MergeOutcome};
 use crate::query::{QueryPass, QueryStrategy};
 use i2mr_common::error::{Error, Result};
 use i2mr_common::metrics::IoStats;
@@ -288,17 +288,39 @@ impl MrbgStore {
     /// configured strategy, apply deletions then insertions, and append the
     /// up-to-date chunk to a new batch. Returns `(key, outcome)` pairs in
     /// canonical key order — the outcomes carry the merged Reduce inputs.
-    pub fn merge_apply(
+    pub fn merge_apply(&mut self, deltas: Vec<DeltaChunk>) -> Result<Vec<(Vec<u8>, MergeOutcome)>> {
+        self.merge_apply_inner(deltas, true)
+    }
+
+    /// [`MrbgStore::merge_apply`] with index persistence deferred.
+    ///
+    /// The in-memory index is fully updated but the index *file* is not
+    /// rewritten — correct for every read path (`get`, `get_with`,
+    /// `chunks_iter`, `export` all consult only the in-memory index); only
+    /// a reopen would observe the stale file. Point-merge-heavy engines
+    /// (delta iteration) call this per iteration and flush once at settle
+    /// via [`MrbgStore::persist_index`], turning an O(all keys) index
+    /// rewrite per touched shard per iteration into one per run.
+    pub fn merge_apply_deferred(
+        &mut self,
+        deltas: Vec<DeltaChunk>,
+    ) -> Result<Vec<(Vec<u8>, MergeOutcome)>> {
+        self.merge_apply_inner(deltas, false)
+    }
+
+    fn merge_apply_inner(
         &mut self,
         mut deltas: Vec<DeltaChunk>,
+        persist: bool,
     ) -> Result<Vec<(Vec<u8>, MergeOutcome)>> {
         deltas.sort_by(|a, b| a.key.cmp(&b.key));
 
         // Phase 1: planned query pass + in-memory application. The pass
-        // needs its own copy of the key plan; the outcome list reuses the
-        // delta keys themselves (moved, not cloned again).
+        // needs its own copy of the key plan; the deltas themselves are
+        // consumed, so inserted payloads move into the merged chunks and
+        // each delta's key becomes its outcome's key (no payload clones).
         let keys: Vec<Vec<u8>> = deltas.iter().map(|d| d.key.clone()).collect();
-        let mut applied: Vec<MergeOutcome> = Vec::with_capacity(deltas.len());
+        let mut outcomes: Vec<(Vec<u8>, MergeOutcome)> = Vec::with_capacity(deltas.len());
         {
             let mut pass = QueryPass::new(
                 &mut self.file,
@@ -309,13 +331,11 @@ impl MrbgStore {
                 self.config.cache_capacity,
                 keys,
             );
-            for d in &deltas {
+            for d in deltas {
                 let stored = pass.get(&d.key)?;
-                applied.push(apply_delta(stored, d));
+                outcomes.push(apply_delta_owned(stored, d));
             }
         }
-        let outcomes: Vec<(Vec<u8>, MergeOutcome)> =
-            deltas.into_iter().map(|d| d.key).zip(applied).collect();
 
         // Phase 2: append updated chunks as one new batch; update index.
         let batch_id = self.index.batches().len() as u32;
@@ -356,7 +376,9 @@ impl MrbgStore {
                 }
             }
         }
-        self.persist_index()?;
+        if persist {
+            self.persist_index()?;
+        }
         Ok(outcomes)
     }
 
@@ -785,6 +807,39 @@ mod tests {
         let mut s = MrbgStore::create(tmpdir("dupkeys"), StoreConfig::default()).unwrap();
         s.append_batch(vec![chunk("k", &[(1, "a")]), chunk("k", &[(2, "b")])])
             .unwrap();
+    }
+
+    #[test]
+    fn deferred_merge_defers_only_the_index_file() {
+        let dir = tmpdir("deferred");
+        let mut s = MrbgStore::create(&dir, StoreConfig::default()).unwrap();
+        s.append_batch(vec![chunk("a", &[(1, "v0")])]).unwrap();
+        s.merge_apply_deferred(vec![DeltaChunk {
+            key: b"a".to_vec(),
+            entries: vec![
+                DeltaEntry::Delete(MapKey(1)),
+                DeltaEntry::Insert(MapKey(1), b"v1".to_vec()),
+            ],
+        }])
+        .unwrap();
+        // Every in-memory read path sees the merge immediately.
+        assert_eq!(s.get(b"a").unwrap().unwrap().entries[0].value, b"v1");
+        let mut r = s.reader().unwrap();
+        assert_eq!(
+            s.get_with(&mut r, b"a").unwrap().unwrap().entries[0].value,
+            b"v1"
+        );
+        // But the index *file* still describes the pre-merge store: a
+        // reopen at this point reads the stale location.
+        let mut stale = MrbgStore::open(&dir, StoreConfig::default()).unwrap();
+        assert_eq!(stale.get(b"a").unwrap().unwrap().entries[0].value, b"v0");
+        // Flushing the index makes the merge durable for reopen.
+        s.persist_index().unwrap();
+        let mut fresh = MrbgStore::open(&dir, StoreConfig::default()).unwrap();
+        assert_eq!(fresh.get(b"a").unwrap().unwrap().entries[0].value, b"v1");
+        // And the deferred path produced the same live content the eager
+        // path would have.
+        assert_eq!(s.export().unwrap(), fresh.export().unwrap());
     }
 
     #[test]

@@ -9,6 +9,7 @@
 #   baseline -> zerocopy  (micro_shuffle: the zero-copy data plane win)
 #   serial   -> sharded   (micro_store:  the sharded store plane win)
 #   spawn    -> persistent (micro_pool:  the persistent-executor overlap win)
+#   full     -> delta     (micro_delta: the workset-driven delta-iteration win)
 #
 # For every benchmark group the geometric-mean speedup of the fresh run
 # must stay within TOLERANCE (default 25%) of the committed snapshot's —
@@ -23,7 +24,12 @@
 # carries an ABSOLUTE floor — the persistent executor's cross-iteration
 # overlap must stay >= 1.3x over spawn-per-call, the acceptance bar the
 # executor refactor shipped with — enforced on the fresh run regardless
-# of what the committed snapshot recorded.
+# of what the committed snapshot recorded. micro_delta's refresh ratio is
+# size-SENSITIVE (quick mode leaves less full-pass work for the workset
+# engine to skip), so like micro_store it gates at full size
+# (I2MR_BENCH_QUICK=0); its headline churn1pct group carries the delta
+# engine's shipping bar as an absolute floor: delta iteration >= 3x over
+# full-pass incremental at 1% churn.
 #
 # Usage:
 #   scripts/bench_check.sh [micro_shuffle] [micro_store] ...
@@ -37,13 +43,14 @@ out_for() {
     micro_shuffle) echo "BENCH_shuffle.json" ;;
     micro_store) echo "BENCH_store.json" ;;
     micro_pool) echo "BENCH_pool.json" ;;
+    micro_delta) echo "BENCH_delta.json" ;;
     *) echo "BENCH_$1.json" ;;
   esac
 }
 
 targets=("$@")
 if [ ${#targets[@]} -eq 0 ]; then
-  targets=(micro_shuffle micro_store micro_pool)
+  targets=(micro_shuffle micro_store micro_pool micro_delta)
 fi
 
 tol="${BENCH_TOLERANCE:-0.25}"
@@ -63,10 +70,10 @@ for target in "${targets[@]}"; do
 import json, math, sys
 
 committed_path, fresh_path, tol = sys.argv[1], sys.argv[2], float(sys.argv[3])
-PAIRS = [("baseline", "zerocopy"), ("serial", "sharded"), ("spawn", "persistent")]
+PAIRS = [("baseline", "zerocopy"), ("serial", "sharded"), ("spawn", "persistent"), ("full", "delta")]
 # Absolute speedup floors (group -> min geomean on the FRESH run), on top
 # of the relative-to-committed tolerance check.
-FLOORS = {"micro_pool/iteration": 1.3}
+FLOORS = {"micro_pool/iteration": 1.3, "micro_delta/churn1pct": 3.0}
 
 def speedups(path):
     """group -> list of (param, speedup base_median/new_median)."""

@@ -22,13 +22,14 @@ out_for() {
     micro_shuffle) echo "BENCH_shuffle.json" ;;
     micro_store) echo "BENCH_store.json" ;;
     micro_pool) echo "BENCH_pool.json" ;;
+    micro_delta) echo "BENCH_delta.json" ;;
     *) echo "BENCH_$1.json" ;;
   esac
 }
 
 targets=("$@")
 if [ ${#targets[@]} -eq 0 ]; then
-  targets=(micro_shuffle micro_store micro_pool)
+  targets=(micro_shuffle micro_store micro_pool micro_delta)
 fi
 
 for target in "${targets[@]}"; do
@@ -37,5 +38,5 @@ for target in "${targets[@]}"; do
   echo
   echo "== snapshot: $out =="
   # Print the headline comparisons (no jq dependency: plain grep).
-  grep -oE '"id": "[^"]*/(zerocopy|baseline|serial|sharded|spawn|persistent)/[^}]*' "$out" || true
+  grep -oE '"id": "[^"]*/(zerocopy|baseline|serial|sharded|spawn|persistent|full|delta)/[^}]*' "$out" || true
 done

@@ -14,7 +14,9 @@
 //! * supporting general-purpose **iterative** computation with
 //!   structure/state separation and the Project API (`core::iterative`),
 //! * refreshing iterative results from the previous converged state with
-//!   **change propagation control** (`core::incr_iter`).
+//!   **change propagation control** (`core::incr_iter`),
+//! * scheduling **only changed keys** through the data plane with the
+//!   workset-driven delta-iteration engine (`core::delta_iter`).
 //!
 //! This facade crate re-exports the whole workspace:
 //!
@@ -44,8 +46,9 @@ pub use i2mr_store as store;
 /// Convenience prelude for applications.
 pub mod prelude {
     pub use i2mr_core::{
-        Accumulator, AccumulatorEngine, Delta, IncrIterEngine, IncrParams, IterParams,
-        IterativeSpec, OneStepEngine, PartitionedIterEngine, PreserveMode, SmallStateSpec,
+        Accumulator, AccumulatorEngine, Delta, DeltaIterEngine, DeltaIterativeSpec, IncrIterEngine,
+        IncrParams, IterParams, IterativeSpec, OneStepEngine, PartitionedIterEngine, PreserveMode,
+        SmallStateSpec, UpdateContract,
     };
     pub use i2mr_mapred::{
         Emitter, HashPartitioner, JobConfig, Mapper, Reducer, Values, WorkerPool,

@@ -1,0 +1,230 @@
+//! Delta-iteration engine equivalence: the workset-driven engine must be
+//! **byte-identical** to the incremental engine (`incr_iter`) — same f64
+//! state bits, same per-shard MRBG-Store export bytes — on seeded
+//! refreshes across churn levels, for both a retractable spec (PageRank)
+//! and a monotonic one (SSSP). The engines share every arithmetic step;
+//! only the scheduling differs, and these tests prove the scheduling is
+//! invisible in the results.
+//!
+//! Also pins the workset accounting contract: on low-churn refreshes the
+//! keys actually processed track the workset size, not the state width.
+
+use i2mapreduce::algos::{pagerank, sssp};
+use i2mapreduce::core::incr_iter::IncrParams;
+use i2mapreduce::core::iterative::PreserveMode;
+use i2mapreduce::datagen::delta::{graph_delta, weighted_graph_delta, DeltaSpec};
+use i2mapreduce::datagen::graph::GraphGen;
+use i2mapreduce::prelude::*;
+
+fn scratch(tag: &str) -> std::path::PathBuf {
+    let d = std::env::temp_dir().join(format!("i2mr-ditest-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&d);
+    d
+}
+
+const N: usize = 3;
+const CHURNS: [(f64, &str); 3] = [(0.001, "0.1pct"), (0.01, "1pct"), (0.1, "10pct")];
+
+/// Run one PageRank refresh through both engines on independently
+/// converged stores; assert bitwise state and byte-identical exports.
+/// Returns the delta run's total metrics.
+fn pagerank_churn(
+    churn: f64,
+    tag: &str,
+    params: IncrParams,
+) -> i2mapreduce::common::metrics::JobMetrics {
+    let cfg = JobConfig::symmetric(N);
+    let pool = WorkerPool::new(N);
+    let spec = pagerank::PageRank::default();
+    let graph = GraphGen::new(1000, 6000, 0xD17A).generate();
+
+    let init = |suffix: &str| {
+        pagerank::i2mr_initial(
+            &pool,
+            &cfg,
+            &graph,
+            &spec,
+            &scratch(&format!("pr-{tag}-{suffix}")),
+            Default::default(),
+            300,
+            1e-11,
+            PreserveMode::FinalOnly,
+        )
+        .unwrap()
+    };
+    let (mut data_full, st_full, _) = init("full");
+    let (mut data_delta, st_delta, _) = init("delta");
+
+    let delta = graph_delta(
+        &graph,
+        DeltaSpec {
+            change_fraction: churn,
+            delete_fraction: 0.1,
+            insert_fraction: 0.01,
+            seed: 0xFEED,
+        },
+    );
+
+    let (full_rep, _) = pagerank::i2mr_incremental(
+        &pool,
+        &cfg,
+        &mut data_full,
+        &st_full,
+        &spec,
+        &delta,
+        params,
+        None,
+    )
+    .unwrap();
+    let (delta_rep, _) = pagerank::i2mr_delta(
+        &pool,
+        &cfg,
+        &mut data_delta,
+        &st_delta,
+        &spec,
+        &delta,
+        params,
+        None,
+    )
+    .unwrap();
+
+    assert!(full_rep.converged, "{tag}: full engine did not converge");
+    assert!(delta_rep.converged, "{tag}: delta engine did not converge");
+    assert_eq!(
+        full_rep.iterations.len(),
+        delta_rep.iterations.len(),
+        "{tag}: iteration counts diverged"
+    );
+    // Bitwise f64 equality, not a tolerance.
+    assert_eq!(data_full.state, data_delta.state, "{tag}: state diverged");
+    for p in 0..N {
+        assert_eq!(
+            st_full.export(p).unwrap(),
+            st_delta.export(p).unwrap(),
+            "{tag}: shard {p} export diverged"
+        );
+    }
+    delta_rep.total_metrics()
+}
+
+fn exact_params() -> IncrParams {
+    IncrParams {
+        max_iterations: 500,
+        convergence_epsilon: 1e-9,
+        ..Default::default()
+    }
+}
+
+#[test]
+fn pagerank_delta_engine_byte_identical_across_churn_levels() {
+    // Exact propagation (no CPC): the change wave may spread past the P∆
+    // threshold and both engines must follow the fallback identically.
+    for (churn, tag) in CHURNS {
+        pagerank_churn(churn, tag, exact_params());
+    }
+}
+
+#[test]
+fn pagerank_delta_engine_byte_identical_with_cpc() {
+    // With CPC the refresh stays closer to workset scheduling throughout.
+    for (churn, tag) in CHURNS {
+        pagerank_churn(
+            churn,
+            &format!("{tag}-cpc"),
+            IncrParams {
+                filter_threshold: Some(1e-3),
+                ..exact_params()
+            },
+        );
+    }
+}
+
+#[test]
+fn pagerank_low_churn_work_tracks_workset_not_state_width() {
+    // CPC damps the propagation wave and P∆ is disabled, so the whole
+    // refresh stays delta-scheduled and the workset accounting is
+    // observable end to end.
+    let total = pagerank_churn(
+        0.001,
+        "metrics",
+        IncrParams {
+            filter_threshold: Some(0.01),
+            pdelta_threshold: 2.0,
+            ..exact_params()
+        },
+    );
+    assert!(total.workset_keys > 0, "seeded delta must touch something");
+    assert_eq!(total.jobs_started, 1, "one refresh job, no fallback");
+    assert!(total.delta_iterations >= 1, "depth counter recorded");
+    assert!(total.workset_skipped > 0, "CPC pruned workset candidates");
+    // Keys processed ≈ workset: each workset key re-reduces its direct
+    // dependents (mean out-degree 6 here), never the full state.
+    assert!(
+        total.reduce_invocations <= 4 * total.workset_keys,
+        "reduce invocations {} not workset-bound (workset {})",
+        total.reduce_invocations,
+        total.workset_keys
+    );
+    let full_width = 1000 * total.delta_iterations;
+    assert!(
+        total.reduce_invocations < full_width / 4,
+        "reduce invocations {} ~ full width {}",
+        total.reduce_invocations,
+        full_width
+    );
+}
+
+/// Same shape for SSSP (monotonic contract, FT = 0, improvement-only
+/// deltas).
+fn sssp_churn(churn: f64, tag: &str) {
+    let cfg = JobConfig::symmetric(N);
+    let pool = WorkerPool::new(N);
+    let graph = GraphGen::new(1000, 6000, 0x55E0).weighted();
+
+    let init = |suffix: &str| {
+        sssp::i2mr_initial(
+            &pool,
+            &cfg,
+            &graph,
+            0,
+            &scratch(&format!("sssp-{tag}-{suffix}")),
+            Default::default(),
+            300,
+        )
+        .unwrap()
+    };
+    let (mut data_full, st_full, _) = init("full");
+    let (mut data_delta, st_delta, _) = init("delta");
+
+    let delta = weighted_graph_delta(
+        &graph,
+        DeltaSpec {
+            change_fraction: churn,
+            delete_fraction: 0.0,
+            insert_fraction: 0.01,
+            seed: 0xABBA,
+        },
+    );
+
+    let (full_rep, _) =
+        sssp::i2mr_incremental(&pool, &cfg, &mut data_full, &st_full, 0, &delta, 300).unwrap();
+    let (delta_rep, _) =
+        sssp::i2mr_delta(&pool, &cfg, &mut data_delta, &st_delta, 0, &delta, 300).unwrap();
+
+    assert!(full_rep.converged && delta_rep.converged, "{tag}");
+    assert_eq!(data_full.state, data_delta.state, "{tag}: state diverged");
+    for p in 0..N {
+        assert_eq!(
+            st_full.export(p).unwrap(),
+            st_delta.export(p).unwrap(),
+            "{tag}: shard {p} export diverged"
+        );
+    }
+}
+
+#[test]
+fn sssp_delta_engine_byte_identical_across_churn_levels() {
+    for (churn, tag) in CHURNS {
+        sssp_churn(churn, tag);
+    }
+}

@@ -439,3 +439,231 @@ proptest! {
         prop_sized(&meta);
     }
 }
+
+// ---------------------------------------------------------------------------
+// Workset contract (delta-iteration engine)
+// ---------------------------------------------------------------------------
+//
+// The delta-iteration engine's scheduling contract, model-checked over
+// random graphs and deltas:
+//
+// * workset emptiness ⇔ fixed point: the engine reports convergence
+//   exactly when an iteration emits nothing, and each iteration's workset
+//   is the previous iteration's emissions;
+// * a retraction followed by re-insertion of the same record converges
+//   back to the original solution set;
+// * an empty-delta refresh terminates in one (empty-workset) iteration
+//   without perturbing a single state bit.
+
+use i2mapreduce::core::iterative::DependencyKind;
+use i2mapreduce::store::StoreManager;
+
+/// PageRank-like retractable spec for the workset properties.
+struct PropRank;
+
+impl IterativeSpec for PropRank {
+    type SK = u64;
+    type SV = Vec<u64>;
+    type DK = u64;
+    type DV = f64;
+    type V2 = f64;
+
+    fn project(&self, sk: &u64) -> u64 {
+        *sk
+    }
+    fn map(&self, _sk: &u64, sv: &Vec<u64>, _dk: &u64, dv: &f64, out: &mut Emitter<u64, f64>) {
+        if sv.is_empty() {
+            return;
+        }
+        let share = dv / sv.len() as f64;
+        for j in sv {
+            out.emit(*j, share);
+        }
+    }
+    fn reduce(&self, _dk: &u64, _prev: &f64, values: Values<'_, u64, f64>) -> f64 {
+        0.15 + 0.85 * values.iter().sum::<f64>()
+    }
+    fn init(&self, _dk: &u64) -> f64 {
+        1.0
+    }
+    fn difference(&self, curr: &f64, prev: &f64) -> f64 {
+        (curr - prev).abs()
+    }
+    fn dependency(&self) -> DependencyKind {
+        DependencyKind::OneToOne
+    }
+}
+
+impl DeltaIterativeSpec for PropRank {
+    fn contract(&self) -> UpdateContract {
+        UpdateContract::Retractable
+    }
+}
+
+const WS_PARTS: usize = 2;
+
+fn ws_graph(n: u64, stride: u64) -> Vec<(u64, Vec<u64>)> {
+    (0..n)
+        .map(|i| {
+            let mut out = vec![(i + 1) % n];
+            if i % 3 == 0 {
+                let chord = (i + stride) % n;
+                if !out.contains(&chord) {
+                    out.push(chord);
+                }
+            }
+            out.sort_unstable();
+            (i, out)
+        })
+        .collect()
+}
+
+fn ws_converge(
+    graph: Vec<(u64, Vec<u64>)>,
+    pool: &WorkerPool,
+    tag: &str,
+) -> (
+    i2mapreduce::core::PartitionedData<u64, Vec<u64>, u64, f64>,
+    StoreManager,
+) {
+    let stores = StoreManager::create(
+        pool,
+        scratch(&format!("ws-{tag}")),
+        WS_PARTS,
+        Default::default(),
+    )
+    .unwrap();
+    let engine = PartitionedIterEngine::new(
+        &PropRank,
+        JobConfig::symmetric(WS_PARTS),
+        IterParams {
+            max_iterations: 200,
+            epsilon: 1e-12,
+            preserve: PreserveMode::FinalOnly,
+        },
+    )
+    .unwrap();
+    let mut data = i2mapreduce::core::build_partitioned(&PropRank, WS_PARTS, graph);
+    assert!(
+        engine
+            .run(pool, &mut data, Some(&stores))
+            .unwrap()
+            .converged
+    );
+    (data, stores)
+}
+
+fn ws_engine() -> DeltaIterEngine<'static, PropRank> {
+    DeltaIterEngine::new(
+        &PropRank,
+        JobConfig::symmetric(WS_PARTS),
+        IncrParams {
+            max_iterations: 300,
+            // Keep every iteration workset-scheduled: these properties
+            // are about the delta loop, not the P∆ fallback.
+            pdelta_threshold: 2.0,
+            ..Default::default()
+        },
+        IterParams::default(),
+    )
+    .unwrap()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(10))]
+
+    #[test]
+    fn workset_empty_iff_fixed_point(
+        n in 12u64..32,
+        stride in 2u64..7,
+        v in 0u64..12,
+        t in 0u64..32,
+    ) {
+        let pool = WorkerPool::new(WS_PARTS);
+        let graph = ws_graph(n, stride);
+        let (mut data, stores) = ws_converge(graph.clone(), &pool, "iff");
+
+        // Rewire vertex v's out-list to a single (possibly new) target.
+        let target = t % n;
+        let mut delta: Delta<u64, Vec<u64>> = Delta::new();
+        let old = graph[v as usize].1.clone();
+        let mut new = vec![if target == v { (v + 1) % n } else { target }];
+        if new == old {
+            // Guarantee a real change: widen the out-list instead.
+            new.push((new[0] + 1) % n);
+            new.sort_unstable();
+            new.dedup();
+        }
+        delta.update(v, old, new);
+
+        let report = ws_engine().run(&pool, &mut data, &stores, &delta, None).unwrap();
+
+        // Convergence ⇔ the final iteration emitted an empty workset.
+        let last_emitted = report.iterations.last().unwrap().changed_keys;
+        prop_assert_eq!(report.converged, last_emitted == 0);
+        // Every iteration's workset is the previous iteration's emissions,
+        // and a non-final iteration always carries a non-empty workset.
+        prop_assert_eq!(report.worksets[0], delta.records().len() as u64);
+        for i in 1..report.worksets.len() {
+            prop_assert_eq!(report.worksets[i], report.iterations[i - 1].changed_keys);
+            prop_assert!(report.worksets[i] > 0, "empty workset must have stopped the run");
+        }
+    }
+
+    #[test]
+    fn retraction_then_reinsertion_restores_the_solution_set(
+        n in 12u64..32,
+        stride in 2u64..7,
+        v in 0u64..12,
+    ) {
+        let pool = WorkerPool::new(WS_PARTS);
+        let graph = ws_graph(n, stride);
+        let (mut data, stores) = ws_converge(graph.clone(), &pool, "retract");
+        let baseline = data.state_snapshot();
+
+        let record = graph[v as usize].clone();
+        let engine = ws_engine();
+
+        // Retract the record, converge, then re-insert it and converge.
+        let mut retract: Delta<u64, Vec<u64>> = Delta::new();
+        retract.delete(record.0, record.1.clone());
+        let rep = engine.run(&pool, &mut data, &stores, &retract, None).unwrap();
+        prop_assert!(rep.converged);
+
+        let mut reinsert: Delta<u64, Vec<u64>> = Delta::new();
+        reinsert.insert(record.0, record.1.clone());
+        let rep = engine.run(&pool, &mut data, &stores, &reinsert, None).unwrap();
+        prop_assert!(rep.converged);
+
+        // Same solution set: identical keys, values back at the original
+        // fixed point (numerically — the walk back re-approaches it).
+        let restored = data.state_snapshot();
+        prop_assert_eq!(
+            baseline.iter().map(|(k, _)| *k).collect::<Vec<_>>(),
+            restored.iter().map(|(k, _)| *k).collect::<Vec<_>>()
+        );
+        for ((k, a), (_, b)) in baseline.iter().zip(&restored) {
+            prop_assert!((a - b).abs() < 1e-4, "key {}: {} vs {}", k, a, b);
+        }
+    }
+
+    #[test]
+    fn empty_delta_refresh_terminates_in_one_iteration(
+        n in 12u64..32,
+        stride in 2u64..7,
+    ) {
+        let pool = WorkerPool::new(WS_PARTS);
+        let graph = ws_graph(n, stride);
+        let (mut data, stores) = ws_converge(graph, &pool, "noop");
+        let before = data.state_snapshot();
+
+        let delta: Delta<u64, Vec<u64>> = Delta::new();
+        let report = ws_engine().run(&pool, &mut data, &stores, &delta, None).unwrap();
+        prop_assert!(report.converged);
+        prop_assert_eq!(report.iterations.len(), 1);
+        prop_assert_eq!(report.iterations[0].changed_keys, 0);
+        prop_assert_eq!(&report.worksets, &vec![0]);
+        // Not a single state bit moved.
+        prop_assert_eq!(data.state_snapshot(), before);
+    }
+}

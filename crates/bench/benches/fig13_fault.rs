@@ -6,121 +6,131 @@
 //! detection + relaunch) and failures that finish before the iteration
 //! barrier do not prolong the computation.
 //!
-//! Here: 16+16 prime tasks, 7 iterations, 3 injected failures, a scaled
-//! 40 ms detection delay. The timeline (start/fail/recover/finish per task
-//! attempt) is printed exactly as the figure's raw data.
+//! Here the figure is split into a measured pair and a shape check:
+//!
+//! * **`fig13/run`** — the same 7-iteration PageRank job, `faultfree`
+//!   (no injection) vs `faulted` (the paper's 3 task errors, with a
+//!   scaled-down detection delay so recovery cost is proportionate to the
+//!   scaled run length). `scripts/bench_check.sh` gates on the
+//!   faultfree→faulted "speedup" staying ≥ 0.667× — i.e. the faulted run
+//!   may cost at most 1.5× the fault-free run, the figure's claim that
+//!   recovery is bounded by detection + relaunch rather than a rerun.
+//! * **`summarize`** — the original figure shape at the paper-faithful
+//!   40 ms detection delay: exactly 3 failures fire, each recovers within
+//!   a bounded latency window, and the faulty run's ranks are bit-exact
+//!   against a clean run.
 
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
 use i2mr_algos::pagerank::PageRank;
-use i2mr_bench::{banner, sized};
+use i2mr_bench::sized;
 use i2mr_core::iter_engine::{build_partitioned, PartitionedIterEngine};
 use i2mr_core::iterative::{IterParams, PreserveMode};
 use i2mr_datagen::graph::GraphGen;
-use i2mr_mapred::fault::{FaultPlan, FaultSpec, TaskEventKind, TaskKind};
+use i2mr_mapred::fault::{FaultPlan, FaultSpec, TaskKind};
 use i2mr_mapred::{JobConfig, WorkerPool};
 use std::sync::Arc;
 use std::time::Duration;
 
-fn main() {
-    let n_tasks = 16usize;
-    let detection = Duration::from_millis(40);
-    banner(
-        "Fig. 13",
-        "fault recovery progress (task timeline with injected errors)",
-        &format!(
-            "PageRank, {n_tasks} prime map + {n_tasks} prime reduce tasks, 7 iterations, 3 injected faults, {}ms detection delay",
-            detection.as_millis()
-        ),
-    );
+const N_TASKS: usize = 16;
+const N_WORKERS: usize = 8;
+const ITERS: u64 = 7;
 
-    let graph = GraphGen::new(sized(3000), sized(24_000), 0xF13).generate();
-    let spec = PageRank::default();
-    let cfg = JobConfig {
-        n_map: n_tasks,
-        n_reduce: n_tasks,
-        n_workers: 8,
+fn job_config(detection: Duration) -> JobConfig {
+    JobConfig {
+        n_map: N_TASKS,
+        n_reduce: N_TASKS,
+        n_workers: N_WORKERS,
         max_attempts: 3,
         detection_delay: detection,
-    };
+    }
+}
 
-    // The paper's three errors: map task in iteration 3, reduce task in
-    // iteration 6, map task in iteration 7.
-    let plan = Arc::new(FaultPlan::new(vec![
+/// The paper's three errors: map task in iteration 3, reduce task in
+/// iteration 6, map task in iteration 7 (all on their first attempt).
+fn paper_faults() -> Arc<FaultPlan> {
+    Arc::new(FaultPlan::new(vec![
         FaultSpec {
             kind: TaskKind::Map,
-            index: 7 % n_tasks,
+            index: 7 % N_TASKS,
             iteration: Some(3),
             attempt: 1,
         },
         FaultSpec {
             kind: TaskKind::Reduce,
-            index: 11 % n_tasks,
+            index: 11 % N_TASKS,
             iteration: Some(6),
             attempt: 1,
         },
         FaultSpec {
             kind: TaskKind::Map,
-            index: 14 % n_tasks,
+            index: 14 % N_TASKS,
             iteration: Some(7),
             attempt: 1,
         },
-    ]));
-    let pool = WorkerPool::with_faults(cfg.n_workers, cfg.max_attempts, detection, plan);
+    ]))
+}
 
+/// One full 7-iteration PageRank job on `pool`; returns the final ranks.
+fn run_job(pool: &WorkerPool, cfg: &JobConfig) -> Vec<(u64, f64)> {
+    let spec = PageRank::default();
+    let graph = GraphGen::new(sized(3000), sized(24_000), 0xF13).generate();
     let engine = PartitionedIterEngine::new(
         &spec,
         cfg.clone(),
         IterParams {
-            max_iterations: 7,
+            max_iterations: ITERS,
             epsilon: 0.0,
             preserve: PreserveMode::None,
         },
     )
     .unwrap();
-    let mut data = build_partitioned(&spec, n_tasks, graph.clone());
-    let report = engine.run(&pool, &mut data, None).expect("run with faults");
-    assert_eq!(report.iterations.len(), 7, "all 7 iterations completed");
+    let mut data = build_partitioned(&spec, N_TASKS, graph);
+    let report = engine.run(pool, &mut data, None).expect("run");
+    assert_eq!(report.iterations.len(), ITERS as usize);
+    data.state_snapshot()
+}
 
-    // Sanity: the faulty run still computes correct ranks.
-    let clean_pool = WorkerPool::new(cfg.n_workers);
-    let clean_engine = PartitionedIterEngine::new(
-        &spec,
-        cfg.clone(),
-        IterParams {
-            max_iterations: 7,
-            epsilon: 0.0,
-            preserve: PreserveMode::None,
-        },
-    )
-    .unwrap();
-    let mut clean = build_partitioned(&spec, n_tasks, graph);
-    clean_engine.run(&clean_pool, &mut clean, None).unwrap();
-    let a = data.state_snapshot();
-    let b = clean.state_snapshot();
-    let max_diff = a
+/// Measured pair: the identical job with and without the injected faults.
+/// The bench detection delay is scaled to the job length (the paper's 12 s
+/// heartbeat against multi-minute iterations ≈ 2 ms against this run), so
+/// the gated ratio measures *bounded recovery*, not an arbitrary sleep.
+fn bench_run(c: &mut Criterion) {
+    let detection = Duration::from_millis(2);
+    let cfg = job_config(detection);
+    let clean_pool = WorkerPool::new(N_WORKERS);
+    let faulty_pool =
+        WorkerPool::with_faults(N_WORKERS, cfg.max_attempts, detection, paper_faults());
+
+    let mut g = c.benchmark_group("fig13/run");
+    g.bench_function(BenchmarkId::new("faultfree", N_TASKS), |b| {
+        b.iter(|| black_box(run_job(&clean_pool, &cfg)))
+    });
+    g.bench_function(BenchmarkId::new("faulted", N_TASKS), |b| {
+        b.iter(|| black_box(run_job(&faulty_pool, &cfg)))
+    });
+    g.finish();
+}
+
+/// Figure shape at the paper-faithful 40 ms detection delay: 3 failures,
+/// each recovered within a bounded window, result bit-exact vs clean.
+fn summarize(_c: &mut Criterion) {
+    let detection = Duration::from_millis(40);
+    let cfg = job_config(detection);
+    let faulty_pool =
+        WorkerPool::with_faults(N_WORKERS, cfg.max_attempts, detection, paper_faults());
+    let faulted = run_job(&faulty_pool, &cfg);
+    let clean_pool = WorkerPool::new(N_WORKERS);
+    let clean = run_job(&clean_pool, &cfg);
+
+    let max_diff = faulted
         .iter()
-        .zip(&b)
+        .zip(&clean)
         .map(|((_, x), (_, y))| (x - y).abs())
         .fold(0.0, f64::max);
-    assert!(max_diff < 1e-12, "faulty run diverged: {max_diff}");
 
-    let timeline = pool.take_timeline();
-    println!("\n   task timeline (failures and their recoveries):");
-    for ev in timeline.events() {
-        if ev.kind == TaskEventKind::Fail || ev.attempt > 1 {
-            println!(
-                "   t={:>8.1}ms worker={} {} attempt={} {:?}",
-                ev.at.as_secs_f64() * 1e3,
-                ev.worker,
-                ev.task.label(),
-                ev.attempt,
-                ev.kind
-            );
-        }
-    }
-
+    let timeline = faulty_pool.take_timeline();
     let failures = timeline.failures();
     let recoveries = timeline.recovery_latencies();
-    println!("\n   injected failures observed: {}", failures.len());
     for (task, latency) in &recoveries {
         println!(
             "   {} recovered in {:.1} ms (paper: within 12 s)",
@@ -131,7 +141,7 @@ fn main() {
 
     let mut ok = true;
     let mut shape = |cond: bool, msg: &str| {
-        println!("   shape: {msg} : {}", if cond { "OK" } else { "MISMATCH" });
+        println!("shape: {msg} .. {}", if cond { "OK" } else { "MISMATCH" });
         ok &= cond;
     };
     shape(failures.len() == 3, "exactly 3 injected failures fired");
@@ -146,5 +156,29 @@ fn main() {
         max_diff < 1e-12,
         "failures do not change the computed result",
     );
+
+    let recs = criterion::completed_records();
+    let median = |id: &str| recs.iter().find(|r| r.id == id).map(|r| r.median_ns as f64);
+    let free = median(&format!("fig13/run/faultfree/{N_TASKS}"));
+    let faulty = median(&format!("fig13/run/faulted/{N_TASKS}"));
+    if let (Some(f), Some(x)) = (free, faulty) {
+        if x > 0.0 {
+            let ratio = f / x;
+            let verdict = if ratio >= 0.667 { "OK" } else { "MISMATCH" };
+            println!(
+                "shape: faulted run costs {:.2}x the fault-free run \
+                 (recovery bounded: target <= 1.5x, ratio >= 0.667) .. {verdict}",
+                x / f
+            );
+            ok &= ratio >= 0.667;
+        }
+    }
     assert!(ok, "Fig. 13 shape checks failed");
 }
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_run, summarize
+}
+criterion_main!(benches);

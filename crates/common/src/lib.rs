@@ -16,14 +16,19 @@
 //! * [`costmodel`] — the additive cluster cost model used to translate
 //!   single-machine measurements into cluster-shaped runtimes (see
 //!   `DESIGN.md` §1: substitutions).
+//! * [`failpoint`] — seeded, deterministic fault-injection sites used by the
+//!   chaos suites to strike inside store I/O, DFS reads, checkpoint writes,
+//!   and task bodies (paper §8.8 / Fig. 13).
 
 pub mod codec;
 pub mod costmodel;
 pub mod error;
+pub mod failpoint;
 pub mod hash;
 pub mod metrics;
 
 pub use codec::{decode_from, encode_to, Codec};
 pub use error::{Error, Result};
+pub use failpoint::{FailAction, FailSite, FailpointRegistry};
 pub use hash::{stable_hash128, stable_hash64, MapKey};
 pub use metrics::{IoStats, JobMetrics, Stage, StageTimes};

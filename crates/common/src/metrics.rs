@@ -169,6 +169,18 @@ pub struct JobMetrics {
     /// Delta-iteration depth: number of workset-driven iterations executed
     /// before the workset drained.
     pub delta_iterations: u64,
+    /// Failed task attempts that were rescheduled onto another worker
+    /// (paper §8.8: re-execution after a task failure).
+    pub retries: u64,
+    /// Speculative duplicate attempts launched for straggling tasks.
+    pub respeculations: u64,
+    /// Bytes of torn store-file tail discarded by crash salvage on open.
+    pub salvaged_bytes: u64,
+    /// Store shards rebuilt in place from the latest complete checkpoint.
+    pub rebuilt_shards: u64,
+    /// Wall milliseconds spent in mid-run recovery (checkpoint restore +
+    /// shard rebuild), excluded from the per-stage timings above.
+    pub recovery_ms: u64,
 }
 
 impl JobMetrics {
@@ -192,6 +204,11 @@ impl JobMetrics {
         self.workset_keys += other.workset_keys;
         self.workset_skipped += other.workset_skipped;
         self.delta_iterations += other.delta_iterations;
+        self.retries += other.retries;
+        self.respeculations += other.respeculations;
+        self.salvaged_bytes += other.salvaged_bytes;
+        self.rebuilt_shards += other.rebuilt_shards;
+        self.recovery_ms += other.recovery_ms;
     }
 }
 
@@ -260,6 +277,11 @@ mod tests {
             workset_keys: 40,
             workset_skipped: 4,
             delta_iterations: 2,
+            retries: 3,
+            respeculations: 1,
+            salvaged_bytes: 64,
+            rebuilt_shards: 2,
+            recovery_ms: 17,
             ..Default::default()
         };
         b.store_io.record_read(9);
@@ -275,6 +297,11 @@ mod tests {
         assert_eq!(a.workset_keys, 40);
         assert_eq!(a.workset_skipped, 4);
         assert_eq!(a.delta_iterations, 2);
+        assert_eq!(a.retries, 3);
+        assert_eq!(a.respeculations, 1);
+        assert_eq!(a.salvaged_bytes, 64);
+        assert_eq!(a.rebuilt_shards, 2);
+        assert_eq!(a.recovery_ms, 17);
         assert_eq!(a.measured(), Duration::from_millis(4));
     }
 

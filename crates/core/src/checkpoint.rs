@@ -16,7 +16,16 @@ use i2mr_store::runtime::{StoreManager, StoreRuntimeConfig};
 use i2mr_store::store::MrbgStore;
 use std::path::Path;
 
+/// Upper bound on mid-run rewinds before an engine gives up and surfaces
+/// the error. Failpoint budgets are finite and real fault bursts are
+/// short; a run that needs more rewinds than this is not making progress.
+pub(crate) const MAX_RECOVERIES: u32 = 8;
+
 /// Checkpoint writer/reader for one iterative job.
+///
+/// Job names must be unique per refresh: a resuming engine trusts every
+/// artifact found under its job name, so reusing a name across runs with
+/// different inputs would splice a stale fixed point into recovery.
 pub struct IterCheckpointer {
     store: CheckpointStore,
     job: String,
@@ -40,6 +49,10 @@ impl IterCheckpointer {
 
     fn mrbg_task(p: usize) -> String {
         format!("mrbg-{p}")
+    }
+
+    fn aux_task() -> String {
+        "aux".to_string()
     }
 
     /// Save one iteration's state partitions (and stores, when maintained).
@@ -71,6 +84,42 @@ impl IterCheckpointer {
             tasks.extend((0..self.n_partitions).map(Self::mrbg_task));
         }
         self.store.latest_complete_iteration(&self.job, &tasks)
+    }
+
+    /// Save the auxiliary inter-iteration artifact (the incremental
+    /// engine's delta state / the delta engine's workset) for `iteration`.
+    ///
+    /// Engines write it *after* the state and store artifacts, so its
+    /// presence marks the iteration as resumable — which is exactly what
+    /// [`Self::latest_resumable`] keys on.
+    pub fn save_aux(&self, iteration: u64, data: &[u8]) -> Result<()> {
+        self.store
+            .save(&self.job, iteration, &Self::aux_task(), data)
+    }
+
+    /// Load the auxiliary artifact checkpointed at `iteration`.
+    pub fn load_aux(&self, iteration: u64) -> Result<Vec<u8>> {
+        self.store.load(&self.job, iteration, &Self::aux_task())
+    }
+
+    /// Latest iteration a mid-run recovery can rewind to: every partition's
+    /// state (and, if `with_stores`, store payload) plus the aux artifact
+    /// that seals the iteration.
+    pub fn latest_resumable(&self, with_stores: bool) -> Option<u64> {
+        let mut tasks: Vec<String> = (0..self.n_partitions).map(Self::state_task).collect();
+        if with_stores {
+            tasks.extend((0..self.n_partitions).map(Self::mrbg_task));
+        }
+        tasks.push(Self::aux_task());
+        self.store.latest_complete_iteration(&self.job, &tasks)
+    }
+
+    /// Load one shard's raw store payload checkpointed at `iteration`
+    /// (the [`i2mr_store::store::MrbgStore::export`] encoding), for
+    /// rebuilding a live shard in place via
+    /// [`StoreManager::rebuild_shard`].
+    pub fn load_store_payload(&self, iteration: u64, p: usize) -> Result<Vec<u8>> {
+        self.store.load(&self.job, iteration, &Self::mrbg_task(p))
     }
 
     /// Load the state partitions checkpointed at `iteration`.
@@ -272,6 +321,49 @@ mod tests {
             );
             assert_eq!(stores.export(p).unwrap(), par.export(p).unwrap());
         }
+    }
+
+    #[test]
+    fn aux_artifact_seals_resumability() {
+        let (dfs, _dir) = setup("aux");
+        let ck = IterCheckpointer::new(&dfs, "j", 2);
+        let state: Vec<Vec<(u64, f64)>> = vec![vec![(0, 1.0)], vec![(1, 2.0)]];
+        ck.save_iteration(1, &state, None).unwrap();
+        // State alone is complete but not resumable: the aux artifact is
+        // written last and marks the iteration as sealed.
+        assert_eq!(ck.latest_complete(false), Some(1));
+        assert_eq!(ck.latest_resumable(false), None);
+        ck.save_aux(1, b"workset-bytes").unwrap();
+        assert_eq!(ck.latest_resumable(false), Some(1));
+        assert_eq!(ck.load_aux(1).unwrap(), b"workset-bytes");
+    }
+
+    #[test]
+    fn store_payloads_loadable_per_shard() {
+        let (dfs, dir) = setup("payload");
+        let pool = WorkerPool::new(2);
+        let ck = IterCheckpointer::new(&dfs, "j", 1);
+        let mut store = MrbgStore::create(dir.join("orig"), Default::default()).unwrap();
+        store
+            .append_batch(vec![Chunk::new(
+                b"k".to_vec(),
+                vec![ChunkEntry {
+                    mk: MapKey(9),
+                    value: b"v".to_vec(),
+                }],
+            )])
+            .unwrap();
+        let stores = StoreManager::from_stores(&pool, vec![store], Default::default()).unwrap();
+        let state: Vec<Vec<(u64, f64)>> = vec![vec![(0, 0.5)]];
+        ck.save_iteration(2, &state, Some(&stores)).unwrap();
+        // The raw payload round-trips through rebuild_shard: corrupt the
+        // live shard, rebuild from the checkpoint, reads come back.
+        let payload = ck.load_store_payload(2, 0).unwrap();
+        assert_eq!(payload, stores.export(0).unwrap());
+        stores.quarantine_shard(0);
+        assert!(stores.get(0, b"k").is_err());
+        stores.rebuild_shard(0, &payload).unwrap();
+        assert_eq!(stores.get(0, b"k").unwrap().unwrap().entries[0].value, b"v");
     }
 
     #[test]

@@ -47,7 +47,7 @@
 use crate::checkpoint::IterCheckpointer;
 use crate::cpc::{ChangePropagation, Verdict};
 use crate::delta::{Delta, Op};
-use crate::incr_iter::{apply_structure_delta, IncrParams};
+use crate::incr_iter::{apply_structure_delta, IncrParams, StepOutcome};
 use crate::iter_engine::{PartitionedData, PartitionedIterEngine, RunReport};
 use crate::iterative::{IterParams, IterationStats, IterativeSpec, PreserveMode};
 use i2mr_common::codec::{decode_exact, encode_to};
@@ -195,7 +195,103 @@ impl<'s, S: DeltaIterativeSpec> DeltaIterEngine<'s, S> {
         // The workset flowing between iterations (ΔD_j).
         let mut workset: Vec<(S::DK, S::DV)> = Vec::new();
 
-        for iteration in 1..=self.params.max_iterations {
+        // Mid-run resume bookkeeping — same scheme as the incremental
+        // engine: pristine entry data for replaying the (non-idempotent)
+        // structure delta, an iteration-0 baseline, and a rewind budget.
+        let pristine = ckpt.map(|_| data.clone());
+        if let Some(ck) = ckpt {
+            ck.save_iteration(0, &data.state, Some(stores))?;
+            ck.save_aux(0, &encode_to(&workset))?;
+        }
+        let mut recoveries_left = crate::checkpoint::MAX_RECOVERIES;
+        let mut pending_recovery_ms = 0u64;
+
+        let mut iteration = 1u64;
+        while iteration <= self.params.max_iterations {
+            let step = self.step(
+                pool,
+                data,
+                stores,
+                delta,
+                &mut workset,
+                iteration,
+                ckpt,
+                &mut report,
+                &mut pending_recovery_ms,
+            );
+            match step {
+                Ok(StepOutcome::Continue) => iteration += 1,
+                Ok(StepOutcome::Converged) => {
+                    report.converged = true;
+                    settle_store_plane(stores, &mut report)?;
+                    return Ok(report);
+                }
+                Ok(StepOutcome::PdeltaExceeded) => {
+                    report.mrbg_turned_off_at = Some(iteration);
+                    let fb = self.run_fallback(pool, data, iteration)?;
+                    merge_fallback(&mut report, fb);
+                    settle_store_plane(stores, &mut report)?;
+                    if let Some(ck) = ckpt {
+                        ck.save_iteration(
+                            report.iterations.len() as u64,
+                            &data.state,
+                            Some(stores),
+                        )?;
+                    }
+                    return Ok(report);
+                }
+                Err(e) => {
+                    let resume = match (ckpt, pristine.as_ref()) {
+                        (Some(ck), Some(pristine)) if recoveries_left > 0 => ck
+                            .latest_resumable(true)
+                            .map(|latest| (ck, pristine, latest)),
+                        _ => None,
+                    };
+                    let Some((ck, pristine, latest)) = resume else {
+                        return Err(e);
+                    };
+                    recoveries_left -= 1;
+                    let t = Instant::now();
+                    *data = pristine.clone();
+                    if latest >= 1 {
+                        apply_structure_delta(spec, n, data, delta);
+                    }
+                    data.state = ck.load_state(latest)?;
+                    for p in 0..stores.n_shards() {
+                        let payload = ck.load_store_payload(latest, p)?;
+                        stores.rebuild_shard(p, &payload)?;
+                    }
+                    workset = decode_exact(&ck.load_aux(latest)?)?;
+                    report.iterations.truncate(latest as usize);
+                    report.per_iteration.truncate(latest as usize);
+                    report.worksets.truncate(latest as usize);
+                    pending_recovery_ms += (t.elapsed().as_millis() as u64).max(1);
+                    iteration = latest + 1;
+                }
+            }
+        }
+        settle_store_plane(stores, &mut report)?;
+        Ok(report)
+    }
+
+    /// One workset iteration: map workset keys, shuffle, point-merge
+    /// touched shards, reduce affected instances, checkpoint.
+    #[allow(clippy::too_many_arguments)]
+    fn step(
+        &self,
+        pool: &WorkerPool,
+        data: &mut PartitionedData<S::SK, S::SV, S::DK, S::DV>,
+        stores: &StoreManager,
+        delta: &Delta<S::SK, S::SV>,
+        workset: &mut Vec<(S::DK, S::DV)>,
+        iteration: u64,
+        ckpt: Option<&IterCheckpointer>,
+        report: &mut DeltaRunReport,
+        pending_recovery_ms: &mut u64,
+    ) -> Result<StepOutcome> {
+        let n = self.config.n_reduce;
+        let spec = self.spec;
+        {
             let started = Instant::now();
             let workset_len = if iteration == 1 {
                 delta.records().len() as u64
@@ -216,7 +312,7 @@ impl<'s, S: DeltaIterativeSpec> DeltaIterEngine<'s, S> {
             let (map_outputs, new_dks, map_invocations) = if iteration == 1 {
                 self.map_structure_delta(pool, data, delta)?
             } else {
-                self.map_state_delta(pool, data, std::mem::take(&mut workset), iteration)?
+                self.map_state_delta(pool, data, std::mem::take(workset), iteration)?
             };
             metrics.map_invocations = map_invocations;
             metrics.stages.add(Stage::Map, t.elapsed());
@@ -348,6 +444,11 @@ impl<'s, S: DeltaIterativeSpec> DeltaIterEngine<'s, S> {
                 }
                 next_workset.extend(emitted);
             }
+            // Fault-recovery accounting (same as the incremental engine).
+            let (retries, respeculations) = pool.drain_recovery();
+            metrics.retries += retries;
+            metrics.respeculations += respeculations;
+            metrics.recovery_ms += std::mem::take(pending_recovery_ms);
             stores.drain_metrics(&mut metrics);
 
             report.iterations.push(IterationStats {
@@ -359,36 +460,28 @@ impl<'s, S: DeltaIterativeSpec> DeltaIterEngine<'s, S> {
             report.worksets.push(workset_len);
             report.per_iteration.push(metrics);
 
+            *workset = next_workset;
             if let Some(ck) = ckpt {
                 ck.save_iteration(iteration, &data.state, Some(stores))?;
+                // Aux last: its presence seals the iteration as resumable.
+                ck.save_aux(iteration, &encode_to(workset))?;
             }
 
             stores.schedule_compactions(iteration)?;
 
             // Workset emptiness IS the fixed point.
             if emitted_total == 0 {
-                report.converged = true;
-                settle_store_plane(stores, &mut report)?;
-                return Ok(report);
+                return Ok(StepOutcome::Converged);
             }
 
             // ---------------- P∆ monitor (§5.2) ----------------
             let p_delta = emitted_total as f64 / data.state_len().max(1) as f64;
             if p_delta > self.params.pdelta_threshold {
-                report.mrbg_turned_off_at = Some(iteration);
-                let fb = self.run_fallback(pool, data, iteration)?;
-                merge_fallback(&mut report, fb);
-                settle_store_plane(stores, &mut report)?;
-                if let Some(ck) = ckpt {
-                    ck.save_iteration(report.iterations.len() as u64, &data.state, Some(stores))?;
-                }
-                return Ok(report);
+                return Ok(StepOutcome::PdeltaExceeded);
             }
 
-            workset = next_workset;
+            Ok(StepOutcome::Continue)
         }
-        settle_store_plane(stores, &mut report)?;
-        Ok(report)
     }
 
     /// Iteration 1 map phase over the delta structure records. Identical
@@ -898,6 +991,142 @@ mod tests {
             total.reduce_invocations,
             full_width
         );
+    }
+
+    #[test]
+    fn store_merge_faults_during_workset_merges_recover_via_reschedule() {
+        use i2mr_common::failpoint::{FailAction, FailSite, FailpointRegistry};
+        use std::sync::Arc;
+
+        let pool = WorkerPool::new(N);
+        let graph = ring_with_chords(40);
+        let mut delta: Delta<u64, Vec<u64>> = Delta::new();
+        let old = graph[7].1.clone();
+        let mut new = old.clone();
+        new.push(20);
+        delta.update(7, old, new);
+
+        let engine = DeltaIterEngine::new(
+            &MiniRank,
+            JobConfig::symmetric(N),
+            incr_params(),
+            IterParams::default(),
+        )
+        .unwrap();
+
+        // Fault-free reference.
+        let st_ref = stores(&pool, "mergefault-ref");
+        let mut data_ref = converge_initial(graph.clone(), &st_ref, &pool);
+        assert!(
+            engine
+                .run(&pool, &mut data_ref, &st_ref, &delta, None)
+                .unwrap()
+                .converged
+        );
+
+        // Faulted run: the workset-scoped StoreMerge tasks die on their
+        // first attempts; the executor reschedules them cross-worker. The
+        // failpoint fires *before* the shard lock, so the deferred-index
+        // merge path sees each delta exactly once and the end-of-run
+        // settle persists a consistent index.
+        let mut st = stores(&pool, "mergefault");
+        let mut data = converge_initial(graph, &st, &pool);
+        let fp = Arc::new(FailpointRegistry::seeded(9, 2).arm(
+            FailSite::StoreAppend,
+            1.0,
+            FailAction::Error,
+        ));
+        st.set_failpoints(Arc::clone(&fp));
+        let report = engine.run(&pool, &mut data, &st, &delta, None).unwrap();
+        assert!(report.converged);
+        assert_eq!(fp.fired(), 2, "both budgeted merge faults must fire");
+        assert!(
+            report.total_metrics().retries >= 1,
+            "rescheduled merge attempts must be accounted"
+        );
+
+        // Bit-identical state, byte-identical shards after settle — the
+        // rescheduled merges neither lost nor double-applied deltas.
+        assert_eq!(data_ref.state, data.state);
+        for p in 0..N {
+            assert_eq!(st_ref.export(p).unwrap(), st.export(p).unwrap());
+        }
+    }
+
+    #[test]
+    fn resumes_mid_run_after_worker_faults_bit_identical() {
+        use i2mr_common::failpoint::{FailAction, FailSite, FailpointRegistry};
+        use i2mr_mapred::pool::PoolConfig;
+        use i2mr_store::store::MrbgStore;
+        use std::sync::Arc;
+
+        let pool = WorkerPool::new(N);
+        let graph = ring_with_chords(30);
+        let mut delta: Delta<u64, Vec<u64>> = Delta::new();
+        delta.insert(100, vec![3]);
+        delta.delete(11, graph[11].1.clone());
+
+        let engine = DeltaIterEngine::new(
+            &MiniRank,
+            JobConfig::symmetric(N),
+            incr_params(),
+            IterParams::default(),
+        )
+        .unwrap();
+
+        let st_ref = stores(&pool, "dresume-ref");
+        let mut data_ref = converge_initial(graph.clone(), &st_ref, &pool);
+        assert!(
+            engine
+                .run(&pool, &mut data_ref, &st_ref, &delta, None)
+                .unwrap()
+                .converged
+        );
+
+        let st_seed = stores(&pool, "dresume-seed");
+        let mut data = converge_initial(graph.clone(), &st_seed, &pool);
+        let payloads: Vec<Vec<u8>> = (0..N).map(|p| st_seed.export(p).unwrap()).collect();
+        drop(st_seed);
+
+        let fp = Arc::new(FailpointRegistry::seeded(33, 3).arm(
+            FailSite::TaskRun,
+            1.0,
+            FailAction::Error,
+        ));
+        let faulty = WorkerPool::with_config(PoolConfig {
+            max_attempts: 1,
+            failpoints: Arc::clone(&fp),
+            ..PoolConfig::new(N)
+        });
+        let dir = std::env::temp_dir().join(format!(
+            "i2mr-delta-resume-{}-{:?}",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+        let shards = payloads
+            .iter()
+            .enumerate()
+            .map(|(p, payload)| {
+                MrbgStore::import(dir.join(format!("shard-{p}")), payload, Default::default())
+                    .unwrap()
+            })
+            .collect();
+        let st = StoreManager::from_stores(&faulty, shards, Default::default()).unwrap();
+        let dfs = i2mr_dfs::MiniDfs::open_with(dir.join("dfs"), 1 << 20, 2).unwrap();
+        let ck = IterCheckpointer::new(&dfs, "dresume", N);
+
+        let report = engine
+            .run(&faulty, &mut data, &st, &delta, Some(&ck))
+            .unwrap();
+        assert!(report.converged);
+        assert!(fp.fired() >= 1);
+        let total = report.total_metrics();
+        assert!(total.recovery_ms > 0);
+        assert_eq!(data_ref.state, data.state);
+        for p in 0..N {
+            assert_eq!(st_ref.export(p).unwrap(), st.export(p).unwrap());
+        }
     }
 
     #[test]

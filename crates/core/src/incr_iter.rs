@@ -84,6 +84,16 @@ impl IncrParams {
     }
 }
 
+/// What one incremental iteration decided about the run's control flow.
+pub(crate) enum StepOutcome {
+    /// Changes propagated and P∆ stayed small: keep iterating.
+    Continue,
+    /// No changes propagated: the refresh reached its fixed point.
+    Converged,
+    /// P∆ blew past the threshold: switch to the full-iteration fallback.
+    PdeltaExceeded,
+}
+
 /// Report of an incremental iterative run.
 #[derive(Debug, Default)]
 pub struct IncrRunReport {
@@ -187,7 +197,114 @@ impl<'s, S: IterativeSpec> IncrIterEngine<'s, S> {
         // Delta state flowing between iterations (ΔD_j).
         let mut delta_state: Vec<(S::DK, S::DV)> = Vec::new();
 
-        for iteration in 1..=self.params.max_iterations {
+        // Mid-run resume bookkeeping (paper §6.1 / Fig. 13).
+        // `apply_structure_delta` is not idempotent, so a rewind restores a
+        // pristine copy of the entry data and replays the delta when the
+        // resume point is past iteration 1.
+        let pristine = ckpt.map(|_| data.clone());
+        if let Some(ck) = ckpt {
+            // Iteration-0 baseline: a fault during iteration 1 rewinds
+            // here. Written before any mutation, so a baseline failure
+            // leaves the caller's data untouched and the run retryable.
+            ck.save_iteration(0, &data.state, Some(stores))?;
+            ck.save_aux(0, &encode_to(&delta_state))?;
+        }
+        let mut recoveries_left = crate::checkpoint::MAX_RECOVERIES;
+        let mut pending_recovery_ms = 0u64;
+
+        let mut iteration = 1u64;
+        while iteration <= self.params.max_iterations {
+            let step = self.step(
+                pool,
+                data,
+                stores,
+                delta,
+                &mut delta_state,
+                iteration,
+                ckpt,
+                &mut report,
+                &mut pending_recovery_ms,
+            );
+            match step {
+                Ok(StepOutcome::Continue) => iteration += 1,
+                Ok(StepOutcome::Converged) => {
+                    report.converged = true;
+                    settle_store_plane(stores, &mut report)?;
+                    return Ok(report);
+                }
+                Ok(StepOutcome::PdeltaExceeded) => {
+                    report.mrbg_turned_off_at = Some(iteration);
+                    let fb = self.run_fallback(pool, data, iteration)?;
+                    merge_fallback(&mut report, fb);
+                    // Settle first so the final checkpoint export below does
+                    // not queue behind still-running compactions.
+                    settle_store_plane(stores, &mut report)?;
+                    // The fallback iterations mutated the state without
+                    // checkpointing; persist the final state so recovery
+                    // sees the completed refresh (paper §6.1).
+                    if let Some(ck) = ckpt {
+                        ck.save_iteration(
+                            report.iterations.len() as u64,
+                            &data.state,
+                            Some(stores),
+                        )?;
+                    }
+                    return Ok(report);
+                }
+                Err(e) => {
+                    // A worker-loss / store / checkpoint fault escaped the
+                    // pool's own retries. Rewind to the last complete
+                    // checkpoint and resume from there.
+                    let resume = match (ckpt, pristine.as_ref()) {
+                        (Some(ck), Some(pristine)) if recoveries_left > 0 => ck
+                            .latest_resumable(true)
+                            .map(|latest| (ck, pristine, latest)),
+                        _ => None,
+                    };
+                    let Some((ck, pristine, latest)) = resume else {
+                        return Err(e);
+                    };
+                    recoveries_left -= 1;
+                    let t = Instant::now();
+                    *data = pristine.clone();
+                    if latest >= 1 {
+                        apply_structure_delta(spec, n, data, delta);
+                    }
+                    data.state = ck.load_state(latest)?;
+                    for p in 0..stores.n_shards() {
+                        let payload = ck.load_store_payload(latest, p)?;
+                        stores.rebuild_shard(p, &payload)?;
+                    }
+                    delta_state = decode_exact(&ck.load_aux(latest)?)?;
+                    report.iterations.truncate(latest as usize);
+                    report.per_iteration.truncate(latest as usize);
+                    pending_recovery_ms += (t.elapsed().as_millis() as u64).max(1);
+                    iteration = latest + 1;
+                }
+            }
+        }
+        settle_store_plane(stores, &mut report)?;
+        Ok(report)
+    }
+
+    /// One incremental iteration: map the delta, shuffle, merge the delta
+    /// MRBGraph, reduce affected instances, apply updates, checkpoint.
+    #[allow(clippy::too_many_arguments)]
+    fn step(
+        &self,
+        pool: &WorkerPool,
+        data: &mut PartitionedData<S::SK, S::SV, S::DK, S::DV>,
+        stores: &StoreManager,
+        delta: &Delta<S::SK, S::SV>,
+        delta_state: &mut Vec<(S::DK, S::DV)>,
+        iteration: u64,
+        ckpt: Option<&IterCheckpointer>,
+        report: &mut IncrRunReport,
+        pending_recovery_ms: &mut u64,
+    ) -> Result<StepOutcome> {
+        let n = self.config.n_reduce;
+        let spec = self.spec;
+        {
             let started = Instant::now();
             let mut metrics = JobMetrics {
                 jobs_started: u64::from(iteration == 1),
@@ -199,7 +316,7 @@ impl<'s, S: IterativeSpec> IncrIterEngine<'s, S> {
             let (map_outputs, new_dks, map_invocations) = if iteration == 1 {
                 self.map_structure_delta(pool, data, delta)?
             } else {
-                self.map_state_delta(pool, data, std::mem::take(&mut delta_state), iteration)?
+                self.map_state_delta(pool, data, std::mem::take(delta_state), iteration)?
             };
             metrics.map_invocations = map_invocations;
             metrics.stages.add(Stage::Map, t.elapsed());
@@ -328,6 +445,13 @@ impl<'s, S: IterativeSpec> IncrIterEngine<'s, S> {
                 }
                 next_delta.extend(emitted);
             }
+            // Fault-recovery accounting: pool-level retries / speculative
+            // re-executions since the last drain, plus the rewind cost of
+            // any recovery that led into this iteration.
+            let (retries, respeculations) = pool.drain_recovery();
+            metrics.retries += retries;
+            metrics.respeculations += respeculations;
+            metrics.recovery_ms += std::mem::take(pending_recovery_ms);
             // Fold the store plane's I/O and compaction counters into this
             // iteration's metrics, and checkpoint, *before* scheduling
             // background compactions: both take shard write locks and
@@ -343,8 +467,11 @@ impl<'s, S: IterativeSpec> IncrIterEngine<'s, S> {
             });
             report.per_iteration.push(metrics);
 
+            *delta_state = next_delta;
             if let Some(ck) = ckpt {
                 ck.save_iteration(iteration, &data.state, Some(stores))?;
+                // Aux last: its presence seals the iteration as resumable.
+                ck.save_aux(iteration, &encode_to(delta_state))?;
             }
 
             // End of iteration: schedule policy-driven compaction of
@@ -354,33 +481,17 @@ impl<'s, S: IterativeSpec> IncrIterEngine<'s, S> {
             stores.schedule_compactions(iteration)?;
 
             if emitted_total == 0 {
-                report.converged = true;
-                settle_store_plane(stores, &mut report)?;
-                return Ok(report);
+                return Ok(StepOutcome::Converged);
             }
 
             // ---------------- P∆ monitor (§5.2) ----------------
             let p_delta = emitted_total as f64 / data.state_len().max(1) as f64;
             if p_delta > self.params.pdelta_threshold {
-                report.mrbg_turned_off_at = Some(iteration);
-                let fb = self.run_fallback(pool, data, iteration)?;
-                merge_fallback(&mut report, fb);
-                // Settle first so the final checkpoint export below does
-                // not queue behind still-running compactions.
-                settle_store_plane(stores, &mut report)?;
-                // The fallback iterations mutated the state without
-                // checkpointing; persist the final state so recovery sees
-                // the completed refresh (paper §6.1: every iteration).
-                if let Some(ck) = ckpt {
-                    ck.save_iteration(report.iterations.len() as u64, &data.state, Some(stores))?;
-                }
-                return Ok(report);
+                return Ok(StepOutcome::PdeltaExceeded);
             }
 
-            delta_state = next_delta;
+            Ok(StepOutcome::Continue)
         }
-        settle_store_plane(stores, &mut report)?;
-        Ok(report)
     }
 
     /// Iteration 1 map phase: run Map over the delta structure records
@@ -1014,6 +1125,99 @@ mod tests {
         assert_eq!(report.iterations.len(), 1);
         assert_eq!(report.iterations[0].changed_keys, 0);
         assert_eq!(data.state_snapshot(), before);
+    }
+
+    #[test]
+    fn resumes_mid_run_after_worker_faults_bit_identical() {
+        use i2mr_common::failpoint::{FailAction, FailSite, FailpointRegistry};
+        use i2mr_mapred::pool::PoolConfig;
+        use i2mr_store::store::MrbgStore;
+        use std::sync::Arc;
+
+        let pool = WorkerPool::new(N);
+        let graph = ring_with_chords(40);
+        let mut delta: Delta<u64, Vec<u64>> = Delta::new();
+        let old = graph[7].1.clone();
+        let mut new = old.clone();
+        new.push(20);
+        delta.update(7, old, new);
+
+        let engine = IncrIterEngine::new(
+            &MiniRank,
+            JobConfig::symmetric(N),
+            IncrParams {
+                max_iterations: 400,
+                ..Default::default()
+            },
+            IterParams::default(),
+        )
+        .unwrap();
+
+        // Fault-free reference refresh.
+        let st_ref = stores(&pool, "resume-ref");
+        let mut data_ref = converge_initial(graph.clone(), &st_ref, &pool);
+        assert!(
+            engine
+                .run(&pool, &mut data_ref, &st_ref, &delta, None)
+                .unwrap()
+                .converged
+        );
+
+        // Faulty refresh: converge on the clean pool, move the preserved
+        // shards to a pool whose every task attempt dies while the fault
+        // budget lasts (no executor retries — failures escape to the
+        // engine's rewind path).
+        let st_seed = stores(&pool, "resume-seed");
+        let mut data = converge_initial(graph.clone(), &st_seed, &pool);
+        let payloads: Vec<Vec<u8>> = (0..N).map(|p| st_seed.export(p).unwrap()).collect();
+        drop(st_seed);
+
+        let fp = Arc::new(FailpointRegistry::seeded(21, 3).arm(
+            FailSite::TaskRun,
+            1.0,
+            FailAction::Error,
+        ));
+        let faulty = WorkerPool::with_config(PoolConfig {
+            max_attempts: 1,
+            failpoints: Arc::clone(&fp),
+            ..PoolConfig::new(N)
+        });
+        let dir = std::env::temp_dir().join(format!(
+            "i2mr-incr-resume-{}-{:?}",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+        let shards = payloads
+            .iter()
+            .enumerate()
+            .map(|(p, payload)| {
+                MrbgStore::import(dir.join(format!("shard-{p}")), payload, Default::default())
+                    .unwrap()
+            })
+            .collect();
+        let st = StoreManager::from_stores(&faulty, shards, Default::default()).unwrap();
+        let dfs = i2mr_dfs::MiniDfs::open_with(dir.join("dfs"), 1 << 20, 2).unwrap();
+        let ck = IterCheckpointer::new(&dfs, "resume", N);
+
+        let report = engine
+            .run(&faulty, &mut data, &st, &delta, Some(&ck))
+            .unwrap();
+        assert!(report.converged);
+        assert!(fp.fired() >= 1, "faults must actually have been injected");
+        let total = report.total_metrics();
+        assert!(total.recovery_ms > 0, "rewind cost must be accounted");
+        assert!(
+            total.rebuilt_shards >= N as u64,
+            "every shard rebuilds on rewind (got {})",
+            total.rebuilt_shards
+        );
+
+        // Bit-identical fixed point and byte-identical preserved MRBGraph.
+        assert_eq!(data_ref.state, data.state);
+        for p in 0..N {
+            assert_eq!(st_ref.export(p).unwrap(), st.export(p).unwrap());
+        }
     }
 
     #[test]

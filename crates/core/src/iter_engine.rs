@@ -15,6 +15,7 @@
 //! The same engine with [`PreserveMode::None`] is the fair re-computation
 //! baseline; with preservation it is i2MapReduce's job `A_{i-1}`.
 
+use crate::checkpoint::IterCheckpointer;
 use crate::iterative::{IterParams, IterationStats, IterativeSpec, PreserveMode, SmallStateSpec};
 use i2mr_common::codec::encode_to;
 use i2mr_common::error::Result;
@@ -294,6 +295,119 @@ impl<'s, S: IterativeSpec> PartitionedIterEngine<'s, S> {
             // counters into the last iteration's metrics. With no recorded
             // iteration, settle into a fresh slot rather than bare-fencing
             // — a bare fence would drop the retired compactions' counters.
+            if let Some(last) = report.per_iteration.last_mut() {
+                stores.settle_into(last)?;
+            } else {
+                let mut trailing = JobMetrics::default();
+                stores.settle_into(&mut trailing)?;
+                if trailing.store_compactions > 0
+                    || trailing.store_bytes_reclaimed > 0
+                    || trailing.store_io != i2mr_common::metrics::IoStats::default()
+                {
+                    report.per_iteration.push(trailing);
+                }
+            }
+        }
+        Ok(report)
+    }
+
+    /// Like [`Self::run`], but checkpointing every iteration and rewinding
+    /// to the last complete checkpoint when a fault escapes the executor's
+    /// own retries (paper §6.1 / Fig. 13). Structure data never mutates
+    /// across iterations, so recovery reloads only the state — and rebuilds
+    /// the store shards when preservation runs every iteration.
+    pub fn run_checkpointed(
+        &self,
+        pool: &WorkerPool,
+        data: &mut PartitionedData<S::SK, S::SV, S::DK, S::DV>,
+        stores: Option<&StoreManager>,
+        ck: &IterCheckpointer,
+    ) -> Result<RunReport> {
+        let preserve_each = matches!(self.params.preserve, PreserveMode::EveryIteration);
+        if matches!(
+            self.params.preserve,
+            PreserveMode::EveryIteration | PreserveMode::FinalOnly
+        ) && stores.is_none()
+        {
+            return Err(i2mr_common::error::Error::config(
+                "MRBGraph preservation requested but no stores supplied",
+            ));
+        }
+        let ckpt_stores = if preserve_each { stores } else { None };
+
+        // Iteration-0 baseline: written before any mutation, so a baseline
+        // failure leaves the caller's data untouched and the run retryable.
+        ck.save_iteration(0, &data.state, ckpt_stores)?;
+        ck.save_aux(0, &[])?;
+
+        let mut report = RunReport::default();
+        let mut recoveries_left = crate::checkpoint::MAX_RECOVERIES;
+        let mut pending_recovery_ms = 0u64;
+        let mut iteration = 1u64;
+        while iteration <= self.params.max_iterations {
+            let started = Instant::now();
+            let mut metrics = JobMetrics {
+                jobs_started: u64::from(iteration == 1),
+                ..Default::default()
+            };
+            let step = self
+                .run_iteration(pool, data, iteration, ckpt_stores, &mut metrics)
+                .and_then(|stats| {
+                    ck.save_iteration(iteration, &data.state, ckpt_stores)?;
+                    // Aux last: its presence seals the iteration.
+                    ck.save_aux(iteration, &[])?;
+                    Ok(stats)
+                });
+            match step {
+                Ok(stats) => {
+                    let (retries, respeculations) = pool.drain_recovery();
+                    metrics.retries += retries;
+                    metrics.respeculations += respeculations;
+                    metrics.recovery_ms += std::mem::take(&mut pending_recovery_ms);
+                    let stats = IterationStats {
+                        iteration,
+                        wall: started.elapsed(),
+                        ..stats
+                    };
+                    let converged = stats.max_diff < self.params.epsilon;
+                    report.iterations.push(stats);
+                    report.per_iteration.push(metrics);
+                    if converged {
+                        report.converged = true;
+                        break;
+                    }
+                    iteration += 1;
+                }
+                Err(e) => {
+                    if recoveries_left == 0 {
+                        return Err(e);
+                    }
+                    let Some(latest) = ck.latest_resumable(ckpt_stores.is_some()) else {
+                        return Err(e);
+                    };
+                    recoveries_left -= 1;
+                    let t = Instant::now();
+                    data.state = ck.load_state(latest)?;
+                    if let Some(stores) = ckpt_stores {
+                        for p in 0..stores.n_shards() {
+                            let payload = ck.load_store_payload(latest, p)?;
+                            stores.rebuild_shard(p, &payload)?;
+                        }
+                    }
+                    report.iterations.truncate(latest as usize);
+                    report.per_iteration.truncate(latest as usize);
+                    pending_recovery_ms += (t.elapsed().as_millis() as u64).max(1);
+                    iteration = latest + 1;
+                }
+            }
+        }
+
+        if matches!(self.params.preserve, PreserveMode::FinalOnly) {
+            let mut metrics = JobMetrics::default();
+            self.materialize_mrbg(pool, data, stores.unwrap(), &mut metrics)?;
+            report.per_iteration.push(metrics);
+        }
+        if let Some(stores) = stores {
             if let Some(last) = report.per_iteration.last_mut() {
                 stores.settle_into(last)?;
             } else {
@@ -942,6 +1056,59 @@ mod tests {
             let n = stores.with_store_ref(p, |s| s.n_batches());
             assert_eq!(n, 1, "only the converged iteration");
         }
+    }
+
+    #[test]
+    fn run_checkpointed_resumes_after_worker_faults() {
+        use crate::checkpoint::IterCheckpointer;
+        use i2mr_common::failpoint::{FailAction, FailSite, FailpointRegistry};
+        use i2mr_mapred::pool::PoolConfig;
+        use std::sync::Arc;
+
+        let spec = Averager;
+        let params = IterParams {
+            max_iterations: 100,
+            epsilon: 1e-12,
+            preserve: PreserveMode::None,
+        };
+        let engine = PartitionedIterEngine::new(&spec, JobConfig::symmetric(3), params).unwrap();
+
+        // Fault-free reference run.
+        let clean = WorkerPool::new(3);
+        let mut want = build_partitioned(&spec, 3, ring(30));
+        assert!(engine.run(&clean, &mut want, None).unwrap().converged);
+
+        // Faulty pool: every task attempt fails while the budget lasts and
+        // the executor gets no retries, so failures escape to the engine.
+        let fp = Arc::new(FailpointRegistry::seeded(17, 2).arm(
+            FailSite::TaskRun,
+            1.0,
+            FailAction::Error,
+        ));
+        let faulty = WorkerPool::with_config(PoolConfig {
+            max_attempts: 1,
+            failpoints: Arc::clone(&fp),
+            ..PoolConfig::new(3)
+        });
+        let dir = std::env::temp_dir().join(format!(
+            "i2mr-iter-resume-{}-{:?}",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+        let dfs = i2mr_dfs::MiniDfs::open_with(dir.join("dfs"), 1 << 20, 2).unwrap();
+        let ck = IterCheckpointer::new(&dfs, "avg-resume", 3);
+
+        let mut data = build_partitioned(&spec, 3, ring(30));
+        let report = engine
+            .run_checkpointed(&faulty, &mut data, None, &ck)
+            .unwrap();
+        assert!(report.converged);
+        assert!(fp.fired() >= 1, "faults must actually have been injected");
+        let total = report.total_metrics();
+        assert!(total.recovery_ms > 0, "recovery cost must be accounted");
+        // Bit-identical fixed point despite the mid-run rewinds.
+        assert_eq!(data.state, want.state);
     }
 
     #[test]

@@ -11,6 +11,8 @@
 
 use crate::MiniDfs;
 use i2mr_common::error::{Error, Result};
+use i2mr_common::failpoint::FailSite;
+use std::io::Write;
 use std::path::PathBuf;
 
 /// Atomic, versioned checkpoint store under `<dfs root>/checkpoints`.
@@ -34,11 +36,21 @@ impl CheckpointStore {
     }
 
     /// Atomically write checkpoint payload for `(job, iteration, task)`.
+    ///
+    /// The tmp file is fsynced before the rename, so a checkpoint that is
+    /// visible under its final name is also durable — recovery never picks
+    /// a checkpoint whose bytes could still be lost to a crash.
     pub fn save(&self, job: &str, iteration: u64, task: &str, data: &[u8]) -> Result<()> {
+        self.dfs
+            .failpoints()
+            .check(FailSite::CheckpointWrite, "checkpoint-save")?;
         std::fs::create_dir_all(&self.dir)?;
         let path = self.path(job, iteration, task);
         let tmp = path.with_extension("tmp");
-        std::fs::write(&tmp, data)?;
+        let mut f = std::fs::File::create(&tmp)?;
+        f.write_all(data)?;
+        f.sync_all()?;
+        drop(f);
         std::fs::rename(&tmp, &path)?;
         self.dfs.record_checkpoint_write(data.len() as u64);
         Ok(())

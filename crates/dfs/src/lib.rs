@@ -27,6 +27,7 @@ pub use checkpoint::CheckpointStore;
 pub use namenode::{FileMeta, Namenode};
 
 use i2mr_common::error::{Error, Result};
+use i2mr_common::failpoint::{FailSite, FailpointRegistry};
 use i2mr_common::metrics::IoStats;
 use parking_lot::Mutex;
 use std::io::{Read, Write};
@@ -51,6 +52,11 @@ struct DfsInner {
     io: Mutex<IoStats>,
     /// Number of simulated worker nodes used for block placement.
     workers: usize,
+    /// Chaos-injection sites for the DFS plane ([`FailSite::DfsBlockRead`],
+    /// [`FailSite::CheckpointWrite`]); disarmed by default. Behind a mutex
+    /// (not a config field) because all clones share one instance and the
+    /// chaos suites arm it after the DFS is built.
+    failpoints: Mutex<Arc<FailpointRegistry>>,
 }
 
 impl MiniDfs {
@@ -78,8 +84,18 @@ impl MiniDfs {
                 namenode: Mutex::new(namenode),
                 io: Mutex::new(IoStats::default()),
                 workers,
+                failpoints: Mutex::new(Arc::new(FailpointRegistry::disarmed())),
             }),
         })
+    }
+
+    /// Arm the DFS plane's chaos-injection sites (shared by all clones).
+    pub fn set_failpoints(&self, failpoints: Arc<FailpointRegistry>) {
+        *self.inner.failpoints.lock() = failpoints;
+    }
+
+    pub(crate) fn failpoints(&self) -> Arc<FailpointRegistry> {
+        Arc::clone(&self.inner.failpoints.lock())
     }
 
     /// The configured block size in bytes.
@@ -168,6 +184,8 @@ impl MiniDfs {
 
     /// Read a single block's payload.
     pub fn read_block(&self, id: BlockId) -> Result<Vec<u8>> {
+        self.failpoints()
+            .check(FailSite::DfsBlockRead, "read-block")?;
         let path = self.block_path(id);
         let mut f = std::fs::File::open(&path)
             .map_err(|_| Error::NotFound(format!("block {:016x}", id.0)))?;
@@ -338,5 +356,50 @@ mod tests {
         dfs.write_file("c", b"3").unwrap();
         let names: Vec<_> = dfs.list().into_iter().map(|f| f.name).collect();
         assert_eq!(names, ["a", "b", "c"]);
+    }
+
+    #[test]
+    fn block_read_failpoint_surfaces_and_is_bounded() {
+        use i2mr_common::failpoint::FailAction;
+        let dfs = MiniDfs::open_with(tmpdir("fp-read"), 8, 2).unwrap();
+        dfs.write_file("f", &[7u8; 20]).unwrap();
+        let fp = Arc::new(FailpointRegistry::seeded(11, 1).arm(
+            FailSite::DfsBlockRead,
+            1.0,
+            FailAction::Error,
+        ));
+        dfs.set_failpoints(Arc::clone(&fp));
+        // Budget of one: the first read fails, the retry goes through —
+        // the data underneath was never touched.
+        let err = dfs.read_file("f").unwrap_err();
+        assert!(err.to_string().contains("injected fault"));
+        assert_eq!(fp.fired(), 1);
+        assert_eq!(dfs.read_file("f").unwrap(), vec![7u8; 20]);
+    }
+
+    #[test]
+    fn checkpoint_write_failpoint_leaves_prior_checkpoint_intact() {
+        use i2mr_common::failpoint::FailAction;
+        let dfs = MiniDfs::open_with(tmpdir("fp-ckpt"), 64, 2).unwrap();
+        let ck = dfs.checkpoints();
+        ck.save("j", 1, "t", b"good").unwrap();
+        dfs.set_failpoints(Arc::new(FailpointRegistry::seeded(5, 1).arm(
+            FailSite::CheckpointWrite,
+            1.0,
+            FailAction::Error,
+        )));
+        let err = ck.save("j", 2, "t", b"next").unwrap_err();
+        assert!(err.to_string().contains("injected fault"));
+        // The failed save is invisible: iteration 1 remains the latest
+        // complete checkpoint and its payload is unchanged.
+        assert!(!ck.exists("j", 2, "t"));
+        assert_eq!(
+            ck.latest_complete_iteration("j", &["t".to_string()]),
+            Some(1)
+        );
+        assert_eq!(ck.load("j", 1, "t").unwrap(), b"good");
+        // Budget exhausted: the retried save succeeds.
+        ck.save("j", 2, "t", b"next").unwrap();
+        assert_eq!(ck.load("j", 2, "t").unwrap(), b"next");
     }
 }

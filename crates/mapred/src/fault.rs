@@ -4,7 +4,15 @@
 //! running map/reduce tasks and plots per-task execution progress including
 //! recovery. [`FaultPlan`] reproduces the injection deterministically;
 //! [`Timeline`] records exactly the events the figure plots.
+//!
+//! Targeted one-shot task faults are only half the story: the seeded
+//! [`FailpointRegistry`] (re-exported from `i2mr-common` so the store and
+//! DFS planes can share it without a dependency cycle) generalizes
+//! injection to chaos *schedules* that also strike inside store I/O, DFS
+//! block reads, and checkpoint writes, and that can kill a worker mid-task
+//! ([`FailAction::Panic`]).
 
+pub use i2mr_common::failpoint::{FailAction, FailSite, FailpointRegistry};
 use parking_lot::Mutex;
 use std::time::Duration;
 
@@ -172,18 +180,27 @@ impl Timeline {
             .collect()
     }
 
-    /// Recovery latency per failure: time from a `Fail` event to the next
-    /// `Start` of the same task (the rescheduled attempt).
+    /// Recovery latency per failure: time from the `Fail` of attempt `a` to
+    /// the `Start` of attempt `a + 1` of the same task (the rescheduled
+    /// attempt). A single linear pass over the timeline: each `Fail` parks
+    /// its timestamp keyed by `(task, a + 1)` and the matching restart
+    /// claims it, so a `Fail` is never paired with an unrelated later
+    /// `Start` (e.g. a speculative duplicate of an earlier attempt).
     pub fn recovery_latencies(&self) -> Vec<(TaskId, Duration)> {
+        let mut pending: std::collections::HashMap<(TaskId, u32), Duration> =
+            std::collections::HashMap::new();
         let mut out = Vec::new();
-        for (i, ev) in self.events.iter().enumerate() {
-            if ev.kind == TaskEventKind::Fail {
-                if let Some(next) = self.events[i + 1..]
-                    .iter()
-                    .find(|e| e.task == ev.task && e.kind == TaskEventKind::Start)
-                {
-                    out.push((ev.task, next.at.saturating_sub(ev.at)));
+        for ev in &self.events {
+            match ev.kind {
+                TaskEventKind::Fail => {
+                    pending.insert((ev.task, ev.attempt + 1), ev.at);
                 }
+                TaskEventKind::Start => {
+                    if let Some(failed_at) = pending.remove(&(ev.task, ev.attempt)) {
+                        out.push((ev.task, ev.at.saturating_sub(failed_at)));
+                    }
+                }
+                TaskEventKind::Finish => {}
             }
         }
         out
@@ -284,6 +301,36 @@ mod tests {
         assert_eq!(lat[0].1, Duration::from_millis(12));
         assert_eq!(tl.failures().len(), 1);
         assert_eq!(tl.for_task(t).len(), 4);
+    }
+
+    #[test]
+    fn recovery_latency_attributes_to_the_matching_attempt() {
+        // A speculative duplicate of attempt 1 starts AFTER attempt 1's
+        // failure; the old "next Start of the same task" pairing would
+        // blame the failure on the speculative start (2ms). Only the
+        // genuine attempt-2 restart (12ms) may be counted.
+        let mut tl = Timeline::default();
+        let t = tid(TaskKind::Reduce, 4, 2);
+        let ev = |ms, attempt, kind| TaskEvent {
+            at: Duration::from_millis(ms),
+            worker: 0,
+            task: t,
+            attempt,
+            kind,
+        };
+        tl.record(ev(10, 1, TaskEventKind::Start));
+        tl.record(ev(20, 1, TaskEventKind::Fail));
+        tl.record(ev(22, 1, TaskEventKind::Start)); // speculative duplicate of attempt 1
+        tl.record(ev(32, 2, TaskEventKind::Start)); // the rescheduled attempt
+        tl.record(ev(40, 2, TaskEventKind::Finish));
+        let lat = tl.recovery_latencies();
+        assert_eq!(lat.len(), 1);
+        assert_eq!(lat[0].1, Duration::from_millis(12));
+        // An unrecovered failure (budget exhausted) reports nothing.
+        let mut tl2 = Timeline::default();
+        tl2.record(ev(5, 1, TaskEventKind::Start));
+        tl2.record(ev(9, 1, TaskEventKind::Fail));
+        assert!(tl2.recovery_latencies().is_empty());
     }
 
     #[test]

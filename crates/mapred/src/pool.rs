@@ -1,5 +1,5 @@
-//! Persistent work-stealing executor with task affinity, retries, epochs,
-//! and a recorded timeline.
+//! Persistent work-stealing executor with task affinity, cross-worker
+//! recovery, epochs, and a recorded timeline.
 //!
 //! The pool plays the role of the cluster's TaskTrackers plus the
 //! JobTracker's scheduling loop (paper §2, §6.1), but unlike the original
@@ -27,13 +27,21 @@
 //!   Engines use this to let the previous iteration's compactions overlap
 //!   the next iteration's map phase, fencing only before the merge that
 //!   needs the shards quiescent.
-//! * **Fault semantics preserved.** A failed attempt is retried **on the
-//!   same worker** (the retry loop runs inside one scheduled job),
-//!   mirroring the paper's recovery ("reassigns the failed task on the
-//!   same TaskTracker"), after a configurable simulated detection delay;
-//!   every attempt's start/finish/fail is recorded against a single epoch
-//!   so multi-iteration computations produce one coherent timeline
-//!   (Fig. 13).
+//! * **Cross-worker recovery.** A failed attempt is *rescheduled onto a
+//!   different worker* with exponential backoff (base = the configured
+//!   detection delay, doubling per failed attempt) until the attempt
+//!   budget is exhausted — the paper's same-TaskTracker retry cannot
+//!   survive a lost worker, which the ROADMAP's distributed tier requires.
+//!   A panicking task body is caught and isolated into an attempt failure
+//!   (a dying worker fails the *task*, never the run), and tasks running
+//!   past an optional deadline get one speculative duplicate attempt
+//!   (first completion wins). Every attempt's start/finish/fail is
+//!   recorded against a single epoch so multi-iteration computations
+//!   produce one coherent timeline (Fig. 13).
+//! * **Seeded failpoints.** Beyond the targeted one-shot [`FaultPlan`],
+//!   an armed [`FailpointRegistry`] fires inside task bodies
+//!   ([`FailSite::TaskRun`]) as injected errors or simulated worker death
+//!   (panics), driving the chaos-soak suites.
 //! * **Graceful shutdown.** Dropping the last handle (or calling
 //!   [`WorkerPool::shutdown`]) drains every queued task — including
 //!   pending background compactions — before joining the workers.
@@ -49,18 +57,22 @@
 //!
 //! [`WorkerPool::run_tasks`] accepts tasks that borrow job-local data
 //! (`'a`), yet workers are `'static` threads. The lifetime is erased with
-//! one well-fenced `transmute`: `run_tasks` blocks until every job of the
-//! batch has been executed (or dropped, on abort) and has released its
-//! borrow — the same discipline scoped-thread libraries use. Each job
-//! drops its `TaskSpec` (the only `'a`-borrowing state) *before* signaling
-//! completion, so no borrow outlives the call.
+//! a well-fenced `transmute`: every job of a batch (initial attempts,
+//! retries, and speculative duplicates — all of which are minted by the
+//! coordinating `run_tasks` call itself, never by workers) borrows state
+//! owned by the `run_tasks` stack frame and holds a guard whose drop
+//! releases the batch fence. `run_tasks` returns only once every guard has
+//! been released *and* no retry ticket is outstanding, so no borrow
+//! outlives the call — the same discipline scoped-thread libraries use.
 
-use crate::fault::{FaultPlan, TaskEvent, TaskEventKind, TaskId, Timeline};
+use crate::fault::{
+    FailSite, FailpointRegistry, FaultPlan, TaskEvent, TaskEventKind, TaskId, Timeline,
+};
 use i2mr_common::error::{Error, Result};
 use parking_lot::Mutex as PlMutex;
 use std::collections::{BTreeMap, VecDeque};
-use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
-use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, AtomicU32, AtomicU64, Ordering};
 use std::sync::{Arc, Condvar, Mutex, MutexGuard};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
@@ -76,13 +88,14 @@ pub struct TaskSpec<'a, T> {
     /// Preferred worker index; `None` lets the pool round-robin.
     pub preferred_worker: Option<usize>,
     /// The work. Receives the attempt number (1-based); may be invoked
-    /// multiple times on retry and must be idempotent.
-    pub run: Box<dyn Fn(u32) -> Result<T> + Send + 'a>,
+    /// multiple times on retry — and concurrently with its own speculative
+    /// duplicate (hence `Sync`) — so it must be idempotent.
+    pub run: Box<dyn Fn(u32) -> Result<T> + Send + Sync + 'a>,
 }
 
 impl<'a, T> TaskSpec<'a, T> {
     /// Build a task with no placement preference.
-    pub fn new(id: TaskId, run: impl Fn(u32) -> Result<T> + Send + 'a) -> Self {
+    pub fn new(id: TaskId, run: impl Fn(u32) -> Result<T> + Send + Sync + 'a) -> Self {
         TaskSpec {
             id,
             preferred_worker: None,
@@ -91,11 +104,50 @@ impl<'a, T> TaskSpec<'a, T> {
     }
 
     /// Build a task pinned to prefer `worker`.
-    pub fn pinned(id: TaskId, worker: usize, run: impl Fn(u32) -> Result<T> + Send + 'a) -> Self {
+    pub fn pinned(
+        id: TaskId,
+        worker: usize,
+        run: impl Fn(u32) -> Result<T> + Send + Sync + 'a,
+    ) -> Self {
         TaskSpec {
             id,
             preferred_worker: Some(worker),
             run: Box::new(run),
+        }
+    }
+}
+
+/// Executor construction knobs (see [`WorkerPool::with_config`]).
+pub struct PoolConfig {
+    /// Number of persistent worker threads.
+    pub n_workers: usize,
+    /// Attempt budget per task (1 = no retries).
+    pub max_attempts: u32,
+    /// Simulated heartbeat-based failure-detection delay: the backoff base
+    /// between a failed attempt and its rescheduled successor (doubling per
+    /// failed attempt, capped at 32x).
+    pub detection_delay: Duration,
+    /// Targeted one-shot task faults (Fig. 13 reproduction).
+    pub fault_plan: Arc<FaultPlan>,
+    /// Seeded chaos failpoints; [`FailSite::TaskRun`] fires inside task
+    /// bodies.
+    pub failpoints: Arc<FailpointRegistry>,
+    /// When set, a task attempt still running past this deadline gets one
+    /// speculative duplicate attempt (first completion wins).
+    pub speculation_deadline: Option<Duration>,
+}
+
+impl PoolConfig {
+    /// Defaults matching [`WorkerPool::new`]: 3 attempts, zero detection
+    /// delay, no faults, no speculation.
+    pub fn new(n_workers: usize) -> Self {
+        PoolConfig {
+            n_workers,
+            max_attempts: 3,
+            detection_delay: Duration::ZERO,
+            fault_plan: Arc::new(FaultPlan::none()),
+            failpoints: Arc::new(FailpointRegistry::disarmed()),
+            speculation_deadline: None,
         }
     }
 }
@@ -130,6 +182,21 @@ fn wait<'g, T>(cv: &Condvar, guard: MutexGuard<'g, T>) -> MutexGuard<'g, T> {
     cv.wait(guard).unwrap_or_else(|p| p.into_inner())
 }
 
+fn wait_timeout<'g, T>(cv: &Condvar, guard: MutexGuard<'g, T>, d: Duration) -> MutexGuard<'g, T> {
+    cv.wait_timeout(guard, d)
+        .map(|(g, _)| g)
+        .unwrap_or_else(|p| p.into_inner().0)
+}
+
+/// Exponential backoff before the attempt following `failed_attempt`:
+/// `base * 2^(failed_attempt - 1)`, capped at 32x.
+fn backoff_for(base: Duration, failed_attempt: u32) -> Duration {
+    if base.is_zero() {
+        return Duration::ZERO;
+    }
+    base * (1u32 << failed_attempt.saturating_sub(1).min(5))
+}
+
 /// Scheduler state: the global injector plus one deque per worker.
 struct Sched {
     injector: VecDeque<Job>,
@@ -155,6 +222,8 @@ struct Core {
     max_attempts: u32,
     detection_delay: Duration,
     fault_plan: Arc<FaultPlan>,
+    failpoints: Arc<FailpointRegistry>,
+    speculation_deadline: Option<Duration>,
     timeline: PlMutex<Timeline>,
     timeline_truncated: AtomicBool,
     epoch0: Instant,
@@ -163,6 +232,10 @@ struct Core {
     fences: Mutex<FenceTable>,
     fence_done: Condvar,
     epoch_counter: AtomicU64,
+    /// Failed attempts rescheduled onto another worker since last drain.
+    retries: AtomicU64,
+    /// Speculative duplicate attempts launched since last drain.
+    respeculations: AtomicU64,
 }
 
 impl Core {
@@ -181,47 +254,46 @@ impl Core {
         });
     }
 
-    /// Run one task's attempt loop on `worker`: fault injection, timeline
-    /// events, retry-on-same-worker with the simulated detection delay.
-    fn execute_with_retries<T>(
+    /// Execute exactly one attempt of a task on `worker`: fault-plan and
+    /// failpoint injection, timeline events, and panic isolation — a panic
+    /// inside the body (injected worker death or a real bug) is caught and
+    /// converted into an attempt failure, so a dying worker can only ever
+    /// fail the task, never abort the run.
+    fn run_one_attempt<T>(
         &self,
         worker: usize,
         id: TaskId,
-        run: &(dyn Fn(u32) -> Result<T> + Send + '_),
+        attempt: u32,
+        run: &(dyn Fn(u32) -> Result<T> + Send + Sync + '_),
     ) -> Result<T> {
-        let mut attempt: u32 = 1;
-        loop {
-            self.record(worker, id, attempt, TaskEventKind::Start);
-            let outcome = if self.fault_plan.should_fail(id, attempt) {
-                Err(Error::TaskFailed {
+        self.record(worker, id, attempt, TaskEventKind::Start);
+        let outcome = catch_unwind(AssertUnwindSafe(|| {
+            if self.fault_plan.should_fail(id, attempt) {
+                return Err(Error::TaskFailed {
                     task: id.label(),
                     attempts: attempt,
                     reason: "injected fault".into(),
+                });
+            }
+            self.failpoints.check(FailSite::TaskRun, &id.label())?;
+            run(attempt)
+        }));
+        match outcome {
+            Ok(Ok(v)) => {
+                self.record(worker, id, attempt, TaskEventKind::Finish);
+                Ok(v)
+            }
+            Ok(Err(e)) => {
+                self.record(worker, id, attempt, TaskEventKind::Fail);
+                Err(e)
+            }
+            Err(_payload) => {
+                self.record(worker, id, attempt, TaskEventKind::Fail);
+                Err(Error::TaskFailed {
+                    task: id.label(),
+                    attempts: attempt,
+                    reason: "attempt panicked (worker lost)".into(),
                 })
-            } else {
-                run(attempt)
-            };
-            match outcome {
-                Ok(v) => {
-                    self.record(worker, id, attempt, TaskEventKind::Finish);
-                    return Ok(v);
-                }
-                Err(e) => {
-                    self.record(worker, id, attempt, TaskEventKind::Fail);
-                    if attempt >= self.max_attempts {
-                        return Err(Error::TaskFailed {
-                            task: id.label(),
-                            attempts: attempt,
-                            reason: e.to_string(),
-                        });
-                    }
-                    // Simulated heartbeat-based failure detection before
-                    // the retry is launched (on this same worker).
-                    if !self.detection_delay.is_zero() {
-                        std::thread::sleep(self.detection_delay);
-                    }
-                    attempt += 1;
-                }
             }
         }
     }
@@ -309,12 +381,67 @@ impl Core {
                 self.work.notify_all();
             }
             // Jobs built by this pool catch panics internally and route the
-            // payload to their batch; this outer catch is a last line of
+            // outcome to their batch; this outer catch is a last line of
             // defense keeping the worker alive for raw submissions.
             let _ = catch_unwind(AssertUnwindSafe(|| job(me)));
             lock(&self.sched).busy[me] = false;
         }
     }
+}
+
+/// One background attempt chain link: executes the attempt and, on a
+/// non-terminal failure, re-submits the *next* attempt on a different
+/// worker after the exponential-backoff delay, carrying the `EpochGuard`
+/// through the chain so the fence only releases when the chain terminates.
+fn submit_bg_attempt(
+    core: Arc<Core>,
+    epoch: u64,
+    guard: EpochGuard,
+    task: Arc<TaskSpec<'static, ()>>,
+    attempt: u32,
+    preferred: Option<usize>,
+    delay: Duration,
+) {
+    let job_core = Arc::clone(&core);
+    let job: Job = Box::new(move |worker: usize| {
+        let guard = guard;
+        // Backoff runs on the retry worker: detached background work has no
+        // coordinator thread to park the delay on, and compaction retries
+        // are rare enough that briefly occupying one worker is acceptable.
+        if !delay.is_zero() {
+            std::thread::sleep(delay);
+        }
+        match job_core.run_one_attempt(worker, task.id, attempt, &*task.run) {
+            Ok(()) => drop(guard),
+            Err(e) => {
+                if attempt >= job_core.max_attempts {
+                    let terminal = Error::TaskFailed {
+                        task: task.id.label(),
+                        attempts: attempt,
+                        reason: e.to_string(),
+                    };
+                    let mut t = lock(&job_core.fences);
+                    t.errors.entry(epoch).or_insert(terminal);
+                    drop(t);
+                    drop(guard);
+                } else {
+                    job_core.retries.fetch_add(1, Ordering::Relaxed);
+                    let next_pref = Some((worker + 1) % job_core.n_workers);
+                    let backoff = backoff_for(job_core.detection_delay, attempt);
+                    submit_bg_attempt(
+                        Arc::clone(&job_core),
+                        epoch,
+                        guard,
+                        Arc::clone(&task),
+                        attempt + 1,
+                        next_pref,
+                        backoff,
+                    );
+                }
+            }
+        }
+    });
+    core.submit(preferred, job);
 }
 
 /// Owns the worker threads; dropping the last [`WorkerPool`] handle drains
@@ -353,18 +480,50 @@ pub struct WorkerPool {
     shared: Arc<PoolShared>,
 }
 
+/// A retry minted by a failed attempt, claimed and launched by the batch
+/// coordinator once `not_before` passes.
+#[derive(Clone, Copy)]
+struct RetryTicket {
+    attempt: u32,
+    not_before: Instant,
+    /// Cross-worker placement: the worker after the one that failed.
+    preferred: Option<usize>,
+}
+
+/// Per-task recovery state for one `run_tasks` batch. Owned by the
+/// coordinator's stack frame; jobs borrow it.
+struct TaskState<'a, T> {
+    spec: TaskSpec<'a, T>,
+    slot: usize,
+    /// First terminal completion wins; losers (speculative duplicates)
+    /// discard their result.
+    done: AtomicBool,
+    /// Highest attempt number handed out for this task.
+    attempts: AtomicU32,
+    /// Attempts currently executing (speculation can make this 2).
+    running: AtomicU32,
+    /// Most recent attempt start, for straggler detection.
+    started_at: PlMutex<Option<Instant>>,
+    /// Set by a failed attempt with budget left; drained by the coordinator.
+    pending_retry: PlMutex<Option<RetryTicket>>,
+    /// One speculative duplicate per task, ever.
+    speculated: AtomicBool,
+}
+
 /// One `run_tasks` batch: result slots plus the completion fence.
 struct Batch<T> {
     slots: PlMutex<Vec<Option<T>>>,
+    /// Live job guards (initial attempts + retries + speculative
+    /// duplicates). The fence requires this to reach zero.
     remaining: Mutex<usize>,
     done: Condvar,
     abort: AtomicBool,
     first_err: PlMutex<Option<Error>>,
-    panic: PlMutex<Option<Box<dyn std::any::Any + Send>>>,
 }
 
-/// Decrements the batch's remaining count on drop — every submitted job
-/// releases the fence exactly once, on success, error, panic, or abort.
+/// Decrements the batch's live-job count on drop — every submitted job
+/// releases the fence exactly once, on success, error, or abort. Always
+/// notifies: the coordinator also wakes to claim retry tickets.
 struct BatchGuard<'b, T> {
     batch: &'b Batch<T>,
 }
@@ -373,9 +532,13 @@ impl<T> Drop for BatchGuard<'_, T> {
     fn drop(&mut self) {
         let mut r = lock(&self.batch.remaining);
         *r -= 1;
-        if *r == 0 {
-            self.batch.done.notify_all();
-        }
+        // Notify while still holding the lock: the coordinator may observe
+        // `remaining == 0` and destroy the batch the instant we unlock (it
+        // does not need the notification if it is blocked on the mutex
+        // itself), so the unlock below must be this guard's *last* touch of
+        // the batch — a notify after unlock would race with destruction.
+        self.batch.done.notify_all();
+        drop(r);
     }
 }
 
@@ -400,7 +563,7 @@ impl Drop for EpochGuard {
 impl WorkerPool {
     /// Pool with `n_workers` persistent threads and no fault plan.
     pub fn new(n_workers: usize) -> Self {
-        Self::with_faults(n_workers, 3, Duration::ZERO, Arc::new(FaultPlan::none()))
+        Self::with_config(PoolConfig::new(n_workers))
     }
 
     /// Pool with explicit retry budget, detection delay, and fault plan.
@@ -410,6 +573,24 @@ impl WorkerPool {
         detection_delay: Duration,
         fault_plan: Arc<FaultPlan>,
     ) -> Self {
+        Self::with_config(PoolConfig {
+            max_attempts,
+            detection_delay,
+            fault_plan,
+            ..PoolConfig::new(n_workers)
+        })
+    }
+
+    /// Pool with the full set of construction knobs.
+    pub fn with_config(config: PoolConfig) -> Self {
+        let PoolConfig {
+            n_workers,
+            max_attempts,
+            detection_delay,
+            fault_plan,
+            failpoints,
+            speculation_deadline,
+        } = config;
         assert!(n_workers > 0, "pool needs at least one worker");
         assert!(max_attempts > 0, "tasks need at least one attempt");
         let core = Arc::new(Core {
@@ -417,6 +598,8 @@ impl WorkerPool {
             max_attempts,
             detection_delay,
             fault_plan,
+            failpoints,
+            speculation_deadline,
             timeline: PlMutex::new(Timeline::default()),
             timeline_truncated: AtomicBool::new(false),
             epoch0: Instant::now(),
@@ -430,6 +613,8 @@ impl WorkerPool {
             fences: Mutex::new(FenceTable::default()),
             fence_done: Condvar::new(),
             epoch_counter: AtomicU64::new(0),
+            retries: AtomicU64::new(0),
+            respeculations: AtomicU64::new(0),
         });
         let threads = (0..n_workers)
             .map(|i| {
@@ -470,6 +655,18 @@ impl WorkerPool {
         self.shared.core.timeline_truncated.load(Ordering::Relaxed)
     }
 
+    /// Take and reset the recovery counters accumulated since the last
+    /// call: `(retries, respeculations)` — failed attempts rescheduled
+    /// onto another worker, and speculative duplicates launched. Engines
+    /// drain these into `JobMetrics` per iteration.
+    pub fn drain_recovery(&self) -> (u64, u64) {
+        let core = &self.shared.core;
+        (
+            core.retries.swap(0, Ordering::Relaxed),
+            core.respeculations.swap(0, Ordering::Relaxed),
+        )
+    }
+
     /// Run all tasks to completion, in parallel on the persistent workers,
     /// and return their results in submission order.
     ///
@@ -477,6 +674,12 @@ impl WorkerPool {
     /// remaining queued tasks of the batch are then abandoned (the
     /// JobTracker kills the job). The call blocks until every job of the
     /// batch has drained, so tasks may freely borrow caller-local data.
+    ///
+    /// The calling thread doubles as the batch *coordinator*: failed
+    /// attempts park a retry ticket and the coordinator launches the
+    /// rescheduled attempt on a different worker once the backoff expires;
+    /// with a speculation deadline configured it also launches duplicate
+    /// attempts for stragglers.
     pub fn run_tasks<'a, T: Send>(&self, tasks: Vec<TaskSpec<'a, T>>) -> Result<Vec<T>> {
         debug_assert!(
             !IS_POOL_WORKER.with(|w| w.get()),
@@ -491,70 +694,187 @@ impl WorkerPool {
         let core = &self.shared.core;
         let batch: Batch<T> = Batch {
             slots: PlMutex::new((0..n).map(|_| None).collect()),
-            remaining: Mutex::new(n),
+            remaining: Mutex::new(0),
             done: Condvar::new(),
             abort: AtomicBool::new(false),
             first_err: PlMutex::new(None),
-            panic: PlMutex::new(None),
         };
+        let states: Vec<TaskState<'a, T>> = tasks
+            .into_iter()
+            .enumerate()
+            .map(|(slot, spec)| TaskState {
+                spec,
+                slot,
+                done: AtomicBool::new(false),
+                attempts: AtomicU32::new(1),
+                running: AtomicU32::new(0),
+                started_at: PlMutex::new(None),
+                pending_retry: PlMutex::new(None),
+                speculated: AtomicBool::new(false),
+            })
+            .collect();
+
         let batch_ref = &batch;
         let core_ref: &Core = core;
-        let mut jobs: Vec<(Option<usize>, Job)> = Vec::with_capacity(n);
-        for (slot, task) in tasks.into_iter().enumerate() {
-            // Honor explicit preferences; round-robin the rest across the
-            // per-worker deques (stealing rebalances under skew).
-            let preferred = Some(task.preferred_worker.unwrap_or(slot));
+        let states_ref = &states;
+        // Mint one attempt job. All jobs — initial, retry, speculative —
+        // come from here, on the coordinator thread, inside this frame.
+        let make_job = |idx: usize, attempt: u32| -> Job {
             let job: Box<dyn FnOnce(usize) + Send + '_> = Box::new(move |worker: usize| {
-                // Declared first so it drops *last*: completion is signaled
-                // only after `task` (the sole `'a`-borrowing state) is gone.
+                // Declared first so it drops *last*: the fence is released
+                // only after every borrow in this body is dead.
                 let _signal = BatchGuard { batch: batch_ref };
-                let task = task;
-                if batch_ref.abort.load(Ordering::Relaxed) {
+                let ts = &states_ref[idx];
+                if batch_ref.abort.load(Ordering::Relaxed) || ts.done.load(Ordering::Acquire) {
                     return;
                 }
-                let outcome = catch_unwind(AssertUnwindSafe(|| {
-                    core_ref.execute_with_retries(worker, task.id, &task.run)
-                }));
-                drop(task);
+                ts.running.fetch_add(1, Ordering::SeqCst);
+                *ts.started_at.lock() = Some(Instant::now());
+                let outcome = core_ref.run_one_attempt(worker, ts.spec.id, attempt, &*ts.spec.run);
+                ts.running.fetch_sub(1, Ordering::SeqCst);
                 match outcome {
-                    Ok(Ok(v)) => batch_ref.slots.lock()[slot] = Some(v),
-                    Ok(Err(e)) => {
-                        let mut first = batch_ref.first_err.lock();
-                        if first.is_none() {
-                            *first = Some(e);
+                    Ok(v) => {
+                        // First terminal completion wins; a speculative
+                        // loser's result is discarded.
+                        if !ts.done.swap(true, Ordering::AcqRel) {
+                            batch_ref.slots.lock()[ts.slot] = Some(v);
                         }
-                        batch_ref.abort.store(true, Ordering::Relaxed);
                     }
-                    Err(payload) => {
-                        *batch_ref.panic.lock() = Some(payload);
-                        batch_ref.abort.store(true, Ordering::Relaxed);
+                    Err(e) => {
+                        if ts.done.load(Ordering::Acquire)
+                            || batch_ref.abort.load(Ordering::Relaxed)
+                        {
+                            return;
+                        }
+                        if attempt >= core_ref.max_attempts {
+                            let mut first = batch_ref.first_err.lock();
+                            if first.is_none() {
+                                *first = Some(Error::TaskFailed {
+                                    task: ts.spec.id.label(),
+                                    attempts: attempt,
+                                    reason: e.to_string(),
+                                });
+                            }
+                            batch_ref.abort.store(true, Ordering::Relaxed);
+                        } else {
+                            core_ref.retries.fetch_add(1, Ordering::Relaxed);
+                            let next = ts.attempts.fetch_add(1, Ordering::SeqCst) + 1;
+                            // Cross-worker rescheduling with exponential
+                            // backoff; the coordinator launches it when due.
+                            *ts.pending_retry.lock() = Some(RetryTicket {
+                                attempt: next,
+                                not_before: Instant::now()
+                                    + backoff_for(core_ref.detection_delay, attempt),
+                                preferred: Some((worker + 1) % core_ref.n_workers),
+                            });
+                        }
                     }
                 }
             });
-            // SAFETY: the job borrows `batch` and the task's `'a` data, both
-            // of which outlive it: the fence below blocks until every job of
-            // this batch has run (or been drop-skipped on abort) and has
-            // signaled through its BatchGuard — after which no worker touches
-            // the borrowed state again. Jobs are never leaked: workers drain
-            // all queues before exiting, and post-shutdown submissions run
-            // inline.
-            let job: Job =
-                unsafe { std::mem::transmute::<Box<dyn FnOnce(usize) + Send + '_>, Job>(job) };
-            jobs.push((preferred, job));
-        }
-        // One lock acquisition + one wakeup for the whole batch.
-        core.submit_batch(jobs.into_iter());
+            // SAFETY: the job borrows `batch`/`states` (this stack frame)
+            // and the tasks' `'a` data. The coordinator loop below returns
+            // only once the live-job count is zero AND no retry ticket is
+            // outstanding, i.e. after every job has run (or been
+            // drop-skipped on abort) and released its BatchGuard — after
+            // which no worker touches the borrowed state again. Jobs are
+            // never leaked: workers drain all queues before exiting, and
+            // post-shutdown submissions run inline.
+            unsafe { std::mem::transmute::<Box<dyn FnOnce(usize) + Send + '_>, Job>(job) }
+        };
 
-        // The fence: every job signaled, every borrow released.
+        // Initial attempts: honor explicit preferences; round-robin the
+        // rest across the per-worker deques (stealing rebalances skew).
         {
             let mut remaining = lock(&batch.remaining);
-            while *remaining > 0 {
-                remaining = wait(&batch.done, remaining);
+            *remaining += n;
+        }
+        let jobs = states
+            .iter()
+            .enumerate()
+            .map(|(i, ts)| (Some(ts.spec.preferred_worker.unwrap_or(i)), make_job(i, 1)));
+        core.submit_batch(jobs);
+
+        // Coordinator loop: wait for the fence while claiming due retry
+        // tickets and (optionally) launching speculative duplicates.
+        let mut remaining = lock(&batch.remaining);
+        loop {
+            let now = Instant::now();
+            let aborting = batch.abort.load(Ordering::Relaxed);
+            let mut to_spawn: Vec<(usize, u32, Option<usize>)> = Vec::new();
+            // Nearest future instant we must wake at without being notified.
+            let mut next_deadline: Option<Instant> = None;
+            let note = |d: Instant, nd: &mut Option<Instant>| {
+                *nd = Some(nd.map_or(d, |cur| cur.min(d)));
+            };
+            for (i, ts) in states.iter().enumerate() {
+                let mut ticket = ts.pending_retry.lock();
+                if let Some(t) = *ticket {
+                    if aborting {
+                        *ticket = None;
+                    } else if t.not_before <= now {
+                        *ticket = None;
+                        to_spawn.push((i, t.attempt, t.preferred));
+                    } else {
+                        note(t.not_before, &mut next_deadline);
+                    }
+                }
             }
+            if let (Some(deadline), false) = (core.speculation_deadline, aborting) {
+                for (i, ts) in states.iter().enumerate() {
+                    if ts.done.load(Ordering::Acquire)
+                        || ts.speculated.load(Ordering::Relaxed)
+                        || ts.running.load(Ordering::SeqCst) == 0
+                    {
+                        continue;
+                    }
+                    let Some(started) = *ts.started_at.lock() else {
+                        continue;
+                    };
+                    if now.duration_since(started) >= deadline {
+                        ts.speculated.store(true, Ordering::Relaxed);
+                        core.respeculations.fetch_add(1, Ordering::Relaxed);
+                        let attempt = ts.attempts.fetch_add(1, Ordering::SeqCst) + 1;
+                        // No placement preference: any idle worker takes it.
+                        to_spawn.push((i, attempt, None));
+                    } else {
+                        note(started + deadline, &mut next_deadline);
+                    }
+                }
+            }
+            if !to_spawn.is_empty() {
+                *remaining += to_spawn.len();
+                drop(remaining);
+                core.submit_batch(
+                    to_spawn
+                        .into_iter()
+                        .map(|(i, attempt, pref)| (pref, make_job(i, attempt))),
+                );
+                remaining = lock(&batch.remaining);
+                continue;
+            }
+            if *remaining == 0 && next_deadline.is_none() {
+                break;
+            }
+            remaining = match (next_deadline, core.speculation_deadline) {
+                // Wake at the next backoff expiry / straggler deadline even
+                // if no job signals; tickets parked after our scan are
+                // always followed by a guard drop that notifies.
+                (Some(d), _) => wait_timeout(
+                    &batch.done,
+                    remaining,
+                    d.saturating_duration_since(now)
+                        .max(Duration::from_micros(100)),
+                ),
+                // Speculation poll floor: if every task straggles, no
+                // completion ever notifies us, so bound the wait.
+                (None, Some(deadline)) if *remaining > 0 => {
+                    wait_timeout(&batch.done, remaining, deadline)
+                }
+                (None, _) => wait(&batch.done, remaining),
+            };
         }
-        if let Some(payload) = batch.panic.lock().take() {
-            resume_unwind(payload);
-        }
+        drop(remaining);
+
         if let Some(e) = batch.first_err.lock().take() {
             return Err(e);
         }
@@ -572,8 +892,11 @@ impl WorkerPool {
     }
 
     /// Submit detached background work tagged with `epoch`. The task runs
-    /// with the full retry/fault/timeline machinery; a terminal error is
-    /// held until the next [`WorkerPool::fence`] covering its epoch.
+    /// with the full retry/fault/timeline machinery — failed attempts are
+    /// rescheduled onto the next worker with exponential backoff — and a
+    /// terminal error is held until the next [`WorkerPool::fence`]
+    /// covering its epoch. A panicking attempt is isolated into an attempt
+    /// failure like any other.
     ///
     /// Background tasks must own their data (`'static`): they outlive the
     /// submitting call by design and are only synchronized via `fence`.
@@ -583,30 +906,20 @@ impl WorkerPool {
             let mut t = lock(&core.fences);
             *t.pending.entry(epoch).or_insert(0) += 1;
         }
+        let guard = EpochGuard {
+            core: Arc::clone(&core),
+            epoch,
+        };
         let preferred = task.preferred_worker;
-        let job_core = Arc::clone(&core);
-        let job: Job = Box::new(move |worker: usize| {
-            let _signal = EpochGuard {
-                core: Arc::clone(&job_core),
-                epoch,
-            };
-            let outcome = catch_unwind(AssertUnwindSafe(|| {
-                job_core.execute_with_retries(worker, task.id, &task.run)
-            }));
-            let err = match outcome {
-                Ok(Ok(())) => None,
-                Ok(Err(e)) => Some(e),
-                Err(_) => Some(Error::corrupt(format!(
-                    "background task {} panicked",
-                    task.id.label()
-                ))),
-            };
-            if let Some(e) = err {
-                let mut t = lock(&job_core.fences);
-                t.errors.entry(epoch).or_insert(e);
-            }
-        });
-        core.submit(preferred, job);
+        submit_bg_attempt(
+            core,
+            epoch,
+            guard,
+            Arc::new(task),
+            1,
+            preferred,
+            Duration::ZERO,
+        );
     }
 
     /// Block until every background task submitted at or before `epoch`
@@ -663,7 +976,7 @@ impl WorkerPool {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::fault::{FaultSpec, TaskKind};
+    use crate::fault::{FailAction, FaultSpec, TaskKind};
     use std::sync::atomic::AtomicU64;
 
     fn tid(index: usize) -> TaskId {
@@ -709,7 +1022,7 @@ mod tests {
     }
 
     #[test]
-    fn injected_fault_retries_on_same_worker_and_succeeds() {
+    fn injected_fault_reschedules_on_another_worker_and_succeeds() {
         let plan = Arc::new(FaultPlan::new(vec![FaultSpec {
             kind: TaskKind::Map,
             index: 2,
@@ -717,11 +1030,12 @@ mod tests {
             attempt: 1,
         }]));
         let pool = WorkerPool::with_faults(3, 3, Duration::ZERO, plan);
-        let tasks: Vec<TaskSpec<usize>> = (0..6)
-            .map(|i| TaskSpec::new(tid(i), move |_| Ok(i)))
-            .collect();
+        // A single task keeps placement deterministic: nothing else runs,
+        // so no busy victim exists for the steal path to reroute the retry.
+        let tasks: Vec<TaskSpec<usize>> = vec![TaskSpec::pinned(tid(2), 2, |_| Ok(42))];
         let out = pool.run_tasks(tasks).unwrap();
-        assert_eq!(out, vec![0, 1, 2, 3, 4, 5]);
+        assert_eq!(out, vec![42]);
+        assert_eq!(pool.drain_recovery(), (1, 0));
 
         let tl = pool.take_timeline();
         let evs = tl.for_task(tid(2));
@@ -735,9 +1049,14 @@ mod tests {
                 TaskEventKind::Finish
             ]
         );
-        // Retry happens on the same worker (paper §6.1 recovery case i).
-        let workers: std::collections::HashSet<_> = evs.iter().map(|e| e.worker).collect();
-        assert_eq!(workers.len(), 1);
+        // Cross-worker rescheduling: the retry must NOT land on the worker
+        // that just failed (it may be dead) — unlike the paper's
+        // same-TaskTracker reassignment.
+        assert_ne!(
+            evs[2].worker, evs[1].worker,
+            "retry must move to a different worker"
+        );
+        assert_eq!(evs[2].attempt, 2);
     }
 
     #[test]
@@ -774,6 +1093,142 @@ mod tests {
             }
         })];
         assert_eq!(pool.run_tasks(tasks).unwrap(), vec![99]);
+    }
+
+    #[test]
+    fn panicking_task_fails_the_task_not_the_run() {
+        // Attempt 1 panics (simulated worker death); the rescheduled
+        // attempt succeeds and the batch completes normally.
+        let pool = WorkerPool::new(2);
+        let tasks: Vec<TaskSpec<u32>> = vec![
+            TaskSpec::new(tid(0), |attempt| {
+                if attempt == 1 {
+                    panic!("worker dies mid-task");
+                }
+                Ok(5)
+            }),
+            TaskSpec::new(tid(1), |_| Ok(6)),
+        ];
+        assert_eq!(pool.run_tasks(tasks).unwrap(), vec![5, 6]);
+        let tl = pool.take_timeline();
+        assert_eq!(tl.failures().len(), 1, "panic recorded as a Fail event");
+    }
+
+    #[test]
+    fn terminal_panic_surfaces_as_task_failed_error() {
+        // Even with the budget exhausted, a panicking task produces an
+        // Err — the run itself must never unwind.
+        let plan = Arc::new(FaultPlan::none());
+        let pool = WorkerPool::with_faults(2, 1, Duration::ZERO, plan);
+        let tasks: Vec<TaskSpec<u32>> =
+            vec![TaskSpec::new(tid(0), |_| -> Result<u32> { panic!("boom") })];
+        let err = pool.run_tasks(tasks).unwrap_err();
+        match err {
+            Error::TaskFailed {
+                attempts, reason, ..
+            } => {
+                assert_eq!(attempts, 1);
+                assert!(reason.contains("panicked"), "reason: {reason}");
+            }
+            other => panic!("expected TaskFailed, got {other}"),
+        }
+    }
+
+    #[test]
+    fn taskrun_failpoints_inject_and_recover() {
+        // A seeded failpoint fires once inside a task body; the reschedule
+        // succeeds because the budget is exhausted afterwards.
+        let mut cfg = PoolConfig::new(2);
+        cfg.failpoints = Arc::new(FailpointRegistry::seeded(11, 1).arm(
+            FailSite::TaskRun,
+            1.0,
+            FailAction::Error,
+        ));
+        let pool = WorkerPool::with_config(cfg);
+        let tasks: Vec<TaskSpec<usize>> = (0..4)
+            .map(|i| TaskSpec::new(tid(i), move |_| Ok(i)))
+            .collect();
+        assert_eq!(pool.run_tasks(tasks).unwrap(), vec![0, 1, 2, 3]);
+        let tl = pool.take_timeline();
+        assert_eq!(tl.failures().len(), 1);
+        assert_eq!(pool.drain_recovery().0, 1);
+    }
+
+    #[test]
+    fn taskrun_failpoint_panics_are_isolated() {
+        // Panic-action failpoints simulate worker death; the run completes.
+        let mut cfg = PoolConfig::new(2);
+        cfg.failpoints = Arc::new(FailpointRegistry::seeded(5, 2).arm(
+            FailSite::TaskRun,
+            1.0,
+            FailAction::Panic,
+        ));
+        let pool = WorkerPool::with_config(cfg);
+        let tasks: Vec<TaskSpec<usize>> = (0..6)
+            .map(|i| TaskSpec::new(tid(i), move |_| Ok(i)))
+            .collect();
+        assert_eq!(pool.run_tasks(tasks).unwrap(), vec![0, 1, 2, 3, 4, 5]);
+        assert_eq!(pool.take_timeline().failures().len(), 2);
+    }
+
+    #[test]
+    fn backoff_doubles_per_failed_attempt() {
+        // Two consecutive failures: the first restart waits >= base, the
+        // second >= 2x base.
+        let pool =
+            WorkerPool::with_faults(2, 3, Duration::from_millis(10), Arc::new(FaultPlan::none()));
+        let tasks: Vec<TaskSpec<u32>> = vec![TaskSpec::new(tid(0), |attempt| {
+            if attempt <= 2 {
+                Err(Error::corrupt("transient"))
+            } else {
+                Ok(1)
+            }
+        })];
+        assert_eq!(pool.run_tasks(tasks).unwrap(), vec![1]);
+        let tl = pool.take_timeline();
+        let lat = tl.recovery_latencies();
+        assert_eq!(lat.len(), 2);
+        assert!(
+            lat[0].1 >= Duration::from_millis(10),
+            "first: {:?}",
+            lat[0].1
+        );
+        assert!(
+            lat[1].1 >= Duration::from_millis(20),
+            "second: {:?}",
+            lat[1].1
+        );
+    }
+
+    #[test]
+    fn speculation_duplicates_a_straggler_first_completion_wins() {
+        let mut cfg = PoolConfig::new(3);
+        cfg.speculation_deadline = Some(Duration::from_millis(25));
+        let pool = WorkerPool::with_config(cfg);
+        // Attempt 1 straggles; the speculative duplicate (attempt 2)
+        // finishes first and its result is the one returned — both return
+        // the same value, as idempotent tasks must.
+        let tasks: Vec<TaskSpec<u32>> = vec![
+            TaskSpec::new(tid(0), |attempt| {
+                if attempt == 1 {
+                    std::thread::sleep(Duration::from_millis(120));
+                }
+                Ok(42)
+            }),
+            TaskSpec::new(tid(1), |_| Ok(7)),
+        ];
+        assert_eq!(pool.run_tasks(tasks).unwrap(), vec![42, 7]);
+        let (retries, respecs) = pool.drain_recovery();
+        assert_eq!(retries, 0);
+        assert_eq!(respecs, 1, "exactly one speculative duplicate");
+        let tl = pool.take_timeline();
+        let evs = tl.for_task(tid(0));
+        assert!(
+            evs.iter()
+                .any(|e| e.attempt == 2 && e.kind == TaskEventKind::Start),
+            "speculative attempt recorded"
+        );
+        assert_eq!(tl.failures().len(), 0, "stragglers are not failures");
     }
 
     #[test]
@@ -929,6 +1384,63 @@ mod tests {
         assert!(matches!(err, Error::TaskFailed { .. }));
         // The error is consumed: a second fence is clean.
         pool.fence(e).unwrap();
+    }
+
+    #[test]
+    fn background_retries_move_across_workers() {
+        // A background task failing its first attempt is rescheduled on a
+        // different worker and completes; the fence is clean.
+        let pool = WorkerPool::new(2);
+        let e = pool.next_epoch();
+        pool.submit_at(
+            e,
+            TaskSpec::pinned(tid(3), 0, |attempt| {
+                if attempt == 1 {
+                    Err(Error::corrupt("transient"))
+                } else {
+                    Ok(())
+                }
+            }),
+        );
+        pool.fence(e).unwrap();
+        assert_eq!(pool.drain_recovery().0, 1);
+        let tl = pool.take_timeline();
+        let evs = tl.for_task(tid(3));
+        let fail_worker = evs
+            .iter()
+            .find(|e| e.kind == TaskEventKind::Fail)
+            .unwrap()
+            .worker;
+        let retry_start = evs
+            .iter()
+            .find(|e| e.kind == TaskEventKind::Start && e.attempt == 2)
+            .unwrap();
+        assert_ne!(retry_start.worker, fail_worker);
+    }
+
+    #[test]
+    fn background_panics_are_contained_and_retried() {
+        let pool = WorkerPool::new(2);
+        let e = pool.next_epoch();
+        pool.submit_at(
+            e,
+            TaskSpec::new(tid(0), |attempt| {
+                if attempt == 1 {
+                    panic!("background worker dies");
+                }
+                Ok(())
+            }),
+        );
+        pool.fence(e).unwrap();
+        // Terminal panic: surfaces as a TaskFailed error on the fence.
+        let pool1 = WorkerPool::with_faults(2, 1, Duration::ZERO, Arc::new(FaultPlan::none()));
+        let e1 = pool1.next_epoch();
+        pool1.submit_at(
+            e1,
+            TaskSpec::new(tid(1), |_| -> Result<()> { panic!("always dies") }),
+        );
+        let err = pool1.fence(e1).unwrap_err();
+        assert!(matches!(err, Error::TaskFailed { .. }));
     }
 
     #[test]

@@ -61,6 +61,21 @@ impl AppendBuffer {
         Ok(())
     }
 
+    /// Flush, then `sync_all` — the batch-boundary durability point.
+    ///
+    /// [`AppendBuffer::flush`] only hands bytes to the page cache; a crash
+    /// after it can still tear the batch. The store calls this once per
+    /// batch (append / merge / compaction), *before* the index that
+    /// references the new chunks is persisted, so an index entry can never
+    /// point at data the kernel might not have written. The fsync is not
+    /// counted in [`IoStats`] — write counters track data volume, and the
+    /// capacity-triggered mid-batch flushes stay cheap.
+    pub fn flush_durable(&mut self, file: &mut File, io: &mut IoStats) -> Result<()> {
+        self.flush(file, io)?;
+        file.sync_all()?;
+        Ok(())
+    }
+
     /// Bytes currently waiting to be flushed.
     pub fn pending(&self) -> usize {
         self.buf.len()
@@ -136,6 +151,23 @@ mod tests {
             .read_to_string(&mut content)
             .unwrap();
         assert_eq!(content, "firstsecond");
+    }
+
+    #[test]
+    fn flush_durable_writes_and_keeps_counters() {
+        let (p, mut f) = tmpfile("durable");
+        let mut io = IoStats::default();
+        let mut ab = AppendBuffer::new(1024, 0);
+        ab.append(b"persist-me", &mut f, &mut io).unwrap();
+        ab.flush_durable(&mut f, &mut io).unwrap();
+        assert_eq!(io.writes, 1, "fsync is not a counted write");
+        assert_eq!(io.bytes_written, 10);
+        let mut content = String::new();
+        File::open(&p)
+            .unwrap()
+            .read_to_string(&mut content)
+            .unwrap();
+        assert_eq!(content, "persist-me");
     }
 
     #[test]

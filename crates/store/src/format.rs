@@ -18,7 +18,69 @@
 
 use i2mr_common::codec::{read_varint, write_varint};
 use i2mr_common::error::{Error, Result};
-use i2mr_common::hash::MapKey;
+use i2mr_common::hash::{stable_hash64, MapKey};
+
+/// Bytes of frame header (little-endian checksum) prepended to every chunk
+/// written to an MRBGraph file. A *frame* is `checksum ‖ chunk-encoding`;
+/// [`crate::index::ChunkLoc::len`] covers the whole frame.
+pub const FRAME_OVERHEAD: usize = 4;
+
+/// Checksum over one chunk's encoded bytes (low 32 bits of the workspace's
+/// stable xxhash64, so frames are byte-identical across process runs).
+pub fn frame_checksum(chunk_bytes: &[u8]) -> u32 {
+    stable_hash64(chunk_bytes) as u32
+}
+
+/// Append `chunk` to `buf` as one checksummed frame.
+pub fn encode_framed(chunk: &Chunk, buf: &mut Vec<u8>) {
+    let start = buf.len();
+    buf.extend_from_slice(&[0u8; FRAME_OVERHEAD]);
+    chunk.encode(buf);
+    let crc = frame_checksum(&buf[start + FRAME_OVERHEAD..]);
+    buf[start..start + FRAME_OVERHEAD].copy_from_slice(&crc.to_le_bytes());
+}
+
+/// Decode one checksummed frame from the front of `input`, advancing it.
+///
+/// Fails on truncation *or* checksum mismatch — a torn or bit-flipped
+/// chunk can never decode into plausible-but-wrong edges.
+pub fn decode_framed(input: &mut &[u8]) -> Result<Chunk> {
+    if input.len() < FRAME_OVERHEAD {
+        return Err(Error::codec("chunk frame: truncated checksum"));
+    }
+    let (crc_bytes, rest) = input.split_at(FRAME_OVERHEAD);
+    let expect = u32::from_le_bytes(crc_bytes.try_into().unwrap());
+    let mut cur = rest;
+    let chunk = Chunk::decode(&mut cur)?;
+    let consumed = rest.len() - cur.len();
+    if frame_checksum(&rest[..consumed]) != expect {
+        return Err(Error::corrupt("chunk frame checksum mismatch"));
+    }
+    *input = cur;
+    Ok(chunk)
+}
+
+/// Length in bytes of the valid frame prefix of `tail` — crash salvage.
+///
+/// Frames are self-delimiting, so a crashed writer's file tail can be
+/// walked frame by frame; the first frame that fails to decode or
+/// checksum marks the torn point. Bytes before it are intact appends
+/// (e.g. a deferred merge whose index write never happened) and must be
+/// preserved; bytes from it on are garbage to truncate.
+pub fn valid_frame_prefix(tail: &[u8]) -> u64 {
+    let mut cur = tail;
+    loop {
+        if cur.is_empty() {
+            return tail.len() as u64;
+        }
+        let before = cur;
+        let mut probe = cur;
+        match decode_framed(&mut probe) {
+            Ok(_) => cur = probe,
+            Err(_) => return (tail.len() - before.len()) as u64,
+        }
+    }
+}
 
 /// One MRBGraph edge payload inside a chunk: the source map instance and
 /// the intermediate value it contributed.
@@ -248,5 +310,50 @@ mod tests {
     fn values_in_mk_order() {
         let c = Chunk::new(b"k".to_vec(), vec![entry(9, b"z"), entry(2, b"a")]);
         assert_eq!(c.values(), vec![b"a".to_vec(), b"z".to_vec()]);
+    }
+
+    #[test]
+    fn framed_roundtrip_and_len() {
+        let c = Chunk::new(b"key".to_vec(), vec![entry(1, b"value")]);
+        let mut buf = Vec::new();
+        encode_framed(&c, &mut buf);
+        assert_eq!(buf.len(), c.encoded_len() + FRAME_OVERHEAD);
+        let mut cur = buf.as_slice();
+        assert_eq!(decode_framed(&mut cur).unwrap(), c);
+        assert!(cur.is_empty());
+    }
+
+    #[test]
+    fn framed_decode_rejects_any_bit_flip() {
+        let c = Chunk::new(b"key".to_vec(), vec![entry(1, b"value")]);
+        let mut buf = Vec::new();
+        encode_framed(&c, &mut buf);
+        for i in 0..buf.len() {
+            let mut bad = buf.clone();
+            bad[i] ^= 0x40;
+            let mut cur = bad.as_slice();
+            // Either the decode structure breaks or the checksum catches it;
+            // a flipped frame must never decode as the original chunk.
+            if let Ok(d) = decode_framed(&mut cur) {
+                assert_ne!(d, c, "bit flip at {i} went undetected");
+            }
+        }
+    }
+
+    #[test]
+    fn valid_frame_prefix_stops_at_torn_frame() {
+        let a = Chunk::new(b"a".to_vec(), vec![entry(1, b"first")]);
+        let b = Chunk::new(b"b".to_vec(), vec![entry(2, b"second")]);
+        let mut buf = Vec::new();
+        encode_framed(&a, &mut buf);
+        let first_len = buf.len() as u64;
+        encode_framed(&b, &mut buf);
+        let full_len = buf.len() as u64;
+        assert_eq!(valid_frame_prefix(&buf), full_len, "intact tail keeps all");
+        // Tear the second frame anywhere: only the first frame survives.
+        for cut in (first_len as usize + 1)..buf.len() {
+            assert_eq!(valid_frame_prefix(&buf[..cut]), first_len, "cut at {cut}");
+        }
+        assert_eq!(valid_frame_prefix(&[]), 0);
     }
 }

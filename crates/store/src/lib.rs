@@ -43,7 +43,10 @@ pub mod store;
 pub mod window;
 
 pub use compact::{CompactionPolicy, CompactionStats};
-pub use format::{Chunk, ChunkEntry};
+pub use format::{
+    decode_framed, encode_framed, frame_checksum, valid_frame_prefix, Chunk, ChunkEntry,
+    FRAME_OVERHEAD,
+};
 pub use index::{BatchInfo, ChunkIndex, ChunkLoc};
 pub use merge::{DeltaChunk, DeltaEntry, MergeOutcome};
 pub use query::QueryStrategy;

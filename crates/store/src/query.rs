@@ -17,7 +17,7 @@
 //! be retrieved; [`QueryPass::get`] must then be called in exactly that
 //! order (the engine's merge loop naturally does).
 
-use crate::format::Chunk;
+use crate::format::{decode_framed, Chunk};
 use crate::index::{ChunkIndex, ChunkLoc};
 use crate::window::{dynamic_window_size, Window, DEFAULT_GAP_THRESHOLD};
 use i2mr_common::error::{Error, Result};
@@ -151,7 +151,7 @@ impl<'a> QueryPass<'a> {
         };
 
         let mut cur = chunk_bytes;
-        let chunk = Chunk::decode(&mut cur)?;
+        let chunk = decode_framed(&mut cur)?;
         if chunk.key != key {
             return Err(Error::corrupt(format!(
                 "index points at a chunk for a different key (wanted {:?})",
@@ -201,7 +201,7 @@ impl<'a> QueryPass<'a> {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::format::ChunkEntry;
+    use crate::format::{encode_framed, ChunkEntry};
     use crate::index::BatchInfo;
     use i2mr_common::hash::MapKey;
     use std::io::Write;
@@ -235,7 +235,7 @@ mod tests {
                     }],
                 );
                 let mut buf = Vec::new();
-                c.encode(&mut buf);
+                encode_framed(&c, &mut buf);
                 f.write_all(&buf).unwrap();
                 index.put(
                     key.as_bytes().to_vec(),

@@ -64,7 +64,7 @@ use crate::query::QueryStrategy;
 use crate::store::{MrbgStore, StoreConfig, StoreReader};
 use i2mr_common::error::{Error, Result};
 use i2mr_common::metrics::{IoStats, JobMetrics};
-use i2mr_mapred::fault::{TaskId, TaskKind};
+use i2mr_mapred::fault::{FailSite, FailpointRegistry, TaskId, TaskKind};
 use i2mr_mapred::pool::{TaskSpec, WorkerPool};
 use parking_lot::{Mutex, RwLock};
 use std::path::{Path, PathBuf};
@@ -119,6 +119,10 @@ struct Shard {
     /// without rewriting the index file; cleared by
     /// [`StoreManager::flush_indexes`].
     index_dirty: AtomicBool,
+    /// True when the shard is fenced off after detected corruption or
+    /// retry exhaustion — reads fail fast until
+    /// [`StoreManager::rebuild_shard`] restores it from a checkpoint.
+    quarantined: AtomicBool,
 }
 
 impl Shard {
@@ -129,6 +133,7 @@ impl Shard {
             reader: Mutex::new(reader),
             compacting: AtomicBool::new(false),
             index_dirty: AtomicBool::new(false),
+            quarantined: AtomicBool::new(false),
         }))
     }
 }
@@ -138,6 +143,7 @@ impl Shard {
 struct RuntimeStats {
     compactions: u64,
     bytes_reclaimed: u64,
+    rebuilt_shards: u64,
 }
 
 /// Owner and scheduler of all per-partition MRBG stores. See module docs.
@@ -154,6 +160,12 @@ pub struct StoreManager {
     /// fence clear exactly the in-flight flags it settled (a concurrent
     /// `schedule_compactions`'s newer flags stay up).
     scheduled_epochs: Mutex<Vec<(u64, Vec<usize>)>>,
+    /// Chaos-injection sites for the store plane ([`FailSite::StoreRead`],
+    /// [`FailSite::StoreAppend`], [`FailSite::StoreCompact`]); disarmed by
+    /// default. Checks fire inside the scheduled task bodies, *before* any
+    /// shard state is touched, so an injected failure is always a clean
+    /// retryable task failure rather than a half-applied mutation.
+    failpoints: Arc<FailpointRegistry>,
 }
 
 impl StoreManager {
@@ -172,7 +184,14 @@ impl StoreManager {
             config,
             stats: Arc::new(Mutex::new(RuntimeStats::default())),
             scheduled_epochs: Mutex::new(Vec::new()),
+            failpoints: Arc::new(FailpointRegistry::disarmed()),
         }
+    }
+
+    /// Arm the store plane's chaos-injection sites. [`StoreRuntimeConfig`]
+    /// is `Copy`, so the registry travels beside it rather than inside it.
+    pub fn set_failpoints(&mut self, failpoints: Arc<FailpointRegistry>) {
+        self.failpoints = failpoints;
     }
 
     /// Create `n` fresh shards under `dir` (`dir/shard-{p}` each),
@@ -276,9 +295,42 @@ impl StoreManager {
     /// lookups (same shard or different shards) never take a write lock.
     pub fn get(&self, p: usize, key: &[u8]) -> Result<Option<Chunk>> {
         let shard = &self.shards[p];
+        if shard.quarantined.load(Ordering::Acquire) {
+            return Err(Error::corrupt("shard quarantined pending rebuild"));
+        }
+        self.failpoints.check(FailSite::StoreRead, "point-get")?;
         let store = shard.store.read();
         let mut reader = shard.reader.lock();
         store.get_with(&mut reader, key)
+    }
+
+    /// Fence shard `p` off after detected corruption or retry exhaustion:
+    /// every read fails fast until [`StoreManager::rebuild_shard`] restores
+    /// it. Idempotent.
+    pub fn quarantine_shard(&self, p: usize) {
+        self.shards[p].quarantined.store(true, Ordering::Release);
+    }
+
+    /// True while shard `p` is fenced off.
+    pub fn is_quarantined(&self, p: usize) -> bool {
+        self.shards[p].quarantined.load(Ordering::Acquire)
+    }
+
+    /// Rebuild shard `p` in place from an [`MrbgStore::export`] payload
+    /// (the §6.1 checkpoint artifact): reimport into the shard's
+    /// directory, refresh the detached reader, and lift the quarantine.
+    /// Counts into [`JobMetrics::rebuilt_shards`] at the next drain.
+    pub fn rebuild_shard(&self, p: usize, payload: &[u8]) -> Result<()> {
+        let shard = &self.shards[p];
+        let mut store = shard.store.write();
+        let dir = store.dir().to_path_buf();
+        *store = MrbgStore::import(dir, payload, self.config.store)?;
+        *shard.reader.lock() = store.reader()?;
+        shard.index_dirty.store(false, Ordering::Release);
+        shard.quarantined.store(false, Ordering::Release);
+        drop(store);
+        self.stats.lock().rebuilt_shards += 1;
+        Ok(())
     }
 
     /// Switch every shard's chunk retrieval strategy (Table 4 sweeps).
@@ -322,12 +374,16 @@ impl StoreManager {
     {
         self.fence_compactions()?;
         fn merge_one(
+            fp: &FailpointRegistry,
             shard: &Shard,
             deltas: Vec<DeltaChunk>,
         ) -> Result<Vec<(Vec<u8>, MergeOutcome)>> {
             if deltas.is_empty() {
                 return Ok(Vec::new());
             }
+            // Fire before the write lock: an injected failure leaves the
+            // shard untouched, so the rescheduled attempt merges cleanly.
+            fp.check(FailSite::StoreAppend, "merge")?;
             shard.store.write().merge_apply(deltas)
         }
         if !self.config.parallel {
@@ -335,10 +391,11 @@ impl StoreManager {
                 .shards
                 .iter()
                 .enumerate()
-                .map(|(p, shard)| merge_one(shard, deltas_of(p)?))
+                .map(|(p, shard)| merge_one(&self.failpoints, shard, deltas_of(p)?))
                 .collect();
         }
         let deltas_of = &deltas_of;
+        let fp = &self.failpoints;
         let tasks: Vec<TaskSpec<'_, Vec<(Vec<u8>, MergeOutcome)>>> = self
             .shards
             .iter()
@@ -351,7 +408,7 @@ impl StoreManager {
                         iteration,
                     },
                     p % self.pool.n_workers(),
-                    move |_| merge_one(shard, deltas_of(p)?),
+                    move |_| merge_one(fp, shard, deltas_of(p)?),
                 )
             })
             .collect();
@@ -381,12 +438,17 @@ impl StoreManager {
     {
         self.fence_compactions()?;
         fn merge_one(
+            fp: &FailpointRegistry,
             shard: &Shard,
             deltas: Vec<DeltaChunk>,
         ) -> Result<Vec<(Vec<u8>, MergeOutcome)>> {
             if deltas.is_empty() {
                 return Ok(Vec::new());
             }
+            // Fire before the write lock (see merge_apply_all): a failed
+            // attempt must not half-apply, and in particular must not set
+            // the dirty flag without the in-memory index update it covers.
+            fp.check(FailSite::StoreAppend, "merge-touched")?;
             let out = shard.store.write().merge_apply_deferred(deltas)?;
             shard.index_dirty.store(true, Ordering::Release);
             Ok(out)
@@ -395,11 +457,12 @@ impl StoreManager {
             (0..self.shards.len()).map(|_| Vec::new()).collect();
         if !self.config.parallel {
             for &p in touched {
-                out[p] = merge_one(&self.shards[p], deltas_of(p)?)?;
+                out[p] = merge_one(&self.failpoints, &self.shards[p], deltas_of(p)?)?;
             }
             return Ok(out);
         }
         let deltas_of = &deltas_of;
+        let fp = &self.failpoints;
         let tasks: Vec<TaskSpec<'_, (usize, Vec<(Vec<u8>, MergeOutcome)>)>> = touched
             .iter()
             .map(|&p| {
@@ -411,7 +474,7 @@ impl StoreManager {
                         iteration,
                     },
                     p % self.pool.n_workers(),
-                    move |_| Ok((p, merge_one(shard, deltas_of(p)?)?)),
+                    move |_| Ok((p, merge_one(fp, shard, deltas_of(p)?)?)),
                 )
             })
             .collect();
@@ -452,12 +515,14 @@ impl StoreManager {
         self.fence_compactions()?;
         if !self.config.parallel {
             for (shard, batch) in self.shards.iter().zip(batches) {
+                self.failpoints.check(FailSite::StoreAppend, "append")?;
                 shard.store.write().append_batch(batch)?;
             }
             return Ok(());
         }
         let cells: Vec<Mutex<Option<Vec<Chunk>>>> =
             batches.into_iter().map(|b| Mutex::new(Some(b))).collect();
+        let fp = &self.failpoints;
         let tasks: Vec<TaskSpec<'_, ()>> = cells
             .iter()
             .enumerate()
@@ -471,6 +536,11 @@ impl StoreManager {
                     },
                     p % self.pool.n_workers(),
                     move |_| {
+                        // Fire before the one-shot cell is consumed so an
+                        // injected failure leaves the batch intact for the
+                        // rescheduled attempt; only a genuine mid-append
+                        // loss routes to the consumed-cell error below.
+                        fp.check(FailSite::StoreAppend, "append")?;
                         let batch = cell.lock().take().ok_or_else(|| {
                             Error::corrupt("store batch consumed by a failed earlier attempt")
                         })?;
@@ -527,6 +597,7 @@ impl StoreManager {
             let shard = Arc::clone(&self.shards[p]);
             shard.compacting.store(true, Ordering::Release);
             let stats = Arc::clone(&self.stats);
+            let fp = Arc::clone(&self.failpoints);
             self.pool.submit_at(
                 epoch,
                 TaskSpec::pinned(
@@ -541,6 +612,7 @@ impl StoreManager {
                         // fence, not here: a task that fails terminally
                         // without running (injected fault) or panics must
                         // not leave the shard excluded forever.
+                        fp.check(FailSite::StoreCompact, "background-compact")?;
                         let s = shard.store.write().compact()?;
                         let mut rt = stats.lock();
                         rt.compactions += 1;
@@ -622,6 +694,7 @@ impl StoreManager {
         if shards.is_empty() {
             return Ok(Vec::new());
         }
+        let fp = &self.failpoints;
         let stats: Vec<CompactionStats> = if self.config.parallel {
             let tasks: Vec<TaskSpec<'_, CompactionStats>> = shards
                 .iter()
@@ -634,7 +707,10 @@ impl StoreManager {
                             iteration,
                         },
                         p % self.pool.n_workers(),
-                        move |_| shard.store.write().compact(),
+                        move |_| {
+                            fp.check(FailSite::StoreCompact, "compact")?;
+                            shard.store.write().compact()
+                        },
                     )
                 })
                 .collect();
@@ -642,7 +718,10 @@ impl StoreManager {
         } else {
             shards
                 .iter()
-                .map(|&p| self.shards[p].store.write().compact())
+                .map(|&p| {
+                    fp.check(FailSite::StoreCompact, "compact")?;
+                    self.shards[p].store.write().compact()
+                })
                 .collect::<Result<_>>()?
         };
         let out: Vec<(usize, CompactionStats)> = shards.into_iter().zip(stats).collect();
@@ -683,11 +762,13 @@ impl StoreManager {
             let mut store = shard.store.write();
             metrics.store_io += store.io_stats();
             store.reset_io_stats();
+            metrics.salvaged_bytes += store.take_salvaged_bytes();
             metrics.store_io += shard.reader.lock().take_io_stats();
         }
         let mut rt = self.stats.lock();
         metrics.store_compactions += rt.compactions;
         metrics.store_bytes_reclaimed += rt.bytes_reclaimed;
+        metrics.rebuilt_shards += rt.rebuilt_shards;
         *rt = RuntimeStats::default();
     }
 
@@ -997,6 +1078,110 @@ mod tests {
         assert_eq!(mgr.len(), N * 8);
         assert_eq!(
             mgr.get(2, b"k2-5").unwrap().unwrap().entries[0].value,
+            b"v0"
+        );
+    }
+
+    #[test]
+    fn quarantine_gates_reads_until_rebuild() {
+        let pool = WorkerPool::new(2);
+        let mgr =
+            StoreManager::create(&pool, scratch("quar"), N, StoreRuntimeConfig::default()).unwrap();
+        seed(&mgr);
+        // Snapshot shard 1, then quarantine it.
+        let payload = mgr.export(1).unwrap();
+        mgr.quarantine_shard(1);
+        assert!(mgr.is_quarantined(1));
+        let err = mgr.get(1, b"k1-3").unwrap_err();
+        assert!(err.to_string().contains("quarantined"), "got: {err}");
+        // Other shards are unaffected.
+        assert!(mgr.get(0, b"k0-3").unwrap().is_some());
+        // Rebuild restores content and lifts the fence.
+        mgr.rebuild_shard(1, &payload).unwrap();
+        assert!(!mgr.is_quarantined(1));
+        assert_eq!(
+            mgr.get(1, b"k1-3").unwrap().unwrap().entries[0].value,
+            b"v0"
+        );
+        let mut m = JobMetrics::default();
+        mgr.drain_metrics(&mut m);
+        assert_eq!(m.rebuilt_shards, 1);
+    }
+
+    #[test]
+    fn rebuild_replaces_corrupted_shard_content() {
+        let pool = WorkerPool::new(2);
+        let dir = scratch("rebuild");
+        let mgr = StoreManager::create(&pool, &dir, N, StoreRuntimeConfig::default()).unwrap();
+        seed(&mgr);
+        let payload = mgr.export(2).unwrap();
+        // Corrupt shard 2's data file on disk, then force reads through it.
+        let data = dir.join("shard-2").join("mrbg.data");
+        let bytes = std::fs::read(&data).unwrap();
+        let flipped: Vec<u8> = bytes.iter().map(|b| b ^ 0xFF).collect();
+        std::fs::write(&data, flipped).unwrap();
+        // The shard's in-memory handle still reads the (now corrupt) file.
+        assert!(mgr.get(2, b"k2-0").is_err(), "corruption must be detected");
+        mgr.quarantine_shard(2);
+        mgr.rebuild_shard(2, &payload).unwrap();
+        assert_eq!(
+            mgr.get(2, b"k2-0").unwrap().unwrap().entries[0].value,
+            b"v0"
+        );
+        assert_eq!(mgr.export(2).unwrap(), payload, "rebuild is byte-exact");
+    }
+
+    #[test]
+    fn store_merge_failpoint_recovers_via_reschedule() {
+        use i2mr_mapred::fault::{FailAction, FailpointRegistry};
+        let pool = WorkerPool::new(2);
+        let mut mgr =
+            StoreManager::create(&pool, scratch("fp-merge"), N, StoreRuntimeConfig::default())
+                .unwrap();
+        seed(&mgr);
+        let fp = Arc::new(FailpointRegistry::seeded(3, 1).arm(
+            FailSite::StoreAppend,
+            1.0,
+            FailAction::Error,
+        ));
+        mgr.set_failpoints(Arc::clone(&fp));
+        // One injected failure strikes some merge task's first attempt; the
+        // retry merges cleanly because the failpoint fired before any state
+        // was touched.
+        mgr.merge_apply_all(1, churn(0, 1)).unwrap();
+        assert_eq!(fp.fired(), 1);
+        assert_eq!(
+            mgr.get(0, b"k0-5").unwrap().unwrap().entries[0].value,
+            b"v1"
+        );
+        let (retries, _) = pool.drain_recovery();
+        assert_eq!(retries, 1);
+    }
+
+    #[test]
+    fn append_failpoint_preserves_the_one_shot_batch() {
+        use i2mr_mapred::fault::{FailAction, FailpointRegistry};
+        let pool = WorkerPool::new(2);
+        let mut mgr = StoreManager::create(
+            &pool,
+            scratch("fp-append"),
+            N,
+            StoreRuntimeConfig::default(),
+        )
+        .unwrap();
+        let fp = Arc::new(FailpointRegistry::seeded(8, 2).arm(
+            FailSite::StoreAppend,
+            1.0,
+            FailAction::Error,
+        ));
+        mgr.set_failpoints(fp);
+        // Two injected failures land on first attempts; because the check
+        // fires before the batch cell is consumed, the rescheduled attempts
+        // find their batches intact and the initial preservation completes.
+        seed(&mgr);
+        assert_eq!(mgr.len(), N * 8);
+        assert_eq!(
+            mgr.get(3, b"k3-7").unwrap().unwrap().entries[0].value,
             b"v0"
         );
     }

@@ -16,10 +16,25 @@
 //! "sorted chunks" property the window algorithms rely on, independent of
 //! the engine's typed key ordering. (`merge_apply` sorts its input
 //! defensively, so engines may pass deltas in any order.)
+//!
+//! # Crash consistency
+//!
+//! Every chunk is written as a checksummed *frame*
+//! ([`crate::format::encode_framed`]), each batch is fsynced before the
+//! index that references it is persisted ([`AppendBuffer::flush_durable`],
+//! then [`MrbgStore::persist_index`] which fsyncs its temp file before the
+//! atomic rename), and [`MrbgStore::open`] walks the file tail past the
+//! last indexed byte: intact unindexed frames (a deferred merge whose
+//! index flush never happened) are preserved, while a torn frame — a
+//! crash mid-append — is truncated away and counted as salvage
+//! ([`MrbgStore::take_salvaged_bytes`]). The sync ordering makes the
+//! indexed region trustworthy; the frame checksums make any remaining
+//! corruption *detectable* on read, so the runtime layer can quarantine
+//! and rebuild the shard instead of computing on garbage.
 
 use crate::append::{AppendBuffer, DEFAULT_APPEND_CAPACITY};
 use crate::compact::CompactionStats;
-use crate::format::Chunk;
+use crate::format::{decode_framed, encode_framed, valid_frame_prefix, Chunk};
 use crate::index::{BatchInfo, ChunkIndex, ChunkLoc};
 use crate::merge::{apply_delta_owned, DeltaChunk, MergeOutcome};
 use crate::query::{QueryPass, QueryStrategy};
@@ -67,6 +82,9 @@ pub struct MrbgStore {
     /// [`StoreReader`]s compare their own generation against this and
     /// reopen the file when stale — appends never bump it (same inode).
     generation: u64,
+    /// Torn-tail bytes truncated by crash salvage on open; drained into
+    /// [`i2mr_common::metrics::JobMetrics::salvaged_bytes`] by the runtime.
+    salvaged: u64,
 }
 
 /// A detached read handle for the split read path.
@@ -153,6 +171,7 @@ impl MrbgStore {
             io: IoStats::default(),
             read_scratch: Vec::new(),
             generation: 0,
+            salvaged: 0,
         };
         store.persist_index()?;
         Ok(store)
@@ -160,16 +179,38 @@ impl MrbgStore {
 
     /// Open an existing store, preloading its index file into memory
     /// (paper §3.4: the index is preloaded before Reduce computation).
+    ///
+    /// Crash salvage: any bytes past the last indexed batch are walked
+    /// frame by frame. Intact frames are kept — they are durable appends a
+    /// deferred index flush has not described yet, and a later
+    /// [`MrbgStore::persist_index`] may still reference them. The first
+    /// torn or corrupt frame and everything after it is truncated away;
+    /// the discarded byte count is reported by
+    /// [`MrbgStore::take_salvaged_bytes`].
     pub fn open(dir: impl AsRef<Path>, config: StoreConfig) -> Result<Self> {
         let dir = dir.as_ref().to_path_buf();
-        let file = File::options()
+        let mut file = File::options()
             .read(true)
             .write(true)
             .open(Self::data_path(&dir))
             .map_err(|_| Error::NotFound(format!("MRBGraph file in {}", dir.display())))?;
-        let file_len = file.metadata()?.len();
+        let mut file_len = file.metadata()?.len();
         let index_bytes = std::fs::read(Self::index_path(&dir))?;
         let index = ChunkIndex::from_bytes(&index_bytes)?;
+        let indexed_end = index.batches().iter().map(|b| b.end).max().unwrap_or(0);
+        let mut salvaged = 0;
+        if file_len > indexed_end {
+            let mut tail = vec![0u8; (file_len - indexed_end) as usize];
+            file.seek(SeekFrom::Start(indexed_end))?;
+            file.read_exact(&mut tail)?;
+            let keep = valid_frame_prefix(&tail);
+            if keep < tail.len() as u64 {
+                salvaged = tail.len() as u64 - keep;
+                file.set_len(indexed_end + keep)?;
+                file.sync_all()?;
+                file_len = indexed_end + keep;
+            }
+        }
         Ok(MrbgStore {
             dir,
             file,
@@ -179,7 +220,13 @@ impl MrbgStore {
             io: IoStats::default(),
             read_scratch: Vec::new(),
             generation: 0,
+            salvaged,
         })
+    }
+
+    /// Torn-tail bytes discarded by crash salvage on open (consumed).
+    pub fn take_salvaged_bytes(&mut self) -> u64 {
+        std::mem::take(&mut self.salvaged)
     }
 
     /// Directory holding the data and index files.
@@ -227,10 +274,18 @@ impl MrbgStore {
         self.io = IoStats::default();
     }
 
-    /// Persist the in-memory index to the index file (atomic rename).
+    /// Persist the in-memory index to the index file (atomic rename). The
+    /// temp file is fsynced before the rename: a crash can leave the old
+    /// index or the new one, never a torn one — and because every batch is
+    /// fsynced before its index entries land here, an index on disk never
+    /// references data the kernel might not have written.
     pub fn persist_index(&self) -> Result<()> {
         let tmp = Self::index_path(&self.dir).with_extension("tmp");
-        std::fs::write(&tmp, self.index.to_bytes())?;
+        {
+            let mut f = File::create(&tmp)?;
+            std::io::Write::write_all(&mut f, &self.index.to_bytes())?;
+            f.sync_all()?;
+        }
         std::fs::rename(&tmp, Self::index_path(&self.dir))?;
         Ok(())
     }
@@ -258,7 +313,7 @@ impl MrbgStore {
         let mut locs = Vec::with_capacity(chunks.len());
         for chunk in &chunks {
             buf.clear();
-            chunk.encode(&mut buf);
+            encode_framed(chunk, &mut buf);
             let offset = append.append(&buf, &mut self.file, &mut self.io)?;
             locs.push((
                 chunk.key.clone(),
@@ -269,7 +324,7 @@ impl MrbgStore {
                 },
             ));
         }
-        append.flush(&mut self.file, &mut self.io)?;
+        append.flush_durable(&mut self.file, &mut self.io)?;
         self.file_len = append.next_offset();
         self.index.push_batch(BatchInfo {
             start,
@@ -348,7 +403,7 @@ impl MrbgStore {
             match outcome {
                 MergeOutcome::Updated(chunk) => {
                     buf.clear();
-                    chunk.encode(&mut buf);
+                    encode_framed(chunk, &mut buf);
                     let offset = append.append(&buf, &mut self.file, &mut self.io)?;
                     index_updates.push((
                         key.clone(),
@@ -362,7 +417,10 @@ impl MrbgStore {
                 MergeOutcome::Removed => index_updates.push((key.clone(), None)),
             }
         }
-        append.flush(&mut self.file, &mut self.io)?;
+        // Durable even when index persistence is deferred: the deferred
+        // path's safety depends on data always being sync-ordered *before*
+        // any index file that could reference it.
+        append.flush_durable(&mut self.file, &mut self.io)?;
         self.file_len = append.next_offset();
         self.index.push_batch(BatchInfo {
             start,
@@ -389,7 +447,7 @@ impl MrbgStore {
             None => return Ok(None),
         };
         let mut cur = self.read_region(loc.offset, loc.len as u64)?;
-        let chunk = Chunk::decode(&mut cur)?;
+        let chunk = decode_framed(&mut cur)?;
         if chunk.key != key {
             return Err(Error::corrupt(
                 "index points at a chunk for a different key",
@@ -434,7 +492,7 @@ impl MrbgStore {
         reader.file.read_exact(&mut reader.scratch[..len])?;
         reader.io.record_read(len as u64);
         let mut cur = &reader.scratch[..len];
-        let chunk = Chunk::decode(&mut cur)?;
+        let chunk = decode_framed(&mut cur)?;
         if chunk.key != key {
             return Err(Error::corrupt(
                 "index points at a chunk for a different key",
@@ -506,7 +564,7 @@ impl MrbgStore {
             let mut iter = self.chunks_iter();
             while let Some(chunk) = iter.next().transpose()? {
                 buf.clear();
-                chunk.encode(&mut buf);
+                encode_framed(&chunk, &mut buf);
                 let offset = append.append(&buf, &mut tmp, &mut write_io)?;
                 entries.push((
                     chunk.key,
@@ -518,7 +576,8 @@ impl MrbgStore {
                 ));
             }
         }
-        append.flush(&mut tmp, &mut write_io)?;
+        // Fsync the reconstruction before the rename makes it visible.
+        append.flush_durable(&mut tmp, &mut write_io)?;
         self.io += write_io;
         let after_bytes = append.next_offset();
         let live_chunks = entries.len() as u64;
@@ -561,7 +620,7 @@ impl MrbgStore {
             let mut iter = self.chunks_iter();
             while let Some(chunk) = iter.next().transpose()? {
                 let start = data.len();
-                chunk.encode(&mut data);
+                encode_framed(&chunk, &mut data);
                 entries.push((
                     chunk.key,
                     ChunkLoc {
@@ -840,6 +899,101 @@ mod tests {
         // And the deferred path produced the same live content the eager
         // path would have.
         assert_eq!(s.export().unwrap(), fresh.export().unwrap());
+    }
+
+    #[test]
+    fn torn_tail_is_salvaged_on_open() {
+        use std::io::Write;
+        let dir = tmpdir("torn");
+        {
+            let mut s = MrbgStore::create(&dir, StoreConfig::default()).unwrap();
+            s.append_batch(vec![chunk("a", &[(1, "keep-me")])]).unwrap();
+        }
+        // Simulate a crash mid-append: garbage bytes past the indexed end,
+        // never described by any index file.
+        let data = MrbgStore::data_path(dir.as_path());
+        let intact = std::fs::metadata(&data).unwrap().len();
+        {
+            let mut f = File::options().append(true).open(&data).unwrap();
+            f.write_all(&[0xDE, 0xAD, 0xBE, 0xEF, 0x01]).unwrap();
+        }
+        let mut s = MrbgStore::open(&dir, StoreConfig::default()).unwrap();
+        assert_eq!(s.take_salvaged_bytes(), 5, "torn tail truncated");
+        assert_eq!(s.take_salvaged_bytes(), 0, "counter is consumed");
+        assert_eq!(s.file_len(), intact);
+        assert_eq!(std::fs::metadata(&data).unwrap().len(), intact);
+        // The store still works: reads and further appends are clean.
+        assert_eq!(s.get(b"a").unwrap().unwrap().entries[0].value, b"keep-me");
+        s.append_batch(vec![chunk("b", &[(2, "post-salvage")])])
+            .unwrap();
+        assert_eq!(
+            s.get(b"b").unwrap().unwrap().entries[0].value,
+            b"post-salvage"
+        );
+    }
+
+    #[test]
+    fn salvage_preserves_intact_unindexed_frames() {
+        // A crash after a deferred merge's data fsync but before its index
+        // flush leaves valid frames past the indexed end. Open must keep
+        // them byte-for-byte: a recovered in-memory index may still
+        // reference them (deferred-persist contract).
+        let dir = tmpdir("keepvalid");
+        let mut s = MrbgStore::create(&dir, StoreConfig::default()).unwrap();
+        s.append_batch(vec![chunk("a", &[(1, "v0")])]).unwrap();
+        s.merge_apply_deferred(vec![DeltaChunk {
+            key: b"a".to_vec(),
+            entries: vec![
+                DeltaEntry::Delete(MapKey(1)),
+                DeltaEntry::Insert(MapKey(1), b"v1".to_vec()),
+            ],
+        }])
+        .unwrap();
+        let full = s.file_len();
+        // Reopen without persisting the index — the merged batch is an
+        // intact unindexed tail and must survive.
+        let mut reopened = MrbgStore::open(&dir, StoreConfig::default()).unwrap();
+        assert_eq!(reopened.take_salvaged_bytes(), 0, "valid frames kept");
+        assert_eq!(
+            std::fs::metadata(MrbgStore::data_path(dir.as_path()))
+                .unwrap()
+                .len(),
+            full
+        );
+        // Persisting the original's index afterwards makes the deferred
+        // merge fully durable, exactly as before.
+        s.persist_index().unwrap();
+        let mut fresh = MrbgStore::open(&dir, StoreConfig::default()).unwrap();
+        assert_eq!(fresh.get(b"a").unwrap().unwrap().entries[0].value, b"v1");
+    }
+
+    #[test]
+    fn corrupted_chunk_is_detected_on_read() {
+        let dir = tmpdir("bitrot");
+        let mut s = MrbgStore::create(&dir, StoreConfig::default()).unwrap();
+        s.append_batch(vec![chunk("a", &[(1, "precious-bytes")])])
+            .unwrap();
+        let loc = s.index.get(b"a").unwrap();
+        // Flip one payload bit on disk (past the frame header and the key).
+        {
+            let mut f = File::options()
+                .read(true)
+                .write(true)
+                .open(MrbgStore::data_path(dir.as_path()))
+                .unwrap();
+            f.seek(SeekFrom::Start(loc.offset + loc.len as u64 - 3))
+                .unwrap();
+            let mut b = [0u8; 1];
+            f.read_exact(&mut b).unwrap();
+            f.seek(SeekFrom::Start(loc.offset + loc.len as u64 - 3))
+                .unwrap();
+            std::io::Write::write_all(&mut f, &[b[0] ^ 0x20]).unwrap();
+        }
+        let err = s.get(b"a").unwrap_err();
+        assert!(err.to_string().contains("checksum"), "got: {err}");
+        // The split read path detects it too.
+        let mut r = s.reader().unwrap();
+        assert!(s.get_with(&mut r, b"a").is_err());
     }
 
     #[test]

@@ -10,6 +10,7 @@
 #   serial   -> sharded   (micro_store:  the sharded store plane win)
 #   spawn    -> persistent (micro_pool:  the persistent-executor overlap win)
 #   full     -> delta     (micro_delta: the workset-driven delta-iteration win)
+#   faultfree -> faulted  (fig13_fault: bounded fault-recovery overhead)
 #
 # For every benchmark group the geometric-mean speedup of the fresh run
 # must stay within TOLERANCE (default 25%) of the committed snapshot's —
@@ -44,13 +45,14 @@ out_for() {
     micro_store) echo "BENCH_store.json" ;;
     micro_pool) echo "BENCH_pool.json" ;;
     micro_delta) echo "BENCH_delta.json" ;;
+    fig13_fault) echo "BENCH_fig13.json" ;;
     *) echo "BENCH_$1.json" ;;
   esac
 }
 
 targets=("$@")
 if [ ${#targets[@]} -eq 0 ]; then
-  targets=(micro_shuffle micro_store micro_pool micro_delta)
+  targets=(micro_shuffle micro_store micro_pool micro_delta fig13_fault)
 fi
 
 tol="${BENCH_TOLERANCE:-0.25}"
@@ -70,10 +72,23 @@ for target in "${targets[@]}"; do
 import json, math, sys
 
 committed_path, fresh_path, tol = sys.argv[1], sys.argv[2], float(sys.argv[3])
-PAIRS = [("baseline", "zerocopy"), ("serial", "sharded"), ("spawn", "persistent"), ("full", "delta")]
+PAIRS = [
+    ("baseline", "zerocopy"),
+    ("serial", "sharded"),
+    ("spawn", "persistent"),
+    ("full", "delta"),
+    ("faultfree", "faulted"),
+]
 # Absolute speedup floors (group -> min geomean on the FRESH run), on top
-# of the relative-to-committed tolerance check.
-FLOORS = {"micro_pool/iteration": 1.3, "micro_delta/churn1pct": 3.0}
+# of the relative-to-committed tolerance check. fig13's "speedup" is the
+# faultfree/faulted ratio: >= 0.667 means the run with 3 injected task
+# faults costs at most 1.5x the fault-free run (recovery is bounded by
+# detection + relaunch, not a rerun).
+FLOORS = {
+    "micro_pool/iteration": 1.3,
+    "micro_delta/churn1pct": 3.0,
+    "fig13/run": 0.667,
+}
 
 def speedups(path):
     """group -> list of (param, speedup base_median/new_median)."""

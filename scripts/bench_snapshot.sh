@@ -9,6 +9,8 @@
 #   micro_shuffle -> BENCH_shuffle.json  (shuffle/sort/reduce hot path)
 #   micro_store   -> BENCH_store.json    (MRBG-Store plane: serial vs sharded)
 #   micro_pool    -> BENCH_pool.json     (executor: spawn-per-call vs persistent)
+#   micro_delta   -> BENCH_delta.json    (full-pass vs workset delta iteration)
+#   fig13_fault   -> BENCH_fig13.json    (fault-free vs 3-fault recovery run)
 #
 # Usage:
 #   scripts/bench_snapshot.sh                 # snapshot all targets
@@ -23,13 +25,14 @@ out_for() {
     micro_store) echo "BENCH_store.json" ;;
     micro_pool) echo "BENCH_pool.json" ;;
     micro_delta) echo "BENCH_delta.json" ;;
+    fig13_fault) echo "BENCH_fig13.json" ;;
     *) echo "BENCH_$1.json" ;;
   esac
 }
 
 targets=("$@")
 if [ ${#targets[@]} -eq 0 ]; then
-  targets=(micro_shuffle micro_store micro_pool micro_delta)
+  targets=(micro_shuffle micro_store micro_pool micro_delta fig13_fault)
 fi
 
 for target in "${targets[@]}"; do
@@ -38,5 +41,5 @@ for target in "${targets[@]}"; do
   echo
   echo "== snapshot: $out =="
   # Print the headline comparisons (no jq dependency: plain grep).
-  grep -oE '"id": "[^"]*/(zerocopy|baseline|serial|sharded|spawn|persistent|full|delta)/[^}]*' "$out" || true
+  grep -oE '"id": "[^"]*/(zerocopy|baseline|serial|sharded|spawn|persistent|full|delta|faultfree|faulted)/[^}]*' "$out" || true
 done

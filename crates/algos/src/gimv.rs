@@ -21,9 +21,10 @@ use i2mr_common::codec::Codec;
 use i2mr_common::error::{Error, Result};
 use i2mr_common::metrics::JobMetrics;
 use i2mr_core::delta::Delta;
-use i2mr_core::incr_iter::{IncrIterEngine, IncrParams, IncrRunReport};
-use i2mr_core::iter_engine::{build_partitioned, PartitionedData, PartitionedIterEngine};
+use i2mr_core::incr_iter::{IncrParams, IncrRunReport};
+use i2mr_core::iter_engine::{build_partitioned, PartitionedData};
 use i2mr_core::iterative::{DependencyKind, IterParams, IterativeSpec, PreserveMode};
+use i2mr_core::run::RunBuilder;
 use i2mr_datagen::matrix::Block;
 use i2mr_mapred::config::JobConfig;
 use i2mr_mapred::job::MapReduceJob;
@@ -413,17 +414,17 @@ pub fn itermr(
     epsilon: f64,
 ) -> Result<(PartitionedData<(u64, u64), Block, u64, Vec<f64>>, EngineRun)> {
     let started = Instant::now();
-    let engine = PartitionedIterEngine::new(
-        spec,
-        cfg.clone(),
-        IterParams {
+    let session = RunBuilder::new(spec)
+        .pool(pool)
+        .job(cfg.clone())
+        .iter(IterParams {
             max_iterations,
             epsilon,
             preserve: PreserveMode::None,
-        },
-    )?;
+        })
+        .build()?;
     let mut data = build_partitioned(spec, cfg.n_reduce, blocks.to_vec());
-    let report = engine.run(pool, &mut data, None)?;
+    let report = session.run_initial(&mut data)?;
     Ok((
         data,
         EngineRun::new(
@@ -452,18 +453,20 @@ pub fn i2mr_initial(
     EngineRun,
 )> {
     let started = Instant::now();
-    let stores = StoreManager::create(pool, store_dir, cfg.n_reduce, store_runtime)?;
-    let engine = PartitionedIterEngine::new(
-        spec,
-        cfg.clone(),
-        IterParams {
+    let session = RunBuilder::new(spec)
+        .pool(pool)
+        .job(cfg.clone())
+        .iter(IterParams {
             max_iterations,
             epsilon,
             preserve: PreserveMode::FinalOnly,
-        },
-    )?;
+        })
+        .store_runtime(store_runtime)
+        .store_dir(store_dir)
+        .build()?;
     let mut data = build_partitioned(spec, cfg.n_reduce, blocks.to_vec());
-    let report = engine.run(pool, &mut data, Some(&stores))?;
+    let report = session.run_initial(&mut data)?;
+    let stores = session.finish()?.stores.expect("session owns the stores");
     Ok((
         data,
         stores,
@@ -515,22 +518,23 @@ pub fn i2mr_incremental_cpc(
     filter_threshold: Option<f64>,
 ) -> Result<(IncrRunReport, EngineRun)> {
     let started = Instant::now();
-    let engine = IncrIterEngine::new(
-        spec,
-        cfg.clone(),
-        IncrParams {
+    let session = RunBuilder::new(spec)
+        .pool(pool)
+        .job(cfg.clone())
+        .incr(IncrParams {
             filter_threshold,
             convergence_epsilon,
             max_iterations,
             ..Default::default()
-        },
-        IterParams {
+        })
+        .iter(IterParams {
             epsilon: convergence_epsilon,
             max_iterations,
             preserve: PreserveMode::None,
-        },
-    )?;
-    let report = engine.run(pool, data, stores, delta, None)?;
+        })
+        .stores_ref(stores)
+        .build()?;
+    let report = session.run_incremental(data, delta)?;
     let run = EngineRun::new(
         "i2MR",
         report.total_metrics(),

@@ -18,10 +18,11 @@ use i2mr_common::error::Result;
 use i2mr_common::metrics::JobMetrics;
 use i2mr_core::checkpoint::IterCheckpointer;
 use i2mr_core::delta::Delta;
-use i2mr_core::delta_iter::{DeltaIterEngine, DeltaIterativeSpec, DeltaRunReport, UpdateContract};
-use i2mr_core::incr_iter::{IncrIterEngine, IncrParams, IncrRunReport};
-use i2mr_core::iter_engine::{build_partitioned, PartitionedData, PartitionedIterEngine};
+use i2mr_core::delta_iter::{DeltaIterativeSpec, DeltaRunReport, UpdateContract};
+use i2mr_core::incr_iter::{IncrParams, IncrRunReport};
+use i2mr_core::iter_engine::{build_partitioned, PartitionedData};
 use i2mr_core::iterative::{DependencyKind, IterParams, IterativeSpec, PreserveMode};
+use i2mr_core::run::RunBuilder;
 use i2mr_mapred::config::JobConfig;
 use i2mr_mapred::job::MapReduceJob;
 use i2mr_mapred::partition::HashPartitioner;
@@ -260,17 +261,17 @@ pub fn itermr(
     epsilon: f64,
 ) -> Result<(PartitionedData<u64, Vec<u64>, u64, f64>, EngineRun)> {
     let started = Instant::now();
-    let engine = PartitionedIterEngine::new(
-        spec,
-        cfg.clone(),
-        IterParams {
+    let session = RunBuilder::new(spec)
+        .pool(pool)
+        .job(cfg.clone())
+        .iter(IterParams {
             max_iterations,
             epsilon,
             preserve: PreserveMode::None,
-        },
-    )?;
+        })
+        .build()?;
     let mut data = build_partitioned(spec, cfg.n_reduce, graph.to_vec());
-    let report = engine.run(pool, &mut data, None)?;
+    let report = session.run_initial(&mut data)?;
     let run = EngineRun::new(
         "IterMR recomp",
         report.total_metrics(),
@@ -299,24 +300,26 @@ pub fn i2mr_initial(
     EngineRun,
 )> {
     let started = Instant::now();
-    let stores = StoreManager::create(pool, store_dir, cfg.n_reduce, store_runtime)?;
-    let engine = PartitionedIterEngine::new(
-        spec,
-        cfg.clone(),
-        IterParams {
+    let session = RunBuilder::new(spec)
+        .pool(pool)
+        .job(cfg.clone())
+        .iter(IterParams {
             max_iterations,
             epsilon,
             preserve,
-        },
-    )?;
+        })
+        .store_runtime(store_runtime)
+        .store_dir(store_dir)
+        .build()?;
     let mut data = build_partitioned(spec, cfg.n_reduce, graph.to_vec());
-    let report = engine.run(pool, &mut data, Some(&stores))?;
+    let report = session.run_initial(&mut data)?;
     let run = EngineRun::new(
         "i2MR initial",
         report.total_metrics(),
         started.elapsed(),
         report.n_iterations(),
     );
+    let stores = session.finish()?.stores.expect("session owns the stores");
     Ok((data, stores, run))
 }
 
@@ -333,17 +336,21 @@ pub fn i2mr_incremental(
     ckpt: Option<&IterCheckpointer>,
 ) -> Result<(IncrRunReport, EngineRun)> {
     let started = Instant::now();
-    let engine = IncrIterEngine::new(
-        spec,
-        cfg.clone(),
-        params,
-        IterParams {
+    let mut builder = RunBuilder::new(spec)
+        .pool(pool)
+        .job(cfg.clone())
+        .incr(params)
+        .iter(IterParams {
             epsilon: params.convergence_epsilon,
             max_iterations: params.max_iterations,
             preserve: PreserveMode::None,
-        },
-    )?;
-    let report = engine.run(pool, data, stores, delta, ckpt)?;
+        })
+        .stores_ref(stores);
+    if let Some(ck) = ckpt {
+        builder = builder.checkpointer_ref(ck);
+    }
+    let session = builder.build()?;
+    let report = session.run_incremental(data, delta)?;
     let name = match params.filter_threshold {
         Some(_) => "i2MR w/ CPC",
         None => "i2MR w/o CPC",
@@ -372,17 +379,21 @@ pub fn i2mr_delta(
     ckpt: Option<&IterCheckpointer>,
 ) -> Result<(DeltaRunReport, EngineRun)> {
     let started = Instant::now();
-    let engine = DeltaIterEngine::new(
-        spec,
-        cfg.clone(),
-        params,
-        IterParams {
+    let mut builder = RunBuilder::new(spec)
+        .pool(pool)
+        .job(cfg.clone())
+        .incr(params)
+        .iter(IterParams {
             epsilon: params.convergence_epsilon,
             max_iterations: params.max_iterations,
             preserve: PreserveMode::None,
-        },
-    )?;
-    let report = engine.run(pool, data, stores, delta, ckpt)?;
+        })
+        .stores_ref(stores);
+    if let Some(ck) = ckpt {
+        builder = builder.checkpointer_ref(ck);
+    }
+    let session = builder.build()?;
+    let report = session.run_delta(data, delta)?;
     let run = EngineRun::new(
         "i2MR delta-iter",
         report.total_metrics(),

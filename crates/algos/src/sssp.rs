@@ -15,10 +15,11 @@ use crate::report::EngineRun;
 use i2mr_common::error::Result;
 use i2mr_common::metrics::JobMetrics;
 use i2mr_core::delta::Delta;
-use i2mr_core::delta_iter::{DeltaIterEngine, DeltaIterativeSpec, DeltaRunReport, UpdateContract};
-use i2mr_core::incr_iter::{IncrIterEngine, IncrParams, IncrRunReport};
-use i2mr_core::iter_engine::{build_partitioned, PartitionedData, PartitionedIterEngine};
+use i2mr_core::delta_iter::{DeltaIterativeSpec, DeltaRunReport, UpdateContract};
+use i2mr_core::incr_iter::{IncrParams, IncrRunReport};
+use i2mr_core::iter_engine::{build_partitioned, PartitionedData};
 use i2mr_core::iterative::{DependencyKind, IterParams, IterativeSpec, PreserveMode};
+use i2mr_core::run::RunBuilder;
 use i2mr_mapred::config::JobConfig;
 use i2mr_mapred::job::MapReduceJob;
 use i2mr_mapred::partition::HashPartitioner;
@@ -297,17 +298,17 @@ pub fn itermr(
 ) -> Result<(PartitionedData<u64, Vec<(u64, f64)>, u64, f64>, EngineRun)> {
     let started = Instant::now();
     let spec = Sssp { source };
-    let engine = PartitionedIterEngine::new(
-        &spec,
-        cfg.clone(),
-        IterParams {
+    let session = RunBuilder::new(&spec)
+        .pool(pool)
+        .job(cfg.clone())
+        .iter(IterParams {
             max_iterations,
             epsilon: 1e-12,
             preserve: PreserveMode::None,
-        },
-    )?;
+        })
+        .build()?;
     let mut data = build_partitioned(&spec, cfg.n_reduce, graph.to_vec());
-    let report = engine.run(pool, &mut data, None)?;
+    let report = session.run_initial(&mut data)?;
     Ok((
         data,
         EngineRun::new(
@@ -335,18 +336,20 @@ pub fn i2mr_initial(
 )> {
     let started = Instant::now();
     let spec = Sssp { source };
-    let stores = StoreManager::create(pool, store_dir, cfg.n_reduce, store_runtime)?;
-    let engine = PartitionedIterEngine::new(
-        &spec,
-        cfg.clone(),
-        IterParams {
+    let session = RunBuilder::new(&spec)
+        .pool(pool)
+        .job(cfg.clone())
+        .iter(IterParams {
             max_iterations,
             epsilon: 1e-12,
             preserve: PreserveMode::FinalOnly,
-        },
-    )?;
+        })
+        .store_runtime(store_runtime)
+        .store_dir(store_dir)
+        .build()?;
     let mut data = build_partitioned(&spec, cfg.n_reduce, graph.to_vec());
-    let report = engine.run(pool, &mut data, Some(&stores))?;
+    let report = session.run_initial(&mut data)?;
+    let stores = session.finish()?.stores.expect("session owns the stores");
     Ok((
         data,
         stores,
@@ -371,23 +374,24 @@ pub fn i2mr_incremental(
 ) -> Result<(IncrRunReport, EngineRun)> {
     let started = Instant::now();
     let spec = Sssp { source };
-    let engine = IncrIterEngine::new(
-        &spec,
-        cfg.clone(),
-        IncrParams {
+    let session = RunBuilder::new(&spec)
+        .pool(pool)
+        .job(cfg.clone())
+        .incr(IncrParams {
             // FT = 0: "nodes without any changes will be filtered out".
             filter_threshold: Some(0.0),
             convergence_epsilon: 1e-12,
             max_iterations,
             ..Default::default()
-        },
-        IterParams {
+        })
+        .iter(IterParams {
             epsilon: 1e-12,
             max_iterations,
             preserve: PreserveMode::None,
-        },
-    )?;
-    let report = engine.run(pool, data, stores, delta, None)?;
+        })
+        .stores_ref(stores)
+        .build()?;
+    let report = session.run_incremental(data, delta)?;
     let run = EngineRun::new(
         "i2MR (FT=0)",
         report.total_metrics(),
@@ -411,22 +415,23 @@ pub fn i2mr_delta(
 ) -> Result<(DeltaRunReport, EngineRun)> {
     let started = Instant::now();
     let spec = Sssp { source };
-    let engine = DeltaIterEngine::new(
-        &spec,
-        cfg.clone(),
-        IncrParams {
+    let session = RunBuilder::new(&spec)
+        .pool(pool)
+        .job(cfg.clone())
+        .incr(IncrParams {
             filter_threshold: Some(0.0),
             convergence_epsilon: 1e-12,
             max_iterations,
             ..Default::default()
-        },
-        IterParams {
+        })
+        .iter(IterParams {
             epsilon: 1e-12,
             max_iterations,
             preserve: PreserveMode::None,
-        },
-    )?;
-    let report = engine.run(pool, data, stores, delta, None)?;
+        })
+        .stores_ref(stores)
+        .build()?;
+    let report = session.run_delta(data, delta)?;
     let run = EngineRun::new(
         "i2MR delta-iter (FT=0)",
         report.total_metrics(),

@@ -13,9 +13,10 @@ use i2mr_algos::pagerank::PageRank;
 use i2mr_bench::{banner, scratch, sized};
 use i2mr_core::accumulator::AccumulatorEngine;
 use i2mr_core::delta::Delta;
-use i2mr_core::iter_engine::{build_partitioned, PartitionedIterEngine};
+use i2mr_core::iter_engine::build_partitioned;
 use i2mr_core::iterative::{IterParams, PreserveMode};
 use i2mr_core::onestep::OneStepEngine;
+use i2mr_core::run::RunBuilder;
 use i2mr_core::tasklevel::TaskLevelEngine;
 use i2mr_datagen::graph::GraphGen;
 use i2mr_datagen::text::TweetGen;
@@ -142,19 +143,20 @@ fn main() {
             let dir = scratch(&format!("abl-{label}"));
             let stores =
                 StoreManager::create(&pool, &dir, cfg.n_reduce, Default::default()).unwrap();
-            let engine = PartitionedIterEngine::new(
-                &spec,
-                cfg.clone(),
-                IterParams {
+            let session = RunBuilder::new(&spec)
+                .pool(&pool)
+                .job(cfg.clone())
+                .iter(IterParams {
                     max_iterations: 30,
                     epsilon: 1e-8,
                     preserve: mode,
-                },
-            )
-            .unwrap();
+                })
+                .stores_ref(&stores)
+                .build()
+                .unwrap();
             let mut data = build_partitioned(&spec, cfg.n_reduce, graph.clone());
             let t = Instant::now();
-            let report = engine.run(&pool, &mut data, Some(&stores)).unwrap();
+            let report = session.run_initial(&mut data).unwrap();
             let wall = t.elapsed();
             let file_bytes: u64 = stores.file_bytes();
             // Engine iterations drain shard I/O into the per-iteration

@@ -14,9 +14,10 @@
 
 use i2mr_bench::{banner, scratch, sized};
 use i2mr_common::metrics::Stage;
-use i2mr_core::incr_iter::{IncrIterEngine, IncrParams};
-use i2mr_core::iter_engine::{build_partitioned, PartitionedIterEngine};
+use i2mr_core::incr_iter::IncrParams;
+use i2mr_core::iter_engine::build_partitioned;
 use i2mr_core::iterative::{DependencyKind, IterParams, IterativeSpec, PreserveMode};
+use i2mr_core::run::RunBuilder;
 use i2mr_datagen::delta::{graph_delta, DeltaSpec};
 use i2mr_datagen::graph::GraphGen;
 use i2mr_mapred::job::MapReduceJob;
@@ -144,38 +145,37 @@ fn main() {
 
     // --------------------------- iterMR ---------------------------
     let spec = PaddedRank;
-    let engine = PartitionedIterEngine::new(
-        &spec,
-        cfg.clone(),
-        IterParams {
+    let session = RunBuilder::new(&spec)
+        .pool(&pool)
+        .job(cfg.clone())
+        .iter(IterParams {
             max_iterations: iters,
             epsilon: 0.0,
             preserve: PreserveMode::None,
-        },
-    )
-    .unwrap();
+        })
+        .build()
+        .unwrap();
     let mut data = build_partitioned(&spec, cfg.n_reduce, padded.clone());
-    let report = engine.run(&pool, &mut data, None).expect("itermr");
+    let report = session.run_initial(&mut data).expect("itermr");
     let iter_stages = report.total_metrics().stages;
 
     // --------------------------- i2MR incremental ---------------------------
     // Converged initial run with preservation, then a 10% delta refresh.
     let dir = scratch("fig9");
     let stores = StoreManager::create(&pool, &dir, cfg.n_reduce, Default::default()).unwrap();
-    let init_engine = PartitionedIterEngine::new(
-        &spec,
-        cfg.clone(),
-        IterParams {
+    let init_session = RunBuilder::new(&spec)
+        .pool(&pool)
+        .job(cfg.clone())
+        .iter(IterParams {
             max_iterations: 80,
             epsilon: 1e-9,
             preserve: PreserveMode::FinalOnly,
-        },
-    )
-    .unwrap();
+        })
+        .stores_ref(&stores)
+        .build()
+        .unwrap();
     let mut conv = build_partitioned(&spec, cfg.n_reduce, padded.clone());
-    init_engine
-        .run(&pool, &mut conv, Some(&stores))
-        .expect("initial");
+    init_session.run_initial(&mut conv).expect("initial");
 
     let delta_plain = graph_delta(&graph, DeltaSpec::ten_percent(0xF9));
     // Convert the unpadded delta into the padded record space.
@@ -187,20 +187,20 @@ fn main() {
             i2mr_core::delta::Op::Delete => delta.delete(r.key, (r.value.clone(), pad)),
         }
     }
-    let incr_engine = IncrIterEngine::new(
-        &spec,
-        cfg.clone(),
-        IncrParams {
+    let incr_session = RunBuilder::new(&spec)
+        .pool(&pool)
+        .job(cfg.clone())
+        .incr(IncrParams {
             filter_threshold: Some(1e-3),
             convergence_epsilon: 1e-5,
             max_iterations: iters,
             ..Default::default()
-        },
-        IterParams::default(),
-    )
-    .unwrap();
-    let incr_report = incr_engine
-        .run(&pool, &mut conv, &stores, &delta, None)
+        })
+        .stores_ref(&stores)
+        .build()
+        .unwrap();
+    let incr_report = incr_session
+        .run_incremental(&mut conv, &delta)
         .expect("incremental");
     let incr_stages = incr_report.total_metrics().stages;
 

@@ -23,8 +23,9 @@
 use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
 use i2mr_algos::pagerank::PageRank;
 use i2mr_bench::sized;
-use i2mr_core::iter_engine::{build_partitioned, PartitionedIterEngine};
+use i2mr_core::iter_engine::build_partitioned;
 use i2mr_core::iterative::{IterParams, PreserveMode};
+use i2mr_core::run::RunBuilder;
 use i2mr_datagen::graph::GraphGen;
 use i2mr_mapred::fault::{FaultPlan, FaultSpec, TaskKind};
 use i2mr_mapred::{JobConfig, WorkerPool};
@@ -74,18 +75,18 @@ fn paper_faults() -> Arc<FaultPlan> {
 fn run_job(pool: &WorkerPool, cfg: &JobConfig) -> Vec<(u64, f64)> {
     let spec = PageRank::default();
     let graph = GraphGen::new(sized(3000), sized(24_000), 0xF13).generate();
-    let engine = PartitionedIterEngine::new(
-        &spec,
-        cfg.clone(),
-        IterParams {
+    let session = RunBuilder::new(&spec)
+        .pool(pool)
+        .job(cfg.clone())
+        .iter(IterParams {
             max_iterations: ITERS,
             epsilon: 0.0,
             preserve: PreserveMode::None,
-        },
-    )
-    .unwrap();
+        })
+        .build()
+        .unwrap();
     let mut data = build_partitioned(&spec, N_TASKS, graph);
-    let report = engine.run(pool, &mut data, None).expect("run");
+    let report = session.run_initial(&mut data).expect("run");
     assert_eq!(report.iterations.len(), ITERS as usize);
     data.state_snapshot()
 }

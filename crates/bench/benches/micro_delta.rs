@@ -36,7 +36,8 @@ use criterion::{criterion_group, criterion_main, BatchSize, BenchmarkId, Criteri
 use i2mr_bench::sized;
 use i2mr_core::incr_iter::apply_structure_delta;
 use i2mr_core::iterative::{IterParams, PreserveMode};
-use i2mr_core::{Delta, PartitionedData, PartitionedIterEngine};
+use i2mr_core::run::RunBuilder;
+use i2mr_core::{Delta, PartitionedData};
 use i2mr_datagen::delta::{weighted_graph_delta, DeltaSpec};
 use i2mr_datagen::graph::GraphGen;
 use i2mr_mapred::{JobConfig, WorkerPool};
@@ -137,17 +138,18 @@ fn run_full(pool: &WorkerPool, cfg: &JobConfig, conv: &Converged, tag: &str) -> 
         StoreRuntimeConfig::default(),
     )
     .unwrap();
-    let engine = PartitionedIterEngine::new(
-        &spec,
-        cfg.clone(),
-        IterParams {
+    let session = RunBuilder::new(&spec)
+        .pool(pool)
+        .job(cfg.clone())
+        .iter(IterParams {
             max_iterations: MAX_ITERS,
             epsilon: 1e-12,
             preserve: PreserveMode::FinalOnly,
-        },
-    )
-    .unwrap();
-    let report = engine.run(pool, &mut data, Some(&stores)).unwrap();
+        })
+        .stores_ref(&stores)
+        .build()
+        .unwrap();
+    let report = session.run_initial(&mut data).unwrap();
     assert!(report.converged, "full-pass refresh did not converge");
     data
 }

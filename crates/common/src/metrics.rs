@@ -181,6 +181,16 @@ pub struct JobMetrics {
     /// Wall milliseconds spent in mid-run recovery (checkpoint restore +
     /// shard rebuild), excluded from the per-stage timings above.
     pub recovery_ms: u64,
+    /// Serving-plane point lookups answered from the hot-key cache.
+    pub serve_hits: u64,
+    /// Serving-plane point lookups that went to the store's read path
+    /// (cache miss or stale-version invalidation).
+    pub serve_misses: u64,
+    /// Records pulled through the ingestion cursor since the last drain.
+    pub ingested_records: u64,
+    /// MRBG-Store keys targeted for recomputation by ingestion
+    /// invalidations (corrections/reorgs; see `core::ingest`).
+    pub invalidated_keys: u64,
 }
 
 impl JobMetrics {
@@ -209,6 +219,10 @@ impl JobMetrics {
         self.salvaged_bytes += other.salvaged_bytes;
         self.rebuilt_shards += other.rebuilt_shards;
         self.recovery_ms += other.recovery_ms;
+        self.serve_hits += other.serve_hits;
+        self.serve_misses += other.serve_misses;
+        self.ingested_records += other.ingested_records;
+        self.invalidated_keys += other.invalidated_keys;
     }
 }
 
@@ -282,6 +296,10 @@ mod tests {
             salvaged_bytes: 64,
             rebuilt_shards: 2,
             recovery_ms: 17,
+            serve_hits: 6,
+            serve_misses: 2,
+            ingested_records: 30,
+            invalidated_keys: 5,
             ..Default::default()
         };
         b.store_io.record_read(9);
@@ -302,6 +320,10 @@ mod tests {
         assert_eq!(a.salvaged_bytes, 64);
         assert_eq!(a.rebuilt_shards, 2);
         assert_eq!(a.recovery_ms, 17);
+        assert_eq!(a.serve_hits, 6);
+        assert_eq!(a.serve_misses, 2);
+        assert_eq!(a.ingested_records, 30);
+        assert_eq!(a.invalidated_keys, 5);
         assert_eq!(a.measured(), Duration::from_millis(4));
     }
 

@@ -30,17 +30,45 @@ pub struct IterCheckpointer {
     store: CheckpointStore,
     job: String,
     n_partitions: usize,
+    /// Save every `n`-th iteration (1 = every iteration). Iteration 0 —
+    /// the pre-mutation baseline — always saves.
+    every: u64,
 }
 
 impl IterCheckpointer {
     /// Checkpointer for `job` with `n_partitions` prime reduce tasks,
-    /// backed by `dfs`.
+    /// backed by `dfs`. Saves every iteration; see
+    /// [`IterCheckpointer::with_cadence`] to thin that out.
     pub fn new(dfs: &MiniDfs, job: impl Into<String>, n_partitions: usize) -> Self {
         IterCheckpointer {
             store: dfs.checkpoints(),
             job: job.into(),
             n_partitions,
+            every: 1,
         }
+    }
+
+    /// Save only every `n`-th iteration (clamped to at least 1). Off-
+    /// cadence [`Self::save_iteration`] / [`Self::save_aux`] calls become
+    /// no-ops, so recovery rewinds to the last cadence multiple — a longer
+    /// re-execution in exchange for proportionally less checkpoint I/O.
+    #[must_use]
+    pub fn with_cadence(mut self, every: u64) -> Self {
+        self.every = every.max(1);
+        self
+    }
+
+    /// Replace the partition count (used by [`crate::run::RunBuilder`],
+    /// which learns the final job shape only at build time).
+    #[must_use]
+    pub fn with_partitions(mut self, n_partitions: usize) -> Self {
+        self.n_partitions = n_partitions;
+        self
+    }
+
+    /// Whether `iteration` is on the save cadence.
+    pub fn on_cadence(&self, iteration: u64) -> bool {
+        iteration % self.every == 0
     }
 
     fn state_task(p: usize) -> String {
@@ -62,6 +90,9 @@ impl IterCheckpointer {
         state: &[Vec<(DK, DV)>],
         stores: Option<&StoreManager>,
     ) -> Result<()> {
+        if !self.on_cadence(iteration) {
+            return Ok(());
+        }
         for (p, part) in state.iter().enumerate() {
             self.store
                 .save(&self.job, iteration, &Self::state_task(p), &encode_to(part))?;
@@ -93,6 +124,9 @@ impl IterCheckpointer {
     /// presence marks the iteration as resumable — which is exactly what
     /// [`Self::latest_resumable`] keys on.
     pub fn save_aux(&self, iteration: u64, data: &[u8]) -> Result<()> {
+        if !self.on_cadence(iteration) {
+            return Ok(());
+        }
         self.store
             .save(&self.job, iteration, &Self::aux_task(), data)
     }
@@ -374,6 +408,26 @@ mod tests {
         ck.save_iteration(1, &state, None).unwrap();
         assert_eq!(ck.latest_complete(false), Some(1));
         assert_eq!(ck.latest_complete(true), None);
+    }
+
+    #[test]
+    fn cadence_skips_off_cadence_iterations() {
+        let (dfs, _dir) = setup("cadence");
+        let ck = IterCheckpointer::new(&dfs, "j", 1).with_cadence(3);
+        let state: Vec<Vec<(u64, f64)>> = vec![vec![(0, 0.5)]];
+        for i in 0..=7 {
+            ck.save_iteration(i, &state, None).unwrap();
+            ck.save_aux(i, b"aux").unwrap();
+        }
+        // Only the multiples of the cadence (and the iteration-0
+        // baseline) hit disk; recovery rewinds to the last sealed one.
+        assert_eq!(ck.latest_resumable(false), Some(6));
+        assert!(ck.load_state::<u64, f64>(5).is_err());
+        assert!(ck.load_state::<u64, f64>(3).is_ok());
+        assert!(
+            ck.load_state::<u64, f64>(0).is_ok(),
+            "baseline always saved"
+        );
     }
 
     #[test]

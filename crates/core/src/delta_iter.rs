@@ -140,7 +140,19 @@ impl<'s, S: DeltaIterativeSpec> DeltaIterEngine<'s, S> {
     /// used after a P∆-triggered MRBG turn-off. Shares [`IncrParams`] with
     /// the incremental engine so a (full, delta) pair judges changes with
     /// identical thresholds.
+    #[deprecated(note = "construct runs through i2mr_core::run::RunBuilder")]
     pub fn new(
+        spec: &'s S,
+        config: JobConfig,
+        params: IncrParams,
+        fallback: IterParams,
+    ) -> Result<Self> {
+        Self::assemble(spec, config, params, fallback)
+    }
+
+    /// The constructor behind both [`crate::run::RunBuilder`] and the
+    /// deprecated [`Self::new`] shim.
+    pub(crate) fn assemble(
         spec: &'s S,
         config: JobConfig,
         params: IncrParams,
@@ -651,7 +663,7 @@ impl<'s, S: DeltaIterativeSpec> DeltaIterEngine<'s, S> {
             .max_iterations
             .saturating_sub(after_iteration)
             .max(1);
-        let engine = PartitionedIterEngine::new(
+        let engine = PartitionedIterEngine::assemble(
             self.spec,
             self.config.clone(),
             IterParams {
@@ -668,20 +680,7 @@ impl<'s, S: DeltaIterativeSpec> DeltaIterEngine<'s, S> {
 /// deferred shard indexes, and fold trailing store counters into the last
 /// iteration's metrics (or a fresh slot if none was recorded).
 fn settle_store_plane(stores: &StoreManager, report: &mut DeltaRunReport) -> Result<()> {
-    match report.per_iteration.last_mut() {
-        Some(last) => stores.settle_into(last),
-        None => {
-            let mut trailing = JobMetrics::default();
-            stores.settle_into(&mut trailing)?;
-            if trailing.store_compactions > 0
-                || trailing.store_bytes_reclaimed > 0
-                || trailing.store_io != i2mr_common::metrics::IoStats::default()
-            {
-                report.per_iteration.push(trailing);
-            }
-            Ok(())
-        }
-    }
+    crate::run::settle_trailing(stores, &mut report.per_iteration)
 }
 
 /// Merge a fallback run's report into the delta report, renumbering
@@ -764,7 +763,7 @@ mod tests {
         stores: &StoreManager,
         pool: &WorkerPool,
     ) -> PartitionedData<u64, Vec<u64>, u64, f64> {
-        let engine = PartitionedIterEngine::new(
+        let engine = PartitionedIterEngine::assemble(
             &MiniRank,
             JobConfig::symmetric(N),
             IterParams {
@@ -814,7 +813,7 @@ mod tests {
         let st_delta = stores(&pool, &format!("{tag}-delta"));
         let mut data_delta = converge_initial(graph, &st_delta, &pool);
 
-        let full = IncrIterEngine::new(
+        let full = IncrIterEngine::assemble(
             &MiniRank,
             JobConfig::symmetric(N),
             params,
@@ -825,7 +824,7 @@ mod tests {
             .run(&pool, &mut data_full, &st_full, delta, None)
             .unwrap();
 
-        let engine = DeltaIterEngine::new(
+        let engine = DeltaIterEngine::assemble(
             &MiniRank,
             JobConfig::symmetric(N),
             params,
@@ -936,7 +935,7 @@ mod tests {
         let mut data = converge_initial(graph, &st, &pool);
         let before = data.state_snapshot();
 
-        let engine = DeltaIterEngine::new(
+        let engine = DeltaIterEngine::assemble(
             &MiniRank,
             JobConfig::symmetric(N),
             IncrParams::default(),
@@ -1006,7 +1005,7 @@ mod tests {
         new.push(20);
         delta.update(7, old, new);
 
-        let engine = DeltaIterEngine::new(
+        let engine = DeltaIterEngine::assemble(
             &MiniRank,
             JobConfig::symmetric(N),
             incr_params(),
@@ -1066,7 +1065,7 @@ mod tests {
         delta.insert(100, vec![3]);
         delta.delete(11, graph[11].1.clone());
 
-        let engine = DeltaIterEngine::new(
+        let engine = DeltaIterEngine::assemble(
             &MiniRank,
             JobConfig::symmetric(N),
             incr_params(),
@@ -1140,7 +1139,7 @@ mod tests {
         let old = graph[4].1.clone();
         delta.update(4, old, vec![9]);
 
-        let engine = DeltaIterEngine::new(
+        let engine = DeltaIterEngine::assemble(
             &MiniRank,
             JobConfig::symmetric(N),
             IncrParams {

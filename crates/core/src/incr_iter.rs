@@ -139,7 +139,19 @@ pub struct IncrIterEngine<'s, S: IterativeSpec> {
 impl<'s, S: IterativeSpec> IncrIterEngine<'s, S> {
     /// Build an engine; `fallback` configures the plain iterative engine
     /// used after a P∆-triggered MRBG turn-off.
+    #[deprecated(note = "construct runs through i2mr_core::run::RunBuilder")]
     pub fn new(
+        spec: &'s S,
+        config: JobConfig,
+        params: IncrParams,
+        fallback: IterParams,
+    ) -> Result<Self> {
+        Self::assemble(spec, config, params, fallback)
+    }
+
+    /// The constructor behind both [`crate::run::RunBuilder`] and the
+    /// deprecated [`Self::new`] shim.
+    pub(crate) fn assemble(
         spec: &'s S,
         config: JobConfig,
         params: IncrParams,
@@ -661,7 +673,7 @@ impl<'s, S: IterativeSpec> IncrIterEngine<'s, S> {
             .max_iterations
             .saturating_sub(after_iteration)
             .max(1);
-        let engine = PartitionedIterEngine::new(
+        let engine = PartitionedIterEngine::assemble(
             self.spec,
             self.config.clone(),
             IterParams {
@@ -683,20 +695,7 @@ impl<'s, S: IterativeSpec> IncrIterEngine<'s, S> {
 /// silently dropped by the manager's destructor — settle into a fresh slot
 /// instead and keep it if it carries anything.
 fn settle_store_plane(stores: &StoreManager, report: &mut IncrRunReport) -> Result<()> {
-    match report.per_iteration.last_mut() {
-        Some(last) => stores.settle_into(last),
-        None => {
-            let mut trailing = JobMetrics::default();
-            stores.settle_into(&mut trailing)?;
-            if trailing.store_compactions > 0
-                || trailing.store_bytes_reclaimed > 0
-                || trailing.store_io != i2mr_common::metrics::IoStats::default()
-            {
-                report.per_iteration.push(trailing);
-            }
-            Ok(())
-        }
-    }
+    crate::run::settle_trailing(stores, &mut report.per_iteration)
 }
 
 /// Merge a fallback run's report into the incremental report, renumbering
@@ -838,7 +837,7 @@ mod tests {
         stores: &StoreManager,
         pool: &WorkerPool,
     ) -> PartitionedData<u64, Vec<u64>, u64, f64> {
-        let engine = PartitionedIterEngine::new(
+        let engine = PartitionedIterEngine::assemble(
             &MiniRank,
             JobConfig::symmetric(N),
             IterParams {
@@ -856,7 +855,7 @@ mod tests {
 
     /// Oracle: converge from scratch on the updated graph.
     fn oracle(graph: Vec<(u64, Vec<u64>)>, pool: &WorkerPool) -> Vec<(u64, f64)> {
-        let engine = PartitionedIterEngine::new(
+        let engine = PartitionedIterEngine::assemble(
             &MiniRank,
             JobConfig::symmetric(N),
             IterParams {
@@ -908,7 +907,7 @@ mod tests {
         new.push(20);
         delta.update(7, old, new.clone());
 
-        let engine = IncrIterEngine::new(
+        let engine = IncrIterEngine::assemble(
             &MiniRank,
             JobConfig::symmetric(N),
             IncrParams {
@@ -945,7 +944,7 @@ mod tests {
         // contributions to a deleted vertex are dropped).
         delta.delete(11, graph[11].1.clone());
 
-        let engine = IncrIterEngine::new(
+        let engine = IncrIterEngine::assemble(
             &MiniRank,
             JobConfig::symmetric(N),
             IncrParams {
@@ -982,7 +981,7 @@ mod tests {
         let old = graph[0].1.clone();
         delta.update(0, old.clone(), vec![30]);
 
-        let exact_engine = IncrIterEngine::new(
+        let exact_engine = IncrIterEngine::assemble(
             &MiniRank,
             JobConfig::symmetric(N),
             IncrParams {
@@ -997,7 +996,7 @@ mod tests {
             .run(&pool, &mut data_exact, &st_exact, &delta, None)
             .unwrap();
 
-        let cpc_engine = IncrIterEngine::new(
+        let cpc_engine = IncrIterEngine::assemble(
             &MiniRank,
             JobConfig::symmetric(N),
             IncrParams {
@@ -1048,7 +1047,7 @@ mod tests {
             updated[i as usize].1 = new;
         }
 
-        let engine = IncrIterEngine::new(
+        let engine = IncrIterEngine::assemble(
             &MiniRank,
             JobConfig::symmetric(N),
             IncrParams {
@@ -1080,7 +1079,7 @@ mod tests {
         let old = graph[4].1.clone();
         delta.update(4, old, vec![9]);
 
-        let engine = IncrIterEngine::new(
+        let engine = IncrIterEngine::assemble(
             &MiniRank,
             JobConfig::symmetric(N),
             IncrParams {
@@ -1112,7 +1111,7 @@ mod tests {
         let mut data = converge_initial(graph, &st, &pool);
         let before = data.state_snapshot();
 
-        let engine = IncrIterEngine::new(
+        let engine = IncrIterEngine::assemble(
             &MiniRank,
             JobConfig::symmetric(N),
             IncrParams::default(),
@@ -1142,7 +1141,7 @@ mod tests {
         new.push(20);
         delta.update(7, old, new);
 
-        let engine = IncrIterEngine::new(
+        let engine = IncrIterEngine::assemble(
             &MiniRank,
             JobConfig::symmetric(N),
             IncrParams {
@@ -1240,7 +1239,7 @@ mod tests {
         let old = graph[2].1.clone();
         delta.update(2, old, vec![13]);
 
-        let engine = IncrIterEngine::new(
+        let engine = IncrIterEngine::assemble(
             &MiniRank,
             JobConfig::symmetric(N),
             IncrParams {

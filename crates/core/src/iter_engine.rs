@@ -211,7 +211,14 @@ pub struct PartitionedIterEngine<'s, S: IterativeSpec> {
 impl<'s, S: IterativeSpec> PartitionedIterEngine<'s, S> {
     /// Build an engine. `config.n_map` / `n_reduce` must be equal (the
     /// co-location scheme pairs map task i with reduce task i).
+    #[deprecated(note = "construct runs through i2mr_core::run::RunBuilder")]
     pub fn new(spec: &'s S, config: JobConfig, params: IterParams) -> Result<Self> {
+        Self::assemble(spec, config, params)
+    }
+
+    /// The constructor behind both [`crate::run::RunBuilder`] and the
+    /// deprecated [`Self::new`] shim.
+    pub(crate) fn assemble(spec: &'s S, config: JobConfig, params: IterParams) -> Result<Self> {
         config.validate()?;
         if config.n_map != config.n_reduce {
             return Err(i2mr_common::error::Error::config(
@@ -292,21 +299,8 @@ impl<'s, S: IterativeSpec> PartitionedIterEngine<'s, S> {
         if let Some(stores) = stores {
             // Compactions scheduled by the final iterations may still be
             // overlapping; settle them and fold the trailing store-plane
-            // counters into the last iteration's metrics. With no recorded
-            // iteration, settle into a fresh slot rather than bare-fencing
-            // — a bare fence would drop the retired compactions' counters.
-            if let Some(last) = report.per_iteration.last_mut() {
-                stores.settle_into(last)?;
-            } else {
-                let mut trailing = JobMetrics::default();
-                stores.settle_into(&mut trailing)?;
-                if trailing.store_compactions > 0
-                    || trailing.store_bytes_reclaimed > 0
-                    || trailing.store_io != i2mr_common::metrics::IoStats::default()
-                {
-                    report.per_iteration.push(trailing);
-                }
-            }
+            // counters into the last iteration's metrics.
+            crate::run::settle_trailing(stores, &mut report.per_iteration)?;
         }
         Ok(report)
     }
@@ -408,18 +402,7 @@ impl<'s, S: IterativeSpec> PartitionedIterEngine<'s, S> {
             report.per_iteration.push(metrics);
         }
         if let Some(stores) = stores {
-            if let Some(last) = report.per_iteration.last_mut() {
-                stores.settle_into(last)?;
-            } else {
-                let mut trailing = JobMetrics::default();
-                stores.settle_into(&mut trailing)?;
-                if trailing.store_compactions > 0
-                    || trailing.store_bytes_reclaimed > 0
-                    || trailing.store_io != i2mr_common::metrics::IoStats::default()
-                {
-                    report.per_iteration.push(trailing);
-                }
-            }
+            crate::run::settle_trailing(stores, &mut report.per_iteration)?;
         }
         Ok(report)
     }
@@ -964,7 +947,7 @@ mod tests {
     #[test]
     fn full_run_converges_to_fixed_point() {
         let spec = Averager;
-        let engine = PartitionedIterEngine::new(
+        let engine = PartitionedIterEngine::assemble(
             &spec,
             JobConfig::symmetric(3),
             IterParams {
@@ -994,13 +977,13 @@ mod tests {
             n_reduce: 3,
             ..Default::default()
         };
-        assert!(PartitionedIterEngine::new(&Averager, cfg, IterParams::default()).is_err());
+        assert!(PartitionedIterEngine::assemble(&Averager, cfg, IterParams::default()).is_err());
     }
 
     #[test]
     fn preserve_every_iteration_builds_batches() {
         let spec = Averager;
-        let engine = PartitionedIterEngine::new(
+        let engine = PartitionedIterEngine::assemble(
             &spec,
             JobConfig::symmetric(2),
             IterParams {
@@ -1031,7 +1014,7 @@ mod tests {
     #[test]
     fn preserve_final_only_builds_one_batch() {
         let spec = Averager;
-        let engine = PartitionedIterEngine::new(
+        let engine = PartitionedIterEngine::assemble(
             &spec,
             JobConfig::symmetric(2),
             IterParams {
@@ -1071,7 +1054,8 @@ mod tests {
             epsilon: 1e-12,
             preserve: PreserveMode::None,
         };
-        let engine = PartitionedIterEngine::new(&spec, JobConfig::symmetric(3), params).unwrap();
+        let engine =
+            PartitionedIterEngine::assemble(&spec, JobConfig::symmetric(3), params).unwrap();
 
         // Fault-free reference run.
         let clean = WorkerPool::new(3);

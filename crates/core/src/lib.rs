@@ -22,6 +22,14 @@
 //!   post-hoc filter into scheduling. Bit-identical results to
 //!   [`incr_iter`], a fraction of the scheduling and index-persistence
 //!   work on low-churn refreshes.
+//! * [`run`] — the single construction surface for all engines: a
+//!   validated [`run::EngineConfig`] behind a [`run::RunBuilder`] that
+//!   assembles a [`run::RunSession`] (initial/incremental/delta runs,
+//!   serving handles, settled teardown).
+//! * [`ingest`] — cursor-based ingestion: partitioned, sequence-numbered
+//!   feeds consumed through high-water-mark [`ingest::IngestCursor`]s,
+//!   with config/schema versioning and invalidations that trigger
+//!   targeted recomputation via the delta engine.
 //! * [`cpc`] — the change propagation filter (paper §5.3).
 //! * [`checkpoint`] — per-iteration state/MRBGraph checkpoints (paper §6.1).
 //! * [`delta`] — the `+`/`−` delta input representation (paper §3.3).
@@ -75,10 +83,12 @@ pub mod cpc;
 pub mod delta;
 pub mod delta_iter;
 pub mod incr_iter;
+pub mod ingest;
 pub mod iter_engine;
 pub mod iterative;
 pub mod onestep;
 pub mod output;
+pub mod run;
 pub mod tasklevel;
 
 pub use accumulator::{Accumulator, AccumulatorEngine};
@@ -87,6 +97,7 @@ pub use cpc::{ChangePropagation, Verdict};
 pub use delta::{Delta, DeltaRecord, Op};
 pub use delta_iter::{DeltaIterEngine, DeltaIterativeSpec, DeltaRunReport, UpdateContract};
 pub use incr_iter::{IncrIterEngine, IncrParams, IncrRunReport};
+pub use ingest::{FeedItem, IngestBatch, IngestCursor, IngestSource, MemSource};
 pub use iter_engine::{
     build_partitioned, build_small_state, PartitionedData, PartitionedIterEngine, RunReport,
     SmallStateData, SmallStateIterEngine,
@@ -96,4 +107,5 @@ pub use iterative::{
 };
 pub use onestep::OneStepEngine;
 pub use output::ResultStore;
+pub use run::{EngineConfig, RunBuilder, RunSession, SessionFinish};
 pub use tasklevel::{ReuseStats, TaskLevelEngine};

@@ -29,6 +29,9 @@ pub enum TaskKind {
     /// Background per-partition store compaction (policy-driven, runs
     /// between iterations at the tail of the schedule).
     Compact,
+    /// Serving-plane point/window lookups fanned out by the serve module
+    /// (scheduled on the executor's highest-priority lane).
+    ServeRead,
 }
 
 impl TaskKind {
@@ -40,6 +43,7 @@ impl TaskKind {
             TaskKind::StoreMerge => "store-merge",
             TaskKind::Reduce => "reduce",
             TaskKind::Compact => "compact",
+            TaskKind::ServeRead => "serve-read",
         }
     }
 }

@@ -20,6 +20,26 @@
 //!   the back of a peer's deque when it is otherwise idle and the peer is
 //!   busy executing — so affinity is a hint that yields under load but is
 //!   deterministic when the preferred worker is free.
+//! * **Priority lanes.** Every queue (per-worker deques and the injector)
+//!   is split into three [`Lane`]s: `Serve` (serving-plane point reads)
+//!   preempts `Data` (map/sort/merge/reduce), which preempts `Compact`
+//!   (background store reconstruction). Workers and thieves always drain
+//!   higher lanes first, so a flood of queued compactions can never sit in
+//!   front of a latency-sensitive lookup — the scheduling half of the
+//!   serving plane's p99 story. Preemption is at job granularity (a
+//!   running compaction is never interrupted), which bounds the added
+//!   latency at one task body.
+//! * **Helping fences.** A thread blocked in [`WorkerPool::fence`] (or the
+//!   `run_tasks` coordinator waiting out its batch) does not just park: it
+//!   *helps*, repeatedly claiming queued jobs it is already waiting on and
+//!   running them inline as the virtual worker `n_workers`. Helpers only
+//!   ever take work gated by their own fence — background jobs at epochs
+//!   at or before the fenced epoch, or jobs of the coordinator's own batch
+//!   — so helping can shorten a fence but never entangle it with work that
+//!   might outlive it (a gate-blocked later-epoch task must not capture
+//!   the fencing thread). Helpers follow the thief's placement rule:
+//!   pinned jobs are taken only from *busy* victims, so idle-placement
+//!   determinism is unchanged.
 //! * **Epoch/fence API.** [`WorkerPool::submit_at`] enqueues detached
 //!   background work (store compactions) tagged with an epoch from
 //!   [`WorkerPool::next_epoch`]; [`WorkerPool::fence`] blocks until every
@@ -77,6 +97,34 @@ use std::sync::{Arc, Condvar, Mutex, MutexGuard};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
+/// Scheduling priority lane. Workers drain lanes strictly in priority
+/// order (own deque, then injector, then steals — higher lanes first at
+/// every step), so queued lower-lane work never delays a higher-lane job
+/// by more than the one task body already executing.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Hash)]
+pub enum Lane {
+    /// Serving-plane reads: preempt everything queued.
+    Serve,
+    /// Data-plane tasks (map/sort/store-merge/reduce) — the default.
+    #[default]
+    Data,
+    /// Background compactions: run only when nothing else is queued.
+    Compact,
+}
+
+/// Number of scheduling lanes.
+const N_LANES: usize = 3;
+
+impl Lane {
+    fn idx(self) -> usize {
+        match self {
+            Lane::Serve => 0,
+            Lane::Data => 1,
+            Lane::Compact => 2,
+        }
+    }
+}
+
 /// One schedulable unit of work producing a `T`.
 ///
 /// The lifetime `'a` lets tasks borrow job-local data (input splits, sorted
@@ -87,6 +135,8 @@ pub struct TaskSpec<'a, T> {
     pub id: TaskId,
     /// Preferred worker index; `None` lets the pool round-robin.
     pub preferred_worker: Option<usize>,
+    /// Scheduling priority lane ([`Lane::Data`] unless overridden).
+    pub lane: Lane,
     /// The work. Receives the attempt number (1-based); may be invoked
     /// multiple times on retry — and concurrently with its own speculative
     /// duplicate (hence `Sync`) — so it must be idempotent.
@@ -99,6 +149,7 @@ impl<'a, T> TaskSpec<'a, T> {
         TaskSpec {
             id,
             preferred_worker: None,
+            lane: Lane::Data,
             run: Box::new(run),
         }
     }
@@ -112,8 +163,15 @@ impl<'a, T> TaskSpec<'a, T> {
         TaskSpec {
             id,
             preferred_worker: Some(worker),
+            lane: Lane::Data,
             run: Box::new(run),
         }
+    }
+
+    /// Same task, scheduled on `lane`.
+    pub fn on_lane(mut self, lane: Lane) -> Self {
+        self.lane = lane;
+        self
     }
 }
 
@@ -154,6 +212,26 @@ impl PoolConfig {
 
 /// A type-erased job: receives the executing worker's index.
 type Job = Box<dyn FnOnce(usize) + Send + 'static>;
+
+/// What a queued job's completion gates — the unit a blocked fence is
+/// allowed to *help* with. A fence caller may only run jobs whose scope it
+/// is already waiting on: anything else (a gate-blocked later-epoch task,
+/// another caller's batch) could capture the helping thread past its own
+/// fence and deadlock it.
+#[derive(Clone, Copy, PartialEq, Eq)]
+enum HelpScope {
+    /// Background submission tagged with this fence epoch.
+    Epoch(u64),
+    /// Job of the `run_tasks` batch with this token (coordinator-stack
+    /// address — unique while the batch is alive).
+    Batch(usize),
+}
+
+/// A job queued in the scheduler, with the metadata helpers filter on.
+struct QueuedJob {
+    scope: HelpScope,
+    job: Job,
+}
 
 std::thread_local! {
     /// True on threads that are workers of *some* pool. `run_tasks` and
@@ -197,10 +275,11 @@ fn backoff_for(base: Duration, failed_attempt: u32) -> Duration {
     base * (1u32 << failed_attempt.saturating_sub(1).min(5))
 }
 
-/// Scheduler state: the global injector plus one deque per worker.
+/// Scheduler state: the global injector plus one deque per worker, each
+/// split into [`N_LANES`] priority lanes.
 struct Sched {
-    injector: VecDeque<Job>,
-    locals: Vec<VecDeque<Job>>,
+    injectors: [VecDeque<QueuedJob>; N_LANES],
+    locals: Vec<[VecDeque<QueuedJob>; N_LANES]>,
     /// True while worker `i` is executing a job — the steal predicate.
     busy: Vec<bool>,
     shutdown: bool,
@@ -301,26 +380,27 @@ impl Core {
     /// Enqueue a job, preferring `preferred`'s deque (injector otherwise).
     /// After shutdown the job runs inline on the caller so no work — and no
     /// fence — is ever lost.
-    fn submit(&self, preferred: Option<usize>, job: Job) {
-        self.submit_batch(std::iter::once((preferred, job)));
+    fn submit(&self, preferred: Option<usize>, lane: Lane, scope: HelpScope, job: Job) {
+        self.submit_jobs(std::iter::once((preferred, lane, scope, job)));
     }
 
     /// Enqueue a whole batch under one scheduler-lock acquisition and a
     /// single wakeup — `run_tasks` is the hottest scheduling path (every
     /// map/sort/merge phase of every iteration), so per-task lock+notify
     /// round-trips would be O(batch × workers) spurious wakeups.
-    fn submit_batch(&self, jobs: impl Iterator<Item = (Option<usize>, Job)>) {
-        let mut leftover: Vec<(Option<usize>, Job)> = Vec::new();
+    fn submit_jobs(&self, jobs: impl Iterator<Item = (Option<usize>, Lane, HelpScope, Job)>) {
+        let mut leftover: Vec<(Option<usize>, Lane, HelpScope, Job)> = Vec::new();
         {
             let mut s = lock(&self.sched);
             if !s.shutdown {
-                for (preferred, job) in jobs {
+                for (preferred, lane, scope, job) in jobs {
+                    let q = QueuedJob { scope, job };
                     match preferred {
                         Some(w) => {
                             let w = w % self.n_workers;
-                            s.locals[w].push_back(job);
+                            s.locals[w][lane.idx()].push_back(q);
                         }
-                        None => s.injector.push_back(job),
+                        None => s.injectors[lane.idx()].push_back(q),
                     }
                 }
                 drop(s);
@@ -329,31 +409,81 @@ impl Core {
             }
             leftover.extend(jobs);
         }
-        for (preferred, job) in leftover {
+        for (preferred, _lane, _scope, job) in leftover {
             job(preferred.unwrap_or(0) % self.n_workers);
         }
     }
 
-    /// Pop the next job for `me`: own deque front, then injector, then
-    /// steal from the *back* of a busy peer's deque. Idle peers are never
-    /// stolen from — they will wake and honor their own affinity.
-    fn next_job(s: &mut Sched, me: usize) -> Option<Job> {
-        if let Some(j) = s.locals[me].pop_front() {
-            return Some(j);
-        }
-        if let Some(j) = s.injector.pop_front() {
-            return Some(j);
+    /// Pop the next job for `me`, highest lane first at every step: own
+    /// deque front, then injector, then steal from the *back* of a busy
+    /// peer's deque. Idle peers are never stolen from — they will wake and
+    /// honor their own affinity.
+    fn next_job(s: &mut Sched, me: usize) -> Option<QueuedJob> {
+        for lane in 0..N_LANES {
+            if let Some(j) = s.locals[me][lane].pop_front() {
+                return Some(j);
+            }
+            if let Some(j) = s.injectors[lane].pop_front() {
+                return Some(j);
+            }
         }
         let n = s.locals.len();
-        for off in 1..n {
-            let victim = (me + off) % n;
-            if s.busy[victim] {
-                if let Some(j) = s.locals[victim].pop_back() {
-                    return Some(j);
+        for lane in 0..N_LANES {
+            for off in 1..n {
+                let victim = (me + off) % n;
+                if s.busy[victim] {
+                    if let Some(j) = s.locals[victim][lane].pop_back() {
+                        return Some(j);
+                    }
                 }
             }
         }
         None
+    }
+
+    /// Claim one queued job whose [`HelpScope`] satisfies `want`, for a
+    /// blocked fence to run inline. Follows the thief's placement rule —
+    /// injectors freely, pinned jobs only off *busy* victims' backs — so
+    /// helping never perturbs idle-placement determinism.
+    fn next_help(s: &mut Sched, want: &dyn Fn(HelpScope) -> bool) -> Option<QueuedJob> {
+        for lane in 0..N_LANES {
+            if let Some(pos) = s.injectors[lane].iter().position(|q| want(q.scope)) {
+                return s.injectors[lane].remove(pos);
+            }
+        }
+        let n = s.locals.len();
+        for lane in 0..N_LANES {
+            for victim in 0..n {
+                if s.busy[victim] {
+                    if let Some(pos) = s.locals[victim][lane].iter().rposition(|q| want(q.scope)) {
+                        return s.locals[victim][lane].remove(pos);
+                    }
+                }
+            }
+        }
+        None
+    }
+
+    /// Help once: claim a queued job matching `want` and run it on the
+    /// calling thread as the virtual worker `n_workers`. Returns `false`
+    /// when no matching job is queued (it is either executing on a real
+    /// worker or not yet submitted). The caller thread is marked as a pool
+    /// worker for the job's duration so nested-blocking misuse inside a
+    /// helped body trips the same debug assertions a real worker would.
+    fn help_one(&self, want: &dyn Fn(HelpScope) -> bool) -> bool {
+        let claimed = {
+            let mut s = lock(&self.sched);
+            Core::next_help(&mut s, want)
+        };
+        match claimed {
+            Some(q) => {
+                let was = IS_POOL_WORKER.with(|w| w.replace(true));
+                let _ = catch_unwind(AssertUnwindSafe(|| (q.job)(self.n_workers)));
+                IS_POOL_WORKER.with(|w| w.set(was));
+                true
+            }
+            None => false,
+        }
     }
 
     fn worker_loop(self: &Arc<Core>, me: usize) {
@@ -364,7 +494,7 @@ impl Core {
                 loop {
                     if let Some(j) = Core::next_job(&mut s, me) {
                         s.busy[me] = true;
-                        break (Some(j), !s.locals[me].is_empty());
+                        break (Some(j), s.locals[me].iter().any(|d| !d.is_empty()));
                     }
                     if s.shutdown {
                         break (None, false);
@@ -372,7 +502,7 @@ impl Core {
                     s = wait(&self.work, s);
                 }
             };
-            let Some(job) = job else { return };
+            let Some(q) = job else { return };
             // This worker just went busy: if its deque still holds jobs
             // they only now became stealable, so idle peers must re-scan.
             // (Going idle again never creates work, so job completion
@@ -383,7 +513,7 @@ impl Core {
             // Jobs built by this pool catch panics internally and route the
             // outcome to their batch; this outer catch is a last line of
             // defense keeping the worker alive for raw submissions.
-            let _ = catch_unwind(AssertUnwindSafe(|| job(me)));
+            let _ = catch_unwind(AssertUnwindSafe(|| (q.job)(me)));
             lock(&self.sched).busy[me] = false;
         }
     }
@@ -403,6 +533,7 @@ fn submit_bg_attempt(
     delay: Duration,
 ) {
     let job_core = Arc::clone(&core);
+    let lane = task.lane;
     let job: Job = Box::new(move |worker: usize| {
         let guard = guard;
         // Backoff runs on the retry worker: detached background work has no
@@ -441,7 +572,7 @@ fn submit_bg_attempt(
             }
         }
     });
-    core.submit(preferred, job);
+    core.submit(preferred, lane, HelpScope::Epoch(epoch), job);
 }
 
 /// Owns the worker threads; dropping the last [`WorkerPool`] handle drains
@@ -604,8 +735,10 @@ impl WorkerPool {
             timeline_truncated: AtomicBool::new(false),
             epoch0: Instant::now(),
             sched: Mutex::new(Sched {
-                injector: VecDeque::new(),
-                locals: (0..n_workers).map(|_| VecDeque::new()).collect(),
+                injectors: std::array::from_fn(|_| VecDeque::new()),
+                locals: (0..n_workers)
+                    .map(|_| std::array::from_fn(|_| VecDeque::new()))
+                    .collect(),
                 busy: vec![false; n_workers],
                 shutdown: false,
             }),
@@ -715,6 +848,9 @@ impl WorkerPool {
             .collect();
 
         let batch_ref = &batch;
+        // Help-scope token for this batch: the coordinator may run its own
+        // queued jobs inline, and only its own (see [`HelpScope`]).
+        let token = batch_ref as *const Batch<T> as usize;
         let core_ref: &Core = core;
         let states_ref = &states;
         // Mint one attempt job. All jobs — initial, retry, speculative —
@@ -788,11 +924,15 @@ impl WorkerPool {
             let mut remaining = lock(&batch.remaining);
             *remaining += n;
         }
-        let jobs = states
-            .iter()
-            .enumerate()
-            .map(|(i, ts)| (Some(ts.spec.preferred_worker.unwrap_or(i)), make_job(i, 1)));
-        core.submit_batch(jobs);
+        let jobs = states.iter().enumerate().map(|(i, ts)| {
+            (
+                Some(ts.spec.preferred_worker.unwrap_or(i)),
+                ts.spec.lane,
+                HelpScope::Batch(token),
+                make_job(i, 1),
+            )
+        });
+        core.submit_jobs(jobs);
 
         // Coordinator loop: wait for the fence while claiming due retry
         // tickets and (optionally) launching speculative duplicates.
@@ -844,11 +984,14 @@ impl WorkerPool {
             if !to_spawn.is_empty() {
                 *remaining += to_spawn.len();
                 drop(remaining);
-                core.submit_batch(
-                    to_spawn
-                        .into_iter()
-                        .map(|(i, attempt, pref)| (pref, make_job(i, attempt))),
-                );
+                core.submit_jobs(to_spawn.into_iter().map(|(i, attempt, pref)| {
+                    (
+                        pref,
+                        states[i].spec.lane,
+                        HelpScope::Batch(token),
+                        make_job(i, attempt),
+                    )
+                }));
                 remaining = lock(&batch.remaining);
                 continue;
             }
@@ -870,7 +1013,21 @@ impl WorkerPool {
                 (None, Some(deadline)) if *remaining > 0 => {
                     wait_timeout(&batch.done, remaining, deadline)
                 }
-                (None, _) => wait(&batch.done, remaining),
+                // No deadline to honor: help instead of parking. The
+                // coordinator claims one of its *own* queued jobs and runs
+                // it inline — the batch fence is waiting on it regardless,
+                // so helping can only shorten the wait. Park only when
+                // nothing of ours is queued (all attempts are executing).
+                (None, _) => {
+                    drop(remaining);
+                    let helped = core.help_one(&|s| s == HelpScope::Batch(token));
+                    let guard = lock(&batch.remaining);
+                    if !helped && *guard > 0 {
+                        wait(&batch.done, guard)
+                    } else {
+                        guard
+                    }
+                }
             };
         }
         drop(remaining);
@@ -931,6 +1088,13 @@ impl WorkerPool {
     /// are the error-ownership boundary, so independent submitters sharing
     /// one executor (several `StoreManager`s, say) never consume each
     /// other's failures: each fences the epochs it allocated.
+    ///
+    /// The caller does not just park: while fenced work is still *queued*
+    /// (as opposed to executing), it claims those jobs and runs them
+    /// inline — a fence over a pile of scheduled compactions drains it as
+    /// an extra worker instead of idling behind a saturated pool. Helping
+    /// is scoped to epochs at or before `epoch`: jobs the fence is already
+    /// waiting on, never work that could outlive it.
     pub fn fence(&self, epoch: u64) -> Result<()> {
         debug_assert!(
             !IS_POOL_WORKER.with(|w| w.get()),
@@ -938,20 +1102,32 @@ impl WorkerPool {
              queued behind this very task (deadlock on a saturated pool)"
         );
         let core = &self.shared.core;
-        let mut t = lock(&core.fences);
         loop {
-            let outstanding = t.pending.range(..=epoch).any(|(_, c)| *c > 0);
-            if !outstanding {
-                let settled: Vec<u64> = t.pending.range(..=epoch).map(|(k, _)| *k).collect();
-                for k in settled {
-                    t.pending.remove(&k);
+            {
+                let mut t = lock(&core.fences);
+                let outstanding = t.pending.range(..=epoch).any(|(_, c)| *c > 0);
+                if !outstanding {
+                    let settled: Vec<u64> = t.pending.range(..=epoch).map(|(k, _)| *k).collect();
+                    for k in settled {
+                        t.pending.remove(&k);
+                    }
+                    if let Some(e) = t.errors.remove(&epoch) {
+                        return Err(e);
+                    }
+                    return Ok(());
                 }
-                if let Some(e) = t.errors.remove(&epoch) {
-                    return Err(e);
-                }
-                return Ok(());
             }
-            t = wait(&core.fence_done, t);
+            if core.help_one(&|s| matches!(s, HelpScope::Epoch(e) if e <= epoch)) {
+                continue;
+            }
+            // Nothing of ours is queued — the remaining fenced work is
+            // executing on real workers (or is a backoff-delayed retry not
+            // yet resubmitted, which no notification covers: hence the
+            // timed wait instead of an unbounded park).
+            let t = lock(&core.fences);
+            if t.pending.range(..=epoch).any(|(_, c)| *c > 0) {
+                drop(wait_timeout(&core.fence_done, t, Duration::from_millis(1)));
+            }
         }
     }
 
@@ -1007,7 +1183,9 @@ mod tests {
     #[test]
     fn workers_persist_across_batches() {
         // The same threads serve many run_tasks calls: the recorded worker
-        // indices stay within range and the timeline accumulates.
+        // indices stay within range and the timeline accumulates. Index
+        // `n_workers` (= 2 here) is the *virtual caller*: the coordinator
+        // helping with its own queued jobs instead of parking.
         let pool = WorkerPool::new(2);
         for round in 0..20 {
             let tasks: Vec<TaskSpec<usize>> = (0..6)
@@ -1018,7 +1196,7 @@ mod tests {
         }
         let tl = pool.take_timeline();
         assert_eq!(tl.events().len(), 20 * 6 * 2, "start+finish per task");
-        assert!(tl.events().iter().all(|e| e.worker < 2));
+        assert!(tl.events().iter().all(|e| e.worker <= 2));
     }
 
     #[test]
@@ -1484,6 +1662,142 @@ mod tests {
             // Drop without fencing: shutdown must still drain all 16.
         }
         assert_eq!(counter.load(Ordering::SeqCst), 16);
+    }
+
+    #[test]
+    fn serve_lane_preempts_queued_data_and_compact_work() {
+        // Saturate the single worker, then queue one job per lane while it
+        // is blocked. Release order must be Serve, Data, Compact regardless
+        // of submission order (Compact first, Serve last).
+        let pool = WorkerPool::new(1);
+        let gate = Arc::new(AtomicBool::new(false));
+        let order = Arc::new(parking_lot::Mutex::new(Vec::<&'static str>::new()));
+        let e = pool.next_epoch();
+        {
+            let gate = Arc::clone(&gate);
+            pool.submit_at(
+                e,
+                TaskSpec::new(tid(0), move |_| {
+                    while !gate.load(Ordering::SeqCst) {
+                        std::thread::sleep(Duration::from_micros(50));
+                    }
+                    Ok(())
+                }),
+            );
+        }
+        // Wait until the blocker is actually executing so the lane jobs
+        // all sit queued behind it.
+        while pool.pending_at_or_before(e) == 0 {
+            std::thread::sleep(Duration::from_micros(50));
+        }
+        std::thread::sleep(Duration::from_millis(2));
+        let e2 = pool.next_epoch();
+        for (lane, tag) in [
+            (Lane::Compact, "compact"),
+            (Lane::Data, "data"),
+            (Lane::Serve, "serve"),
+        ] {
+            let order = Arc::clone(&order);
+            pool.submit_at(
+                e2,
+                TaskSpec::new(tid(1), move |_| {
+                    order.lock().push(tag);
+                    Ok(())
+                })
+                .on_lane(lane),
+            );
+        }
+        gate.store(true, Ordering::SeqCst);
+        pool.fence(e2).unwrap();
+        assert_eq!(*order.lock(), vec!["serve", "data", "compact"]);
+    }
+
+    #[test]
+    fn fence_helps_drain_queued_epoch_work() {
+        // One worker, blocked on a gated epoch-1 task; eight epoch-1 tasks
+        // queue behind it. The fencing thread must help: all queued tasks
+        // complete even though the only real worker stays blocked until
+        // the fence has drained everything else.
+        let pool = WorkerPool::new(1);
+        let e = pool.next_epoch();
+        let gate = Arc::new(AtomicBool::new(false));
+        let helped = Arc::new(AtomicU64::new(0));
+        {
+            let gate = Arc::clone(&gate);
+            let helped = Arc::clone(&helped);
+            pool.submit_at(
+                e,
+                TaskSpec::new(tid(0), move |_| {
+                    // Release the gate only once every sibling has run —
+                    // which can only happen if the fencer helps.
+                    while helped.load(Ordering::SeqCst) < 8 && !gate.load(Ordering::SeqCst) {
+                        std::thread::sleep(Duration::from_micros(50));
+                    }
+                    Ok(())
+                }),
+            );
+        }
+        for i in 1..=8 {
+            let helped = Arc::clone(&helped);
+            pool.submit_at(
+                e,
+                TaskSpec::new(tid(i), move |_| {
+                    helped.fetch_add(1, Ordering::SeqCst);
+                    Ok(())
+                }),
+            );
+        }
+        pool.fence(e).unwrap();
+        assert_eq!(helped.load(Ordering::SeqCst), 8);
+        // The helper is recorded as the virtual worker `n_workers`.
+        let tl = pool.take_timeline();
+        assert!(tl.events().iter().any(|ev| ev.worker == 1));
+    }
+
+    #[test]
+    fn fence_helper_never_takes_later_epoch_work() {
+        // A gate-blocked epoch-2 task sits queued while fence(e1) drains
+        // epoch-1 work on a single saturated worker. The helper must skip
+        // the epoch-2 job (running it would block the fencer on a gate
+        // only released after the fence returns).
+        let pool = WorkerPool::new(1);
+        let e1 = pool.next_epoch();
+        let e2 = pool.next_epoch();
+        let gate = Arc::new(AtomicBool::new(false));
+        let busy = Arc::new(AtomicBool::new(false));
+        {
+            let busy = Arc::clone(&busy);
+            pool.submit_at(
+                e1,
+                TaskSpec::new(tid(0), move |_| {
+                    busy.store(true, Ordering::SeqCst);
+                    std::thread::sleep(Duration::from_millis(10));
+                    Ok(())
+                }),
+            );
+        }
+        while !busy.load(Ordering::SeqCst) {
+            std::thread::sleep(Duration::from_micros(50));
+        }
+        {
+            let gate = Arc::clone(&gate);
+            pool.submit_at(
+                e2,
+                TaskSpec::new(tid(9), move |_| {
+                    while !gate.load(Ordering::SeqCst) {
+                        std::thread::sleep(Duration::from_micros(50));
+                    }
+                    Ok(())
+                }),
+            );
+        }
+        for i in 1..=4 {
+            pool.submit_at(e1, TaskSpec::new(tid(i), |_| Ok(())));
+        }
+        // Returns only if the helper leaves the epoch-2 gate job alone.
+        pool.fence(e1).unwrap();
+        gate.store(true, Ordering::SeqCst);
+        pool.fence(e2).unwrap();
     }
 
     #[test]

@@ -23,6 +23,10 @@
 //! * [`runtime`] — [`StoreManager`], the store runtime layer owning all
 //!   per-partition stores: sharded partition-affine merges on the worker
 //!   pool, a split read path, and policy-driven background compaction.
+//! * [`serve`] — [`ServeHandle`], the serving plane: concurrent
+//!   point/window lookups of live results over per-shard reader pools
+//!   with a version-invalidated hot-key cache, fanned out on the
+//!   executor's Serve lane.
 //!
 //! # Keys are opaque bytes
 //!
@@ -39,6 +43,7 @@ pub mod index;
 pub mod merge;
 pub mod query;
 pub mod runtime;
+pub mod serve;
 pub mod store;
 pub mod window;
 
@@ -51,4 +56,5 @@ pub use index::{BatchInfo, ChunkIndex, ChunkLoc};
 pub use merge::{DeltaChunk, DeltaEntry, MergeOutcome};
 pub use query::QueryStrategy;
 pub use runtime::{StoreManager, StoreRuntimeConfig};
+pub use serve::{ServeConfig, ServeHandle, ServeMetrics};
 pub use store::{ChunksIter, MrbgStore, StoreConfig, StoreReader};

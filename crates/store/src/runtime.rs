@@ -65,10 +65,10 @@ use crate::store::{MrbgStore, StoreConfig, StoreReader};
 use i2mr_common::error::{Error, Result};
 use i2mr_common::metrics::{IoStats, JobMetrics};
 use i2mr_mapred::fault::{FailSite, FailpointRegistry, TaskId, TaskKind};
-use i2mr_mapred::pool::{TaskSpec, WorkerPool};
+use i2mr_mapred::pool::{Lane, TaskSpec, WorkerPool};
 use parking_lot::{Mutex, RwLock};
 use std::path::{Path, PathBuf};
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 
 /// Tunables of the store runtime (per-shard [`StoreConfig`] plus the
@@ -123,6 +123,12 @@ struct Shard {
     /// retry exhaustion — reads fail fast until
     /// [`StoreManager::rebuild_shard`] restores it from a checkpoint.
     quarantined: AtomicBool,
+    /// Monotonic content version, bumped whenever live content changes
+    /// (merge, append, rebuild). Compaction does **not** bump it —
+    /// reconstruction never changes live chunks, so serving-plane cache
+    /// entries stamped with this version stay valid across generation
+    /// bumps (the detached readers chase generations independently).
+    data_version: AtomicU64,
 }
 
 impl Shard {
@@ -134,7 +140,13 @@ impl Shard {
             compacting: AtomicBool::new(false),
             index_dirty: AtomicBool::new(false),
             quarantined: AtomicBool::new(false),
+            data_version: AtomicU64::new(0),
         }))
+    }
+
+    /// Publish a content change (release-pairs with serving-plane loads).
+    fn bump_version(&self) {
+        self.data_version.fetch_add(1, Ordering::Release);
     }
 }
 
@@ -304,6 +316,50 @@ impl StoreManager {
         store.get_with(&mut reader, key)
     }
 
+    /// Shard `p`'s monotonic content version: bumped on every merge,
+    /// append, and rebuild (not on compaction, which never changes live
+    /// content). The serving plane stamps cache entries with this and
+    /// treats any mismatch as an invalidation.
+    pub fn data_version(&self, p: usize) -> u64 {
+        self.shards[p].data_version.load(Ordering::Acquire)
+    }
+
+    /// Detach a fresh [`StoreReader`] for shard `p`. Serving-plane callers
+    /// pool these so concurrent lookups on one shard don't serialize on
+    /// the shard's single built-in reader.
+    pub fn new_reader(&self, p: usize) -> Result<StoreReader> {
+        self.shards[p].store.read().reader()
+    }
+
+    /// Point lookup on shard `p` through a caller-owned [`StoreReader`]
+    /// (quarantine check + failpoint + shared store access, like
+    /// [`StoreManager::get`], but without contending on the shard's
+    /// built-in reader lock). The reader transparently reopens if a
+    /// compaction replaced the data file since it was created.
+    pub fn read_with(
+        &self,
+        p: usize,
+        reader: &mut StoreReader,
+        key: &[u8],
+    ) -> Result<Option<Chunk>> {
+        let shard = &self.shards[p];
+        if shard.quarantined.load(Ordering::Acquire) {
+            return Err(Error::corrupt("shard quarantined pending rebuild"));
+        }
+        self.failpoints.check(FailSite::StoreRead, "serve-get")?;
+        shard.store.read().get_with(reader, key)
+    }
+
+    /// Live keys of shard `p` in `lo..=hi`, canonical order (serving-plane
+    /// window lookups resolve their key set through this).
+    pub fn keys_in_range(&self, p: usize, lo: &[u8], hi: &[u8]) -> Result<Vec<Vec<u8>>> {
+        let shard = &self.shards[p];
+        if shard.quarantined.load(Ordering::Acquire) {
+            return Err(Error::corrupt("shard quarantined pending rebuild"));
+        }
+        Ok(shard.store.read().keys_in_range(lo, hi))
+    }
+
     /// Fence shard `p` off after detected corruption or retry exhaustion:
     /// every read fails fast until [`StoreManager::rebuild_shard`] restores
     /// it. Idempotent.
@@ -328,6 +384,7 @@ impl StoreManager {
         *shard.reader.lock() = store.reader()?;
         shard.index_dirty.store(false, Ordering::Release);
         shard.quarantined.store(false, Ordering::Release);
+        shard.bump_version();
         drop(store);
         self.stats.lock().rebuilt_shards += 1;
         Ok(())
@@ -384,7 +441,9 @@ impl StoreManager {
             // Fire before the write lock: an injected failure leaves the
             // shard untouched, so the rescheduled attempt merges cleanly.
             fp.check(FailSite::StoreAppend, "merge")?;
-            shard.store.write().merge_apply(deltas)
+            let out = shard.store.write().merge_apply(deltas)?;
+            shard.bump_version();
+            Ok(out)
         }
         if !self.config.parallel {
             return self
@@ -451,6 +510,7 @@ impl StoreManager {
             fp.check(FailSite::StoreAppend, "merge-touched")?;
             let out = shard.store.write().merge_apply_deferred(deltas)?;
             shard.index_dirty.store(true, Ordering::Release);
+            shard.bump_version();
             Ok(out)
         }
         let mut out: Vec<Vec<(Vec<u8>, MergeOutcome)>> =
@@ -517,6 +577,7 @@ impl StoreManager {
             for (shard, batch) in self.shards.iter().zip(batches) {
                 self.failpoints.check(FailSite::StoreAppend, "append")?;
                 shard.store.write().append_batch(batch)?;
+                shard.bump_version();
             }
             return Ok(());
         }
@@ -544,7 +605,9 @@ impl StoreManager {
                         let batch = cell.lock().take().ok_or_else(|| {
                             Error::corrupt("store batch consumed by a failed earlier attempt")
                         })?;
-                        shard.store.write().append_batch(batch)
+                        shard.store.write().append_batch(batch)?;
+                        shard.bump_version();
+                        Ok(())
                     },
                 )
             })
@@ -619,7 +682,8 @@ impl StoreManager {
                         rt.bytes_reclaimed += s.reclaimed();
                         Ok(())
                     },
-                ),
+                )
+                .on_lane(Lane::Compact),
             );
         }
         Ok(n)
@@ -712,6 +776,7 @@ impl StoreManager {
                             shard.store.write().compact()
                         },
                     )
+                    .on_lane(Lane::Compact)
                 })
                 .collect();
             self.pool.run_tasks(tasks)?

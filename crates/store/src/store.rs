@@ -508,6 +508,21 @@ impl MrbgStore {
         keys
     }
 
+    /// Live keys in `lo..=hi` (inclusive both ends), in canonical order.
+    /// The serving plane's window lookups resolve the key set through this
+    /// under a shared lock, then read each chunk through a detached
+    /// [`StoreReader`].
+    pub fn keys_in_range(&self, lo: &[u8], hi: &[u8]) -> Vec<Vec<u8>> {
+        let mut keys: Vec<Vec<u8>> = self
+            .index
+            .iter()
+            .filter(|(k, _)| k.as_slice() >= lo && k.as_slice() <= hi)
+            .map(|(k, _)| k.clone())
+            .collect();
+        keys.sort_unstable();
+        keys
+    }
+
     /// Stream all live chunks in canonical (lexicographic key) order.
     ///
     /// Replaces the old "materialize the whole store into a `Vec<Chunk>`"

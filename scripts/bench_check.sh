@@ -10,6 +10,7 @@
 #   serial   -> sharded   (micro_store:  the sharded store plane win)
 #   spawn    -> persistent (micro_pool:  the persistent-executor overlap win)
 #   full     -> delta     (micro_delta: the workset-driven delta-iteration win)
+#   idle     -> merging   (micro_serve: bounded serving-tail cost under churn)
 #   faultfree -> faulted  (fig13_fault: bounded fault-recovery overhead)
 #
 # For every benchmark group the geometric-mean speedup of the fresh run
@@ -30,7 +31,12 @@
 # engine to skip), so like micro_store it gates at full size
 # (I2MR_BENCH_QUICK=0); its headline churn1pct group carries the delta
 # engine's shipping bar as an absolute floor: delta iteration >= 3x over
-# full-pass incremental at 1% churn.
+# full-pass incremental at 1% churn. micro_serve's "speedup" is the
+# idle/merging p99 ratio (<= 1 by construction); its absolute floor of
+# 0.333 is the serving plane's shipping bar — the point-lookup p99 under
+# an active merge+compact churn must stay within 3x of the idle p99. The
+# churn thread needs a real measurement window to overlap, so gate it at
+# full size (I2MR_BENCH_QUICK=0).
 #
 # Usage:
 #   scripts/bench_check.sh [micro_shuffle] [micro_store] ...
@@ -45,6 +51,7 @@ out_for() {
     micro_store) echo "BENCH_store.json" ;;
     micro_pool) echo "BENCH_pool.json" ;;
     micro_delta) echo "BENCH_delta.json" ;;
+    micro_serve) echo "BENCH_serve.json" ;;
     fig13_fault) echo "BENCH_fig13.json" ;;
     *) echo "BENCH_$1.json" ;;
   esac
@@ -52,7 +59,7 @@ out_for() {
 
 targets=("$@")
 if [ ${#targets[@]} -eq 0 ]; then
-  targets=(micro_shuffle micro_store micro_pool micro_delta fig13_fault)
+  targets=(micro_shuffle micro_store micro_pool micro_delta micro_serve fig13_fault)
 fi
 
 tol="${BENCH_TOLERANCE:-0.25}"
@@ -77,6 +84,7 @@ PAIRS = [
     ("serial", "sharded"),
     ("spawn", "persistent"),
     ("full", "delta"),
+    ("idle", "merging"),
     ("faultfree", "faulted"),
 ]
 # Absolute speedup floors (group -> min geomean on the FRESH run), on top
@@ -87,6 +95,7 @@ PAIRS = [
 FLOORS = {
     "micro_pool/iteration": 1.3,
     "micro_delta/churn1pct": 3.0,
+    "micro_serve/lookup": 0.333,
     "fig13/run": 0.667,
 }
 

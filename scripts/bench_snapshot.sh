@@ -10,6 +10,7 @@
 #   micro_store   -> BENCH_store.json    (MRBG-Store plane: serial vs sharded)
 #   micro_pool    -> BENCH_pool.json     (executor: spawn-per-call vs persistent)
 #   micro_delta   -> BENCH_delta.json    (full-pass vs workset delta iteration)
+#   micro_serve   -> BENCH_serve.json    (serving p99: idle vs under merge churn)
 #   fig13_fault   -> BENCH_fig13.json    (fault-free vs 3-fault recovery run)
 #
 # Usage:
@@ -25,6 +26,7 @@ out_for() {
     micro_store) echo "BENCH_store.json" ;;
     micro_pool) echo "BENCH_pool.json" ;;
     micro_delta) echo "BENCH_delta.json" ;;
+    micro_serve) echo "BENCH_serve.json" ;;
     fig13_fault) echo "BENCH_fig13.json" ;;
     *) echo "BENCH_$1.json" ;;
   esac
@@ -32,7 +34,7 @@ out_for() {
 
 targets=("$@")
 if [ ${#targets[@]} -eq 0 ]; then
-  targets=(micro_shuffle micro_store micro_pool micro_delta fig13_fault)
+  targets=(micro_shuffle micro_store micro_pool micro_delta micro_serve fig13_fault)
 fi
 
 for target in "${targets[@]}"; do
@@ -41,5 +43,5 @@ for target in "${targets[@]}"; do
   echo
   echo "== snapshot: $out =="
   # Print the headline comparisons (no jq dependency: plain grep).
-  grep -oE '"id": "[^"]*/(zerocopy|baseline|serial|sharded|spawn|persistent|full|delta|faultfree|faulted)/[^}]*' "$out" || true
+  grep -oE '"id": "[^"]*/(zerocopy|baseline|serial|sharded|spawn|persistent|full|delta|idle|merging|faultfree|faulted)/[^}]*' "$out" || true
 done

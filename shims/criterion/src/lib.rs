@@ -37,6 +37,19 @@ pub fn completed_records() -> Vec<BenchRecord> {
     RECORDS.lock().unwrap().clone()
 }
 
+/// Register an externally-measured record. For benches whose headline
+/// statistic isn't the median of a timing loop — e.g. a tail-latency
+/// quantile computed over the bench's own sample set — `median_ns`
+/// carries that headline number, since it is the field the snapshot and
+/// regression-gate scripts read.
+pub fn record_external(rec: BenchRecord) {
+    println!(
+        "{:<44} min {:>10}ns  headline {:>10}ns  mean {:>10}ns  ({} samples)",
+        rec.id, rec.min_ns, rec.median_ns, rec.mean_ns, rec.samples
+    );
+    RECORDS.lock().unwrap().push(rec);
+}
+
 /// True when the binary was invoked in smoke mode (`cargo bench -- --test`):
 /// one sample per benchmark, just enough to prove the target still runs.
 pub fn is_test_mode() -> bool {

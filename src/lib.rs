@@ -46,9 +46,10 @@ pub use i2mr_store as store;
 /// Convenience prelude for applications.
 pub mod prelude {
     pub use i2mr_core::{
-        Accumulator, AccumulatorEngine, Delta, DeltaIterEngine, DeltaIterativeSpec, IncrIterEngine,
-        IncrParams, IterParams, IterativeSpec, OneStepEngine, PartitionedIterEngine, PreserveMode,
-        SmallStateSpec, UpdateContract,
+        Accumulator, AccumulatorEngine, Delta, DeltaIterEngine, DeltaIterativeSpec, EngineConfig,
+        IncrIterEngine, IncrParams, IterParams, IterativeSpec, OneStepEngine,
+        PartitionedIterEngine, PreserveMode, RunBuilder, RunSession, SmallStateSpec,
+        UpdateContract,
     };
     pub use i2mr_mapred::{
         Emitter, HashPartitioner, JobConfig, Mapper, Reducer, Values, WorkerPool,

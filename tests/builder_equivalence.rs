@@ -1,0 +1,324 @@
+//! The `RunBuilder` surface is a pure re-fronting of the engines:
+//!
+//! * **Builder ≡ legacy**: a session-built run produces bit-identical
+//!   state and byte-identical store exports to the deprecated
+//!   per-engine constructors, for both the initial and the refresh
+//!   paths (seeded PageRank and SSSP).
+//! * **Read-your-writes through serving**: a `ServeHandle` opened on a
+//!   session's store plane observes an incremental refresh's writes,
+//!   across a forced compaction generation bump.
+//! * **Cursor ingestion**: invalidations recompute exactly the affected
+//!   keys, a producer-side config bump stales the cursor, and
+//!   re-beginning it recovers.
+
+#![allow(deprecated)] // the point: legacy constructors vs the builder
+
+use i2mapreduce::algos::{pagerank::PageRank, sssp::Sssp};
+use i2mapreduce::core::build_partitioned;
+use i2mapreduce::core::ingest::{IngestCursor, MemSource};
+use i2mapreduce::datagen::delta::{graph_delta, weighted_graph_delta, DeltaSpec};
+use i2mapreduce::datagen::graph::GraphGen;
+use i2mapreduce::prelude::*;
+use i2mapreduce::store::runtime::StoreManager;
+use i2mapreduce::store::Chunk;
+
+const N: usize = 4;
+
+fn scratch(tag: &str) -> std::path::PathBuf {
+    let d = std::env::temp_dir().join(format!(
+        "i2mr-builder-eq-{tag}-{}-{:?}",
+        std::process::id(),
+        std::thread::current().id()
+    ));
+    let _ = std::fs::remove_dir_all(&d);
+    d
+}
+
+fn exports(stores: &StoreManager) -> Vec<Vec<u8>> {
+    (0..stores.n_shards())
+        .map(|p| stores.export(p).unwrap())
+        .collect()
+}
+
+/// PageRank: initial run + incremental refresh through the builder and
+/// through the deprecated constructors, from the same seeded inputs.
+#[test]
+fn pagerank_builder_matches_legacy_engines() {
+    let cfg = JobConfig::symmetric(N);
+    let pool = WorkerPool::new(N);
+    let spec = PageRank::default();
+    let graph = GraphGen::new(300, 2100, 0xB11D).generate();
+    let delta = graph_delta(&graph, DeltaSpec::ten_percent(0xB11D));
+    let initial = IterParams {
+        max_iterations: 80,
+        epsilon: 1e-9,
+        preserve: PreserveMode::FinalOnly,
+    };
+    let incr = IncrParams {
+        convergence_epsilon: 1e-9,
+        max_iterations: 80,
+        ..Default::default()
+    };
+
+    // Legacy path.
+    let legacy_stores =
+        StoreManager::create(&pool, scratch("pr-legacy"), N, Default::default()).unwrap();
+    let mut legacy_data = build_partitioned(&spec, N, graph.clone());
+    PartitionedIterEngine::new(&spec, cfg.clone(), initial)
+        .unwrap()
+        .run(&pool, &mut legacy_data, Some(&legacy_stores))
+        .unwrap();
+    IncrIterEngine::new(&spec, cfg.clone(), incr, IterParams::default())
+        .unwrap()
+        .run(&pool, &mut legacy_data, &legacy_stores, &delta, None)
+        .unwrap();
+
+    // Builder path.
+    let session = RunBuilder::new(&spec)
+        .pool(&pool)
+        .job(cfg.clone())
+        .iter(initial)
+        .store_dir(scratch("pr-builder"))
+        .build()
+        .unwrap();
+    let mut data = build_partitioned(&spec, N, graph);
+    session.run_initial(&mut data).unwrap();
+    let stores = session.finish().unwrap().stores.expect("session-owned");
+    let refresh = RunBuilder::new(&spec)
+        .pool(&pool)
+        .job(cfg)
+        .incr(incr)
+        .stores_ref(&stores)
+        .build()
+        .unwrap();
+    refresh.run_incremental(&mut data, &delta).unwrap();
+
+    assert_eq!(legacy_data.state_snapshot(), data.state_snapshot());
+    assert_eq!(exports(&legacy_stores), exports(&stores));
+}
+
+/// SSSP: workset-driven delta refresh through the builder and through
+/// the deprecated `DeltaIterEngine` constructor.
+#[test]
+fn sssp_builder_matches_legacy_delta_engine() {
+    let cfg = JobConfig::symmetric(N);
+    let pool = WorkerPool::new(N);
+    let spec = Sssp { source: 0 };
+    let graph = GraphGen::new(400, 2400, 0x55E1).weighted();
+    let delta = weighted_graph_delta(
+        &graph,
+        DeltaSpec {
+            change_fraction: 0.05,
+            delete_fraction: 0.0,
+            insert_fraction: 0.01,
+            seed: 0x55E1,
+        },
+    );
+    let initial = IterParams {
+        max_iterations: 300,
+        epsilon: 1e-12,
+        preserve: PreserveMode::FinalOnly,
+    };
+    let incr = IncrParams {
+        filter_threshold: Some(0.0),
+        convergence_epsilon: 1e-12,
+        max_iterations: 300,
+        ..Default::default()
+    };
+
+    let converge = |tag: &str| {
+        let stores = StoreManager::create(&pool, scratch(tag), N, Default::default()).unwrap();
+        let mut data = build_partitioned(&spec, N, graph.clone());
+        let session = RunBuilder::new(&spec)
+            .pool(&pool)
+            .job(cfg.clone())
+            .iter(initial)
+            .stores_ref(&stores)
+            .build()
+            .unwrap();
+        assert!(session.run_initial(&mut data).unwrap().converged);
+        drop(session);
+        (data, stores)
+    };
+
+    let (mut legacy_data, legacy_stores) = converge("sssp-legacy");
+    let legacy_rep = DeltaIterEngine::new(&spec, cfg.clone(), incr, IterParams::default())
+        .unwrap()
+        .run(&pool, &mut legacy_data, &legacy_stores, &delta, None)
+        .unwrap();
+
+    let (mut data, stores) = converge("sssp-builder");
+    let rep = RunBuilder::new(&spec)
+        .pool(&pool)
+        .job(cfg)
+        .incr(incr)
+        .stores_ref(&stores)
+        .build()
+        .unwrap()
+        .run_delta(&mut data, &delta)
+        .unwrap();
+
+    assert_eq!(legacy_rep.converged, rep.converged);
+    assert_eq!(legacy_rep.worksets, rep.worksets);
+    assert_eq!(legacy_data.state_snapshot(), data.state_snapshot());
+    assert_eq!(exports(&legacy_stores), exports(&stores));
+}
+
+/// A serving handle on a session's store plane sees the writes of an
+/// incremental refresh, and keeps answering identically across a forced
+/// compaction of every shard (file generation bump under live readers).
+#[test]
+fn serve_reads_your_writes_across_forced_compaction() {
+    let cfg = JobConfig::symmetric(N);
+    let pool = WorkerPool::new(N);
+    let spec = PageRank::default();
+    let graph = GraphGen::new(200, 1400, 0x5E4E).generate();
+
+    let session = RunBuilder::new(&spec)
+        .pool(&pool)
+        .job(cfg.clone())
+        .iter(IterParams {
+            max_iterations: 80,
+            epsilon: 1e-9,
+            preserve: PreserveMode::FinalOnly,
+        })
+        .incr(IncrParams {
+            convergence_epsilon: 1e-9,
+            max_iterations: 80,
+            ..Default::default()
+        })
+        .store_dir(scratch("serve-ryw"))
+        .build()
+        .unwrap();
+    let mut data = build_partitioned(&spec, N, graph.clone());
+    session.run_initial(&mut data).unwrap();
+    let stores = session.stores().expect("session owns a store plane");
+
+    // Pin down every live chunk through the serving plane.
+    let serve = session.serve().unwrap();
+    let mut live: Vec<(usize, Chunk)> = Vec::new();
+    for p in 0..stores.n_shards() {
+        for chunk in stores.with_store(p, |s| s.all_chunks()).unwrap() {
+            assert_eq!(
+                serve.get(p, &chunk.key).unwrap().as_ref(),
+                Some(&chunk),
+                "serving plane disagrees with the exclusive read path"
+            );
+            live.push((p, chunk));
+        }
+    }
+    assert!(!live.is_empty());
+
+    // Refresh through the same session while the handle stays open: the
+    // merge bumps shard data versions, so cached entries must refetch.
+    let delta = graph_delta(&graph, DeltaSpec::ten_percent(0x5E4E));
+    session.run_incremental(&mut data, &delta).unwrap();
+    for p in 0..stores.n_shards() {
+        for chunk in stores.with_store(p, |s| s.all_chunks()).unwrap() {
+            assert_eq!(serve.get(p, &chunk.key).unwrap(), Some(chunk));
+        }
+    }
+
+    // Force an offline compaction of every shard: live data is unchanged
+    // but every data file is rewritten (reader generation bump). The
+    // handle's pooled readers must chase the new files transparently.
+    stores.compact_all(u64::MAX).unwrap();
+    for p in 0..stores.n_shards() {
+        for chunk in stores.with_store(p, |s| s.all_chunks()).unwrap() {
+            assert_eq!(serve.get(p, &chunk.key).unwrap(), Some(chunk));
+        }
+    }
+    let metrics = serve.metrics();
+    assert!(metrics.hits + metrics.misses > 0);
+}
+
+/// Cursor-fed refreshes: an invalidation recomputes exactly the affected
+/// key (workset = its delete+re-insert, state unchanged at the fixed
+/// point), a source config bump stales the cursor, and re-beginning it
+/// replays cleanly.
+#[test]
+fn stale_cursor_invalidation_recomputes_exactly_the_affected_keys() {
+    let cfg = JobConfig::symmetric(N);
+    let pool = WorkerPool::new(N);
+    let spec = PageRank::default();
+    let graph = GraphGen::new(120, 700, 0xC4A5).generate();
+
+    let init = RunBuilder::new(&spec)
+        .pool(&pool)
+        .job(cfg.clone())
+        .iter(IterParams {
+            max_iterations: 200,
+            epsilon: 1e-10,
+            preserve: PreserveMode::FinalOnly,
+        })
+        .store_dir(scratch("cursor"))
+        .build()
+        .unwrap();
+    let mut data = build_partitioned(&spec, N, graph.clone());
+    assert!(init.run_initial(&mut data).unwrap().converged);
+    let stores = init.finish().unwrap().stores.expect("session-owned");
+    let baseline = data.state_snapshot();
+
+    let session = RunBuilder::new(&spec)
+        .pool(&pool)
+        .job(cfg)
+        .incr(IncrParams {
+            // Keep the refresh workset-scheduled so worksets[] mirrors
+            // exactly what the invalidation touched.
+            pdelta_threshold: 2.0,
+            max_iterations: 300,
+            ..Default::default()
+        })
+        .stores_ref(&stores)
+        .build()
+        .unwrap();
+
+    let src: MemSource<u64, Vec<u64>> = MemSource::new(2);
+    let mut cursor = IngestCursor::begin(&src, session.config().config_hash());
+
+    // Nothing ingested: a no-op refresh that never enters the engine.
+    let rep = session.refresh_from(&mut data, &mut cursor, &src).unwrap();
+    assert!(rep.converged);
+    assert!(rep.iterations.is_empty());
+
+    // Invalidate one live vertex: the refresh re-maps exactly its
+    // structure record (delete + re-insert in the workset) and settles
+    // back onto the same fixed point.
+    let key = graph[7].0;
+    src.push_invalidate(0, key);
+    let rep = session.refresh_from(&mut data, &mut cursor, &src).unwrap();
+    assert!(rep.converged);
+    assert_eq!(rep.worksets[0], 2, "delete + re-insert of the one key");
+    assert_eq!(rep.per_iteration[0].invalidated_keys, 1);
+    assert_eq!(rep.per_iteration[0].ingested_records, 0);
+    // The recompute settles back onto the same fixed point — same key
+    // set, values within convergence tolerance (the re-derived value
+    // walks to the fixed point, it doesn't copy the old bits).
+    let recomputed = data.state_snapshot();
+    assert_eq!(
+        baseline.iter().map(|(k, _)| *k).collect::<Vec<_>>(),
+        recomputed.iter().map(|(k, _)| *k).collect::<Vec<_>>()
+    );
+    for ((k, a), (_, b)) in baseline.iter().zip(&recomputed) {
+        assert!((a - b).abs() < 1e-6, "key {k}: {a} vs {b}");
+    }
+
+    // Producer-side config change: the cursor is stale, the refresh is
+    // refused, and the high-water marks stay put.
+    src.bump_config();
+    src.push_insert(1, 9999, vec![key]);
+    let err = session.refresh_from(&mut data, &mut cursor, &src);
+    assert!(err.is_err(), "stale cursor must refuse to ingest");
+    assert_eq!(data.state_snapshot(), recomputed, "no partial ingestion");
+
+    // Re-begin against the new source version: the feed replays from the
+    // head and the new record lands (a new vertex pointing at `key`).
+    let mut cursor = IngestCursor::begin(&src, session.config().config_hash());
+    let rep = session.refresh_from(&mut data, &mut cursor, &src).unwrap();
+    assert!(rep.converged);
+    assert_eq!(rep.per_iteration[0].ingested_records, 1);
+    assert!(
+        data.state_snapshot().iter().any(|(k, _)| *k == 9999),
+        "replayed record must join the state"
+    );
+}

@@ -282,22 +282,33 @@ fn fault_injected_iterative_run_equals_clean_run() {
         },
     ]));
     let faulty_pool = WorkerPool::with_faults(3, 3, std::time::Duration::ZERO, plan);
-    let engine = PartitionedIterEngine::new(
-        &spec,
-        cfg.clone(),
-        IterParams {
+    let config = EngineConfig {
+        job: cfg.clone(),
+        iter: IterParams {
             max_iterations: 8,
             epsilon: 0.0,
             preserve: PreserveMode::None,
         },
-    )
-    .unwrap();
+        ..Default::default()
+    };
     let mut faulty = i2mapreduce::core::build_partitioned(&spec, 6, graph.clone());
-    engine.run(&faulty_pool, &mut faulty, None).unwrap();
+    RunBuilder::new(&spec)
+        .config(config.clone())
+        .pool(&faulty_pool)
+        .build()
+        .unwrap()
+        .run_initial(&mut faulty)
+        .unwrap();
 
     let clean_pool = WorkerPool::new(3);
     let mut clean = i2mapreduce::core::build_partitioned(&spec, 6, graph);
-    engine.run(&clean_pool, &mut clean, None).unwrap();
+    RunBuilder::new(&spec)
+        .config(config)
+        .pool(&clean_pool)
+        .build()
+        .unwrap()
+        .run_initial(&mut clean)
+        .unwrap();
 
     assert_eq!(faulty.state_snapshot(), clean.state_snapshot());
     let tl = faulty_pool.take_timeline();

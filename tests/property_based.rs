@@ -533,40 +533,37 @@ fn ws_converge(
         Default::default(),
     )
     .unwrap();
-    let engine = PartitionedIterEngine::new(
-        &PropRank,
-        JobConfig::symmetric(WS_PARTS),
-        IterParams {
+    let session = RunBuilder::new(&PropRank)
+        .pool(pool)
+        .job(JobConfig::symmetric(WS_PARTS))
+        .iter(IterParams {
             max_iterations: 200,
             epsilon: 1e-12,
             preserve: PreserveMode::FinalOnly,
-        },
-    )
-    .unwrap();
+        })
+        .stores_ref(&stores)
+        .build()
+        .unwrap();
     let mut data = i2mapreduce::core::build_partitioned(&PropRank, WS_PARTS, graph);
-    assert!(
-        engine
-            .run(pool, &mut data, Some(&stores))
-            .unwrap()
-            .converged
-    );
+    assert!(session.run_initial(&mut data).unwrap().converged);
+    drop(session);
     (data, stores)
 }
 
-fn ws_engine() -> DeltaIterEngine<'static, PropRank> {
-    DeltaIterEngine::new(
-        &PropRank,
-        JobConfig::symmetric(WS_PARTS),
-        IncrParams {
+fn ws_session<'s>(pool: &WorkerPool, stores: &'s StoreManager) -> RunSession<'s, PropRank> {
+    RunBuilder::new(&PropRank)
+        .pool(pool)
+        .job(JobConfig::symmetric(WS_PARTS))
+        .incr(IncrParams {
             max_iterations: 300,
             // Keep every iteration workset-scheduled: these properties
             // are about the delta loop, not the P∆ fallback.
             pdelta_threshold: 2.0,
             ..Default::default()
-        },
-        IterParams::default(),
-    )
-    .unwrap()
+        })
+        .stores_ref(stores)
+        .build()
+        .unwrap()
 }
 
 proptest! {
@@ -596,7 +593,7 @@ proptest! {
         }
         delta.update(v, old, new);
 
-        let report = ws_engine().run(&pool, &mut data, &stores, &delta, None).unwrap();
+        let report = ws_session(&pool, &stores).run_delta(&mut data, &delta).unwrap();
 
         // Convergence ⇔ the final iteration emitted an empty workset.
         let last_emitted = report.iterations.last().unwrap().changed_keys;
@@ -622,17 +619,17 @@ proptest! {
         let baseline = data.state_snapshot();
 
         let record = graph[v as usize].clone();
-        let engine = ws_engine();
+        let session = ws_session(&pool, &stores);
 
         // Retract the record, converge, then re-insert it and converge.
         let mut retract: Delta<u64, Vec<u64>> = Delta::new();
         retract.delete(record.0, record.1.clone());
-        let rep = engine.run(&pool, &mut data, &stores, &retract, None).unwrap();
+        let rep = session.run_delta(&mut data, &retract).unwrap();
         prop_assert!(rep.converged);
 
         let mut reinsert: Delta<u64, Vec<u64>> = Delta::new();
         reinsert.insert(record.0, record.1.clone());
-        let rep = engine.run(&pool, &mut data, &stores, &reinsert, None).unwrap();
+        let rep = session.run_delta(&mut data, &reinsert).unwrap();
         prop_assert!(rep.converged);
 
         // Same solution set: identical keys, values back at the original
@@ -658,7 +655,7 @@ proptest! {
         let before = data.state_snapshot();
 
         let delta: Delta<u64, Vec<u64>> = Delta::new();
-        let report = ws_engine().run(&pool, &mut data, &stores, &delta, None).unwrap();
+        let report = ws_session(&pool, &stores).run_delta(&mut data, &delta).unwrap();
         prop_assert!(report.converged);
         prop_assert_eq!(report.iterations.len(), 1);
         prop_assert_eq!(report.iterations[0].changed_keys, 0);

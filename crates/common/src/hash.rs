@@ -184,6 +184,8 @@ impl std::fmt::Debug for MapKey {
 #[derive(Default, Clone, Copy)]
 pub struct StableHashBuilder;
 
+/// The streaming hasher produced by [`StableHashBuilder`]: buffers the
+/// hashed bytes and runs one-shot xxhash64 at `finish`.
 pub struct StableHasher {
     buf: Vec<u8>,
 }

@@ -19,6 +19,12 @@
 //! * [`failpoint`] — seeded, deterministic fault-injection sites used by the
 //!   chaos suites to strike inside store I/O, DFS reads, checkpoint writes,
 //!   and task bodies (paper §8.8 / Fig. 13).
+//! * [`tuner`] — pure controller math for the self-tuning runtime: damped
+//!   bang-bang [`tuner::KnobController`]s, the [`tuner::TuningConfig`]
+//!   surface, decision records, and the serving-lane latency histogram
+//!   (see `TUNING.md` and DESIGN.md §10).
+
+#![warn(missing_docs)]
 
 pub mod codec;
 pub mod costmodel;
@@ -26,9 +32,14 @@ pub mod error;
 pub mod failpoint;
 pub mod hash;
 pub mod metrics;
+pub mod tuner;
 
 pub use codec::{decode_from, encode_to, Codec};
 pub use error::{Error, Result};
 pub use failpoint::{FailAction, FailSite, FailpointRegistry};
 pub use hash::{stable_hash128, stable_hash64, MapKey};
 pub use metrics::{IoStats, JobMetrics, Stage, StageTimes};
+pub use tuner::{
+    KnobController, KnobSpec, KnobUpdate, LatencyHistogram, TuningConfig, TuningDecision,
+    TuningMode,
+};

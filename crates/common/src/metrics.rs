@@ -47,9 +47,13 @@ impl Stage {
 /// Accumulated wall time per stage.
 #[derive(Clone, Copy, Debug, Default, PartialEq)]
 pub struct StageTimes {
+    /// Wall time in user Map functions.
     pub map: Duration,
+    /// Wall time moving intermediate kv-pairs to reduce partitions.
     pub shuffle: Duration,
+    /// Wall time sorting intermediate kv-pairs within partitions.
     pub sort: Duration,
+    /// Wall time in user Reduce functions (incl. MRBG-Store access).
     pub reduce: Duration,
 }
 
@@ -191,6 +195,13 @@ pub struct JobMetrics {
     /// MRBG-Store keys targeted for recomputation by ingestion
     /// invalidations (corrections/reorgs; see `core::ingest`).
     pub invalidated_keys: u64,
+    /// Knob moves the online tuner proposed this window (applied in
+    /// `Active` mode, logged-only in `Observe`; see `common::tuner`).
+    pub tuner_adjustments: u64,
+    /// Tuner moves truncated by a knob's `[lo, hi]` clamp (a controller
+    /// pushing against a rail — a sign the bounds, not the signal, are
+    /// what is limiting the policy).
+    pub tuner_clamps: u64,
 }
 
 impl JobMetrics {
@@ -223,6 +234,8 @@ impl JobMetrics {
         self.serve_misses += other.serve_misses;
         self.ingested_records += other.ingested_records;
         self.invalidated_keys += other.invalidated_keys;
+        self.tuner_adjustments += other.tuner_adjustments;
+        self.tuner_clamps += other.tuner_clamps;
     }
 }
 
@@ -300,6 +313,8 @@ mod tests {
             serve_misses: 2,
             ingested_records: 30,
             invalidated_keys: 5,
+            tuner_adjustments: 7,
+            tuner_clamps: 2,
             ..Default::default()
         };
         b.store_io.record_read(9);
@@ -324,6 +339,8 @@ mod tests {
         assert_eq!(a.serve_misses, 2);
         assert_eq!(a.ingested_records, 30);
         assert_eq!(a.invalidated_keys, 5);
+        assert_eq!(a.tuner_adjustments, 7);
+        assert_eq!(a.tuner_clamps, 2);
         assert_eq!(a.measured(), Duration::from_millis(4));
     }
 

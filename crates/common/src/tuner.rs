@@ -1,0 +1,542 @@
+//! Online tuning: pure, deterministic controller math.
+//!
+//! The paper evaluates its §4 cost model **once**, before a run starts
+//! (`CompactionPolicy::from_cost_model` in `i2mr-store`). This module turns
+//! that one-shot precomputation into a *closed loop*: at every iteration
+//! fence the engines fold the live signals [`crate::metrics::JobMetrics`]
+//! already reports into bounded-step knob updates. The design is documented
+//! end to end in `TUNING.md` (signals → controllers → actuators) and
+//! `DESIGN.md` §10 (lifecycle).
+//!
+//! Everything in this module is *pure data + arithmetic* — no clocks, no
+//! I/O, no knowledge of stores or pools. The crate-spanning glue that wires
+//! controllers to actuators lives in `i2mr-core::tuning`, keeping the
+//! dependency graph pointing strictly downward.
+//!
+//! ## The controller
+//!
+//! Each knob is driven by a [`KnobController`]: a damped bang-bang
+//! controller with a deadband (hysteresis) and a cooldown. Per update with
+//! signal `s`:
+//!
+//! ```text
+//! e = s - target
+//! if cooldown_left > 0:   hold (decrement cooldown)
+//! if |e| <= deadband:     hold
+//! else:                   value' = clamp(value + step * sign(e), lo, hi)
+//! ```
+//!
+//! `step` may be negative to invert the knob's orientation (signal below
+//! target ⇒ raise the knob). The fixed step makes every update **monotone
+//! in its driving signal** and the clamp keeps it **always within
+//! `[lo, hi]`** — both pinned by property tests in
+//! `tests/property_based.rs`.
+//!
+//! Controllers only ever decide *when and how eagerly* work is scheduled
+//! (compaction horizons, task grain, sort inlining) — never *what* is
+//! computed, so an `Active` run is bit-identical to an `Off` run (pinned by
+//! `tests/tuner_equivalence.rs`).
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// How the tuner participates in a run.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum TuningMode {
+    /// No controllers run; behaviour is identical to builds before tuning
+    /// existed. This is the default.
+    #[default]
+    Off,
+    /// Controllers run and every proposed move is logged as a
+    /// [`TuningDecision`] with `applied == false`, but no actuator is
+    /// touched. Use this to audit what `Active` *would* do on a workload.
+    Observe,
+    /// Controllers run and their moves are applied to the live actuators
+    /// (per-shard compaction policy, pool grain, shuffle sort inlining).
+    Active,
+}
+
+/// Static shape of one controlled knob: bounds, step, and damping.
+///
+/// All fields are plain numbers so a `KnobSpec` can be embedded in a
+/// `Copy + Debug` engine configuration and folded into a config hash.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct KnobSpec {
+    /// Inclusive lower clamp for the knob value.
+    pub lo: f64,
+    /// Inclusive upper clamp for the knob value.
+    pub hi: f64,
+    /// Per-update move, applied as `step * sign(signal - target)`. A
+    /// negative step inverts orientation: the knob rises when the signal
+    /// falls *below* target.
+    pub step: f64,
+    /// The signal set-point the controller steers toward.
+    pub target: f64,
+    /// Half-width of the hold band around `target`; within it the
+    /// controller holds (hysteresis, so the knob does not chatter).
+    pub deadband: f64,
+    /// Updates to hold after an applied move before moving again
+    /// (damping, so one noisy iteration cannot slew a knob repeatedly).
+    pub cooldown: u32,
+}
+
+impl KnobSpec {
+    /// `true` when the spec is internally consistent: finite numbers,
+    /// `lo <= hi`, non-negative deadband.
+    pub fn is_valid(&self) -> bool {
+        let nums = [self.lo, self.hi, self.step, self.target, self.deadband];
+        nums.iter().all(|x| x.is_finite()) && self.lo <= self.hi && self.deadband >= 0.0
+    }
+}
+
+/// Outcome of one [`KnobController::update`] step.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct KnobUpdate {
+    /// Knob value before the update.
+    pub before: f64,
+    /// Knob value after the update (equals `before` on a hold).
+    pub after: f64,
+    /// `true` when the controller moved the knob this update.
+    pub moved: bool,
+    /// `true` when the proposed move was truncated by the `[lo, hi]` clamp
+    /// (including moves fully absorbed by the clamp).
+    pub clamped: bool,
+}
+
+impl KnobUpdate {
+    fn hold(value: f64) -> Self {
+        KnobUpdate {
+            before: value,
+            after: value,
+            moved: false,
+            clamped: false,
+        }
+    }
+}
+
+/// A damped bang-bang controller for one knob (see the module docs for the
+/// update equation).
+#[derive(Clone, Debug)]
+pub struct KnobController {
+    spec: KnobSpec,
+    value: f64,
+    cooldown_left: u32,
+}
+
+impl KnobController {
+    /// Create a controller at `initial` (clamped into the spec's bounds).
+    pub fn new(spec: KnobSpec, initial: f64) -> Self {
+        KnobController {
+            spec,
+            value: initial.clamp(spec.lo, spec.hi),
+            cooldown_left: 0,
+        }
+    }
+
+    /// Current knob value. Always within `[spec.lo, spec.hi]`.
+    pub fn value(&self) -> f64 {
+        self.value
+    }
+
+    /// The spec this controller was built with.
+    pub fn spec(&self) -> &KnobSpec {
+        &self.spec
+    }
+
+    /// Force the knob to `value` (clamped into bounds). Used to roll a
+    /// vetoed move back so controller state never drifts from the
+    /// actuator it drives (e.g. the serve-p99 guard rejecting an
+    /// eagerness raise); any pending cooldown is left running.
+    pub fn set_value(&mut self, value: f64) {
+        self.value = value.clamp(self.spec.lo, self.spec.hi);
+    }
+
+    /// Fold one observed signal into the knob. Returns what happened; the
+    /// controller's value moves by at most `|spec.step|` and never leaves
+    /// `[spec.lo, spec.hi]`.
+    pub fn update(&mut self, signal: f64) -> KnobUpdate {
+        if self.cooldown_left > 0 {
+            self.cooldown_left -= 1;
+            return KnobUpdate::hold(self.value);
+        }
+        let e = signal - self.spec.target;
+        // NaN signals hold; ±inf are treated as extreme-but-valid readings.
+        if e.is_nan() || e.abs() <= self.spec.deadband {
+            return KnobUpdate::hold(self.value);
+        }
+        let before = self.value;
+        let raw = before + self.spec.step * e.signum();
+        let after = raw.clamp(self.spec.lo, self.spec.hi);
+        let clamped = after != raw;
+        let moved = after != before;
+        if moved {
+            self.value = after;
+            self.cooldown_left = self.spec.cooldown;
+        }
+        KnobUpdate {
+            before,
+            after: self.value,
+            moved,
+            clamped,
+        }
+    }
+}
+
+/// One controller decision, logged for the run report.
+///
+/// In [`TuningMode::Observe`] decisions are recorded with
+/// `applied == false`; in [`TuningMode::Active`] a decision is applied
+/// unless a guard (e.g. the serve-p99 ceiling) suppressed it.
+#[derive(Clone, Debug, PartialEq)]
+pub struct TuningDecision {
+    /// Which knob moved: `"compaction"`, `"grain"`, or `"sort_inline"`.
+    pub knob: &'static str,
+    /// The store shard the decision applies to, or `None` for a global
+    /// knob (grain, sort inlining).
+    pub shard: Option<usize>,
+    /// Iteration fence (0-based) at which the controller ran.
+    pub iteration: usize,
+    /// The observed signal that drove the update.
+    pub signal: f64,
+    /// Knob value before the update.
+    pub before: f64,
+    /// Knob value after the update.
+    pub after: f64,
+    /// `true` when the move was pushed into the live actuator.
+    pub applied: bool,
+    /// `true` when the proposed move hit a `[lo, hi]` clamp.
+    pub clamped: bool,
+}
+
+/// Default knob shapes, re-used by `EngineConfig` and the docs. The
+/// concrete numbers and their derivation from the paper's §4 cost terms
+/// are tabulated in `TUNING.md`.
+pub mod defaults {
+    use super::KnobSpec;
+
+    /// Per-shard compaction eagerness `u ∈ [0, 1]`, driven by the shard's
+    /// garbage fraction `(file - live) / file`. Positive orientation: more
+    /// garbage ⇒ more eager. The scale is *bidirectional around the static
+    /// policy*: `u = 0.5` is exactly the base policy, `u → 1` interpolates
+    /// to the configured eager floors, and `u → 0` to the lazy ceilings —
+    /// so the controller can both tighten a too-lazy cost-model guess and
+    /// back off a too-eager one.
+    pub const COMPACTION: KnobSpec = KnobSpec {
+        lo: 0.0,
+        hi: 1.0,
+        step: 0.25,
+        target: 0.30,
+        deadband: 0.05,
+        cooldown: 1,
+    };
+
+    /// Executor inline-grain threshold (batches of ≤ `value` tasks run on
+    /// the coordinator), driven by mean records per reduce partition.
+    /// Negative orientation: tiny tasks ⇒ raise the grain.
+    pub const GRAIN: KnobSpec = KnobSpec {
+        lo: 0.0,
+        hi: 4.0,
+        step: -1.0,
+        target: 64.0,
+        deadband: 16.0,
+        cooldown: 1,
+    };
+
+    /// Shuffle sort-inlining threshold (runs shorter than `value` records
+    /// are sorted on the caller instead of as scheduled tasks), driven by
+    /// mean run length. Negative orientation: short runs ⇒ inline more.
+    pub const SORT_INLINE: KnobSpec = KnobSpec {
+        lo: 0.0,
+        hi: 1024.0,
+        step: -64.0,
+        target: 256.0,
+        deadband: 32.0,
+        cooldown: 1,
+    };
+}
+
+/// Full tuning surface carried by the engine configuration.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct TuningConfig {
+    /// Whether controllers run, and whether their moves are applied.
+    pub mode: TuningMode,
+    /// Serving-lane guard: while the serve-plane p99 exceeds this ceiling,
+    /// moves that would make compaction *more* eager are suppressed (logged
+    /// with `applied == false`), so tuning can never regress serving tail
+    /// latency. `0` disables the guard.
+    pub serve_p99_ceiling_nanos: u64,
+    /// Per-shard compaction-eagerness controller shape.
+    pub compaction: KnobSpec,
+    /// Executor grain controller shape.
+    pub grain: KnobSpec,
+    /// Shuffle sort-inlining controller shape.
+    pub sort_inline: KnobSpec,
+    /// At eagerness `u = 1`, the per-shard policy's `min_garbage_ratio`
+    /// is interpolated from the base policy down to this floor.
+    pub eager_floor_garbage_ratio: f64,
+    /// At eagerness `u = 1`, the per-shard policy's `min_file_bytes` is
+    /// interpolated from the base policy down to this floor.
+    pub eager_floor_file_bytes: u64,
+    /// At eagerness `u = 1`, the per-shard policy's `min_batches` is
+    /// interpolated from the base policy down to this floor.
+    pub eager_floor_batches: usize,
+    /// At eagerness `u = 0`, the per-shard policy's `min_garbage_ratio`
+    /// is interpolated from the base policy up to this ceiling (the lazy
+    /// rail: the controller backs compaction off when live garbage runs
+    /// below target, so a cost model that guessed too eager cannot thrash).
+    pub lazy_ceiling_garbage_ratio: f64,
+    /// At eagerness `u = 0`, the per-shard policy's `min_file_bytes` is
+    /// interpolated from the base policy up to this ceiling.
+    pub lazy_ceiling_file_bytes: u64,
+    /// At eagerness `u = 0`, the per-shard policy's `min_batches` is
+    /// interpolated from the base policy up to this ceiling.
+    pub lazy_ceiling_batches: usize,
+}
+
+impl Default for TuningConfig {
+    fn default() -> Self {
+        TuningConfig {
+            mode: TuningMode::Off,
+            serve_p99_ceiling_nanos: 0,
+            compaction: defaults::COMPACTION,
+            grain: defaults::GRAIN,
+            sort_inline: defaults::SORT_INLINE,
+            eager_floor_garbage_ratio: 0.10,
+            eager_floor_file_bytes: 4096,
+            eager_floor_batches: 2,
+            lazy_ceiling_garbage_ratio: 0.95,
+            lazy_ceiling_file_bytes: 4 * 1024 * 1024,
+            lazy_ceiling_batches: 32,
+        }
+    }
+}
+
+impl TuningConfig {
+    /// Shorthand for a config with `mode` set and every other field at its
+    /// documented default.
+    pub fn with_mode(mode: TuningMode) -> Self {
+        TuningConfig {
+            mode,
+            ..Default::default()
+        }
+    }
+
+    /// `true` when every knob spec, floor, and ceiling is internally
+    /// consistent.
+    pub fn is_valid(&self) -> bool {
+        self.compaction.is_valid()
+            && self.grain.is_valid()
+            && self.sort_inline.is_valid()
+            && self.eager_floor_garbage_ratio.is_finite()
+            && (0.0..=1.0).contains(&self.eager_floor_garbage_ratio)
+            && self.lazy_ceiling_garbage_ratio.is_finite()
+            && (0.0..=1.0).contains(&self.lazy_ceiling_garbage_ratio)
+            && self.eager_floor_garbage_ratio <= self.lazy_ceiling_garbage_ratio
+            && self.eager_floor_file_bytes <= self.lazy_ceiling_file_bytes
+            && self.eager_floor_batches <= self.lazy_ceiling_batches
+    }
+}
+
+/// Number of power-of-two latency buckets tracked by [`LatencyHistogram`].
+const HIST_BUCKETS: usize = 64;
+
+/// A lock-free log2-bucketed latency histogram.
+///
+/// The serving plane records every point-lookup latency here (one relaxed
+/// atomic increment on the read path); the tuner reads a p99 estimate at
+/// each iteration fence as the input to its serving-lane guard. Bucket `i`
+/// holds samples with `floor(log2(nanos)) == i`, so the p99 estimate is an
+/// upper bound within 2× of the true quantile — ample for a guard with a
+/// multiple-of-idle ceiling.
+#[derive(Debug)]
+pub struct LatencyHistogram {
+    buckets: [AtomicU64; HIST_BUCKETS],
+}
+
+impl Default for LatencyHistogram {
+    fn default() -> Self {
+        LatencyHistogram {
+            buckets: std::array::from_fn(|_| AtomicU64::new(0)),
+        }
+    }
+}
+
+impl LatencyHistogram {
+    /// Create an empty histogram.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Record one sample of `nanos` nanoseconds.
+    pub fn record(&self, nanos: u64) {
+        let b = (64 - nanos.leading_zeros()).saturating_sub(1) as usize;
+        self.buckets[b.min(HIST_BUCKETS - 1)].fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Total number of recorded samples.
+    pub fn count(&self) -> u64 {
+        self.buckets.iter().map(|b| b.load(Ordering::Relaxed)).sum()
+    }
+
+    /// Upper-bound estimate of the 99th-percentile sample in nanoseconds.
+    /// Returns `0` for an empty histogram.
+    pub fn p99(&self) -> u64 {
+        self.quantile(0.99)
+    }
+
+    /// Upper-bound estimate of quantile `q ∈ [0, 1]` in nanoseconds.
+    /// Returns `0` for an empty histogram.
+    pub fn quantile(&self, q: f64) -> u64 {
+        let counts: Vec<u64> = self
+            .buckets
+            .iter()
+            .map(|b| b.load(Ordering::Relaxed))
+            .collect();
+        let total: u64 = counts.iter().sum();
+        if total == 0 {
+            return 0;
+        }
+        let rank = ((total as f64) * q.clamp(0.0, 1.0)).ceil().max(1.0) as u64;
+        let mut seen = 0u64;
+        for (i, c) in counts.iter().enumerate() {
+            seen += c;
+            if seen >= rank {
+                // Upper edge of bucket i: 2^(i+1) - 1.
+                return if i + 1 >= 64 {
+                    u64::MAX
+                } else {
+                    (1u64 << (i + 1)) - 1
+                };
+            }
+        }
+        unreachable!("rank <= total")
+    }
+
+    /// Reset every bucket to zero (used when metrics are drained).
+    pub fn reset(&self) {
+        for b in &self.buckets {
+            b.store(0, Ordering::Relaxed);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn spec() -> KnobSpec {
+        KnobSpec {
+            lo: 0.0,
+            hi: 1.0,
+            step: 0.25,
+            target: 0.5,
+            deadband: 0.1,
+            cooldown: 1,
+        }
+    }
+
+    #[test]
+    fn controller_holds_inside_deadband() {
+        let mut c = KnobController::new(spec(), 0.5);
+        let u = c.update(0.55);
+        assert!(!u.moved);
+        assert_eq!(u.before, u.after);
+        assert_eq!(c.value(), 0.5);
+    }
+
+    #[test]
+    fn controller_steps_toward_signal_and_cools_down() {
+        let mut c = KnobController::new(spec(), 0.5);
+        let u = c.update(0.9); // above target + deadband → +step
+        assert!(u.moved);
+        assert_eq!(u.after, 0.75);
+        // Cooldown: the very next update holds even with a strong signal.
+        let u2 = c.update(0.9);
+        assert!(!u2.moved);
+        assert_eq!(c.value(), 0.75);
+        // Cooldown elapsed: moves again, reaching the hi rail exactly.
+        let u3 = c.update(0.9);
+        assert!(u3.moved);
+        assert_eq!(u3.after, 1.0);
+        let _ = c.update(0.9); // burn the cooldown from the second move
+                               // At the rail, a further push is fully absorbed by the clamp.
+        let u4 = c.update(0.9);
+        assert!(!u4.moved);
+        assert!(u4.clamped);
+        assert_eq!(c.value(), 1.0);
+    }
+
+    #[test]
+    fn controller_negative_step_inverts_orientation() {
+        let s = KnobSpec {
+            step: -0.25,
+            ..spec()
+        };
+        let mut c = KnobController::new(s, 0.5);
+        // Signal below target with negative step → knob rises.
+        let u = c.update(0.1);
+        assert!(u.moved);
+        assert_eq!(u.after, 0.75);
+    }
+
+    #[test]
+    fn controller_initial_value_is_clamped() {
+        let c = KnobController::new(spec(), 7.0);
+        assert_eq!(c.value(), 1.0);
+    }
+
+    #[test]
+    fn controller_ignores_non_finite_signals() {
+        let mut c = KnobController::new(spec(), 0.5);
+        assert!(!c.update(f64::NAN).moved);
+        assert!(c.update(f64::INFINITY).moved); // +inf is a valid "way above"
+    }
+
+    #[test]
+    fn spec_validity() {
+        assert!(spec().is_valid());
+        assert!(!KnobSpec { lo: 2.0, ..spec() }.is_valid());
+        assert!(!KnobSpec {
+            deadband: -1.0,
+            ..spec()
+        }
+        .is_valid());
+        assert!(!KnobSpec {
+            target: f64::NAN,
+            ..spec()
+        }
+        .is_valid());
+    }
+
+    #[test]
+    fn tuning_config_default_is_off_and_valid() {
+        let c = TuningConfig::default();
+        assert_eq!(c.mode, TuningMode::Off);
+        assert!(c.is_valid());
+        assert!(TuningConfig::with_mode(TuningMode::Active).is_valid());
+    }
+
+    #[test]
+    fn histogram_p99_and_reset() {
+        let h = LatencyHistogram::new();
+        assert_eq!(h.p99(), 0);
+        for _ in 0..99 {
+            h.record(100); // bucket 6, upper edge 127
+        }
+        h.record(100_000); // bucket 16, upper edge 131071
+        assert_eq!(h.count(), 100);
+        assert_eq!(h.p99(), 127);
+        assert_eq!(h.quantile(1.0), 131_071);
+        h.reset();
+        assert_eq!(h.count(), 0);
+        assert_eq!(h.p99(), 0);
+    }
+
+    #[test]
+    fn histogram_zero_nanos_goes_to_bucket_zero() {
+        let h = LatencyHistogram::new();
+        h.record(0);
+        h.record(1);
+        assert_eq!(h.count(), 2);
+        assert_eq!(h.quantile(1.0), 1);
+    }
+}

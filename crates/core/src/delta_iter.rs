@@ -50,19 +50,22 @@ use crate::delta::{Delta, Op};
 use crate::incr_iter::{apply_structure_delta, IncrParams, StepOutcome};
 use crate::iter_engine::{PartitionedData, PartitionedIterEngine, RunReport};
 use crate::iterative::{IterParams, IterationStats, IterativeSpec, PreserveMode};
+use crate::tuning::EngineTuner;
 use i2mr_common::codec::{decode_exact, encode_to};
 use i2mr_common::error::Result;
 use i2mr_common::hash::MapKey;
 use i2mr_common::metrics::{JobMetrics, Stage};
+use i2mr_common::tuner::TuningDecision;
 use i2mr_mapred::config::JobConfig;
 use i2mr_mapred::fault::{TaskId, TaskKind};
 use i2mr_mapred::partition::{HashPartitioner, Partitioner};
 use i2mr_mapred::pool::{TaskSpec, WorkerPool};
-use i2mr_mapred::shuffle::{groups, sort_runs_nonempty, transpose_pooled, RunPool, ShuffleBuffers};
+use i2mr_mapred::shuffle::{groups, sort_runs_adaptive, transpose_pooled, RunPool, ShuffleBuffers};
 use i2mr_mapred::types::{Emitter, Values};
 use i2mr_store::merge::{DeltaChunk, DeltaEntry, MergeOutcome};
 use i2mr_store::runtime::StoreManager;
 use std::collections::BTreeSet;
+use std::sync::Arc;
 use std::time::Instant;
 
 /// How a spec's reduce outputs compose across delta iterations.
@@ -106,6 +109,9 @@ pub struct DeltaRunReport {
     pub mrbg_turned_off_at: Option<u64>,
     /// Whether the run converged (workset drained / fallback converged).
     pub converged: bool,
+    /// Per-fence tuner decisions (empty when tuning is off; see
+    /// [`crate::tuning::EngineTuner`]).
+    pub tuning: Vec<TuningDecision>,
 }
 
 impl DeltaRunReport {
@@ -133,6 +139,8 @@ pub struct DeltaIterEngine<'s, S: DeltaIterativeSpec> {
     fallback: IterParams,
     /// Recycler for delta shuffle runs across iterations.
     recycler: RunPool<S::DK, Option<S::V2>>,
+    /// Optional online controller ticked at every iteration fence.
+    tuner: Option<Arc<EngineTuner>>,
 }
 
 impl<'s, S: DeltaIterativeSpec> DeltaIterEngine<'s, S> {
@@ -170,7 +178,23 @@ impl<'s, S: DeltaIterativeSpec> DeltaIterEngine<'s, S> {
             params,
             fallback,
             recycler: RunPool::new(),
+            tuner: None,
         })
+    }
+
+    /// Attach (or detach) the session's online tuner. Engines built through
+    /// the deprecated direct constructors run untuned.
+    pub(crate) fn with_tuner(mut self, tuner: Option<Arc<EngineTuner>>) -> Self {
+        self.tuner = tuner;
+        self
+    }
+
+    /// Fold any decisions the tuner accumulated into the report (called at
+    /// every terminal return so no fence's decisions are dropped).
+    fn collect_tuning(&self, report: &mut DeltaRunReport) {
+        if let Some(t) = &self.tuner {
+            report.tuning.extend(t.drain_decisions());
+        }
     }
 
     /// Run a workset-driven incremental refresh.
@@ -201,6 +225,7 @@ impl<'s, S: DeltaIterativeSpec> DeltaIterEngine<'s, S> {
                 ck.save_iteration(report.iterations.len() as u64, &data.state, Some(stores))?;
             }
             settle_store_plane(stores, &mut report)?;
+            self.collect_tuning(&mut report);
             return Ok(report);
         }
 
@@ -236,6 +261,7 @@ impl<'s, S: DeltaIterativeSpec> DeltaIterEngine<'s, S> {
                 Ok(StepOutcome::Converged) => {
                     report.converged = true;
                     settle_store_plane(stores, &mut report)?;
+                    self.collect_tuning(&mut report);
                     return Ok(report);
                 }
                 Ok(StepOutcome::PdeltaExceeded) => {
@@ -250,6 +276,7 @@ impl<'s, S: DeltaIterativeSpec> DeltaIterEngine<'s, S> {
                             Some(stores),
                         )?;
                     }
+                    self.collect_tuning(&mut report);
                     return Ok(report);
                 }
                 Err(e) => {
@@ -283,6 +310,7 @@ impl<'s, S: DeltaIterativeSpec> DeltaIterEngine<'s, S> {
             }
         }
         settle_store_plane(stores, &mut report)?;
+        self.collect_tuning(&mut report);
         Ok(report)
     }
 
@@ -337,7 +365,8 @@ impl<'s, S: DeltaIterativeSpec> DeltaIterEngine<'s, S> {
             metrics.stages.add(Stage::Shuffle, t.elapsed());
 
             let t = Instant::now();
-            sort_runs_nonempty(pool, &mut runs, iteration)?;
+            let inline_below = self.tuner.as_ref().map_or(0, |t| t.sort_inline_threshold());
+            sort_runs_adaptive(pool, &mut runs, iteration, inline_below, true)?;
             metrics.stages.add(Stage::Sort, t.elapsed());
 
             // ---------------- MRBGraph point merge ----------------
@@ -462,6 +491,12 @@ impl<'s, S: DeltaIterativeSpec> DeltaIterEngine<'s, S> {
             metrics.respeculations += respeculations;
             metrics.recovery_ms += std::mem::take(pending_recovery_ms);
             stores.drain_metrics(&mut metrics);
+            if let Some(tuner) = &self.tuner {
+                // Iteration fence: fold this iteration's signals into
+                // bounded policy moves *before* scheduling, so an updated
+                // per-shard policy shapes this fence's due-shard scan.
+                tuner.tick(iteration, Some(stores), pool, n, &mut metrics);
+            }
 
             report.iterations.push(IterationStats {
                 iteration,
@@ -671,7 +706,8 @@ impl<'s, S: DeltaIterativeSpec> DeltaIterEngine<'s, S> {
                 epsilon: self.fallback.epsilon,
                 preserve: PreserveMode::None,
             },
-        )?;
+        )?
+        .with_tuner(self.tuner.clone());
         engine.run(pool, data, None)
     }
 }
@@ -694,6 +730,7 @@ fn merge_fallback(report: &mut DeltaRunReport, fb: RunReport) {
         report.iterations.push(stats);
         report.per_iteration.push(metrics);
     }
+    report.tuning.extend(fb.tuning);
     report.converged = fb.converged;
 }
 

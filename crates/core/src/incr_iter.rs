@@ -28,19 +28,22 @@ use crate::cpc::{ChangePropagation, Verdict};
 use crate::delta::{Delta, Op};
 use crate::iter_engine::{PartitionedData, PartitionedIterEngine, RunReport, StructGroup};
 use crate::iterative::{IterParams, IterationStats, IterativeSpec, PreserveMode};
+use crate::tuning::EngineTuner;
 use i2mr_common::codec::{decode_exact, encode_to};
 use i2mr_common::error::Result;
 use i2mr_common::hash::MapKey;
 use i2mr_common::metrics::{JobMetrics, Stage};
+use i2mr_common::tuner::TuningDecision;
 use i2mr_mapred::config::JobConfig;
 use i2mr_mapred::fault::{TaskId, TaskKind};
 use i2mr_mapred::partition::{HashPartitioner, Partitioner};
 use i2mr_mapred::pool::{TaskSpec, WorkerPool};
-use i2mr_mapred::shuffle::{groups, sort_runs, transpose_pooled, RunPool, ShuffleBuffers};
+use i2mr_mapred::shuffle::{groups, sort_runs_adaptive, transpose_pooled, RunPool, ShuffleBuffers};
 use i2mr_mapred::types::{Emitter, Values};
 use i2mr_store::merge::{DeltaChunk, DeltaEntry, MergeOutcome};
 use i2mr_store::runtime::StoreManager;
 use std::collections::BTreeSet;
+use std::sync::Arc;
 use std::time::Instant;
 
 /// Knobs of an incremental iterative run.
@@ -107,6 +110,9 @@ pub struct IncrRunReport {
     pub mrbg_turned_off_at: Option<u64>,
     /// Whether the run converged (no propagated changes / epsilon reached).
     pub converged: bool,
+    /// Per-fence tuner decisions (empty when tuning is off; see
+    /// [`crate::tuning::EngineTuner`]).
+    pub tuning: Vec<TuningDecision>,
 }
 
 impl IncrRunReport {
@@ -134,6 +140,8 @@ pub struct IncrIterEngine<'s, S: IterativeSpec> {
     fallback: IterParams,
     /// Recycler for delta shuffle runs across incremental iterations.
     recycler: RunPool<S::DK, Option<S::V2>>,
+    /// Optional online controller ticked at every iteration fence.
+    tuner: Option<Arc<EngineTuner>>,
 }
 
 impl<'s, S: IterativeSpec> IncrIterEngine<'s, S> {
@@ -169,7 +177,23 @@ impl<'s, S: IterativeSpec> IncrIterEngine<'s, S> {
             params,
             fallback,
             recycler: RunPool::new(),
+            tuner: None,
         })
+    }
+
+    /// Attach (or detach) the session's online tuner. Engines built through
+    /// the deprecated direct constructors run untuned.
+    pub(crate) fn with_tuner(mut self, tuner: Option<Arc<EngineTuner>>) -> Self {
+        self.tuner = tuner;
+        self
+    }
+
+    /// Fold any decisions the tuner accumulated into the report (called at
+    /// every terminal return so no fence's decisions are dropped).
+    fn collect_tuning(&self, report: &mut IncrRunReport) {
+        if let Some(t) = &self.tuner {
+            report.tuning.extend(t.drain_decisions());
+        }
     }
 
     /// Run an incremental refresh.
@@ -203,6 +227,7 @@ impl<'s, S: IterativeSpec> IncrIterEngine<'s, S> {
                 ck.save_iteration(report.iterations.len() as u64, &data.state, Some(stores))?;
             }
             settle_store_plane(stores, &mut report)?;
+            self.collect_tuning(&mut report);
             return Ok(report);
         }
 
@@ -242,6 +267,7 @@ impl<'s, S: IterativeSpec> IncrIterEngine<'s, S> {
                 Ok(StepOutcome::Converged) => {
                     report.converged = true;
                     settle_store_plane(stores, &mut report)?;
+                    self.collect_tuning(&mut report);
                     return Ok(report);
                 }
                 Ok(StepOutcome::PdeltaExceeded) => {
@@ -261,6 +287,7 @@ impl<'s, S: IterativeSpec> IncrIterEngine<'s, S> {
                             Some(stores),
                         )?;
                     }
+                    self.collect_tuning(&mut report);
                     return Ok(report);
                 }
                 Err(e) => {
@@ -296,6 +323,7 @@ impl<'s, S: IterativeSpec> IncrIterEngine<'s, S> {
             }
         }
         settle_store_plane(stores, &mut report)?;
+        self.collect_tuning(&mut report);
         Ok(report)
     }
 
@@ -341,7 +369,8 @@ impl<'s, S: IterativeSpec> IncrIterEngine<'s, S> {
             metrics.stages.add(Stage::Shuffle, t.elapsed());
 
             let t = Instant::now();
-            sort_runs(pool, &mut runs, iteration)?;
+            let inline_below = self.tuner.as_ref().map_or(0, |t| t.sort_inline_threshold());
+            sort_runs_adaptive(pool, &mut runs, iteration, inline_below, false)?;
             metrics.stages.add(Stage::Sort, t.elapsed());
 
             // ---------------- MRBGraph merge (store plane) ----------------
@@ -470,6 +499,12 @@ impl<'s, S: IterativeSpec> IncrIterEngine<'s, S> {
             // would otherwise stall behind the compactions they are meant
             // to overlap with.
             stores.drain_metrics(&mut metrics);
+            if let Some(tuner) = &self.tuner {
+                // Iteration fence: fold this iteration's signals into
+                // bounded policy moves *before* scheduling, so an updated
+                // per-shard policy shapes this fence's due-shard scan.
+                tuner.tick(iteration, Some(stores), pool, n, &mut metrics);
+            }
 
             report.iterations.push(IterationStats {
                 iteration,
@@ -681,7 +716,8 @@ impl<'s, S: IterativeSpec> IncrIterEngine<'s, S> {
                 epsilon: self.fallback.epsilon,
                 preserve: PreserveMode::None,
             },
-        )?;
+        )?
+        .with_tuner(self.tuner.clone());
         engine.run(pool, data, None)
     }
 }
@@ -707,6 +743,7 @@ fn merge_fallback(report: &mut IncrRunReport, fb: RunReport) {
         report.iterations.push(stats);
         report.per_iteration.push(metrics);
     }
+    report.tuning.extend(fb.tuning);
     report.converged = fb.converged;
 }
 

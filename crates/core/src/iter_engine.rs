@@ -17,18 +17,23 @@
 
 use crate::checkpoint::IterCheckpointer;
 use crate::iterative::{IterParams, IterationStats, IterativeSpec, PreserveMode, SmallStateSpec};
+use crate::tuning::EngineTuner;
 use i2mr_common::codec::encode_to;
 use i2mr_common::error::Result;
 use i2mr_common::hash::MapKey;
 use i2mr_common::metrics::{JobMetrics, Stage};
+use i2mr_common::tuner::TuningDecision;
 use i2mr_mapred::config::JobConfig;
 use i2mr_mapred::fault::{TaskId, TaskKind};
 use i2mr_mapred::partition::{HashPartitioner, Partitioner};
 use i2mr_mapred::pool::{TaskSpec, WorkerPool};
-use i2mr_mapred::shuffle::{groups, sort_runs, transpose_pooled, RunPool, ShuffleBuffers};
+use i2mr_mapred::shuffle::{
+    groups, sort_runs, sort_runs_adaptive, transpose_pooled, RunPool, ShuffleBuffers,
+};
 use i2mr_mapred::types::{Emitter, Values};
 use i2mr_store::format::{Chunk, ChunkEntry};
 use i2mr_store::runtime::StoreManager;
+use std::sync::Arc;
 use std::time::Instant;
 
 /// Structure records sharing one projected state key.
@@ -175,6 +180,9 @@ pub struct RunReport {
     pub per_iteration: Vec<JobMetrics>,
     /// Whether `epsilon` convergence was reached within the budget.
     pub converged: bool,
+    /// Per-fence tuner decisions (empty when tuning is off; see
+    /// [`crate::tuning::EngineTuner`]).
+    pub tuning: Vec<TuningDecision>,
 }
 
 impl RunReport {
@@ -206,6 +214,8 @@ pub struct PartitionedIterEngine<'s, S: IterativeSpec> {
     /// Iteration-scoped recycler: shuffle runs and map-side partition
     /// buffers live here between iterations instead of being reallocated.
     recycler: RunPool<S::DK, S::V2>,
+    /// Optional online controller ticked at every iteration fence.
+    tuner: Option<Arc<EngineTuner>>,
 }
 
 impl<'s, S: IterativeSpec> PartitionedIterEngine<'s, S> {
@@ -230,7 +240,15 @@ impl<'s, S: IterativeSpec> PartitionedIterEngine<'s, S> {
             config,
             params,
             recycler: RunPool::new(),
+            tuner: None,
         })
+    }
+
+    /// Attach (or detach) the session's online tuner. Engines built through
+    /// the deprecated direct constructors run untuned.
+    pub(crate) fn with_tuner(mut self, tuner: Option<Arc<EngineTuner>>) -> Self {
+        self.tuner = tuner;
+        self
     }
 
     /// The spec driving this engine.
@@ -301,6 +319,9 @@ impl<'s, S: IterativeSpec> PartitionedIterEngine<'s, S> {
             // overlapping; settle them and fold the trailing store-plane
             // counters into the last iteration's metrics.
             crate::run::settle_trailing(stores, &mut report.per_iteration)?;
+        }
+        if let Some(tuner) = &self.tuner {
+            report.tuning = tuner.drain_decisions();
         }
         Ok(report)
     }
@@ -404,6 +425,9 @@ impl<'s, S: IterativeSpec> PartitionedIterEngine<'s, S> {
         if let Some(stores) = stores {
             crate::run::settle_trailing(stores, &mut report.per_iteration)?;
         }
+        if let Some(tuner) = &self.tuner {
+            report.tuning = tuner.drain_decisions();
+        }
         Ok(report)
     }
 
@@ -469,9 +493,11 @@ impl<'s, S: IterativeSpec> PartitionedIterEngine<'s, S> {
         metrics.shuffled_bytes += bytes;
         metrics.stages.add(Stage::Shuffle, t.elapsed());
 
-        // Sort (pool-scheduled, unstable, one task per run).
+        // Sort (pool-scheduled, unstable, one task per run; runs under the
+        // tuner's inline threshold are sorted on the caller).
         let t = Instant::now();
-        sort_runs(pool, &mut runs, iteration)?;
+        let inline_below = self.tuner.as_ref().map_or(0, |t| t.sort_inline_threshold());
+        sort_runs_adaptive(pool, &mut runs, iteration, inline_below, false)?;
         metrics.stages.add(Stage::Sort, t.elapsed());
 
         // Prime Reduce, co-located with the prime Map of the next iteration:
@@ -586,6 +612,14 @@ impl<'s, S: IterativeSpec> PartitionedIterEngine<'s, S> {
             // forfeit the overlap. (A still-running compaction's stats
             // land in a later drain — the final fence folds the rest.)
             stores.drain_metrics(metrics);
+        }
+        if let Some(tuner) = &self.tuner {
+            // Iteration fence: fold this iteration's signals into bounded
+            // policy moves *before* scheduling, so an updated per-shard
+            // policy shapes this fence's due-shard scan.
+            tuner.tick(iteration, stores, pool, n, metrics);
+        }
+        if let Some(stores) = stores {
             // End of iteration: schedule policy-driven compactions as
             // detached background work. They overlap the *next*
             // iteration's map phase and are fenced before its preservation

@@ -90,6 +90,7 @@ pub mod onestep;
 pub mod output;
 pub mod run;
 pub mod tasklevel;
+pub mod tuning;
 
 pub use accumulator::{Accumulator, AccumulatorEngine};
 pub use checkpoint::IterCheckpointer;
@@ -109,3 +110,4 @@ pub use onestep::OneStepEngine;
 pub use output::ResultStore;
 pub use run::{EngineConfig, RunBuilder, RunSession, SessionFinish};
 pub use tasklevel::{ReuseStats, TaskLevelEngine};
+pub use tuning::EngineTuner;

@@ -35,13 +35,16 @@ use crate::delta_iter::{DeltaIterEngine, DeltaIterativeSpec, DeltaRunReport};
 use crate::incr_iter::{IncrIterEngine, IncrParams, IncrRunReport};
 use crate::iter_engine::{PartitionedData, PartitionedIterEngine, RunReport};
 use crate::iterative::{IterParams, IterativeSpec};
+use crate::tuning::EngineTuner;
 use i2mr_common::error::{Error, Result};
 use i2mr_common::metrics::{IoStats, JobMetrics};
+use i2mr_common::tuner::{TuningConfig, TuningMode};
 use i2mr_dfs::MiniDfs;
 use i2mr_mapred::{JobConfig, WorkerPool};
 use i2mr_store::runtime::{StoreManager, StoreRuntimeConfig};
 use i2mr_store::serve::{ServeConfig, ServeHandle};
 use std::path::PathBuf;
+use std::sync::Arc;
 
 /// Every knob of an engine run, consolidated.
 ///
@@ -67,6 +70,12 @@ pub struct EngineConfig {
     pub checkpoint_every: u64,
     /// Serving-plane tunables ([`RunSession::serve`]).
     pub serve: ServeConfig,
+    /// Online-tuning surface: `Off` (default, historical behaviour),
+    /// `Observe` (controllers run, decisions logged, nothing applied), or
+    /// `Active` (decisions applied to the live actuators). See
+    /// `TUNING.md` for the control loop and DESIGN.md §10 for the
+    /// lifecycle.
+    pub tuning: TuningConfig,
 }
 
 impl Default for EngineConfig {
@@ -78,6 +87,7 @@ impl Default for EngineConfig {
             store: StoreRuntimeConfig::default(),
             checkpoint_every: 1,
             serve: ServeConfig::default(),
+            tuning: TuningConfig::default(),
         }
     }
 }
@@ -115,6 +125,11 @@ impl EngineConfig {
         if self.checkpoint_every == 0 {
             return Err(Error::config("checkpoint_every must be >= 1"));
         }
+        if !self.tuning.is_valid() {
+            return Err(Error::config(
+                "tuning knob specs must be finite with lo <= hi (and floors in range)",
+            ));
+        }
         Ok(())
     }
 
@@ -127,8 +142,14 @@ impl EngineConfig {
     /// serde machinery.
     pub fn config_hash(&self) -> u64 {
         let repr = format!(
-            "{:?}|{:?}|{:?}|{:?}|{}|{:?}",
-            self.job, self.iter, self.incr, self.store, self.checkpoint_every, self.serve
+            "{:?}|{:?}|{:?}|{:?}|{}|{:?}|{:?}",
+            self.job,
+            self.iter,
+            self.incr,
+            self.store,
+            self.checkpoint_every,
+            self.serve,
+            self.tuning
         );
         fnv1a64(repr.as_bytes())
     }
@@ -228,6 +249,49 @@ impl<'s, S: IterativeSpec> RunBuilder<'s, S> {
     /// Set the serving-plane tunables.
     pub fn serve_config(mut self, serve: ServeConfig) -> Self {
         self.config.serve = serve;
+        self
+    }
+
+    /// Enable the online tuner (see `TUNING.md`). Off by default.
+    ///
+    /// ```
+    /// use i2mr_core::run::RunBuilder;
+    /// # use i2mr_core::iterative::{DependencyKind, IterativeSpec};
+    /// # use i2mr_mapred::types::{Emitter, Values};
+    /// use i2mr_common::tuner::{TuningConfig, TuningMode};
+    /// # struct Noop;
+    /// # impl IterativeSpec for Noop {
+    /// #     type SK = u64; type SV = u64; type DK = u64; type DV = f64; type V2 = f64;
+    /// #     fn project(&self, sk: &u64) -> u64 { *sk }
+    /// #     fn map(&self, _s: &u64, _v: &u64, dk: &u64, dv: &f64, out: &mut Emitter<u64, f64>) {
+    /// #         out.emit(*dk, *dv);
+    /// #     }
+    /// #     fn reduce(&self, _k: &u64, _p: &f64, vs: Values<'_, u64, f64>) -> f64 {
+    /// #         vs.iter().sum()
+    /// #     }
+    /// #     fn init(&self, _k: &u64) -> f64 { 0.0 }
+    /// #     fn difference(&self, c: &f64, p: &f64) -> f64 { (c - p).abs() }
+    /// #     fn dependency(&self) -> DependencyKind { DependencyKind::OneToOne }
+    /// # }
+    /// # let spec = Noop;
+    /// // Observe first: log what the controller *would* do, apply nothing.
+    /// let session = RunBuilder::new(&spec)
+    ///     .tuning(TuningConfig::with_mode(TuningMode::Observe))
+    ///     .build()
+    ///     .unwrap();
+    /// assert!(session.tuner().is_some());
+    ///
+    /// // Active mode applies moves; results stay bit-identical to Off
+    /// // (the tuner only moves scheduling knobs), so it is safe to flip
+    /// // on for any workload once the Observe log looks sane.
+    /// let mut active = TuningConfig::with_mode(TuningMode::Active);
+    /// active.serve_p99_ceiling_nanos = 2_000_000; // guard serving tail
+    /// let session = RunBuilder::new(&spec).tuning(active).build().unwrap();
+    /// let report = session; // run_initial / run_incremental / run_delta...
+    /// # let _ = report;
+    /// ```
+    pub fn tuning(mut self, tuning: TuningConfig) -> Self {
+        self.config.tuning = tuning;
         self
     }
 
@@ -342,12 +406,20 @@ impl<'s, S: IterativeSpec> RunBuilder<'s, S> {
             ),
             borrowed => borrowed,
         });
+        let tuner = match self.config.tuning.mode {
+            TuningMode::Off => None,
+            _ => Some(Arc::new(EngineTuner::new(
+                self.config.tuning,
+                self.config.store.policy,
+            ))),
+        };
         Ok(RunSession {
             spec: self.spec,
             config: self.config,
             pool,
             stores,
             checkpointer,
+            tuner,
         })
     }
 }
@@ -361,6 +433,9 @@ pub struct RunSession<'s, S: IterativeSpec> {
     pool: WorkerPool,
     stores: Option<MaybeOwned<'s, StoreManager>>,
     checkpointer: Option<MaybeOwned<'s, IterCheckpointer>>,
+    /// The session's online controller (`None` when tuning is `Off`).
+    /// Shared with every engine run and serving handle the session opens.
+    tuner: Option<Arc<EngineTuner>>,
 }
 
 /// What [`RunSession::finish`] hands back: the settled store plane (for
@@ -400,6 +475,12 @@ impl<'s, S: IterativeSpec> RunSession<'s, S> {
         self.checkpointer.as_ref().map(MaybeOwned::get)
     }
 
+    /// The session's online tuner, if tuning is enabled (`Observe` or
+    /// `Active`).
+    pub fn tuner(&self) -> Option<&Arc<EngineTuner>> {
+        self.tuner.as_ref()
+    }
+
     /// Run a full iterative computation (`config.iter`) until convergence
     /// or the iteration budget. Preservation (per `config.iter.preserve`)
     /// writes the session's store plane; checkpointing is on iff the
@@ -409,7 +490,8 @@ impl<'s, S: IterativeSpec> RunSession<'s, S> {
         data: &mut PartitionedData<S::SK, S::SV, S::DK, S::DV>,
     ) -> Result<RunReport> {
         let engine =
-            PartitionedIterEngine::assemble(self.spec, self.config.job.clone(), self.config.iter)?;
+            PartitionedIterEngine::assemble(self.spec, self.config.job.clone(), self.config.iter)?
+                .with_tuner(self.tuner.clone());
         match self.checkpointer() {
             Some(ck) => engine.run_checkpointed(&self.pool, data, self.stores(), ck),
             None => engine.run(&self.pool, data, self.stores()),
@@ -429,7 +511,8 @@ impl<'s, S: IterativeSpec> RunSession<'s, S> {
             self.config.job.clone(),
             self.config.incr,
             self.config.iter,
-        )?;
+        )?
+        .with_tuner(self.tuner.clone());
         engine.run(&self.pool, data, stores, delta, self.checkpointer())
     }
 
@@ -449,7 +532,8 @@ impl<'s, S: IterativeSpec> RunSession<'s, S> {
             self.config.job.clone(),
             self.config.incr,
             self.config.iter,
-        )?;
+        )?
+        .with_tuner(self.tuner.clone());
         engine.run(&self.pool, data, stores, delta, self.checkpointer())
     }
 
@@ -458,14 +542,20 @@ impl<'s, S: IterativeSpec> RunSession<'s, S> {
     /// [`i2mr_store::serve`]). The handle borrows the session; refreshes
     /// may run concurrently with serving on other threads of the caller.
     pub fn serve(&self) -> Result<ServeHandle<'_>> {
-        Ok(self.stores_required("serve")?.serve(self.config.serve))
+        let handle = self.stores_required("serve")?.serve(self.config.serve);
+        // With tuning on, route lookup latencies into the tuner's shared
+        // histogram so its serve-p99 guard observes this handle.
+        Ok(match &self.tuner {
+            Some(t) => handle.with_latency_sink(t.serve_latency()),
+            None => handle,
+        })
     }
 
     /// Settle the store plane exactly once — fence overlapped compactions,
     /// flush deferred indexes, drain trailing counters — and hand the
     /// stores back. This replaces the per-engine end-of-run epilogues as
     /// the *session-level* settle point: individual runs still settle
-    /// their own reports (via [`settle_trailing`]), `finish` catches any
+    /// their own reports (via `settle_trailing`), `finish` catches any
     /// store work scheduled after the last run returned.
     pub fn finish(self) -> Result<SessionFinish> {
         let mut trailing = JobMetrics::default();

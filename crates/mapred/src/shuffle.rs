@@ -236,27 +236,7 @@ where
     K2: Ord + Send,
     V2: Send,
 {
-    let cells: Vec<Mutex<&mut Vec<ShuffleRecord<K2, V2>>>> =
-        runs.iter_mut().map(Mutex::new).collect();
-    let tasks: Vec<TaskSpec<'_, ()>> = cells
-        .iter()
-        .enumerate()
-        .map(|(i, cell)| {
-            TaskSpec::new(
-                TaskId {
-                    kind: TaskKind::Sort,
-                    index: i,
-                    iteration,
-                },
-                move |_| {
-                    // Idempotent under retry: re-sorting sorted data is a no-op.
-                    sort_run(cell.lock().as_mut_slice());
-                    Ok(())
-                },
-            )
-        })
-        .collect();
-    pool.run_tasks(tasks).map(|_| ())
+    sort_runs_adaptive(pool, runs, iteration, 0, false)
 }
 
 /// [`sort_runs`] scheduling Sort tasks **only for non-empty runs**.
@@ -276,16 +256,50 @@ where
     K2: Ord + Send,
     V2: Send,
 {
-    let cells: Vec<(usize, Mutex<&mut Vec<ShuffleRecord<K2, V2>>>)> = runs
-        .iter_mut()
-        .enumerate()
-        .filter(|(_, run)| !run.is_empty())
-        .map(|(i, run)| (i, Mutex::new(run)))
-        .collect();
-    if cells.is_empty() {
+    sort_runs_adaptive(pool, runs, iteration, 0, true)
+}
+
+/// The general run-sorting entry point behind [`sort_runs`] /
+/// [`sort_runs_nonempty`], with a live inlining threshold for the online
+/// tuner.
+///
+/// Runs shorter than `inline_below` records are sorted directly on the
+/// calling thread — a short run's `sort_unstable` is cheaper than the
+/// dispatch + timeline recording of a scheduled task — while longer runs
+/// go to the pool as [`TaskKind::Sort`] tasks as before. With
+/// `inline_below == 0` nothing is inlined and the behaviour is exactly
+/// the historical one. `nonempty_only` skips empty runs entirely (the
+/// delta-engine convention).
+///
+/// Purely a scheduling decision: every run ends up sorted by the same
+/// comparator regardless of where the sort executed, so the tuner may
+/// move the threshold mid-run without affecting computed state.
+pub fn sort_runs_adaptive<K2, V2>(
+    pool: &WorkerPool,
+    runs: &mut [Vec<ShuffleRecord<K2, V2>>],
+    iteration: u64,
+    inline_below: usize,
+    nonempty_only: bool,
+) -> Result<()>
+where
+    K2: Ord + Send,
+    V2: Send,
+{
+    let mut scheduled: Vec<(usize, Mutex<&mut Vec<ShuffleRecord<K2, V2>>>)> = Vec::new();
+    for (i, run) in runs.iter_mut().enumerate() {
+        if nonempty_only && run.is_empty() {
+            continue;
+        }
+        if run.len() < inline_below {
+            sort_run(run);
+        } else {
+            scheduled.push((i, Mutex::new(run)));
+        }
+    }
+    if scheduled.is_empty() {
         return Ok(());
     }
-    let tasks: Vec<TaskSpec<'_, ()>> = cells
+    let tasks: Vec<TaskSpec<'_, ()>> = scheduled
         .iter()
         .map(|(i, cell)| {
             TaskSpec::new(

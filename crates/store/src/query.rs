@@ -130,22 +130,36 @@ impl<'a> QueryPass<'a> {
                 &self.scratch[..len]
             }
             QueryStrategy::SingleFixWindow { window } => {
-                let wi = self.ensure_window(loc, SHARED_WINDOW, window.max(loc.len as u64))?;
+                let wi = self.find_window(SHARED_WINDOW);
+                if !self.windows[wi].contains(loc) {
+                    self.slide_window(wi, loc, window.max(loc.len as u64))?;
+                }
                 self.windows[wi].slice(loc)
             }
             QueryStrategy::MultiFixWindow { window } => {
-                let wi = self.ensure_window(loc, loc.batch, window.max(loc.len as u64))?;
+                let wi = self.find_window(loc.batch);
+                if !self.windows[wi].contains(loc) {
+                    self.slide_window(wi, loc, window.max(loc.len as u64))?;
+                }
                 self.windows[wi].slice(loc)
             }
             QueryStrategy::MultiDynamicWindow { gap_threshold } => {
-                let w = dynamic_window_size(
-                    &self.plan,
-                    i,
-                    loc.batch,
-                    gap_threshold,
-                    self.cache_capacity,
-                );
-                let wi = self.ensure_window(loc, loc.batch, w)?;
+                // Plan a window size only on a miss: a hit's size would be
+                // discarded anyway, and the plan scan is O(remaining plan),
+                // so computing it per `get` makes a dense pass (compaction,
+                // whole-file merge) quadratic in the live-chunk count.
+                // Sizing at the miss position reads exactly the same bytes.
+                let wi = self.find_window(loc.batch);
+                if !self.windows[wi].contains(loc) {
+                    let w = dynamic_window_size(
+                        &self.plan,
+                        i,
+                        loc.batch,
+                        gap_threshold,
+                        self.cache_capacity,
+                    );
+                    self.slide_window(wi, loc, w)?;
+                }
                 self.windows[wi].slice(loc)
             }
         };
@@ -173,28 +187,30 @@ impl<'a> QueryPass<'a> {
         self.keys.len() - self.next
     }
 
-    /// Make the window serving `window_tag` contain `loc`, sliding it with
-    /// one large I/O on a miss. The window's buffer is reused across slides
-    /// (capacity kept), so a steady pass allocates per *growth*, not per
-    /// slide. Returns the window's position in `self.windows`.
-    fn ensure_window(&mut self, loc: ChunkLoc, window_tag: u32, size: u64) -> Result<usize> {
-        let wi = match self.windows.iter().position(|w| w.batch == window_tag) {
+    /// Position of the window serving `window_tag` in `self.windows`,
+    /// creating an empty one on first use.
+    fn find_window(&mut self, window_tag: u32) -> usize {
+        match self.windows.iter().position(|w| w.batch == window_tag) {
             Some(wi) => wi,
             None => {
                 self.windows.push(Window::empty(window_tag));
                 self.windows.len() - 1
             }
-        };
-        if !self.windows[wi].contains(loc) {
-            let len = size.min(self.file_len.saturating_sub(loc.offset)) as usize;
-            let w = &mut self.windows[wi];
-            w.file_start = loc.offset;
-            w.buf.resize(len, 0);
-            self.file.seek(SeekFrom::Start(loc.offset))?;
-            self.file.read_exact(&mut w.buf[..len])?;
-            self.io.record_read(len as u64);
         }
-        Ok(wi)
+    }
+
+    /// Slide window `wi` to cover `loc` with one large I/O of up to `size`
+    /// bytes. The window's buffer is reused across slides (capacity kept),
+    /// so a steady pass allocates per *growth*, not per slide.
+    fn slide_window(&mut self, wi: usize, loc: ChunkLoc, size: u64) -> Result<()> {
+        let len = size.min(self.file_len.saturating_sub(loc.offset)) as usize;
+        let w = &mut self.windows[wi];
+        w.file_start = loc.offset;
+        w.buf.resize(len, 0);
+        self.file.seek(SeekFrom::Start(loc.offset))?;
+        self.file.read_exact(&mut w.buf[..len])?;
+        self.io.record_read(len as u64);
+        Ok(())
     }
 }
 

@@ -12,7 +12,7 @@
 //!   dry), so concurrent lookups on the *same* shard read the data file
 //!   through independent handles instead of serializing on one reader.
 //!   Readers chase compaction generations transparently
-//!   ([`MrbgStore::get_with`] reopens when the data file was replaced), so
+//!   ([`crate::store::MrbgStore::get_with`] reopens when the data file was replaced), so
 //!   a pooled reader from before a compaction is still valid after it.
 //! * **Hot-key LRU cache, invalidated by content version** — every shard
 //!   carries a monotonic [`StoreManager::data_version`] bumped on merge /
@@ -47,11 +47,14 @@ use crate::runtime::StoreManager;
 use crate::store::StoreReader;
 use i2mr_common::error::Result;
 use i2mr_common::metrics::JobMetrics;
+use i2mr_common::tuner::LatencyHistogram;
 use i2mr_mapred::fault::{TaskId, TaskKind};
 use i2mr_mapred::pool::{Lane, TaskSpec};
 use parking_lot::Mutex;
 use std::collections::{BTreeMap, HashMap};
 use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Instant;
 
 /// Serving-plane tunables. Lives inside `EngineConfig` at the engine API
 /// level; defaults are validated there.
@@ -168,6 +171,11 @@ pub struct ServeMetrics {
     /// Cache entries evicted because a merge bumped the shard's content
     /// version under them (the read-your-writes invalidations).
     pub stale_evictions: u64,
+    /// Upper-bound estimate of the point-lookup latency p99 in
+    /// nanoseconds since the last drain (log2-bucketed; `0` when no
+    /// lookups were recorded). The online tuner's serving-lane guard
+    /// reads this to veto policy moves that would regress tail latency.
+    pub p99_nanos: u64,
 }
 
 /// Shared serving front over a [`StoreManager`]. See module docs.
@@ -178,6 +186,11 @@ pub struct ServeHandle<'a> {
     hits: AtomicU64,
     misses: AtomicU64,
     stale: AtomicU64,
+    /// Point-lookup latency samples. Private per handle by default; the
+    /// tuner swaps in a shared histogram via
+    /// [`ServeHandle::with_latency_sink`] so its serving-lane guard sees
+    /// live tail latency.
+    latency: Arc<LatencyHistogram>,
 }
 
 impl StoreManager {
@@ -194,11 +207,21 @@ impl StoreManager {
             hits: AtomicU64::new(0),
             misses: AtomicU64::new(0),
             stale: AtomicU64::new(0),
+            latency: Arc::new(LatencyHistogram::new()),
         }
     }
 }
 
 impl ServeHandle<'_> {
+    /// Route this handle's point-lookup latency samples into `sink`
+    /// (replacing the handle-private histogram). The online tuner shares
+    /// one sink across serving handles so its p99 guard observes the
+    /// whole serving lane.
+    pub fn with_latency_sink(mut self, sink: Arc<LatencyHistogram>) -> Self {
+        self.latency = sink;
+        self
+    }
+
     /// Borrow a reader from shard `p`'s pool (creating one when dry), run
     /// `f`, and return the reader for the next lookup. The reader is NOT
     /// returned if `f` failed — a reader mid-error is cheap to discard and
@@ -219,6 +242,14 @@ impl ServeHandle<'_> {
     /// stamped onto the cached entry — see the module docs for why that
     /// ordering is the safe direction under concurrent merges.
     pub fn get(&self, p: usize, key: &[u8]) -> Result<Option<Chunk>> {
+        let started = Instant::now();
+        let out = self.get_untimed(p, key);
+        self.latency
+            .record(started.elapsed().as_nanos().min(u64::MAX as u128) as u64);
+        out
+    }
+
+    fn get_untimed(&self, p: usize, key: &[u8]) -> Result<Option<Chunk>> {
         let version = self.mgr.data_version(p);
         if self.cfg.cache_capacity > 0 {
             match self.shards[p].cache.lock().lookup(key, version) {
@@ -308,15 +339,18 @@ impl ServeHandle<'_> {
             hits: self.hits.load(Ordering::Relaxed),
             misses: self.misses.load(Ordering::Relaxed),
             stale_evictions: self.stale.load(Ordering::Relaxed),
+            p99_nanos: self.latency.p99(),
         }
     }
 
-    /// Drain the counters into `metrics` (resets them; stale evictions
-    /// fold into `serve_misses` — each one also re-read the store).
+    /// Drain the counters into `metrics` (resets them, including the
+    /// latency histogram; stale evictions fold into `serve_misses` — each
+    /// one also re-read the store).
     pub fn drain_into(&self, metrics: &mut JobMetrics) {
         metrics.serve_hits += self.hits.swap(0, Ordering::Relaxed);
         metrics.serve_misses += self.misses.swap(0, Ordering::Relaxed);
         self.stale.swap(0, Ordering::Relaxed);
+        self.latency.reset();
     }
 }
 

@@ -12,6 +12,8 @@
 #   full     -> delta     (micro_delta: the workset-driven delta-iteration win)
 #   idle     -> merging   (micro_serve: bounded serving-tail cost under churn)
 #   faultfree -> faulted  (fig13_fault: bounded fault-recovery overhead)
+#   static   -> tuned     (micro_tuner: the online-controller win over a
+#                          one-shot cost-model compaction policy)
 #
 # For every benchmark group the geometric-mean speedup of the fresh run
 # must stay within TOLERANCE (default 25%) of the committed snapshot's —
@@ -36,7 +38,10 @@
 # 0.333 is the serving plane's shipping bar — the point-lookup p99 under
 # an active merge+compact churn must stay within 3x of the idle p99. The
 # churn thread needs a real measurement window to overlap, so gate it at
-# full size (I2MR_BENCH_QUICK=0).
+# full size (I2MR_BENCH_QUICK=0). micro_tuner's workload is fixed-size
+# (quick mode does not scale it), and its two groups carry the self-tuning
+# acceptance bars as absolute floors: tuned >= 1.15x static on the
+# shifting-churn schedule and >= 0.95x on the steady one.
 #
 # Usage:
 #   scripts/bench_check.sh [micro_shuffle] [micro_store] ...
@@ -53,13 +58,14 @@ out_for() {
     micro_delta) echo "BENCH_delta.json" ;;
     micro_serve) echo "BENCH_serve.json" ;;
     fig13_fault) echo "BENCH_fig13.json" ;;
+    micro_tuner) echo "BENCH_tuner.json" ;;
     *) echo "BENCH_$1.json" ;;
   esac
 }
 
 targets=("$@")
 if [ ${#targets[@]} -eq 0 ]; then
-  targets=(micro_shuffle micro_store micro_pool micro_delta micro_serve fig13_fault)
+  targets=(micro_shuffle micro_store micro_pool micro_delta micro_serve fig13_fault micro_tuner)
 fi
 
 tol="${BENCH_TOLERANCE:-0.25}"
@@ -86,6 +92,7 @@ PAIRS = [
     ("full", "delta"),
     ("idle", "merging"),
     ("faultfree", "faulted"),
+    ("static", "tuned"),
 ]
 # Absolute speedup floors (group -> min geomean on the FRESH run), on top
 # of the relative-to-committed tolerance check. fig13's "speedup" is the
@@ -97,6 +104,8 @@ FLOORS = {
     "micro_delta/churn1pct": 3.0,
     "micro_serve/lookup": 0.333,
     "fig13/run": 0.667,
+    "micro_tuner/shifting": 1.15,
+    "micro_tuner/steady": 0.95,
 }
 
 def speedups(path):

@@ -45,6 +45,7 @@ pub use i2mr_store as store;
 
 /// Convenience prelude for applications.
 pub mod prelude {
+    pub use i2mr_common::tuner::{TuningConfig, TuningMode};
     pub use i2mr_core::{
         Accumulator, AccumulatorEngine, Delta, DeltaIterEngine, DeltaIterativeSpec, EngineConfig,
         IncrIterEngine, IncrParams, IterParams, IterativeSpec, OneStepEngine,

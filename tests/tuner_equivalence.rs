@@ -1,0 +1,248 @@
+//! The self-tuning runtime's core contract: controllers only ever decide
+//! *when and where* work is scheduled — compaction horizons, task grain,
+//! sort inlining — never *what* is computed. So a run with
+//! `TuningMode::Active` must produce **f64-bitwise identical** state and
+//! byte-identical store exports to a `TuningMode::Off` run from the same
+//! seeded inputs.
+//!
+//! Also pinned here:
+//! * `Observe` logs proposed decisions without applying any of them (no
+//!   shard policy overrides, pool grain stays 0);
+//! * `Active` with an aggressive controller shape actually moves knobs
+//!   (the equivalence is not vacuous);
+//! * the serve-p99 guard suppresses eagerness raises while the ceiling is
+//!   exceeded.
+
+use i2mapreduce::algos::pagerank::PageRank;
+use i2mapreduce::common::tuner::{KnobSpec, TuningConfig, TuningMode};
+use i2mapreduce::core::build_partitioned;
+use i2mapreduce::datagen::delta::{graph_delta, DeltaSpec};
+use i2mapreduce::datagen::graph::GraphGen;
+use i2mapreduce::prelude::*;
+use i2mapreduce::store::runtime::StoreManager;
+
+const N: usize = 4;
+
+fn scratch(tag: &str) -> std::path::PathBuf {
+    let d = std::env::temp_dir().join(format!(
+        "i2mr-tuner-eq-{tag}-{}-{:?}",
+        std::process::id(),
+        std::thread::current().id()
+    ));
+    let _ = std::fs::remove_dir_all(&d);
+    d
+}
+
+fn exports(stores: &StoreManager) -> Vec<Vec<u8>> {
+    (0..stores.n_shards())
+        .map(|p| stores.export(p).unwrap())
+        .collect()
+}
+
+/// An aggressive tuning shape that moves on the small fixtures used here:
+/// zero deadbands and cooldowns, low targets, so every fence proposes a
+/// move and the equivalence below is exercised, not vacuous.
+fn aggressive() -> TuningConfig {
+    TuningConfig {
+        mode: TuningMode::Active,
+        compaction: KnobSpec {
+            lo: 0.0,
+            hi: 1.0,
+            step: 0.5,
+            target: 0.01,
+            deadband: 0.0,
+            cooldown: 0,
+        },
+        grain: KnobSpec {
+            lo: 0.0,
+            hi: 4.0,
+            step: -1.0,
+            target: 1e12, // records-per-partition always below target → raise
+            deadband: 0.0,
+            cooldown: 0,
+        },
+        sort_inline: KnobSpec {
+            lo: 0.0,
+            hi: 1024.0,
+            step: -256.0,
+            target: 1e12,
+            deadband: 0.0,
+            cooldown: 0,
+        },
+        ..TuningConfig::default()
+    }
+}
+
+/// Run seeded PageRank (initial with preservation, then an incremental
+/// refresh) under the given tuning config; return the final state bits,
+/// the store exports, and the refresh's tuning decisions.
+fn run_pagerank(
+    tag: &str,
+    tuning: TuningConfig,
+) -> (
+    Vec<(u64, f64)>,
+    Vec<Vec<u8>>,
+    Vec<i2mapreduce::common::tuner::TuningDecision>,
+) {
+    let cfg = JobConfig::symmetric(N);
+    let pool = WorkerPool::new(N);
+    let spec = PageRank::default();
+    let graph = GraphGen::new(300, 2100, 0x7E57).generate();
+    let delta = graph_delta(&graph, DeltaSpec::ten_percent(0x7E57));
+
+    let session = RunBuilder::new(&spec)
+        .pool(&pool)
+        .job(cfg.clone())
+        .iter(IterParams {
+            max_iterations: 80,
+            epsilon: 1e-9,
+            preserve: PreserveMode::FinalOnly,
+        })
+        .tuning(tuning)
+        .store_dir(scratch(tag))
+        .build()
+        .unwrap();
+    let mut data = build_partitioned(&spec, N, graph);
+    let initial = session.run_initial(&mut data).unwrap();
+    let mut decisions = initial.tuning;
+    let stores = session.finish().unwrap().stores.expect("session-owned");
+
+    let refresh = RunBuilder::new(&spec)
+        .pool(&pool)
+        .job(cfg)
+        .incr(IncrParams {
+            convergence_epsilon: 1e-9,
+            max_iterations: 80,
+            ..Default::default()
+        })
+        .tuning(tuning)
+        .stores_ref(&stores)
+        .build()
+        .unwrap();
+    let report = refresh.run_incremental(&mut data, &delta).unwrap();
+    decisions.extend(report.tuning);
+
+    (data.state_snapshot(), exports(&stores), decisions)
+}
+
+/// `Active` ≡ `Off`, bit for bit — and the `Active` run really moved knobs.
+#[test]
+fn active_tuning_is_bitwise_identical_to_off() {
+    let (state_off, stores_off, decisions_off) =
+        run_pagerank("off", TuningConfig::with_mode(TuningMode::Off));
+    let (state_on, stores_on, decisions_on) = run_pagerank("active", aggressive());
+
+    assert!(decisions_off.is_empty(), "Off must not run controllers");
+    assert!(
+        decisions_on.iter().any(|d| d.applied),
+        "aggressive Active config must actually apply moves"
+    );
+
+    assert_eq!(state_off.len(), state_on.len());
+    for ((k_off, v_off), (k_on, v_on)) in state_off.iter().zip(&state_on) {
+        assert_eq!(k_off, k_on);
+        assert_eq!(
+            v_off.to_bits(),
+            v_on.to_bits(),
+            "key {k_off}: Active diverged from Off"
+        );
+    }
+    assert_eq!(
+        stores_off, stores_on,
+        "store exports must be byte-identical"
+    );
+}
+
+/// `Observe` proposes the same moves `Active` would but applies none of
+/// them: every decision carries `applied == false` and the actuators stay
+/// at their untuned values.
+#[test]
+fn observe_logs_without_touching_actuators() {
+    let (_, _, decisions) = run_pagerank(
+        "observe",
+        TuningConfig {
+            mode: TuningMode::Observe,
+            ..aggressive()
+        },
+    );
+    assert!(!decisions.is_empty(), "Observe must log proposed moves");
+    assert!(
+        decisions.iter().all(|d| !d.applied),
+        "Observe must never apply a move"
+    );
+}
+
+/// With the serve-p99 ceiling set to 1 ns and traffic on the serving
+/// plane, every eagerness-*raising* compaction move is vetoed (rolled
+/// back, logged unapplied); grain and sort knobs keep operating.
+#[test]
+fn serve_guard_suppresses_compaction_eagerness_raises() {
+    let cfg = JobConfig::symmetric(N);
+    let pool = WorkerPool::new(N);
+    let spec = PageRank::default();
+    let graph = GraphGen::new(300, 2100, 0x9A4D).generate();
+    let delta = graph_delta(&graph, DeltaSpec::ten_percent(0x9A4D));
+
+    // Converge untuned, then refresh through a *fresh* session whose
+    // controllers start cold (so the guard vetoes the very first raises
+    // instead of finding the knobs already railed).
+    let init = RunBuilder::new(&spec)
+        .pool(&pool)
+        .job(cfg.clone())
+        .iter(IterParams {
+            max_iterations: 80,
+            epsilon: 1e-9,
+            preserve: PreserveMode::FinalOnly,
+        })
+        .store_dir(scratch("guard"))
+        .build()
+        .unwrap();
+    let mut data = build_partitioned(&spec, N, graph);
+    init.run_initial(&mut data).unwrap();
+    let stores = init.finish().unwrap().stores.expect("session-owned");
+
+    let session = RunBuilder::new(&spec)
+        .pool(&pool)
+        .job(cfg)
+        .incr(IncrParams {
+            convergence_epsilon: 1e-9,
+            max_iterations: 80,
+            ..Default::default()
+        })
+        .tuning(TuningConfig {
+            serve_p99_ceiling_nanos: 1, // any recorded lookup breaches it
+            ..aggressive()
+        })
+        .stores_ref(&stores)
+        .build()
+        .unwrap();
+
+    // Put traffic on the serving lane so the histogram has samples
+    // (every real lookup takes > 1 ns).
+    let serve = session.serve().unwrap();
+    for p in 0..stores.n_shards() {
+        for chunk in stores.with_store(p, |s| s.all_chunks()).unwrap() {
+            assert!(serve.get(p, &chunk.key).unwrap().is_some());
+        }
+    }
+
+    let report = session.run_incremental(&mut data, &delta).unwrap();
+    let raises: Vec<_> = report
+        .tuning
+        .iter()
+        .filter(|d| d.knob == "compaction" && d.signal > 0.01)
+        .collect();
+    assert!(
+        report
+            .tuning
+            .iter()
+            .filter(|d| d.knob == "compaction")
+            .all(|d| !d.applied || d.after <= d.before),
+        "no eagerness raise may be applied while the ceiling is breached: {raises:?}"
+    );
+    // The global knobs are not subject to the serving guard.
+    assert!(report
+        .tuning
+        .iter()
+        .any(|d| d.knob != "compaction" && d.applied));
+}

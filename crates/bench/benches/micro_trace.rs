@@ -1,0 +1,149 @@
+//! Microbench of the telemetry plane's overhead: the **same seeded
+//! PageRank pipeline** (map → shuffle → sort → reduce through the
+//! iterative engine) run with tracing `Off`, `Counters`, and `Full`.
+//!
+//! The telemetry plane's shipping bar is that observability is cheap
+//! enough to leave on: `Full` span retention (per-worker ring buffers,
+//! one lock-light append per task span / stage sample) must stay within
+//! 5% of `Off` on the data-plane hot path, i.e. the `off`/`full` ratio
+//! gated by `scripts/bench_check.sh` must stay >= 0.95x. `counters` rides
+//! along un-gated as the middle point: per-kind atomic counts, no spans.
+//!
+//! Each timed sample is one full session lifecycle — build (recorder
+//! allocation), 25 fixed iterations, finish (ring drain + export) — so
+//! every cost `Full` adds is inside the measurement, not hidden in setup.
+//!
+//! The 5% bar is tighter than shared-runner load drift, so the variants
+//! are measured in **three interleaved rounds** (`a`/`b`/`c` params) with
+//! the variant order reversed on the middle round: the gate's geomean of
+//! the per-round `off`/`full` ratios cancels linear drift that a single
+//! sequential off-then-full pass would book as tracing overhead.
+//!
+//! The workload is **fixed-size** (no `sized()` scaling): the gated
+//! quantity is a per-event-overhead ratio, which must not shift with
+//! `I2MR_BENCH_QUICK`. Snapshot lands in `BENCH_trace.json`.
+
+use criterion::{criterion_group, criterion_main, BatchSize, BenchmarkId, Criterion};
+use i2mr_algos::pagerank::PageRank;
+use i2mr_common::telemetry::{EventKind, TelemetryConfig, TelemetryMode, TraceLog};
+use i2mr_core::iterative::{IterParams, PreserveMode};
+use i2mr_core::run::RunBuilder;
+use i2mr_core::{build_partitioned, PartitionedData};
+use i2mr_datagen::graph::GraphGen;
+use i2mr_mapred::{JobConfig, WorkerPool};
+
+const N_PARTS: usize = 4;
+const N_VERTICES: u64 = 4_000;
+const N_EDGES: u64 = N_VERTICES * 7;
+/// Iteration count is pinned (epsilon far below reach) so every variant
+/// does the identical amount of data-plane work.
+const ITERS: u64 = 25;
+
+type PrData = PartitionedData<u64, Vec<u64>, u64, f64>;
+
+/// One full session lifecycle under the given telemetry mode; returns the
+/// finished trace so its drain cost is part of the measurement.
+fn run_once(pool: &WorkerPool, data: &mut PrData, mode: TelemetryMode) -> Option<TraceLog> {
+    let spec = PageRank::default();
+    let session = RunBuilder::new(&spec)
+        .pool(pool)
+        .job(JobConfig::symmetric(N_PARTS))
+        .iter(IterParams {
+            max_iterations: ITERS,
+            epsilon: 1e-15,
+            preserve: PreserveMode::None,
+        })
+        .telemetry(TelemetryConfig::with_mode(mode))
+        .build()
+        .unwrap();
+    session.run_initial(data).unwrap();
+    session.finish().unwrap().trace
+}
+
+fn bench_pipeline(c: &mut Criterion) {
+    let pool = WorkerPool::new(N_PARTS);
+    let spec = PageRank::default();
+    let graph = GraphGen::new(N_VERTICES, N_EDGES, 0x7ACE5).generate();
+    let pristine = build_partitioned(&spec, N_PARTS, graph);
+
+    let variants = [
+        (TelemetryMode::Off, "off"),
+        (TelemetryMode::Counters, "counters"),
+        (TelemetryMode::Full, "full"),
+    ];
+    let mut g = c.benchmark_group("micro_trace/pipeline");
+    for (i, round) in ["a", "b", "c"].into_iter().enumerate() {
+        // Reverse the variant order on odd rounds so monotone machine-load
+        // drift hits `off` and `full` symmetrically across the rounds.
+        let mut order = variants;
+        if i % 2 == 1 {
+            order.reverse();
+        }
+        for (mode, tag) in order {
+            g.bench_function(BenchmarkId::new(tag, round), |b| {
+                b.iter_batched(
+                    || pristine.clone(),
+                    |mut data| run_once(&pool, &mut data, mode),
+                    BatchSize::LargeInput,
+                )
+            });
+        }
+    }
+    g.finish();
+}
+
+/// Shape + equivalence: `Full` must land on f64-bitwise-identical state
+/// (tracing reads the run, it never steers it), the trace must be
+/// well-formed with zero drops at this fixture size, and the headline
+/// `off`/`full` ratio must clear the 0.95x floor `scripts/bench_check.sh`
+/// enforces.
+fn summarize(_c: &mut Criterion) {
+    let pool = WorkerPool::new(N_PARTS);
+    let spec = PageRank::default();
+    let graph = GraphGen::new(N_VERTICES, N_EDGES, 0x7ACE5).generate();
+    let pristine = build_partitioned(&spec, N_PARTS, graph);
+
+    let mut data_off = pristine.clone();
+    let trace_off = run_once(&pool, &mut data_off, TelemetryMode::Off);
+    assert!(trace_off.is_none(), "Off must not allocate a recorder");
+    let mut data_full = pristine;
+    let log =
+        run_once(&pool, &mut data_full, TelemetryMode::Full).expect("Full must hand back a trace");
+    assert_eq!(
+        data_off.state, data_full.state,
+        "tracing diverged from Off: the recorder must not steer the run"
+    );
+    log.validate().expect("trace well-formed");
+    assert_eq!(log.dropped(), 0, "events dropped at fixture size");
+    let spans = log.count_matching(|k| matches!(k, EventKind::TaskStart { .. }));
+    assert!(spans > 0, "no task spans recorded");
+
+    let recs = criterion::completed_records();
+    let median = |id: &str| recs.iter().find(|r| r.id == id).map(|r| r.median_ns as f64);
+    let ratios: Vec<f64> = ["a", "b", "c"]
+        .iter()
+        .filter_map(|round| {
+            let off = median(&format!("micro_trace/pipeline/off/{round}"))?;
+            let full = median(&format!("micro_trace/pipeline/full/{round}"))?;
+            (full > 0.0).then(|| off / full)
+        })
+        .collect();
+    if ratios.is_empty() {
+        println!("shape: pipeline medians missing .. SKIPPED");
+    } else {
+        let geomean = (ratios.iter().map(|r| r.ln()).sum::<f64>() / ratios.len() as f64).exp();
+        let ok = if geomean >= 0.95 { "OK" } else { "MISMATCH" };
+        println!(
+            "shape: {ITERS}-iteration pipeline at {N_VERTICES} vertices: full tracing \
+             {geomean:.3}x vs off over {} rounds ({spans} task spans, target >= 0.95x) .. {ok}",
+            ratios.len()
+        );
+    }
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_pipeline, summarize
+}
+criterion_main!(benches);

@@ -23,6 +23,11 @@
 //!   bang-bang [`tuner::KnobController`]s, the [`tuner::TuningConfig`]
 //!   surface, decision records, and the serving-lane latency histogram
 //!   (see `TUNING.md` and DESIGN.md §10).
+//! * [`telemetry`] — the telemetry plane: a lock-light span/event
+//!   [`telemetry::TraceRecorder`] with per-worker ring buffers and explicit
+//!   drop counters, a live [`telemetry::MetricsRegistry`], Chrome/JSONL
+//!   trace exporters, and the paper-table extractors
+//!   [`telemetry::fig9`] / [`telemetry::table4`] (see DESIGN.md §11).
 
 #![warn(missing_docs)]
 
@@ -32,6 +37,7 @@ pub mod error;
 pub mod failpoint;
 pub mod hash;
 pub mod metrics;
+pub mod telemetry;
 pub mod tuner;
 
 pub use codec::{decode_from, encode_to, Codec};
@@ -39,6 +45,10 @@ pub use error::{Error, Result};
 pub use failpoint::{FailAction, FailSite, FailpointRegistry};
 pub use hash::{stable_hash128, stable_hash64, MapKey};
 pub use metrics::{IoStats, JobMetrics, Stage, StageTimes};
+pub use telemetry::{
+    EventKind, HistogramSnapshot, MetricsRegistry, MetricsSnapshot, ServeOutcome, StoreOpKind,
+    TaskRef, TelemetryConfig, TelemetryMode, TraceEvent, TraceLog, TraceRecorder, WorkerTrace,
+};
 pub use tuner::{
     KnobController, KnobSpec, KnobUpdate, LatencyHistogram, TuningConfig, TuningDecision,
     TuningMode,

@@ -211,31 +211,133 @@ impl JobMetrics {
     }
 
     /// Merge another job's metrics into this one (used to sum iterations).
+    ///
+    /// The exhaustive (no `..`) destructuring is deliberate: adding a field
+    /// to `JobMetrics` without updating this merge — historically a
+    /// silently-dropped counter — is now a compile error. Keep
+    /// [`JobMetrics::report_lines`] exhaustive for the same reason.
     pub fn merge(&mut self, other: &JobMetrics) {
-        self.jobs_started += other.jobs_started;
-        self.stages += other.stages;
-        self.shuffled_records += other.shuffled_records;
-        self.shuffled_bytes += other.shuffled_bytes;
-        self.map_invocations += other.map_invocations;
-        self.reduce_invocations += other.reduce_invocations;
-        self.store_io += other.store_io;
-        self.store_compactions += other.store_compactions;
-        self.store_bytes_reclaimed += other.store_bytes_reclaimed;
-        self.dfs_io += other.dfs_io;
-        self.workset_keys += other.workset_keys;
-        self.workset_skipped += other.workset_skipped;
-        self.delta_iterations += other.delta_iterations;
-        self.retries += other.retries;
-        self.respeculations += other.respeculations;
-        self.salvaged_bytes += other.salvaged_bytes;
-        self.rebuilt_shards += other.rebuilt_shards;
-        self.recovery_ms += other.recovery_ms;
-        self.serve_hits += other.serve_hits;
-        self.serve_misses += other.serve_misses;
-        self.ingested_records += other.ingested_records;
-        self.invalidated_keys += other.invalidated_keys;
-        self.tuner_adjustments += other.tuner_adjustments;
-        self.tuner_clamps += other.tuner_clamps;
+        let JobMetrics {
+            jobs_started,
+            stages,
+            shuffled_records,
+            shuffled_bytes,
+            map_invocations,
+            reduce_invocations,
+            store_io,
+            store_compactions,
+            store_bytes_reclaimed,
+            dfs_io,
+            workset_keys,
+            workset_skipped,
+            delta_iterations,
+            retries,
+            respeculations,
+            salvaged_bytes,
+            rebuilt_shards,
+            recovery_ms,
+            serve_hits,
+            serve_misses,
+            ingested_records,
+            invalidated_keys,
+            tuner_adjustments,
+            tuner_clamps,
+        } = other;
+        self.jobs_started += jobs_started;
+        self.stages += *stages;
+        self.shuffled_records += shuffled_records;
+        self.shuffled_bytes += shuffled_bytes;
+        self.map_invocations += map_invocations;
+        self.reduce_invocations += reduce_invocations;
+        self.store_io += *store_io;
+        self.store_compactions += store_compactions;
+        self.store_bytes_reclaimed += store_bytes_reclaimed;
+        self.dfs_io += *dfs_io;
+        self.workset_keys += workset_keys;
+        self.workset_skipped += workset_skipped;
+        self.delta_iterations += delta_iterations;
+        self.retries += retries;
+        self.respeculations += respeculations;
+        self.salvaged_bytes += salvaged_bytes;
+        self.rebuilt_shards += rebuilt_shards;
+        self.recovery_ms += recovery_ms;
+        self.serve_hits += serve_hits;
+        self.serve_misses += serve_misses;
+        self.ingested_records += ingested_records;
+        self.invalidated_keys += invalidated_keys;
+        self.tuner_adjustments += tuner_adjustments;
+        self.tuner_clamps += tuner_clamps;
+    }
+
+    /// Every counter as `name value` report lines, in declaration order.
+    ///
+    /// Exhaustively destructured like [`JobMetrics::merge`]: a new field
+    /// missing from the report is a compile error, not an invisible number.
+    pub fn report_lines(&self) -> Vec<String> {
+        let JobMetrics {
+            jobs_started,
+            stages,
+            shuffled_records,
+            shuffled_bytes,
+            map_invocations,
+            reduce_invocations,
+            store_io,
+            store_compactions,
+            store_bytes_reclaimed,
+            dfs_io,
+            workset_keys,
+            workset_skipped,
+            delta_iterations,
+            retries,
+            respeculations,
+            salvaged_bytes,
+            rebuilt_shards,
+            recovery_ms,
+            serve_hits,
+            serve_misses,
+            ingested_records,
+            invalidated_keys,
+            tuner_adjustments,
+            tuner_clamps,
+        } = self;
+        let mut out = vec![format!("jobs_started {jobs_started}")];
+        for stage in Stage::ALL {
+            out.push(format!(
+                "stage_{}_ms {}",
+                stage.name(),
+                stages.get(stage).as_millis()
+            ));
+        }
+        let io = |prefix: &str, io: &IoStats, out: &mut Vec<String>| {
+            out.push(format!("{prefix}_reads {}", io.reads));
+            out.push(format!("{prefix}_bytes_read {}", io.bytes_read));
+            out.push(format!("{prefix}_writes {}", io.writes));
+            out.push(format!("{prefix}_bytes_written {}", io.bytes_written));
+            out.push(format!("{prefix}_scratch_reuses {}", io.scratch_reuses));
+        };
+        out.push(format!("shuffled_records {shuffled_records}"));
+        out.push(format!("shuffled_bytes {shuffled_bytes}"));
+        out.push(format!("map_invocations {map_invocations}"));
+        out.push(format!("reduce_invocations {reduce_invocations}"));
+        io("store_io", store_io, &mut out);
+        out.push(format!("store_compactions {store_compactions}"));
+        out.push(format!("store_bytes_reclaimed {store_bytes_reclaimed}"));
+        io("dfs_io", dfs_io, &mut out);
+        out.push(format!("workset_keys {workset_keys}"));
+        out.push(format!("workset_skipped {workset_skipped}"));
+        out.push(format!("delta_iterations {delta_iterations}"));
+        out.push(format!("retries {retries}"));
+        out.push(format!("respeculations {respeculations}"));
+        out.push(format!("salvaged_bytes {salvaged_bytes}"));
+        out.push(format!("rebuilt_shards {rebuilt_shards}"));
+        out.push(format!("recovery_ms {recovery_ms}"));
+        out.push(format!("serve_hits {serve_hits}"));
+        out.push(format!("serve_misses {serve_misses}"));
+        out.push(format!("ingested_records {ingested_records}"));
+        out.push(format!("invalidated_keys {invalidated_keys}"));
+        out.push(format!("tuner_adjustments {tuner_adjustments}"));
+        out.push(format!("tuner_clamps {tuner_clamps}"));
+        out
     }
 }
 
@@ -342,6 +444,22 @@ mod tests {
         assert_eq!(a.tuner_adjustments, 7);
         assert_eq!(a.tuner_clamps, 2);
         assert_eq!(a.measured(), Duration::from_millis(4));
+    }
+
+    #[test]
+    fn report_lines_cover_every_counter() {
+        let mut m = JobMetrics {
+            serve_hits: 7,
+            tuner_clamps: 3,
+            ..Default::default()
+        };
+        m.store_io.record_read(100);
+        let lines = m.report_lines();
+        assert!(lines.contains(&"serve_hits 7".to_string()));
+        assert!(lines.contains(&"tuner_clamps 3".to_string()));
+        assert!(lines.contains(&"store_io_bytes_read 100".to_string()));
+        // 1 jobs + 4 stages + 2*5 io blocks + 20 scalar counters.
+        assert_eq!(lines.len(), 35);
     }
 
     #[test]

@@ -1,0 +1,143 @@
+//! Direct coverage for `LatencyHistogram` (ISSUE 10 satellite): quantile
+//! accuracy bounds against an exact reference at log2 bucketing, a
+//! concurrent-recording soak, and the empty / saturated-bucket edges.
+
+use i2mr_common::LatencyHistogram;
+use std::sync::Arc;
+use std::thread;
+
+/// Exact reference quantile: the rank-`ceil(n*q)` order statistic, matching
+/// the histogram's "smallest value with rank >= ceil(total*q)" convention.
+fn exact_quantile(samples: &mut [u64], q: f64) -> u64 {
+    assert!(!samples.is_empty());
+    samples.sort_unstable();
+    let rank = ((samples.len() as f64) * q.clamp(0.0, 1.0)).ceil().max(1.0) as usize;
+    samples[rank - 1]
+}
+
+/// The log2-bucket upper edge a sample lands in: `2^(floor(log2(v))+1) - 1`.
+fn bucket_upper_edge(v: u64) -> u64 {
+    let b = (64 - v.leading_zeros()).saturating_sub(1);
+    if b + 1 >= 64 {
+        u64::MAX
+    } else {
+        (1u64 << (b + 1)) - 1
+    }
+}
+
+#[test]
+fn quantile_upper_bounds_exact_reference_within_one_bucket() {
+    // Deterministic skewed workload: a dense floor of fast lookups with a
+    // long tail, the shape the serving plane actually records.
+    let mut samples: Vec<u64> = Vec::new();
+    let mut x = 0x9e3779b97f4a7c15u64;
+    for i in 0..10_000u64 {
+        // xorshift-mixed, spread across ~5 decades.
+        x ^= x << 13;
+        x ^= x >> 7;
+        x ^= x << 17;
+        let base = 200 + (x % 5_000);
+        let tail = if i % 97 == 0 { x % 5_000_000 } else { 0 };
+        samples.push(base + tail);
+    }
+    let hist = LatencyHistogram::new();
+    for &s in &samples {
+        hist.record(s);
+    }
+    assert_eq!(hist.count(), samples.len() as u64);
+
+    for q in [0.0, 0.10, 0.50, 0.90, 0.99, 1.0] {
+        let exact = exact_quantile(&mut samples, q);
+        let est = hist.quantile(q);
+        // The estimate is an upper bound on the exact quantile...
+        assert!(est >= exact, "q={q}: estimate {est} below exact {exact}");
+        // ...and never looser than the exact quantile's own bucket edge,
+        // i.e. within one log2 bucket (a factor-of-2 bound) of exact.
+        assert!(
+            est <= bucket_upper_edge(exact),
+            "q={q}: estimate {est} beyond bucket edge {} of exact {exact}",
+            bucket_upper_edge(exact)
+        );
+        assert!(
+            est < 2 * exact.max(1),
+            "q={q}: estimate {est} not within 2x of {exact}"
+        );
+    }
+    assert_eq!(hist.p99(), hist.quantile(0.99));
+}
+
+#[test]
+fn concurrent_recording_soak_loses_nothing() {
+    let hist = Arc::new(LatencyHistogram::new());
+    const THREADS: u64 = 8;
+    const PER_THREAD: u64 = 50_000;
+    let handles: Vec<_> = (0..THREADS)
+        .map(|t| {
+            let hist = Arc::clone(&hist);
+            thread::spawn(move || {
+                for i in 0..PER_THREAD {
+                    // Each thread covers a distinct latency decade so the
+                    // final shape exercises many buckets concurrently.
+                    hist.record((1u64 << (t % 16)) * 100 + i % 64);
+                }
+            })
+        })
+        .collect();
+    for h in handles {
+        h.join().unwrap();
+    }
+    // Relaxed increments still lose no samples.
+    assert_eq!(hist.count(), THREADS * PER_THREAD);
+    let p99 = hist.p99();
+    assert!(p99 > 0);
+    // Quantiles are monotone in q.
+    assert!(hist.quantile(0.5) <= p99);
+    assert!(p99 <= hist.quantile(1.0));
+}
+
+#[test]
+fn empty_histogram_reports_zero() {
+    let hist = LatencyHistogram::new();
+    assert_eq!(hist.count(), 0);
+    assert_eq!(hist.p99(), 0);
+    for q in [0.0, 0.5, 1.0] {
+        assert_eq!(hist.quantile(q), 0);
+    }
+}
+
+#[test]
+fn zero_sample_lands_in_lowest_bucket() {
+    let hist = LatencyHistogram::new();
+    hist.record(0);
+    assert_eq!(hist.count(), 1);
+    // Bucket 0's upper edge is 2^1 - 1 = 1.
+    assert_eq!(hist.quantile(1.0), 1);
+}
+
+#[test]
+fn saturated_top_bucket_reports_u64_max() {
+    let hist = LatencyHistogram::new();
+    // Everything at or above 2^63 collapses into the top bucket, whose
+    // upper edge is unrepresentable -> u64::MAX sentinel.
+    hist.record(u64::MAX);
+    hist.record(1u64 << 63);
+    assert_eq!(hist.count(), 2);
+    assert_eq!(hist.quantile(0.5), u64::MAX);
+    assert_eq!(hist.p99(), u64::MAX);
+}
+
+#[test]
+fn reset_clears_and_histogram_is_reusable() {
+    let hist = LatencyHistogram::new();
+    for i in 1..=1_000u64 {
+        hist.record(i);
+    }
+    assert_eq!(hist.count(), 1_000);
+    hist.reset();
+    assert_eq!(hist.count(), 0);
+    assert_eq!(hist.p99(), 0);
+    hist.record(42);
+    assert_eq!(hist.count(), 1);
+    // 42 lives in bucket 5 (32..63), upper edge 63.
+    assert_eq!(hist.quantile(1.0), 63);
+}

@@ -28,11 +28,13 @@ use crate::cpc::{ChangePropagation, Verdict};
 use crate::delta::{Delta, Op};
 use crate::iter_engine::{PartitionedData, PartitionedIterEngine, RunReport, StructGroup};
 use crate::iterative::{IterParams, IterationStats, IterativeSpec, PreserveMode};
+use crate::trace::{add_stage, emit_checkpoint_restore, emit_checkpoint_save};
 use crate::tuning::EngineTuner;
 use i2mr_common::codec::{decode_exact, encode_to};
 use i2mr_common::error::Result;
 use i2mr_common::hash::MapKey;
 use i2mr_common::metrics::{JobMetrics, Stage};
+use i2mr_common::telemetry::TraceRecorder;
 use i2mr_common::tuner::TuningDecision;
 use i2mr_mapred::config::JobConfig;
 use i2mr_mapred::fault::{TaskId, TaskKind};
@@ -142,6 +144,8 @@ pub struct IncrIterEngine<'s, S: IterativeSpec> {
     recycler: RunPool<S::DK, Option<S::V2>>,
     /// Optional online controller ticked at every iteration fence.
     tuner: Option<Arc<EngineTuner>>,
+    /// Optional telemetry recorder (stage samples, checkpoint spans).
+    recorder: Option<Arc<TraceRecorder>>,
 }
 
 impl<'s, S: IterativeSpec> IncrIterEngine<'s, S> {
@@ -178,6 +182,7 @@ impl<'s, S: IterativeSpec> IncrIterEngine<'s, S> {
             fallback,
             recycler: RunPool::new(),
             tuner: None,
+            recorder: None,
         })
     }
 
@@ -185,6 +190,13 @@ impl<'s, S: IterativeSpec> IncrIterEngine<'s, S> {
     /// the deprecated direct constructors run untuned.
     pub(crate) fn with_tuner(mut self, tuner: Option<Arc<EngineTuner>>) -> Self {
         self.tuner = tuner;
+        self
+    }
+
+    /// Attach (or detach) the session's telemetry recorder. Engines built
+    /// through the deprecated direct constructors run untraced.
+    pub(crate) fn with_recorder(mut self, recorder: Option<Arc<TraceRecorder>>) -> Self {
+        self.recorder = recorder;
         self
     }
 
@@ -224,7 +236,10 @@ impl<'s, S: IterativeSpec> IncrIterEngine<'s, S> {
             let fb = self.run_fallback(pool, data, 0)?;
             merge_fallback(&mut report, fb);
             if let Some(ck) = ckpt {
-                ck.save_iteration(report.iterations.len() as u64, &data.state, Some(stores))?;
+                let t = Instant::now();
+                let it = report.iterations.len() as u64;
+                ck.save_iteration(it, &data.state, Some(stores))?;
+                emit_checkpoint_save(self.recorder.as_ref(), it, t);
             }
             settle_store_plane(stores, &mut report)?;
             self.collect_tuning(&mut report);
@@ -243,8 +258,10 @@ impl<'s, S: IterativeSpec> IncrIterEngine<'s, S> {
             // Iteration-0 baseline: a fault during iteration 1 rewinds
             // here. Written before any mutation, so a baseline failure
             // leaves the caller's data untouched and the run retryable.
+            let t = Instant::now();
             ck.save_iteration(0, &data.state, Some(stores))?;
             ck.save_aux(0, &encode_to(&delta_state))?;
+            emit_checkpoint_save(self.recorder.as_ref(), 0, t);
         }
         let mut recoveries_left = crate::checkpoint::MAX_RECOVERIES;
         let mut pending_recovery_ms = 0u64;
@@ -281,11 +298,10 @@ impl<'s, S: IterativeSpec> IncrIterEngine<'s, S> {
                     // checkpointing; persist the final state so recovery
                     // sees the completed refresh (paper §6.1).
                     if let Some(ck) = ckpt {
-                        ck.save_iteration(
-                            report.iterations.len() as u64,
-                            &data.state,
-                            Some(stores),
-                        )?;
+                        let t = Instant::now();
+                        let it = report.iterations.len() as u64;
+                        ck.save_iteration(it, &data.state, Some(stores))?;
+                        emit_checkpoint_save(self.recorder.as_ref(), it, t);
                     }
                     self.collect_tuning(&mut report);
                     return Ok(report);
@@ -315,9 +331,11 @@ impl<'s, S: IterativeSpec> IncrIterEngine<'s, S> {
                         stores.rebuild_shard(p, &payload)?;
                     }
                     delta_state = decode_exact(&ck.load_aux(latest)?)?;
+                    let d = t.elapsed();
+                    emit_checkpoint_restore(self.recorder.as_ref(), latest, d);
                     report.iterations.truncate(latest as usize);
                     report.per_iteration.truncate(latest as usize);
-                    pending_recovery_ms += (t.elapsed().as_millis() as u64).max(1);
+                    pending_recovery_ms += (d.as_millis() as u64).max(1);
                     iteration = latest + 1;
                 }
             }
@@ -359,19 +377,37 @@ impl<'s, S: IterativeSpec> IncrIterEngine<'s, S> {
                 self.map_state_delta(pool, data, std::mem::take(delta_state), iteration)?
             };
             metrics.map_invocations = map_invocations;
-            metrics.stages.add(Stage::Map, t.elapsed());
+            add_stage(
+                self.recorder.as_ref(),
+                &mut metrics,
+                Stage::Map,
+                iteration,
+                t.elapsed(),
+            );
 
             // ---------------- shuffle + sort ----------------
             let t = Instant::now();
             let (mut runs, recs, bytes) = transpose_pooled(map_outputs, n, true, &self.recycler);
             metrics.shuffled_records = recs;
             metrics.shuffled_bytes = bytes;
-            metrics.stages.add(Stage::Shuffle, t.elapsed());
+            add_stage(
+                self.recorder.as_ref(),
+                &mut metrics,
+                Stage::Shuffle,
+                iteration,
+                t.elapsed(),
+            );
 
             let t = Instant::now();
             let inline_below = self.tuner.as_ref().map_or(0, |t| t.sort_inline_threshold());
             sort_runs_adaptive(pool, &mut runs, iteration, inline_below, false)?;
-            metrics.stages.add(Stage::Sort, t.elapsed());
+            add_stage(
+                self.recorder.as_ref(),
+                &mut metrics,
+                Stage::Sort,
+                iteration,
+                t.elapsed(),
+            );
 
             // ---------------- MRBGraph merge (store plane) ----------------
             // Each partition's delta merge runs as a first-class StoreMerge
@@ -468,7 +504,13 @@ impl<'s, S: IterativeSpec> IncrIterEngine<'s, S> {
                 })
                 .collect();
             let reduce_results = pool.run_tasks(reduce_tasks)?;
-            metrics.stages.add(Stage::Reduce, t.elapsed());
+            add_stage(
+                self.recorder.as_ref(),
+                &mut metrics,
+                Stage::Reduce,
+                iteration,
+                t.elapsed(),
+            );
             self.recycler.recycle_all(runs);
 
             // Apply emitted updates to the state (reduce task p's output is
@@ -516,9 +558,11 @@ impl<'s, S: IterativeSpec> IncrIterEngine<'s, S> {
 
             *delta_state = next_delta;
             if let Some(ck) = ckpt {
+                let t = Instant::now();
                 ck.save_iteration(iteration, &data.state, Some(stores))?;
                 // Aux last: its presence seals the iteration as resumable.
                 ck.save_aux(iteration, &encode_to(delta_state))?;
+                emit_checkpoint_save(self.recorder.as_ref(), iteration, t);
             }
 
             // End of iteration: schedule policy-driven compaction of
@@ -717,7 +761,8 @@ impl<'s, S: IterativeSpec> IncrIterEngine<'s, S> {
                 preserve: PreserveMode::None,
             },
         )?
-        .with_tuner(self.tuner.clone());
+        .with_tuner(self.tuner.clone())
+        .with_recorder(self.recorder.clone());
         engine.run(pool, data, None)
     }
 }

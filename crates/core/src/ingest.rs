@@ -37,6 +37,7 @@ use crate::iterative::IterativeSpec;
 use crate::run::RunSession;
 use i2mr_common::error::{Error, Result};
 use i2mr_common::metrics::JobMetrics;
+use i2mr_common::telemetry::EventKind;
 use i2mr_mapred::partition::{HashPartitioner, Partitioner};
 use i2mr_mapred::types::{KeyData, ValueData};
 use parking_lot::Mutex;
@@ -358,8 +359,20 @@ impl<'s, S: IterativeSpec> RunSession<'s, S> {
         let engine_hash = self.config().config_hash();
         cursor.ensure_fresh(source, engine_hash)?;
         let batch = cursor.stage(source)?;
+        let rec = self.telemetry().recorder().cloned();
+        if let Some(r) = &rec {
+            r.emit_driver(EventKind::IngestPoll {
+                records: batch.records,
+                invalidations: batch.invalidations.len() as u64,
+            });
+        }
         if batch.is_empty() {
             cursor.commit(&batch);
+            if let Some(r) = &rec {
+                r.emit_driver(EventKind::IngestCommit {
+                    records: batch.records,
+                });
+            }
             return Ok(DeltaRunReport {
                 converged: true,
                 ..Default::default()
@@ -386,6 +399,11 @@ impl<'s, S: IterativeSpec> RunSession<'s, S> {
             None => report.per_iteration.push(counters),
         }
         cursor.commit(&batch);
+        if let Some(r) = &rec {
+            r.emit_driver(EventKind::IngestCommit {
+                records: batch.records,
+            });
+        }
         Ok(report)
     }
 }

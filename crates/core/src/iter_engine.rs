@@ -17,11 +17,13 @@
 
 use crate::checkpoint::IterCheckpointer;
 use crate::iterative::{IterParams, IterationStats, IterativeSpec, PreserveMode, SmallStateSpec};
+use crate::trace::{add_stage, emit_checkpoint_restore, emit_checkpoint_save};
 use crate::tuning::EngineTuner;
 use i2mr_common::codec::encode_to;
 use i2mr_common::error::Result;
 use i2mr_common::hash::MapKey;
 use i2mr_common::metrics::{JobMetrics, Stage};
+use i2mr_common::telemetry::TraceRecorder;
 use i2mr_common::tuner::TuningDecision;
 use i2mr_mapred::config::JobConfig;
 use i2mr_mapred::fault::{TaskId, TaskKind};
@@ -216,6 +218,8 @@ pub struct PartitionedIterEngine<'s, S: IterativeSpec> {
     recycler: RunPool<S::DK, S::V2>,
     /// Optional online controller ticked at every iteration fence.
     tuner: Option<Arc<EngineTuner>>,
+    /// Optional telemetry recorder (stage samples, checkpoint spans).
+    recorder: Option<Arc<TraceRecorder>>,
 }
 
 impl<'s, S: IterativeSpec> PartitionedIterEngine<'s, S> {
@@ -241,6 +245,7 @@ impl<'s, S: IterativeSpec> PartitionedIterEngine<'s, S> {
             params,
             recycler: RunPool::new(),
             tuner: None,
+            recorder: None,
         })
     }
 
@@ -248,6 +253,13 @@ impl<'s, S: IterativeSpec> PartitionedIterEngine<'s, S> {
     /// the deprecated direct constructors run untuned.
     pub(crate) fn with_tuner(mut self, tuner: Option<Arc<EngineTuner>>) -> Self {
         self.tuner = tuner;
+        self
+    }
+
+    /// Attach (or detach) the session's telemetry recorder. Engines built
+    /// through the deprecated direct constructors run untraced.
+    pub(crate) fn with_recorder(mut self, recorder: Option<Arc<TraceRecorder>>) -> Self {
+        self.recorder = recorder;
         self
     }
 
@@ -352,8 +364,10 @@ impl<'s, S: IterativeSpec> PartitionedIterEngine<'s, S> {
 
         // Iteration-0 baseline: written before any mutation, so a baseline
         // failure leaves the caller's data untouched and the run retryable.
+        let t = Instant::now();
         ck.save_iteration(0, &data.state, ckpt_stores)?;
         ck.save_aux(0, &[])?;
+        emit_checkpoint_save(self.recorder.as_ref(), 0, t);
 
         let mut report = RunReport::default();
         let mut recoveries_left = crate::checkpoint::MAX_RECOVERIES;
@@ -368,9 +382,11 @@ impl<'s, S: IterativeSpec> PartitionedIterEngine<'s, S> {
             let step = self
                 .run_iteration(pool, data, iteration, ckpt_stores, &mut metrics)
                 .and_then(|stats| {
+                    let t = Instant::now();
                     ck.save_iteration(iteration, &data.state, ckpt_stores)?;
                     // Aux last: its presence seals the iteration.
                     ck.save_aux(iteration, &[])?;
+                    emit_checkpoint_save(self.recorder.as_ref(), iteration, t);
                     Ok(stats)
                 });
             match step {
@@ -409,9 +425,11 @@ impl<'s, S: IterativeSpec> PartitionedIterEngine<'s, S> {
                             stores.rebuild_shard(p, &payload)?;
                         }
                     }
+                    let d = t.elapsed();
+                    emit_checkpoint_restore(self.recorder.as_ref(), latest, d);
                     report.iterations.truncate(latest as usize);
                     report.per_iteration.truncate(latest as usize);
-                    pending_recovery_ms += (t.elapsed().as_millis() as u64).max(1);
+                    pending_recovery_ms += (d.as_millis() as u64).max(1);
                     iteration = latest + 1;
                 }
             }
@@ -479,7 +497,13 @@ impl<'s, S: IterativeSpec> PartitionedIterEngine<'s, S> {
             })
             .collect();
         let map_results = pool.run_tasks(map_tasks)?;
-        metrics.stages.add(Stage::Map, t.elapsed());
+        add_stage(
+            self.recorder.as_ref(),
+            metrics,
+            Stage::Map,
+            iteration,
+            t.elapsed(),
+        );
         let mut map_outputs = Vec::with_capacity(map_results.len());
         for (buffers, inv) in map_results {
             metrics.map_invocations += inv;
@@ -491,14 +515,26 @@ impl<'s, S: IterativeSpec> PartitionedIterEngine<'s, S> {
         let (mut runs, recs, bytes) = transpose_pooled(map_outputs, n, stores.is_some(), recycler);
         metrics.shuffled_records += recs;
         metrics.shuffled_bytes += bytes;
-        metrics.stages.add(Stage::Shuffle, t.elapsed());
+        add_stage(
+            self.recorder.as_ref(),
+            metrics,
+            Stage::Shuffle,
+            iteration,
+            t.elapsed(),
+        );
 
         // Sort (pool-scheduled, unstable, one task per run; runs under the
         // tuner's inline threshold are sorted on the caller).
         let t = Instant::now();
         let inline_below = self.tuner.as_ref().map_or(0, |t| t.sort_inline_threshold());
         sort_runs_adaptive(pool, &mut runs, iteration, inline_below, false)?;
-        metrics.stages.add(Stage::Sort, t.elapsed());
+        add_stage(
+            self.recorder.as_ref(),
+            metrics,
+            Stage::Sort,
+            iteration,
+            t.elapsed(),
+        );
 
         // Prime Reduce, co-located with the prime Map of the next iteration:
         // reduce task p writes state partition p directly.
@@ -604,7 +640,13 @@ impl<'s, S: IterativeSpec> PartitionedIterEngine<'s, S> {
             // fences the previous iteration's overlapped compactions.)
             stores.append_batch_all(iteration, batches)?;
         }
-        metrics.stages.add(Stage::Reduce, t.elapsed());
+        add_stage(
+            self.recorder.as_ref(),
+            metrics,
+            Stage::Reduce,
+            iteration,
+            t.elapsed(),
+        );
         if let Some(stores) = stores {
             // Drain the store plane's counters *before* scheduling: the
             // drain takes every shard's write lock, so doing it after
@@ -680,17 +722,35 @@ impl<'s, S: IterativeSpec> PartitionedIterEngine<'s, S> {
             })
             .collect();
         let map_outputs = pool.run_tasks(map_tasks)?;
-        metrics.stages.add(Stage::Map, t.elapsed());
+        add_stage(
+            self.recorder.as_ref(),
+            metrics,
+            Stage::Map,
+            u64::MAX,
+            t.elapsed(),
+        );
 
         let t = Instant::now();
         let (mut runs, recs, bytes) = transpose_pooled(map_outputs, n, true, recycler);
         metrics.shuffled_records += recs;
         metrics.shuffled_bytes += bytes;
-        metrics.stages.add(Stage::Shuffle, t.elapsed());
+        add_stage(
+            self.recorder.as_ref(),
+            metrics,
+            Stage::Shuffle,
+            u64::MAX,
+            t.elapsed(),
+        );
 
         let t = Instant::now();
         sort_runs(pool, &mut runs, u64::MAX)?;
-        metrics.stages.add(Stage::Sort, t.elapsed());
+        add_stage(
+            self.recorder.as_ref(),
+            metrics,
+            Stage::Sort,
+            u64::MAX,
+            t.elapsed(),
+        );
 
         let t = Instant::now();
         // Chunk construction stays a Reduce-kind task per partition; the
@@ -712,7 +772,13 @@ impl<'s, S: IterativeSpec> PartitionedIterEngine<'s, S> {
             .collect();
         let batches = pool.run_tasks(build_tasks)?;
         stores.append_batch_all(u64::MAX, batches)?;
-        metrics.stages.add(Stage::Reduce, t.elapsed());
+        add_stage(
+            self.recorder.as_ref(),
+            metrics,
+            Stage::Reduce,
+            u64::MAX,
+            t.elapsed(),
+        );
         stores.drain_metrics(metrics);
         self.recycler.recycle_all(runs);
         Ok(())

@@ -36,6 +36,10 @@
 //! * [`output`] — maintained final outputs for patching refreshed results.
 //! * [`tasklevel`] — an Incoop-style task-grain incremental baseline used
 //!   by the grain ablation (paper §1, §8.1.1).
+//! * [`trace`] — the session telemetry plane: the span recorder / metrics
+//!   registry lifecycle ([`i2mr_common::telemetry`] holds the machinery),
+//!   mid-run [`trace::Telemetry::snapshot`], exporter wiring, and the
+//!   human-readable [`trace::render_report`].
 //!
 //! ## Quick example
 //!
@@ -90,6 +94,7 @@ pub mod onestep;
 pub mod output;
 pub mod run;
 pub mod tasklevel;
+pub mod trace;
 pub mod tuning;
 
 pub use accumulator::{Accumulator, AccumulatorEngine};
@@ -110,4 +115,5 @@ pub use onestep::OneStepEngine;
 pub use output::ResultStore;
 pub use run::{EngineConfig, RunBuilder, RunSession, SessionFinish};
 pub use tasklevel::{ReuseStats, TaskLevelEngine};
+pub use trace::{render_report, Telemetry};
 pub use tuning::EngineTuner;

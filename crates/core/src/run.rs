@@ -35,9 +35,11 @@ use crate::delta_iter::{DeltaIterEngine, DeltaIterativeSpec, DeltaRunReport};
 use crate::incr_iter::{IncrIterEngine, IncrParams, IncrRunReport};
 use crate::iter_engine::{PartitionedData, PartitionedIterEngine, RunReport};
 use crate::iterative::{IterParams, IterativeSpec};
+use crate::trace::Telemetry;
 use crate::tuning::EngineTuner;
 use i2mr_common::error::{Error, Result};
 use i2mr_common::metrics::{IoStats, JobMetrics};
+use i2mr_common::telemetry::{MetricsSnapshot, TelemetryConfig, TraceLog};
 use i2mr_common::tuner::{TuningConfig, TuningMode};
 use i2mr_dfs::MiniDfs;
 use i2mr_mapred::{JobConfig, WorkerPool};
@@ -76,6 +78,11 @@ pub struct EngineConfig {
     /// `TUNING.md` for the control loop and DESIGN.md §10 for the
     /// lifecycle.
     pub tuning: TuningConfig,
+    /// Telemetry plane: `Off` (default — no recorder, bit-identical to
+    /// the untraced engine), `Counters` (per-kind atomic counters only),
+    /// or `Full` (typed spans into per-worker rings, exportable as Chrome
+    /// trace / JSONL). See DESIGN.md §11.
+    pub telemetry: TelemetryConfig,
 }
 
 impl Default for EngineConfig {
@@ -88,6 +95,7 @@ impl Default for EngineConfig {
             checkpoint_every: 1,
             serve: ServeConfig::default(),
             tuning: TuningConfig::default(),
+            telemetry: TelemetryConfig::default(),
         }
     }
 }
@@ -130,6 +138,11 @@ impl EngineConfig {
                 "tuning knob specs must be finite with lo <= hi (and floors in range)",
             ));
         }
+        if !self.telemetry.is_valid() {
+            return Err(Error::config(
+                "telemetry.ring_capacity must be > 0 for Full tracing",
+            ));
+        }
         Ok(())
     }
 
@@ -140,6 +153,13 @@ impl EngineConfig {
     /// Computed as FNV-1a over the `Debug` rendering of each sub-config —
     /// stable within a build, sensitive to any field change, and free of
     /// serde machinery.
+    ///
+    /// `telemetry` is deliberately **excluded**: observability must never
+    /// invalidate an ingestion cursor. Turning tracing on to diagnose a
+    /// live pipeline, then off again, would otherwise flag every cursor
+    /// stale and force full replays — for a knob that cannot change any
+    /// computed result (`tests/trace_equivalence.rs` proves runs are
+    /// bit-identical across modes).
     pub fn config_hash(&self) -> u64 {
         let repr = format!(
             "{:?}|{:?}|{:?}|{:?}|{}|{:?}|{:?}",
@@ -295,6 +315,43 @@ impl<'s, S: IterativeSpec> RunBuilder<'s, S> {
         self
     }
 
+    /// Configure the telemetry plane (span tracing, live metrics
+    /// registry, trace exporters). Off by default; `Off` runs are
+    /// bit-identical to a build without telemetry wired at all.
+    ///
+    /// ```
+    /// use i2mr_core::run::RunBuilder;
+    /// # use i2mr_core::iterative::{DependencyKind, IterativeSpec};
+    /// # use i2mr_mapred::types::{Emitter, Values};
+    /// use i2mr_common::telemetry::{TelemetryConfig, TelemetryMode};
+    /// # struct Noop;
+    /// # impl IterativeSpec for Noop {
+    /// #     type SK = u64; type SV = u64; type DK = u64; type DV = f64; type V2 = f64;
+    /// #     fn project(&self, sk: &u64) -> u64 { *sk }
+    /// #     fn map(&self, _s: &u64, _v: &u64, dk: &u64, dv: &f64, out: &mut Emitter<u64, f64>) {
+    /// #         out.emit(*dk, *dv);
+    /// #     }
+    /// #     fn reduce(&self, _k: &u64, _p: &f64, vs: Values<'_, u64, f64>) -> f64 {
+    /// #         vs.iter().sum()
+    /// #     }
+    /// #     fn init(&self, _k: &u64) -> f64 { 0.0 }
+    /// #     fn difference(&self, c: &f64, p: &f64) -> f64 { (c - p).abs() }
+    /// #     fn dependency(&self) -> DependencyKind { DependencyKind::OneToOne }
+    /// # }
+    /// # let spec = Noop;
+    /// let session = RunBuilder::new(&spec)
+    ///     .telemetry(TelemetryConfig::with_mode(TelemetryMode::Full))
+    ///     .build()
+    ///     .unwrap();
+    /// // Live counters are visible mid-run, no drain needed:
+    /// let snap = session.metrics_snapshot();
+    /// assert_eq!(snap.counter("trace.task_start"), 0); // nothing ran yet
+    /// ```
+    pub fn telemetry(mut self, telemetry: TelemetryConfig) -> Self {
+        self.config.telemetry = telemetry;
+        self
+    }
+
     /// Checkpoint every `n`-th iteration instead of every iteration.
     pub fn checkpoint_every(mut self, every: u64) -> Self {
         self.config.checkpoint_every = every;
@@ -413,6 +470,17 @@ impl<'s, S: IterativeSpec> RunBuilder<'s, S> {
                 self.config.store.policy,
             ))),
         };
+        // Telemetry plane: one recorder sized to the pool (plus its driver
+        // slot), installed on every subsystem that emits. With mode `Off`
+        // there is no recorder and every install is a no-op `None`.
+        let telemetry = Telemetry::new(self.config.telemetry.clone(), pool.n_workers());
+        pool.set_recorder(telemetry.recorder_handle());
+        if let Some(stores) = &stores {
+            stores.get().set_recorder(telemetry.recorder_handle());
+        }
+        if let Some(tuner) = &tuner {
+            tuner.set_recorder(telemetry.recorder_handle());
+        }
         Ok(RunSession {
             spec: self.spec,
             config: self.config,
@@ -420,6 +488,7 @@ impl<'s, S: IterativeSpec> RunBuilder<'s, S> {
             stores,
             checkpointer,
             tuner,
+            telemetry,
         })
     }
 }
@@ -436,6 +505,10 @@ pub struct RunSession<'s, S: IterativeSpec> {
     /// The session's online controller (`None` when tuning is `Off`).
     /// Shared with every engine run and serving handle the session opens.
     tuner: Option<Arc<EngineTuner>>,
+    /// The session's telemetry plane (recorder + live metrics registry).
+    /// The recorder handle is installed on the pool, stores, and tuner at
+    /// build time and detached by [`RunSession::finish`].
+    telemetry: Telemetry,
 }
 
 /// What [`RunSession::finish`] hands back: the settled store plane (for
@@ -447,6 +520,11 @@ pub struct SessionFinish {
     /// Counters of store work (compactions, reclaimed bytes, I/O) that
     /// retired after the last run returned.
     pub trailing: JobMetrics,
+    /// The session's accumulated trace (`None` when telemetry was `Off`).
+    /// Taken after the final settle, so trailing store-plane spans are
+    /// included; the configured Chrome-trace / JSONL sinks have already
+    /// been written from exactly this log.
+    pub trace: Option<TraceLog>,
 }
 
 impl<'s, S: IterativeSpec> RunSession<'s, S> {
@@ -481,6 +559,26 @@ impl<'s, S: IterativeSpec> RunSession<'s, S> {
         self.tuner.as_ref()
     }
 
+    /// The session's telemetry plane.
+    pub fn telemetry(&self) -> &Telemetry {
+        &self.telemetry
+    }
+
+    /// A cheap point-in-time snapshot of the live metrics registry plus
+    /// the recorder's per-kind counters — callable mid-run from any
+    /// thread, no drain or fence required (see
+    /// [`crate::trace::Telemetry::snapshot`]).
+    pub fn metrics_snapshot(&self) -> MetricsSnapshot {
+        self.telemetry.snapshot(&self.pool)
+    }
+
+    /// Render the human-readable run report for `per_iteration` metrics
+    /// (any run's `report.per_iteration`), including the telemetry section
+    /// and the executor timeline's truncation flag.
+    pub fn render_report(&self, per_iteration: &[JobMetrics]) -> String {
+        crate::trace::render_report(per_iteration, Some(&self.telemetry), &self.pool)
+    }
+
     /// Run a full iterative computation (`config.iter`) until convergence
     /// or the iteration budget. Preservation (per `config.iter.preserve`)
     /// writes the session's store plane; checkpointing is on iff the
@@ -491,7 +589,8 @@ impl<'s, S: IterativeSpec> RunSession<'s, S> {
     ) -> Result<RunReport> {
         let engine =
             PartitionedIterEngine::assemble(self.spec, self.config.job.clone(), self.config.iter)?
-                .with_tuner(self.tuner.clone());
+                .with_tuner(self.tuner.clone())
+                .with_recorder(self.telemetry.recorder_handle());
         match self.checkpointer() {
             Some(ck) => engine.run_checkpointed(&self.pool, data, self.stores(), ck),
             None => engine.run(&self.pool, data, self.stores()),
@@ -512,7 +611,8 @@ impl<'s, S: IterativeSpec> RunSession<'s, S> {
             self.config.incr,
             self.config.iter,
         )?
-        .with_tuner(self.tuner.clone());
+        .with_tuner(self.tuner.clone())
+        .with_recorder(self.telemetry.recorder_handle());
         engine.run(&self.pool, data, stores, delta, self.checkpointer())
     }
 
@@ -533,7 +633,8 @@ impl<'s, S: IterativeSpec> RunSession<'s, S> {
             self.config.incr,
             self.config.iter,
         )?
-        .with_tuner(self.tuner.clone());
+        .with_tuner(self.tuner.clone())
+        .with_recorder(self.telemetry.recorder_handle());
         engine.run(&self.pool, data, stores, delta, self.checkpointer())
     }
 
@@ -545,8 +646,18 @@ impl<'s, S: IterativeSpec> RunSession<'s, S> {
         let handle = self.stores_required("serve")?.serve(self.config.serve);
         // With tuning on, route lookup latencies into the tuner's shared
         // histogram so its serve-p99 guard observes this handle.
-        Ok(match &self.tuner {
+        let handle = match &self.tuner {
             Some(t) => handle.with_latency_sink(t.serve_latency()),
+            None => handle,
+        };
+        // Route hit/miss/chase counters (and spans, in Full mode) into the
+        // session's registry so `ServeHandle::snapshot` stays live across
+        // metric drains.
+        Ok(match self.telemetry.recorder() {
+            Some(_) => handle.with_telemetry(
+                Arc::clone(self.telemetry.registry()),
+                self.telemetry.recorder_handle(),
+            ),
             None => handle,
         })
     }
@@ -562,12 +673,28 @@ impl<'s, S: IterativeSpec> RunSession<'s, S> {
         if let Some(stores) = &self.stores {
             stores.get().settle_into(&mut trailing)?;
         }
+        // Take the trace *after* the settle so trailing store-plane spans
+        // are in the log, then write the configured sinks and detach the
+        // recorder from every subsystem (the session's emitters outlive
+        // the session only as inert handles).
+        let trace = self.telemetry.export()?;
+        self.pool.set_recorder(None);
+        if let Some(stores) = &self.stores {
+            stores.get().set_recorder(None);
+        }
+        if let Some(tuner) = &self.tuner {
+            tuner.set_recorder(None);
+        }
         let stores = match self.stores {
             Some(MaybeOwned::Owned(stores)) => Some(stores),
             // Borrowed planes stay with their owner (already settled).
             Some(MaybeOwned::Borrowed(_)) | None => None,
         };
-        Ok(SessionFinish { stores, trailing })
+        Ok(SessionFinish {
+            stores,
+            trailing,
+            trace,
+        })
     }
 
     pub(crate) fn stores_required(&self, what: &str) -> Result<&StoreManager> {
@@ -706,6 +833,21 @@ mod tests {
         let mut c = EngineConfig::default();
         c.serve.cache_capacity += 1;
         assert_ne!(h0, c.config_hash());
+    }
+
+    #[test]
+    fn config_hash_ignores_telemetry() {
+        // Observability must never invalidate ingestion cursors: flipping
+        // tracing on/off around a diagnosis session keeps the same hash.
+        use i2mr_common::telemetry::{TelemetryConfig, TelemetryMode};
+        let h0 = EngineConfig::default().config_hash();
+        let mut telemetry = TelemetryConfig::with_mode(TelemetryMode::Full);
+        telemetry.jsonl_path = Some("/tmp/trace.jsonl".into());
+        let c = EngineConfig {
+            telemetry,
+            ..Default::default()
+        };
+        assert_eq!(h0, c.config_hash());
     }
 
     #[test]

@@ -29,6 +29,7 @@
 //! (`tests/tuner_equivalence.rs` pins this).
 
 use i2mr_common::metrics::JobMetrics;
+use i2mr_common::telemetry::{EventKind, TraceRecorder};
 use i2mr_common::tuner::{
     KnobController, LatencyHistogram, TuningConfig, TuningDecision, TuningMode,
 };
@@ -65,6 +66,9 @@ pub struct EngineTuner {
     /// Serving-plane point-lookup latencies; `RunSession::serve` routes
     /// every handle's samples here so the p99 guard sees the live lane.
     serve_latency: Arc<LatencyHistogram>,
+    /// Session telemetry recorder: every decision pushed into the log is
+    /// also emitted as an [`EventKind::Tuning`] event, verbatim.
+    recorder: Mutex<Option<Arc<TraceRecorder>>>,
     state: Mutex<TunerState>,
 }
 
@@ -76,6 +80,7 @@ impl EngineTuner {
             cfg,
             base_policy,
             serve_latency: Arc::new(LatencyHistogram::new()),
+            recorder: Mutex::new(None),
             state: Mutex::new(TunerState {
                 shards: Vec::new(),
                 grain: KnobController::new(cfg.grain, 0.0),
@@ -98,6 +103,14 @@ impl EngineTuner {
     /// The shared latency histogram serving handles should record into.
     pub fn serve_latency(&self) -> Arc<LatencyHistogram> {
         Arc::clone(&self.serve_latency)
+    }
+
+    /// Install (or detach, with `None`) the telemetry recorder every
+    /// [`TuningDecision`] is mirrored into as an [`EventKind::Tuning`]
+    /// event. The trace carries exactly what the drained decision log
+    /// carries — same structs, same sites.
+    pub fn set_recorder(&self, recorder: Option<Arc<TraceRecorder>>) {
+        *self.recorder.lock() = recorder;
     }
 
     /// The sort-inlining threshold engines pass to
@@ -164,6 +177,7 @@ impl EngineTuner {
         }
         let active = self.cfg.mode == TuningMode::Active;
         let iteration = iteration as usize;
+        let rec = self.recorder.lock().clone();
         let mut st = self.state.lock();
 
         // Serving-lane guard: while the serve p99 is above the ceiling,
@@ -209,7 +223,7 @@ impl EngineTuner {
                     };
                     mgr.set_shard_policy(p, policy);
                 }
-                st.decisions.push(TuningDecision {
+                let d = TuningDecision {
                     knob: "compaction",
                     shard: Some(p),
                     iteration,
@@ -218,7 +232,13 @@ impl EngineTuner {
                     after: if vetoed { u.before } else { u.after },
                     applied,
                     clamped: u.clamped,
-                });
+                };
+                if let Some(r) = &rec {
+                    r.emit_driver(EventKind::Tuning {
+                        decision: d.clone(),
+                    });
+                }
+                st.decisions.push(d);
             }
         }
 
@@ -239,7 +259,7 @@ impl EngineTuner {
             if active {
                 pool.set_grain(u.after.round().max(0.0) as usize);
             }
-            st.decisions.push(TuningDecision {
+            let d = TuningDecision {
                 knob: "grain",
                 shard: None,
                 iteration,
@@ -248,7 +268,13 @@ impl EngineTuner {
                 after: u.after,
                 applied: active,
                 clamped: u.clamped,
-            });
+            };
+            if let Some(r) = &rec {
+                r.emit_driver(EventKind::Tuning {
+                    decision: d.clone(),
+                });
+            }
+            st.decisions.push(d);
         }
 
         let u = st.sort_inline.update(per_part);
@@ -259,7 +285,7 @@ impl EngineTuner {
             metrics.tuner_adjustments += 1;
             // The actuator is the controller value itself, read by the
             // engines via `sort_inline_threshold` at the next sort.
-            st.decisions.push(TuningDecision {
+            let d = TuningDecision {
                 knob: "sort_inline",
                 shard: None,
                 iteration,
@@ -268,7 +294,13 @@ impl EngineTuner {
                 after: u.after,
                 applied: active,
                 clamped: u.clamped,
-            });
+            };
+            if let Some(r) = &rec {
+                r.emit_driver(EventKind::Tuning {
+                    decision: d.clone(),
+                });
+            }
+            st.decisions.push(d);
         }
     }
 

@@ -89,6 +89,7 @@ use crate::fault::{
     FailSite, FailpointRegistry, FaultPlan, TaskEvent, TaskEventKind, TaskId, Timeline,
 };
 use i2mr_common::error::{Error, Result};
+use i2mr_common::telemetry::{self, TaskRef, TraceRecorder};
 use parking_lot::Mutex as PlMutex;
 use std::collections::{BTreeMap, VecDeque};
 use std::panic::{catch_unwind, AssertUnwindSafe};
@@ -327,9 +328,29 @@ struct Core {
     respeculations: AtomicU64,
     /// Live inline-grain threshold (see [`PoolConfig::grain`]).
     grain: AtomicUsize,
+    /// Telemetry-plane recorder (see `i2mr_common::telemetry`). `None`
+    /// unless a session installed one via [`WorkerPool::set_recorder`] —
+    /// the `Off` path never allocates or emits.
+    recorder: PlMutex<Option<Arc<TraceRecorder>>>,
+}
+
+/// The executor's `TaskId` rendered as a telemetry task reference.
+fn task_ref(id: TaskId) -> TaskRef {
+    TaskRef {
+        kind: id.kind.name(),
+        index: id.index as u64,
+        iteration: id.iteration,
+    }
 }
 
 impl Core {
+    /// Emit one telemetry event from `worker` if a recorder is installed.
+    fn emit(&self, worker: usize, kind: telemetry::EventKind) {
+        if let Some(r) = &*self.recorder.lock() {
+            r.emit(worker, kind);
+        }
+    }
+
     fn record(&self, worker: usize, task: TaskId, attempt: u32, kind: TaskEventKind) {
         let mut tl = self.timeline.lock();
         if tl.events().len() >= TIMELINE_CAP {
@@ -355,9 +376,18 @@ impl Core {
         worker: usize,
         id: TaskId,
         attempt: u32,
+        lane: Lane,
         run: &(dyn Fn(u32) -> Result<T> + Send + Sync + '_),
     ) -> Result<T> {
         self.record(worker, id, attempt, TaskEventKind::Start);
+        self.emit(
+            worker,
+            telemetry::EventKind::TaskStart {
+                task: task_ref(id),
+                lane: lane.idx() as u8,
+                attempt,
+            },
+        );
         let outcome = catch_unwind(AssertUnwindSafe(|| {
             if self.fault_plan.should_fail(id, attempt) {
                 return Err(Error::TaskFailed {
@@ -369,23 +399,33 @@ impl Core {
             self.failpoints.check(FailSite::TaskRun, &id.label())?;
             run(attempt)
         }));
+        let ok = matches!(outcome, Ok(Ok(_)));
+        self.record(
+            worker,
+            id,
+            attempt,
+            if ok {
+                TaskEventKind::Finish
+            } else {
+                TaskEventKind::Fail
+            },
+        );
+        self.emit(
+            worker,
+            telemetry::EventKind::TaskEnd {
+                task: task_ref(id),
+                attempt,
+                ok,
+            },
+        );
         match outcome {
-            Ok(Ok(v)) => {
-                self.record(worker, id, attempt, TaskEventKind::Finish);
-                Ok(v)
-            }
-            Ok(Err(e)) => {
-                self.record(worker, id, attempt, TaskEventKind::Fail);
-                Err(e)
-            }
-            Err(_payload) => {
-                self.record(worker, id, attempt, TaskEventKind::Fail);
-                Err(Error::TaskFailed {
-                    task: id.label(),
-                    attempts: attempt,
-                    reason: "attempt panicked (worker lost)".into(),
-                })
-            }
+            Ok(Ok(v)) => Ok(v),
+            Ok(Err(e)) => Err(e),
+            Err(_payload) => Err(Error::TaskFailed {
+                task: id.label(),
+                attempts: attempt,
+                reason: "attempt panicked (worker lost)".into(),
+            }),
         }
     }
 
@@ -554,7 +594,7 @@ fn submit_bg_attempt(
         if !delay.is_zero() {
             std::thread::sleep(delay);
         }
-        match job_core.run_one_attempt(worker, task.id, attempt, &*task.run) {
+        match job_core.run_one_attempt(worker, task.id, attempt, task.lane, &*task.run) {
             Ok(()) => drop(guard),
             Err(e) => {
                 if attempt >= job_core.max_attempts {
@@ -569,6 +609,13 @@ fn submit_bg_attempt(
                     drop(guard);
                 } else {
                     job_core.retries.fetch_add(1, Ordering::Relaxed);
+                    job_core.emit(
+                        worker,
+                        telemetry::EventKind::Retry {
+                            task: task_ref(task.id),
+                            next_attempt: attempt + 1,
+                        },
+                    );
                     let next_pref = Some((worker + 1) % job_core.n_workers);
                     let backoff = backoff_for(job_core.detection_delay, attempt);
                     submit_bg_attempt(
@@ -762,6 +809,7 @@ impl WorkerPool {
             retries: AtomicU64::new(0),
             respeculations: AtomicU64::new(0),
             grain: AtomicUsize::new(grain),
+            recorder: PlMutex::new(None),
         });
         let threads = (0..n_workers)
             .map(|i| {
@@ -797,6 +845,25 @@ impl WorkerPool {
     /// may move it mid-run without affecting computed state.
     pub fn set_grain(&self, grain: usize) {
         self.shared.core.grain.store(grain, Ordering::Relaxed);
+    }
+
+    /// Install (or with `None`, remove) the telemetry recorder that task
+    /// spans, retry/speculation lineage, and per-kind counters are
+    /// emitted to.
+    ///
+    /// The recorder must have been created for at least
+    /// [`WorkerPool::n_workers`] workers — the coordinator / inline path
+    /// emits as the virtual worker `n_workers`, which the recorder's
+    /// driver slot absorbs. Sessions sharing one pool should clear the
+    /// recorder (`None`) when they finish so a borrowed executor does not
+    /// keep feeding a finished session's rings.
+    pub fn set_recorder(&self, recorder: Option<Arc<TraceRecorder>>) {
+        *self.shared.core.recorder.lock() = recorder;
+    }
+
+    /// The currently installed telemetry recorder, if any.
+    pub fn recorder(&self) -> Option<Arc<TraceRecorder>> {
+        self.shared.core.recorder.lock().clone()
     }
 
     /// Take ownership of the recorded timeline, leaving an empty one (and
@@ -907,7 +974,13 @@ impl WorkerPool {
                 }
                 ts.running.fetch_add(1, Ordering::SeqCst);
                 *ts.started_at.lock() = Some(Instant::now());
-                let outcome = core_ref.run_one_attempt(worker, ts.spec.id, attempt, &*ts.spec.run);
+                let outcome = core_ref.run_one_attempt(
+                    worker,
+                    ts.spec.id,
+                    attempt,
+                    ts.spec.lane,
+                    &*ts.spec.run,
+                );
                 ts.running.fetch_sub(1, Ordering::SeqCst);
                 match outcome {
                     Ok(v) => {
@@ -936,6 +1009,13 @@ impl WorkerPool {
                         } else {
                             core_ref.retries.fetch_add(1, Ordering::Relaxed);
                             let next = ts.attempts.fetch_add(1, Ordering::SeqCst) + 1;
+                            core_ref.emit(
+                                worker,
+                                telemetry::EventKind::Retry {
+                                    task: task_ref(ts.spec.id),
+                                    next_attempt: next,
+                                },
+                            );
                             // Cross-worker rescheduling with exponential
                             // backoff; the coordinator launches it when due.
                             *ts.pending_retry.lock() = Some(RetryTicket {
@@ -1015,6 +1095,15 @@ impl WorkerPool {
                         ts.speculated.store(true, Ordering::Relaxed);
                         core.respeculations.fetch_add(1, Ordering::Relaxed);
                         let attempt = ts.attempts.fetch_add(1, Ordering::SeqCst) + 1;
+                        // The coordinator thread emits from the driver slot
+                        // (index n_workers, like a helping fence).
+                        core.emit(
+                            core.n_workers,
+                            telemetry::EventKind::Speculate {
+                                task: task_ref(ts.spec.id),
+                                attempt,
+                            },
+                        );
                         // No placement preference: any idle worker takes it.
                         to_spawn.push((i, attempt, None));
                     } else {
@@ -1099,7 +1188,13 @@ impl WorkerPool {
                     // task trips the same debug assertions it would on a
                     // real worker.
                     let was = IS_POOL_WORKER.with(|w| w.replace(true));
-                    let outcome = core.run_one_attempt(inline_worker, spec.id, attempt, &*spec.run);
+                    let outcome = core.run_one_attempt(
+                        inline_worker,
+                        spec.id,
+                        attempt,
+                        spec.lane,
+                        &*spec.run,
+                    );
                     IS_POOL_WORKER.with(|w| w.set(was));
                     match outcome {
                         Ok(v) => break Ok(v),
@@ -1112,6 +1207,13 @@ impl WorkerPool {
                         }
                         Err(_) => {
                             core.retries.fetch_add(1, Ordering::Relaxed);
+                            core.emit(
+                                inline_worker,
+                                telemetry::EventKind::Retry {
+                                    task: task_ref(spec.id),
+                                    next_attempt: attempt + 1,
+                                },
+                            );
                             let backoff = backoff_for(core.detection_delay, attempt);
                             if !backoff.is_zero() {
                                 std::thread::sleep(backoff);
@@ -1320,6 +1422,52 @@ mod tests {
             "retry must move to a different worker"
         );
         assert_eq!(evs[2].attempt, 2);
+    }
+
+    #[test]
+    fn recorder_captures_spans_and_retry_lineage() {
+        use i2mr_common::telemetry::{EventKind as Ek, TelemetryMode, TraceRecorder};
+        let plan = Arc::new(FaultPlan::new(vec![FaultSpec {
+            kind: TaskKind::Map,
+            index: 2,
+            iteration: Some(0),
+            attempt: 1,
+        }]));
+        let pool = WorkerPool::with_faults(3, 3, Duration::ZERO, plan);
+        let rec = Arc::new(TraceRecorder::new(
+            TelemetryMode::Full,
+            pool.n_workers(),
+            1024,
+        ));
+        pool.set_recorder(Some(Arc::clone(&rec)));
+        let tasks: Vec<TaskSpec<usize>> = (0..4)
+            .map(|i| TaskSpec::pinned(tid(i), i % 3, move |_| Ok(i)))
+            .collect();
+        let out = pool.run_tasks(tasks).unwrap();
+        assert_eq!(out, vec![0, 1, 2, 3]);
+        let log = rec.take();
+        log.validate().unwrap();
+        // 4 tasks, one of which fails once: 5 starts, 5 ends, 1 retry.
+        assert_eq!(log.count_matching(|k| matches!(k, Ek::TaskStart { .. })), 5);
+        assert_eq!(log.count_matching(|k| matches!(k, Ek::TaskEnd { .. })), 5);
+        assert_eq!(
+            log.count_matching(|k| matches!(k, Ek::Retry { .. })),
+            pool.drain_recovery().0
+        );
+        assert_eq!(
+            log.count_matching(|k| matches!(k, Ek::TaskEnd { ok: false, .. })),
+            1
+        );
+        assert_eq!(log.dropped(), 0);
+        // Clearing the recorder stops emission.
+        pool.set_recorder(None);
+        pool.run_tasks(
+            (0..2)
+                .map(|i| TaskSpec::new(tid(i), move |_| Ok(i)))
+                .collect::<Vec<_>>(),
+        )
+        .unwrap();
+        assert!(rec.take().is_empty());
     }
 
     #[test]

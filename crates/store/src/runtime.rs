@@ -64,12 +64,14 @@ use crate::query::QueryStrategy;
 use crate::store::{MrbgStore, StoreConfig, StoreReader};
 use i2mr_common::error::{Error, Result};
 use i2mr_common::metrics::{IoStats, JobMetrics};
+use i2mr_common::telemetry::{EventKind, StoreOpKind, TraceRecorder};
 use i2mr_mapred::fault::{FailSite, FailpointRegistry, TaskId, TaskKind};
 use i2mr_mapred::pool::{Lane, TaskSpec, WorkerPool};
 use parking_lot::{Mutex, RwLock};
 use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
+use std::time::Instant;
 
 /// Tunables of the store runtime (per-shard [`StoreConfig`] plus the
 /// plane-level knobs).
@@ -184,6 +186,32 @@ pub struct StoreManager {
     /// shard state is touched, so an injected failure is always a clean
     /// retryable task failure rather than a half-applied mutation.
     failpoints: Arc<FailpointRegistry>,
+    /// Telemetry recorder for store-op spans ([`StoreOpKind`]) and the
+    /// exact [`EventKind::StoreIoSample`] drained into `JobMetrics`.
+    /// `None` (the default) emits nothing. Store-op spans are emitted from
+    /// the recorder's driver slot — worker attribution for scheduled shard
+    /// work already comes from the executor's own task spans
+    /// (`store-merge-{p}` / `compact-{p}`).
+    recorder: Mutex<Option<Arc<TraceRecorder>>>,
+}
+
+/// Emit one store-op span if a recorder is installed (free function so
+/// detached task bodies can use an owned clone of the recorder handle).
+fn emit_store_op(
+    rec: &Option<Arc<TraceRecorder>>,
+    op: StoreOpKind,
+    shard: usize,
+    nanos: u64,
+    bytes: u64,
+) {
+    if let Some(r) = rec {
+        r.emit_driver(EventKind::StoreOp {
+            op,
+            shard: shard as u64,
+            nanos,
+            bytes,
+        });
+    }
 }
 
 impl StoreManager {
@@ -203,7 +231,19 @@ impl StoreManager {
             stats: Arc::new(Mutex::new(RuntimeStats::default())),
             scheduled_epochs: Mutex::new(Vec::new()),
             failpoints: Arc::new(FailpointRegistry::disarmed()),
+            recorder: Mutex::new(None),
         }
+    }
+
+    /// Install (or with `None`, remove) the telemetry recorder store-op
+    /// spans and drained-I/O samples are emitted to.
+    pub fn set_recorder(&self, recorder: Option<Arc<TraceRecorder>>) {
+        *self.recorder.lock() = recorder;
+    }
+
+    /// The currently installed telemetry recorder, if any.
+    pub fn recorder(&self) -> Option<Arc<TraceRecorder>> {
+        self.recorder.lock().clone()
     }
 
     /// Arm the store plane's chaos-injection sites. [`StoreRuntimeConfig`]
@@ -410,6 +450,7 @@ impl StoreManager {
     /// directory, refresh the detached reader, and lift the quarantine.
     /// Counts into [`JobMetrics::rebuilt_shards`] at the next drain.
     pub fn rebuild_shard(&self, p: usize, payload: &[u8]) -> Result<()> {
+        let t = Instant::now();
         let shard = &self.shards[p];
         let mut store = shard.store.write();
         let dir = store.dir().to_path_buf();
@@ -420,6 +461,13 @@ impl StoreManager {
         shard.bump_version();
         drop(store);
         self.stats.lock().rebuilt_shards += 1;
+        emit_store_op(
+            &self.recorder(),
+            StoreOpKind::Rebuild,
+            p,
+            t.elapsed().as_nanos() as u64,
+            payload.len() as u64,
+        );
         Ok(())
     }
 
@@ -478,16 +526,29 @@ impl StoreManager {
             shard.bump_version();
             Ok(out)
         }
+        let rec = self.recorder();
         if !self.config.parallel {
             return self
                 .shards
                 .iter()
                 .enumerate()
-                .map(|(p, shard)| merge_one(&self.failpoints, shard, deltas_of(p)?))
+                .map(|(p, shard)| {
+                    let t = Instant::now();
+                    let out = merge_one(&self.failpoints, shard, deltas_of(p)?)?;
+                    emit_store_op(
+                        &rec,
+                        StoreOpKind::Merge,
+                        p,
+                        t.elapsed().as_nanos() as u64,
+                        0,
+                    );
+                    Ok(out)
+                })
                 .collect();
         }
         let deltas_of = &deltas_of;
         let fp = &self.failpoints;
+        let rec = &rec;
         let tasks: Vec<TaskSpec<'_, Vec<(Vec<u8>, MergeOutcome)>>> = self
             .shards
             .iter()
@@ -500,7 +561,12 @@ impl StoreManager {
                         iteration,
                     },
                     p % self.pool.n_workers(),
-                    move |_| merge_one(fp, shard, deltas_of(p)?),
+                    move |_| {
+                        let t = Instant::now();
+                        let out = merge_one(fp, shard, deltas_of(p)?)?;
+                        emit_store_op(rec, StoreOpKind::Merge, p, t.elapsed().as_nanos() as u64, 0);
+                        Ok(out)
+                    },
                 )
             })
             .collect();
@@ -548,14 +614,24 @@ impl StoreManager {
         }
         let mut out: Vec<Vec<(Vec<u8>, MergeOutcome)>> =
             (0..self.shards.len()).map(|_| Vec::new()).collect();
+        let rec = self.recorder();
         if !self.config.parallel {
             for &p in touched {
+                let t = Instant::now();
                 out[p] = merge_one(&self.failpoints, &self.shards[p], deltas_of(p)?)?;
+                emit_store_op(
+                    &rec,
+                    StoreOpKind::Merge,
+                    p,
+                    t.elapsed().as_nanos() as u64,
+                    0,
+                );
             }
             return Ok(out);
         }
         let deltas_of = &deltas_of;
         let fp = &self.failpoints;
+        let rec = &rec;
         let tasks: Vec<TaskSpec<'_, (usize, Vec<(Vec<u8>, MergeOutcome)>)>> = touched
             .iter()
             .map(|&p| {
@@ -567,7 +643,12 @@ impl StoreManager {
                         iteration,
                     },
                     p % self.pool.n_workers(),
-                    move |_| Ok((p, merge_one(fp, shard, deltas_of(p)?)?)),
+                    move |_| {
+                        let t = Instant::now();
+                        let merged = merge_one(fp, shard, deltas_of(p)?)?;
+                        emit_store_op(rec, StoreOpKind::Merge, p, t.elapsed().as_nanos() as u64, 0);
+                        Ok((p, merged))
+                    },
                 )
             })
             .collect();
@@ -606,17 +687,27 @@ impl StoreManager {
             )));
         }
         self.fence_compactions()?;
+        let rec = self.recorder();
         if !self.config.parallel {
-            for (shard, batch) in self.shards.iter().zip(batches) {
+            for (p, (shard, batch)) in self.shards.iter().zip(batches).enumerate() {
                 self.failpoints.check(FailSite::StoreAppend, "append")?;
+                let t = Instant::now();
                 shard.store.write().append_batch(batch)?;
                 shard.bump_version();
+                emit_store_op(
+                    &rec,
+                    StoreOpKind::Append,
+                    p,
+                    t.elapsed().as_nanos() as u64,
+                    0,
+                );
             }
             return Ok(());
         }
         let cells: Vec<Mutex<Option<Vec<Chunk>>>> =
             batches.into_iter().map(|b| Mutex::new(Some(b))).collect();
         let fp = &self.failpoints;
+        let rec = &rec;
         let tasks: Vec<TaskSpec<'_, ()>> = cells
             .iter()
             .enumerate()
@@ -638,8 +729,16 @@ impl StoreManager {
                         let batch = cell.lock().take().ok_or_else(|| {
                             Error::corrupt("store batch consumed by a failed earlier attempt")
                         })?;
+                        let t = Instant::now();
                         shard.store.write().append_batch(batch)?;
                         shard.bump_version();
+                        emit_store_op(
+                            rec,
+                            StoreOpKind::Append,
+                            p,
+                            t.elapsed().as_nanos() as u64,
+                            0,
+                        );
                         Ok(())
                     },
                 )
@@ -688,11 +787,13 @@ impl StoreManager {
         }
         let epoch = self.pool.next_epoch();
         self.scheduled_epochs.lock().push((epoch, due.clone()));
+        let rec = self.recorder();
         for p in due {
             let shard = Arc::clone(&self.shards[p]);
             shard.compacting.store(true, Ordering::Release);
             let stats = Arc::clone(&self.stats);
             let fp = Arc::clone(&self.failpoints);
+            let rec = rec.clone();
             self.pool.submit_at(
                 epoch,
                 TaskSpec::pinned(
@@ -708,7 +809,15 @@ impl StoreManager {
                         // without running (injected fault) or panics must
                         // not leave the shard excluded forever.
                         fp.check(FailSite::StoreCompact, "background-compact")?;
+                        let t = Instant::now();
                         let s = shard.store.write().compact()?;
+                        emit_store_op(
+                            &rec,
+                            StoreOpKind::Compact,
+                            p,
+                            t.elapsed().as_nanos() as u64,
+                            s.reclaimed(),
+                        );
                         let mut rt = stats.lock();
                         rt.compactions += 1;
                         rt.bytes_reclaimed += s.reclaimed();
@@ -791,6 +900,8 @@ impl StoreManager {
             return Ok(Vec::new());
         }
         let fp = &self.failpoints;
+        let rec = self.recorder();
+        let rec = &rec;
         let stats: Vec<CompactionStats> = if self.config.parallel {
             let tasks: Vec<TaskSpec<'_, CompactionStats>> = shards
                 .iter()
@@ -805,7 +916,16 @@ impl StoreManager {
                         p % self.pool.n_workers(),
                         move |_| {
                             fp.check(FailSite::StoreCompact, "compact")?;
-                            shard.store.write().compact()
+                            let t = Instant::now();
+                            let s = shard.store.write().compact()?;
+                            emit_store_op(
+                                rec,
+                                StoreOpKind::Compact,
+                                p,
+                                t.elapsed().as_nanos() as u64,
+                                s.reclaimed(),
+                            );
+                            Ok(s)
                         },
                     )
                     .on_lane(Lane::Compact)
@@ -817,7 +937,16 @@ impl StoreManager {
                 .iter()
                 .map(|&p| {
                     fp.check(FailSite::StoreCompact, "compact")?;
-                    self.shards[p].store.write().compact()
+                    let t = Instant::now();
+                    let s = self.shards[p].store.write().compact()?;
+                    emit_store_op(
+                        rec,
+                        StoreOpKind::Compact,
+                        p,
+                        t.elapsed().as_nanos() as u64,
+                        s.reclaimed(),
+                    );
+                    Ok(s)
                 })
                 .collect::<Result<_>>()?
         };
@@ -855,12 +984,34 @@ impl StoreManager {
     /// land in a later drain (engines fence once at end of run and fold
     /// the remainder into the final iteration's metrics).
     pub fn drain_metrics(&self, metrics: &mut JobMetrics) {
-        for shard in &self.shards {
+        let rec = self.recorder();
+        // Accumulate the drained delta separately so the telemetry
+        // `StoreIoSample` carries *exactly* the values folded into
+        // `metrics.store_io` — the `table4` extractor's sum over a complete
+        // trace must equal the drained counters bit-for-bit.
+        let mut delta = IoStats::default();
+        for (p, shard) in self.shards.iter().enumerate() {
             let mut store = shard.store.write();
-            metrics.store_io += store.io_stats();
+            delta += store.io_stats();
             store.reset_io_stats();
-            metrics.salvaged_bytes += store.take_salvaged_bytes();
-            metrics.store_io += shard.reader.lock().take_io_stats();
+            let salvaged = store.take_salvaged_bytes();
+            metrics.salvaged_bytes += salvaged;
+            if salvaged > 0 {
+                emit_store_op(&rec, StoreOpKind::Salvage, p, 0, salvaged);
+            }
+            delta += shard.reader.lock().take_io_stats();
+        }
+        metrics.store_io += delta;
+        if let Some(r) = &rec {
+            if delta != IoStats::default() {
+                r.emit_driver(EventKind::StoreIoSample {
+                    reads: delta.reads,
+                    bytes_read: delta.bytes_read,
+                    writes: delta.writes,
+                    bytes_written: delta.bytes_written,
+                    scratch_reuses: delta.scratch_reuses,
+                });
+            }
         }
         let mut rt = self.stats.lock();
         metrics.store_compactions += rt.compactions;

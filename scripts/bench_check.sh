@@ -14,6 +14,8 @@
 #   faultfree -> faulted  (fig13_fault: bounded fault-recovery overhead)
 #   static   -> tuned     (micro_tuner: the online-controller win over a
 #                          one-shot cost-model compaction policy)
+#   off      -> full      (micro_trace: full span tracing must stay within
+#                          5% of tracing disabled)
 #
 # For every benchmark group the geometric-mean speedup of the fresh run
 # must stay within TOLERANCE (default 25%) of the committed snapshot's —
@@ -41,7 +43,11 @@
 # full size (I2MR_BENCH_QUICK=0). micro_tuner's workload is fixed-size
 # (quick mode does not scale it), and its two groups carry the self-tuning
 # acceptance bars as absolute floors: tuned >= 1.15x static on the
-# shifting-churn schedule and >= 0.95x on the steady one.
+# shifting-churn schedule and >= 0.95x on the steady one. micro_trace's
+# "speedup" is the off/full ratio (~1 by construction: tracing must not
+# slow the pipeline); its workload is also fixed-size, and the telemetry
+# plane's shipping bar is an absolute floor — Full span retention must
+# stay >= 0.95x of tracing disabled on the data-plane hot path.
 #
 # Usage:
 #   scripts/bench_check.sh [micro_shuffle] [micro_store] ...
@@ -59,13 +65,14 @@ out_for() {
     micro_serve) echo "BENCH_serve.json" ;;
     fig13_fault) echo "BENCH_fig13.json" ;;
     micro_tuner) echo "BENCH_tuner.json" ;;
+    micro_trace) echo "BENCH_trace.json" ;;
     *) echo "BENCH_$1.json" ;;
   esac
 }
 
 targets=("$@")
 if [ ${#targets[@]} -eq 0 ]; then
-  targets=(micro_shuffle micro_store micro_pool micro_delta micro_serve fig13_fault micro_tuner)
+  targets=(micro_shuffle micro_store micro_pool micro_delta micro_serve fig13_fault micro_tuner micro_trace)
 fi
 
 tol="${BENCH_TOLERANCE:-0.25}"
@@ -93,6 +100,7 @@ PAIRS = [
     ("idle", "merging"),
     ("faultfree", "faulted"),
     ("static", "tuned"),
+    ("off", "full"),
 ]
 # Absolute speedup floors (group -> min geomean on the FRESH run), on top
 # of the relative-to-committed tolerance check. fig13's "speedup" is the
@@ -106,6 +114,7 @@ FLOORS = {
     "fig13/run": 0.667,
     "micro_tuner/shifting": 1.15,
     "micro_tuner/steady": 0.95,
+    "micro_trace/pipeline": 0.95,
 }
 
 def speedups(path):

@@ -13,6 +13,7 @@
 #   micro_serve   -> BENCH_serve.json    (serving p99: idle vs under merge churn)
 #   fig13_fault   -> BENCH_fig13.json    (fault-free vs 3-fault recovery run)
 #   micro_tuner   -> BENCH_tuner.json    (static cost-model policy vs online tuner)
+#   micro_trace   -> BENCH_trace.json    (telemetry overhead: tracing off vs full)
 #
 # Usage:
 #   scripts/bench_snapshot.sh                 # snapshot all targets
@@ -30,13 +31,14 @@ out_for() {
     micro_serve) echo "BENCH_serve.json" ;;
     fig13_fault) echo "BENCH_fig13.json" ;;
     micro_tuner) echo "BENCH_tuner.json" ;;
+    micro_trace) echo "BENCH_trace.json" ;;
     *) echo "BENCH_$1.json" ;;
   esac
 }
 
 targets=("$@")
 if [ ${#targets[@]} -eq 0 ]; then
-  targets=(micro_shuffle micro_store micro_pool micro_delta micro_serve fig13_fault micro_tuner)
+  targets=(micro_shuffle micro_store micro_pool micro_delta micro_serve fig13_fault micro_tuner micro_trace)
 fi
 
 for target in "${targets[@]}"; do
@@ -45,5 +47,5 @@ for target in "${targets[@]}"; do
   echo
   echo "== snapshot: $out =="
   # Print the headline comparisons (no jq dependency: plain grep).
-  grep -oE '"id": "[^"]*/(zerocopy|baseline|serial|sharded|spawn|persistent|full|delta|idle|merging|faultfree|faulted|static|tuned)/[^}]*' "$out" || true
+  grep -oE '"id": "[^"]*/(zerocopy|baseline|serial|sharded|spawn|persistent|full|delta|idle|merging|faultfree|faulted|static|tuned|off|counters)/[^}]*' "$out" || true
 done
